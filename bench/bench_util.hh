@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: workload
+ * collection (MiBench / OpenDCDiag / SiliFuzz / Harpocrates), graded
+ * campaign execution, and aligned table printing.
+ */
+
+#ifndef HARPOCRATES_BENCH_BENCH_UTIL_HH
+#define HARPOCRATES_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/silifuzz.hh"
+#include "baselines/workloads.hh"
+#include "core/harpocrates.hh"
+#include "coverage/measure.hh"
+#include "faultsim/campaign.hh"
+
+namespace harpo::bench
+{
+
+/** Default injection count for bench campaigns (statistical SFI). */
+constexpr unsigned kInjections = 150;
+
+/** One graded program. */
+struct GradedProgram
+{
+    std::string suite;
+    std::string name;
+    isa::TestProgram program;
+    double coverage = 0.0;
+    double detection = 0.0;
+    std::uint64_t cycles = 0;
+};
+
+/** Build the SiliFuzz baseline tests (fuzz once, aggregate). */
+inline std::vector<baselines::Workload>
+silifuzzTests(unsigned num_tests = 5, unsigned iterations = 8000,
+              unsigned aggregate_instructions = 1000)
+{
+    baselines::SiliFuzzConfig cfg;
+    cfg.iterations = iterations;
+    cfg.aggregateInstructions = aggregate_instructions;
+    cfg.seed = 0x511F; // fixed bench seed
+    baselines::SiliFuzz fuzzer(cfg);
+    fuzzer.fuzz();
+    std::vector<baselines::Workload> tests;
+    unsigned index = 0;
+    for (auto &program : fuzzer.makeTests(num_tests)) {
+        tests.push_back({"SiliFuzz",
+                         "snap" + std::to_string(index++),
+                         std::move(program)});
+    }
+    return tests;
+}
+
+/** Grade one program: coverage + SFI detection for @p target. */
+inline GradedProgram
+grade(const baselines::Workload &workload,
+      coverage::TargetStructure target,
+      unsigned injections = kInjections, std::uint64_t seed = 1)
+{
+    GradedProgram g;
+    g.suite = workload.suite;
+    g.name = workload.name;
+    g.program = workload.program;
+    const auto cov = coverage::measureCoverage(
+        workload.program, target, uarch::CoreConfig{});
+    g.coverage = cov.coverage;
+    g.cycles = cov.sim.cycles;
+
+    faultsim::CampaignConfig camp =
+        faultsim::CampaignConfig::forTarget(target);
+    camp.numInjections = injections;
+    camp.seed = seed;
+    const auto res =
+        faultsim::FaultCampaign::run(workload.program, camp);
+    g.detection = res.goldenOk ? res.detection() : 0.0;
+    return g;
+}
+
+/** Print one coverage/detection row. */
+inline void
+printRow(const GradedProgram &g)
+{
+    std::printf("  %-10s %-14s cov=%6.3f  det=%5.1f%%  cycles=%lu\n",
+                g.suite.c_str(), g.name.c_str(), g.coverage,
+                100.0 * g.detection, g.cycles);
+}
+
+/** Max/average of a field over graded programs. */
+inline double
+maxDetection(const std::vector<GradedProgram> &rows)
+{
+    double m = 0.0;
+    for (const auto &r : rows)
+        m = std::max(m, r.detection);
+    return m;
+}
+
+inline double
+avgDetection(const std::vector<GradedProgram> &rows)
+{
+    if (rows.empty())
+        return 0.0;
+    double s = 0.0;
+    for (const auto &r : rows)
+        s += r.detection;
+    return s / static_cast<double>(rows.size());
+}
+
+inline double
+maxCoverage(const std::vector<GradedProgram> &rows)
+{
+    double m = 0.0;
+    for (const auto &r : rows)
+        m = std::max(m, r.coverage);
+    return m;
+}
+
+} // namespace harpo::bench
+
+#endif // HARPOCRATES_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fig. 10 — Harpocrates optimisation curves for all six structures:
+ * hardware coverage of the best programs per generation, with fault
+ * detection capability sampled along the way.
+ *
+ * Reproduced shape claims:
+ *  - coverage rises and saturates for every structure;
+ *  - detection rises with coverage (the crux correlation);
+ *  - relative difficulty ordering: functional units converge fastest,
+ *    the L1D needs more iterations, the IRF the most.
+ */
+
+#include <cstdio>
+
+#include "core/harpocrates.hh"
+
+using namespace harpo;
+using namespace harpo::core;
+using coverage::TargetStructure;
+
+int
+main()
+{
+    std::printf("=== Fig. 10: coverage & detection across "
+                "Harpocrates optimisation ===\n");
+
+    struct Row
+    {
+        TargetStructure target;
+        double scale;
+        unsigned injections;
+    };
+    // Detection-sample budgets are per-structure: faulty runs of
+    // multiplier-heavy evolved programs evaluate a ~20K-gate netlist
+    // per multiply, so those campaigns get fewer injections.
+    const Row rows[] = {
+        {TargetStructure::IntRegFile, 1.0, 100},
+        {TargetStructure::L1DCache, 1.0, 100},
+        {TargetStructure::IntAdder, 0.6, 80},
+        {TargetStructure::IntMultiplier, 0.6, 50},
+        {TargetStructure::FpAdder, 0.6, 60},
+        {TargetStructure::FpMultiplier, 0.6, 50},
+    };
+
+    for (const auto &row : rows) {
+        LoopConfig cfg = presetFor(row.target, row.scale);
+        cfg.detectionEvery = std::max(1u, cfg.generations / 6);
+        cfg.detectionInjections = row.injections;
+        cfg.seed = 0xF16;
+        std::printf("\n--- %s (pop %u, top-%u, %u x %u-instr "
+                    "generations) ---\n",
+                    coverage::structureName(row.target), cfg.population,
+                    cfg.topK, cfg.generations,
+                    cfg.gen.numInstructions);
+        std::printf("  %4s %10s %10s\n", "gen", "coverage",
+                    "detection");
+        Harpocrates loop(cfg);
+        loop.onGeneration = [&](const GenerationStats &g) {
+            if (g.detection >= 0.0) {
+                std::printf("  %4u %10.4f %9.1f%%\n", g.generation,
+                            g.bestCoverage, 100.0 * g.detection);
+            }
+        };
+        const LoopResult r = loop.run();
+
+        // Convergence summary: first generation within 95% of final.
+        unsigned converged = 0;
+        for (const auto &g : r.history) {
+            if (g.bestCoverage >= 0.95 * r.bestCoverage) {
+                converged = g.generation;
+                break;
+            }
+        }
+        double firstDet = -1.0, lastDet = -1.0;
+        for (const auto &g : r.history) {
+            if (g.detection >= 0.0) {
+                if (firstDet < 0.0)
+                    firstDet = g.detection;
+                lastDet = g.detection;
+            }
+        }
+        std::printf("  final coverage %.4f (95%% reached at "
+                    "generation %u); detection %.1f%% -> %.1f%%\n",
+                    r.bestCoverage, converged, 100.0 * firstDet,
+                    100.0 * lastDet);
+    }
+    return 0;
+}

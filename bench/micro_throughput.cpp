@@ -1,0 +1,161 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the substrate itself: core
+ * simulation throughput, functional emulation, gate-netlist
+ * evaluation, program synthesis, and single fault injections. These
+ * bound what the figure benches can afford and document the cost
+ * model behind the paper's Table I discussion.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "coverage/measure.hh"
+#include "faultsim/campaign.hh"
+#include "gates/fu_library.hh"
+#include "isa/emulator.hh"
+#include "museqgen/museqgen.hh"
+#include "uarch/core.hh"
+
+using namespace harpo;
+
+namespace
+{
+
+isa::TestProgram
+benchProgram(unsigned instructions)
+{
+    museqgen::GenConfig cfg;
+    cfg.numInstructions = instructions;
+    museqgen::MuSeqGen gen(cfg);
+    Rng rng(1);
+    return gen.generate(rng);
+}
+
+void
+BM_CoreSimulation(benchmark::State &state)
+{
+    const auto program =
+        benchProgram(static_cast<unsigned>(state.range(0)));
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        uarch::Core core{uarch::CoreConfig{}};
+        const auto sim = core.run(program);
+        cycles += sim.cycles;
+        benchmark::DoNotOptimize(sim.signature);
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+    state.counters["insts/s"] = benchmark::Counter(
+        static_cast<double>(program.code.size() * state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CoreSimulation)->Arg(200)->Arg(1000)->Arg(5000);
+
+void
+BM_FunctionalEmulation(benchmark::State &state)
+{
+    const auto program = benchProgram(1000);
+    for (auto _ : state) {
+        const auto r = isa::Emulator().run(program);
+        benchmark::DoNotOptimize(r.signature);
+    }
+    state.counters["insts/s"] = benchmark::Counter(
+        static_cast<double>(program.code.size() * state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FunctionalEmulation);
+
+void
+BM_CoverageGrading(benchmark::State &state)
+{
+    const auto program = benchProgram(1000);
+    const auto target =
+        static_cast<coverage::TargetStructure>(state.range(0));
+    for (auto _ : state) {
+        const auto r = coverage::measureCoverage(program, target,
+                                                 uarch::CoreConfig{});
+        benchmark::DoNotOptimize(r.coverage);
+    }
+}
+BENCHMARK(BM_CoverageGrading)
+    ->Arg(static_cast<int>(coverage::TargetStructure::IntRegFile))
+    ->Arg(static_cast<int>(coverage::TargetStructure::L1DCache))
+    ->Arg(static_cast<int>(coverage::TargetStructure::IntAdder));
+
+void
+BM_GateNetlistAdder(benchmark::State &state)
+{
+    const auto &adder = gates::FuLibrary::instance().intAdder();
+    Rng rng(3);
+    for (auto _ : state) {
+        const auto r = adder.compute(rng.next(), rng.next(), false);
+        benchmark::DoNotOptimize(r.sum);
+    }
+    state.counters["gates/s"] = benchmark::Counter(
+        static_cast<double>(adder.netlist().numNodes() *
+                            state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GateNetlistAdder);
+
+void
+BM_GateNetlistFpMultiplier(benchmark::State &state)
+{
+    const auto &fpm = gates::FuLibrary::instance().fpMultiplier();
+    Rng rng(4);
+    for (auto _ : state) {
+        const std::uint64_t a =
+            (1023ull << 52) | (rng.next() & 0xFFFFFFFFFFFFFull);
+        const std::uint64_t b =
+            (1024ull << 52) | (rng.next() & 0xFFFFFFFFFFFFFull);
+        benchmark::DoNotOptimize(fpm.compute(a, b));
+    }
+    state.counters["gates/s"] = benchmark::Counter(
+        static_cast<double>(fpm.netlist().numNodes() *
+                            state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GateNetlistFpMultiplier);
+
+void
+BM_ProgramSynthesis(benchmark::State &state)
+{
+    museqgen::GenConfig cfg;
+    cfg.numInstructions = static_cast<unsigned>(state.range(0));
+    museqgen::MuSeqGen gen(cfg);
+    Rng rng(5);
+    const auto genome = gen.randomGenome(rng);
+    for (auto _ : state) {
+        const auto program = gen.synthesize(genome);
+        benchmark::DoNotOptimize(program.code.size());
+    }
+    state.counters["insts/s"] = benchmark::Counter(
+        static_cast<double>(state.range(0) * state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ProgramSynthesis)->Arg(1000)->Arg(10000);
+
+void
+BM_SingleFaultInjection(benchmark::State &state)
+{
+    const auto program = benchProgram(500);
+    uarch::Core golden{uarch::CoreConfig{}};
+    const auto goldenSim = golden.run(program);
+    faultsim::CampaignConfig cfg = faultsim::CampaignConfig::forTarget(
+        coverage::TargetStructure::IntRegFile);
+    const auto faults =
+        faultsim::FaultCampaign::sampleFaults(cfg, goldenSim.cycles);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto outcome = faultsim::FaultCampaign::runOne(
+            program, faults[i++ % faults.size()], cfg.core,
+            goldenSim.signature, goldenSim.cycles);
+        benchmark::DoNotOptimize(outcome);
+    }
+}
+BENCHMARK(BM_SingleFaultInjection);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Section VI-A — effective runnable-instruction generation rate:
+ * SiliFuzz (fuzz + sort into runnable deterministic snapshots) versus
+ * Harpocrates (generate + evaluate full programs).
+ *
+ * The paper measures ~1,200 runnable instr/s for SiliFuzz against
+ * ~36,000 generated-and-evaluated instr/s for Harpocrates (30x).
+ * Absolute rates differ on our substrate; the reproduced claim is the
+ * order-of-magnitude advantage of ISA-aware generation, where every
+ * produced instruction is valid by construction.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "baselines/silifuzz.hh"
+#include "core/harpocrates.hh"
+
+using namespace harpo;
+using coverage::TargetStructure;
+
+namespace
+{
+
+double
+seconds(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main()
+{
+    // --- SiliFuzz: fuzz the proxy, keep runnable snapshots. ---
+    baselines::SiliFuzzConfig fuzzCfg;
+    fuzzCfg.iterations = 30000;
+    fuzzCfg.seed = 77;
+    baselines::SiliFuzz fuzzer(fuzzCfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    fuzzer.fuzz();
+    const double fuzzSec = seconds(t0);
+    const auto &fs = fuzzer.stats();
+    const double fuzzRate = fs.runnableInstructions / fuzzSec;
+
+    std::printf("=== VI-A: runnable-instruction generation rate ===\n");
+    std::printf("SiliFuzz: %lu candidates in %.2f s, %lu kept "
+                "(%.0f%% discarded), %lu runnable instructions\n",
+                fs.generated, fuzzSec, fs.kept,
+                100.0 * fs.discardFraction(),
+                fs.runnableInstructions);
+    std::printf("  rate: %.0f runnable instructions / s\n", fuzzRate);
+
+    // --- Harpocrates: generate AND evaluate on the hardware model. ---
+    core::LoopConfig cfg = core::presetFor(TargetStructure::IntRegFile);
+    cfg.generations = 12;
+    cfg.seed = 7;
+    core::Harpocrates loop(cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto r = loop.run();
+    const double loopSec = seconds(t1);
+    const double loopRate = r.instructionsGenerated / loopSec;
+
+    std::printf("Harpocrates: %lu instructions generated, compiled "
+                "AND hardware-evaluated in %.2f s\n",
+                r.instructionsGenerated, loopSec);
+    std::printf("  rate: %.0f evaluated instructions / s\n", loopRate);
+
+    std::printf("\nHarpocrates / SiliFuzz rate ratio: %.1fx "
+                "(paper: ~30x)\n",
+                fuzzRate > 0 ? loopRate / fuzzRate : 0.0);
+    return 0;
+}

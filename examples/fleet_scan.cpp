@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Fleet-screening use cases from paper section IV-B:
+ *
+ *  - "Ripple mode": in-production periodic scans need *short* programs
+ *    maximizing detection under a strict cycle budget;
+ *  - "Fleetscanner mode": out-of-production scans push for maximal
+ *    detection without a time constraint.
+ *
+ * This example configures Harpocrates both ways for the SSE FP
+ * multiplier and then plays the resulting screens over a simulated
+ * rack of CPUs, some of which carry a permanent gate defect.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/harpocrates.hh"
+#include "faultsim/campaign.hh"
+#include "gates/fu_library.hh"
+#include "uarch/core.hh"
+
+using namespace harpo;
+using coverage::TargetStructure;
+
+namespace
+{
+
+/** A simulated CPU: healthy, or with one stuck gate in the FP mult. */
+struct FleetCpu
+{
+    int id;
+    bool defective;
+    std::int64_t gate = -1;
+    bool stuckValue = false;
+};
+
+/** Run a screening program on one CPU; true = flagged as faulty. */
+bool
+screenCpu(const isa::TestProgram &test, const FleetCpu &cpu,
+          std::uint64_t golden_signature)
+{
+    uarch::Core core{uarch::CoreConfig{}};
+    if (!cpu.defective) {
+        return core.run(test).signature != golden_signature;
+    }
+    faultsim::FaultyArithModel arith(isa::FuCircuit::FpMul, cpu.gate,
+                                     cpu.stuckValue);
+    const auto sim = core.run(test, &arith);
+    return sim.crashed() || sim.signature != golden_signature;
+}
+
+} // namespace
+
+int
+main()
+{
+    // --- Build the two screening programs. ---
+    // Ripple: short programs (tight budget), fewer refinement rounds.
+    core::LoopConfig ripple =
+        core::presetFor(TargetStructure::FpMultiplier, 0.4);
+    ripple.gen.numInstructions = 150;
+    ripple.seed = 11;
+    // Fleetscanner: longer programs, more refinement.
+    core::LoopConfig scanner =
+        core::presetFor(TargetStructure::FpMultiplier, 0.6);
+    scanner.gen.numInstructions = 600;
+    scanner.seed = 12;
+
+    std::printf("refining ripple-mode screen (%u-instr programs)...\n",
+                ripple.gen.numInstructions);
+    const auto rippleResult = core::Harpocrates(ripple).run();
+    std::printf("refining fleetscanner screen (%u-instr programs)...\n",
+                scanner.gen.numInstructions);
+    const auto scannerResult = core::Harpocrates(scanner).run();
+
+    // --- Simulate a 60-CPU fleet at ~5% defect rate. ---
+    const auto &gatesList = gates::FuLibrary::instance()
+                                .fpMultiplier()
+                                .netlist()
+                                .logicGates();
+    Rng rng(0xF1EE7);
+    std::vector<FleetCpu> fleet;
+    int defects = 0;
+    for (int id = 0; id < 60; ++id) {
+        FleetCpu cpu{id, rng.chance(0.05)};
+        if (cpu.defective) {
+            cpu.gate = static_cast<std::int64_t>(
+                gatesList[rng.below(gatesList.size())]);
+            cpu.stuckValue = rng.chance(0.5);
+            ++defects;
+        }
+        fleet.push_back(cpu);
+    }
+    std::printf("fleet: 60 CPUs, %d with a permanent FP-mult defect\n",
+                defects);
+
+    // --- Run both screens over the fleet. ---
+    for (const auto &[label, result] :
+         {std::pair<const char *, const core::LoopResult &>{
+              "ripple", rippleResult},
+          {"fleetscanner", scannerResult}}) {
+        uarch::Core core{uarch::CoreConfig{}};
+        const auto golden = core.run(result.bestProgram);
+        int caught = 0, falseAlarms = 0;
+        for (const auto &cpu : fleet) {
+            const bool flagged =
+                screenCpu(result.bestProgram, cpu, golden.signature);
+            if (flagged && cpu.defective)
+                ++caught;
+            if (flagged && !cpu.defective)
+                ++falseAlarms;
+        }
+        std::printf("%-13s: %4zu-cycle screen caught %d/%d defective "
+                    "CPUs, %d false alarms\n",
+                    label, static_cast<std::size_t>(golden.cycles),
+                    caught, defects, falseAlarms);
+    }
+    return 0;
+}

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * OpenDCDiag-style diagnostic kernels (paper III-A2): algorithmic
+ * tests whose outputs are highly sensitive to data corruption —
+ * matrix multiply and rotation sweeps (the FP-heavy MxM/SVD analogue),
+ * CRC, RLE compression, multiplicative hashing, and an FP stencil.
+ */
+
+#include "baselines/workloads.hh"
+
+#include "baselines/kernel_common.hh"
+#include "isa/registers.hh"
+
+namespace harpo::baselines
+{
+
+using isa::ProgramBuilder;
+using namespace harpo::isa;
+using PB = ProgramBuilder;
+
+namespace
+{
+
+/** Dense NxN double matrix multiply (the paper's MxM). */
+Workload
+mxmKernel()
+{
+    constexpr int n = 12;
+    auto b = makeKernelBuilder("dcdiag-mxm");
+    const std::uint64_t aBase = kernelBase;
+    const std::uint64_t bBase = kernelBase + 0x1000;
+    const std::uint64_t cBase = kernelBase + 0x2000;
+    // Input matrices.
+    {
+        auto a = randomDoubles(n * n, 0xA, 0.1, 2.0);
+        auto bm = randomDoubles(n * n, 0xB, 0.1, 2.0);
+        b.initMemQwords(aBase, a);
+        b.initMemQwords(bBase, bm);
+    }
+    b.setGpr(RSI, aBase);
+    b.setGpr(RCX, n * 8); // row stride in bytes
+
+    b.i("mov r64, imm64", {PB::gpr(R8), PB::imm(0)}); // i
+    auto iLoop = b.here();
+    b.i("mov r64, imm64", {PB::gpr(R9), PB::imm(0)}); // j
+    auto jLoop = b.here();
+    b.i("xorpd xmm, xmm", {PB::xmm(0), PB::xmm(0)}); // acc
+    // rax = &A[i][0]
+    b.i("mov r64, r64", {PB::gpr(RAX), PB::gpr(R8)});
+    b.i("imul r64, r64", {PB::gpr(RAX), PB::gpr(RCX)});
+    b.i("add r64, r64", {PB::gpr(RAX), PB::gpr(RSI)});
+    // rbx = &B[0][j]
+    b.i("mov r64, r64", {PB::gpr(RBX), PB::gpr(R9)});
+    b.i("shl r64, imm8", {PB::gpr(RBX), PB::imm(3)});
+    b.i("add r64, r64", {PB::gpr(RBX), PB::gpr(RSI)});
+    b.i("add r64, imm32", {PB::gpr(RBX), PB::imm(0x1000)});
+    b.i("mov r64, imm64", {PB::gpr(R10), PB::imm(0)}); // k
+    auto kLoop = b.here();
+    b.i("movsd xmm, m64", {PB::xmm(1), PB::mem(RAX)});
+    b.i("mulsd xmm, m64", {PB::xmm(1), PB::mem(RBX)});
+    b.i("addsd xmm, xmm", {PB::xmm(0), PB::xmm(1)});
+    b.i("add r64, imm32", {PB::gpr(RAX), PB::imm(8)});
+    b.i("add r64, r64", {PB::gpr(RBX), PB::gpr(RCX)});
+    b.i("inc r64", {PB::gpr(R10)});
+    b.i("cmp r64, imm32", {PB::gpr(R10), PB::imm(n)});
+    b.br("jne rel32", kLoop);
+    // &C[i][j]
+    b.i("mov r64, r64", {PB::gpr(RDX), PB::gpr(R8)});
+    b.i("imul r64, r64", {PB::gpr(RDX), PB::gpr(RCX)});
+    b.i("mov r64, r64", {PB::gpr(RBP), PB::gpr(R9)});
+    b.i("shl r64, imm8", {PB::gpr(RBP), PB::imm(3)});
+    b.i("add r64, r64", {PB::gpr(RDX), PB::gpr(RBP)});
+    b.i("add r64, r64", {PB::gpr(RDX), PB::gpr(RSI)});
+    b.i("add r64, imm32", {PB::gpr(RDX), PB::imm(0x2000)});
+    b.i("movsd m64, xmm", {PB::mem(RDX), PB::xmm(0)});
+    b.i("inc r64", {PB::gpr(R9)});
+    b.i("cmp r64, imm32", {PB::gpr(R9), PB::imm(n)});
+    b.br("jne rel32", jLoop);
+    b.i("inc r64", {PB::gpr(R8)});
+    b.i("cmp r64, imm32", {PB::gpr(R8), PB::imm(n)});
+    b.br("jne rel32", iLoop);
+
+    return {"OpenDCDiag", "mxm", b.build()};
+}
+
+/** Plane-rotation sweeps over two vectors (the SVD analogue: the
+ *  inner Givens-rotation kernel of one-sided Jacobi SVD). */
+Workload
+svdRotKernel()
+{
+    constexpr int n = 512;
+    constexpr int sweeps = 4;
+    auto b = makeKernelBuilder("dcdiag-svdrot");
+    const std::uint64_t xBase = kernelBase;
+    const std::uint64_t yBase = kernelBase + 0x2000;
+    b.initMemQwords(xBase, randomDoubles(n, 0xC, -1.0, 1.0));
+    b.initMemQwords(yBase, randomDoubles(n, 0xD, -1.0, 1.0));
+    // c = 0.8, s = 0.6 (a valid rotation: c^2 + s^2 = 1).
+    b.setXmm(4, 0x3FE999999999999Aull); // 0.8
+    b.setXmm(5, 0x3FE3333333333333ull); // 0.6
+
+    b.i("mov r64, imm64", {PB::gpr(R8), PB::imm(0)}); // sweep
+    auto sweepLoop = b.here();
+    b.i("mov r64, imm64", {PB::gpr(RBX), PB::imm(xBase)});
+    b.i("mov r64, imm64", {PB::gpr(RDX), PB::imm(yBase)});
+    b.i("mov r64, imm64", {PB::gpr(RCX), PB::imm(0)}); // i
+    auto iLoop = b.here();
+    b.i("movsd xmm, m64", {PB::xmm(0), PB::mem(RBX)}); // x
+    b.i("movsd xmm, m64", {PB::xmm(1), PB::mem(RDX)}); // y
+    // x' = c*x + s*y
+    b.i("movsd xmm, xmm", {PB::xmm(2), PB::xmm(0)});
+    b.i("mulsd xmm, xmm", {PB::xmm(2), PB::xmm(4)});
+    b.i("movsd xmm, xmm", {PB::xmm(3), PB::xmm(1)});
+    b.i("mulsd xmm, xmm", {PB::xmm(3), PB::xmm(5)});
+    b.i("addsd xmm, xmm", {PB::xmm(2), PB::xmm(3)});
+    // y' = c*y - s*x
+    b.i("mulsd xmm, xmm", {PB::xmm(1), PB::xmm(4)});
+    b.i("mulsd xmm, xmm", {PB::xmm(0), PB::xmm(5)});
+    b.i("subsd xmm, xmm", {PB::xmm(1), PB::xmm(0)});
+    b.i("movsd m64, xmm", {PB::mem(RBX), PB::xmm(2)});
+    b.i("movsd m64, xmm", {PB::mem(RDX), PB::xmm(1)});
+    b.i("add r64, imm32", {PB::gpr(RBX), PB::imm(8)});
+    b.i("add r64, imm32", {PB::gpr(RDX), PB::imm(8)});
+    b.i("inc r64", {PB::gpr(RCX)});
+    b.i("cmp r64, imm32", {PB::gpr(RCX), PB::imm(n)});
+    b.br("jne rel32", iLoop);
+    b.i("inc r64", {PB::gpr(R8)});
+    b.i("cmp r64, imm32", {PB::gpr(R8), PB::imm(sweeps)});
+    b.br("jne rel32", sweepLoop);
+
+    return {"OpenDCDiag", "svd_rot", b.build()};
+}
+
+/** Bitwise CRC-32 over a buffer. */
+Workload
+crc32Kernel()
+{
+    constexpr int len = 512;
+    auto b = makeKernelBuilder("dcdiag-crc32");
+    b.initMem(kernelBase, randomBytes(len, 0xE));
+    b.setGpr(RBX, kernelBase);
+    b.setGpr(RCX, len);
+    b.i("mov r64, imm64", {PB::gpr(RAX), PB::imm(0xFFFFFFFF)});
+    b.i("mov r64, imm64", {PB::gpr(RBP), PB::imm(0xEDB88320)});
+    auto byteLoop = b.here();
+    b.i("mov r64, m8", {PB::gpr(RDX), PB::mem(RBX)});
+    b.i("xor r64, r64", {PB::gpr(RAX), PB::gpr(RDX)});
+    for (int round = 0; round < 8; ++round) {
+        b.i("mov r64, r64", {PB::gpr(RDX), PB::gpr(RAX)});
+        b.i("and r64, imm32", {PB::gpr(RDX), PB::imm(1)});
+        b.i("neg r64", {PB::gpr(RDX)});
+        b.i("and r64, r64", {PB::gpr(RDX), PB::gpr(RBP)});
+        b.i("shr r64, imm8", {PB::gpr(RAX), PB::imm(1)});
+        b.i("xor r64, r64", {PB::gpr(RAX), PB::gpr(RDX)});
+    }
+    b.i("inc r64", {PB::gpr(RBX)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", byteLoop);
+    b.i("mov m64, r64", {PB::abs(kernelBase + 0x4000), PB::gpr(RAX)});
+
+    return {"OpenDCDiag", "crc32", b.build()};
+}
+
+/** Run-length compression: sensitive to any input/loop corruption. */
+Workload
+zipKernel()
+{
+    constexpr int len = 4096;
+    auto b = makeKernelBuilder("dcdiag-zip");
+    // Compressible data: low-entropy bytes.
+    auto data = randomBytes(len, 0xF);
+    for (auto &byte : data)
+        byte &= 0x3; // long runs
+    b.initMem(kernelBase, data);
+    b.setGpr(RBX, kernelBase);              // in
+    b.setGpr(RDX, kernelBase + 0x4000);     // out
+    b.setGpr(RCX, len - 1);                 // remaining comparisons
+    b.i("mov r64, m8", {PB::gpr(RAX), PB::mem(RBX)}); // current
+    b.i("mov r64, imm64", {PB::gpr(R8), PB::imm(1)}); // run length
+    auto loop = b.here();
+    b.i("inc r64", {PB::gpr(RBX)});
+    b.i("mov r64, m8", {PB::gpr(R9), PB::mem(RBX)});
+    b.i("cmp r64, r64", {PB::gpr(R9), PB::gpr(RAX)});
+    auto same = b.newLabel();
+    b.br("je rel32", same);
+    // Run break: emit (value, count).
+    b.i("mov m8, r64", {PB::mem(RDX), PB::gpr(RAX)});
+    b.i("mov m8, r64", {PB::mem(RDX, 1), PB::gpr(R8)});
+    b.i("add r64, imm32", {PB::gpr(RDX), PB::imm(2)});
+    b.i("mov r64, r64", {PB::gpr(RAX), PB::gpr(R9)});
+    b.i("mov r64, imm64", {PB::gpr(R8), PB::imm(0)});
+    b.bind(same);
+    b.i("inc r64", {PB::gpr(R8)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", loop);
+    // Final run.
+    b.i("mov m8, r64", {PB::mem(RDX), PB::gpr(RAX)});
+    b.i("mov m8, r64", {PB::mem(RDX, 1), PB::gpr(R8)});
+
+    return {"OpenDCDiag", "zip_rle", b.build()};
+}
+
+/** Multiplicative (FNV-style) hashing — integer-multiplier heavy. */
+Workload
+hashKernel()
+{
+    constexpr int qwords = 1024;
+    constexpr int passes = 3;
+    auto b = makeKernelBuilder("dcdiag-hash");
+    b.initMemQwords(kernelBase, randomQwords(qwords, 0x10));
+    b.setGpr(RBP, 0x100000001B3ull); // FNV prime
+    b.i("mov r64, imm64", {PB::gpr(RAX), PB::imm(
+        static_cast<std::int64_t>(0xCBF29CE484222325ull))});
+    b.i("mov r64, imm64", {PB::gpr(R8), PB::imm(0)}); // pass
+    auto passLoop = b.here();
+    b.i("mov r64, imm64", {PB::gpr(RBX), PB::imm(kernelBase)});
+    b.i("mov r64, imm64", {PB::gpr(RCX), PB::imm(qwords)});
+    auto loop = b.here();
+    b.i("xor r64, m64", {PB::gpr(RAX), PB::mem(RBX)});
+    b.i("imul r64, r64", {PB::gpr(RAX), PB::gpr(RBP)});
+    b.i("rol r64, imm8", {PB::gpr(RAX), PB::imm(27)});
+    b.i("add r64, imm32", {PB::gpr(RBX), PB::imm(8)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", loop);
+    b.i("inc r64", {PB::gpr(R8)});
+    b.i("cmp r64, imm32", {PB::gpr(R8), PB::imm(passes)});
+    b.br("jne rel32", passLoop);
+    b.i("mov m64, r64", {PB::abs(kernelBase + 0x4000), PB::gpr(RAX)});
+
+    return {"OpenDCDiag", "hash_mul", b.build()};
+}
+
+/** 1D three-point FP stencil (heat diffusion). */
+Workload
+stencilKernel()
+{
+    constexpr int n = 320;
+    constexpr int iters = 16;
+    auto b = makeKernelBuilder("dcdiag-stencil");
+    b.initMemQwords(kernelBase, randomDoubles(n, 0x11, 0.0, 100.0));
+    b.setXmm(4, 0x3FD0000000000000ull); // 0.25
+    b.setXmm(5, 0x3FE0000000000000ull); // 0.5
+
+    b.i("mov r64, imm64", {PB::gpr(R8), PB::imm(0)}); // iteration
+    auto iterLoop = b.here();
+    b.i("mov r64, imm64", {PB::gpr(RBX), PB::imm(kernelBase + 8)});
+    b.i("mov r64, imm64", {PB::gpr(RCX), PB::imm(n - 2)});
+    auto loop = b.here();
+    b.i("movsd xmm, m64", {PB::xmm(0), PB::mem(RBX, -8)});
+    b.i("addsd xmm, m64", {PB::xmm(0), PB::mem(RBX, 8)});
+    b.i("mulsd xmm, xmm", {PB::xmm(0), PB::xmm(4)});
+    b.i("movsd xmm, m64", {PB::xmm(1), PB::mem(RBX)});
+    b.i("mulsd xmm, xmm", {PB::xmm(1), PB::xmm(5)});
+    b.i("addsd xmm, xmm", {PB::xmm(0), PB::xmm(1)});
+    b.i("movsd m64, xmm", {PB::mem(RBX), PB::xmm(0)});
+    b.i("add r64, imm32", {PB::gpr(RBX), PB::imm(8)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", loop);
+    b.i("inc r64", {PB::gpr(R8)});
+    b.i("cmp r64, imm32", {PB::gpr(R8), PB::imm(iters)});
+    b.br("jne rel32", iterLoop);
+
+    return {"OpenDCDiag", "stencil_fp", b.build()};
+}
+
+} // namespace
+
+std::vector<Workload>
+dcdiagSuite()
+{
+    std::vector<Workload> suite;
+    suite.push_back(mxmKernel());
+    suite.push_back(svdRotKernel());
+    suite.push_back(crc32Kernel());
+    suite.push_back(zipKernel());
+    suite.push_back(hashKernel());
+    suite.push_back(stencilKernel());
+    return suite;
+}
+
+} // namespace harpo::baselines

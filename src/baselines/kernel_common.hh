@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared scaffolding for hand-written baseline kernels: a standard
+ * data region, stack, and deterministic pseudo-random data helpers.
+ */
+
+#ifndef HARPOCRATES_BASELINES_KERNEL_COMMON_HH
+#define HARPOCRATES_BASELINES_KERNEL_COMMON_HH
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hh"
+#include "isa/builder.hh"
+#include "isa/registers.hh"
+
+namespace harpo::baselines
+{
+
+/** Base address of every kernel's data region. */
+constexpr std::uint64_t kernelBase = 0x100000;
+
+/** Builder pre-configured with a data region and a stack. */
+inline isa::ProgramBuilder
+makeKernelBuilder(const std::string &name,
+                  std::uint32_t region_size = 64 * 1024)
+{
+    isa::ProgramBuilder b(name);
+    b.addRegion(kernelBase, region_size);
+    b.addStack(kernelBase + 0x200000, 16 * 1024);
+    return b;
+}
+
+/** Deterministic pseudo-random qwords for kernel input data. */
+inline std::vector<std::uint64_t>
+randomQwords(std::size_t count, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint64_t> out(count);
+    for (auto &v : out)
+        v = rng.next();
+    return out;
+}
+
+/** Deterministic pseudo-random bytes. */
+inline std::vector<std::uint8_t>
+randomBytes(std::size_t count, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> out(count);
+    for (auto &v : out)
+        v = static_cast<std::uint8_t>(rng.next());
+    return out;
+}
+
+/** Deterministic doubles in (lo, hi), stored as raw fp64 bits. */
+inline std::vector<std::uint64_t>
+randomDoubles(std::size_t count, std::uint64_t seed, double lo,
+              double hi)
+{
+    Rng rng(seed);
+    std::vector<std::uint64_t> out(count);
+    for (auto &v : out) {
+        const double d = lo + rng.uniform() * (hi - lo);
+        std::memcpy(&v, &d, sizeof(v));
+    }
+    return out;
+}
+
+} // namespace harpo::baselines
+
+#endif // HARPOCRATES_BASELINES_KERNEL_COMMON_HH

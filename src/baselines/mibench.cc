@@ -1,0 +1,511 @@
+/**
+ * @file
+ * Twelve MiBench-style general-purpose kernels (paper III-C): the
+ * character of an embedded benchmark suite — integer-dominated loops,
+ * sorting, graph relaxation, bit manipulation, string processing,
+ * codecs — with only a few FP users (fft), matching the paper's
+ * observation that most MiBench programs never touch the SSE units.
+ */
+
+#include "baselines/workloads.hh"
+
+#include "baselines/kernel_common.hh"
+#include "isa/registers.hh"
+
+namespace harpo::baselines
+{
+
+using namespace harpo::isa;
+using PB = ProgramBuilder;
+
+namespace
+{
+
+/** bitcount: popcount plus shift-and-mask counting over a buffer. */
+Workload
+bitcountKernel()
+{
+    constexpr int qwords = 512;
+    auto b = makeKernelBuilder("mibench-bitcount");
+    b.initMemQwords(kernelBase, randomQwords(qwords, 0x21));
+    b.setGpr(RBX, kernelBase);
+    b.setGpr(RCX, qwords);
+    b.i("mov r64, imm64", {PB::gpr(RAX), PB::imm(0)}); // popcnt total
+    b.i("mov r64, imm64", {PB::gpr(R8), PB::imm(0)});  // manual total
+    auto loop = b.here();
+    b.i("mov r64, m64", {PB::gpr(RDX), PB::mem(RBX)});
+    b.i("popcnt r64, r64", {PB::gpr(R9), PB::gpr(RDX)});
+    b.i("add r64, r64", {PB::gpr(RAX), PB::gpr(R9)});
+    // Manual: count bits of the low byte by shifting.
+    b.i("and r64, imm32", {PB::gpr(RDX), PB::imm(0xFF)});
+    for (int bit = 0; bit < 8; ++bit) {
+        b.i("mov r64, r64", {PB::gpr(R10), PB::gpr(RDX)});
+        b.i("shr r64, imm8", {PB::gpr(R10), PB::imm(bit)});
+        b.i("and r64, imm32", {PB::gpr(R10), PB::imm(1)});
+        b.i("add r64, r64", {PB::gpr(R8), PB::gpr(R10)});
+    }
+    b.i("add r64, imm32", {PB::gpr(RBX), PB::imm(8)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", loop);
+    b.i("mov m64, r64", {PB::abs(kernelBase + 0x4000), PB::gpr(RAX)});
+    b.i("mov m64, r64", {PB::abs(kernelBase + 0x4008), PB::gpr(R8)});
+    return {"MiBench", "bitcount", b.build()};
+}
+
+/** qsort stand-in: insertion sort of qwords (the suite's sort). */
+Workload
+qsortKernel()
+{
+    constexpr int n = 160;
+    auto b = makeKernelBuilder("mibench-qsort");
+    b.initMemQwords(kernelBase, randomQwords(n, 0x22));
+    b.setGpr(RSI, kernelBase);
+    // for (i = 1; i < n; ++i) { key = a[i]; j = i-1;
+    //   while (j >= 0 && a[j] > key) { a[j+1] = a[j]; --j; }
+    //   a[j+1] = key; }
+    b.i("mov r64, imm64", {PB::gpr(R8), PB::imm(1)}); // i
+    auto iLoop = b.here();
+    b.i("mov r64, r64", {PB::gpr(RAX), PB::gpr(R8)});
+    b.i("shl r64, imm8", {PB::gpr(RAX), PB::imm(3)});
+    b.i("add r64, r64", {PB::gpr(RAX), PB::gpr(RSI)});
+    b.i("mov r64, m64", {PB::gpr(RDX), PB::mem(RAX)}); // key
+    b.i("mov r64, r64", {PB::gpr(RBX), PB::gpr(RAX)}); // &a[j+1]
+    auto innerTop = b.here();
+    b.i("cmp r64, r64", {PB::gpr(RBX), PB::gpr(RSI)});
+    auto place = b.newLabel();
+    b.br("je rel32", place); // j < 0
+    b.i("mov r64, m64", {PB::gpr(R9), PB::mem(RBX, -8)}); // a[j]
+    b.i("cmp r64, r64", {PB::gpr(R9), PB::gpr(RDX)});
+    b.br("jb rel32", place); // unsigned a[j] < key
+    b.br("je rel32", place); // or equal
+    b.i("mov m64, r64", {PB::mem(RBX), PB::gpr(R9)});
+    b.i("sub r64, imm32", {PB::gpr(RBX), PB::imm(8)});
+    b.br("jmp rel32", innerTop);
+    b.bind(place);
+    b.i("mov m64, r64", {PB::mem(RBX), PB::gpr(RDX)});
+    b.i("inc r64", {PB::gpr(R8)});
+    b.i("cmp r64, imm32", {PB::gpr(R8), PB::imm(n)});
+    b.br("jne rel32", iLoop);
+    return {"MiBench", "qsort", b.build()};
+}
+
+/** dijkstra: Bellman-Ford-style relaxation on an adjacency matrix. */
+Workload
+dijkstraKernel()
+{
+    constexpr int nodes = 12;
+    auto b = makeKernelBuilder("mibench-dijkstra");
+    const std::uint64_t adjBase = kernelBase;            // nodes*nodes
+    const std::uint64_t distBase = kernelBase + 0x2000;  // nodes
+    {
+        Rng rng(0x23);
+        std::vector<std::uint64_t> adj(nodes * nodes);
+        for (auto &w : adj)
+            w = 1 + rng.below(100);
+        b.initMemQwords(adjBase, adj);
+        std::vector<std::uint64_t> dist(nodes, 1u << 30);
+        dist[0] = 0;
+        b.initMemQwords(distBase, dist);
+    }
+    // nodes-1 relaxation rounds over every edge (u, v).
+    b.i("mov r64, imm64", {PB::gpr(R11), PB::imm(0)}); // round
+    auto roundLoop = b.here();
+    b.i("mov r64, imm64", {PB::gpr(R8), PB::imm(0)}); // u
+    auto uLoop = b.here();
+    b.i("mov r64, imm64", {PB::gpr(R9), PB::imm(0)}); // v
+    auto vLoop = b.here();
+    // rax = dist[u] + adj[u][v]
+    b.i("mov r64, r64", {PB::gpr(RAX), PB::gpr(R8)});
+    b.i("shl r64, imm8", {PB::gpr(RAX), PB::imm(3)});
+    b.i("add r64, imm32", {PB::gpr(RAX), PB::imm(
+        static_cast<std::int32_t>(distBase))});
+    b.i("mov r64, m64", {PB::gpr(RDX), PB::mem(RAX)}); // dist[u]
+    b.i("mov r64, r64", {PB::gpr(RBX), PB::gpr(R8)});
+    b.i("imul r64, r64", {PB::gpr(RBX), PB::gpr(R12)}); // * nodes*8
+    b.i("mov r64, r64", {PB::gpr(RBP), PB::gpr(R9)});
+    b.i("shl r64, imm8", {PB::gpr(RBP), PB::imm(3)});
+    b.i("add r64, r64", {PB::gpr(RBX), PB::gpr(RBP)});
+    b.i("add r64, imm32", {PB::gpr(RBX), PB::imm(
+        static_cast<std::int32_t>(adjBase))});
+    b.i("add r64, m64", {PB::gpr(RDX), PB::mem(RBX)}); // + weight
+    // if (rdx < dist[v]) dist[v] = rdx
+    b.i("mov r64, r64", {PB::gpr(RCX), PB::gpr(R9)});
+    b.i("shl r64, imm8", {PB::gpr(RCX), PB::imm(3)});
+    b.i("add r64, imm32", {PB::gpr(RCX), PB::imm(
+        static_cast<std::int32_t>(distBase))});
+    b.i("mov r64, m64", {PB::gpr(R10), PB::mem(RCX)}); // dist[v]
+    b.i("cmp r64, r64", {PB::gpr(RDX), PB::gpr(R10)});
+    b.i("cmovb r64, r64", {PB::gpr(R10), PB::gpr(RDX)});
+    b.i("mov m64, r64", {PB::mem(RCX), PB::gpr(R10)});
+    b.i("inc r64", {PB::gpr(R9)});
+    b.i("cmp r64, imm32", {PB::gpr(R9), PB::imm(nodes)});
+    b.br("jne rel32", vLoop);
+    b.i("inc r64", {PB::gpr(R8)});
+    b.i("cmp r64, imm32", {PB::gpr(R8), PB::imm(nodes)});
+    b.br("jne rel32", uLoop);
+    b.i("inc r64", {PB::gpr(R11)});
+    b.i("cmp r64, imm32", {PB::gpr(R11), PB::imm(nodes - 1)});
+    b.br("jne rel32", roundLoop);
+    b.setGpr(R12, nodes * 8);
+    return {"MiBench", "dijkstra", b.build()};
+}
+
+/** sha-like integer mixing rounds over a message block. */
+Workload
+shaKernel()
+{
+    constexpr int blocks = 8;
+    constexpr int rounds = 64;
+    auto b = makeKernelBuilder("mibench-sha");
+    b.initMemQwords(kernelBase, randomQwords(blocks * 16, 0x24));
+    b.setGpr(RAX, 0x6A09E667F3BCC908ull); // h0
+    b.setGpr(RDX, 0xBB67AE8584CAA73Bull); // h1
+    b.setGpr(R10, 0x3C6EF372FE94F82Bull); // h2
+    b.i("mov r64, imm64", {PB::gpr(R8), PB::imm(0)}); // block
+    auto blockLoop = b.here();
+    b.i("mov r64, r64", {PB::gpr(RBX), PB::gpr(R8)});
+    b.i("shl r64, imm8", {PB::gpr(RBX), PB::imm(7)}); // *128 bytes
+    b.i("add r64, imm32", {PB::gpr(RBX), PB::imm(
+        static_cast<std::int32_t>(kernelBase))});
+    b.i("mov r64, imm64", {PB::gpr(RCX), PB::imm(rounds)});
+    auto roundLoop = b.here();
+    // w = msg[(round*8) % 128]; rotate pointer within the block.
+    b.i("mov r64, m64", {PB::gpr(R9), PB::mem(RBX)});
+    b.i("add r64, r64", {PB::gpr(RAX), PB::gpr(R9)});
+    b.i("rol r64, imm8", {PB::gpr(RAX), PB::imm(13)});
+    b.i("xor r64, r64", {PB::gpr(RAX), PB::gpr(RDX)});
+    b.i("add r64, r64", {PB::gpr(RDX), PB::gpr(RAX)});
+    b.i("ror r64, imm8", {PB::gpr(RDX), PB::imm(7)});
+    b.i("xor r64, r64", {PB::gpr(R10), PB::gpr(RAX)});
+    b.i("add r64, r64", {PB::gpr(R10), PB::gpr(RDX)});
+    b.i("add r64, imm32", {PB::gpr(RBX), PB::imm(8)});
+    // wrap pointer every 16 words: mask offset
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", roundLoop);
+    b.i("inc r64", {PB::gpr(R8)});
+    b.i("cmp r64, imm32", {PB::gpr(R8), PB::imm(blocks)});
+    b.br("jne rel32", blockLoop);
+    b.i("mov m64, r64", {PB::abs(kernelBase + 0x6000), PB::gpr(RAX)});
+    b.i("mov m64, r64", {PB::abs(kernelBase + 0x6008), PB::gpr(RDX)});
+    b.i("mov m64, r64", {PB::abs(kernelBase + 0x6010), PB::gpr(R10)});
+    return {"MiBench", "sha", b.build()};
+}
+
+/** CRC-16/CCITT over a byte buffer. */
+Workload
+crcKernel()
+{
+    constexpr int len = 1024;
+    auto b = makeKernelBuilder("mibench-crc");
+    b.initMem(kernelBase, randomBytes(len, 0x25));
+    b.setGpr(RBX, kernelBase);
+    b.setGpr(RCX, len);
+    b.setGpr(RBP, 0x1021); // CCITT polynomial
+    b.i("mov r64, imm64", {PB::gpr(RAX), PB::imm(0xFFFF)});
+    auto loop = b.here();
+    b.i("mov r64, m8", {PB::gpr(RDX), PB::mem(RBX)});
+    b.i("shl r64, imm8", {PB::gpr(RDX), PB::imm(8)});
+    b.i("xor r64, r64", {PB::gpr(RAX), PB::gpr(RDX)});
+    for (int round = 0; round < 8; ++round) {
+        b.i("mov r64, r64", {PB::gpr(RDX), PB::gpr(RAX)});
+        b.i("and r64, imm32", {PB::gpr(RDX), PB::imm(0x8000)});
+        b.i("shl r64, imm8", {PB::gpr(RAX), PB::imm(1)});
+        b.i("test r64, r64", {PB::gpr(RDX), PB::gpr(RDX)});
+        auto noXor = b.newLabel();
+        b.br("je rel32", noXor);
+        b.i("xor r64, r64", {PB::gpr(RAX), PB::gpr(RBP)});
+        b.bind(noXor);
+        b.i("and r64, imm32", {PB::gpr(RAX), PB::imm(0xFFFF)});
+    }
+    b.i("inc r64", {PB::gpr(RBX)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", loop);
+    b.i("mov m64, r64", {PB::abs(kernelBase + 0x4000), PB::gpr(RAX)});
+    return {"MiBench", "crc", b.build()};
+}
+
+/** basicmath: bit-by-bit integer square roots and subtraction GCDs. */
+Workload
+basicmathKernel()
+{
+    constexpr int count = 64;
+    auto b = makeKernelBuilder("mibench-basicmath");
+    b.initMemQwords(kernelBase, randomQwords(count, 0x26));
+    b.setGpr(RSI, kernelBase);
+    b.setGpr(R11, count);
+    b.i("mov r64, imm64", {PB::gpr(R12), PB::imm(0)}); // checksum
+    auto outer = b.here();
+    b.i("mov r64, m64", {PB::gpr(RAX), PB::mem(RSI)});
+    b.i("and r64, imm32", {PB::gpr(RAX), PB::imm(0x7FFFFFFF)});
+    // isqrt(rax): res in rbx, bit scan from 1<<30.
+    b.i("mov r64, imm64", {PB::gpr(RBX), PB::imm(0)});
+    b.i("mov r64, imm64", {PB::gpr(RCX), PB::imm(1ll << 30)});
+    auto sqrtLoop = b.here();
+    b.i("mov r64, r64", {PB::gpr(RDX), PB::gpr(RBX)});
+    b.i("add r64, r64", {PB::gpr(RDX), PB::gpr(RCX)});
+    b.i("shr r64, imm8", {PB::gpr(RBX), PB::imm(1)});
+    b.i("cmp r64, r64", {PB::gpr(RAX), PB::gpr(RDX)});
+    auto skip = b.newLabel();
+    b.br("jb rel32", skip);
+    b.i("sub r64, r64", {PB::gpr(RAX), PB::gpr(RDX)});
+    b.i("add r64, r64", {PB::gpr(RBX), PB::gpr(RCX)});
+    b.bind(skip);
+    b.i("shr r64, imm8", {PB::gpr(RCX), PB::imm(2)});
+    b.i("test r64, r64", {PB::gpr(RCX), PB::gpr(RCX)});
+    b.br("jne rel32", sqrtLoop);
+    b.i("add r64, r64", {PB::gpr(R12), PB::gpr(RBX)});
+    b.i("add r64, imm32", {PB::gpr(RSI), PB::imm(8)});
+    b.i("dec r64", {PB::gpr(R11)});
+    b.br("jne rel32", outer);
+    b.i("mov m64, r64", {PB::abs(kernelBase + 0x4000), PB::gpr(R12)});
+    return {"MiBench", "basicmath", b.build()};
+}
+
+/** stringsearch: byte-wise pattern scan. */
+Workload
+stringsearchKernel()
+{
+    constexpr int textLen = 2048;
+    auto b = makeKernelBuilder("mibench-stringsearch");
+    auto text = randomBytes(textLen, 0x27);
+    for (auto &byte : text)
+        byte = 'a' + (byte % 4); // small alphabet -> partial matches
+    // Plant the needle a few times.
+    const char *needle = "abca";
+    for (int pos : {100, 900, 1700}) {
+        for (int i = 0; i < 4; ++i)
+            text[pos + i] = static_cast<std::uint8_t>(needle[i]);
+    }
+    b.initMem(kernelBase, text);
+    b.setGpr(RBX, kernelBase);
+    b.setGpr(RCX, textLen - 4);
+    b.i("mov r64, imm64", {PB::gpr(R12), PB::imm(0)}); // match count
+    auto loop = b.here();
+    auto noMatch = b.newLabel();
+    for (int i = 0; i < 4; ++i) {
+        b.i("mov r64, m8", {PB::gpr(RDX), PB::mem(RBX, i)});
+        b.i("cmp r64, imm32", {PB::gpr(RDX), PB::imm(needle[i])});
+        b.br("jne rel32", noMatch);
+    }
+    b.i("inc r64", {PB::gpr(R12)});
+    b.bind(noMatch);
+    b.i("inc r64", {PB::gpr(RBX)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", loop);
+    b.i("mov m64, r64", {PB::abs(kernelBase + 0x4000), PB::gpr(R12)});
+    return {"MiBench", "stringsearch", b.build()};
+}
+
+/** fft-lite: direct small DFT against precomputed twiddle tables
+ *  (one of the few FP users in the suite). */
+Workload
+fftKernel()
+{
+    constexpr int n = 32;
+    auto b = makeKernelBuilder("mibench-fft");
+    const std::uint64_t xBase = kernelBase;
+    const std::uint64_t cosBase = kernelBase + 0x2000; // n*n table
+    const std::uint64_t outBase = kernelBase + 0x8000;
+    b.initMemQwords(xBase, randomDoubles(n, 0x28, -1.0, 1.0));
+    {
+        // Twiddle-like table: deterministic pseudo-cosines.
+        std::vector<std::uint64_t> table =
+            randomDoubles(n * n, 0x29, -1.0, 1.0);
+        b.initMemQwords(cosBase, table);
+    }
+    b.setGpr(R12, n * 8);
+    b.i("mov r64, imm64", {PB::gpr(R8), PB::imm(0)}); // k
+    auto kLoop = b.here();
+    b.i("xorpd xmm, xmm", {PB::xmm(0), PB::xmm(0)}); // acc
+    b.i("mov r64, imm64", {PB::gpr(RBX), PB::imm(xBase)});
+    // row pointer = cosBase + k*n*8
+    b.i("mov r64, r64", {PB::gpr(RDX), PB::gpr(R8)});
+    b.i("imul r64, r64", {PB::gpr(RDX), PB::gpr(R12)});
+    b.i("add r64, imm32", {PB::gpr(RDX), PB::imm(
+        static_cast<std::int32_t>(cosBase))});
+    b.i("mov r64, imm64", {PB::gpr(RCX), PB::imm(n)});
+    auto sumLoop = b.here();
+    b.i("movsd xmm, m64", {PB::xmm(1), PB::mem(RBX)});
+    b.i("mulsd xmm, m64", {PB::xmm(1), PB::mem(RDX)});
+    b.i("addsd xmm, xmm", {PB::xmm(0), PB::xmm(1)});
+    b.i("add r64, imm32", {PB::gpr(RBX), PB::imm(8)});
+    b.i("add r64, imm32", {PB::gpr(RDX), PB::imm(8)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", sumLoop);
+    // out[k]
+    b.i("mov r64, r64", {PB::gpr(RAX), PB::gpr(R8)});
+    b.i("shl r64, imm8", {PB::gpr(RAX), PB::imm(3)});
+    b.i("add r64, imm32", {PB::gpr(RAX), PB::imm(
+        static_cast<std::int32_t>(outBase))});
+    b.i("movsd m64, xmm", {PB::mem(RAX), PB::xmm(0)});
+    b.i("inc r64", {PB::gpr(R8)});
+    b.i("cmp r64, imm32", {PB::gpr(R8), PB::imm(n)});
+    b.br("jne rel32", kLoop);
+    return {"MiBench", "fft", b.build()};
+}
+
+/** adpcm-like step codec: adds, shifts, clamps via CMOV. */
+Workload
+adpcmKernel()
+{
+    constexpr int samples = 1024;
+    auto b = makeKernelBuilder("mibench-adpcm");
+    b.initMem(kernelBase, randomBytes(samples, 0x2A));
+    b.setGpr(RBX, kernelBase);
+    b.setGpr(RCX, samples);
+    b.i("mov r64, imm64", {PB::gpr(RAX), PB::imm(0)});   // predictor
+    b.i("mov r64, imm64", {PB::gpr(R8), PB::imm(16)});   // step
+    b.i("mov r64, imm64", {PB::gpr(R11), PB::imm(0x7FFF)});
+    auto loop = b.here();
+    b.i("mov r64, m8", {PB::gpr(RDX), PB::mem(RBX)}); // delta nibble
+    b.i("and r64, imm32", {PB::gpr(RDX), PB::imm(0xF)});
+    // diff = step * delta >> 2
+    b.i("mov r64, r64", {PB::gpr(R9), PB::gpr(R8)});
+    b.i("imul r64, r64", {PB::gpr(R9), PB::gpr(RDX)});
+    b.i("shr r64, imm8", {PB::gpr(R9), PB::imm(2)});
+    b.i("add r64, r64", {PB::gpr(RAX), PB::gpr(R9)});
+    // clamp predictor to 0x7FFF
+    b.i("cmp r64, r64", {PB::gpr(RAX), PB::gpr(R11)});
+    b.i("cmovae r64, r64", {PB::gpr(RAX), PB::gpr(R11)});
+    // step adaptation: grow on large delta, shrink otherwise.
+    b.i("cmp r64, imm32", {PB::gpr(RDX), PB::imm(8)});
+    auto small = b.newLabel();
+    b.br("jb rel32", small);
+    b.i("shl r64, imm8", {PB::gpr(R8), PB::imm(1)});
+    b.bind(small);
+    b.i("shr r64, imm8", {PB::gpr(R8), PB::imm(0)}); // keep flags sane
+    b.i("add r64, imm32", {PB::gpr(R8), PB::imm(1)});
+    b.i("and r64, imm32", {PB::gpr(R8), PB::imm(0xFFF)});
+    b.i("inc r64", {PB::gpr(RBX)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", loop);
+    b.i("mov m64, r64", {PB::abs(kernelBase + 0x4000), PB::gpr(RAX)});
+    return {"MiBench", "adpcm", b.build()};
+}
+
+/** patricia-like bit-trie walk over a node table. */
+Workload
+patriciaKernel()
+{
+    constexpr int nodes = 256;
+    constexpr int lookups = 512;
+    auto b = makeKernelBuilder("mibench-patricia");
+    const std::uint64_t trieBase = kernelBase;        // nodes * 16 B
+    const std::uint64_t keysBase = kernelBase + 0x4000;
+    {
+        Rng rng(0x2B);
+        // Node: two child indices (each < nodes).
+        std::vector<std::uint64_t> trie(nodes * 2);
+        for (auto &child : trie)
+            child = rng.below(nodes);
+        b.initMemQwords(trieBase, trie);
+        b.initMemQwords(keysBase, randomQwords(lookups, 0x2C));
+    }
+    b.setGpr(RSI, keysBase);
+    b.setGpr(R11, lookups);
+    b.i("mov r64, imm64", {PB::gpr(R12), PB::imm(0)}); // checksum
+    auto outer = b.here();
+    b.i("mov r64, m64", {PB::gpr(RDX), PB::mem(RSI)}); // key
+    b.i("mov r64, imm64", {PB::gpr(RAX), PB::imm(0)}); // node
+    b.i("mov r64, imm64", {PB::gpr(RCX), PB::imm(16)}); // depth
+    auto walk = b.here();
+    // child = trie[node*2 + (key & 1)]
+    b.i("mov r64, r64", {PB::gpr(RBX), PB::gpr(RAX)});
+    b.i("shl r64, imm8", {PB::gpr(RBX), PB::imm(4)}); // node*16 bytes
+    b.i("mov r64, r64", {PB::gpr(R9), PB::gpr(RDX)});
+    b.i("and r64, imm32", {PB::gpr(R9), PB::imm(1)});
+    b.i("shl r64, imm8", {PB::gpr(R9), PB::imm(3)});
+    b.i("add r64, r64", {PB::gpr(RBX), PB::gpr(R9)});
+    b.i("add r64, imm32", {PB::gpr(RBX), PB::imm(
+        static_cast<std::int32_t>(trieBase))});
+    b.i("mov r64, m64", {PB::gpr(RAX), PB::mem(RBX)});
+    b.i("shr r64, imm8", {PB::gpr(RDX), PB::imm(1)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", walk);
+    b.i("add r64, r64", {PB::gpr(R12), PB::gpr(RAX)});
+    b.i("add r64, imm32", {PB::gpr(RSI), PB::imm(8)});
+    b.i("dec r64", {PB::gpr(R11)});
+    b.br("jne rel32", outer);
+    b.i("mov m64, r64", {PB::abs(kernelBase + 0x8000), PB::gpr(R12)});
+    return {"MiBench", "patricia", b.build()};
+}
+
+/** susan-like image thresholding: byte loads, compares, accumulate. */
+Workload
+susanKernel()
+{
+    constexpr int dim = 64;
+    auto b = makeKernelBuilder("mibench-susan");
+    b.initMem(kernelBase, randomBytes(dim * dim, 0x2D));
+    b.setGpr(RBX, kernelBase);
+    b.setGpr(RCX, dim * dim);
+    b.i("mov r64, imm64", {PB::gpr(R12), PB::imm(0)}); // bright count
+    b.i("mov r64, imm64", {PB::gpr(R11), PB::imm(0)}); // sum
+    auto loop = b.here();
+    b.i("mov r64, m8", {PB::gpr(RDX), PB::mem(RBX)});
+    b.i("add r64, r64", {PB::gpr(R11), PB::gpr(RDX)});
+    b.i("cmp r64, imm32", {PB::gpr(RDX), PB::imm(128)});
+    b.i("setae r64", {PB::gpr(R9)});
+    b.i("add r64, r64", {PB::gpr(R12), PB::gpr(R9)});
+    b.i("inc r64", {PB::gpr(RBX)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", loop);
+    b.i("mov m64, r64", {PB::abs(kernelBase + 0x4000), PB::gpr(R12)});
+    b.i("mov m64, r64", {PB::abs(kernelBase + 0x4008), PB::gpr(R11)});
+    return {"MiBench", "susan", b.build()};
+}
+
+/** rijndael-like rounds: table lookups, xors and rotations. */
+Workload
+rijndaelKernel()
+{
+    constexpr int blocks = 64;
+    constexpr int rounds = 10;
+    auto b = makeKernelBuilder("mibench-rijndael");
+    const std::uint64_t sboxBase = kernelBase + 0x2000; // 256 qwords
+    b.initMemQwords(kernelBase, randomQwords(blocks, 0x2E));
+    b.initMemQwords(sboxBase, randomQwords(256, 0x2F));
+    b.setGpr(RSI, kernelBase);
+    b.setGpr(R11, blocks);
+    auto blockLoop = b.here();
+    b.i("mov r64, m64", {PB::gpr(RAX), PB::mem(RSI)});
+    for (int round = 0; round < rounds; ++round) {
+        // idx = state & 0xFF; state = rol(state ^ sbox[idx], 9) + key
+        b.i("mov r64, r64", {PB::gpr(RBX), PB::gpr(RAX)});
+        b.i("and r64, imm32", {PB::gpr(RBX), PB::imm(0xFF)});
+        b.i("shl r64, imm8", {PB::gpr(RBX), PB::imm(3)});
+        b.i("add r64, imm32", {PB::gpr(RBX), PB::imm(
+            static_cast<std::int32_t>(sboxBase))});
+        b.i("xor r64, m64", {PB::gpr(RAX), PB::mem(RBX)});
+        b.i("rol r64, imm8", {PB::gpr(RAX), PB::imm(9)});
+        b.i("add r64, imm32", {PB::gpr(RAX), PB::imm(0x9E3779B9)});
+    }
+    b.i("mov m64, r64", {PB::mem(RSI), PB::gpr(RAX)});
+    b.i("add r64, imm32", {PB::gpr(RSI), PB::imm(8)});
+    b.i("dec r64", {PB::gpr(R11)});
+    b.br("jne rel32", blockLoop);
+    return {"MiBench", "rijndael", b.build()};
+}
+
+} // namespace
+
+std::vector<Workload>
+mibenchSuite()
+{
+    std::vector<Workload> suite;
+    suite.push_back(bitcountKernel());
+    suite.push_back(qsortKernel());
+    suite.push_back(dijkstraKernel());
+    suite.push_back(shaKernel());
+    suite.push_back(crcKernel());
+    suite.push_back(basicmathKernel());
+    suite.push_back(stringsearchKernel());
+    suite.push_back(fftKernel());
+    suite.push_back(adpcmKernel());
+    suite.push_back(patriciaKernel());
+    suite.push_back(susanKernel());
+    suite.push_back(rijndaelKernel());
+    return suite;
+}
+
+} // namespace harpo::baselines

@@ -1,0 +1,273 @@
+#include "baselines/silifuzz.hh"
+
+#include "common/rng.hh"
+#include "isa/emulator.hh"
+#include "isa/encoding.hh"
+#include "isa/isa_table.hh"
+#include "isa/registers.hh"
+
+namespace harpo::baselines
+{
+
+namespace
+{
+
+constexpr std::uint64_t kRegionBase = 0x100000;
+constexpr std::uint32_t kRegionSize = 32 * 1024;
+constexpr std::uint64_t kStackBase = 0x300000;
+constexpr std::uint32_t kStackSize = 64 * 1024;
+
+} // namespace
+
+isa::TestProgram
+SiliFuzz::wrapSequence(const std::vector<isa::Inst> &code,
+                       const std::string &name)
+{
+    isa::TestProgram p;
+    p.name = name;
+    p.code = code;
+    p.regions.push_back({kRegionBase, kRegionSize});
+    p.regions.push_back({kStackBase, kStackSize});
+    // Fixed, seed-independent environment so snapshot behaviour is a
+    // function of the code alone.
+    Rng init(0xC0DE);
+    for (int r = 0; r < 16; ++r)
+        p.initGpr[r] = kRegionBase + init.below(kRegionSize - 64);
+    p.initGpr[isa::RSI] = kRegionBase;
+    p.initGpr[isa::RDI] = kRegionBase + kRegionSize / 2;
+    p.initGpr[isa::RSP] = (kStackBase + kStackSize / 2) & ~0xFull;
+    for (int r = 0; r < 16; ++r)
+        p.initXmm[r] = {init.next(), init.next()};
+    std::vector<std::uint8_t> mem(kRegionSize);
+    for (auto &b : mem)
+        b = static_cast<std::uint8_t>(init.next());
+    p.memInit.push_back({kRegionBase, std::move(mem)});
+    p.coreBegin = 0;
+    p.coreEnd = p.code.size();
+    return p;
+}
+
+SiliFuzz::SiliFuzz(SiliFuzzConfig config)
+    : cfg(config), rngState(config.seed),
+      featureMap(1u << 22, false)
+{}
+
+bool
+SiliFuzz::validate(const std::vector<std::uint8_t> &bytes,
+                   std::vector<isa::Inst> &code_out,
+                   std::uint64_t &features_out)
+{
+    ++statistics.generated;
+
+    const isa::DecodeResult decoded =
+        isa::decodeProgram(bytes.data(), bytes.size());
+    if (!decoded.ok || decoded.code.empty()) {
+        ++statistics.decodeFailed;
+        return false;
+    }
+
+    isa::TestProgram program = wrapSequence(decoded.code, "snap");
+
+    std::uint64_t newFeatures = 0;
+    isa::Emulator emu;
+    emu.setCoverageHook([&](const isa::Inst &, const isa::InstrDesc &d,
+                            std::uint64_t flags, bool taken) {
+        const std::size_t feature =
+            ((static_cast<std::size_t>(d.id) << 8) |
+             ((flags & 0xC1u) << 1) | (taken ? 1u : 0u)) %
+            featureMap.size();
+        if (!featureMap[feature]) {
+            featureMap[feature] = true;
+            ++newFeatures;
+        }
+    });
+
+    isa::Emulator::Options opts;
+    opts.stepLimit = cfg.proxyStepLimit;
+    opts.nondetSeed = 1;
+    const isa::EmuResult first = emu.run(program, opts);
+    if (first.crashed()) {
+        ++statistics.crashed;
+        return false;
+    }
+
+    // Determinism filter: a second run with a different entropy seed
+    // must produce the identical signature.
+    isa::Emulator plain;
+    isa::Emulator::Options opts2;
+    opts2.stepLimit = cfg.proxyStepLimit;
+    opts2.nondetSeed = 2;
+    const isa::EmuResult second = plain.run(program, opts2);
+    if (second.crashed() || second.signature != first.signature) {
+        ++statistics.nonDeterministic;
+        return false;
+    }
+
+    code_out = decoded.code;
+    features_out = newFeatures;
+    return true;
+}
+
+void
+SiliFuzz::fuzz()
+{
+    Rng rng(rngState);
+
+    // Seed corpus: random byte blobs plus a handful of well-formed
+    // instruction encodings (the role existing corpora play when
+    // bootstrapping the real tool).
+    if (corpus.empty()) {
+        for (int i = 0; i < 32; ++i) {
+            std::vector<std::uint8_t> blob(8 + rng.below(
+                                               cfg.snapshotBytes - 8));
+            for (auto &b : blob)
+                b = static_cast<std::uint8_t>(rng.next());
+            corpus.push_back(std::move(blob));
+        }
+        for (int i = 0; i < 24; ++i) {
+            std::vector<isa::Inst> code;
+            const unsigned len = 2 + rng.below(6);
+            for (unsigned k = 0; k < len; ++k) {
+                const auto &desc = isa::isaTable().desc(
+                    static_cast<std::uint16_t>(
+                        rng.below(isa::isaTable().size())));
+                isa::Inst inst;
+                inst.descId = desc.id;
+                for (int o = 0; o < desc.numOperands; ++o) {
+                    const auto &spec = desc.operands[o];
+                    auto &op = inst.ops[o];
+                    op.kind = spec.kind;
+                    if (spec.kind == isa::OperandKind::Gpr ||
+                        spec.kind == isa::OperandKind::Xmm) {
+                        op.reg = static_cast<std::uint8_t>(
+                            rng.below(16));
+                    } else if (spec.kind == isa::OperandKind::Imm) {
+                        op.imm = static_cast<std::int64_t>(
+                            rng.next() & 0xFF);
+                    } else if (spec.kind == isa::OperandKind::Mem) {
+                        op.mem.base = isa::RSI;
+                        op.mem.disp = static_cast<std::int32_t>(
+                            rng.below(kRegionSize - 16));
+                    }
+                }
+                if (desc.isBranch) {
+                    inst.branchTarget =
+                        static_cast<std::int32_t>(k + 1);
+                    inst.ops[0].imm = 0;
+                }
+                code.push_back(inst);
+            }
+            corpus.push_back(isa::encodeProgram(code));
+        }
+    }
+
+    for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
+        // Pick a parent and mutate its raw bytes.
+        std::vector<std::uint8_t> bytes =
+            corpus[rng.below(corpus.size())];
+
+        const unsigned numMutations = 1 + rng.below(4);
+        for (unsigned m = 0; m < numMutations; ++m) {
+            switch (rng.below(4)) {
+              case 0: // byte overwrite
+                if (!bytes.empty())
+                    bytes[rng.below(bytes.size())] =
+                        static_cast<std::uint8_t>(rng.next());
+                break;
+              case 1: // bit flip
+                if (!bytes.empty())
+                    bytes[rng.below(bytes.size())] ^=
+                        static_cast<std::uint8_t>(1u << rng.below(8));
+                break;
+              case 2: // insert
+                if (bytes.size() < cfg.snapshotBytes)
+                    bytes.insert(bytes.begin() + rng.below(
+                                                     bytes.size() + 1),
+                                 static_cast<std::uint8_t>(rng.next()));
+                break;
+              default: // splice with another corpus entry
+                {
+                    const auto &other =
+                        corpus[rng.below(corpus.size())];
+                    if (!other.empty() && !bytes.empty()) {
+                        const std::size_t srcPos =
+                            rng.below(other.size());
+                        const std::size_t dstPos =
+                            rng.below(bytes.size());
+                        const std::size_t len = std::min(
+                            {other.size() - srcPos,
+                             bytes.size() - dstPos,
+                             static_cast<std::size_t>(1 +
+                                                      rng.below(16))});
+                        std::copy(other.begin() + srcPos,
+                                  other.begin() + srcPos + len,
+                                  bytes.begin() + dstPos);
+                    }
+                }
+                break;
+            }
+        }
+        if (bytes.size() > cfg.snapshotBytes)
+            bytes.resize(cfg.snapshotBytes);
+
+        std::vector<isa::Inst> code;
+        std::uint64_t newFeatures = 0;
+        if (!validate(bytes, code, newFeatures))
+            continue;
+
+        ++statistics.kept;
+        statistics.runnableInstructions += code.size();
+        keptSnapshots.push_back(code);
+        if (newFeatures > 0)
+            corpus.push_back(bytes); // coverage-guided corpus growth
+    }
+    rngState = rng.next();
+}
+
+std::vector<isa::TestProgram>
+SiliFuzz::makeTests(unsigned num_tests) const
+{
+    std::vector<isa::TestProgram> tests;
+    if (keptSnapshots.empty())
+        return tests;
+
+    Rng rng(cfg.seed ^ 0xA66);
+    for (unsigned t = 0; t < num_tests; ++t) {
+        std::vector<isa::Inst> aggregate;
+        // Grow the aggregate snapshot by snapshot, validating after
+        // each append: register state carried across snapshots can
+        // turn an individually-safe sequence into a crashing one.
+        unsigned attempts = 0;
+        while (aggregate.size() < cfg.aggregateInstructions &&
+               attempts < keptSnapshots.size() * 4) {
+            ++attempts;
+            const auto &snap =
+                keptSnapshots[rng.below(keptSnapshots.size())];
+            std::vector<isa::Inst> candidate = aggregate;
+            const std::int32_t offset =
+                static_cast<std::int32_t>(candidate.size());
+            for (isa::Inst inst : snap) {
+                if (inst.branchTarget >= 0)
+                    inst.branchTarget += offset;
+                candidate.push_back(inst);
+            }
+            isa::TestProgram probe = wrapSequence(
+                candidate, "silifuzz-" + std::to_string(t));
+            isa::Emulator::Options opts;
+            opts.stepLimit =
+                8 * cfg.aggregateInstructions + 4096;
+            opts.nondetSeed = 1;
+            const isa::EmuResult r = isa::Emulator().run(probe, opts);
+            if (r.crashed())
+                continue; // drop this snapshot, try another
+            aggregate = std::move(candidate);
+        }
+        if (!aggregate.empty()) {
+            tests.push_back(wrapSequence(
+                aggregate, "silifuzz-" + std::to_string(t)));
+        }
+    }
+    return tests;
+}
+
+} // namespace harpo::baselines

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * SiliFuzz-style baseline (paper III-A1): hardware-agnostic fuzzing of
+ * raw byte sequences over a *software proxy* (the functional
+ * emulator), guided by software coverage.
+ *
+ * Byte buffers are mutated with no notion of the encoding; sequences
+ * that fail to decode, crash the proxy, or behave non-deterministically
+ * are discarded (the paper reports ~2 of 3 discarded). Valid,
+ * deterministic snapshots are kept; inputs that reach new proxy
+ * coverage also join the mutation corpus. Snapshots are aggregated
+ * into test programs of a configured instruction count, mirroring the
+ * paper's aggregation of 100-byte snapshots into 10K-instruction
+ * tests.
+ */
+
+#ifndef HARPOCRATES_BASELINES_SILIFUZZ_HH
+#define HARPOCRATES_BASELINES_SILIFUZZ_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace harpo::baselines
+{
+
+/** Fuzzer configuration. */
+struct SiliFuzzConfig
+{
+    unsigned iterations = 20000;      ///< fuzzing iterations
+    unsigned snapshotBytes = 100;     ///< max snapshot binary size
+    unsigned aggregateInstructions = 2000; ///< per aggregated test
+    std::uint64_t seed = 1;
+    std::uint64_t proxyStepLimit = 4096;
+};
+
+/** Fuzzing statistics (for the paper's discard-fraction claims and
+ *  the section VI-A generation-rate comparison). */
+struct SiliFuzzStats
+{
+    std::uint64_t generated = 0;   ///< candidate sequences produced
+    std::uint64_t decodeFailed = 0;
+    std::uint64_t crashed = 0;
+    std::uint64_t nonDeterministic = 0;
+    std::uint64_t kept = 0;        ///< runnable deterministic snapshots
+    std::uint64_t runnableInstructions = 0;
+
+    double
+    discardFraction() const
+    {
+        return generated == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(kept) /
+                               static_cast<double>(generated);
+    }
+};
+
+/** The fuzzer. */
+class SiliFuzz
+{
+  public:
+    explicit SiliFuzz(SiliFuzzConfig config);
+
+    /** Run the configured number of fuzzing iterations. */
+    void fuzz();
+
+    const SiliFuzzStats &stats() const { return statistics; }
+
+    /** Kept snapshots, as decoded instruction sequences. */
+    const std::vector<std::vector<isa::Inst>> &
+    snapshots() const
+    {
+        return keptSnapshots;
+    }
+
+    /**
+     * Aggregate snapshots into @p num_tests runnable test programs of
+     * ~aggregateInstructions each. Each aggregate is validated on the
+     * proxy (crash-free, deterministic) as it grows.
+     */
+    std::vector<isa::TestProgram> makeTests(unsigned num_tests) const;
+
+    /** The shared execution environment (regions, initial registers)
+     *  all snapshots run under. */
+    static isa::TestProgram
+    wrapSequence(const std::vector<isa::Inst> &code,
+                 const std::string &name);
+
+  private:
+    /** Decode + proxy-validate one byte buffer; updates statistics;
+     *  returns true and the decoded code when the snapshot is kept. */
+    bool validate(const std::vector<std::uint8_t> &bytes,
+                  std::vector<isa::Inst> &code_out,
+                  std::uint64_t &features_out);
+
+    SiliFuzzConfig cfg;
+    SiliFuzzStats statistics;
+    std::vector<std::vector<std::uint8_t>> corpus;
+    std::vector<std::vector<isa::Inst>> keptSnapshots;
+    std::vector<std::uint64_t> snapshotSeeds;
+    std::uint64_t rngState = 0;
+    std::vector<bool> featureMap;
+};
+
+} // namespace harpo::baselines
+
+#endif // HARPOCRATES_BASELINES_SILIFUZZ_HH

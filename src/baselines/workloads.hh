@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Baseline workload suites (paper III-A/III-C):
+ *  - dcdiagSuite(): OpenDCDiag-style datacenter diagnostics —
+ *    algorithmic, data-corruption-sensitive kernels, several of them
+ *    FP-heavy (matrix multiply, rotation sweeps);
+ *  - mibenchSuite(): twelve MiBench-style general-purpose embedded
+ *    kernels, mostly integer-dominated.
+ *
+ * Every workload is a self-contained HX86 TestProgram, hand-written
+ * with the ProgramBuilder DSL, with bounded runtimes suitable for
+ * repeated fault-injection campaigns.
+ */
+
+#ifndef HARPOCRATES_BASELINES_WORKLOADS_HH
+#define HARPOCRATES_BASELINES_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace harpo::baselines
+{
+
+/** One named baseline workload. */
+struct Workload
+{
+    std::string suite;
+    std::string name;
+    isa::TestProgram program;
+};
+
+/** The OpenDCDiag-like diagnostic suite (6 tests). */
+std::vector<Workload> dcdiagSuite();
+
+/** The MiBench-like general-purpose suite (12 programs). */
+std::vector<Workload> mibenchSuite();
+
+} // namespace harpo::baselines
+
+#endif // HARPOCRATES_BASELINES_WORKLOADS_HH

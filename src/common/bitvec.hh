@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Dynamic bit vector used by the gate-level netlist evaluator and by the
+ * coverage analysers for per-bit bookkeeping.
+ */
+
+#ifndef HARPOCRATES_COMMON_BITVEC_HH
+#define HARPOCRATES_COMMON_BITVEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace harpo
+{
+
+/** A resizable vector of bits with word-level storage. */
+class BitVec
+{
+  public:
+    BitVec() = default;
+
+    /** Construct with @p n bits, all cleared. */
+    explicit BitVec(std::size_t n) : numBits(n), words((n + 63) / 64, 0) {}
+
+    std::size_t size() const { return numBits; }
+
+    bool
+    get(std::size_t i) const
+    {
+        return (words[i >> 6] >> (i & 63)) & 1;
+    }
+
+    void
+    set(std::size_t i, bool v)
+    {
+        const std::uint64_t mask = 1ull << (i & 63);
+        if (v)
+            words[i >> 6] |= mask;
+        else
+            words[i >> 6] &= ~mask;
+    }
+
+    void
+    flip(std::size_t i)
+    {
+        words[i >> 6] ^= 1ull << (i & 63);
+    }
+
+    /** Set all bits to zero. */
+    void
+    clear()
+    {
+        for (auto &w : words)
+            w = 0;
+    }
+
+    /** Number of set bits. */
+    std::size_t
+    popcount() const
+    {
+        std::size_t n = 0;
+        for (auto w : words)
+            n += static_cast<std::size_t>(__builtin_popcountll(w));
+        return n;
+    }
+
+    /** Load the low @p n (<=64) bits starting at bit @p pos as a word. */
+    std::uint64_t
+    extract(std::size_t pos, unsigned n) const
+    {
+        panicIf(n > 64, "BitVec::extract width > 64");
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < n; ++i)
+            v |= static_cast<std::uint64_t>(get(pos + i)) << i;
+        return v;
+    }
+
+    /** Store the low @p n (<=64) bits of @p v starting at bit @p pos. */
+    void
+    deposit(std::size_t pos, unsigned n, std::uint64_t v)
+    {
+        panicIf(n > 64, "BitVec::deposit width > 64");
+        for (unsigned i = 0; i < n; ++i)
+            set(pos + i, (v >> i) & 1);
+    }
+
+  private:
+    std::size_t numBits = 0;
+    std::vector<std::uint64_t> words;
+};
+
+} // namespace harpo
+
+#endif // HARPOCRATES_COMMON_BITVEC_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small non-cryptographic hashing utilities used for run signatures.
+ */
+
+#ifndef HARPOCRATES_COMMON_HASH_HH
+#define HARPOCRATES_COMMON_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace harpo
+{
+
+/**
+ * Incremental FNV-1a 64-bit hasher.
+ *
+ * Used to compute architectural output signatures (registers + memory)
+ * whose divergence between a golden and a faulty run signals an SDC.
+ */
+class Fnv1a
+{
+  public:
+    static constexpr std::uint64_t offsetBasis = 0xCBF29CE484222325ull;
+    static constexpr std::uint64_t prime = 0x100000001B3ull;
+
+    /** Mix a single byte. */
+    void
+    addByte(std::uint8_t b)
+    {
+        _value ^= b;
+        _value *= prime;
+    }
+
+    /** Mix a 64-bit word, little-endian byte order. */
+    void
+    addWord(std::uint64_t w)
+    {
+        for (int i = 0; i < 8; ++i)
+            addByte(static_cast<std::uint8_t>(w >> (8 * i)));
+    }
+
+    /** Mix a raw byte range. */
+    void
+    addBytes(const std::uint8_t *data, std::size_t len)
+    {
+        for (std::size_t i = 0; i < len; ++i)
+            addByte(data[i]);
+    }
+
+    std::uint64_t value() const { return _value; }
+
+  private:
+    std::uint64_t _value = offsetBasis;
+};
+
+} // namespace harpo
+
+#endif // HARPOCRATES_COMMON_HASH_HH

@@ -1,0 +1,38 @@
+#include "common/logging.hh"
+
+namespace harpo
+{
+
+void
+logMessage(const char *severity, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", severity, msg.c_str());
+}
+
+void
+panic(const std::string &msg)
+{
+    logMessage("panic", msg);
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    logMessage("fatal", msg);
+    std::exit(1);
+}
+
+void
+warn(const std::string &msg)
+{
+    logMessage("warn", msg);
+}
+
+void
+inform(const std::string &msg)
+{
+    logMessage("info", msg);
+}
+
+} // namespace harpo

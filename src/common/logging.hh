@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Logging and error-reporting helpers (gem5-flavoured panic/fatal/warn).
+ *
+ * panic() is for internal invariant violations (bugs in this library);
+ * fatal() is for unrecoverable user/configuration errors; warn() and
+ * inform() emit diagnostics without stopping the run.
+ */
+
+#ifndef HARPOCRATES_COMMON_LOGGING_HH
+#define HARPOCRATES_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace harpo
+{
+
+/** Print a formatted message to stderr with a severity prefix. */
+void logMessage(const char *severity, const std::string &msg);
+
+/** Abort with a message: an internal invariant was violated. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Exit with an error code: the user asked for something impossible. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Emit a non-fatal warning. */
+void warn(const std::string &msg);
+
+/** Emit an informational message. */
+void inform(const std::string &msg);
+
+/** Panic unless the condition holds. */
+inline void
+panicIf(bool condition, const std::string &msg)
+{
+    if (condition)
+        panic(msg);
+}
+
+} // namespace harpo
+
+#endif // HARPOCRATES_COMMON_LOGGING_HH

@@ -1,0 +1,95 @@
+#include "common/rng.hh"
+
+#include "common/logging.hh"
+
+namespace harpo
+{
+
+namespace
+{
+
+/** SplitMix64 step, used only to expand the seed into the state. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : state)
+        word = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    panicIf(bound == 0, "Rng::below called with bound 0");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    panicIf(lo > hi, "Rng::range called with lo > hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next());
+    return lo + static_cast<std::int64_t>(below(span));
+}
+
+double
+Rng::uniform()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xD1B54A32D192ED03ull);
+}
+
+} // namespace harpo

@@ -1,0 +1,296 @@
+#include "common/softfloat.hh"
+
+#include <cstring>
+#include <utility>
+
+namespace harpo
+{
+
+namespace
+{
+
+constexpr std::uint64_t kSignMask = 0x8000000000000000ull;
+constexpr std::uint64_t kFracMask = 0x000FFFFFFFFFFFFFull;
+constexpr int kExpMax = 0x7FF;
+
+struct Unpacked
+{
+    bool sign;
+    int exp;             // biased exponent
+    std::uint64_t frac;  // 52-bit fraction field
+    bool isNan;
+    bool isInf;
+    bool isZero;         // true zero or subnormal (DAZ)
+};
+
+Unpacked
+unpack(std::uint64_t bits)
+{
+    Unpacked u;
+    u.sign = (bits & kSignMask) != 0;
+    u.exp = static_cast<int>((bits >> 52) & 0x7FF);
+    u.frac = bits & kFracMask;
+    u.isNan = (u.exp == kExpMax) && u.frac != 0;
+    u.isInf = (u.exp == kExpMax) && u.frac == 0;
+    u.isZero = (u.exp == 0); // subnormals are treated as zero (DAZ)
+    return u;
+}
+
+std::uint64_t
+pack(bool sign, int exp, std::uint64_t frac)
+{
+    return (sign ? kSignMask : 0) |
+           (static_cast<std::uint64_t>(exp) << 52) | (frac & kFracMask);
+}
+
+std::uint64_t
+infinity(bool sign)
+{
+    return pack(sign, kExpMax, 0);
+}
+
+std::uint64_t
+zero(bool sign)
+{
+    return pack(sign, 0, 0);
+}
+
+/**
+ * Round a 56-bit working significand (mantissa in bits [55..3], guard /
+ * round / sticky in bits [2..0]) to nearest-even and repack, applying
+ * overflow-to-infinity and flush-to-zero.
+ */
+std::uint64_t
+roundPack(bool sign, int exp, std::uint64_t sig56)
+{
+    const std::uint64_t lsb = (sig56 >> 3) & 1;
+    const std::uint64_t guard = (sig56 >> 2) & 1;
+    const bool roundOrSticky = (sig56 & 3) != 0;
+    std::uint64_t mant = sig56 >> 3;
+    if (guard && (roundOrSticky || lsb))
+        ++mant;
+    if (mant >> 53) { // rounding carried out of the top
+        mant >>= 1;
+        ++exp;
+    }
+    if (exp >= kExpMax)
+        return infinity(sign);
+    if (exp <= 0 || mant == 0) // FTZ: subnormal results flush to zero
+        return zero(sign);
+    return pack(sign, exp, mant & kFracMask);
+}
+
+/** Shift right by @p dist, OR-ing any shifted-out bits into bit 0. */
+std::uint64_t
+shiftRightJam(std::uint64_t v, int dist)
+{
+    if (dist >= 64)
+        return v != 0 ? 1 : 0;
+    if (dist == 0)
+        return v;
+    const std::uint64_t out = v & ((1ull << dist) - 1);
+    return (v >> dist) | (out != 0 ? 1 : 0);
+}
+
+double
+bitsToDouble(std::uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+std::uint64_t
+doubleToBits(double d)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+}
+
+/** Apply DAZ: replace a subnormal encoding with a same-signed zero. */
+std::uint64_t
+dazBits(std::uint64_t bits)
+{
+    if (((bits >> 52) & 0x7FF) == 0)
+        return bits & kSignMask;
+    return bits;
+}
+
+} // namespace
+
+std::uint64_t
+softAdd64(std::uint64_t a, std::uint64_t b)
+{
+    const Unpacked ua = unpack(a);
+    const Unpacked ub = unpack(b);
+
+    if (ua.isNan || ub.isNan)
+        return kCanonicalNan;
+    if (ua.isInf && ub.isInf)
+        return ua.sign == ub.sign ? infinity(ua.sign) : kCanonicalNan;
+    if (ua.isInf)
+        return infinity(ua.sign);
+    if (ub.isInf)
+        return infinity(ub.sign);
+    if (ua.isZero && ub.isZero) {
+        // +0 when the signs disagree (RNE convention).
+        return zero(ua.sign && ub.sign);
+    }
+    if (ua.isZero)
+        return dazBits(b);
+    if (ub.isZero)
+        return dazBits(a);
+
+    // Both operands normal. 56-bit working significands: implicit one,
+    // 52 fraction bits, then 3 guard/round/sticky bits.
+    std::uint64_t sigA = ((1ull << 52) | ua.frac) << 3;
+    std::uint64_t sigB = ((1ull << 52) | ub.frac) << 3;
+    int expA = ua.exp;
+    int expB = ub.exp;
+    bool signA = ua.sign;
+    bool signB = ub.sign;
+
+    // Order so that |a| >= |b|.
+    if (expA < expB || (expA == expB && sigA < sigB)) {
+        std::swap(sigA, sigB);
+        std::swap(expA, expB);
+        std::swap(signA, signB);
+    }
+    sigB = shiftRightJam(sigB, expA - expB);
+
+    bool sign = signA;
+    int exp = expA;
+    std::uint64_t sum;
+    if (signA == signB) {
+        sum = sigA + sigB;
+        if (sum >> 56) { // carry out: renormalise right by one
+            sum = shiftRightJam(sum, 1);
+            ++exp;
+        }
+    } else {
+        sum = sigA - sigB;
+        if (sum == 0)
+            return zero(false); // exact cancellation yields +0 under RNE
+        while ((sum >> 55) == 0) {
+            sum <<= 1;
+            --exp;
+            if (exp <= 0)
+                return zero(sign); // FTZ
+        }
+    }
+    return roundPack(sign, exp, sum);
+}
+
+std::uint64_t
+softSub64(std::uint64_t a, std::uint64_t b)
+{
+    return softAdd64(a, b ^ kSignMask);
+}
+
+std::uint64_t
+softMul64(std::uint64_t a, std::uint64_t b)
+{
+    const Unpacked ua = unpack(a);
+    const Unpacked ub = unpack(b);
+    const bool sign = ua.sign != ub.sign;
+
+    if (ua.isNan || ub.isNan)
+        return kCanonicalNan;
+    if (ua.isInf || ub.isInf) {
+        if (ua.isZero || ub.isZero)
+            return kCanonicalNan; // 0 * Inf
+        return infinity(sign);
+    }
+    if (ua.isZero || ub.isZero)
+        return zero(sign);
+
+    const std::uint64_t sigA = (1ull << 52) | ua.frac;
+    const std::uint64_t sigB = (1ull << 52) | ub.frac;
+    int exp = ua.exp + ub.exp - 1023;
+
+    // 53x53 -> up to 106-bit product; align the leading one to bit 55 of
+    // a 56-bit working significand, jamming shifted-out bits into bit 0.
+    unsigned __int128 prod =
+        static_cast<unsigned __int128>(sigA) * sigB;
+    int shift;
+    if ((prod >> 105) & 1) {
+        shift = 50;
+        ++exp;
+    } else {
+        shift = 49;
+    }
+    std::uint64_t sig56 = static_cast<std::uint64_t>(prod >> shift);
+    const unsigned __int128 dropped =
+        prod & ((static_cast<unsigned __int128>(1) << shift) - 1);
+    if (dropped != 0)
+        sig56 |= 1;
+
+    if (exp <= 0)
+        return zero(sign); // FTZ
+    return roundPack(sign, exp, sig56);
+}
+
+std::uint64_t
+softDiv64(std::uint64_t a, std::uint64_t b)
+{
+    const Unpacked ua = unpack(a);
+    const Unpacked ub = unpack(b);
+    const bool sign = ua.sign != ub.sign;
+
+    if (ua.isNan || ub.isNan)
+        return kCanonicalNan;
+    if (ua.isInf)
+        return ub.isInf ? kCanonicalNan : infinity(sign);
+    if (ub.isInf)
+        return zero(sign);
+    if (ub.isZero)
+        return ua.isZero ? kCanonicalNan : infinity(sign);
+    if (ua.isZero)
+        return zero(sign);
+
+    // Host IEEE division of two normals is exact-RNE; flush a subnormal
+    // quotient to zero to stay within the FTZ model.
+    const double q = bitsToDouble(dazBits(a)) / bitsToDouble(dazBits(b));
+    return dazBits(doubleToBits(q));
+}
+
+std::uint64_t
+softFromInt64(std::int64_t v)
+{
+    return doubleToBits(static_cast<double>(v));
+}
+
+std::int64_t
+softToInt64Trunc(std::uint64_t a)
+{
+    const Unpacked ua = unpack(a);
+    const std::int64_t indefinite =
+        static_cast<std::int64_t>(0x8000000000000000ull);
+    if (ua.isNan || ua.isInf)
+        return indefinite;
+    if (ua.isZero)
+        return 0;
+    const double d = bitsToDouble(a);
+    if (d >= 9223372036854775808.0 || d < -9223372036854775808.0)
+        return indefinite;
+    return static_cast<std::int64_t>(d);
+}
+
+int
+softCompare64(std::uint64_t a, std::uint64_t b)
+{
+    const Unpacked ua = unpack(a);
+    const Unpacked ub = unpack(b);
+    if (ua.isNan || ub.isNan)
+        return 2;
+    const double da = bitsToDouble(dazBits(a));
+    const double db = bitsToDouble(dazBits(b));
+    if (da < db)
+        return -1;
+    if (da > db)
+        return 1;
+    return 0;
+}
+
+} // namespace harpo

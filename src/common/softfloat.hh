@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Bit-exact software model of the HX86 SSE double-precision adder and
+ * multiplier datapaths.
+ *
+ * This is the single source of truth for FP arithmetic in the library:
+ * the ISA functional semantics call these routines, and the gate-level
+ * circuits in src/gates implement exactly the same algorithm, so the two
+ * can be cross-checked bit-for-bit.
+ *
+ * The modelled datapath follows common hardware simplifications:
+ *  - round-to-nearest-even only;
+ *  - subnormal inputs are treated as zero and subnormal results are
+ *    flushed to zero (FTZ/DAZ, the mode SSE code typically runs in);
+ *  - any NaN input (and invalid operations such as Inf - Inf or 0 * Inf)
+ *    produces the canonical quiet NaN 0x7FF8000000000000.
+ *
+ * For normal-range operands the results are identical to host IEEE-754
+ * arithmetic, which keeps the baseline numeric kernels meaningful.
+ */
+
+#ifndef HARPOCRATES_COMMON_SOFTFLOAT_HH
+#define HARPOCRATES_COMMON_SOFTFLOAT_HH
+
+#include <cstdint>
+
+namespace harpo
+{
+
+/** Canonical quiet NaN produced by the modelled datapath. */
+constexpr std::uint64_t kCanonicalNan = 0x7FF8000000000000ull;
+
+/** fp64 addition (a + b) under the FTZ/RNE datapath model. */
+std::uint64_t softAdd64(std::uint64_t a, std::uint64_t b);
+
+/** fp64 subtraction (a - b): addition with b's sign flipped. */
+std::uint64_t softSub64(std::uint64_t a, std::uint64_t b);
+
+/** fp64 multiplication (a * b) under the FTZ/RNE datapath model. */
+std::uint64_t softMul64(std::uint64_t a, std::uint64_t b);
+
+/** fp64 division (a / b); functional model only (no gate netlist). */
+std::uint64_t softDiv64(std::uint64_t a, std::uint64_t b);
+
+/** Convert a signed 64-bit integer to fp64 (RNE). */
+std::uint64_t softFromInt64(std::int64_t v);
+
+/** Convert fp64 to a signed 64-bit integer with truncation.
+ *  Out-of-range / NaN inputs produce the x86 "integer indefinite"
+ *  value 0x8000000000000000. */
+std::int64_t softToInt64Trunc(std::uint64_t a);
+
+/** Three-way compare: -1 if a < b, 0 if equal, +1 if a > b,
+ *  +2 if unordered (NaN involved). Zeros compare equal regardless of
+ *  sign; subnormals are compared as zero. */
+int softCompare64(std::uint64_t a, std::uint64_t b);
+
+} // namespace harpo
+
+#endif // HARPOCRATES_COMMON_SOFTFLOAT_HH

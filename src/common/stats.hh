@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Summary-statistics helpers used by the benchmark harnesses when
+ * reporting per-framework maxima / averages (Figs. 4-6, 11).
+ */
+
+#ifndef HARPOCRATES_COMMON_STATS_HH
+#define HARPOCRATES_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace harpo
+{
+
+/** Accumulates samples and exposes count/mean/min/max/stddev. */
+class Summary
+{
+  public:
+    void
+    add(double x)
+    {
+        samples.push_back(x);
+    }
+
+    std::size_t count() const { return samples.size(); }
+
+    double
+    mean() const
+    {
+        if (samples.empty())
+            return 0.0;
+        double s = 0.0;
+        for (double x : samples)
+            s += x;
+        return s / static_cast<double>(samples.size());
+    }
+
+    double
+    min() const
+    {
+        return samples.empty()
+            ? 0.0 : *std::min_element(samples.begin(), samples.end());
+    }
+
+    double
+    max() const
+    {
+        return samples.empty()
+            ? 0.0 : *std::max_element(samples.begin(), samples.end());
+    }
+
+    double
+    stddev() const
+    {
+        if (samples.size() < 2)
+            return 0.0;
+        const double m = mean();
+        double acc = 0.0;
+        for (double x : samples)
+            acc += (x - m) * (x - m);
+        return std::sqrt(acc / static_cast<double>(samples.size() - 1));
+    }
+
+    const std::vector<double> &values() const { return samples; }
+
+  private:
+    std::vector<double> samples;
+};
+
+} // namespace harpo
+
+#endif // HARPOCRATES_COMMON_STATS_HH

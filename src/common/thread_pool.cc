@@ -1,0 +1,108 @@
+#include "common/thread_pool.hh"
+
+namespace harpo
+{
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::thread::hardware_concurrency();
+        if (num_threads == 0)
+            num_threads = 4;
+    }
+    workers.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard lock(mutex);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex);
+            cv.wait(lock, [this] { return stopping || !tasks.empty(); });
+            if (stopping && tasks.empty())
+                return;
+            task = std::move(tasks.front());
+            tasks.pop();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+
+    // State is shared (not stack-referenced) because queued runner
+    // tasks can be dequeued after this call has already returned.
+    struct SharedState
+    {
+        std::atomic<std::size_t> nextIndex{0};
+        std::atomic<std::size_t> done{0};
+        std::mutex doneMutex;
+        std::condition_variable doneCv;
+        std::function<void(std::size_t)> body;
+        std::size_t count;
+    };
+    auto state = std::make_shared<SharedState>();
+    state->body = body;
+    state->count = count;
+
+    // Each task drains indices from a shared counter, so uneven
+    // per-iteration costs (e.g. crashing vs full-length faulty runs)
+    // balance automatically.
+    const std::size_t numTasks = std::min(count, workers.size());
+    auto runner = [state] {
+        for (;;) {
+            const std::size_t i = state->nextIndex.fetch_add(1);
+            if (i >= state->count)
+                break;
+            state->body(i);
+            if (state->done.fetch_add(1) + 1 == state->count) {
+                std::lock_guard lock(state->doneMutex);
+                state->doneCv.notify_all();
+            }
+        }
+    };
+
+    {
+        std::lock_guard lock(mutex);
+        for (std::size_t t = 0; t < numTasks; ++t)
+            tasks.push(runner);
+    }
+    cv.notify_all();
+
+    // The caller participates too: this keeps nested parallelFor calls
+    // deadlock-free even when every worker is already busy.
+    runner();
+
+    std::unique_lock lock(state->doneMutex);
+    state->doneCv.wait(lock,
+                       [&] { return state->done.load() >= count; });
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace harpo

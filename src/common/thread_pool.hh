@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A small fixed-size thread pool used to parallelise fault-injection
+ * campaigns and per-generation program evaluation, mirroring the paper's
+ * use of all hardware threads of the host.
+ */
+
+#ifndef HARPOCRATES_COMMON_THREAD_POOL_HH
+#define HARPOCRATES_COMMON_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace harpo
+{
+
+/** Fixed-size worker pool with a parallel-for convenience entry point. */
+class ThreadPool
+{
+  public:
+    /** Create @p num_threads workers (0 means hardware concurrency). */
+    explicit ThreadPool(std::size_t num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t numThreads() const { return workers.size(); }
+
+    /**
+     * Run @p body(i) for every i in [0, count) across the pool and block
+     * until all iterations complete. @p body must be thread-safe across
+     * distinct indices.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body);
+
+    /** Process-wide shared pool (lazily constructed). */
+    static ThreadPool &global();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::queue<std::function<void()>> tasks;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool stopping = false;
+};
+
+} // namespace harpo
+
+#endif // HARPOCRATES_COMMON_THREAD_POOL_HH

@@ -1,0 +1,271 @@
+#include "core/harpocrates.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "faultsim/campaign.hh"
+#include "isa/emulator.hh"
+#include "isa/encoding.hh"
+
+namespace harpo::core
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Software (proxy) coverage: distinct (variant, flag-pattern, taken)
+ *  features observed while emulating — the hardware-blind signal. */
+double
+proxyCoverage(const isa::TestProgram &program)
+{
+    std::unordered_set<std::uint64_t> features;
+    isa::Emulator emu;
+    emu.setCoverageHook([&](const isa::Inst &inst,
+                            const isa::InstrDesc &desc,
+                            std::uint64_t flags, bool taken) {
+        (void)inst;
+        const std::uint64_t feature =
+            (static_cast<std::uint64_t>(desc.id) << 8) |
+            ((flags & 0xC1) << 1) | (taken ? 1 : 0);
+        features.insert(feature);
+    });
+    isa::Emulator::Options opts;
+    opts.stepLimit = 4 * program.code.size() + 1000;
+    const isa::EmuResult r = emu.run(program, opts);
+    if (r.crashed())
+        return 0.0;
+    return static_cast<double>(features.size()) / 4096.0;
+}
+
+} // namespace
+
+Harpocrates::Harpocrates(LoopConfig config) : cfg(std::move(config))
+{
+    panicIf(cfg.topK == 0 || cfg.topK > cfg.population,
+            "Harpocrates: invalid topK");
+}
+
+double
+Harpocrates::fitnessOf(const isa::TestProgram &program) const
+{
+    switch (cfg.fitness) {
+      case FitnessKind::HardwareCoverage:
+        return coverage::measureCoverage(program, cfg.target, cfg.core)
+            .coverage;
+      case FitnessKind::ProxySoftwareCoverage:
+        return proxyCoverage(program);
+      case FitnessKind::RandomSearch:
+        return 0.0; // replaced by a random draw in run()
+      case FitnessKind::Custom:
+        panicIf(!cfg.customFitness,
+                "FitnessKind::Custom requires customFitness");
+        return cfg.customFitness(program);
+    }
+    return 0.0;
+}
+
+LoopResult
+Harpocrates::run()
+{
+    museqgen::MuSeqGen gen(cfg.gen);
+    Rng rng(cfg.seed);
+    LoopResult result;
+
+    // Step 0: bootstrap the initial random population.
+    std::vector<museqgen::Genome> population;
+    {
+        const auto start = std::chrono::steady_clock::now();
+        for (unsigned i = 0; i < cfg.population; ++i)
+            population.push_back(gen.randomGenome(rng));
+        result.timing.mutationSec += secondsSince(start);
+    }
+
+    std::vector<isa::TestProgram> programs(cfg.population);
+    std::vector<double> fitness(cfg.population, 0.0);
+
+    for (unsigned generation = 0; generation < cfg.generations;
+         ++generation) {
+        // Step 0/3 output -> programs: synthesis ("generation").
+        {
+            const auto start = std::chrono::steady_clock::now();
+            for (unsigned i = 0; i < cfg.population; ++i) {
+                programs[i] = gen.synthesize(
+                    population[i],
+                    cfg.gen.namePrefix + "-g" +
+                        std::to_string(generation) + "-p" +
+                        std::to_string(i));
+            }
+            result.timing.generationSec += secondsSince(start);
+        }
+
+        // "Compilation": lower to the binary encoding.
+        {
+            const auto start = std::chrono::steady_clock::now();
+            for (unsigned i = 0; i < cfg.population; ++i) {
+                const auto bytes = isa::encodeProgram(programs[i].code);
+                result.instructionsGenerated += programs[i].code.size();
+                (void)bytes;
+            }
+            result.timing.compilationSec += secondsSince(start);
+        }
+
+        // Step 1: evaluation (fitness scoring), in parallel.
+        {
+            const auto start = std::chrono::steady_clock::now();
+            if (cfg.fitness == FitnessKind::RandomSearch) {
+                for (unsigned i = 0; i < cfg.population; ++i)
+                    fitness[i] = rng.uniform();
+            } else if (cfg.parallelEval) {
+                ThreadPool::global().parallelFor(
+                    cfg.population, [&](std::size_t i) {
+                        fitness[i] = fitnessOf(programs[i]);
+                    });
+            } else {
+                for (unsigned i = 0; i < cfg.population; ++i)
+                    fitness[i] = fitnessOf(programs[i]);
+            }
+            result.timing.evaluationSec += secondsSince(start);
+            result.programsEvaluated += cfg.population;
+        }
+
+        // Step 2: selection — rank and keep the top-K.
+        std::vector<unsigned> order(cfg.population);
+        for (unsigned i = 0; i < cfg.population; ++i)
+            order[i] = i;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](unsigned a, unsigned b) {
+                             return fitness[a] > fitness[b];
+                         });
+
+        GenerationStats stats;
+        stats.generation = generation;
+        stats.bestCoverage = fitness[order[0]];
+        double meanTop = 0.0;
+        for (unsigned k = 0; k < cfg.topK; ++k)
+            meanTop += fitness[order[k]];
+        stats.meanTopK = meanTop / cfg.topK;
+
+        if (stats.bestCoverage >= result.bestCoverage) {
+            result.bestCoverage = stats.bestCoverage;
+            result.bestGenome = population[order[0]];
+        }
+
+        if (cfg.detectionEvery != 0 &&
+            (generation % cfg.detectionEvery == 0 ||
+             generation + 1 == cfg.generations)) {
+            faultsim::CampaignConfig camp =
+                faultsim::CampaignConfig::forTarget(cfg.target);
+            camp.numInjections = cfg.detectionInjections;
+            camp.core = cfg.core;
+            camp.seed = cfg.seed ^ 0xFA157;
+            stats.detection =
+                faultsim::FaultCampaign::run(programs[order[0]], camp)
+                    .detection();
+        }
+
+        result.history.push_back(stats);
+        if (onGeneration)
+            onGeneration(stats);
+
+        // Step 3: mutation — elitist top-K plus mutated offspring.
+        {
+            const auto start = std::chrono::steady_clock::now();
+            std::vector<museqgen::Genome> next;
+            next.reserve(cfg.population);
+            for (unsigned k = 0; k < cfg.topK; ++k)
+                next.push_back(population[order[k]]);
+            unsigned parent = 0;
+            while (next.size() < cfg.population) {
+                const museqgen::Genome &p =
+                    population[order[parent % cfg.topK]];
+                if (cfg.useCrossover && cfg.topK > 1 &&
+                    rng.chance(0.3)) {
+                    const museqgen::Genome &q =
+                        population[order[rng.below(cfg.topK)]];
+                    next.push_back(gen.crossover(p, q, 2, rng));
+                } else {
+                    next.push_back(gen.mutate(p, rng));
+                }
+                ++parent;
+            }
+            population = std::move(next);
+            result.timing.mutationSec += secondsSince(start);
+        }
+    }
+
+    result.bestProgram =
+        gen.synthesize(result.bestGenome, cfg.gen.namePrefix + "-best");
+    return result;
+}
+
+LoopConfig
+presetFor(coverage::TargetStructure target, double scale)
+{
+    using coverage::TargetStructure;
+    LoopConfig cfg;
+    cfg.target = target;
+
+    auto scaled = [scale](double v) {
+        return std::max(1u, static_cast<unsigned>(v * scale));
+    };
+
+    switch (target) {
+      case TargetStructure::IntRegFile:
+        // Paper: 10K-instruction programs, population 96, top 16,
+        // converged by ~5000 iterations.
+        cfg.gen.numInstructions = scaled(2000);
+        cfg.population = 24;
+        cfg.topK = 6;
+        cfg.generations = scaled(150);
+        cfg.gen.memory.stride = 64;
+        // A region larger than the L1D produces misses that back the
+        // window up, parking live values in the PRF for longer.
+        cfg.gen.memory.regionSize = 128 * 1024;
+        break;
+      case TargetStructure::L1DCache:
+        // Paper: 30K instructions, stride 8 over a 32KB region (the
+        // exact L1D capacity), converged by ~2000 iterations.
+        cfg.gen.numInstructions = scaled(6000);
+        cfg.population = 16;
+        cfg.topK = 4;
+        cfg.generations = scaled(80);
+        cfg.gen.memory.stride = 16;
+        cfg.gen.memory.regionSize = cfg.core.l1d.size;
+        break;
+      case TargetStructure::IntAdder:
+      case TargetStructure::IntMultiplier:
+        // Paper: 5K instructions, population 32, top 8, ~1000 loops.
+        cfg.gen.numInstructions = scaled(500);
+        cfg.population = 24;
+        cfg.topK = 6;
+        cfg.generations = scaled(250);
+        break;
+      case TargetStructure::FpAdder:
+      case TargetStructure::FpMultiplier:
+        // Paper: like the integer units; ~5000 loops to converge but
+        // detection peaks within a few hundred.
+        cfg.gen.numInstructions = scaled(500);
+        cfg.population = 24;
+        cfg.topK = 6;
+        cfg.generations = scaled(250);
+        break;
+    }
+    cfg.gen.namePrefix =
+        std::string("harpo-") + coverage::structureName(target);
+    return cfg;
+}
+
+} // namespace harpo::core

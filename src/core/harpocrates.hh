@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The Harpocrates feedback loop (paper section IV): Generator,
+ * Mutator and Evaluator composed into an iterative refinement of
+ * functional test programs.
+ *
+ * Each generation: synthesize the population's genomes into programs
+ * ("generation"), encode them to binaries ("compilation" — the role
+ * the C compiler plays in the paper's flow), grade each program's
+ * hardware coverage on the core model ("evaluation", in parallel),
+ * select the top-K, and mutate them into the next population. The
+ * per-phase wall-clock breakdown reproduces Table I.
+ */
+
+#ifndef HARPOCRATES_CORE_HARPOCRATES_HH
+#define HARPOCRATES_CORE_HARPOCRATES_HH
+
+#include <functional>
+#include <vector>
+
+#include "coverage/measure.hh"
+#include "isa/program.hh"
+#include "museqgen/museqgen.hh"
+#include "uarch/core_config.hh"
+
+namespace harpo::core
+{
+
+/** Fitness functions (the hardware-in-the-loop ablation axis). */
+enum class FitnessKind : std::uint8_t
+{
+    /** ACE / IBR hardware coverage on the core model (Harpocrates). */
+    HardwareCoverage,
+    /** Software coverage of the functional-emulator proxy (the
+     *  hardware-blind, SiliFuzz-style signal). */
+    ProxySoftwareCoverage,
+    /** Uniform random fitness (pure random search). */
+    RandomSearch,
+    /** User-supplied objective (LoopConfig::customFitness). */
+    Custom,
+};
+
+/** Loop configuration. */
+struct LoopConfig
+{
+    coverage::TargetStructure target =
+        coverage::TargetStructure::IntAdder;
+    museqgen::GenConfig gen{};
+    unsigned population = 16;
+    unsigned topK = 4;
+    unsigned generations = 50;
+    std::uint64_t seed = 1;
+    uarch::CoreConfig core{};
+    FitnessKind fitness = FitnessKind::HardwareCoverage;
+    /** Use k-point crossover in addition to replacement mutation. */
+    bool useCrossover = false;
+    /** Sample fault detection of the best program every N generations
+     *  (0 = never); used for the Fig. 10 convergence curves. */
+    unsigned detectionEvery = 0;
+    unsigned detectionInjections = 100;
+    bool parallelEval = true;
+    /** Objective function used when fitness == FitnessKind::Custom
+     *  (the paper: "any quality metric can be used to guide the
+     *  iterative refinement"). Must be thread-safe. */
+    std::function<double(const isa::TestProgram &)> customFitness;
+};
+
+/** Per-generation progress record. */
+struct GenerationStats
+{
+    unsigned generation = 0;
+    double bestCoverage = 0.0;
+    double meanTopK = 0.0;
+    /** Sampled detection capability (-1 when not sampled). */
+    double detection = -1.0;
+};
+
+/** Wall-clock breakdown across the whole run (Table I). */
+struct TimingBreakdown
+{
+    double mutationSec = 0.0;
+    double generationSec = 0.0;
+    double compilationSec = 0.0;
+    double evaluationSec = 0.0;
+
+    double
+    total() const
+    {
+        return mutationSec + generationSec + compilationSec +
+               evaluationSec;
+    }
+};
+
+/** Result of a full Harpocrates run. */
+struct LoopResult
+{
+    std::vector<GenerationStats> history;
+    museqgen::Genome bestGenome;
+    isa::TestProgram bestProgram;
+    double bestCoverage = 0.0;
+    TimingBreakdown timing;
+    std::uint64_t programsEvaluated = 0;
+    std::uint64_t instructionsGenerated = 0;
+};
+
+/** The loop orchestrator. */
+class Harpocrates
+{
+  public:
+    explicit Harpocrates(LoopConfig config);
+
+    /** Optional per-generation progress callback. */
+    std::function<void(const GenerationStats &)> onGeneration;
+
+    LoopResult run();
+
+    const LoopConfig &config() const { return cfg; }
+
+  private:
+    double fitnessOf(const isa::TestProgram &program) const;
+
+    LoopConfig cfg;
+};
+
+/**
+ * Structure-specific presets following the paper's section VI-B
+ * parameterisations, scaled down so a full run completes in seconds
+ * to minutes instead of cluster-hours. @p scale multiplies program
+ * size and generation count (1.0 = repository default; the paper's
+ * own sizes correspond to roughly scale 10 with thousands of
+ * generations).
+ */
+LoopConfig presetFor(coverage::TargetStructure target,
+                     double scale = 1.0);
+
+} // namespace harpo::core
+
+#endif // HARPOCRATES_CORE_HARPOCRATES_HH

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * ACE lifetime analysis (Mukherjee et al.) for the two bit-array fault
+ * targets: the integer physical register file and the L1 data cache.
+ *
+ * A (bit x cycle) slot is ACE when the bit's value is required for
+ * architecturally correct execution: intervals ending in a read are
+ * ACE; intervals ending in an overwrite are un-ACE; cache intervals
+ * ending in a dirty eviction are ACE (the data flows to memory);
+ * clean evictions are un-ACE. Coverage is the ACE fraction of all
+ * (bit x cycle) slots — the paper's hardware-coverage metric for
+ * transient faults in bit arrays (section II-D, Fig. 3).
+ */
+
+#ifndef HARPOCRATES_COVERAGE_ACE_HH
+#define HARPOCRATES_COVERAGE_ACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/registers.hh"
+#include "uarch/core.hh"
+#include "uarch/probes.hh"
+
+namespace harpo::coverage
+{
+
+/** ACE lifetime analyser for the integer physical register file.
+ *
+ *  Intervals are tracked per physical register; an interval ending in
+ *  a read is ACE for the architecturally meaningful bits of the value
+ *  it holds: all 64 for a GPR, but only the 5 modelled flag bits for
+ *  a renamed RFLAGS — otherwise flag-heavy programs saturate the
+ *  proxy with (bit x cycle) slots no fault can ever use. */
+class PrfAceAnalyzer : public uarch::CoreProbe
+{
+  public:
+    void
+    onIntRegRead(unsigned phys_reg, unsigned live_bits,
+                 std::uint64_t cycle) override
+    {
+        ensure(phys_reg);
+        // Interval ending in a read is ACE (write-to-read or
+        // read-to-read) for the bits the consumer can propagate.
+        aceBitCycles += static_cast<double>(cycle -
+                                            lastEvent[phys_reg]) *
+                        live_bits;
+        lastEvent[phys_reg] = cycle;
+    }
+
+    void
+    onIntRegWrite(unsigned phys_reg, unsigned arch_reg,
+                  std::uint64_t cycle) override
+    {
+        (void)arch_reg;
+        ensure(phys_reg);
+        // Interval ending in an overwrite is un-ACE.
+        lastEvent[phys_reg] = cycle;
+    }
+
+    void
+    onRunEnd(uarch::Core &core, std::uint64_t cycle) override
+    {
+        // Registers holding live architectural values at the end feed
+        // the output signature: their final interval is ACE.
+        ensure(core.intPrf().size() - 1);
+        const auto &committed = core.committedIntMap();
+        for (unsigned arch = 0; arch < committed.size(); ++arch) {
+            const double bits =
+                arch == static_cast<unsigned>(isa::flagsReg) ? 5.0
+                                                             : 64.0;
+            aceBitCycles +=
+                static_cast<double>(cycle -
+                                    lastEvent[committed[arch]]) *
+                bits;
+        }
+        totalCycles = cycle;
+        numRegs = core.intPrf().size();
+    }
+
+    /** ACE fraction over all (bit x cycle) slots of the PRF. */
+    double
+    coverage() const
+    {
+        if (totalCycles == 0 || numRegs == 0)
+            return 0.0;
+        return aceBitCycles /
+               (static_cast<double>(totalCycles) * numRegs * 64.0);
+    }
+
+  private:
+    void
+    ensure(unsigned phys_reg)
+    {
+        if (phys_reg >= lastEvent.size())
+            lastEvent.resize(phys_reg + 1, 0);
+    }
+
+    std::vector<std::uint64_t> lastEvent;
+    double aceBitCycles = 0.0;
+    std::uint64_t totalCycles = 0;
+    unsigned numRegs = 0;
+};
+
+/** ACE lifetime analyser for the L1 data cache data array. */
+class CacheAceAnalyzer : public uarch::CoreProbe
+{
+  public:
+    void
+    onCacheRead(std::uint32_t data_index, unsigned len,
+                std::uint64_t cycle) override
+    {
+        ensure(data_index + len);
+        for (unsigned i = 0; i < len; ++i) {
+            aceByteCycles += cycle - lastEvent[data_index + i];
+            lastEvent[data_index + i] = cycle;
+        }
+    }
+
+    void
+    onCacheWrite(std::uint32_t data_index, unsigned len,
+                 std::uint64_t cycle) override
+    {
+        ensure(data_index + len);
+        for (unsigned i = 0; i < len; ++i)
+            lastEvent[data_index + i] = cycle;
+    }
+
+    void
+    onCacheEvict(std::uint32_t data_index, unsigned len, bool dirty,
+                 std::uint64_t cycle) override
+    {
+        ensure(data_index + len);
+        for (unsigned i = 0; i < len; ++i) {
+            if (dirty)
+                aceByteCycles += cycle - lastEvent[data_index + i];
+            lastEvent[data_index + i] = cycle;
+        }
+    }
+
+    void
+    onRunEnd(uarch::Core &core, std::uint64_t cycle) override
+    {
+        totalCycles = cycle;
+        numBytes = core.l1d().dataSize();
+    }
+
+    /** ACE fraction over all (bit x cycle) slots of the data array. */
+    double
+    coverage() const
+    {
+        if (totalCycles == 0 || numBytes == 0)
+            return 0.0;
+        return static_cast<double>(aceByteCycles) /
+               (static_cast<double>(totalCycles) * numBytes);
+    }
+
+  private:
+    void
+    ensure(std::size_t size)
+    {
+        if (size > lastEvent.size())
+            lastEvent.resize(size, 0);
+    }
+
+    std::vector<std::uint64_t> lastEvent;
+    std::uint64_t aceByteCycles = 0;
+    std::uint64_t totalCycles = 0;
+    std::uint32_t numBytes = 0;
+};
+
+} // namespace harpo::coverage
+
+#endif // HARPOCRATES_COVERAGE_ACE_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * IBR (Input Bit Ratio) coverage for functional units (paper II-D):
+ * the effective input bits delivered to a unit across execution,
+ * divided by the theoretical maximum (full-width inputs every cycle).
+ *
+ * Implemented as an observing ArithModel decorator: it sees the exact
+ * operand bits every unit invocation receives (including, e.g., the
+ * inverted second operand of subtractions on the adder).
+ */
+
+#ifndef HARPOCRATES_COVERAGE_IBR_HH
+#define HARPOCRATES_COVERAGE_IBR_HH
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "isa/arith_model.hh"
+#include "isa/instruction.hh"
+
+namespace harpo::coverage
+{
+
+/** ArithModel decorator accumulating per-unit effective input bits. */
+class IbrArithModel : public isa::ArithModel
+{
+  public:
+    explicit IbrArithModel(isa::ArithModel *base_model = nullptr)
+        : base(base_model ? base_model
+                          : &isa::ArithModel::functional())
+    {}
+
+    std::uint64_t
+    intAdd(std::uint64_t a, std::uint64_t b, bool carry_in,
+           bool &carry_out) override
+    {
+        record(isa::FuCircuit::IntAdd, a, b);
+        return base->intAdd(a, b, carry_in, carry_out);
+    }
+
+    void
+    intMul(std::uint64_t a, std::uint64_t b, std::uint64_t &lo,
+           std::uint64_t &hi) override
+    {
+        record(isa::FuCircuit::IntMul, a, b);
+        base->intMul(a, b, lo, hi);
+    }
+
+    std::uint64_t
+    fpAdd(std::uint64_t a, std::uint64_t b) override
+    {
+        record(isa::FuCircuit::FpAdd, a, b);
+        return base->fpAdd(a, b);
+    }
+
+    std::uint64_t
+    fpMul(std::uint64_t a, std::uint64_t b) override
+    {
+        record(isa::FuCircuit::FpMul, a, b);
+        return base->fpMul(a, b);
+    }
+
+    std::uint64_t
+    inputBits(isa::FuCircuit circuit) const
+    {
+        return bits[static_cast<std::size_t>(circuit)];
+    }
+
+    std::uint64_t
+    uses(isa::FuCircuit circuit) const
+    {
+        return opCount[static_cast<std::size_t>(circuit)];
+    }
+
+    /** IBR: accumulated effective input bits over the theoretical
+     *  maximum per cycle. The scalar integer units accept two 64-bit
+     *  inputs per cycle (128 bits); the SSE FP units are 128-bit wide
+     *  (two 64-bit lanes, each with two operands: 256 bits). Clamped
+     *  to 1 — wrong-path work can otherwise push the ratio past the
+     *  committed-path theoretical maximum. */
+    double
+    ibr(isa::FuCircuit circuit, std::uint64_t total_cycles) const
+    {
+        if (total_cycles == 0)
+            return 0.0;
+        const bool packed = circuit == isa::FuCircuit::FpAdd ||
+                            circuit == isa::FuCircuit::FpMul;
+        const double maxPerCycle = packed ? 256.0 : 128.0;
+        return std::min(
+            1.0, static_cast<double>(inputBits(circuit)) /
+                     (maxPerCycle * static_cast<double>(total_cycles)));
+    }
+
+  private:
+    static unsigned
+    effectiveBits(std::uint64_t v)
+    {
+        return v == 0 ? 0u
+                      : 64u - static_cast<unsigned>(__builtin_clzll(v));
+    }
+
+    void
+    record(isa::FuCircuit circuit, std::uint64_t a, std::uint64_t b)
+    {
+        const auto idx = static_cast<std::size_t>(circuit);
+        bits[idx] += effectiveBits(a) + effectiveBits(b);
+        ++opCount[idx];
+    }
+
+    isa::ArithModel *base;
+    std::array<std::uint64_t, 5> bits{};
+    std::array<std::uint64_t, 5> opCount{};
+};
+
+} // namespace harpo::coverage
+
+#endif // HARPOCRATES_COVERAGE_IBR_HH

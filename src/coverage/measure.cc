@@ -1,0 +1,80 @@
+#include "coverage/measure.hh"
+
+#include "common/logging.hh"
+#include "coverage/ace.hh"
+#include "coverage/ibr.hh"
+#include "coverage/true_ace.hh"
+
+namespace harpo::coverage
+{
+
+const char *
+structureName(TargetStructure target)
+{
+    switch (target) {
+      case TargetStructure::IntRegFile: return "IRF";
+      case TargetStructure::L1DCache: return "L1D";
+      case TargetStructure::IntAdder: return "IntAdder";
+      case TargetStructure::IntMultiplier: return "IntMultiplier";
+      case TargetStructure::FpAdder: return "SSE-FP-Adder";
+      case TargetStructure::FpMultiplier: return "SSE-FP-Multiplier";
+    }
+    return "?";
+}
+
+isa::FuCircuit
+circuitFor(TargetStructure target)
+{
+    switch (target) {
+      case TargetStructure::IntAdder: return isa::FuCircuit::IntAdd;
+      case TargetStructure::IntMultiplier: return isa::FuCircuit::IntMul;
+      case TargetStructure::FpAdder: return isa::FuCircuit::FpAdd;
+      case TargetStructure::FpMultiplier: return isa::FuCircuit::FpMul;
+      default: return isa::FuCircuit::None;
+    }
+}
+
+bool
+isBitArray(TargetStructure target)
+{
+    return target == TargetStructure::IntRegFile ||
+           target == TargetStructure::L1DCache;
+}
+
+CoverageResult
+measureCoverage(const isa::TestProgram &program, TargetStructure target,
+                const uarch::CoreConfig &config)
+{
+    CoverageResult result;
+    uarch::Core core(config);
+
+    switch (target) {
+      case TargetStructure::IntRegFile: {
+        // Liveness-refined ACE: only bits that transitively reach an
+        // architectural output count (see true_ace.hh).
+        TrueAceAnalyzer ace;
+        result.sim = core.run(program, nullptr, &ace);
+        result.coverage = ace.coverage();
+        break;
+      }
+      case TargetStructure::L1DCache: {
+        CacheAceAnalyzer ace;
+        result.sim = core.run(program, nullptr, &ace);
+        result.coverage = ace.coverage();
+        break;
+      }
+      default: {
+        IbrArithModel ibr;
+        result.sim = core.run(program, &ibr, nullptr);
+        result.coverage =
+            ibr.ibr(circuitFor(target), result.sim.cycles);
+        break;
+      }
+    }
+
+    if (result.sim.exit != uarch::SimResult::Exit::Finished)
+        result.coverage = 0.0;
+    return result;
+}
+
+} // namespace harpo::coverage

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Unified hardware-coverage measurement: given a test program and a
+ * target structure, run it once on the core model and return the
+ * structure-appropriate coverage metric (ACE for bit arrays, IBR for
+ * functional units). This is the fast grading step of the Harpocrates
+ * loop (paper step 1).
+ */
+
+#ifndef HARPOCRATES_COVERAGE_MEASURE_HH
+#define HARPOCRATES_COVERAGE_MEASURE_HH
+
+#include "isa/program.hh"
+#include "uarch/core.hh"
+
+namespace harpo::coverage
+{
+
+/** The six hardware structures evaluated in the paper. */
+enum class TargetStructure : std::uint8_t
+{
+    IntRegFile,    ///< physical integer register file (transients)
+    L1DCache,      ///< L1 data cache data array (transients)
+    IntAdder,      ///< integer adder, gate-level (permanents)
+    IntMultiplier, ///< integer multiplier, gate-level (permanents)
+    FpAdder,       ///< SSE FP adder, gate-level (permanents)
+    FpMultiplier,  ///< SSE FP multiplier, gate-level (permanents)
+};
+
+/** Printable structure name (as used in the paper's figures). */
+const char *structureName(TargetStructure target);
+
+/** The gate circuit backing a functional-unit target (None for the
+ *  bit-array targets). */
+isa::FuCircuit circuitFor(TargetStructure target);
+
+/** Whether the structure is a bit array (ACE metric / transient SFI)
+ *  as opposed to a functional unit (IBR metric / permanent SFI). */
+bool isBitArray(TargetStructure target);
+
+/** Result of one coverage measurement run. */
+struct CoverageResult
+{
+    double coverage = 0.0;        ///< ACE or IBR, in [0, 1]
+    uarch::SimResult sim;         ///< the underlying simulation
+};
+
+/** Measure @p target coverage of @p program on a core of @p config.
+ *  Crashing/hanging programs get coverage 0 (they are not usable as
+ *  test programs). */
+CoverageResult measureCoverage(const isa::TestProgram &program,
+                               TargetStructure target,
+                               const uarch::CoreConfig &config);
+
+} // namespace harpo::coverage
+
+#endif // HARPOCRATES_COVERAGE_MEASURE_HH

@@ -1,0 +1,134 @@
+#include "coverage/true_ace.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "isa/registers.hh"
+
+namespace harpo::coverage
+{
+
+void
+TrueAceAnalyzer::onInstExecuted(const uarch::ExecInfo &info)
+{
+    records.push_back(info);
+}
+
+void
+TrueAceAnalyzer::onInstCommitted(std::uint64_t seq)
+{
+    committedSeqs.push_back(seq);
+}
+
+void
+TrueAceAnalyzer::onRunEnd(uarch::Core &core, std::uint64_t cycle)
+{
+    const std::uint64_t endCycle = cycle;
+    const unsigned numRegs = core.intPrf().size();
+
+    std::unordered_set<std::uint64_t> committed(committedSeqs.begin(),
+                                                committedSeqs.end());
+
+    // Retried instructions emit multiple records; keep the last one
+    // per sequence number (the successful execution).
+    std::sort(records.begin(), records.end(),
+              [](const uarch::ExecInfo &a, const uarch::ExecInfo &b) {
+                  return a.seq < b.seq;
+              });
+    std::vector<uarch::ExecInfo> unique;
+    unique.reserve(records.size());
+    for (const auto &r : records) {
+        if (!unique.empty() && unique.back().seq == r.seq)
+            unique.back() = r;
+        else
+            unique.push_back(r);
+    }
+
+    // ---- Backward liveness over the dynamic def-use graph. ----
+    // neededDefs: producing sequence numbers whose values some live
+    // instruction consumed. Def seq 0 denotes initial architectural
+    // values (always a valid producer).
+    std::unordered_set<std::uint64_t> neededDefs;
+
+    // Defs still architecturally mapped at the end are sinks.
+    const auto &defSeqs = core.intDefSeqs();
+    for (const std::uint16_t phys : core.committedIntMap())
+        neededDefs.insert(defSeqs[phys]);
+
+    std::unordered_set<std::uint64_t> liveInsts;
+    for (auto it = unique.rbegin(); it != unique.rend(); ++it) {
+        const auto &r = *it;
+        if (!committed.count(r.seq))
+            continue; // squashed: architecturally invisible
+        const bool live = r.isStore || r.isBranch || r.faulted ||
+                          neededDefs.count(r.seq) != 0;
+        if (!live)
+            continue;
+        liveInsts.insert(r.seq);
+        for (int s = 0; s < r.numSrcs; ++s)
+            neededDefs.insert(r.srcs[s].defSeq);
+    }
+
+    // ---- Per-physical-register event sweep. ----
+    // Events: every write (any path: a wrong-path write physically
+    // overwrites the bits) and every read by a live committed
+    // instruction. ACE credit accrues on live reads.
+    struct Event
+    {
+        std::uint64_t cycle;
+        std::uint32_t phys;
+        bool isRead;
+        std::uint8_t bits;
+    };
+    std::vector<Event> events;
+    events.reserve(unique.size() * 3);
+    for (const auto &r : unique) {
+        for (int d = 0; d < r.numDefs; ++d)
+            events.push_back({r.cycle, r.defs[d].phys, false, 0});
+        if (liveInsts.count(r.seq)) {
+            for (int s = 0; s < r.numSrcs; ++s) {
+                events.push_back({r.cycle, r.srcs[s].phys, true,
+                                  r.srcs[s].liveBits});
+            }
+        }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event &a, const Event &b) {
+                  if (a.phys != b.phys)
+                      return a.phys < b.phys;
+                  if (a.cycle != b.cycle)
+                      return a.cycle < b.cycle;
+                  // Reads before writes at the same cycle.
+                  return a.isRead && !b.isRead;
+              });
+
+    double aceBitCycles = 0.0;
+    std::vector<std::uint64_t> lastEvent(numRegs, 0);
+    for (const auto &e : events) {
+        if (e.isRead) {
+            aceBitCycles +=
+                static_cast<double>(e.cycle - lastEvent[e.phys]) *
+                e.bits;
+        }
+        lastEvent[e.phys] = e.cycle;
+    }
+
+    // Final intervals of architecturally mapped registers are ACE.
+    const auto &committedMap = core.committedIntMap();
+    for (unsigned arch = 0; arch < committedMap.size(); ++arch) {
+        const double bits =
+            arch == static_cast<unsigned>(isa::flagsReg) ? 5.0 : 64.0;
+        aceBitCycles +=
+            static_cast<double>(endCycle -
+                                lastEvent[committedMap[arch]]) *
+            bits;
+    }
+
+    finalCoverage =
+        endCycle == 0 || numRegs == 0
+            ? 0.0
+            : aceBitCycles / (static_cast<double>(endCycle) * numRegs *
+                              64.0);
+}
+
+} // namespace harpo::coverage

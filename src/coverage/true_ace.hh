@@ -1,0 +1,58 @@
+/**
+ * @file
+ * True-liveness ACE analysis for the integer physical register file.
+ *
+ * The classic interval analysis (PrfAceAnalyzer) counts every
+ * read-terminated interval as ACE — but a read whose consumer's
+ * results never transitively reach an architectural output (memory,
+ * control flow, the final register state) is not "necessary for
+ * architecturally correct execution". The paper defines ACE as
+ * exactly the necessary bits (section II-D), so this analyser builds
+ * the dynamic def-use graph during simulation and back-propagates
+ * liveness from the real sinks:
+ *
+ *   - committed stores (memory feeds the output signature),
+ *   - committed branches (direction steers control flow),
+ *   - committed faulting instructions,
+ *   - defs that remain architecturally mapped at the end of the run,
+ *
+ * then credits only intervals ending in reads by transitively live
+ * instructions, weighted by the consumer's live-bits estimate.
+ * Used as the IRF coverage metric of the Harpocrates loop; without
+ * the refinement, evolution learns to game the proxy with reads whose
+ * consumers are dead (Goodhart's law on coverage metrics).
+ */
+
+#ifndef HARPOCRATES_COVERAGE_TRUE_ACE_HH
+#define HARPOCRATES_COVERAGE_TRUE_ACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "uarch/core.hh"
+#include "uarch/probes.hh"
+
+namespace harpo::coverage
+{
+
+/** Liveness-refined ACE analyser for the integer PRF. */
+class TrueAceAnalyzer : public uarch::CoreProbe
+{
+  public:
+    void onInstExecuted(const uarch::ExecInfo &info) override;
+    void onInstCommitted(std::uint64_t seq) override;
+    void onRunEnd(uarch::Core &core, std::uint64_t cycle) override;
+
+    /** ACE fraction over all (bit x cycle) slots of the PRF. Valid
+     *  after the run ends. */
+    double coverage() const { return finalCoverage; }
+
+  private:
+    std::vector<uarch::ExecInfo> records;
+    std::vector<std::uint64_t> committedSeqs;
+    double finalCoverage = 0.0;
+};
+
+} // namespace harpo::coverage
+
+#endif // HARPOCRATES_COVERAGE_TRUE_ACE_HH

@@ -1,0 +1,228 @@
+#include "faultsim/campaign.hh"
+
+#include <atomic>
+
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "gates/fu_library.hh"
+
+namespace harpo::faultsim
+{
+
+std::vector<FaultSpec>
+FaultCampaign::sampleFaults(const CampaignConfig &config,
+                            std::uint64_t golden_cycles)
+{
+    Rng rng(config.seed);
+    std::vector<FaultSpec> faults;
+    faults.reserve(config.numInjections);
+
+    const bool array = coverage::isBitArray(config.target);
+    const isa::FuCircuit circuit = coverage::circuitFor(config.target);
+
+    for (unsigned i = 0; i < config.numInjections; ++i) {
+        FaultSpec f;
+        f.target = config.target;
+        f.type = config.faultType;
+        if (array) {
+            if (config.target == coverage::TargetStructure::IntRegFile) {
+                f.location = static_cast<std::uint32_t>(
+                    rng.below(config.core.numIntPhysRegs));
+                f.bit = static_cast<std::uint8_t>(rng.below(64));
+            } else {
+                f.location = static_cast<std::uint32_t>(
+                    rng.below(config.core.l1d.size));
+                f.bit = static_cast<std::uint8_t>(rng.below(8));
+            }
+            f.cycle = rng.below(std::max<std::uint64_t>(golden_cycles, 1));
+            f.stuckValue = rng.chance(0.5);
+            if (f.type == FaultType::Intermittent)
+                f.endCycle = f.cycle + config.intermittentWindow;
+        } else {
+            const auto &netlist =
+                gates::FuLibrary::instance().netlistFor(circuit);
+            const auto &logicGates = netlist.logicGates();
+            f.gate = static_cast<std::int64_t>(
+                logicGates[rng.below(logicGates.size())]);
+            f.stuckValue = rng.chance(0.5);
+            f.type = FaultType::GateStuckAt;
+        }
+        faults.push_back(f);
+    }
+    return faults;
+}
+
+namespace
+{
+
+/**
+ * Parity protection model: the fault is detected by hardware at the
+ * first *consuming* access (read, or dirty write-back) of the faulted
+ * byte after injection; an overwrite or refill scrubs it silently.
+ * The data never reaches the program, so no bit is actually flipped —
+ * the access pattern alone decides the outcome.
+ */
+class ParityProbe : public uarch::CoreProbe
+{
+  public:
+    explicit ParityProbe(const FaultSpec &fault) : spec(fault) {}
+
+    void
+    onCycleBegin(uarch::Core &, std::uint64_t cycle) override
+    {
+        if (!armed && cycle >= spec.cycle)
+            armed = true;
+    }
+
+    void
+    onCacheRead(std::uint32_t index, unsigned len,
+                std::uint64_t) override
+    {
+        if (armed && !resolved && covers(index, len))
+            resolve(Outcome::HwDetected);
+    }
+
+    void
+    onCacheWrite(std::uint32_t index, unsigned len,
+                 std::uint64_t) override
+    {
+        if (armed && !resolved && covers(index, len))
+            resolve(Outcome::Masked); // overwrite scrubs the flip
+    }
+
+    void
+    onCacheEvict(std::uint32_t index, unsigned len, bool dirty,
+                 std::uint64_t) override
+    {
+        if (armed && !resolved && covers(index, len))
+            resolve(dirty ? Outcome::HwDetected : Outcome::Masked);
+    }
+
+    Outcome outcome() const { return result; }
+
+  private:
+    bool
+    covers(std::uint32_t index, unsigned len) const
+    {
+        return spec.location >= index && spec.location < index + len;
+    }
+
+    void
+    resolve(Outcome o)
+    {
+        result = o;
+        resolved = true;
+    }
+
+    FaultSpec spec;
+    bool armed = false;
+    bool resolved = false;
+    Outcome result = Outcome::Masked; // never touched again
+};
+
+} // namespace
+
+Outcome
+FaultCampaign::runOne(const isa::TestProgram &program,
+                      const FaultSpec &fault,
+                      const uarch::CoreConfig &core_config,
+                      std::uint64_t golden_signature,
+                      std::uint64_t golden_cycles,
+                      CacheProtection l1d_protection)
+{
+    const bool protectedL1d =
+        fault.target == coverage::TargetStructure::L1DCache &&
+        fault.type != FaultType::GateStuckAt &&
+        l1d_protection != CacheProtection::None;
+    if (protectedL1d) {
+        // SECDED corrects any single-bit fault on access: the program
+        // can never observe it.
+        if (l1d_protection == CacheProtection::Secded)
+            return Outcome::HwCorrected;
+        // Parity: rerun and classify by the first consuming access.
+        uarch::CoreConfig cfg = core_config;
+        cfg.maxCycles = golden_cycles * 3 + 10000;
+        uarch::Core core(cfg);
+        ParityProbe probe(fault);
+        core.run(program, nullptr, &probe);
+        return probe.outcome();
+    }
+
+    uarch::CoreConfig cfg = core_config;
+    // Hangs are decided quickly relative to the golden runtime.
+    cfg.maxCycles = golden_cycles * 3 + 10000;
+
+    uarch::Core core(cfg);
+    uarch::SimResult sim;
+    if (fault.type == FaultType::GateStuckAt) {
+        FaultyArithModel arith(coverage::circuitFor(fault.target),
+                               fault.gate, fault.stuckValue);
+        sim = core.run(program, &arith, nullptr);
+    } else {
+        StorageFaultProbe probe(fault);
+        sim = core.run(program, nullptr, &probe);
+    }
+
+    switch (sim.exit) {
+      case uarch::SimResult::Exit::Crashed:
+        return Outcome::Crash;
+      case uarch::SimResult::Exit::Hang:
+        return Outcome::Hang;
+      default:
+        return sim.signature == golden_signature ? Outcome::Masked
+                                                 : Outcome::Sdc;
+    }
+}
+
+CampaignResult
+FaultCampaign::run(const isa::TestProgram &program,
+                   const CampaignConfig &config)
+{
+    CampaignResult result;
+
+    // Golden (fault-free) run.
+    uarch::Core golden(config.core);
+    const uarch::SimResult goldenSim = golden.run(program);
+    if (goldenSim.exit != uarch::SimResult::Exit::Finished)
+        return result; // goldenOk stays false: unusable test program
+    result.goldenOk = true;
+    result.goldenCycles = goldenSim.cycles;
+    result.goldenSignature = goldenSim.signature;
+
+    const std::vector<FaultSpec> faults =
+        sampleFaults(config, goldenSim.cycles);
+
+    std::atomic<unsigned> masked{0}, sdc{0}, crash{0}, hang{0},
+        hwCorrected{0}, hwDetected{0};
+    auto classify = [&](std::size_t i) {
+        const Outcome outcome =
+            runOne(program, faults[i], config.core,
+                   goldenSim.signature, goldenSim.cycles,
+                   config.l1dProtection);
+        switch (outcome) {
+          case Outcome::Masked: masked.fetch_add(1); break;
+          case Outcome::Sdc: sdc.fetch_add(1); break;
+          case Outcome::Crash: crash.fetch_add(1); break;
+          case Outcome::Hang: hang.fetch_add(1); break;
+          case Outcome::HwCorrected: hwCorrected.fetch_add(1); break;
+          case Outcome::HwDetected: hwDetected.fetch_add(1); break;
+        }
+    };
+
+    if (config.parallel) {
+        ThreadPool::global().parallelFor(faults.size(), classify);
+    } else {
+        for (std::size_t i = 0; i < faults.size(); ++i)
+            classify(i);
+    }
+
+    result.masked = masked.load();
+    result.sdc = sdc.load();
+    result.crash = crash.load();
+    result.hang = hang.load();
+    result.hwCorrected = hwCorrected.load();
+    result.hwDetected = hwDetected.load();
+    return result;
+}
+
+} // namespace harpo::faultsim

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Statistical Fault Injection campaigns (the paper's GeFIN-based
+ * detection-capability measurement, sections II-E and III-C).
+ *
+ * A campaign runs the program once fault-free (golden), samples N
+ * faults uniformly at random over the target structure (bit x cycle
+ * for storage transients; gate x stuck-value for functional units),
+ * runs each faulty simulation in parallel, and classifies outcomes:
+ *
+ *   Masked — faulty run finished with the golden signature;
+ *   SDC    — finished with a different signature (silent corruption);
+ *   Crash  — architectural fault (bad address / divide / wild branch);
+ *   Hang   — watchdog expiry.
+ *
+ * A *test program* detects a fault when the faulty run observably
+ * deviates: detection = (SDC + Crash + Hang) / N.
+ */
+
+#ifndef HARPOCRATES_FAULTSIM_CAMPAIGN_HH
+#define HARPOCRATES_FAULTSIM_CAMPAIGN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "coverage/measure.hh"
+#include "faultsim/fault.hh"
+#include "isa/program.hh"
+#include "uarch/core.hh"
+
+namespace harpo::faultsim
+{
+
+/** Outcome of a single faulty run. HwCorrected / HwDetected arise
+ *  only on protected structures (paper II-E: a flip in a SECDED cache
+ *  is corrected; parity turns it into a detected machine-check). */
+enum class Outcome : std::uint8_t
+{
+    Masked,
+    Sdc,
+    Crash,
+    Hang,
+    HwCorrected, ///< ECC corrected the fault (architecturally masked)
+    HwDetected,  ///< parity machine-check (hardware-detected, not SDC)
+};
+
+/** Protection scheme of the L1D data array (paper II-E). */
+enum class CacheProtection : std::uint8_t { None, Parity, Secded };
+
+/** Campaign parameters. */
+struct CampaignConfig
+{
+    coverage::TargetStructure target =
+        coverage::TargetStructure::IntRegFile;
+    /** Defaults to the paper's model per structure kind: transient
+     *  bit flips for arrays, gate stuck-at for functional units. */
+    FaultType faultType = FaultType::Transient;
+    unsigned numInjections = 400;
+    std::uint64_t seed = 1;
+    uarch::CoreConfig core{};
+    /** Intermittent-fault window length in cycles. */
+    std::uint64_t intermittentWindow = 1000;
+    bool parallel = true;
+    /** L1D protection scheme applied during injection (paper II-E). */
+    CacheProtection l1dProtection = CacheProtection::None;
+
+    /** Campaign with the structure-appropriate default fault model. */
+    static CampaignConfig
+    forTarget(coverage::TargetStructure target_structure)
+    {
+        CampaignConfig cfg;
+        cfg.target = target_structure;
+        cfg.faultType = coverage::isBitArray(target_structure)
+                            ? FaultType::Transient
+                            : FaultType::GateStuckAt;
+        return cfg;
+    }
+};
+
+/** Aggregated campaign outcome. */
+struct CampaignResult
+{
+    unsigned masked = 0;
+    unsigned sdc = 0;
+    unsigned crash = 0;
+    unsigned hang = 0;
+    unsigned hwCorrected = 0; ///< ECC corrections (SECDED)
+    unsigned hwDetected = 0;  ///< parity machine-checks
+    bool goldenOk = false;
+    std::uint64_t goldenCycles = 0;
+    std::uint64_t goldenSignature = 0;
+
+    unsigned
+    total() const
+    {
+        return masked + sdc + crash + hang + hwCorrected + hwDetected;
+    }
+
+    /** Fault detection capability of the *program*: fraction of
+     *  injected faults whose run deviates observably from the golden
+     *  run (hardware-level corrections and parity machine-checks are
+     *  not program detections). */
+    double
+    detection() const
+    {
+        const unsigned n = total();
+        return n == 0 ? 0.0
+                      : static_cast<double>(sdc + crash + hang) / n;
+    }
+
+    double
+    sdcRate() const
+    {
+        const unsigned n = total();
+        return n == 0 ? 0.0 : static_cast<double>(sdc) / n;
+    }
+};
+
+/** Runs SFI campaigns. */
+class FaultCampaign
+{
+  public:
+    /** Run a full campaign for @p config on @p program. */
+    static CampaignResult run(const isa::TestProgram &program,
+                              const CampaignConfig &config);
+
+    /** Sample the campaign's fault list without running it (exposed
+     *  for tests and ablation studies). */
+    static std::vector<FaultSpec>
+    sampleFaults(const CampaignConfig &config,
+                 std::uint64_t golden_cycles);
+
+    /** Run one fault and classify its outcome. */
+    static Outcome runOne(const isa::TestProgram &program,
+                          const FaultSpec &fault,
+                          const uarch::CoreConfig &core_config,
+                          std::uint64_t golden_signature,
+                          std::uint64_t golden_cycles,
+                          CacheProtection l1d_protection =
+                              CacheProtection::None);
+};
+
+} // namespace harpo::faultsim
+
+#endif // HARPOCRATES_FAULTSIM_CAMPAIGN_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Fault descriptors and fault-bearing execution models.
+ *
+ * Storage faults (transient / intermittent / permanent) act on bits of
+ * the integer physical register file or the L1D data array. Gate
+ * faults are permanent stuck-at-0/1 on a gate output of one of the
+ * four gate-level functional units (paper III-C fault models).
+ */
+
+#ifndef HARPOCRATES_FAULTSIM_FAULT_HH
+#define HARPOCRATES_FAULTSIM_FAULT_HH
+
+#include <cstdint>
+
+#include "coverage/measure.hh"
+#include "gates/fu_library.hh"
+#include "isa/arith_model.hh"
+#include "uarch/core.hh"
+#include "uarch/probes.hh"
+
+namespace harpo::faultsim
+{
+
+/** Temporal behaviour of an injected fault (paper II-B). */
+enum class FaultType : std::uint8_t
+{
+    Transient,    ///< one bit flip at one cycle
+    Intermittent, ///< bit stuck during a cycle window
+    Permanent,    ///< bit stuck for the whole run
+    GateStuckAt,  ///< permanent stuck-at on a gate output
+};
+
+/** One concrete fault to inject. */
+struct FaultSpec
+{
+    coverage::TargetStructure target =
+        coverage::TargetStructure::IntRegFile;
+    FaultType type = FaultType::Transient;
+
+    // Storage faults.
+    std::uint32_t location = 0; ///< phys reg index / data-array byte
+    std::uint8_t bit = 0;
+    std::uint64_t cycle = 0;    ///< flip cycle / stuck-window start
+    std::uint64_t endCycle = 0; ///< stuck-window end (intermittent)
+    bool stuckValue = false;
+
+    // Gate faults.
+    std::int64_t gate = -1;
+};
+
+/** Probe that applies a storage fault at the configured cycles. */
+class StorageFaultProbe : public uarch::CoreProbe
+{
+  public:
+    explicit StorageFaultProbe(const FaultSpec &fault) : spec(fault) {}
+
+    void
+    onCycleBegin(uarch::Core &core, std::uint64_t cycle) override
+    {
+        switch (spec.type) {
+          case FaultType::Transient:
+            if (cycle == spec.cycle && !done) {
+                apply(core, true);
+                done = true;
+            }
+            break;
+          case FaultType::Intermittent:
+            if (cycle >= spec.cycle && cycle <= spec.endCycle)
+                apply(core, false);
+            break;
+          case FaultType::Permanent:
+            apply(core, false);
+            break;
+          default:
+            break;
+        }
+    }
+
+  private:
+    void
+    apply(uarch::Core &core, bool flip)
+    {
+        if (spec.target == coverage::TargetStructure::IntRegFile) {
+            if (flip)
+                core.intPrf().flipBit(spec.location, spec.bit);
+            else
+                core.intPrf().forceBit(spec.location, spec.bit,
+                                       spec.stuckValue);
+        } else {
+            if (flip)
+                core.l1d().flipBit(spec.location, spec.bit);
+            else
+                core.l1d().forceBit(spec.location, spec.bit,
+                                    spec.stuckValue);
+        }
+    }
+
+    FaultSpec spec;
+    bool done = false;
+};
+
+/** ArithModel routing the faulted unit through its gate netlist. */
+class FaultyArithModel : public isa::ArithModel
+{
+  public:
+    FaultyArithModel(isa::FuCircuit faulted_circuit, std::int64_t gate,
+                     bool stuck_value)
+        : circuit(faulted_circuit), gateId(gate), stuckValue(stuck_value)
+    {}
+
+    std::uint64_t
+    intAdd(std::uint64_t a, std::uint64_t b, bool carry_in,
+           bool &carry_out) override
+    {
+        if (circuit != isa::FuCircuit::IntAdd)
+            return ArithModel::intAdd(a, b, carry_in, carry_out);
+        const auto res = gates::FuLibrary::instance().intAdder().compute(
+            a, b, carry_in, gateId, stuckValue);
+        carry_out = res.carryOut;
+        return res.sum;
+    }
+
+    void
+    intMul(std::uint64_t a, std::uint64_t b, std::uint64_t &lo,
+           std::uint64_t &hi) override
+    {
+        if (circuit != isa::FuCircuit::IntMul) {
+            ArithModel::intMul(a, b, lo, hi);
+            return;
+        }
+        const auto res =
+            gates::FuLibrary::instance().intMultiplier().compute(
+                a, b, gateId, stuckValue);
+        lo = res.lo;
+        hi = res.hi;
+    }
+
+    std::uint64_t
+    fpAdd(std::uint64_t a, std::uint64_t b) override
+    {
+        if (circuit != isa::FuCircuit::FpAdd)
+            return ArithModel::fpAdd(a, b);
+        return gates::FuLibrary::instance().fpAdder().compute(
+            a, b, gateId, stuckValue);
+    }
+
+    std::uint64_t
+    fpMul(std::uint64_t a, std::uint64_t b) override
+    {
+        if (circuit != isa::FuCircuit::FpMul)
+            return ArithModel::fpMul(a, b);
+        return gates::FuLibrary::instance().fpMultiplier().compute(
+            a, b, gateId, stuckValue);
+    }
+
+  private:
+    isa::FuCircuit circuit;
+    std::int64_t gateId;
+    bool stuckValue;
+};
+
+} // namespace harpo::faultsim
+
+#endif // HARPOCRATES_FAULTSIM_FAULT_HH

@@ -1,0 +1,411 @@
+#include "gates/circuit_builder.hh"
+
+#include "common/logging.hh"
+
+namespace harpo::gates
+{
+
+void
+CircuitBuilder::noteKnown(NodeId id, Known k)
+{
+    if (known.size() <= id)
+        known.resize(id + 1, static_cast<std::uint8_t>(Known::No));
+    known[id] = static_cast<std::uint8_t>(k);
+}
+
+CircuitBuilder::Known
+CircuitBuilder::knownOf(NodeId id) const
+{
+    if (id >= known.size())
+        return Known::No;
+    return static_cast<Known>(known[id]);
+}
+
+CircuitBuilder::NodeId
+CircuitBuilder::zero()
+{
+    if (!haveConst0) {
+        const0 = nl.constant(false);
+        noteKnown(const0, Known::Zero);
+        haveConst0 = true;
+    }
+    return const0;
+}
+
+CircuitBuilder::NodeId
+CircuitBuilder::one()
+{
+    if (!haveConst1) {
+        const1 = nl.constant(true);
+        noteKnown(const1, Known::One);
+        haveConst1 = true;
+    }
+    return const1;
+}
+
+CircuitBuilder::NodeId
+CircuitBuilder::lnot(NodeId a)
+{
+    switch (knownOf(a)) {
+      case Known::Zero: return one();
+      case Known::One: return zero();
+      default: return nl.unary(GateKind::Not, a);
+    }
+}
+
+CircuitBuilder::NodeId
+CircuitBuilder::land(NodeId a, NodeId b)
+{
+    const Known ka = knownOf(a), kb = knownOf(b);
+    if (ka == Known::Zero || kb == Known::Zero)
+        return zero();
+    if (ka == Known::One)
+        return b;
+    if (kb == Known::One)
+        return a;
+    if (a == b)
+        return a;
+    return nl.binary(GateKind::And, a, b);
+}
+
+CircuitBuilder::NodeId
+CircuitBuilder::lor(NodeId a, NodeId b)
+{
+    const Known ka = knownOf(a), kb = knownOf(b);
+    if (ka == Known::One || kb == Known::One)
+        return one();
+    if (ka == Known::Zero)
+        return b;
+    if (kb == Known::Zero)
+        return a;
+    if (a == b)
+        return a;
+    return nl.binary(GateKind::Or, a, b);
+}
+
+CircuitBuilder::NodeId
+CircuitBuilder::lxor(NodeId a, NodeId b)
+{
+    const Known ka = knownOf(a), kb = knownOf(b);
+    if (a == b)
+        return zero();
+    if (ka == Known::Zero)
+        return b;
+    if (kb == Known::Zero)
+        return a;
+    if (ka == Known::One)
+        return lnot(b);
+    if (kb == Known::One)
+        return lnot(a);
+    return nl.binary(GateKind::Xor, a, b);
+}
+
+CircuitBuilder::NodeId
+CircuitBuilder::mux(NodeId sel, NodeId on_true, NodeId on_false)
+{
+    switch (knownOf(sel)) {
+      case Known::Zero: return on_false;
+      case Known::One: return on_true;
+      default: break;
+    }
+    if (on_true == on_false)
+        return on_true;
+    return lor(land(sel, on_true), land(lnot(sel), on_false));
+}
+
+Bus
+CircuitBuilder::inputBus(unsigned n)
+{
+    Bus bus(n);
+    for (auto &bit : bus)
+        bit = nl.addInput();
+    return bus;
+}
+
+Bus
+CircuitBuilder::constBus(std::uint64_t value, unsigned n)
+{
+    Bus bus(n);
+    for (unsigned i = 0; i < n; ++i)
+        bus[i] = ((value >> i) & 1) ? one() : zero();
+    return bus;
+}
+
+Bus
+CircuitBuilder::busNot(const Bus &a)
+{
+    Bus out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = lnot(a[i]);
+    return out;
+}
+
+Bus
+CircuitBuilder::busAnd(const Bus &a, const Bus &b)
+{
+    panicIf(a.size() != b.size(), "busAnd: width mismatch");
+    Bus out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = land(a[i], b[i]);
+    return out;
+}
+
+Bus
+CircuitBuilder::busOr(const Bus &a, const Bus &b)
+{
+    panicIf(a.size() != b.size(), "busOr: width mismatch");
+    Bus out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = lor(a[i], b[i]);
+    return out;
+}
+
+Bus
+CircuitBuilder::busXor(const Bus &a, const Bus &b)
+{
+    panicIf(a.size() != b.size(), "busXor: width mismatch");
+    Bus out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = lxor(a[i], b[i]);
+    return out;
+}
+
+Bus
+CircuitBuilder::busAndBit(const Bus &a, NodeId s)
+{
+    Bus out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = land(a[i], s);
+    return out;
+}
+
+Bus
+CircuitBuilder::busMux(NodeId sel, const Bus &on_true, const Bus &on_false)
+{
+    panicIf(on_true.size() != on_false.size(), "busMux: width mismatch");
+    Bus out(on_true.size());
+    for (std::size_t i = 0; i < on_true.size(); ++i)
+        out[i] = mux(sel, on_true[i], on_false[i]);
+    return out;
+}
+
+CircuitBuilder::NodeId
+CircuitBuilder::reduceOr(const Bus &a)
+{
+    panicIf(a.empty(), "reduceOr: empty bus");
+    // Balanced tree to keep depth logarithmic.
+    Bus level = a;
+    while (level.size() > 1) {
+        Bus next;
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(lor(level[i], level[i + 1]));
+        if (level.size() % 2)
+            next.push_back(level.back());
+        level = std::move(next);
+    }
+    return level[0];
+}
+
+CircuitBuilder::NodeId
+CircuitBuilder::reduceAnd(const Bus &a)
+{
+    panicIf(a.empty(), "reduceAnd: empty bus");
+    Bus level = a;
+    while (level.size() > 1) {
+        Bus next;
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(land(level[i], level[i + 1]));
+        if (level.size() % 2)
+            next.push_back(level.back());
+        level = std::move(next);
+    }
+    return level[0];
+}
+
+Bus
+CircuitBuilder::slice(const Bus &a, unsigned lo, unsigned n)
+{
+    panicIf(lo + n > a.size(), "slice: out of range");
+    return Bus(a.begin() + lo, a.begin() + lo + n);
+}
+
+Bus
+CircuitBuilder::concat(const Bus &low, const Bus &high)
+{
+    Bus out = low;
+    out.insert(out.end(), high.begin(), high.end());
+    return out;
+}
+
+void
+CircuitBuilder::markOutput(const Bus &a)
+{
+    for (auto bit : a)
+        nl.markOutput(bit);
+}
+
+CircuitBuilder::AddResult
+CircuitBuilder::rippleAdd(const Bus &a, const Bus &b, NodeId carry_in)
+{
+    panicIf(a.size() != b.size(), "rippleAdd: width mismatch");
+    AddResult res;
+    res.sum.resize(a.size());
+    NodeId carry = carry_in;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const NodeId p = lxor(a[i], b[i]);
+        res.sum[i] = lxor(p, carry);
+        carry = lor(land(a[i], b[i]), land(p, carry));
+    }
+    res.carryOut = carry;
+    return res;
+}
+
+CircuitBuilder::AddResult
+CircuitBuilder::koggeStoneAdd(const Bus &a, const Bus &b, NodeId carry_in)
+{
+    panicIf(a.size() != b.size(), "koggeStoneAdd: width mismatch");
+    const std::size_t n = a.size();
+    Bus p(n), g(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        p[i] = lxor(a[i], b[i]);
+        g[i] = land(a[i], b[i]);
+    }
+    // Parallel prefix: after the sweep, g[i] generates a carry out of
+    // bit i from bits [0..i]; p[i] propagates across [0..i].
+    Bus gp = g, pp = p;
+    for (std::size_t dist = 1; dist < n; dist *= 2) {
+        Bus gNext = gp, pNext = pp;
+        for (std::size_t i = dist; i < n; ++i) {
+            gNext[i] = lor(gp[i], land(pp[i], gp[i - dist]));
+            pNext[i] = land(pp[i], pp[i - dist]);
+        }
+        gp = std::move(gNext);
+        pp = std::move(pNext);
+    }
+    AddResult res;
+    res.sum.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const NodeId carry_i =
+            i == 0 ? carry_in
+                   : lor(gp[i - 1], land(pp[i - 1], carry_in));
+        res.sum[i] = lxor(p[i], carry_i);
+    }
+    res.carryOut = lor(gp[n - 1], land(pp[n - 1], carry_in));
+    return res;
+}
+
+CircuitBuilder::AddResult
+CircuitBuilder::increment(const Bus &a, NodeId carry_in)
+{
+    AddResult res;
+    res.sum.resize(a.size());
+    NodeId carry = carry_in;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        res.sum[i] = lxor(a[i], carry);
+        carry = land(a[i], carry);
+    }
+    res.carryOut = carry;
+    return res;
+}
+
+Bus
+CircuitBuilder::multiply(const Bus &a, const Bus &b)
+{
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    Bus acc = constBus(0, static_cast<unsigned>(n + m));
+    for (std::size_t i = 0; i < m; ++i) {
+        const Bus row = busAndBit(a, b[i]);
+        const Bus sliceBits =
+            slice(acc, static_cast<unsigned>(i), static_cast<unsigned>(n));
+        auto add = rippleAdd(sliceBits, row, zero());
+        for (std::size_t k = 0; k < n; ++k)
+            acc[i + k] = add.sum[k];
+        // Ripple the row's carry up through the remaining accumulator.
+        NodeId carry = add.carryOut;
+        for (std::size_t j = i + n; j < n + m; ++j) {
+            const NodeId oldBit = acc[j];
+            acc[j] = lxor(oldBit, carry);
+            carry = land(oldBit, carry);
+        }
+    }
+    return acc;
+}
+
+CircuitBuilder::ShiftResult
+CircuitBuilder::shiftRightSticky(const Bus &value, const Bus &amount)
+{
+    ShiftResult res;
+    res.value = value;
+    res.sticky = zero();
+    const std::size_t n = value.size();
+    for (std::size_t k = 0; k < amount.size(); ++k) {
+        const std::size_t dist = 1ull << k;
+        const NodeId sel = amount[k];
+        // Bits that fall off the low end when this stage is active.
+        const std::size_t lostCount = dist < n ? dist : n;
+        const NodeId lost =
+            reduceOr(slice(res.value, 0, static_cast<unsigned>(lostCount)));
+        res.sticky = lor(res.sticky, land(sel, lost));
+        Bus shifted(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const NodeId moved =
+                i + dist < n ? res.value[i + dist] : zero();
+            shifted[i] = mux(sel, moved, res.value[i]);
+        }
+        res.value = std::move(shifted);
+    }
+    return res;
+}
+
+Bus
+CircuitBuilder::shiftLeft(const Bus &value, const Bus &amount)
+{
+    Bus cur = value;
+    const std::size_t n = value.size();
+    for (std::size_t k = 0; k < amount.size(); ++k) {
+        const std::size_t dist = 1ull << k;
+        const NodeId sel = amount[k];
+        Bus shifted(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const NodeId moved = i >= dist ? cur[i - dist] : zero();
+            shifted[i] = mux(sel, moved, cur[i]);
+        }
+        cur = std::move(shifted);
+    }
+    return cur;
+}
+
+Bus
+CircuitBuilder::leadingZeroCount(const Bus &value)
+{
+    const std::size_t n = value.size();
+    unsigned resultWidth = 1;
+    while ((1ull << resultWidth) <= n)
+        ++resultWidth;
+
+    Bus result(resultWidth);
+    for (auto &bit : result)
+        bit = zero();
+
+    // One-hot "first set bit from the MSB" chain; OR its position code
+    // into the result.
+    NodeId notFound = one();
+    for (std::size_t i = n; i-- > 0;) {
+        const NodeId sel = land(notFound, value[i]);
+        const std::size_t count = n - 1 - i;
+        for (unsigned j = 0; j < resultWidth; ++j) {
+            if ((count >> j) & 1)
+                result[j] = lor(result[j], sel);
+        }
+        notFound = land(notFound, lnot(value[i]));
+    }
+    // All-zero input counts the full width.
+    for (unsigned j = 0; j < resultWidth; ++j) {
+        if ((n >> j) & 1)
+            result[j] = lor(result[j], notFound);
+    }
+    return result;
+}
+
+} // namespace harpo::gates

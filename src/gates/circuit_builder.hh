@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Bus-level construction helpers over a Netlist: logic on bit buses,
+ * muxes, ripple/Kogge-Stone adders, shifters with sticky collection,
+ * leading-zero counters — the building blocks of the FU circuits.
+ */
+
+#ifndef HARPOCRATES_GATES_CIRCUIT_BUILDER_HH
+#define HARPOCRATES_GATES_CIRCUIT_BUILDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gates/netlist.hh"
+
+namespace harpo::gates
+{
+
+/** A little-endian bus of netlist nodes (index 0 = LSB). */
+using Bus = std::vector<Netlist::NodeId>;
+
+/**
+ * Fluent circuit construction over a Netlist.
+ *
+ * The builder performs light logic synthesis as it goes: constants
+ * are deduplicated and folded, and algebraic identities
+ * (x&0, x|1, x^x, x&x, muxes with constant selects or equal arms)
+ * are simplified to existing nodes. This matches what any synthesis
+ * flow would emit — the stuck-at fault population consists only of
+ * gates that exist in an optimized netlist — and substantially
+ * shrinks the array multiplier, whose accumulator starts constant.
+ */
+class CircuitBuilder
+{
+  public:
+    using NodeId = Netlist::NodeId;
+
+    explicit CircuitBuilder(Netlist &netlist) : nl(netlist) {}
+
+    Netlist &netlist() { return nl; }
+
+    // ---- Primitives (with folding) ----
+    NodeId zero();
+    NodeId one();
+    NodeId lnot(NodeId a);
+    NodeId land(NodeId a, NodeId b);
+    NodeId lor(NodeId a, NodeId b);
+    NodeId lxor(NodeId a, NodeId b);
+
+    /** 2:1 mux: sel ? on_true : on_false. */
+    NodeId mux(NodeId sel, NodeId on_true, NodeId on_false);
+
+    // ---- Buses ----
+    Bus inputBus(unsigned n);
+    Bus constBus(std::uint64_t value, unsigned n);
+    Bus busNot(const Bus &a);
+    Bus busAnd(const Bus &a, const Bus &b);
+    Bus busOr(const Bus &a, const Bus &b);
+    Bus busXor(const Bus &a, const Bus &b);
+    /** AND every bit of @p a with the single signal @p s. */
+    Bus busAndBit(const Bus &a, NodeId s);
+    Bus busMux(NodeId sel, const Bus &on_true, const Bus &on_false);
+    NodeId reduceOr(const Bus &a);
+    NodeId reduceAnd(const Bus &a);
+    /** Slice [lo, lo+n) of a bus. */
+    static Bus slice(const Bus &a, unsigned lo, unsigned n);
+    /** Concatenate: low bits first. */
+    static Bus concat(const Bus &low, const Bus &high);
+    void markOutput(const Bus &a);
+
+    // ---- Arithmetic ----
+    struct AddResult
+    {
+        Bus sum;
+        NodeId carryOut;
+    };
+    /** Ripple-carry adder (compact; used inside the multiplier). */
+    AddResult rippleAdd(const Bus &a, const Bus &b, NodeId carry_in);
+    /** Kogge-Stone parallel-prefix adder (the "fast adder" FU). */
+    AddResult koggeStoneAdd(const Bus &a, const Bus &b, NodeId carry_in);
+    /** a + (0/1): incrementer with carry chain. */
+    AddResult increment(const Bus &a, NodeId carry_in);
+
+    /** Unsigned shift-add array multiplication (n x m -> n+m bits). */
+    Bus multiply(const Bus &a, const Bus &b);
+
+    // ---- Shifters / counters ----
+    /** Logical right shift by a log2-encoded amount, OR-ing every
+     *  shifted-out bit into the sticky output (shift-right-jam). */
+    struct ShiftResult
+    {
+        Bus value;
+        NodeId sticky;
+    };
+    ShiftResult shiftRightSticky(const Bus &value, const Bus &amount);
+    /** Logical left shift by a log2-encoded amount. */
+    Bus shiftLeft(const Bus &value, const Bus &amount);
+    /** Leading-zero count of @p value (MSB side), log2-width result. */
+    Bus leadingZeroCount(const Bus &value);
+
+  private:
+    /** Constness of a node, if known. */
+    enum class Known : std::uint8_t { No, Zero, One };
+    Known knownOf(NodeId id) const;
+
+    Netlist &nl;
+    std::vector<std::uint8_t> known; // per-node Known, lazily extended
+    NodeId const0 = 0;
+    NodeId const1 = 0;
+    bool haveConst0 = false;
+    bool haveConst1 = false;
+
+    void noteKnown(NodeId id, Known k);
+};
+
+} // namespace harpo::gates
+
+#endif // HARPOCRATES_GATES_CIRCUIT_BUILDER_HH

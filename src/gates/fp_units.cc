@@ -1,0 +1,336 @@
+#include "gates/fp_units.hh"
+
+#include "common/softfloat.hh"
+#include "gates/circuit_builder.hh"
+
+namespace harpo::gates
+{
+
+namespace
+{
+
+using NodeId = Netlist::NodeId;
+
+void
+packWord(std::vector<std::uint8_t> &inputs, std::uint64_t v, unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i)
+        inputs.push_back(static_cast<std::uint8_t>((v >> i) & 1));
+}
+
+std::uint64_t
+unpackWord(const std::vector<std::uint8_t> &bits, unsigned lo, unsigned n)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < n; ++i)
+        v |= static_cast<std::uint64_t>(bits[lo + i] & 1) << i;
+    return v;
+}
+
+/** Unpacked fp64 operand classification signals. */
+struct FpClass
+{
+    NodeId sign;
+    Bus exp;    // 11 bits
+    Bus frac;   // 52 bits
+    NodeId isNan;
+    NodeId isInf;
+    NodeId isZero; // exp == 0: true zero or subnormal (DAZ)
+};
+
+FpClass
+classify(CircuitBuilder &cb, const Bus &operand)
+{
+    FpClass c;
+    c.sign = operand[63];
+    c.exp = CircuitBuilder::slice(operand, 52, 11);
+    c.frac = CircuitBuilder::slice(operand, 0, 52);
+    const NodeId expAll = cb.reduceAnd(c.exp);
+    const NodeId fracAny = cb.reduceOr(c.frac);
+    c.isNan = cb.land(expAll, fracAny);
+    c.isInf = cb.land(expAll, cb.lnot(fracAny));
+    c.isZero = cb.lnot(cb.reduceOr(c.exp));
+    return c;
+}
+
+/** Pack (sign, exp11, frac52) into a 64-bit result bus. */
+Bus
+packFp(const NodeId sign, const Bus &exp, const Bus &frac)
+{
+    Bus out = frac;
+    out.insert(out.end(), exp.begin(), exp.end());
+    out.push_back(sign);
+    return out;
+}
+
+/** sign|0x000... : signed zero with a dynamic sign node. */
+Bus
+zeroFp(CircuitBuilder &cb, NodeId sign)
+{
+    return packFp(sign, cb.constBus(0, 11), cb.constBus(0, 52));
+}
+
+Bus
+infFp(CircuitBuilder &cb, NodeId sign)
+{
+    return packFp(sign, cb.constBus(0x7FF, 11), cb.constBus(0, 52));
+}
+
+Bus
+nanFp(CircuitBuilder &cb)
+{
+    return cb.constBus(kCanonicalNan, 64);
+}
+
+/**
+ * Shared rounding/packing tail: round a 56-bit working significand
+ * (mantissa [55..3], GRS [2..0]) to nearest-even, apply the mantissa
+ * carry to the exponent, and pack with overflow-to-Inf and FTZ.
+ *
+ * @param exp13 13-bit two's-complement pre-round exponent.
+ * @param ftz_pre Pre-round flush condition (exp13 <= 0 on the paths
+ *        where the software model checks before rounding).
+ */
+Bus
+roundPackCircuit(CircuitBuilder &cb, NodeId sign, const Bus &exp13,
+                 const Bus &sig56, NodeId ftz_pre)
+{
+    const NodeId lsb = sig56[3];
+    const NodeId guard = sig56[2];
+    const NodeId rs = cb.lor(sig56[1], sig56[0]);
+    const NodeId roundUp = cb.land(guard, cb.lor(rs, lsb));
+
+    const Bus mant53 = CircuitBuilder::slice(sig56, 3, 53);
+    const auto inc = cb.increment(mant53, roundUp);
+    const NodeId mantCarry = inc.carryOut;
+    // On carry the incremented mantissa is all zero; the result
+    // mantissa is 1.000...0.
+    Bus mantFinal(53);
+    for (unsigned i = 0; i < 52; ++i)
+        mantFinal[i] = cb.mux(mantCarry, inc.sum[i + 1], inc.sum[i]);
+    mantFinal[52] = cb.mux(mantCarry, cb.one(), inc.sum[52]);
+
+    const Bus expFinal = cb.increment(exp13, mantCarry).sum;
+
+    // Overflow: expFinal >= 2047 (two's complement, non-negative).
+    const NodeId expNeg = expFinal[12];
+    const NodeId ge2047 =
+        cb.rippleAdd(expFinal, cb.busNot(cb.constBus(2047, 13)), cb.one())
+            .carryOut;
+    const NodeId overflow = cb.land(ge2047, cb.lnot(expNeg));
+    // Post-round flush: exponent non-positive.
+    const NodeId expZero = cb.lnot(cb.reduceOr(expFinal));
+    const NodeId ftzPost = cb.lor(expNeg, expZero);
+
+    const Bus frac52 = CircuitBuilder::slice(mantFinal, 0, 52);
+    const Bus exp11 = CircuitBuilder::slice(expFinal, 0, 11);
+    Bus result = packFp(sign, exp11, frac52);
+    result = cb.busMux(ftzPost, zeroFp(cb, sign), result);
+    result = cb.busMux(overflow, infFp(cb, sign), result);
+    result = cb.busMux(ftz_pre, zeroFp(cb, sign), result);
+    return result;
+}
+
+/** DAZ view of an operand: subnormal encodings become signed zero. */
+Bus
+dazFp(CircuitBuilder &cb, const FpClass &c)
+{
+    const Bus frac = cb.busAndBit(c.frac, cb.lnot(c.isZero));
+    return packFp(c.sign, c.exp, frac);
+}
+
+std::uint64_t
+evaluate64(const Netlist &nl, std::uint64_t a, std::uint64_t b,
+           std::int64_t stuck_gate, bool stuck_value)
+{
+    thread_local std::vector<std::uint8_t> scratch;
+    thread_local std::vector<std::uint8_t> inputs;
+    thread_local std::vector<std::uint8_t> outputs;
+    inputs.clear();
+    packWord(inputs, a, 64);
+    packWord(inputs, b, 64);
+    nl.evaluate(inputs, outputs, stuck_gate, stuck_value, scratch);
+    return unpackWord(outputs, 0, 64);
+}
+
+} // namespace
+
+FpAdderCircuit::FpAdderCircuit()
+{
+    CircuitBuilder cb(nl);
+    const Bus a = cb.inputBus(64);
+    const Bus b = cb.inputBus(64);
+    const FpClass ca = classify(cb, a);
+    const FpClass cB = classify(cb, b);
+
+    // ---- Magnitude compare ({exp, frac} as a 63-bit integer). ----
+    const Bus magA = CircuitBuilder::concat(ca.frac, ca.exp);
+    const Bus magB = CircuitBuilder::concat(cB.frac, cB.exp);
+    const NodeId aGeB =
+        cb.rippleAdd(magA, cb.busNot(magB), cb.one()).carryOut;
+
+    const Bus expBig = cb.busMux(aGeB, ca.exp, cB.exp);
+    const Bus expSmall = cb.busMux(aGeB, cB.exp, ca.exp);
+    const Bus fracBig = cb.busMux(aGeB, ca.frac, cB.frac);
+    const Bus fracSmall = cb.busMux(aGeB, cB.frac, ca.frac);
+    const NodeId signBig = cb.mux(aGeB, ca.sign, cB.sign);
+    const NodeId signSmall = cb.mux(aGeB, cB.sign, ca.sign);
+    const NodeId effSub = cb.lxor(signBig, signSmall);
+
+    // ---- 56-bit working significands: [GRS | frac52 | 1]. ----
+    auto widen = [&](const Bus &frac) {
+        Bus sig = cb.constBus(0, 3);
+        sig.insert(sig.end(), frac.begin(), frac.end());
+        sig.push_back(cb.one());
+        return sig;
+    };
+    const Bus sigBig = widen(fracBig);
+    const Bus sigSmallRaw = widen(fracSmall);
+
+    // ---- Alignment shift with sticky (shift-right-jam). ----
+    const Bus d11 =
+        cb.rippleAdd(expBig, cb.busNot(expSmall), cb.one()).sum;
+    const Bus dLow = CircuitBuilder::slice(d11, 0, 6);
+    const NodeId dHigh = cb.reduceOr(CircuitBuilder::slice(d11, 6, 5));
+    auto shift = cb.shiftRightSticky(sigSmallRaw, dLow);
+    const NodeId allOut = cb.reduceOr(sigSmallRaw);
+    Bus sigSmall = cb.busAndBit(shift.value, cb.lnot(dHigh));
+    const NodeId sticky = cb.mux(dHigh, allOut, shift.sticky);
+    sigSmall[0] = cb.lor(sigSmall[0], sticky);
+
+    // ---- Add path: sum with carry-normalisation (right shift 1). ----
+    const auto addRes = cb.koggeStoneAdd(sigBig, sigSmall, cb.zero());
+    Bus addShifted(56);
+    for (unsigned i = 0; i < 55; ++i)
+        addShifted[i] = addRes.sum[i + 1];
+    addShifted[55] = addRes.carryOut; // the carried-out one
+    addShifted[0] = cb.lor(addShifted[0], addRes.sum[0]); // jam
+    const Bus addSig = cb.busMux(addRes.carryOut, addShifted, addRes.sum);
+
+    // ---- Sub path: difference, LZC normalisation. ----
+    const auto subRes =
+        cb.koggeStoneAdd(sigBig, cb.busNot(sigSmall), cb.one());
+    const Bus diff = subRes.sum;
+    const NodeId diffZero = cb.lnot(cb.reduceOr(diff));
+    const Bus lzc = cb.leadingZeroCount(diff); // 6 bits
+    const Bus normDiff = cb.shiftLeft(diff, lzc);
+
+    const Bus sigPre = cb.busMux(effSub, normDiff, addSig);
+
+    // ---- Exponent (13-bit two's complement). ----
+    Bus expBig13 = expBig;
+    expBig13.push_back(cb.zero());
+    expBig13.push_back(cb.zero());
+    const Bus expAdd13 = cb.increment(expBig13, addRes.carryOut).sum;
+    Bus lzc13 = lzc;
+    while (lzc13.size() < 13)
+        lzc13.push_back(cb.zero());
+    const Bus expSub13 =
+        cb.rippleAdd(expBig13, cb.busNot(lzc13), cb.one()).sum;
+    const Bus exp13 = cb.busMux(effSub, expSub13, expAdd13);
+
+    // Pre-round flush (only reachable on the subtract path, matching
+    // the software model's in-loop check).
+    const NodeId expNegPre = exp13[12];
+    const NodeId expZeroPre = cb.lnot(cb.reduceOr(exp13));
+    const NodeId ftzPre =
+        cb.land(effSub, cb.lor(expNegPre, expZeroPre));
+
+    Bus result = roundPackCircuit(cb, signBig, exp13, sigPre, ftzPre);
+
+    // Exact cancellation yields +0.
+    result = cb.busMux(cb.land(effSub, diffZero), zeroFp(cb, cb.zero()),
+                       result);
+
+    // ---- Special-case cascade (lowest priority first). ----
+    result = cb.busMux(cB.isZero, dazFp(cb, ca), result);
+    result = cb.busMux(ca.isZero, dazFp(cb, cB), result);
+    result = cb.busMux(cb.land(ca.isZero, cB.isZero),
+                       zeroFp(cb, cb.land(ca.sign, cB.sign)), result);
+    result = cb.busMux(cB.isInf, infFp(cb, cB.sign), result);
+    result = cb.busMux(ca.isInf, infFp(cb, ca.sign), result);
+    const NodeId oppInf = cb.land(cb.land(ca.isInf, cB.isInf),
+                                  cb.lxor(ca.sign, cB.sign));
+    const NodeId anyNan = cb.lor(cb.lor(ca.isNan, cB.isNan), oppInf);
+    result = cb.busMux(anyNan, nanFp(cb), result);
+
+    cb.markOutput(result);
+}
+
+std::uint64_t
+FpAdderCircuit::compute(std::uint64_t a, std::uint64_t b,
+                        std::int64_t stuck_gate, bool stuck_value) const
+{
+    return evaluate64(nl, a, b, stuck_gate, stuck_value);
+}
+
+FpMultiplierCircuit::FpMultiplierCircuit()
+{
+    CircuitBuilder cb(nl);
+    const Bus a = cb.inputBus(64);
+    const Bus b = cb.inputBus(64);
+    const FpClass ca = classify(cb, a);
+    const FpClass cB = classify(cb, b);
+    const NodeId sign = cb.lxor(ca.sign, cB.sign);
+
+    // ---- 53x53 significand product. ----
+    Bus sigA = ca.frac;
+    sigA.push_back(cb.one());
+    Bus sigB = cB.frac;
+    sigB.push_back(cb.one());
+    const Bus prod = cb.multiply(sigA, sigB); // 106 bits
+    const NodeId msb = prod[105];
+
+    // ---- Exponent: expA + expB - 1023 (+1 if product >= 2). ----
+    Bus expA13 = ca.exp;
+    Bus expB13 = cB.exp;
+    while (expA13.size() < 13) {
+        expA13.push_back(cb.zero());
+        expB13.push_back(cb.zero());
+    }
+    const Bus expSum = cb.rippleAdd(expA13, expB13, cb.zero()).sum;
+    const Bus expBiased =
+        cb.rippleAdd(expSum, cb.busNot(cb.constBus(1023, 13)), cb.one())
+            .sum;
+    const Bus exp13 = cb.increment(expBiased, msb).sum;
+
+    // ---- Align the leading one to bit 55 of a 56-bit significand,
+    // jamming the dropped low bits into bit 0. ----
+    Bus sig56(56);
+    for (unsigned i = 0; i < 56; ++i)
+        sig56[i] = cb.mux(msb, prod[50 + i], prod[49 + i]);
+    const NodeId stickyLow =
+        cb.reduceOr(CircuitBuilder::slice(prod, 0, 49));
+    const NodeId sticky =
+        cb.lor(stickyLow, cb.land(msb, prod[49]));
+    sig56[0] = cb.lor(sig56[0], sticky);
+
+    // Pre-round flush: exp <= 0 (checked before rounding, matching
+    // softMul64's ordering).
+    const NodeId ftzPre =
+        cb.lor(exp13[12], cb.lnot(cb.reduceOr(exp13)));
+
+    Bus result = roundPackCircuit(cb, sign, exp13, sig56, ftzPre);
+
+    // ---- Special-case cascade. ----
+    const NodeId anyZero = cb.lor(ca.isZero, cB.isZero);
+    const NodeId anyInf = cb.lor(ca.isInf, cB.isInf);
+    result = cb.busMux(anyZero, zeroFp(cb, sign), result);
+    result = cb.busMux(anyInf, infFp(cb, sign), result);
+    const NodeId infTimesZero = cb.land(anyInf, anyZero);
+    const NodeId anyNan =
+        cb.lor(cb.lor(ca.isNan, cB.isNan), infTimesZero);
+    result = cb.busMux(anyNan, nanFp(cb), result);
+
+    cb.markOutput(result);
+}
+
+std::uint64_t
+FpMultiplierCircuit::compute(std::uint64_t a, std::uint64_t b,
+                             std::int64_t stuck_gate,
+                             bool stuck_value) const
+{
+    return evaluate64(nl, a, b, stuck_gate, stuck_value);
+}
+
+} // namespace harpo::gates

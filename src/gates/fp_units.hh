@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Gate-level SSE double-precision functional units: an FP adder and an
+ * FP multiplier implementing exactly the FTZ/RNE datapath model of
+ * common/softfloat.hh (they are cross-checked bit-for-bit in tests).
+ *
+ * The adder handles subtraction too: the ISA semantics flip the sign
+ * bit of the second operand, exactly as SUBSD drives the shared
+ * add/sub datapath in hardware.
+ */
+
+#ifndef HARPOCRATES_GATES_FP_UNITS_HH
+#define HARPOCRATES_GATES_FP_UNITS_HH
+
+#include <cstdint>
+
+#include "gates/netlist.hh"
+
+namespace harpo::gates
+{
+
+/** IEEE-754 double-precision adder (FTZ / round-to-nearest-even). */
+class FpAdderCircuit
+{
+  public:
+    FpAdderCircuit();
+
+    std::uint64_t compute(std::uint64_t a, std::uint64_t b,
+                          std::int64_t stuck_gate = Netlist::noFault,
+                          bool stuck_value = false) const;
+
+    const Netlist &netlist() const { return nl; }
+
+  private:
+    Netlist nl;
+};
+
+/** IEEE-754 double-precision multiplier (FTZ / RNE). */
+class FpMultiplierCircuit
+{
+  public:
+    FpMultiplierCircuit();
+
+    std::uint64_t compute(std::uint64_t a, std::uint64_t b,
+                          std::int64_t stuck_gate = Netlist::noFault,
+                          bool stuck_value = false) const;
+
+    const Netlist &netlist() const { return nl; }
+
+  private:
+    Netlist nl;
+};
+
+} // namespace harpo::gates
+
+#endif // HARPOCRATES_GATES_FP_UNITS_HH

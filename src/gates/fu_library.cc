@@ -1,0 +1,32 @@
+#include "gates/fu_library.hh"
+
+#include "common/logging.hh"
+
+namespace harpo::gates
+{
+
+const FuLibrary &
+FuLibrary::instance()
+{
+    static const FuLibrary library;
+    return library;
+}
+
+const Netlist &
+FuLibrary::netlistFor(isa::FuCircuit circuit) const
+{
+    switch (circuit) {
+      case isa::FuCircuit::IntAdd:
+        return intAdd.netlist();
+      case isa::FuCircuit::IntMul:
+        return intMul.netlist();
+      case isa::FuCircuit::FpAdd:
+        return fpAdd.netlist();
+      case isa::FuCircuit::FpMul:
+        return fpMul.netlist();
+      default:
+        panic("netlistFor: no circuit for FuCircuit::None");
+    }
+}
+
+} // namespace harpo::gates

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Process-wide library of the four gate-level functional units.
+ *
+ * Circuit construction is expensive (tens of thousands of gates), so
+ * the fault-injection engine and tests share one immutable instance of
+ * each circuit. Evaluation is thread-safe (per-thread scratch buffers).
+ */
+
+#ifndef HARPOCRATES_GATES_FU_LIBRARY_HH
+#define HARPOCRATES_GATES_FU_LIBRARY_HH
+
+#include "gates/int_units.hh"
+#include "gates/fp_units.hh"
+#include "isa/instruction.hh"
+
+namespace harpo::gates
+{
+
+/** Lazily constructed shared circuits. */
+class FuLibrary
+{
+  public:
+    static const FuLibrary &instance();
+
+    const IntAdderCircuit &intAdder() const { return intAdd; }
+    const IntMultiplierCircuit &intMultiplier() const { return intMul; }
+    const FpAdderCircuit &fpAdder() const { return fpAdd; }
+    const FpMultiplierCircuit &fpMultiplier() const { return fpMul; }
+
+    /** Netlist for a given FU circuit kind (panics on None). */
+    const Netlist &netlistFor(isa::FuCircuit circuit) const;
+
+  private:
+    FuLibrary() = default;
+
+    IntAdderCircuit intAdd;
+    IntMultiplierCircuit intMul;
+    FpAdderCircuit fpAdd;
+    FpMultiplierCircuit fpMul;
+};
+
+} // namespace harpo::gates
+
+#endif // HARPOCRATES_GATES_FU_LIBRARY_HH

@@ -1,0 +1,85 @@
+#include "gates/int_units.hh"
+
+#include "gates/circuit_builder.hh"
+
+namespace harpo::gates
+{
+
+namespace
+{
+
+void
+packWord(std::vector<std::uint8_t> &inputs, std::uint64_t v, unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i)
+        inputs.push_back(static_cast<std::uint8_t>((v >> i) & 1));
+}
+
+std::uint64_t
+unpackWord(const std::vector<std::uint8_t> &bits, unsigned lo, unsigned n)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < n; ++i)
+        v |= static_cast<std::uint64_t>(bits[lo + i] & 1) << i;
+    return v;
+}
+
+} // namespace
+
+IntAdderCircuit::IntAdderCircuit()
+{
+    CircuitBuilder cb(nl);
+    const Bus a = cb.inputBus(64);
+    const Bus b = cb.inputBus(64);
+    const auto cin = nl.addInput();
+    const auto add = cb.koggeStoneAdd(a, b, cin);
+    cb.markOutput(add.sum);
+    nl.markOutput(add.carryOut);
+}
+
+IntAdderCircuit::Result
+IntAdderCircuit::compute(std::uint64_t a, std::uint64_t b, bool carry_in,
+                         std::int64_t stuck_gate, bool stuck_value) const
+{
+    thread_local std::vector<std::uint8_t> scratch;
+    thread_local std::vector<std::uint8_t> inputs;
+    thread_local std::vector<std::uint8_t> outputs;
+    inputs.clear();
+    packWord(inputs, a, 64);
+    packWord(inputs, b, 64);
+    inputs.push_back(carry_in ? 1 : 0);
+    nl.evaluate(inputs, outputs, stuck_gate, stuck_value, scratch);
+    Result r;
+    r.sum = unpackWord(outputs, 0, 64);
+    r.carryOut = outputs[64] != 0;
+    return r;
+}
+
+IntMultiplierCircuit::IntMultiplierCircuit()
+{
+    CircuitBuilder cb(nl);
+    const Bus a = cb.inputBus(64);
+    const Bus b = cb.inputBus(64);
+    const Bus prod = cb.multiply(a, b);
+    cb.markOutput(prod); // 128 output bits, low first
+}
+
+IntMultiplierCircuit::Result
+IntMultiplierCircuit::compute(std::uint64_t a, std::uint64_t b,
+                              std::int64_t stuck_gate,
+                              bool stuck_value) const
+{
+    thread_local std::vector<std::uint8_t> scratch;
+    thread_local std::vector<std::uint8_t> inputs;
+    thread_local std::vector<std::uint8_t> outputs;
+    inputs.clear();
+    packWord(inputs, a, 64);
+    packWord(inputs, b, 64);
+    nl.evaluate(inputs, outputs, stuck_gate, stuck_value, scratch);
+    Result r;
+    r.lo = unpackWord(outputs, 0, 64);
+    r.hi = unpackWord(outputs, 64, 64);
+    return r;
+}
+
+} // namespace harpo::gates

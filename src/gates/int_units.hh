@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Gate-level integer functional units: a 64-bit Kogge-Stone adder and a
+ * 64x64 -> 128-bit array multiplier. These are the structural models
+ * the permanent stuck-at fault campaigns inject into (paper III-C).
+ */
+
+#ifndef HARPOCRATES_GATES_INT_UNITS_HH
+#define HARPOCRATES_GATES_INT_UNITS_HH
+
+#include <cstdint>
+
+#include "gates/netlist.hh"
+
+namespace harpo::gates
+{
+
+/** 64-bit parallel-prefix (Kogge-Stone) adder with carry-in/out. */
+class IntAdderCircuit
+{
+  public:
+    IntAdderCircuit();
+
+    struct Result
+    {
+        std::uint64_t sum = 0;
+        bool carryOut = false;
+    };
+
+    /** Evaluate, optionally with one gate stuck at @p stuck_value. */
+    Result compute(std::uint64_t a, std::uint64_t b, bool carry_in,
+                   std::int64_t stuck_gate = Netlist::noFault,
+                   bool stuck_value = false) const;
+
+    const Netlist &netlist() const { return nl; }
+
+  private:
+    Netlist nl;
+};
+
+/** 64x64 -> 128-bit unsigned array multiplier. */
+class IntMultiplierCircuit
+{
+  public:
+    IntMultiplierCircuit();
+
+    struct Result
+    {
+        std::uint64_t lo = 0;
+        std::uint64_t hi = 0;
+    };
+
+    Result compute(std::uint64_t a, std::uint64_t b,
+                   std::int64_t stuck_gate = Netlist::noFault,
+                   bool stuck_value = false) const;
+
+    const Netlist &netlist() const { return nl; }
+
+  private:
+    Netlist nl;
+};
+
+} // namespace harpo::gates
+
+#endif // HARPOCRATES_GATES_INT_UNITS_HH

@@ -1,0 +1,104 @@
+#include "gates/netlist.hh"
+
+#include "common/logging.hh"
+
+namespace harpo::gates
+{
+
+Netlist::NodeId
+Netlist::addInput()
+{
+    const NodeId id = static_cast<NodeId>(nodes.size());
+    nodes.push_back({GateKind::Input, 0, 0});
+    inputOrder.push_back(id);
+    ++inputCount;
+    return id;
+}
+
+Netlist::NodeId
+Netlist::constant(bool value)
+{
+    const NodeId id = static_cast<NodeId>(nodes.size());
+    nodes.push_back({value ? GateKind::Const1 : GateKind::Const0, 0, 0});
+    return id;
+}
+
+Netlist::NodeId
+Netlist::unary(GateKind kind, NodeId a)
+{
+    panicIf(kind != GateKind::Buf && kind != GateKind::Not,
+            "unary: not a unary gate kind");
+    panicIf(a >= nodes.size(), "unary: operand not yet defined");
+    const NodeId id = static_cast<NodeId>(nodes.size());
+    nodes.push_back({kind, a, a});
+    logic.push_back(id);
+    return id;
+}
+
+Netlist::NodeId
+Netlist::binary(GateKind kind, NodeId a, NodeId b)
+{
+    panicIf(kind == GateKind::Buf || kind == GateKind::Not ||
+                kind == GateKind::Input || kind == GateKind::Const0 ||
+                kind == GateKind::Const1,
+            "binary: not a binary gate kind");
+    panicIf(a >= nodes.size() || b >= nodes.size(),
+            "binary: operand not yet defined");
+    const NodeId id = static_cast<NodeId>(nodes.size());
+    nodes.push_back({kind, a, b});
+    logic.push_back(id);
+    return id;
+}
+
+void
+Netlist::markOutput(NodeId id)
+{
+    panicIf(id >= nodes.size(), "markOutput: node not defined");
+    outputs.push_back(id);
+}
+
+void
+Netlist::evaluate(const std::vector<std::uint8_t> &inputs,
+                  std::vector<std::uint8_t> &outputs_out,
+                  std::int64_t stuck_gate, bool stuck_value,
+                  std::vector<std::uint8_t> &scratch) const
+{
+    panicIf(inputs.size() != inputCount,
+            "Netlist::evaluate: input count mismatch");
+    scratch.resize(nodes.size());
+
+    std::size_t nextInput = 0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const Gate &g = nodes[i];
+        std::uint8_t v;
+        switch (g.kind) {
+          case GateKind::Const0: v = 0; break;
+          case GateKind::Const1: v = 1; break;
+          case GateKind::Input: v = inputs[nextInput++] & 1; break;
+          case GateKind::Buf: v = scratch[g.a]; break;
+          case GateKind::Not: v = scratch[g.a] ^ 1; break;
+          case GateKind::And: v = scratch[g.a] & scratch[g.b]; break;
+          case GateKind::Or: v = scratch[g.a] | scratch[g.b]; break;
+          case GateKind::Xor: v = scratch[g.a] ^ scratch[g.b]; break;
+          case GateKind::Nand:
+            v = (scratch[g.a] & scratch[g.b]) ^ 1;
+            break;
+          case GateKind::Nor:
+            v = (scratch[g.a] | scratch[g.b]) ^ 1;
+            break;
+          case GateKind::Xnor:
+            v = (scratch[g.a] ^ scratch[g.b]) ^ 1;
+            break;
+          default: v = 0; break;
+        }
+        if (static_cast<std::int64_t>(i) == stuck_gate)
+            v = stuck_value ? 1 : 0;
+        scratch[i] = v;
+    }
+
+    outputs_out.resize(outputs.size());
+    for (std::size_t i = 0; i < outputs.size(); ++i)
+        outputs_out[i] = scratch[outputs[i]];
+}
+
+} // namespace harpo::gates

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Structural gate-level netlists.
+ *
+ * The paper grades functional-unit tests with *permanent gate-level
+ * stuck-at faults* injected into gate-level models of the CPU's
+ * functional units. This module provides the netlist substrate: gates
+ * are appended in topological order (operands must already exist), and
+ * evaluation optionally forces one gate's output to a stuck value.
+ */
+
+#ifndef HARPOCRATES_GATES_NETLIST_HH
+#define HARPOCRATES_GATES_NETLIST_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace harpo::gates
+{
+
+enum class GateKind : std::uint8_t
+{
+    Const0,
+    Const1,
+    Input,
+    Buf,
+    Not,
+    And,
+    Or,
+    Xor,
+    Nand,
+    Nor,
+    Xnor,
+};
+
+/** One gate; @c a and @c b index earlier nodes. */
+struct Gate
+{
+    GateKind kind = GateKind::Const0;
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+};
+
+/** An append-only, topologically ordered gate netlist. */
+class Netlist
+{
+  public:
+    using NodeId = std::uint32_t;
+
+    /** Add a primary input; returns its node id. Input order defines
+     *  the layout of the evaluation input vector. */
+    NodeId addInput();
+
+    /** Constant node. */
+    NodeId constant(bool value);
+
+    /** Unary gate (Buf / Not). */
+    NodeId unary(GateKind kind, NodeId a);
+
+    /** Binary gate. */
+    NodeId binary(GateKind kind, NodeId a, NodeId b);
+
+    /** Append an output in order; outputs are read back by position. */
+    void markOutput(NodeId id);
+
+    std::size_t numNodes() const { return nodes.size(); }
+    std::size_t numInputs() const { return inputCount; }
+    std::size_t numOutputs() const { return outputs.size(); }
+
+    /** Ids of all logic gates (fault-injection candidates: everything
+     *  except constants and primary inputs). */
+    const std::vector<NodeId> &logicGates() const { return logic; }
+
+    /** No fault sentinel for evaluate(). */
+    static constexpr std::int64_t noFault = -1;
+
+    /**
+     * Evaluate the netlist.
+     *
+     * @param inputs One byte (0/1) per primary input, in input order.
+     * @param outputs Receives one byte per marked output.
+     * @param stuck_gate Node id forced to @p stuck_value, or noFault.
+     * @param scratch Reusable node-value buffer (resized as needed);
+     *        pass a per-thread buffer to avoid reallocation.
+     */
+    void evaluate(const std::vector<std::uint8_t> &inputs,
+                  std::vector<std::uint8_t> &outputs,
+                  std::int64_t stuck_gate, bool stuck_value,
+                  std::vector<std::uint8_t> &scratch) const;
+
+  private:
+    std::vector<Gate> nodes;
+    std::vector<NodeId> outputs;
+    std::vector<NodeId> logic;
+    std::vector<NodeId> inputOrder;
+    std::size_t inputCount = 0;
+};
+
+} // namespace harpo::gates
+
+#endif // HARPOCRATES_GATES_NETLIST_HH

@@ -1,0 +1,46 @@
+#include "isa/arith_model.hh"
+
+#include "common/softfloat.hh"
+
+namespace harpo::isa
+{
+
+std::uint64_t
+ArithModel::intAdd(std::uint64_t a, std::uint64_t b, bool carry_in,
+                   bool &carry_out)
+{
+    const unsigned __int128 wide = static_cast<unsigned __int128>(a) + b +
+                                   (carry_in ? 1 : 0);
+    carry_out = (wide >> 64) != 0;
+    return static_cast<std::uint64_t>(wide);
+}
+
+void
+ArithModel::intMul(std::uint64_t a, std::uint64_t b, std::uint64_t &lo,
+                   std::uint64_t &hi)
+{
+    const unsigned __int128 wide = static_cast<unsigned __int128>(a) * b;
+    lo = static_cast<std::uint64_t>(wide);
+    hi = static_cast<std::uint64_t>(wide >> 64);
+}
+
+std::uint64_t
+ArithModel::fpAdd(std::uint64_t a, std::uint64_t b)
+{
+    return softAdd64(a, b);
+}
+
+std::uint64_t
+ArithModel::fpMul(std::uint64_t a, std::uint64_t b)
+{
+    return softMul64(a, b);
+}
+
+ArithModel &
+ArithModel::functional()
+{
+    static ArithModel model;
+    return model;
+}
+
+} // namespace harpo::isa

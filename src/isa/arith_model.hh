@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The arithmetic datapath abstraction.
+ *
+ * Instruction semantics never compute adder/multiplier results directly;
+ * they ask an ArithModel. The default model is fast and functional. The
+ * fault-injection engine substitutes a model that routes the targeted
+ * unit's operations through a gate-level netlist carrying a stuck-at
+ * fault, and the IBR coverage analyser substitutes an observing model
+ * that records the exact input bits delivered to each unit.
+ */
+
+#ifndef HARPOCRATES_ISA_ARITH_MODEL_HH
+#define HARPOCRATES_ISA_ARITH_MODEL_HH
+
+#include <cstdint>
+
+namespace harpo::isa
+{
+
+/** Computational model of the four gate-level functional units. */
+class ArithModel
+{
+  public:
+    virtual ~ArithModel() = default;
+
+    /** 64-bit integer addition with carry-in; @p carry_out receives the
+     *  carry out of bit 63. Subtraction is expressed by the caller as
+     *  a + ~b + 1, exactly as the hardware adder is used. */
+    virtual std::uint64_t intAdd(std::uint64_t a, std::uint64_t b,
+                                 bool carry_in, bool &carry_out);
+
+    /** Unsigned 64x64 -> 128-bit multiplication. */
+    virtual void intMul(std::uint64_t a, std::uint64_t b,
+                        std::uint64_t &lo, std::uint64_t &hi);
+
+    /** fp64 addition under the FTZ/RNE datapath model (see softfloat). */
+    virtual std::uint64_t fpAdd(std::uint64_t a, std::uint64_t b);
+
+    /** fp64 multiplication under the FTZ/RNE datapath model. */
+    virtual std::uint64_t fpMul(std::uint64_t a, std::uint64_t b);
+
+    /** Shared fast functional instance. */
+    static ArithModel &functional();
+};
+
+} // namespace harpo::isa
+
+#endif // HARPOCRATES_ISA_ARITH_MODEL_HH

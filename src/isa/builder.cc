@@ -1,0 +1,190 @@
+#include "isa/builder.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "isa/isa_table.hh"
+#include "isa/registers.hh"
+
+namespace harpo::isa
+{
+
+ProgramBuilder::ProgramBuilder(std::string name)
+{
+    program.name = std::move(name);
+}
+
+Operand
+ProgramBuilder::gpr(int reg)
+{
+    Operand o;
+    o.kind = OperandKind::Gpr;
+    o.reg = static_cast<std::uint8_t>(reg);
+    return o;
+}
+
+Operand
+ProgramBuilder::xmm(int reg)
+{
+    Operand o;
+    o.kind = OperandKind::Xmm;
+    o.reg = static_cast<std::uint8_t>(reg);
+    return o;
+}
+
+Operand
+ProgramBuilder::imm(std::int64_t value)
+{
+    Operand o;
+    o.kind = OperandKind::Imm;
+    o.imm = value;
+    return o;
+}
+
+Operand
+ProgramBuilder::mem(int base, std::int32_t disp)
+{
+    Operand o;
+    o.kind = OperandKind::Mem;
+    o.mem.base = static_cast<std::uint8_t>(base);
+    o.mem.disp = disp;
+    return o;
+}
+
+Operand
+ProgramBuilder::abs(std::int64_t addr)
+{
+    Operand o;
+    o.kind = OperandKind::Mem;
+    o.mem.ripRel = true;
+    o.mem.disp = static_cast<std::int32_t>(addr);
+    return o;
+}
+
+ProgramBuilder &
+ProgramBuilder::i(const std::string &mnemonic, std::vector<Operand> ops)
+{
+    const InstrDesc *desc = isaTable().byMnemonic(mnemonic);
+    panicIf(desc == nullptr, "unknown mnemonic: " + mnemonic);
+    panicIf(static_cast<int>(ops.size()) != desc->numOperands,
+            "operand count mismatch for " + mnemonic);
+    Inst inst;
+    inst.descId = desc->id;
+    for (std::size_t k = 0; k < ops.size(); ++k) {
+        panicIf(ops[k].kind != desc->operands[k].kind,
+                "operand kind mismatch for " + mnemonic);
+        inst.ops[k] = ops[k];
+    }
+    program.code.push_back(inst);
+    return *this;
+}
+
+ProgramBuilder::Label
+ProgramBuilder::newLabel()
+{
+    labels.push_back(-1);
+    return static_cast<Label>(labels.size() - 1);
+}
+
+ProgramBuilder::Label
+ProgramBuilder::here()
+{
+    labels.push_back(static_cast<std::int64_t>(program.code.size()));
+    return static_cast<Label>(labels.size() - 1);
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    panicIf(label < 0 || label >= static_cast<Label>(labels.size()),
+            "bind: bad label");
+    panicIf(labels[label] != -1, "bind: label already bound");
+    labels[label] = static_cast<std::int64_t>(program.code.size());
+}
+
+ProgramBuilder &
+ProgramBuilder::br(const std::string &mnemonic, Label label)
+{
+    const InstrDesc *desc = isaTable().byMnemonic(mnemonic);
+    panicIf(desc == nullptr || !desc->isBranch,
+            "br: not a branch mnemonic: " + mnemonic);
+    Inst inst;
+    inst.descId = desc->id;
+    inst.ops[0].kind = OperandKind::Imm;
+    fixups.emplace_back(program.code.size(), label);
+    program.code.push_back(inst);
+    return *this;
+}
+
+void
+ProgramBuilder::setGpr(int reg, std::uint64_t value)
+{
+    program.initGpr[static_cast<std::size_t>(reg)] = value;
+}
+
+void
+ProgramBuilder::setXmm(int reg, std::uint64_t lo, std::uint64_t hi)
+{
+    program.initXmm[static_cast<std::size_t>(reg)] = {lo, hi};
+}
+
+void
+ProgramBuilder::addRegion(std::uint64_t base, std::uint32_t size)
+{
+    program.regions.push_back({base, size});
+}
+
+void
+ProgramBuilder::initMem(std::uint64_t addr, std::vector<std::uint8_t> bytes)
+{
+    program.memInit.push_back({addr, std::move(bytes)});
+}
+
+void
+ProgramBuilder::initMemQwords(std::uint64_t addr,
+                              const std::vector<std::uint64_t> &qwords)
+{
+    std::vector<std::uint8_t> bytes(qwords.size() * 8);
+    std::memcpy(bytes.data(), qwords.data(), bytes.size());
+    initMem(addr, std::move(bytes));
+}
+
+void
+ProgramBuilder::addStack(std::uint64_t base, std::uint32_t size)
+{
+    addRegion(base, size);
+    // Leave 16 bytes of headroom and keep 16-byte ABI alignment.
+    setGpr(RSP, (base + size - 16) & ~0xFull);
+}
+
+void
+ProgramBuilder::coreBegin()
+{
+    program.coreBegin = program.code.size();
+}
+
+void
+ProgramBuilder::coreEnd()
+{
+    program.coreEnd = program.code.size();
+}
+
+TestProgram
+ProgramBuilder::build()
+{
+    panicIf(built, "ProgramBuilder::build called twice");
+    built = true;
+    for (const auto &[index, label] : fixups) {
+        panicIf(labels[label] < 0,
+                "unbound label in program " + program.name);
+        program.code[index].branchTarget =
+            static_cast<std::int32_t>(labels[label]);
+        program.code[index].ops[0].imm =
+            labels[label] - static_cast<std::int64_t>(index) - 1;
+    }
+    if (program.coreEnd == 0 && program.coreBegin == 0)
+        program.coreEnd = program.code.size();
+    return std::move(program);
+}
+
+} // namespace harpo::isa

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * ProgramBuilder: a small assembler-style DSL for writing HX86 test
+ * programs by hand. Used for the OpenDCDiag-like and MiBench-like
+ * baseline kernels and in examples/tests.
+ */
+
+#ifndef HARPOCRATES_ISA_BUILDER_HH
+#define HARPOCRATES_ISA_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace harpo::isa
+{
+
+/** Fluent builder producing a TestProgram. */
+class ProgramBuilder
+{
+  public:
+    using Label = int;
+
+    explicit ProgramBuilder(std::string name);
+
+    // ---- Operand factories ----
+    static Operand gpr(int reg);
+    static Operand xmm(int reg);
+    static Operand imm(std::int64_t value);
+    /** base-register + displacement memory operand. */
+    static Operand mem(int base, std::int32_t disp = 0);
+    /** RIP-relative (absolute data address) memory operand. */
+    static Operand abs(std::int64_t addr);
+
+    // ---- Code emission ----
+    /** Emit an instruction by its table mnemonic; panics on unknown
+     *  mnemonics or operand-count mismatch (these are programming
+     *  errors in kernel definitions). */
+    ProgramBuilder &i(const std::string &mnemonic,
+                      std::vector<Operand> ops = {});
+
+    /** Create an unbound label for a forward branch. */
+    Label newLabel();
+    /** Label bound to the current position (for backward branches). */
+    Label here();
+    /** Bind a forward label to the current position. */
+    void bind(Label label);
+    /** Emit a branch instruction targeting @p label. */
+    ProgramBuilder &br(const std::string &mnemonic, Label label);
+
+    // ---- Initial state ----
+    void setGpr(int reg, std::uint64_t value);
+    void setXmm(int reg, std::uint64_t lo, std::uint64_t hi = 0);
+    void addRegion(std::uint64_t base, std::uint32_t size);
+    void initMem(std::uint64_t addr, std::vector<std::uint8_t> bytes);
+    void initMemQwords(std::uint64_t addr,
+                       const std::vector<std::uint64_t> &qwords);
+    /** Add a stack region and point RSP at its top. */
+    void addStack(std::uint64_t base, std::uint32_t size);
+
+    /** Mark the start/end of the core test region (ROI). */
+    void coreBegin();
+    void coreEnd();
+
+    std::size_t size() const { return program.code.size(); }
+
+    /** Resolve labels and return the finished program. A program with
+     *  unbound labels panics. If no core region was marked, the whole
+     *  program is the core. */
+    TestProgram build();
+
+  private:
+    TestProgram program;
+    std::vector<std::int64_t> labels;    // position or -1 if unbound
+    std::vector<std::pair<std::size_t, Label>> fixups;
+    bool built = false;
+};
+
+} // namespace harpo::isa
+
+#endif // HARPOCRATES_ISA_BUILDER_HH

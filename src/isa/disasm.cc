@@ -1,0 +1,93 @@
+#include "isa/disasm.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "isa/isa_table.hh"
+#include "isa/registers.hh"
+
+namespace harpo::isa
+{
+
+namespace
+{
+
+std::string
+operandString(const InstrDesc &desc, const Inst &inst, int index)
+{
+    const OperandSpec &spec = desc.operands[index];
+    const Operand &op = inst.ops[index];
+    char buf[64];
+    switch (spec.kind) {
+      case OperandKind::Gpr:
+        if (spec.width == 4) {
+            std::snprintf(buf, sizeof(buf), "e%s",
+                          gprName(op.reg) + 1);
+            // e-prefix names only work for the legacy registers; use
+            // rN d-suffix style for r8..r15.
+            if (op.reg >= 8)
+                std::snprintf(buf, sizeof(buf), "%sd",
+                              gprName(op.reg));
+            return buf;
+        }
+        return gprName(op.reg);
+      case OperandKind::Xmm:
+        std::snprintf(buf, sizeof(buf), "xmm%d", op.reg);
+        return buf;
+      case OperandKind::Imm:
+        if (desc.isBranch) {
+            std::snprintf(buf, sizeof(buf), "#%d", inst.branchTarget);
+        } else {
+            std::snprintf(buf, sizeof(buf), "0x%llx",
+                          static_cast<unsigned long long>(op.imm));
+        }
+        return buf;
+      case OperandKind::Mem:
+        if (op.mem.ripRel) {
+            std::snprintf(buf, sizeof(buf), "[0x%x]",
+                          static_cast<unsigned>(op.mem.disp));
+        } else if (op.mem.disp != 0) {
+            std::snprintf(buf, sizeof(buf), "[%s%+d]",
+                          gprName(op.mem.base), op.mem.disp);
+        } else {
+            std::snprintf(buf, sizeof(buf), "[%s]",
+                          gprName(op.mem.base));
+        }
+        return buf;
+      default:
+        return "";
+    }
+}
+
+} // namespace
+
+std::string
+disassemble(const Inst &inst)
+{
+    const InstrDesc &desc = isaTable().desc(inst.descId);
+    // The table mnemonic includes an operand-signature suffix
+    // ("add r64, r64"); print only the mnemonic word, then concrete
+    // operands.
+    std::string name = desc.mnemonic.substr(
+        0, desc.mnemonic.find(' '));
+    std::string out = name;
+    for (int i = 0; i < desc.numOperands; ++i) {
+        out += i == 0 ? " " : ", ";
+        out += operandString(desc, inst, i);
+    }
+    return out;
+}
+
+std::string
+disassemble(const TestProgram &program)
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+        char prefix[32];
+        std::snprintf(prefix, sizeof(prefix), "%5zu:  ", i);
+        out << prefix << disassemble(program.code[i]) << "\n";
+    }
+    return out.str();
+}
+
+} // namespace harpo::isa

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Disassembly (pretty-printing) of HX86 instructions and programs,
+ * for debugging, examples, and test-failure diagnostics.
+ */
+
+#ifndef HARPOCRATES_ISA_DISASM_HH
+#define HARPOCRATES_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace harpo::isa
+{
+
+/** One instruction in Intel-ish syntax, e.g. "add rax, rbx". */
+std::string disassemble(const Inst &inst);
+
+/** A whole program, one numbered instruction per line. */
+std::string disassemble(const TestProgram &program);
+
+} // namespace harpo::isa
+
+#endif // HARPOCRATES_ISA_DISASM_HH

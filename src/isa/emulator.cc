@@ -1,0 +1,178 @@
+#include "isa/emulator.hh"
+
+#include "common/hash.hh"
+#include "common/rng.hh"
+#include "isa/isa_table.hh"
+#include "isa/registers.hh"
+#include "isa/semantics.hh"
+
+namespace harpo::isa
+{
+
+namespace
+{
+
+/** ExecContext over plain architectural state. */
+class EmuContext : public ExecContext
+{
+  public:
+    std::array<std::uint64_t, 16> gpr{};
+    std::uint64_t flags = 0;
+    std::array<std::array<std::uint64_t, 2>, 16> xmm{};
+    Memory mem;
+    bool taken = false;
+    Rng nondet{0};
+
+    std::uint64_t
+    readIntReg(int arch_reg) override
+    {
+        return arch_reg == flagsReg ? flags : gpr[arch_reg];
+    }
+
+    void
+    setIntReg(int arch_reg, std::uint64_t val) override
+    {
+        if (arch_reg == flagsReg)
+            flags = val;
+        else
+            gpr[arch_reg] = val;
+    }
+
+    void
+    readXmmReg(int arch_reg, std::uint64_t out[2]) override
+    {
+        out[0] = xmm[arch_reg][0];
+        out[1] = xmm[arch_reg][1];
+    }
+
+    void
+    setXmmReg(int arch_reg, const std::uint64_t val[2]) override
+    {
+        xmm[arch_reg][0] = val[0];
+        xmm[arch_reg][1] = val[1];
+    }
+
+    bool
+    readMem(std::uint64_t addr, unsigned size, std::uint8_t *data) override
+    {
+        return mem.read(addr, size, data);
+    }
+
+    bool
+    writeMem(std::uint64_t addr, unsigned size,
+             const std::uint8_t *data) override
+    {
+        return mem.write(addr, size, data);
+    }
+
+    void setTaken(bool t) override { taken = t; }
+
+    std::uint64_t nondetValue() override { return nondet.next(); }
+};
+
+/** Replicates the RCR count computation of the semantics to detect the
+ *  emulated gem5 assertion condition (rotate amount == width). */
+bool
+hitsRcrBug(const Inst &inst, const InstrDesc &desc, EmuContext &ctx)
+{
+    if (desc.op != Op::Rcr && desc.op != Op::Rcl)
+        return false;
+    const unsigned w = desc.operands[0].width * 8u;
+    std::uint64_t rawCount;
+    if (desc.numOperands >= 2 &&
+        desc.operands[1].kind == OperandKind::Imm) {
+        rawCount = static_cast<std::uint64_t>(inst.ops[1].imm);
+    } else {
+        rawCount = ctx.gpr[RCX];
+    }
+    const unsigned count = static_cast<unsigned>(rawCount & 63);
+    return desc.op == Op::Rcr && count % (w + 1) == w;
+}
+
+} // namespace
+
+std::uint64_t
+computeSignature(const std::array<std::uint64_t, 16> &gpr,
+                 std::uint64_t flags,
+                 const std::array<std::array<std::uint64_t, 2>, 16> &xmm,
+                 const Memory &mem)
+{
+    Fnv1a hasher;
+    for (auto v : gpr)
+        hasher.addWord(v);
+    hasher.addWord(flags & flag::all);
+    for (const auto &x : xmm) {
+        hasher.addWord(x[0]);
+        hasher.addWord(x[1]);
+    }
+    mem.hashInto(hasher);
+    return hasher.value();
+}
+
+EmuResult
+Emulator::run(const TestProgram &program, const Options &opts,
+              FinalState *final_state)
+{
+    EmuContext ctx;
+    ctx.gpr = program.initGpr;
+    ctx.xmm = program.initXmm;
+    ctx.mem.reset(program);
+    ctx.nondet = Rng(opts.nondetSeed ^ 0xC0FFEE123456789ull);
+
+    EmuResult result;
+    std::size_t pc = 0;
+    const std::size_t end = program.code.size();
+
+    while (pc < end) {
+        if (result.instsExecuted >= opts.stepLimit) {
+            result.exit = EmuResult::Exit::StepLimit;
+            return result;
+        }
+        const Inst &inst = program.code[pc];
+        const InstrDesc &desc = isaTable().desc(inst.descId);
+
+        if (opts.emulateRcrBug && hitsRcrBug(inst, desc, ctx)) {
+            result.exit = EmuResult::Exit::EmulatorAssert;
+            return result;
+        }
+
+        ctx.taken = false;
+        const ExecStatus status = execute(inst, ctx);
+        ++result.instsExecuted;
+
+        if (status == ExecStatus::BadAddress) {
+            result.exit = EmuResult::Exit::BadAddress;
+            return result;
+        }
+        if (status == ExecStatus::DivFault) {
+            result.exit = EmuResult::Exit::DivFault;
+            return result;
+        }
+
+        if (coverageHook)
+            coverageHook(inst, desc, ctx.flags, ctx.taken);
+
+        if (desc.isBranch && ctx.taken) {
+            const std::int64_t target = inst.branchTarget;
+            if (target < 0 || target > static_cast<std::int64_t>(end)) {
+                result.exit = EmuResult::Exit::BadBranch;
+                return result;
+            }
+            pc = static_cast<std::size_t>(target);
+        } else {
+            ++pc;
+        }
+    }
+
+    result.exit = EmuResult::Exit::Finished;
+    result.signature =
+        computeSignature(ctx.gpr, ctx.flags, ctx.xmm, ctx.mem);
+    if (final_state) {
+        final_state->gpr = ctx.gpr;
+        final_state->flags = ctx.flags;
+        final_state->xmm = ctx.xmm;
+    }
+    return result;
+}
+
+} // namespace harpo::isa

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fast in-order functional emulator for HX86 programs.
+ *
+ * Three roles, mirroring the paper's infrastructure:
+ *  - the *software proxy* the SiliFuzz-style baseline fuzzes (with a
+ *    software-coverage observation hook);
+ *  - the determinism filter (two runs with different non-determinism
+ *    seeds must agree);
+ *  - a golden architectural reference cross-checked against the
+ *    out-of-order core model in tests.
+ *
+ * It can optionally emulate the gem5 v22 RCR instruction-emulation bug
+ * (an internal assertion when the rotate amount equals the register
+ * width) that Harpocrates-generated programs exposed (paper VI-D).
+ */
+
+#ifndef HARPOCRATES_ISA_EMULATOR_HH
+#define HARPOCRATES_ISA_EMULATOR_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "isa/program.hh"
+
+namespace harpo::isa
+{
+
+/** Outcome of an emulated run. */
+struct EmuResult
+{
+    enum class Exit : std::uint8_t
+    {
+        Finished,       ///< ran off the end of the program normally
+        BadAddress,     ///< memory access outside every region
+        DivFault,       ///< divide fault
+        BadBranch,      ///< control transfer outside the program
+        StepLimit,      ///< did not finish within the step budget
+        EmulatorAssert, ///< emulator-internal assert (RCR bug emulation)
+    };
+
+    Exit exit = Exit::Finished;
+    std::uint64_t signature = 0;   ///< architectural output signature
+    std::uint64_t instsExecuted = 0;
+
+    bool crashed() const { return exit != Exit::Finished; }
+};
+
+/** In-order functional emulator. */
+class Emulator
+{
+  public:
+    struct Options
+    {
+        std::uint64_t stepLimit = 2'000'000;
+        /** Seed for RDTSC/RDRAND values; two runs with different seeds
+         *  detect non-deterministic programs. */
+        std::uint64_t nondetSeed = 0;
+        /** Emulate the gem5 v22.0 RCR assertion bug. */
+        bool emulateRcrBug = false;
+    };
+
+    /** Per-instruction observation for software-coverage collection:
+     *  (instruction, descriptor, RFLAGS after execution, branch taken).
+     */
+    using CoverageHook = std::function<void(
+        const Inst &, const InstrDesc &, std::uint64_t, bool)>;
+
+    void setCoverageHook(CoverageHook hook) { coverageHook = hook; }
+
+    /** Final architectural state of a run (for inspection in tests and
+     *  for SiliFuzz snapshot end-state recording). */
+    struct FinalState
+    {
+        std::array<std::uint64_t, 16> gpr{};
+        std::uint64_t flags = 0;
+        std::array<std::array<std::uint64_t, 2>, 16> xmm{};
+    };
+
+    /** Run @p program to completion (or fault / step limit). If
+     *  @p final_state is non-null it receives the end state. */
+    EmuResult run(const TestProgram &program, const Options &opts,
+                  FinalState *final_state = nullptr);
+
+    /** Run with default options. */
+    EmuResult
+    run(const TestProgram &program)
+    {
+        return run(program, Options());
+    }
+
+  private:
+    CoverageHook coverageHook;
+};
+
+/**
+ * Compute the architectural output signature from final register and
+ * memory state. Shared by the emulator and the out-of-order core so
+ * their signatures are directly comparable.
+ */
+std::uint64_t
+computeSignature(const std::array<std::uint64_t, 16> &gpr,
+                 std::uint64_t flags,
+                 const std::array<std::array<std::uint64_t, 2>, 16> &xmm,
+                 const Memory &mem);
+
+} // namespace harpo::isa
+
+#endif // HARPOCRATES_ISA_EMULATOR_HH

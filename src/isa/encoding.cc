@@ -1,0 +1,176 @@
+#include "isa/encoding.hh"
+
+#include "common/logging.hh"
+#include "isa/isa_table.hh"
+
+namespace harpo::isa
+{
+
+namespace
+{
+
+void
+putLe(std::vector<std::uint8_t> &out, std::uint64_t v, unsigned bytes)
+{
+    for (unsigned i = 0; i < bytes; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t
+getLe(const std::uint8_t *p, unsigned bytes)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < bytes; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::int64_t
+signExtend(std::uint64_t v, unsigned bytes)
+{
+    const unsigned shift = 64 - 8 * bytes;
+    return static_cast<std::int64_t>(v << shift) >> shift;
+}
+
+unsigned
+immBytes(const OperandSpec &spec)
+{
+    return spec.width; // 1, 4 or 8 bytes
+}
+
+} // namespace
+
+std::size_t
+encodedLength(const InstrDesc &desc)
+{
+    std::size_t len = 1; // opcode
+    for (int i = 0; i < desc.numOperands; ++i) {
+        const OperandSpec &spec = desc.operands[i];
+        switch (spec.kind) {
+          case OperandKind::Gpr:
+          case OperandKind::Xmm:
+            len += 1;
+            break;
+          case OperandKind::Imm:
+            len += immBytes(spec);
+            break;
+          case OperandKind::Mem:
+            len += 1 + 1 + 4; // mode, base, disp32
+            break;
+          default:
+            break;
+        }
+    }
+    return len;
+}
+
+void
+encodeInst(const Inst &inst, std::size_t index,
+           std::vector<std::uint8_t> &out)
+{
+    const InstrDesc &desc = isaTable().desc(inst.descId);
+    out.push_back(desc.opcode);
+    for (int i = 0; i < desc.numOperands; ++i) {
+        const OperandSpec &spec = desc.operands[i];
+        const Operand &op = inst.ops[i];
+        switch (spec.kind) {
+          case OperandKind::Gpr:
+          case OperandKind::Xmm:
+            out.push_back(op.reg);
+            break;
+          case OperandKind::Imm: {
+            std::int64_t imm = op.imm;
+            if (desc.isBranch) {
+                // Branch displacement relative to the next instruction.
+                imm = inst.branchTarget -
+                      static_cast<std::int64_t>(index) - 1;
+            }
+            putLe(out, static_cast<std::uint64_t>(imm), immBytes(spec));
+            break;
+          }
+          case OperandKind::Mem:
+            out.push_back(op.mem.ripRel ? 1 : 0);
+            out.push_back(op.mem.base);
+            putLe(out, static_cast<std::uint32_t>(op.mem.disp), 4);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+std::vector<std::uint8_t>
+encodeProgram(const std::vector<Inst> &code)
+{
+    std::vector<std::uint8_t> out;
+    for (std::size_t i = 0; i < code.size(); ++i)
+        encodeInst(code[i], i, out);
+    return out;
+}
+
+DecodeResult
+decodeProgram(const std::uint8_t *data, std::size_t len)
+{
+    DecodeResult result;
+    std::size_t pos = 0;
+    while (pos < len) {
+        const InstrDesc *desc = isaTable().byOpcode(data[pos]);
+        if (desc == nullptr)
+            return result; // illegal opcode
+
+        const std::size_t need = encodedLength(*desc);
+        if (pos + need > len)
+            return result; // truncated instruction
+
+        Inst inst;
+        inst.descId = desc->id;
+        std::size_t p = pos + 1;
+        bool bad = false;
+        for (int i = 0; i < desc->numOperands && !bad; ++i) {
+            const OperandSpec &spec = desc->operands[i];
+            Operand &op = inst.ops[i];
+            op.kind = spec.kind;
+            switch (spec.kind) {
+              case OperandKind::Gpr:
+              case OperandKind::Xmm:
+                op.reg = data[p] & 0x0F;
+                p += 1;
+                break;
+              case OperandKind::Imm: {
+                const unsigned nb = immBytes(spec);
+                op.imm = signExtend(getLe(data + p, nb), nb);
+                p += nb;
+                break;
+              }
+              case OperandKind::Mem: {
+                // Like x86's ModRM, the addressing-mode byte always
+                // decodes (validity pressure comes from the opcode
+                // space and from runtime address checks).
+                op.mem.ripRel = (data[p] & 1) == 1;
+                op.mem.base = data[p + 1] & 0x0F;
+                op.mem.disp = static_cast<std::int32_t>(
+                    static_cast<std::uint32_t>(getLe(data + p + 2, 4)));
+                p += 6;
+                break;
+              }
+              default:
+                break;
+            }
+        }
+        if (bad)
+            return result;
+
+        if (desc->isBranch) {
+            inst.branchTarget = static_cast<std::int32_t>(
+                static_cast<std::int64_t>(result.code.size()) + 1 +
+                inst.ops[0].imm);
+        }
+        result.code.push_back(inst);
+        pos = p;
+        result.consumed = pos;
+    }
+    result.ok = true;
+    return result;
+}
+
+} // namespace harpo::isa

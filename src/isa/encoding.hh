@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Binary encoding of HX86 instructions.
+ *
+ * The variable-length encoding exists so the SiliFuzz-style baseline
+ * can mutate *raw bytes* exactly as the real tool does: an opcode byte
+ * (sparsely assigned, so many byte values are illegal), followed by
+ * operand bytes whose layout is dictated by the descriptor's operand
+ * signature. Branch displacements are instruction-index deltas relative
+ * to the next instruction.
+ */
+
+#ifndef HARPOCRATES_ISA_ENCODING_HH
+#define HARPOCRATES_ISA_ENCODING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace harpo::isa
+{
+
+/** Append the encoding of @p inst (at instruction index @p index, used
+ *  for branch displacement) to @p out. */
+void encodeInst(const Inst &inst, std::size_t index,
+                std::vector<std::uint8_t> &out);
+
+/** Encode a whole instruction sequence. */
+std::vector<std::uint8_t> encodeProgram(const std::vector<Inst> &code);
+
+/** Result of decoding a byte buffer. */
+struct DecodeResult
+{
+    bool ok = false;            ///< every instruction decoded cleanly
+    std::vector<Inst> code;     ///< instructions decoded before failure
+    std::size_t consumed = 0;   ///< bytes consumed
+};
+
+/**
+ * Decode a byte buffer into an instruction sequence. Decoding stops at
+ * the first illegal opcode / malformed operand (ok=false), or at the
+ * end of the buffer (ok=true; a trailing partial instruction is
+ * rejected as illegal).
+ */
+DecodeResult decodeProgram(const std::uint8_t *data, std::size_t len);
+
+/** Encoded length in bytes of an instruction of descriptor @p desc. */
+std::size_t encodedLength(const InstrDesc &desc);
+
+} // namespace harpo::isa
+
+#endif // HARPOCRATES_ISA_ENCODING_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The per-instruction execution interface.
+ *
+ * Instruction semantics are written once against this interface and are
+ * reused by (a) the fast functional emulator (SiliFuzz proxy, golden
+ * reference) and (b) the out-of-order core model, whose implementation
+ * maps architectural accesses onto renamed physical registers and the
+ * load/store queue. This mirrors gem5's ExecContext design.
+ */
+
+#ifndef HARPOCRATES_ISA_EXEC_CONTEXT_HH
+#define HARPOCRATES_ISA_EXEC_CONTEXT_HH
+
+#include <cstdint>
+
+#include "isa/arith_model.hh"
+
+namespace harpo::isa
+{
+
+/** Interface through which one instruction reads and writes state. */
+class ExecContext
+{
+  public:
+    virtual ~ExecContext() = default;
+
+    /** Read an integer architectural register (incl. flagsReg). */
+    virtual std::uint64_t readIntReg(int arch_reg) = 0;
+
+    /** Write an integer architectural register (incl. flagsReg). */
+    virtual void setIntReg(int arch_reg, std::uint64_t val) = 0;
+
+    /** Read a 128-bit XMM register into @p out (lo, hi lanes). */
+    virtual void readXmmReg(int arch_reg, std::uint64_t out[2]) = 0;
+
+    /** Write a 128-bit XMM register from @p val (lo, hi lanes). */
+    virtual void setXmmReg(int arch_reg, const std::uint64_t val[2]) = 0;
+
+    /** Read @p size bytes at @p addr. Returns false if the address is
+     *  not backed by any valid region (a crash condition). */
+    virtual bool readMem(std::uint64_t addr, unsigned size,
+                         std::uint8_t *data) = 0;
+
+    /** Write @p size bytes at @p addr; false on invalid address. */
+    virtual bool writeMem(std::uint64_t addr, unsigned size,
+                          const std::uint8_t *data) = 0;
+
+    /** Report the direction decision of a branch instruction. */
+    virtual void setTaken(bool taken) { (void)taken; }
+
+    /** Datapath model used for adder/multiplier computations. */
+    virtual ArithModel &arith() { return ArithModel::functional(); }
+
+    /** Entropy source for non-deterministic instructions (RDTSC etc.).
+     *  Deterministic contexts return a fixed value. */
+    virtual std::uint64_t nondetValue() { return 0; }
+};
+
+} // namespace harpo::isa
+
+#endif // HARPOCRATES_ISA_EXEC_CONTEXT_HH

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Instruction descriptors and instruction instances for the HX86 ISA.
+ *
+ * An InstrDesc describes one *instruction variant*: a mnemonic plus a
+ * specific operand signature (the paper treats the same mnemonic with
+ * different operand types as distinct instructions for mutation
+ * purposes). Inst is a decoded instance with concrete operands.
+ */
+
+#ifndef HARPOCRATES_ISA_INSTRUCTION_HH
+#define HARPOCRATES_ISA_INSTRUCTION_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace harpo::isa
+{
+
+/** Mnemonic families. Condition-code variants share an Op and are
+ *  distinguished by InstrDesc::cond. */
+enum class Op : std::uint8_t
+{
+    Add, Adc, Sub, Sbb, And, Or, Xor, Cmp, Test,
+    Mov, Movsxd, Lea, Neg, Not, Inc, Dec,
+    Imul2,      ///< two-operand IMUL r, r/m
+    Mul1,       ///< one-operand MUL (RDX:RAX = RAX * r)
+    Imul1,      ///< one-operand IMUL (signed)
+    Div, Idiv,  ///< one-operand divide (RDX:RAX / r)
+    Shl, Shr, Sar, Rol, Ror, Rcl, Rcr,
+    Xchg, Bswap, Popcnt, Lzcnt, Tzcnt,
+    Cmovcc, Setcc,
+    Push, Pop,
+    Jmp, Jcc,
+    Nop,
+    // SSE double-precision subset.
+    MovqXR,     ///< MOVQ xmm <- r64
+    MovqRX,     ///< MOVQ r64 <- xmm
+    Movsd,      ///< MOVSD xmm <- xmm / load / store (low lane)
+    Movapd,     ///< MOVAPD xmm <- xmm / 16-byte load / store
+    Addsd, Subsd, Mulsd, Divsd,
+    Addpd, Subpd, Mulpd,
+    Ucomisd,
+    Cvtsi2sd, Cvttsd2si,
+    Xorpd, Andpd, Orpd,
+    Paddq, Psubq, Pxor,
+    // Non-deterministic instructions (decodable; excluded by MuSeqGen).
+    Rdtsc, Rdrand,
+    NumOps,
+};
+
+/** Functional-unit class an instruction executes on. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,     ///< simple integer ops (latency 1)
+    IntMul,     ///< integer multiplier
+    IntDiv,     ///< integer divider (unpipelined)
+    FpAdd,      ///< SSE FP adder
+    FpMul,      ///< SSE FP multiplier
+    FpDiv,      ///< SSE FP divider (unpipelined)
+    FpCvt,      ///< int<->fp conversion
+    SimdAlu,    ///< SIMD integer / FP logic ops
+    MemRead,    ///< pure loads
+    MemWrite,   ///< pure stores
+    Branch,
+    NoOp,
+    NumClasses,
+};
+
+/** Gate-level circuit (if any) an instruction's computation drives.
+ *  Used both for IBR accounting and for routing faulty-unit
+ *  computations through the structural netlists. */
+enum class FuCircuit : std::uint8_t
+{
+    None,
+    IntAdd,
+    IntMul,
+    FpAdd,
+    FpMul,
+};
+
+/** Condition codes (x86 subset). */
+enum class Cond : std::uint8_t
+{
+    None,
+    E, NE, L, GE, LE, G, B, AE, S, NS,
+};
+
+enum class OperandKind : std::uint8_t { None, Gpr, Xmm, Imm, Mem };
+
+/** Static description of one operand slot of an instruction variant. */
+struct OperandSpec
+{
+    OperandKind kind = OperandKind::None;
+    std::uint8_t width = 0; ///< access width in bytes (1, 4, 8, 16)
+    bool isRead = false;
+    bool isWrite = false;
+};
+
+/** Static description of an instruction variant. */
+struct InstrDesc
+{
+    std::uint16_t id = 0;       ///< index into the ISA table
+    Op op = Op::Nop;
+    Cond cond = Cond::None;
+    std::string mnemonic;       ///< unique name incl. operand signature
+    std::array<OperandSpec, 3> operands{};
+    int numOperands = 0;
+
+    OpClass opClass = OpClass::IntAlu;
+    FuCircuit circuit = FuCircuit::None;
+    int latency = 1;
+    bool pipelined = true;
+
+    /** Implicit integer architectural register reads/writes
+     *  (excluding RFLAGS, which has its own flags below). */
+    std::array<std::uint8_t, 3> implicitReads{};
+    int numImplicitReads = 0;
+    std::array<std::uint8_t, 3> implicitWrites{};
+    int numImplicitWrites = 0;
+
+    bool readsFlags = false;
+    bool writesFlags = false;
+
+    bool isLoad = false;
+    bool isStore = false;
+    bool isBranch = false;      ///< any control transfer
+    bool isCondBranch = false;
+    bool deterministic = true;  ///< false for RDTSC/RDRAND
+
+    std::uint8_t opcode = 0;    ///< encoding: primary opcode byte
+
+    /** Memory access width in bytes for loads/stores (0 if none). */
+    std::uint8_t memWidth = 0;
+
+    bool usesMemory() const { return isLoad || isStore; }
+};
+
+/** Memory operand reference. */
+struct MemRef
+{
+    std::uint8_t base = 0;  ///< GPR index of the base register
+    std::int32_t disp = 0;
+    bool ripRel = false;    ///< absolute data address (RIP-relative model)
+};
+
+/** A concrete operand of a decoded instruction. */
+struct Operand
+{
+    OperandKind kind = OperandKind::None;
+    std::uint8_t reg = 0;   ///< GPR/XMM index
+    std::int64_t imm = 0;
+    MemRef mem{};
+};
+
+/** A decoded instruction instance. */
+struct Inst
+{
+    std::uint16_t descId = 0;
+    std::array<Operand, 3> ops{};
+
+    /** Resolved branch target as an instruction index (-1 if none). */
+    std::int32_t branchTarget = -1;
+};
+
+/** Result status of functionally executing one instruction. */
+enum class ExecStatus : std::uint8_t
+{
+    Ok,
+    BadAddress,   ///< memory access outside every valid region
+    DivFault,     ///< divide by zero or quotient overflow
+};
+
+} // namespace harpo::isa
+
+#endif // HARPOCRATES_ISA_INSTRUCTION_HH

@@ -1,0 +1,528 @@
+#include "isa/isa_table.hh"
+
+#include "common/logging.hh"
+#include "isa/registers.hh"
+
+namespace harpo::isa
+{
+
+namespace
+{
+
+OperandSpec
+gprOp(std::uint8_t width, bool r, bool w)
+{
+    return {OperandKind::Gpr, width, r, w};
+}
+
+OperandSpec
+xmmOp(std::uint8_t width, bool r, bool w)
+{
+    return {OperandKind::Xmm, width, r, w};
+}
+
+OperandSpec
+immOp(std::uint8_t width)
+{
+    return {OperandKind::Imm, width, true, false};
+}
+
+OperandSpec
+memOp(std::uint8_t width, bool r, bool w)
+{
+    return {OperandKind::Mem, width, r, w};
+}
+
+/** Incremental builder collecting InstrDescs. */
+class TableBuilder
+{
+  public:
+    InstrDesc &
+    add(Op op, const std::string &mnemonic, OpClass cls,
+        std::initializer_list<OperandSpec> ops)
+    {
+        InstrDesc d;
+        d.op = op;
+        d.mnemonic = mnemonic;
+        d.opClass = cls;
+        int i = 0;
+        for (const auto &spec : ops)
+            d.operands[i++] = spec;
+        d.numOperands = i;
+        // Derive load/store from memory operand specs.
+        for (int k = 0; k < d.numOperands; ++k) {
+            const auto &o = d.operands[k];
+            if (o.kind == OperandKind::Mem) {
+                d.memWidth = o.width;
+                if (o.isRead)
+                    d.isLoad = true;
+                if (o.isWrite)
+                    d.isStore = true;
+            }
+        }
+        descs.push_back(d);
+        return descs.back();
+    }
+
+    std::vector<InstrDesc> take() { return std::move(descs); }
+
+  private:
+    std::vector<InstrDesc> descs;
+};
+
+/** All binary ALU mnemonics sharing the same form set. */
+struct AluDef
+{
+    Op op;
+    const char *name;
+    FuCircuit circuit;
+    bool dstIsRead;   ///< false only for plain MOV-like semantics
+    bool dstIsWritten;///< false for CMP/TEST (compare only)
+    bool readsCarry;  ///< ADC/SBB
+};
+
+const char *
+condName(Cond c)
+{
+    switch (c) {
+      case Cond::E: return "e";
+      case Cond::NE: return "ne";
+      case Cond::L: return "l";
+      case Cond::GE: return "ge";
+      case Cond::LE: return "le";
+      case Cond::G: return "g";
+      case Cond::B: return "b";
+      case Cond::AE: return "ae";
+      case Cond::S: return "s";
+      case Cond::NS: return "ns";
+      default: return "";
+    }
+}
+
+std::vector<InstrDesc>
+buildDescs()
+{
+    TableBuilder b;
+
+    const AluDef aluDefs[] = {
+        {Op::Add, "add", FuCircuit::IntAdd, true, true, false},
+        {Op::Adc, "adc", FuCircuit::IntAdd, true, true, true},
+        {Op::Sub, "sub", FuCircuit::IntAdd, true, true, false},
+        {Op::Sbb, "sbb", FuCircuit::IntAdd, true, true, true},
+        {Op::And, "and", FuCircuit::None, true, true, false},
+        {Op::Or, "or", FuCircuit::None, true, true, false},
+        {Op::Xor, "xor", FuCircuit::None, true, true, false},
+        {Op::Cmp, "cmp", FuCircuit::IntAdd, true, false, false},
+    };
+
+    for (const auto &def : aluDefs) {
+        const std::string n = def.name;
+        const bool dr = def.dstIsRead;
+        const bool dw = def.dstIsWritten;
+        auto finish = [&](InstrDesc &d) {
+            d.circuit = def.circuit;
+            d.writesFlags = true;
+            d.readsFlags = def.readsCarry;
+        };
+        finish(b.add(def.op, n + " r64, r64", OpClass::IntAlu,
+                     {gprOp(8, dr, dw), gprOp(8, true, false)}));
+        finish(b.add(def.op, n + " r64, imm32", OpClass::IntAlu,
+                     {gprOp(8, dr, dw), immOp(4)}));
+        finish(b.add(def.op, n + " r64, imm8", OpClass::IntAlu,
+                     {gprOp(8, dr, dw), immOp(1)}));
+        finish(b.add(def.op, n + " r32, r32", OpClass::IntAlu,
+                     {gprOp(4, dr, dw), gprOp(4, true, false)}));
+        finish(b.add(def.op, n + " r32, imm32", OpClass::IntAlu,
+                     {gprOp(4, dr, dw), immOp(4)}));
+        finish(b.add(def.op, n + " r64, m64", OpClass::IntAlu,
+                     {gprOp(8, dr, dw), memOp(8, true, false)}));
+        finish(b.add(def.op, n + " m64, r64", OpClass::IntAlu,
+                     {memOp(8, true, dw), gprOp(8, true, false)}));
+        finish(b.add(def.op, n + " r32, m32", OpClass::IntAlu,
+                     {gprOp(4, dr, dw), memOp(4, true, false)}));
+    }
+
+    // TEST: like AND but never writes the destination.
+    for (auto *forms : {"r64, r64", "r64, imm32", "r32, r32"}) {
+        InstrDesc &d =
+            std::string(forms) == "r64, imm32"
+                ? b.add(Op::Test, std::string("test ") + forms,
+                        OpClass::IntAlu, {gprOp(8, true, false), immOp(4)})
+                : b.add(Op::Test, std::string("test ") + forms,
+                        OpClass::IntAlu,
+                        {gprOp(std::string(forms)[1] == '6' ? 8 : 4, true,
+                               false),
+                         gprOp(std::string(forms)[1] == '6' ? 8 : 4, true,
+                               false)});
+        d.writesFlags = true;
+    }
+
+    // MOV family.
+    b.add(Op::Mov, "mov r64, r64", OpClass::IntAlu,
+          {gprOp(8, false, true), gprOp(8, true, false)});
+    b.add(Op::Mov, "mov r64, imm64", OpClass::IntAlu,
+          {gprOp(8, false, true), immOp(8)});
+    b.add(Op::Mov, "mov r32, imm32", OpClass::IntAlu,
+          {gprOp(4, false, true), immOp(4)});
+    b.add(Op::Mov, "mov r32, r32", OpClass::IntAlu,
+          {gprOp(4, false, true), gprOp(4, true, false)});
+    b.add(Op::Mov, "mov r64, m64", OpClass::MemRead,
+          {gprOp(8, false, true), memOp(8, true, false)});
+    b.add(Op::Mov, "mov m64, r64", OpClass::MemWrite,
+          {memOp(8, false, true), gprOp(8, true, false)});
+    b.add(Op::Mov, "mov r32, m32", OpClass::MemRead,
+          {gprOp(4, false, true), memOp(4, true, false)});
+    b.add(Op::Mov, "mov m32, r32", OpClass::MemWrite,
+          {memOp(4, false, true), gprOp(4, true, false)});
+    b.add(Op::Mov, "mov r64, m8", OpClass::MemRead,
+          {gprOp(8, false, true), memOp(1, true, false)});
+    b.add(Op::Mov, "mov m8, r64", OpClass::MemWrite,
+          {memOp(1, false, true), gprOp(8, true, false)});
+
+    b.add(Op::Movsxd, "movsxd r64, r32", OpClass::IntAlu,
+          {gprOp(8, false, true), gprOp(4, true, false)});
+    b.add(Op::Lea, "lea r64, m", OpClass::IntAlu,
+          {gprOp(8, false, true),
+           // LEA computes the address but never accesses memory.
+           OperandSpec{OperandKind::Mem, 8, false, false}});
+
+    // Unary ALU.
+    for (auto [op, name, circuit, flags] :
+         {std::tuple{Op::Neg, "neg", FuCircuit::IntAdd, true},
+          std::tuple{Op::Not, "not", FuCircuit::None, false},
+          std::tuple{Op::Inc, "inc", FuCircuit::IntAdd, true},
+          std::tuple{Op::Dec, "dec", FuCircuit::IntAdd, true}}) {
+        for (int w : {8, 4}) {
+            InstrDesc &d = b.add(
+                op,
+                std::string(name) + (w == 8 ? " r64" : " r32"),
+                OpClass::IntAlu,
+                {gprOp(static_cast<std::uint8_t>(w), true, true)});
+            d.circuit = circuit;
+            d.writesFlags = flags;
+            // INC/DEC preserve CF: read-modify-write of RFLAGS.
+            d.readsFlags = (op == Op::Inc || op == Op::Dec);
+        }
+    }
+
+    // Two-operand IMUL.
+    for (auto *form : {"r64, r64", "r32, r32", "r64, m64"}) {
+        const bool mem = std::string(form).find('m') != std::string::npos;
+        const std::uint8_t w = std::string(form)[1] == '6' ? 8 : 4;
+        InstrDesc &d = b.add(
+            Op::Imul2, std::string("imul ") + form, OpClass::IntMul,
+            mem ? std::initializer_list<OperandSpec>{gprOp(w, true, true),
+                                                     memOp(w, true, false)}
+                : std::initializer_list<OperandSpec>{gprOp(w, true, true),
+                                                     gprOp(w, true, false)});
+        d.circuit = FuCircuit::IntMul;
+        d.latency = 3;
+        d.writesFlags = true;
+    }
+
+    // One-operand multiply/divide with implicit RAX/RDX.
+    for (auto [op, name, cls, circuit, lat, pip] :
+         {std::tuple{Op::Mul1, "mul", OpClass::IntMul, FuCircuit::IntMul,
+                     3, true},
+          std::tuple{Op::Imul1, "imul1", OpClass::IntMul, FuCircuit::IntMul,
+                     3, true},
+          std::tuple{Op::Div, "div", OpClass::IntDiv, FuCircuit::None, 20,
+                     false},
+          std::tuple{Op::Idiv, "idiv", OpClass::IntDiv, FuCircuit::None, 20,
+                     false}}) {
+        for (int w : {8, 4}) {
+            InstrDesc &d = b.add(
+                op, std::string(name) + (w == 8 ? " r64" : " r32"), cls,
+                {gprOp(static_cast<std::uint8_t>(w), true, false)});
+            d.circuit = circuit;
+            d.latency = lat;
+            d.pipelined = pip;
+            d.writesFlags = true;
+            if (op == Op::Div || op == Op::Idiv) {
+                d.implicitReads = {RDX, RAX};
+                d.numImplicitReads = 2;
+            } else {
+                d.implicitReads = {RAX};
+                d.numImplicitReads = 1;
+            }
+            d.implicitWrites = {RAX, RDX};
+            d.numImplicitWrites = 2;
+        }
+    }
+
+    // Shifts and rotates.
+    for (auto [op, name] :
+         {std::tuple{Op::Shl, "shl"}, std::tuple{Op::Shr, "shr"},
+          std::tuple{Op::Sar, "sar"}, std::tuple{Op::Rol, "rol"},
+          std::tuple{Op::Ror, "ror"}, std::tuple{Op::Rcl, "rcl"},
+          std::tuple{Op::Rcr, "rcr"}}) {
+        const bool throughCarry = (op == Op::Rcl || op == Op::Rcr);
+        InstrDesc &d1 = b.add(op, std::string(name) + " r64, imm8",
+                              OpClass::IntAlu,
+                              {gprOp(8, true, true), immOp(1)});
+        d1.writesFlags = true;
+        d1.readsFlags = true; // partial flag update merges with old RFLAGS
+        InstrDesc &d2 = b.add(op, std::string(name) + " r64, cl",
+                              OpClass::IntAlu, {gprOp(8, true, true)});
+        d2.writesFlags = true;
+        d2.readsFlags = true;
+        d2.implicitReads = {RCX};
+        d2.numImplicitReads = 1;
+        InstrDesc &d3 = b.add(op, std::string(name) + " r32, imm8",
+                              OpClass::IntAlu,
+                              {gprOp(4, true, true), immOp(1)});
+        d3.writesFlags = true;
+        d3.readsFlags = true;
+        (void)throughCarry;
+    }
+
+    // Misc integer.
+    b.add(Op::Xchg, "xchg r64, r64", OpClass::IntAlu,
+          {gprOp(8, true, true), gprOp(8, true, true)});
+    b.add(Op::Bswap, "bswap r64", OpClass::IntAlu, {gprOp(8, true, true)});
+    for (auto [op, name] : {std::tuple{Op::Popcnt, "popcnt"},
+                            std::tuple{Op::Lzcnt, "lzcnt"},
+                            std::tuple{Op::Tzcnt, "tzcnt"}}) {
+        InstrDesc &d =
+            b.add(op, std::string(name) + " r64, r64", OpClass::IntAlu,
+                  {gprOp(8, false, true), gprOp(8, true, false)});
+        d.writesFlags = true;
+    }
+
+    // CMOVcc.
+    for (Cond c : {Cond::E, Cond::NE, Cond::L, Cond::GE, Cond::LE, Cond::G,
+                   Cond::B, Cond::AE}) {
+        InstrDesc &d =
+            b.add(Op::Cmovcc,
+                  std::string("cmov") + condName(c) + " r64, r64",
+                  OpClass::IntAlu,
+                  {gprOp(8, true, true), gprOp(8, true, false)});
+        d.cond = c;
+        d.readsFlags = true;
+    }
+
+    // SETcc (writes a full 0/1 qword: 8-bit subregister renaming is not
+    // modelled; documented deviation).
+    for (Cond c :
+         {Cond::E, Cond::NE, Cond::L, Cond::G, Cond::B, Cond::AE}) {
+        InstrDesc &d = b.add(Op::Setcc,
+                             std::string("set") + condName(c) + " r64",
+                             OpClass::IntAlu, {gprOp(8, false, true)});
+        d.cond = c;
+        d.readsFlags = true;
+    }
+
+    // Stack.
+    {
+        InstrDesc &d = b.add(Op::Push, "push r64", OpClass::MemWrite,
+                             {gprOp(8, true, false)});
+        d.implicitReads = {RSP};
+        d.numImplicitReads = 1;
+        d.implicitWrites = {RSP};
+        d.numImplicitWrites = 1;
+        d.isStore = true;
+        d.memWidth = 8;
+    }
+    {
+        InstrDesc &d =
+            b.add(Op::Push, "push imm32", OpClass::MemWrite, {immOp(4)});
+        d.implicitReads = {RSP};
+        d.numImplicitReads = 1;
+        d.implicitWrites = {RSP};
+        d.numImplicitWrites = 1;
+        d.isStore = true;
+        d.memWidth = 8;
+    }
+    {
+        InstrDesc &d = b.add(Op::Pop, "pop r64", OpClass::MemRead,
+                             {gprOp(8, false, true)});
+        d.implicitReads = {RSP};
+        d.numImplicitReads = 1;
+        d.implicitWrites = {RSP};
+        d.numImplicitWrites = 1;
+        d.isLoad = true;
+        d.memWidth = 8;
+    }
+
+    // Control flow. Branch displacement is an instruction-index delta.
+    {
+        InstrDesc &d =
+            b.add(Op::Jmp, "jmp rel32", OpClass::Branch, {immOp(4)});
+        d.isBranch = true;
+    }
+    for (Cond c : {Cond::E, Cond::NE, Cond::L, Cond::GE, Cond::LE, Cond::G,
+                   Cond::B, Cond::AE, Cond::S, Cond::NS}) {
+        InstrDesc &d =
+            b.add(Op::Jcc, std::string("j") + condName(c) + " rel32",
+                  OpClass::Branch, {immOp(4)});
+        d.cond = c;
+        d.isBranch = true;
+        d.isCondBranch = true;
+        d.readsFlags = true;
+    }
+
+    b.add(Op::Nop, "nop", OpClass::NoOp, {});
+
+    // SSE double-precision subset.
+    b.add(Op::MovqXR, "movq xmm, r64", OpClass::SimdAlu,
+          {xmmOp(16, false, true), gprOp(8, true, false)});
+    b.add(Op::MovqRX, "movq r64, xmm", OpClass::SimdAlu,
+          {gprOp(8, false, true), xmmOp(16, true, false)});
+    b.add(Op::Movsd, "movsd xmm, xmm", OpClass::SimdAlu,
+          {xmmOp(16, true, true), xmmOp(16, true, false)});
+    b.add(Op::Movsd, "movsd xmm, m64", OpClass::MemRead,
+          {xmmOp(16, false, true), memOp(8, true, false)});
+    b.add(Op::Movsd, "movsd m64, xmm", OpClass::MemWrite,
+          {memOp(8, false, true), xmmOp(16, true, false)});
+    b.add(Op::Movapd, "movapd xmm, xmm", OpClass::SimdAlu,
+          {xmmOp(16, false, true), xmmOp(16, true, false)});
+    b.add(Op::Movapd, "movapd xmm, m128", OpClass::MemRead,
+          {xmmOp(16, false, true), memOp(16, true, false)});
+    b.add(Op::Movapd, "movapd m128, xmm", OpClass::MemWrite,
+          {memOp(16, false, true), xmmOp(16, true, false)});
+
+    for (auto [op, name, cls, circuit, lat, pip] :
+         {std::tuple{Op::Addsd, "addsd", OpClass::FpAdd, FuCircuit::FpAdd,
+                     3, true},
+          std::tuple{Op::Subsd, "subsd", OpClass::FpAdd, FuCircuit::FpAdd,
+                     3, true},
+          std::tuple{Op::Mulsd, "mulsd", OpClass::FpMul, FuCircuit::FpMul,
+                     4, true},
+          std::tuple{Op::Divsd, "divsd", OpClass::FpDiv, FuCircuit::None,
+                     12, false}}) {
+        for (bool mem : {false, true}) {
+            InstrDesc &d = b.add(
+                op, std::string(name) + (mem ? " xmm, m64" : " xmm, xmm"),
+                cls,
+                mem ? std::initializer_list<OperandSpec>{
+                          xmmOp(16, true, true), memOp(8, true, false)}
+                    : std::initializer_list<OperandSpec>{
+                          xmmOp(16, true, true), xmmOp(16, true, false)});
+            d.circuit = circuit;
+            d.latency = lat;
+            d.pipelined = pip;
+        }
+    }
+    for (auto [op, name, cls, circuit, lat] :
+         {std::tuple{Op::Addpd, "addpd", OpClass::FpAdd, FuCircuit::FpAdd,
+                     3},
+          std::tuple{Op::Subpd, "subpd", OpClass::FpAdd, FuCircuit::FpAdd,
+                     3},
+          std::tuple{Op::Mulpd, "mulpd", OpClass::FpMul, FuCircuit::FpMul,
+                     4}}) {
+        for (bool mem : {false, true}) {
+            InstrDesc &d = b.add(
+                op, std::string(name) + (mem ? " xmm, m128" : " xmm, xmm"),
+                cls,
+                mem ? std::initializer_list<OperandSpec>{
+                          xmmOp(16, true, true), memOp(16, true, false)}
+                    : std::initializer_list<OperandSpec>{
+                          xmmOp(16, true, true), xmmOp(16, true, false)});
+            d.circuit = circuit;
+            d.latency = lat;
+        }
+    }
+    {
+        InstrDesc &d = b.add(Op::Ucomisd, "ucomisd xmm, xmm",
+                             OpClass::FpAdd,
+                             {xmmOp(16, true, false), xmmOp(16, true, false)});
+        d.latency = 3;
+        d.writesFlags = true;
+    }
+    {
+        InstrDesc &d = b.add(Op::Cvtsi2sd, "cvtsi2sd xmm, r64",
+                             OpClass::FpCvt,
+                             {xmmOp(16, true, true), gprOp(8, true, false)});
+        d.latency = 3;
+    }
+    {
+        InstrDesc &d = b.add(Op::Cvttsd2si, "cvttsd2si r64, xmm",
+                             OpClass::FpCvt,
+                             {gprOp(8, false, true), xmmOp(16, true, false)});
+        d.latency = 3;
+    }
+    for (auto [op, name] : {std::tuple{Op::Xorpd, "xorpd"},
+                            std::tuple{Op::Andpd, "andpd"},
+                            std::tuple{Op::Orpd, "orpd"},
+                            std::tuple{Op::Paddq, "paddq"},
+                            std::tuple{Op::Psubq, "psubq"},
+                            std::tuple{Op::Pxor, "pxor"}}) {
+        b.add(op, std::string(name) + " xmm, xmm", OpClass::SimdAlu,
+              {xmmOp(16, true, true), xmmOp(16, true, false)});
+    }
+
+    // Non-deterministic instructions: present in the ISA (so the
+    // SiliFuzz-style fuzzer can stumble on them) but flagged so
+    // MuSeqGen's generator excludes them and the determinism filter
+    // rejects snapshots containing them.
+    {
+        InstrDesc &d = b.add(Op::Rdtsc, "rdtsc", OpClass::IntAlu, {});
+        d.implicitWrites = {RAX, RDX};
+        d.numImplicitWrites = 2;
+        d.deterministic = false;
+    }
+    {
+        InstrDesc &d = b.add(Op::Rdrand, "rdrand r64", OpClass::IntAlu,
+                             {gprOp(8, false, true)});
+        d.writesFlags = true;
+        d.deterministic = false;
+    }
+
+    return b.take();
+}
+
+} // namespace
+
+IsaTable::IsaTable()
+{
+    descs = buildDescs();
+    panicIf(descs.size() > 230, "opcode space too small for ISA table");
+
+    opcodeMap.fill(-1);
+    for (std::size_t i = 0; i < descs.size(); ++i) {
+        descs[i].id = static_cast<std::uint16_t>(i);
+        // Spread opcodes over the byte space with an odd multiplier
+        // (bijective mod 256), leaving the remaining values invalid.
+        const std::uint8_t opcode =
+            static_cast<std::uint8_t>((i * 7 + 3) & 0xFF);
+        descs[i].opcode = opcode;
+        panicIf(opcodeMap[opcode] != -1, "duplicate opcode assignment");
+        opcodeMap[opcode] = static_cast<std::int32_t>(i);
+        panicIf(mnemonicMap.count(descs[i].mnemonic) != 0,
+                "duplicate mnemonic: " + descs[i].mnemonic);
+        mnemonicMap[descs[i].mnemonic] = descs[i].id;
+    }
+}
+
+const IsaTable &
+IsaTable::instance()
+{
+    static const IsaTable table;
+    return table;
+}
+
+const InstrDesc *
+IsaTable::byOpcode(std::uint8_t opcode) const
+{
+    const std::int32_t id = opcodeMap[opcode];
+    return id < 0 ? nullptr : &descs[static_cast<std::size_t>(id)];
+}
+
+const InstrDesc *
+IsaTable::byMnemonic(const std::string &name) const
+{
+    auto it = mnemonicMap.find(name);
+    return it == mnemonicMap.end() ? nullptr : &descs[it->second];
+}
+
+std::vector<std::uint16_t>
+IsaTable::select(const std::function<bool(const InstrDesc &)> &pred) const
+{
+    std::vector<std::uint16_t> out;
+    for (const auto &d : descs)
+        if (pred(d))
+            out.push_back(d.id);
+    return out;
+}
+
+} // namespace harpo::isa

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The HX86 instruction table: every instruction variant the library
+ * understands, with its operand signature, functional-unit class,
+ * implicit operands and encoding.
+ *
+ * This plays the role of MicroProbe's "Architecture Module" in the
+ * paper: a queryable, ISA-complete description that the code generator,
+ * mutator, encoder and decoder all consult, guaranteeing that generated
+ * programs are always architecturally valid.
+ */
+
+#ifndef HARPOCRATES_ISA_ISA_TABLE_HH
+#define HARPOCRATES_ISA_ISA_TABLE_HH
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace harpo::isa
+{
+
+/** Immutable singleton table of all InstrDescs. */
+class IsaTable
+{
+  public:
+    /** The process-wide table (built once, thread-safe). */
+    static const IsaTable &instance();
+
+    const InstrDesc &
+    desc(std::uint16_t id) const
+    {
+        return descs.at(id);
+    }
+
+    std::size_t size() const { return descs.size(); }
+
+    const std::vector<InstrDesc> &all() const { return descs; }
+
+    /** Decode lookup: descriptor for an opcode byte, or nullptr. */
+    const InstrDesc *byOpcode(std::uint8_t opcode) const;
+
+    /** Lookup by unique mnemonic string, or nullptr. */
+    const InstrDesc *byMnemonic(const std::string &name) const;
+
+    /** Ids of all descriptors satisfying a predicate. */
+    std::vector<std::uint16_t>
+    select(const std::function<bool(const InstrDesc &)> &pred) const;
+
+  private:
+    IsaTable();
+
+    std::vector<InstrDesc> descs;
+    std::array<std::int32_t, 256> opcodeMap;
+    std::unordered_map<std::string, std::uint16_t> mnemonicMap;
+};
+
+/** Convenience accessor for the singleton table. */
+inline const IsaTable &
+isaTable()
+{
+    return IsaTable::instance();
+}
+
+} // namespace harpo::isa
+
+#endif // HARPOCRATES_ISA_ISA_TABLE_HH

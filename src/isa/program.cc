@@ -1,0 +1,59 @@
+#include "isa/program.hh"
+
+#include <cstring>
+
+namespace harpo::isa
+{
+
+void
+Memory::reset(const TestProgram &program)
+{
+    backing.clear();
+    for (const auto &region : program.regions) {
+        Backing b;
+        b.region = region;
+        b.bytes.assign(region.size, 0);
+        backing.push_back(std::move(b));
+    }
+    for (const auto &init : program.memInit)
+        write(init.addr, static_cast<unsigned>(init.bytes.size()),
+              init.bytes.data());
+}
+
+bool
+Memory::read(std::uint64_t addr, unsigned size, std::uint8_t *out) const
+{
+    for (const auto &b : backing) {
+        if (b.region.contains(addr, size)) {
+            std::memcpy(out, b.bytes.data() + (addr - b.region.base),
+                        size);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Memory::write(std::uint64_t addr, unsigned size, const std::uint8_t *in)
+{
+    for (auto &b : backing) {
+        if (b.region.contains(addr, size)) {
+            std::memcpy(b.bytes.data() + (addr - b.region.base), in,
+                        size);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint8_t *
+Memory::bytePtr(std::uint64_t addr)
+{
+    for (auto &b : backing) {
+        if (b.region.contains(addr, 1))
+            return b.bytes.data() + (addr - b.region.base);
+    }
+    return nullptr;
+}
+
+} // namespace harpo::isa

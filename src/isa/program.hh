@@ -1,0 +1,112 @@
+/**
+ * @file
+ * TestProgram: a runnable functional test program.
+ *
+ * A program is an index-addressed instruction sequence plus its initial
+ * architectural state and data regions (the role the C wrapper plays in
+ * the paper: register/memory initialisation and output computation).
+ * The [coreBegin, coreEnd) range marks the core test instructions the
+ * coverage analyses are restricted to (the paper's gem5 ROI directives).
+ */
+
+#ifndef HARPOCRATES_ISA_PROGRAM_HH
+#define HARPOCRATES_ISA_PROGRAM_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace harpo::isa
+{
+
+/** A contiguous valid data region. Accesses outside all regions fault. */
+struct MemRegion
+{
+    std::uint64_t base = 0;
+    std::uint32_t size = 0;
+
+    bool
+    contains(std::uint64_t addr, unsigned bytes) const
+    {
+        // Overflow-safe: fuzzed programs produce addresses near 2^64.
+        return addr >= base && bytes <= size &&
+               addr - base <= static_cast<std::uint64_t>(size) - bytes;
+    }
+};
+
+/** Initial contents for part of a region. */
+struct MemInit
+{
+    std::uint64_t addr = 0;
+    std::vector<std::uint8_t> bytes;
+};
+
+/** A complete runnable test program. */
+struct TestProgram
+{
+    std::string name;
+
+    std::vector<Inst> code;
+
+    /** Initial GPR values (RSP is set by the wrapper to the stack top). */
+    std::array<std::uint64_t, 16> initGpr{};
+    /** Initial XMM values (lo, hi lanes). */
+    std::array<std::array<std::uint64_t, 2>, 16> initXmm{};
+
+    std::vector<MemRegion> regions;
+    std::vector<MemInit> memInit;
+
+    /** Core-test instruction range for coverage measurement. */
+    std::size_t coreBegin = 0;
+    std::size_t coreEnd = 0;
+
+    std::size_t
+    coreSize() const
+    {
+        return coreEnd > coreBegin ? coreEnd - coreBegin : 0;
+    }
+};
+
+/** Byte-addressable sparse memory backed by the program's regions. */
+class Memory
+{
+  public:
+    /** Build backing storage for @p program's regions and apply its
+     *  initial contents. */
+    void reset(const TestProgram &program);
+
+    /** Read @p size bytes; false if outside every region. */
+    bool read(std::uint64_t addr, unsigned size, std::uint8_t *out) const;
+
+    /** Write @p size bytes; false if outside every region. */
+    bool write(std::uint64_t addr, unsigned size, const std::uint8_t *in);
+
+    /** Mix all region contents into @p hasher (for run signatures). */
+    template <typename Hasher>
+    void
+    hashInto(Hasher &hasher) const
+    {
+        for (const auto &r : backing) {
+            hasher.addWord(r.region.base);
+            hasher.addBytes(r.bytes.data(), r.bytes.size());
+        }
+    }
+
+    /** Direct access for fault injection at a concrete address. */
+    std::uint8_t *bytePtr(std::uint64_t addr);
+
+  private:
+    struct Backing
+    {
+        MemRegion region;
+        std::vector<std::uint8_t> bytes;
+    };
+    std::vector<Backing> backing;
+};
+
+} // namespace harpo::isa
+
+#endif // HARPOCRATES_ISA_PROGRAM_HH

@@ -1,0 +1,27 @@
+#include "isa/registers.hh"
+
+namespace harpo::isa
+{
+
+static const char *const gprNames[16] = {
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+};
+
+const char *
+gprName(int reg)
+{
+    if (reg >= 0 && reg < 16)
+        return gprNames[reg];
+    return "r?";
+}
+
+const char *
+intRegName(int reg)
+{
+    if (reg == flagsReg)
+        return "rflags";
+    return gprName(reg);
+}
+
+} // namespace harpo::isa

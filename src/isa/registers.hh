@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Architectural register definitions for the HX86 ISA.
+ *
+ * HX86 is the x86-64-flavoured ISA modelled by this library: 16 64-bit
+ * general-purpose registers, 16 128-bit XMM registers, and an RFLAGS
+ * register. RFLAGS is renamed like a GPR (architectural index 16 in the
+ * integer register space), which both simplifies the out-of-order model
+ * and makes flag state part of the integer physical register file — the
+ * structure the paper targets with transient faults.
+ */
+
+#ifndef HARPOCRATES_ISA_REGISTERS_HH
+#define HARPOCRATES_ISA_REGISTERS_HH
+
+#include <cstdint>
+
+namespace harpo::isa
+{
+
+/** General-purpose register indices (x86-64 numbering). */
+enum Gpr : std::uint8_t
+{
+    RAX = 0, RCX = 1, RDX = 2, RBX = 3,
+    RSP = 4, RBP = 5, RSI = 6, RDI = 7,
+    R8 = 8, R9 = 9, R10 = 10, R11 = 11,
+    R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+};
+
+/** Architectural index of RFLAGS in the integer register space. */
+constexpr int flagsReg = 16;
+
+/** Number of renameable integer architectural registers (GPRs+RFLAGS). */
+constexpr int numIntArchRegs = 17;
+
+/** Number of XMM architectural registers. */
+constexpr int numXmmArchRegs = 16;
+
+/** RFLAGS bit positions (matching x86). */
+namespace flag
+{
+constexpr std::uint64_t cf = 1ull << 0;  ///< carry
+constexpr std::uint64_t pf = 1ull << 2;  ///< parity (of low result byte)
+constexpr std::uint64_t zf = 1ull << 6;  ///< zero
+constexpr std::uint64_t sf = 1ull << 7;  ///< sign
+constexpr std::uint64_t of = 1ull << 11; ///< overflow
+constexpr std::uint64_t all = cf | pf | zf | sf | of;
+} // namespace flag
+
+/** Printable name of a GPR. */
+const char *gprName(int reg);
+
+/** Printable name of an integer architectural register (incl. RFLAGS). */
+const char *intRegName(int reg);
+
+} // namespace harpo::isa
+
+#endif // HARPOCRATES_ISA_REGISTERS_HH

@@ -1,0 +1,813 @@
+#include "isa/semantics.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/softfloat.hh"
+#include "isa/isa_table.hh"
+#include "isa/registers.hh"
+
+namespace harpo::isa
+{
+
+namespace
+{
+
+std::uint64_t
+widthMask(unsigned wbits)
+{
+    return wbits >= 64 ? ~0ull : (1ull << wbits) - 1;
+}
+
+/** ZF/SF/PF for a result of @p wbits bits. */
+std::uint64_t
+resultFlags(std::uint64_t res, unsigned wbits)
+{
+    std::uint64_t f = 0;
+    res &= widthMask(wbits);
+    if (res == 0)
+        f |= flag::zf;
+    if ((res >> (wbits - 1)) & 1)
+        f |= flag::sf;
+    if ((__builtin_popcount(static_cast<unsigned>(res & 0xFF)) & 1) == 0)
+        f |= flag::pf;
+    return f;
+}
+
+/** Per-instruction evaluation state shared by the op handlers. */
+struct Ctx
+{
+    const Inst &inst;
+    const InstrDesc &desc;
+    ExecContext &xc;
+
+    unsigned wbits;         ///< operand width in bits (operand 0)
+    std::uint64_t flagsIn = 0;
+    std::uint64_t flagsOut = 0;
+    bool flagsValid = false;
+
+    Ctx(const Inst &i, const InstrDesc &d, ExecContext &x)
+        : inst(i), desc(d), xc(x)
+    {
+        wbits = d.numOperands > 0 ? d.operands[0].width * 8u : 64u;
+        if (d.readsFlags)
+            flagsIn = x.readIntReg(flagsReg);
+    }
+
+    std::uint64_t mask() const { return widthMask(wbits); }
+
+    /** Read integer operand @p i (GPR or Imm), masked to its width. */
+    std::uint64_t
+    readInt(int i)
+    {
+        const Operand &o = inst.ops[i];
+        const OperandSpec &spec = desc.operands[i];
+        if (o.kind == OperandKind::Imm) {
+            // Immediates are sign-extended to the operand width.
+            return static_cast<std::uint64_t>(o.imm) &
+                   widthMask(spec.width * 8u);
+        }
+        return xc.readIntReg(o.reg) & widthMask(spec.width * 8u);
+    }
+
+    /** Write integer register operand @p i. 32-bit writes zero-extend
+     *  (the x86-64 rule); 64-bit writes are full. */
+    void
+    writeInt(int i, std::uint64_t val)
+    {
+        const OperandSpec &spec = desc.operands[i];
+        xc.setIntReg(inst.ops[i].reg, val & widthMask(spec.width * 8u));
+    }
+
+    /** Set the output flags (full update of the modelled flag set). */
+    void
+    setFlags(std::uint64_t f)
+    {
+        flagsOut = f & flag::all;
+        flagsValid = true;
+    }
+
+    /** Standard ALU flag update: CF/OF explicit, ZF/SF/PF from result. */
+    void
+    aluFlags(std::uint64_t res, bool cf, bool of)
+    {
+        setFlags(resultFlags(res, wbits) | (cf ? flag::cf : 0) |
+                 (of ? flag::of : 0));
+    }
+
+    /** a + b + cin through the datapath adder, with CF/OF extraction. */
+    std::uint64_t
+    addCore(std::uint64_t a, std::uint64_t b, bool cin, bool &cf, bool &of)
+    {
+        a &= mask();
+        b &= mask();
+        bool cout = false;
+        std::uint64_t sum = xc.arith().intAdd(a, b, cin, cout);
+        cf = wbits >= 64 ? cout : ((sum >> wbits) & 1) != 0;
+        sum &= mask();
+        of = (((~(a ^ b)) & (a ^ sum)) >> (wbits - 1)) & 1;
+        return sum;
+    }
+
+    /** a - b - borrow via the adder (a + ~b + !borrow). */
+    std::uint64_t
+    subCore(std::uint64_t a, std::uint64_t b, bool borrow, bool &cf,
+            bool &of)
+    {
+        a &= mask();
+        b &= mask();
+        bool carry = false;
+        std::uint64_t res =
+            addCore(a, (~b) & mask(), !borrow, carry, of);
+        cf = !carry;
+        of = (((a ^ b) & (a ^ res)) >> (wbits - 1)) & 1;
+        return res;
+    }
+};
+
+/** Memory staging: at most one load and one store per instruction. */
+struct MemOps
+{
+    bool hasLoad = false;
+    bool hasStore = false;
+    std::uint64_t addr = 0;
+    unsigned size = 0;
+    std::uint64_t loadData[2] = {0, 0};
+};
+
+bool
+condSigned(Cond c, bool zf, bool sf, bool of, bool cf, bool pf)
+{
+    switch (c) {
+      case Cond::E: return zf;
+      case Cond::NE: return !zf;
+      case Cond::L: return sf != of;
+      case Cond::GE: return sf == of;
+      case Cond::LE: return zf || (sf != of);
+      case Cond::G: return !zf && (sf == of);
+      case Cond::B: return cf;
+      case Cond::AE: return !cf;
+      case Cond::S: return sf;
+      case Cond::NS: return !sf;
+      default: (void)pf; return false;
+    }
+}
+
+} // namespace
+
+bool
+evalCond(Cond cond, std::uint64_t flags)
+{
+    return condSigned(cond, flags & flag::zf, flags & flag::sf,
+                      flags & flag::of, flags & flag::cf,
+                      flags & flag::pf);
+}
+
+std::uint64_t
+effectiveAddr(const MemRef &mem, ExecContext &xc)
+{
+    if (mem.ripRel)
+        return static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(mem.disp));
+    return xc.readIntReg(mem.base) +
+           static_cast<std::uint64_t>(static_cast<std::int64_t>(mem.disp));
+}
+
+ExecStatus
+execute(const Inst &inst, ExecContext &xc)
+{
+    const InstrDesc &desc = isaTable().desc(inst.descId);
+    Ctx c(inst, desc, xc);
+
+    // ---- Stage 1: resolve the memory operand (if any) and perform the
+    // load half up front, so op handlers see plain values.
+    MemOps mem;
+    int memIdx = -1;
+    for (int i = 0; i < desc.numOperands; ++i) {
+        if (inst.ops[i].kind == OperandKind::Mem &&
+            desc.operands[i].kind == OperandKind::Mem) {
+            memIdx = i;
+            break;
+        }
+    }
+    if (memIdx >= 0 && desc.op != Op::Lea) {
+        mem.addr = effectiveAddr(inst.ops[memIdx].mem, xc);
+        mem.size = desc.operands[memIdx].width;
+        if (desc.operands[memIdx].isRead) {
+            std::uint8_t buf[16] = {};
+            if (!xc.readMem(mem.addr, mem.size, buf))
+                return ExecStatus::BadAddress;
+            std::memcpy(mem.loadData, buf, sizeof(buf));
+            mem.hasLoad = true;
+        }
+        mem.hasStore = desc.operands[memIdx].isWrite;
+    }
+
+    // Integer value of operand i, transparently using loaded memory.
+    auto srcInt = [&](int i) -> std::uint64_t {
+        if (i == memIdx && mem.hasLoad)
+            return mem.loadData[0] &
+                   widthMask(desc.operands[i].width * 8u);
+        return c.readInt(i);
+    };
+    // Write integer result to operand i (register or staged store).
+    std::uint64_t storeData[2] = {0, 0};
+    bool storePending = false;
+    auto dstInt = [&](int i, std::uint64_t val) {
+        if (i == memIdx) {
+            storeData[0] = val;
+            storePending = true;
+        } else {
+            c.writeInt(i, val);
+        }
+    };
+    auto srcXmm = [&](int i, std::uint64_t out[2]) {
+        if (i == memIdx && mem.hasLoad) {
+            out[0] = mem.loadData[0];
+            out[1] = mem.size == 16 ? mem.loadData[1] : 0;
+        } else {
+            xc.readXmmReg(inst.ops[i].reg, out);
+        }
+    };
+
+    const std::uint64_t fin = c.flagsIn;
+    const bool cfIn = (fin & flag::cf) != 0;
+    ExecStatus status = ExecStatus::Ok;
+    bool cf = false, of = false;
+
+    switch (desc.op) {
+      case Op::Add: {
+        const std::uint64_t r = c.addCore(srcInt(0), srcInt(1), false,
+                                          cf, of);
+        dstInt(0, r);
+        c.aluFlags(r, cf, of);
+        break;
+      }
+      case Op::Adc: {
+        const std::uint64_t r = c.addCore(srcInt(0), srcInt(1), cfIn,
+                                          cf, of);
+        dstInt(0, r);
+        c.aluFlags(r, cf, of);
+        break;
+      }
+      case Op::Sub: {
+        const std::uint64_t r = c.subCore(srcInt(0), srcInt(1), false,
+                                          cf, of);
+        dstInt(0, r);
+        c.aluFlags(r, cf, of);
+        break;
+      }
+      case Op::Sbb: {
+        const std::uint64_t r = c.subCore(srcInt(0), srcInt(1), cfIn,
+                                          cf, of);
+        dstInt(0, r);
+        c.aluFlags(r, cf, of);
+        break;
+      }
+      case Op::Cmp: {
+        const std::uint64_t r = c.subCore(srcInt(0), srcInt(1), false,
+                                          cf, of);
+        c.aluFlags(r, cf, of);
+        break;
+      }
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Test: {
+        const std::uint64_t a = srcInt(0);
+        const std::uint64_t b = srcInt(1);
+        std::uint64_t r;
+        if (desc.op == Op::Or)
+            r = a | b;
+        else if (desc.op == Op::Xor)
+            r = a ^ b;
+        else
+            r = a & b; // And / Test
+        if (desc.op != Op::Test)
+            dstInt(0, r);
+        c.aluFlags(r, false, false);
+        break;
+      }
+      case Op::Mov: {
+        if (desc.isStore && !desc.isLoad) {
+            dstInt(0, srcInt(1));
+        } else if (desc.isLoad) {
+            c.writeInt(0, mem.loadData[0] &
+                              widthMask(desc.operands[1].width * 8u));
+        } else {
+            dstInt(0, srcInt(1));
+        }
+        break;
+      }
+      case Op::Movsxd: {
+        const std::int64_t v =
+            static_cast<std::int32_t>(srcInt(1) & 0xFFFFFFFF);
+        c.writeInt(0, static_cast<std::uint64_t>(v));
+        break;
+      }
+      case Op::Lea: {
+        c.writeInt(0, effectiveAddr(inst.ops[1].mem, xc));
+        break;
+      }
+      case Op::Neg: {
+        const std::uint64_t a = srcInt(0);
+        const std::uint64_t r = c.subCore(0, a, false, cf, of);
+        dstInt(0, r);
+        // NEG: CF set iff the operand was nonzero.
+        c.aluFlags(r, a != 0, of);
+        break;
+      }
+      case Op::Not: {
+        dstInt(0, (~srcInt(0)) & c.mask());
+        break;
+      }
+      case Op::Inc:
+      case Op::Dec: {
+        std::uint64_t r;
+        if (desc.op == Op::Inc)
+            r = c.addCore(srcInt(0), 1, false, cf, of);
+        else
+            r = c.subCore(srcInt(0), 1, false, cf, of);
+        dstInt(0, r);
+        // INC/DEC preserve CF.
+        c.setFlags(resultFlags(r, c.wbits) | (fin & flag::cf) |
+                   (of ? flag::of : 0));
+        break;
+      }
+      case Op::Imul2: {
+        const std::uint64_t m = c.mask();
+        const std::uint64_t a = srcInt(0) & m;
+        const std::uint64_t b = srcInt(1) & m;
+        // Sign-extend to 64 bits, multiply through the unit, and check
+        // whether the signed product fits the operand width.
+        const unsigned w = c.wbits;
+        const std::uint64_t sa = w == 64
+            ? a : static_cast<std::uint64_t>(static_cast<std::int64_t>(
+                      static_cast<std::int32_t>(a)));
+        const std::uint64_t sb = w == 64
+            ? b : static_cast<std::uint64_t>(static_cast<std::int64_t>(
+                      static_cast<std::int32_t>(b)));
+        std::uint64_t lo, hi;
+        xc.arith().intMul(sa, sb, lo, hi);
+        // Signed adjustment for the high half.
+        hi -= (static_cast<std::int64_t>(sa) < 0 ? sb : 0);
+        hi -= (static_cast<std::int64_t>(sb) < 0 ? sa : 0);
+        const std::uint64_t r = lo & m;
+        bool overflow;
+        if (w == 64) {
+            overflow = hi != (static_cast<std::int64_t>(lo) < 0
+                                  ? ~0ull : 0ull);
+        } else {
+            const std::int64_t full = static_cast<std::int64_t>(lo);
+            overflow = full != static_cast<std::int32_t>(full);
+        }
+        dstInt(0, r);
+        c.aluFlags(r, overflow, overflow);
+        break;
+      }
+      case Op::Mul1:
+      case Op::Imul1: {
+        const std::uint64_t m = c.mask();
+        const std::uint64_t a = xc.readIntReg(RAX) & m;
+        const std::uint64_t b = srcInt(0) & m;
+        std::uint64_t lo, hi;
+        if (desc.op == Op::Mul1) {
+            xc.arith().intMul(a, b, lo, hi);
+            if (c.wbits == 32) {
+                hi = (lo >> 32) & 0xFFFFFFFF;
+                lo &= 0xFFFFFFFF;
+            }
+            cf = hi != 0;
+        } else {
+            const std::uint64_t sa = c.wbits == 64
+                ? a : static_cast<std::uint64_t>(static_cast<std::int64_t>(
+                          static_cast<std::int32_t>(a)));
+            const std::uint64_t sb = c.wbits == 64
+                ? b : static_cast<std::uint64_t>(static_cast<std::int64_t>(
+                          static_cast<std::int32_t>(b)));
+            xc.arith().intMul(sa, sb, lo, hi);
+            hi -= (static_cast<std::int64_t>(sa) < 0 ? sb : 0);
+            hi -= (static_cast<std::int64_t>(sb) < 0 ? sa : 0);
+            if (c.wbits == 32) {
+                hi = (lo >> 32) & 0xFFFFFFFF;
+                lo &= 0xFFFFFFFF;
+                cf = static_cast<std::int64_t>(
+                         static_cast<std::int32_t>(lo)) !=
+                     static_cast<std::int64_t>(
+                         (static_cast<std::uint64_t>(hi) << 32) | lo);
+            } else {
+                cf = hi != (static_cast<std::int64_t>(lo) < 0
+                                ? ~0ull : 0ull);
+            }
+        }
+        xc.setIntReg(RAX, lo);
+        xc.setIntReg(RDX, hi);
+        c.aluFlags(lo, cf, cf);
+        break;
+      }
+      case Op::Div:
+      case Op::Idiv: {
+        const std::uint64_t m = c.mask();
+        const std::uint64_t divisor = srcInt(0) & m;
+        if (divisor == 0)
+            return ExecStatus::DivFault;
+        const std::uint64_t loIn = xc.readIntReg(RAX) & m;
+        const std::uint64_t hiIn = xc.readIntReg(RDX) & m;
+        std::uint64_t q, r;
+        if (desc.op == Op::Div) {
+            const unsigned __int128 dividend =
+                (static_cast<unsigned __int128>(hiIn) << c.wbits) | loIn;
+            const unsigned __int128 wideQ = dividend / divisor;
+            if (wideQ > m)
+                return ExecStatus::DivFault;
+            q = static_cast<std::uint64_t>(wideQ);
+            r = static_cast<std::uint64_t>(dividend % divisor);
+        } else {
+            const __int128 dividend = static_cast<__int128>(
+                (static_cast<unsigned __int128>(hiIn) << c.wbits) | loIn)
+                << (128 - 2 * c.wbits) >> (128 - 2 * c.wbits);
+            const std::int64_t sdiv = c.wbits == 64
+                ? static_cast<std::int64_t>(divisor)
+                : static_cast<std::int32_t>(divisor);
+            const __int128 qq = dividend / sdiv;
+            const __int128 rr = dividend % sdiv;
+            const __int128 qmin = -(static_cast<__int128>(1)
+                                    << (c.wbits - 1));
+            const __int128 qmax = (static_cast<__int128>(1)
+                                   << (c.wbits - 1)) - 1;
+            if (qq < qmin || qq > qmax)
+                return ExecStatus::DivFault;
+            q = static_cast<std::uint64_t>(qq) & m;
+            r = static_cast<std::uint64_t>(rr) & m;
+        }
+        xc.setIntReg(RAX, q);
+        xc.setIntReg(RDX, r);
+        // x86 leaves flags undefined after divide; model: cleared.
+        c.setFlags(0);
+        break;
+      }
+      case Op::Shl:
+      case Op::Shr:
+      case Op::Sar:
+      case Op::Rol:
+      case Op::Ror:
+      case Op::Rcl:
+      case Op::Rcr: {
+        const unsigned w = c.wbits;
+        const std::uint64_t a = srcInt(0);
+        std::uint64_t rawCount;
+        if (desc.numOperands >= 2 &&
+            desc.operands[1].kind == OperandKind::Imm) {
+            rawCount = static_cast<std::uint64_t>(inst.ops[1].imm);
+        } else {
+            rawCount = xc.readIntReg(RCX);
+        }
+        // HX86 quirk (mirrors x86's narrow-operand rotates): RCL/RCR
+        // mask the count by 63 regardless of operand width, so a 32-bit
+        // rotate-through-carry can be asked to rotate by exactly the
+        // register size -- the corner case behind the gem5 RCR bug the
+        // paper reports in section VI-D.
+        const bool throughCarry =
+            desc.op == Op::Rcl || desc.op == Op::Rcr;
+        const unsigned count = static_cast<unsigned>(
+            rawCount & ((w == 64 || throughCarry) ? 63 : 31));
+        std::uint64_t r = a;
+        bool newCf = cfIn;
+        bool newOf = (fin & flag::of) != 0;
+        bool updateAll = true;
+        if (count == 0) {
+            // Flags unchanged; result unchanged.
+            c.setFlags(fin);
+            dstInt(0, a);
+            break;
+        }
+        switch (desc.op) {
+          case Op::Shl:
+            r = (count >= w) ? 0 : (a << count) & c.mask();
+            newCf = count <= w && ((a >> (w - count)) & 1);
+            newOf = ((r >> (w - 1)) & 1) != (newCf ? 1u : 0u);
+            break;
+          case Op::Shr:
+            r = (count >= w) ? 0 : a >> count;
+            newCf = count <= w && ((a >> (count - 1)) & 1);
+            newOf = (a >> (w - 1)) & 1;
+            break;
+          case Op::Sar: {
+            const std::int64_t sa = w == 64
+                ? static_cast<std::int64_t>(a)
+                : static_cast<std::int32_t>(a);
+            r = static_cast<std::uint64_t>(
+                    sa >> (count >= w ? w - 1 : count)) & c.mask();
+            newCf = (static_cast<std::uint64_t>(sa) >>
+                     (count >= w ? w - 1 : count - 1)) & 1;
+            newOf = false;
+            break;
+          }
+          case Op::Rol: {
+            const unsigned cc = count % w;
+            r = cc == 0 ? a
+                        : ((a << cc) | (a >> (w - cc))) & c.mask();
+            newCf = r & 1;
+            newOf = (((r >> (w - 1)) & 1) != (newCf ? 1u : 0u));
+            break;
+          }
+          case Op::Ror: {
+            const unsigned cc = count % w;
+            r = cc == 0 ? a
+                        : ((a >> cc) | (a << (w - cc))) & c.mask();
+            newCf = (r >> (w - 1)) & 1;
+            newOf = (((r >> (w - 1)) & 1) != ((r >> (w - 2)) & 1));
+            break;
+          }
+          case Op::Rcl:
+          case Op::Rcr: {
+            // Rotate through carry: a (w+1)-bit rotation of CF:value.
+            // The corner case count == w (rotate amount equal to the
+            // register size) is exactly the one that crashed gem5's RCR
+            // emulation (section VI-D of the paper).
+            const unsigned cc = count % (w + 1);
+            unsigned __int128 wide =
+                (static_cast<unsigned __int128>(cfIn ? 1 : 0) << w) |
+                static_cast<unsigned __int128>(a);
+            if (cc != 0) {
+                if (desc.op == Op::Rcl) {
+                    wide = ((wide << cc) | (wide >> (w + 1 - cc)));
+                } else {
+                    wide = ((wide >> cc) | (wide << (w + 1 - cc)));
+                }
+            }
+            r = static_cast<std::uint64_t>(wide) & c.mask();
+            newCf = (wide >> w) & 1;
+            if (desc.op == Op::Rcl)
+                newOf = (((r >> (w - 1)) & 1) != (newCf ? 1u : 0u));
+            else
+                newOf = (((r >> (w - 1)) & 1) != ((r >> (w - 2)) & 1));
+            break;
+          }
+          default:
+            break;
+        }
+        dstInt(0, r);
+        if (updateAll) {
+            c.setFlags(resultFlags(r, w) | (newCf ? flag::cf : 0) |
+                       (newOf ? flag::of : 0));
+        }
+        break;
+      }
+      case Op::Xchg: {
+        const std::uint64_t a = srcInt(0);
+        const std::uint64_t b = srcInt(1);
+        c.writeInt(0, b);
+        c.writeInt(1, a);
+        break;
+      }
+      case Op::Bswap: {
+        dstInt(0, __builtin_bswap64(srcInt(0)));
+        break;
+      }
+      case Op::Popcnt: {
+        const std::uint64_t a = srcInt(1);
+        const std::uint64_t r =
+            static_cast<std::uint64_t>(__builtin_popcountll(a));
+        c.writeInt(0, r);
+        c.setFlags(a == 0 ? flag::zf : 0);
+        break;
+      }
+      case Op::Lzcnt: {
+        const std::uint64_t a = srcInt(1);
+        const std::uint64_t r =
+            a == 0 ? 64 : static_cast<std::uint64_t>(__builtin_clzll(a));
+        c.writeInt(0, r);
+        c.setFlags((a == 0 ? flag::cf : 0) | (r == 0 ? flag::zf : 0));
+        break;
+      }
+      case Op::Tzcnt: {
+        const std::uint64_t a = srcInt(1);
+        const std::uint64_t r =
+            a == 0 ? 64 : static_cast<std::uint64_t>(__builtin_ctzll(a));
+        c.writeInt(0, r);
+        c.setFlags((a == 0 ? flag::cf : 0) | (r == 0 ? flag::zf : 0));
+        break;
+      }
+      case Op::Cmovcc: {
+        const std::uint64_t r =
+            evalCond(desc.cond, fin) ? srcInt(1) : srcInt(0);
+        c.writeInt(0, r);
+        break;
+      }
+      case Op::Setcc: {
+        c.writeInt(0, evalCond(desc.cond, fin) ? 1 : 0);
+        break;
+      }
+      case Op::Push: {
+        const std::uint64_t rsp = xc.readIntReg(RSP) - 8;
+        std::uint64_t v;
+        if (desc.operands[0].kind == OperandKind::Imm) {
+            v = static_cast<std::uint64_t>(inst.ops[0].imm);
+        } else {
+            v = xc.readIntReg(inst.ops[0].reg);
+        }
+        std::uint8_t buf[8];
+        std::memcpy(buf, &v, 8);
+        if (!xc.writeMem(rsp, 8, buf))
+            return ExecStatus::BadAddress;
+        xc.setIntReg(RSP, rsp);
+        break;
+      }
+      case Op::Pop: {
+        const std::uint64_t rsp = xc.readIntReg(RSP);
+        std::uint8_t buf[8];
+        if (!xc.readMem(rsp, 8, buf))
+            return ExecStatus::BadAddress;
+        std::uint64_t v;
+        std::memcpy(&v, buf, 8);
+        c.writeInt(0, v);
+        xc.setIntReg(RSP, rsp + 8);
+        break;
+      }
+      case Op::Jmp: {
+        xc.setTaken(true);
+        break;
+      }
+      case Op::Jcc: {
+        xc.setTaken(evalCond(desc.cond, fin));
+        break;
+      }
+      case Op::Nop:
+        break;
+
+      // ---- SSE ----
+      case Op::MovqXR: {
+        const std::uint64_t v[2] = {xc.readIntReg(inst.ops[1].reg), 0};
+        xc.setXmmReg(inst.ops[0].reg, v);
+        break;
+      }
+      case Op::MovqRX: {
+        std::uint64_t v[2];
+        xc.readXmmReg(inst.ops[1].reg, v);
+        xc.setIntReg(inst.ops[0].reg, v[0]);
+        break;
+      }
+      case Op::Movsd: {
+        if (desc.isStore) {
+            std::uint64_t v[2];
+            xc.readXmmReg(inst.ops[1].reg, v);
+            storeData[0] = v[0];
+            storePending = true;
+        } else if (desc.isLoad) {
+            const std::uint64_t v[2] = {mem.loadData[0], 0};
+            xc.setXmmReg(inst.ops[0].reg, v);
+        } else {
+            std::uint64_t d[2], s[2];
+            xc.readXmmReg(inst.ops[0].reg, d);
+            xc.readXmmReg(inst.ops[1].reg, s);
+            const std::uint64_t v[2] = {s[0], d[1]};
+            xc.setXmmReg(inst.ops[0].reg, v);
+        }
+        break;
+      }
+      case Op::Movapd: {
+        if (desc.isStore) {
+            std::uint64_t v[2];
+            xc.readXmmReg(inst.ops[1].reg, v);
+            storeData[0] = v[0];
+            storeData[1] = v[1];
+            storePending = true;
+        } else if (desc.isLoad) {
+            xc.setXmmReg(inst.ops[0].reg, mem.loadData);
+        } else {
+            std::uint64_t s[2];
+            xc.readXmmReg(inst.ops[1].reg, s);
+            xc.setXmmReg(inst.ops[0].reg, s);
+        }
+        break;
+      }
+      case Op::Addsd:
+      case Op::Subsd:
+      case Op::Mulsd:
+      case Op::Divsd: {
+        std::uint64_t d[2], s[2];
+        xc.readXmmReg(inst.ops[0].reg, d);
+        srcXmm(1, s);
+        std::uint64_t r;
+        if (desc.op == Op::Addsd)
+            r = xc.arith().fpAdd(d[0], s[0]);
+        else if (desc.op == Op::Subsd)
+            r = xc.arith().fpAdd(d[0], s[0] ^ 0x8000000000000000ull);
+        else if (desc.op == Op::Mulsd)
+            r = xc.arith().fpMul(d[0], s[0]);
+        else
+            r = softDiv64(d[0], s[0]);
+        const std::uint64_t v[2] = {r, d[1]};
+        xc.setXmmReg(inst.ops[0].reg, v);
+        break;
+      }
+      case Op::Addpd:
+      case Op::Subpd:
+      case Op::Mulpd: {
+        std::uint64_t d[2], s[2];
+        xc.readXmmReg(inst.ops[0].reg, d);
+        srcXmm(1, s);
+        std::uint64_t v[2];
+        for (int lane = 0; lane < 2; ++lane) {
+            if (desc.op == Op::Addpd)
+                v[lane] = xc.arith().fpAdd(d[lane], s[lane]);
+            else if (desc.op == Op::Subpd)
+                v[lane] = xc.arith().fpAdd(
+                    d[lane], s[lane] ^ 0x8000000000000000ull);
+            else
+                v[lane] = xc.arith().fpMul(d[lane], s[lane]);
+        }
+        xc.setXmmReg(inst.ops[0].reg, v);
+        break;
+      }
+      case Op::Ucomisd: {
+        std::uint64_t a[2], b[2];
+        xc.readXmmReg(inst.ops[0].reg, a);
+        xc.readXmmReg(inst.ops[1].reg, b);
+        const int cmp = softCompare64(a[0], b[0]);
+        std::uint64_t f = 0;
+        if (cmp == 2)
+            f = flag::zf | flag::pf | flag::cf; // unordered
+        else if (cmp == 0)
+            f = flag::zf;
+        else if (cmp < 0)
+            f = flag::cf;
+        c.setFlags(f);
+        break;
+      }
+      case Op::Cvtsi2sd: {
+        std::uint64_t d[2];
+        xc.readXmmReg(inst.ops[0].reg, d);
+        const std::uint64_t v[2] = {
+            softFromInt64(
+                static_cast<std::int64_t>(xc.readIntReg(inst.ops[1].reg))),
+            d[1]};
+        xc.setXmmReg(inst.ops[0].reg, v);
+        break;
+      }
+      case Op::Cvttsd2si: {
+        std::uint64_t s[2];
+        xc.readXmmReg(inst.ops[1].reg, s);
+        xc.setIntReg(inst.ops[0].reg,
+                     static_cast<std::uint64_t>(softToInt64Trunc(s[0])));
+        break;
+      }
+      case Op::Xorpd:
+      case Op::Andpd:
+      case Op::Orpd:
+      case Op::Pxor:
+      case Op::Paddq:
+      case Op::Psubq: {
+        std::uint64_t d[2], s[2];
+        xc.readXmmReg(inst.ops[0].reg, d);
+        xc.readXmmReg(inst.ops[1].reg, s);
+        std::uint64_t v[2];
+        for (int lane = 0; lane < 2; ++lane) {
+            switch (desc.op) {
+              case Op::Xorpd:
+              case Op::Pxor: v[lane] = d[lane] ^ s[lane]; break;
+              case Op::Andpd: v[lane] = d[lane] & s[lane]; break;
+              case Op::Orpd: v[lane] = d[lane] | s[lane]; break;
+              case Op::Paddq: v[lane] = d[lane] + s[lane]; break;
+              default: v[lane] = d[lane] - s[lane]; break;
+            }
+        }
+        xc.setXmmReg(inst.ops[0].reg, v);
+        break;
+      }
+
+      case Op::Rdtsc: {
+        const std::uint64_t t = xc.nondetValue();
+        xc.setIntReg(RAX, t & 0xFFFFFFFF);
+        xc.setIntReg(RDX, t >> 32);
+        break;
+      }
+      case Op::Rdrand: {
+        c.writeInt(0, xc.nondetValue());
+        c.setFlags(flag::cf);
+        break;
+      }
+
+      default:
+        panic("unimplemented opcode in semantics: " + desc.mnemonic);
+    }
+
+    // ---- Stage 3: commit the staged store and the flags result.
+    if (storePending && mem.hasStore) {
+        std::uint8_t buf[16];
+        std::memcpy(buf, storeData, sizeof(buf));
+        if (!xc.writeMem(mem.addr, mem.size, buf))
+            return ExecStatus::BadAddress;
+    }
+    if (desc.writesFlags) {
+        // Every flag writer must produce a value (possibly the merged
+        // input flags) so the renamed RFLAGS destination is defined.
+        xc.setIntReg(flagsReg, c.flagsValid ? c.flagsOut
+                                            : (fin & flag::all));
+    }
+
+    return status;
+}
+
+} // namespace harpo::isa

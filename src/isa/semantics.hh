@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Functional semantics of every HX86 instruction, written once against
+ * the ExecContext interface.
+ */
+
+#ifndef HARPOCRATES_ISA_SEMANTICS_HH
+#define HARPOCRATES_ISA_SEMANTICS_HH
+
+#include "isa/exec_context.hh"
+#include "isa/instruction.hh"
+
+namespace harpo::isa
+{
+
+/**
+ * Execute one instruction against @p xc.
+ *
+ * Register/memory reads and writes, branch direction, and datapath
+ * computations all flow through the context. Branch *targets* are not
+ * consumed here: the caller combines setTaken() with Inst::branchTarget.
+ *
+ * @return Ok, or the fault the instruction raised.
+ */
+ExecStatus execute(const Inst &inst, ExecContext &xc);
+
+/** Evaluate an x86 condition code against an RFLAGS value. */
+bool evalCond(Cond cond, std::uint64_t flags);
+
+/** Effective address of a memory operand (no validity check). */
+std::uint64_t effectiveAddr(const MemRef &mem, ExecContext &xc);
+
+} // namespace harpo::isa
+
+#endif // HARPOCRATES_ISA_SEMANTICS_HH

@@ -1,0 +1,57 @@
+#include "museqgen/manager.hh"
+
+namespace harpo::museqgen
+{
+
+std::vector<Genome>
+Manager::generateBatch(unsigned count)
+{
+    std::vector<Genome> out;
+    out.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        out.push_back(gen.randomGenome(rng));
+    return out;
+}
+
+std::vector<Genome>
+Manager::mutateEach(const std::vector<Genome> &parents, unsigned times)
+{
+    std::vector<Genome> out = parents;
+    out.reserve(parents.size() * (1 + times));
+    for (const Genome &parent : parents) {
+        for (unsigned m = 0; m < times; ++m)
+            out.push_back(gen.mutate(parent, rng));
+    }
+    return out;
+}
+
+std::vector<Genome>
+Manager::crossoverPairs(const std::vector<Genome> &parents, unsigned k)
+{
+    std::vector<Genome> out;
+    for (std::size_t i = 0; i + 1 < parents.size(); i += 2)
+        out.push_back(gen.crossover(parents[i], parents[i + 1], k, rng));
+    return out;
+}
+
+std::vector<isa::TestProgram>
+Manager::synthesizeAll(const std::vector<Genome> &genomes,
+                       const std::string &name_prefix)
+{
+    std::vector<isa::TestProgram> out;
+    out.reserve(genomes.size());
+    for (std::size_t i = 0; i < genomes.size(); ++i)
+        out.push_back(gen.synthesize(
+            genomes[i], name_prefix + "-" + std::to_string(i)));
+    return out;
+}
+
+std::vector<isa::TestProgram>
+Manager::randomThenMutate(unsigned base, unsigned mutations_each)
+{
+    const std::vector<Genome> parents = generateBatch(base);
+    const std::vector<Genome> all = mutateEach(parents, mutations_each);
+    return synthesizeAll(all);
+}
+
+} // namespace harpo::museqgen

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The MuSeqGen Manager (paper V-B2, Fig. 9): scripted orchestration of
+ * the most common generation/mutation flows. The paper's example —
+ * "generate 10 random programs, randomly mutate the instruction
+ * sequence of each generated program 5 times, generate programs from
+ * the 25 total mutated sequences" — is the randomThenMutate() flow;
+ * the Harpocrates loop (src/core) composes these flows with the
+ * hardware Evaluator.
+ */
+
+#ifndef HARPOCRATES_MUSEQGEN_MANAGER_HH
+#define HARPOCRATES_MUSEQGEN_MANAGER_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "museqgen/museqgen.hh"
+
+namespace harpo::museqgen
+{
+
+/** Scripted generation/mutation flows over one generator instance. */
+class Manager
+{
+  public:
+    Manager(GenConfig config, std::uint64_t seed)
+        : gen(std::move(config)), rng(seed)
+    {}
+
+    const MuSeqGen &generator() const { return gen; }
+
+    /** Flow: @p count constrained-random genomes. */
+    std::vector<Genome> generateBatch(unsigned count);
+
+    /** Flow: each input genome mutated @p times times (its mutants are
+     *  appended after the originals, preserving order). */
+    std::vector<Genome> mutateEach(const std::vector<Genome> &parents,
+                                   unsigned times);
+
+    /** Flow: k-point crossover of every adjacent pair. */
+    std::vector<Genome>
+    crossoverPairs(const std::vector<Genome> &parents, unsigned k);
+
+    /** Lower a batch of genomes to runnable programs. */
+    std::vector<isa::TestProgram>
+    synthesizeAll(const std::vector<Genome> &genomes,
+                  const std::string &name_prefix = "managed");
+
+    /** The paper's composed example flow: generate @p base random
+     *  programs, mutate each @p mutations_each times, and synthesize
+     *  the full offspring set. */
+    std::vector<isa::TestProgram>
+    randomThenMutate(unsigned base, unsigned mutations_each);
+
+  private:
+    MuSeqGen gen;
+    Rng rng;
+};
+
+} // namespace harpo::museqgen
+
+#endif // HARPOCRATES_MUSEQGEN_MANAGER_HH

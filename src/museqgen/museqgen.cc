@@ -1,0 +1,396 @@
+#include "museqgen/museqgen.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "isa/isa_table.hh"
+#include "isa/registers.hh"
+
+namespace harpo::museqgen
+{
+
+using isa::Inst;
+using isa::InstrDesc;
+using isa::Op;
+using isa::Operand;
+using isa::OperandKind;
+
+namespace
+{
+
+/** Registers usable as generic data operands: everything except the
+ *  stack pointer and the reserved memory base registers. */
+constexpr std::uint8_t dataRegs[] = {
+    isa::RAX, isa::RCX, isa::RDX, isa::RBX, isa::RBP,
+    isa::R8, isa::R9, isa::R10, isa::R11, isa::R12,
+    isa::R13, isa::R14, isa::R15,
+};
+constexpr unsigned numDataRegs = sizeof(dataRegs);
+
+/**
+ * A random double with a near-unity exponent (2^-32 .. 2^32).
+ *
+ * Keeping generated FP data in this band is essential for fault
+ * detection quality: chains of multiplications over wide-exponent
+ * data saturate to Inf/0 within a few operations, and once operands
+ * are special values most mantissa-datapath faults are architecturally
+ * masked (the special-case path bypasses the significand logic). The
+ * paper attributes its FP results to "careful parameterization of our
+ * generator" — this is that parameter.
+ */
+std::uint64_t
+randomDoubleBits(Rng &rng)
+{
+    const std::uint64_t sign = rng.next() & 0x8000000000000000ull;
+    if (rng.chance(0.4)) {
+        // Sparse mantissa (an exact small-integer-valued double).
+        // Dense random mantissas keep the FP multiplier's sticky OR
+        // tree permanently saturated, which architecturally masks
+        // faults in the low half of the significand array; sparse
+        // operands make those gates observable through rounding.
+        const std::uint64_t exp = (1023 + rng.below(20)) << 52;
+        const std::uint64_t frac = (1ull << rng.below(52)) |
+                                   (1ull << rng.below(52));
+        return sign | exp | (frac & 0xFFFFFFFFFFFFFull);
+    }
+    const std::uint64_t exp = (991 + rng.below(65)) << 52;
+    return sign | exp | (rng.next() & 0xFFFFFFFFFFFFFull);
+}
+
+/** Sequential register-allocation state for one synthesis run. */
+struct RegAllocState
+{
+    std::array<std::uint64_t, numDataRegs> lastTouchGpr{};
+    std::array<std::uint64_t, 16> lastTouchXmm{};
+    unsigned rrGpr = 0;
+    unsigned rrXmm = 0;
+
+    std::uint8_t
+    pickGpr(RegAllocPolicy policy, bool is_dest, Rng &rng,
+            std::uint64_t position)
+    {
+        unsigned idx = 0;
+        switch (policy) {
+          case RegAllocPolicy::MaxDependencyDistance:
+            if (is_dest) {
+                // Concentrate overwrites on a small rotating window of
+                // registers: values outside the window live (and stay
+                // readable) for long stretches, maximizing the
+                // producer-to-consumer and write-to-overwrite
+                // distances the paper's allocation policy targets.
+                constexpr unsigned destWindow = 4;
+                idx = rrGpr++ % destWindow;
+                // Rotate the window slowly across the file so every
+                // register both parks and churns over the program.
+                idx = (idx + static_cast<unsigned>(position / 256)) %
+                      numDataRegs;
+            } else {
+                idx = static_cast<unsigned>(rng.below(numDataRegs));
+            }
+            break;
+          case RegAllocPolicy::RoundRobin:
+            idx = rrGpr++ % numDataRegs;
+            break;
+          case RegAllocPolicy::Random:
+            idx = static_cast<unsigned>(rng.below(numDataRegs));
+            break;
+        }
+        lastTouchGpr[idx] = position + 1;
+        return dataRegs[idx];
+    }
+
+    std::uint8_t
+    pickXmm(RegAllocPolicy policy, bool is_dest, Rng &rng,
+            std::uint64_t position)
+    {
+        unsigned idx = 0;
+        switch (policy) {
+          case RegAllocPolicy::MaxDependencyDistance:
+            if (is_dest) {
+                for (unsigned i = 1; i < 16; ++i) {
+                    if (lastTouchXmm[i] < lastTouchXmm[idx])
+                        idx = i;
+                }
+            } else {
+                idx = static_cast<unsigned>(rng.below(16));
+            }
+            break;
+          case RegAllocPolicy::RoundRobin:
+            idx = rrXmm++ % 16;
+            break;
+          case RegAllocPolicy::Random:
+            idx = static_cast<unsigned>(rng.below(16));
+            break;
+        }
+        lastTouchXmm[idx] = position + 1;
+        return static_cast<std::uint8_t>(idx);
+    }
+};
+
+} // namespace
+
+std::vector<std::uint16_t>
+defaultPool(bool allow_branches)
+{
+    return isa::isaTable().select([&](const InstrDesc &d) {
+        if (!d.deterministic)
+            return false; // RDTSC / RDRAND
+        if (d.opClass == isa::OpClass::IntDiv)
+            return false; // divide faults on random operand values
+        if (d.isBranch)
+            return allow_branches;
+        return true;
+    });
+}
+
+MuSeqGen::MuSeqGen(GenConfig config) : cfg(std::move(config))
+{
+    effPool =
+        cfg.pool.empty() ? defaultPool(cfg.allowBranches) : cfg.pool;
+    panicIf(effPool.empty(), "MuSeqGen: empty instruction pool");
+    if (!cfg.poolWeights.empty()) {
+        panicIf(cfg.poolWeights.size() != effPool.size(),
+                "MuSeqGen: poolWeights size mismatch");
+        double acc = 0.0;
+        for (double w : cfg.poolWeights) {
+            panicIf(w < 0.0, "MuSeqGen: negative pool weight");
+            acc += w;
+            cumWeights.push_back(acc);
+        }
+        panicIf(acc <= 0.0, "MuSeqGen: all pool weights are zero");
+    }
+}
+
+std::uint16_t
+MuSeqGen::samplePool(Rng &rng) const
+{
+    if (cumWeights.empty())
+        return effPool[rng.below(effPool.size())];
+    const double draw = rng.uniform() * cumWeights.back();
+    const auto it =
+        std::upper_bound(cumWeights.begin(), cumWeights.end(), draw);
+    const std::size_t idx = static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - cumWeights.begin(),
+                                 static_cast<std::ptrdiff_t>(
+                                     effPool.size() - 1)));
+    return effPool[idx];
+}
+
+Genome
+MuSeqGen::randomGenome(Rng &rng) const
+{
+    Genome g;
+    g.seq.reserve(cfg.numInstructions);
+    for (unsigned i = 0; i < cfg.numInstructions; ++i)
+        g.seq.push_back(samplePool(rng));
+    g.operandSeed = rng.next();
+    return g;
+}
+
+Genome
+MuSeqGen::mutate(const Genome &parent, Rng &rng) const
+{
+    Genome child = parent;
+    if (child.seq.empty())
+        return child;
+    // Uniform instruction replacement: all occurrences of one variant
+    // present in the sequence are replaced by one uniformly drawn
+    // variant (same-mnemonic different-operand forms are distinct).
+    const std::uint16_t victim =
+        child.seq[rng.below(child.seq.size())];
+    const std::uint16_t replacement = samplePool(rng);
+    for (auto &id : child.seq) {
+        if (id == victim)
+            id = replacement;
+    }
+    return child;
+}
+
+Genome
+MuSeqGen::crossover(const Genome &a, const Genome &b, unsigned k,
+                    Rng &rng) const
+{
+    Genome child;
+    const std::size_t n = std::min(a.seq.size(), b.seq.size());
+    child.seq.resize(n);
+    child.operandSeed = rng.chance(0.5) ? a.operandSeed : b.operandSeed;
+
+    // k cut points split [0, n) into alternating segments.
+    std::vector<std::size_t> cuts;
+    for (unsigned i = 0; i < k; ++i)
+        cuts.push_back(rng.below(n + 1));
+    std::sort(cuts.begin(), cuts.end());
+    cuts.push_back(n);
+
+    bool useA = true;
+    std::size_t pos = 0;
+    for (std::size_t cut : cuts) {
+        for (; pos < cut; ++pos)
+            child.seq[pos] = useA ? a.seq[pos] : b.seq[pos];
+        useA = !useA;
+    }
+    return child;
+}
+
+Genome
+MuSeqGen::mutateTargeted(const Genome &parent,
+                         const std::vector<std::uint16_t> &preferred,
+                         double bias, Rng &rng) const
+{
+    Genome child = parent;
+    if (child.seq.empty() || preferred.empty())
+        return mutate(parent, rng);
+    const std::uint16_t victim =
+        child.seq[rng.below(child.seq.size())];
+    const std::uint16_t replacement =
+        rng.chance(bias) ? preferred[rng.below(preferred.size())]
+                         : samplePool(rng);
+    for (auto &id : child.seq) {
+        if (id == victim)
+            id = replacement;
+    }
+    return child;
+}
+
+isa::TestProgram
+MuSeqGen::synthesize(const Genome &genome, const std::string &name) const
+{
+    Rng rng(genome.operandSeed);
+    RegAllocState regs;
+
+    isa::TestProgram program;
+    program.name = name.empty() ? cfg.namePrefix : name;
+
+    const std::uint32_t usable =
+        cfg.memory.regionSize > 32 ? cfg.memory.regionSize - 16 : 16;
+    std::int64_t stackDelta = 0; // pushes minus pops, in qwords
+    unsigned memIndex = 0;
+
+    // ---- Pass: instruction selection is the genome itself; resolve
+    // operands (registers, memory, immediates) and branches. ----
+    for (std::size_t i = 0; i < genome.seq.size(); ++i) {
+        const InstrDesc &desc = isa::isaTable().desc(genome.seq[i]);
+        Inst inst;
+        inst.descId = desc.id;
+
+        for (int k = 0; k < desc.numOperands; ++k) {
+            const auto &spec = desc.operands[k];
+            Operand &op = inst.ops[k];
+            op.kind = spec.kind;
+            switch (spec.kind) {
+              case OperandKind::Gpr:
+                op.reg = regs.pickGpr(cfg.regAlloc, spec.isWrite, rng,
+                                      i);
+                break;
+              case OperandKind::Xmm:
+                op.reg = regs.pickXmm(cfg.regAlloc, spec.isWrite, rng,
+                                      i);
+                break;
+              case OperandKind::Imm: {
+                // Immediate resolution: uniform over the whole range.
+                const unsigned bits = spec.width * 8;
+                std::int64_t v = static_cast<std::int64_t>(rng.next());
+                if (bits < 64)
+                    v = (v << (64 - bits)) >> (64 - bits);
+                op.imm = v;
+                break;
+              }
+              case OperandKind::Mem: {
+                // Memory operand resolution: base register + strided
+                // round-robin (or random) offset within the region,
+                // aligned to the access width.
+                op.mem.base = isa::RSI;
+                std::uint32_t offset;
+                if (cfg.memory.roundRobin) {
+                    offset = static_cast<std::uint32_t>(
+                        (static_cast<std::uint64_t>(memIndex) *
+                         cfg.memory.stride) %
+                        usable);
+                } else {
+                    offset =
+                        static_cast<std::uint32_t>(rng.below(usable));
+                }
+                const std::uint32_t align =
+                    spec.width ? spec.width : 8;
+                offset &= ~(align - 1);
+                op.mem.disp = static_cast<std::int32_t>(offset);
+                ++memIndex;
+                break;
+              }
+              default:
+                break;
+            }
+        }
+
+        // Branch resolution: taken and not-taken paths coincide.
+        if (desc.isBranch) {
+            inst.branchTarget = static_cast<std::int32_t>(i + 1);
+            inst.ops[0].imm = 0;
+        }
+
+        if (desc.op == Op::Push)
+            ++stackDelta;
+        else if (desc.op == Op::Pop)
+            --stackDelta;
+
+        program.code.push_back(inst);
+    }
+
+    program.coreBegin = 0;
+    program.coreEnd = program.code.size();
+
+    // ---- Wrapper pass: stack re-alignment epilogue. ----
+    if (stackDelta != 0) {
+        const InstrDesc *add = isa::isaTable().byMnemonic(
+            "add r64, imm32");
+        Inst fix;
+        fix.descId = add->id;
+        fix.ops[0].kind = OperandKind::Gpr;
+        fix.ops[0].reg = isa::RSP;
+        fix.ops[1].kind = OperandKind::Imm;
+        fix.ops[1].imm = stackDelta * 8;
+        program.code.push_back(fix);
+    }
+
+    // ---- Wrapper pass: regions, stack, initial state. ----
+    program.regions.push_back(
+        {cfg.memory.regionBase, cfg.memory.regionSize});
+    const std::uint64_t stackBase = cfg.memory.regionBase + 0x200000;
+    program.regions.push_back({stackBase, cfg.stackSize});
+
+    for (std::uint8_t r : dataRegs)
+        program.initGpr[r] = rng.next();
+    program.initGpr[isa::RSI] = cfg.memory.regionBase;
+    program.initGpr[isa::RDI] =
+        cfg.memory.regionBase + cfg.memory.regionSize / 2;
+    // RSP starts mid-stack and 16-byte aligned, so mutated push/pop
+    // imbalances wander within the stack region instead of faulting.
+    program.initGpr[isa::RSP] =
+        (stackBase + cfg.stackSize / 2) & ~0xFull;
+
+    for (int r = 0; r < 16; ++r)
+        program.initXmm[r] = {randomDoubleBits(rng),
+                              randomDoubleBits(rng)};
+
+    // The data region is filled with qwords that are simultaneously
+    // plausible integers and valid near-unity doubles, so both the
+    // integer and the FP datapaths see well-conditioned operands.
+    std::vector<std::uint8_t> init(cfg.memory.regionSize);
+    for (std::size_t pos = 0; pos + 8 <= init.size(); pos += 8) {
+        const std::uint64_t qword = randomDoubleBits(rng);
+        std::memcpy(&init[pos], &qword, 8);
+    }
+    program.memInit.push_back({cfg.memory.regionBase, std::move(init)});
+
+    return program;
+}
+
+isa::TestProgram
+MuSeqGen::generate(Rng &rng) const
+{
+    const Genome genome = randomGenome(rng);
+    return synthesize(genome);
+}
+
+} // namespace harpo::museqgen

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * MuSeqGen: the Mutator and Sequence Generator (paper section V).
+ *
+ * A program's *genome* is its instruction-variant sequence plus an
+ * operand seed. Synthesis lowers a genome to a runnable TestProgram
+ * through a pipeline of compiler-like passes (the MicroProbe model):
+ * structure, instruction selection, register allocation, memory
+ * operand resolution, immediate resolution, branch resolution, and a
+ * wrapper pass (register/memory initialisation, stack setup, stack
+ * re-alignment epilogue).
+ *
+ * Validity guarantees (paper V-B): base registers are never implicit
+ * destinations (the MUL-corrupts-the-address-base problem), stack
+ * pointers start mid-region so mutated push/pop imbalances cannot
+ * escape the stack region, divide instructions are excluded from the
+ * default pool (quotient faults), non-deterministic instructions are
+ * excluded always, and branches resolve to the next instruction so
+ * taken and not-taken paths coincide.
+ *
+ * Operand resolution is deterministic in the genome's operand seed:
+ * synthesizing the same genome always yields the same program, and a
+ * mutated genome keeps its parent's seed so the evolved operand
+ * structure is preserved wherever the sequence is unchanged.
+ */
+
+#ifndef HARPOCRATES_MUSEQGEN_MUSEQGEN_HH
+#define HARPOCRATES_MUSEQGEN_MUSEQGEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "isa/program.hh"
+
+namespace harpo::museqgen
+{
+
+/** Register allocation strategies (paper V-D). */
+enum class RegAllocPolicy : std::uint8_t
+{
+    MaxDependencyDistance, ///< dest = least-recently-touched register
+    RoundRobin,
+    Random,
+};
+
+/** Memory operand resolution strategy (paper V-D). */
+struct MemoryPolicy
+{
+    std::uint64_t regionBase = 0x100000;
+    std::uint32_t regionSize = 32 * 1024; ///< L1D-sized by default
+    std::uint32_t stride = 64;
+    bool roundRobin = true; ///< sequential-by-position vs random
+};
+
+/** Generator configuration. */
+struct GenConfig
+{
+    std::string namePrefix = "museq";
+    unsigned numInstructions = 1000;
+
+    /** Allowed instruction variants; empty selects the default pool
+     *  (all deterministic variants minus divides and branches). */
+    std::vector<std::uint16_t> pool;
+
+    /** Optional per-pool-entry selection weights (paper V-D:
+     *  "uniform or user-defined distributions"). Empty = uniform.
+     *  Must match pool size when both are given. */
+    std::vector<double> poolWeights;
+
+    RegAllocPolicy regAlloc = RegAllocPolicy::MaxDependencyDistance;
+    MemoryPolicy memory{};
+
+    /** Include branch variants (resolved to the next instruction). */
+    bool allowBranches = false;
+
+    std::uint32_t stackSize = 64 * 1024;
+};
+
+/** The evolvable representation of a test program. */
+struct Genome
+{
+    std::vector<std::uint16_t> seq; ///< instruction variant ids
+    std::uint64_t operandSeed = 0;
+};
+
+/** Generator + mutation engine + synthesis passes. */
+class MuSeqGen
+{
+  public:
+    explicit MuSeqGen(GenConfig config);
+
+    const GenConfig &config() const { return cfg; }
+
+    /** The effective instruction pool after default-pool expansion. */
+    const std::vector<std::uint16_t> &pool() const { return effPool; }
+
+    /** Constrained-random genome of cfg.numInstructions variants. */
+    Genome randomGenome(Rng &rng) const;
+
+    /**
+     * Mutation by uniform instruction replacement (paper V-B1):
+     * replace ALL occurrences of one randomly selected variant of the
+     * sequence with another uniformly drawn variant.
+     */
+    Genome mutate(const Genome &parent, Rng &rng) const;
+
+    /** k-point crossover of two parents (ablation alternative). */
+    Genome crossover(const Genome &a, const Genome &b, unsigned k,
+                     Rng &rng) const;
+
+    /** Targeted replacement (ablation): biases the replacement toward
+     *  variants driving @p preferred of the pool, narrowing search. */
+    Genome mutateTargeted(const Genome &parent,
+                          const std::vector<std::uint16_t> &preferred,
+                          double bias, Rng &rng) const;
+
+    /** Lower a genome to a runnable program (the pass pipeline). */
+    isa::TestProgram synthesize(const Genome &genome,
+                                const std::string &name = "") const;
+
+    /** Convenience: random genome + synthesis. */
+    isa::TestProgram generate(Rng &rng) const;
+
+  private:
+    std::uint16_t samplePool(Rng &rng) const;
+
+    GenConfig cfg;
+    std::vector<std::uint16_t> effPool;
+    std::vector<double> cumWeights; ///< empty = uniform selection
+};
+
+/** The default pool: every deterministic, non-branching, non-dividing
+ *  instruction variant of the ISA. */
+std::vector<std::uint16_t> defaultPool(bool allow_branches);
+
+} // namespace harpo::museqgen
+
+#endif // HARPOCRATES_MUSEQGEN_MUSEQGEN_HH

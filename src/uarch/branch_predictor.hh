@@ -1,0 +1,52 @@
+/**
+ * @file
+ * A small bimodal (2-bit saturating counter) branch direction
+ * predictor. Branch targets are static in HX86, so no BTB is needed.
+ */
+
+#ifndef HARPOCRATES_UARCH_BRANCH_PREDICTOR_HH
+#define HARPOCRATES_UARCH_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace harpo::uarch
+{
+
+/** Bimodal predictor indexed by instruction index. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(std::size_t table_size = 4096)
+        : counters(table_size, 2) // weakly taken
+    {}
+
+    void
+    reset()
+    {
+        counters.assign(counters.size(), 2);
+    }
+
+    bool
+    predict(std::uint64_t pc) const
+    {
+        return counters[pc % counters.size()] >= 2;
+    }
+
+    void
+    update(std::uint64_t pc, bool taken)
+    {
+        std::uint8_t &c = counters[pc % counters.size()];
+        if (taken && c < 3)
+            ++c;
+        else if (!taken && c > 0)
+            --c;
+    }
+
+  private:
+    std::vector<std::uint8_t> counters;
+};
+
+} // namespace harpo::uarch
+
+#endif // HARPOCRATES_UARCH_BRANCH_PREDICTOR_HH

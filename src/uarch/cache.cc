@@ -1,0 +1,193 @@
+#include "uarch/cache.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace harpo::uarch
+{
+
+void
+L1Cache::reset(const CacheConfig &config, isa::Memory *backing)
+{
+    cfg = config;
+    memory = backing;
+    lines.assign(cfg.numLines(), Line{});
+    data.assign(cfg.size, 0);
+    hits = 0;
+    misses = 0;
+}
+
+bool
+L1Cache::lookupOrFill(std::uint64_t line_addr, std::uint32_t &line_index,
+                      bool &hit, std::uint64_t cycle, CoreProbe *probe,
+                      Core *core)
+{
+    const std::uint32_t numSets = cfg.numSets();
+    const std::uint32_t set =
+        static_cast<std::uint32_t>((line_addr / cfg.lineSize) % numSets);
+    const std::uint64_t tag = line_addr / cfg.lineSize / numSets;
+
+    // Hit check.
+    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+        const std::uint32_t idx = set * cfg.ways + w;
+        if (lines[idx].valid && lines[idx].tag == tag) {
+            lines[idx].lastUse = cycle;
+            line_index = idx;
+            hit = true;
+            ++hits;
+            return true;
+        }
+    }
+
+    // Miss: the fill data must be backed by a valid region.
+    ++misses;
+    hit = false;
+    std::uint8_t fillBuf[256];
+    panicIf(cfg.lineSize > sizeof(fillBuf), "line size too large");
+    if (!memory->read(line_addr, cfg.lineSize, fillBuf))
+        return false;
+
+    // LRU victim within the set.
+    std::uint32_t victim = set * cfg.ways;
+    for (std::uint32_t w = 1; w < cfg.ways; ++w) {
+        const std::uint32_t idx = set * cfg.ways + w;
+        if (!lines[idx].valid) {
+            victim = idx;
+            break;
+        }
+        if (lines[idx].lastUse < lines[victim].lastUse)
+            victim = idx;
+    }
+
+    Line &line = lines[victim];
+    const std::uint32_t dataIndex = victim * cfg.lineSize;
+    if (line.valid) {
+        if (line.dirty) {
+            const std::uint64_t victimAddr =
+                (line.tag * numSets +
+                 static_cast<std::uint64_t>(set)) *
+                cfg.lineSize;
+            memory->write(victimAddr, cfg.lineSize, &data[dataIndex]);
+        }
+        if (probe)
+            probe->onCacheEvict(dataIndex, cfg.lineSize, line.dirty,
+                                cycle);
+    }
+
+    std::memcpy(&data[dataIndex], fillBuf, cfg.lineSize);
+    if (probe)
+        probe->onCacheWrite(dataIndex, cfg.lineSize, cycle);
+    line.valid = true;
+    line.dirty = false;
+    line.tag = tag;
+    line.lastUse = cycle;
+    line_index = victim;
+    return true;
+}
+
+bool
+L1Cache::access(std::uint64_t addr, unsigned size, std::uint8_t *buf,
+                bool is_write, unsigned &latency_out, std::uint64_t cycle,
+                CoreProbe *probe, Core *core)
+{
+    const std::uint64_t lineAddr = addr & ~std::uint64_t(cfg.lineSize - 1);
+    const std::uint32_t offset =
+        static_cast<std::uint32_t>(addr - lineAddr);
+    std::uint32_t lineIndex = 0;
+    bool hit = false;
+    if (!lookupOrFill(lineAddr, lineIndex, hit, cycle, probe, core))
+        return false;
+    latency_out = hit ? cfg.hitLatency : cfg.missLatency;
+
+    const std::uint32_t dataIndex = lineIndex * cfg.lineSize + offset;
+    if (is_write) {
+        std::memcpy(&data[dataIndex], buf, size);
+        lines[lineIndex].dirty = true;
+        if (probe)
+            probe->onCacheWrite(dataIndex, size, cycle);
+    } else {
+        std::memcpy(buf, &data[dataIndex], size);
+        if (probe)
+            probe->onCacheRead(dataIndex, size, cycle);
+    }
+    return true;
+}
+
+bool
+L1Cache::read(std::uint64_t addr, unsigned size, std::uint8_t *out,
+              unsigned &latency_out, std::uint64_t cycle, CoreProbe *probe,
+              Core *core)
+{
+    latency_out = 0;
+    std::uint64_t pos = addr;
+    unsigned remaining = size;
+    std::uint8_t *buf = out;
+    while (remaining > 0) {
+        const std::uint64_t lineEnd =
+            (pos & ~std::uint64_t(cfg.lineSize - 1)) + cfg.lineSize;
+        const unsigned chunk = static_cast<unsigned>(
+            std::min<std::uint64_t>(remaining, lineEnd - pos));
+        unsigned lat = 0;
+        if (!access(pos, chunk, buf, false, lat, cycle, probe, core))
+            return false;
+        latency_out = std::max(latency_out, lat);
+        pos += chunk;
+        buf += chunk;
+        remaining -= chunk;
+    }
+    return true;
+}
+
+bool
+L1Cache::write(std::uint64_t addr, unsigned size, const std::uint8_t *in,
+               unsigned &latency_out, std::uint64_t cycle,
+               CoreProbe *probe, Core *core)
+{
+    latency_out = 0;
+    std::uint64_t pos = addr;
+    unsigned remaining = size;
+    const std::uint8_t *buf = in;
+    while (remaining > 0) {
+        const std::uint64_t lineEnd =
+            (pos & ~std::uint64_t(cfg.lineSize - 1)) + cfg.lineSize;
+        const unsigned chunk = static_cast<unsigned>(
+            std::min<std::uint64_t>(remaining, lineEnd - pos));
+        unsigned lat = 0;
+        std::uint8_t tmp[64];
+        std::memcpy(tmp, buf, chunk);
+        if (!access(pos, chunk, tmp, true, lat, cycle, probe, core))
+            return false;
+        latency_out = std::max(latency_out, lat);
+        pos += chunk;
+        buf += chunk;
+        remaining -= chunk;
+    }
+    return true;
+}
+
+void
+L1Cache::flush(std::uint64_t cycle, CoreProbe *probe, Core *core)
+{
+    (void)core;
+    const std::uint32_t numSets = cfg.numSets();
+    for (std::uint32_t idx = 0; idx < lines.size(); ++idx) {
+        Line &line = lines[idx];
+        if (!line.valid)
+            continue;
+        const std::uint32_t set = idx / cfg.ways;
+        const std::uint32_t dataIndex = idx * cfg.lineSize;
+        if (line.dirty) {
+            const std::uint64_t addr =
+                (line.tag * numSets + set) * cfg.lineSize;
+            memory->write(addr, cfg.lineSize, &data[dataIndex]);
+        }
+        if (probe)
+            probe->onCacheEvict(dataIndex, cfg.lineSize, line.dirty,
+                                cycle);
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+} // namespace harpo::uarch

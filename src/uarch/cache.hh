@@ -1,0 +1,98 @@
+/**
+ * @file
+ * L1 data cache model with real data storage.
+ *
+ * The cache's data array holds actual bytes, so transient faults
+ * injected into it propagate (or are masked) exactly as in hardware:
+ * a flipped bit read by a load corrupts the consumer; a flipped bit in
+ * a dirty line reaches memory at write-back; a flipped bit overwritten
+ * or evicted clean is masked.
+ */
+
+#ifndef HARPOCRATES_UARCH_CACHE_HH
+#define HARPOCRATES_UARCH_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+#include "uarch/core_config.hh"
+#include "uarch/probes.hh"
+
+namespace harpo::uarch
+{
+
+/** Set-associative write-back, write-allocate data cache. */
+class L1Cache
+{
+  public:
+    void reset(const CacheConfig &config, isa::Memory *backing);
+
+    /**
+     * Read @p size bytes at @p addr through the cache.
+     * @param latency_out Receives the access latency in cycles.
+     * @return false if the address is unbacked (a crash condition).
+     */
+    bool read(std::uint64_t addr, unsigned size, std::uint8_t *out,
+              unsigned &latency_out, std::uint64_t cycle,
+              CoreProbe *probe, Core *core);
+
+    /** Write @p size bytes; same contract as read(). */
+    bool write(std::uint64_t addr, unsigned size, const std::uint8_t *in,
+               unsigned &latency_out, std::uint64_t cycle,
+               CoreProbe *probe, Core *core);
+
+    /** Write back all dirty lines (end of run). */
+    void flush(std::uint64_t cycle, CoreProbe *probe, Core *core);
+
+    /** Direct access to the data array for fault injection; index is a
+     *  byte offset into the full data array [0, config.size). */
+    void
+    flipBit(std::uint32_t data_index, unsigned bit)
+    {
+        data[data_index] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+
+    void
+    forceBit(std::uint32_t data_index, unsigned bit, bool value)
+    {
+        if (value)
+            data[data_index] |= static_cast<std::uint8_t>(1u << bit);
+        else
+            data[data_index] &= static_cast<std::uint8_t>(~(1u << bit));
+    }
+
+    std::uint32_t dataSize() const { return cfg.size; }
+
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    /** One aligned line-or-smaller access; returns latency. */
+    bool access(std::uint64_t addr, unsigned size, std::uint8_t *buf,
+                bool is_write, unsigned &latency_out, std::uint64_t cycle,
+                CoreProbe *probe, Core *core);
+
+    /** Find (or fill) the line containing @p line_addr; returns the
+     *  line index and whether it was a hit. */
+    bool lookupOrFill(std::uint64_t line_addr, std::uint32_t &line_index,
+                      bool &hit, std::uint64_t cycle, CoreProbe *probe,
+                      Core *core);
+
+    CacheConfig cfg;
+    isa::Memory *memory = nullptr;
+    std::vector<Line> lines;        // set-major: set * ways + way
+    std::vector<std::uint8_t> data; // line-index * lineSize + offset
+};
+
+} // namespace harpo::uarch
+
+#endif // HARPOCRATES_UARCH_CACHE_HH

@@ -1,0 +1,744 @@
+#include "uarch/core.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "isa/emulator.hh"
+#include "isa/isa_table.hh"
+#include "isa/semantics.hh"
+
+namespace harpo::uarch
+{
+
+namespace
+{
+
+/** Number of integer/fp destination registers an instruction needs. */
+void
+countDests(const isa::InstrDesc &desc, const isa::Inst &inst,
+           unsigned &int_dests, unsigned &fp_dests)
+{
+    int_dests = 0;
+    fp_dests = 0;
+    (void)inst;
+    for (int i = 0; i < desc.numOperands; ++i) {
+        if (!desc.operands[i].isWrite)
+            continue;
+        if (desc.operands[i].kind == isa::OperandKind::Gpr)
+            ++int_dests;
+        else if (desc.operands[i].kind == isa::OperandKind::Xmm)
+            ++fp_dests;
+    }
+    int_dests += static_cast<unsigned>(desc.numImplicitWrites);
+    if (desc.writesFlags)
+        ++int_dests;
+}
+
+} // namespace
+
+/** ExecContext implementation mapping architectural accesses onto the
+ *  core's renamed state and load/store queue. */
+class CoreExecContext : public isa::ExecContext
+{
+  public:
+    CoreExecContext(Core &c, DynInst &d) : core(c), dyn(d) {}
+
+    bool retry = false;
+    unsigned memLatency = 0;
+    bool taken = false;
+
+    /** How many of a read register's 64 bits this instruction can
+     *  architecturally propagate (see CoreProbe::onIntRegRead) — a
+     *  static first-order estimate of bit-level ACE liveness that
+     *  accounts for the consumer's logical masking. */
+    unsigned
+    liveBitsHint(int arch_reg) const
+    {
+        if (arch_reg == isa::flagsReg)
+            return 5; // only the modelled flag bits are live
+        const isa::Op op = dyn.desc->op;
+        switch (op) {
+          case isa::Op::Cmp:
+          case isa::Op::Test:
+          case isa::Op::Ucomisd:
+            return 6; // the comparison only produces flag bits
+          case isa::Op::And:
+          case isa::Op::Or:
+            return 32; // a random mask kills half the bits
+          case isa::Op::Cmovcc:
+            return 32; // the unselected source is fully dead
+          case isa::Op::Movsxd:
+            return 32;
+          case isa::Op::Shl:
+          case isa::Op::Shr:
+          case isa::Op::Sar: {
+            // Shifted-out bits are dead; the count is static for
+            // immediate forms.
+            if (dyn.desc->numOperands >= 2 &&
+                dyn.desc->operands[1].kind == isa::OperandKind::Imm) {
+                const unsigned count =
+                    static_cast<unsigned>(dyn.inst->ops[1].imm) & 63;
+                return count >= 64 ? 1 : 64 - count;
+            }
+            return 32;
+          }
+          default:
+            break;
+        }
+        // Narrow-width forms propagate at most their operand width.
+        for (int i = 0; i < dyn.desc->numOperands; ++i) {
+            const auto &spec = dyn.desc->operands[i];
+            if (spec.kind == isa::OperandKind::Gpr && spec.width == 4)
+                return 32;
+        }
+        return 64;
+    }
+
+    std::uint64_t
+    readIntReg(int arch_reg) override
+    {
+        const unsigned phys = dyn.intMap[arch_reg];
+        if (core.probe)
+            core.probe->onIntRegRead(phys, liveBitsHint(arch_reg),
+                                     core.now);
+        return core.intRegs.read(phys);
+    }
+
+    void
+    setIntReg(int arch_reg, std::uint64_t val) override
+    {
+        for (int i = 0; i < dyn.numDests; ++i) {
+            auto &dest = dyn.dests[i];
+            if (!dest.isFp && !dest.written &&
+                dest.arch == arch_reg) {
+                dest.written = true;
+                core.intRegs.write(dest.newPhys, val);
+                core.intLastDefSeq[dest.newPhys] = dyn.seq;
+                if (core.probe)
+                    core.probe->onIntRegWrite(
+                        dest.newPhys, dest.arch, core.now);
+                return;
+            }
+        }
+        panic("setIntReg: semantics wrote an undeclared register for " +
+              dyn.desc->mnemonic);
+    }
+
+    void
+    readXmmReg(int arch_reg, std::uint64_t out[2]) override
+    {
+        core.fpRegs.read(dyn.fpMap[arch_reg], out);
+    }
+
+    void
+    setXmmReg(int arch_reg, const std::uint64_t val[2]) override
+    {
+        for (int i = 0; i < dyn.numDests; ++i) {
+            auto &dest = dyn.dests[i];
+            if (dest.isFp && !dest.written && dest.arch == arch_reg) {
+                dest.written = true;
+                core.fpRegs.write(dest.newPhys, val);
+                return;
+            }
+        }
+        panic("setXmmReg: semantics wrote an undeclared register for " +
+              dyn.desc->mnemonic);
+    }
+
+    bool
+    readMem(std::uint64_t addr, unsigned size, std::uint8_t *data) override
+    {
+        // Store-to-load forwarding: scan older stores youngest-first.
+        for (auto it = core.storeQueue.rbegin();
+             it != core.storeQueue.rend(); ++it) {
+            if (it->seq >= dyn.seq)
+                continue;
+            if (!it->executed) {
+                // Conservative scheduling should prevent this; retry.
+                retry = true;
+                return false;
+            }
+            const bool overlap = addr < it->addr + it->size &&
+                                 it->addr < addr + size;
+            if (!overlap)
+                continue;
+            const bool contained =
+                addr >= it->addr && addr + size <= it->addr + it->size;
+            if (contained) {
+                std::memcpy(data, it->data.data() + (addr - it->addr),
+                            size);
+                memLatency = std::max(memLatency, 1u);
+                ++core.result.loadForwards;
+                return true;
+            }
+            // Partial overlap: wait until the store drains to the
+            // cache at commit.
+            retry = true;
+            return false;
+        }
+        unsigned lat = 0;
+        if (!core.cache.read(addr, size, data, lat, core.now, core.probe,
+                             &core)) {
+            return false;
+        }
+        memLatency = std::max(memLatency, lat);
+        return true;
+    }
+
+    bool
+    writeMem(std::uint64_t addr, unsigned size,
+             const std::uint8_t *data) override
+    {
+        for (auto it = core.storeQueue.rbegin();
+             it != core.storeQueue.rend(); ++it) {
+            if (it->seq == dyn.seq) {
+                it->addr = addr;
+                it->size = size;
+                std::memcpy(it->data.data(), data, size);
+                it->executed = true;
+                memLatency = std::max(memLatency, 1u);
+                return true;
+            }
+        }
+        panic("writeMem: no store-queue entry for " + dyn.desc->mnemonic);
+    }
+
+    void setTaken(bool t) override { taken = t; }
+
+    isa::ArithModel &arith() override { return *core.arithModel; }
+
+    std::uint64_t nondetValue() override { return nondet.next(); }
+
+  private:
+    Core &core;
+    DynInst &dyn;
+    Rng nondet{0x5EED5EED};
+};
+
+Core::Core(const CoreConfig &config) : cfg(config) {}
+
+Core::FuPool &
+Core::poolFor(isa::OpClass cls)
+{
+    return fuPools[static_cast<std::size_t>(cls)];
+}
+
+bool
+Core::acquireFu(const isa::InstrDesc &desc, std::uint64_t until)
+{
+    FuPool &pool =
+        desc.usesMemory() ? memPorts : poolFor(desc.opClass);
+    if (pool.count == 0)
+        return false;
+    if (desc.pipelined || desc.usesMemory()) {
+        if (pool.usedThisCycle >= pool.count)
+            return false;
+        ++pool.usedThisCycle;
+        return true;
+    }
+    // Unpipelined: find a unit that is idle and occupy it.
+    for (auto &busy : pool.busyUntil) {
+        if (busy <= now) {
+            busy = until;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Core::olderStorePending(std::uint64_t seq) const
+{
+    for (const auto &entry : storeQueue) {
+        if (entry.seq >= seq)
+            break;
+        if (!entry.executed)
+            return true;
+    }
+    return false;
+}
+
+void
+Core::squashAfter(std::uint64_t seq, std::uint32_t restart_pc)
+{
+    iq.erase(std::remove_if(iq.begin(), iq.end(),
+                            [seq](DynInst *d) { return d->seq > seq; }),
+             iq.end());
+
+    while (!rob.empty() && rob.back().seq > seq) {
+        DynInst &d = rob.back();
+        ++result.instsSquashed;
+        for (int i = d.numDests - 1; i >= 0; --i) {
+            const auto &dest = d.dests[i];
+            if (dest.isFp) {
+                specFpMap[dest.arch] = dest.prevPhys;
+                fpRegs.free(dest.newPhys);
+            } else {
+                specIntMap[dest.arch] = dest.prevPhys;
+                intRegs.free(dest.newPhys);
+            }
+        }
+        if (d.isStore && !storeQueue.empty() &&
+            storeQueue.back().seq == d.seq) {
+            storeQueue.pop_back();
+        }
+        if (d.isLoad && loadsInFlight > 0)
+            --loadsInFlight;
+        rob.pop_back();
+    }
+
+    frontQueue.clear();
+    fetchPc = restart_pc;
+    fetchResumeCycle = now + cfg.branchMispredictPenalty;
+}
+
+void
+Core::commitStage()
+{
+    const std::size_t codeSize = program->code.size();
+
+    for (unsigned n = 0; n < cfg.commitWidth && !rob.empty(); ++n) {
+        DynInst &head = rob.front();
+        if (!head.executed || head.completeCycle > now)
+            break;
+
+        if (head.fault != isa::ExecStatus::Ok) {
+            result.exit = SimResult::Exit::Crashed;
+            result.crash = head.fault == isa::ExecStatus::DivFault
+                               ? CrashKind::DivFault
+                               : CrashKind::BadAddress;
+            running = false;
+            return;
+        }
+        if (head.badBranch) {
+            result.exit = SimResult::Exit::Crashed;
+            result.crash = CrashKind::BadBranch;
+            running = false;
+            return;
+        }
+
+        if (head.isStore) {
+            panicIf(storeQueue.empty() ||
+                        storeQueue.front().seq != head.seq,
+                    "commit: store queue out of sync");
+            StoreEntry &entry = storeQueue.front();
+            unsigned lat = 0;
+            if (!cache.write(entry.addr, entry.size, entry.data.data(),
+                             lat, now, probe, this)) {
+                result.exit = SimResult::Exit::Crashed;
+                result.crash = CrashKind::BadAddress;
+                running = false;
+                return;
+            }
+            storeQueue.pop_front();
+        }
+        if (head.isLoad && loadsInFlight > 0)
+            --loadsInFlight;
+
+        for (int i = 0; i < head.numDests; ++i) {
+            const auto &dest = head.dests[i];
+            if (dest.isFp) {
+                commitFpMap[dest.arch] = dest.newPhys;
+                fpRegs.free(dest.prevPhys);
+            } else {
+                commitIntMap[dest.arch] = dest.newPhys;
+                intRegs.free(dest.prevPhys);
+            }
+        }
+
+        ++result.instsCommitted;
+        if (probe)
+            probe->onInstCommitted(head.seq);
+        rob.pop_front();
+    }
+
+    if (rob.empty() && frontQueue.empty() && fetchPc >= codeSize) {
+        running = false;
+        result.exit = SimResult::Exit::Finished;
+    }
+}
+
+void
+Core::issueStage()
+{
+    for (auto &pool : fuPools)
+        pool.usedThisCycle = 0;
+    memPorts.usedThisCycle = 0;
+
+    unsigned issued = 0;
+    bool squashed = false;
+    const std::size_t codeSize = program->code.size();
+
+    for (std::size_t k = 0; k < iq.size() && issued < cfg.issueWidth;
+         ++k) {
+        DynInst *d = iq[k];
+        if (!d->inIq)
+            continue;
+
+        // Source readiness.
+        bool ready = true;
+        for (int i = 0; i < d->numIntSrcs && ready; ++i)
+            ready = intRegs.isReady(d->intMap[d->intSrcs[i]], now);
+        for (int i = 0; i < d->numFpSrcs && ready; ++i)
+            ready = fpRegs.isReady(d->fpMap[d->fpSrcs[i]], now);
+        if (!ready)
+            continue;
+
+        // Conservative memory ordering: loads wait for older stores'
+        // addresses and data.
+        if (d->isLoad && olderStorePending(d->seq))
+            continue;
+
+        const std::uint64_t occupyUntil =
+            now + static_cast<std::uint64_t>(d->desc->latency);
+        if (!acquireFu(*d->desc, occupyUntil))
+            continue;
+
+        // Capture source def identities before execution (for the
+        // def-use dataflow probe).
+        ExecInfo info;
+        if (probe) {
+            info.seq = d->seq;
+            info.cycle = now;
+            info.isStore = d->isStore;
+            info.isBranch = d->desc->isBranch;
+            for (int i = 0; i < d->numIntSrcs; ++i) {
+                const unsigned arch = d->intSrcs[i];
+                const unsigned phys = d->intMap[arch];
+                auto &src = info.srcs[info.numSrcs++];
+                src.phys = static_cast<std::uint16_t>(phys);
+                src.defSeq = intLastDefSeq[phys];
+                src.liveBits = 64; // refined below via the context
+            }
+        }
+
+        CoreExecContext ctx(*this, *d);
+        const isa::ExecStatus status = isa::execute(*d->inst, ctx);
+        if (ctx.retry) {
+            // Roll back any partial dest marks (none should exist:
+            // retries fire before architectural writes).
+            continue;
+        }
+        ++issued;
+        ++result.instsIssued;
+        d->executed = true;
+        d->fault = status;
+        d->inIq = false;
+        if (probe) {
+            info.faulted = status != isa::ExecStatus::Ok;
+            for (int i = 0; i < info.numSrcs; ++i) {
+                info.srcs[i].liveBits = static_cast<std::uint8_t>(
+                    ctx.liveBitsHint(d->intSrcs[i]));
+            }
+            for (int i = 0; i < d->numDests; ++i) {
+                if (d->dests[i].isFp)
+                    continue;
+                auto &def = info.defs[info.numDefs++];
+                def.phys = d->dests[i].newPhys;
+                def.arch = d->dests[i].arch;
+            }
+            probe->onInstExecuted(info);
+        }
+        const unsigned lat =
+            static_cast<unsigned>(d->desc->latency) + ctx.memLatency;
+        d->completeCycle = now + std::max(1u, lat);
+        for (int i = 0; i < d->numDests; ++i) {
+            const auto &dest = d->dests[i];
+            if (dest.isFp)
+                fpRegs.setReadyAt(dest.newPhys, d->completeCycle);
+            else
+                intRegs.setReadyAt(dest.newPhys, d->completeCycle);
+        }
+
+        if (d->desc->isBranch) {
+            d->actualTaken = ctx.taken;
+            predictor.update(d->pc, d->actualTaken);
+            std::int64_t next = d->pc + 1;
+            if (d->actualTaken) {
+                const std::int64_t target = d->inst->branchTarget;
+                if (target < 0 ||
+                    target > static_cast<std::int64_t>(codeSize)) {
+                    d->badBranch = true;
+                    squashAfter(d->seq,
+                                static_cast<std::uint32_t>(codeSize));
+                    squashed = true;
+                    break;
+                }
+                next = target;
+            }
+            d->nextPc = static_cast<std::uint32_t>(next);
+            if (d->actualTaken != d->predTaken) {
+                ++result.branchMispredicts;
+                squashAfter(d->seq, d->nextPc);
+                squashed = true;
+                break;
+            }
+        }
+    }
+    (void)squashed;
+
+    iq.erase(std::remove_if(iq.begin(), iq.end(),
+                            [](DynInst *d) { return !d->inIq; }),
+             iq.end());
+}
+
+void
+Core::renameStage()
+{
+    bool renamedAny = false;
+    bool hadWork = false;
+    for (unsigned n = 0; n < cfg.renameWidth && !frontQueue.empty();
+         ++n) {
+        const FetchedInst &fetched = frontQueue.front();
+        if (fetched.readyCycle > now)
+            break;
+        hadWork = true;
+
+        const isa::Inst &inst = program->code[fetched.pc];
+        const isa::InstrDesc &desc = isa::isaTable().desc(inst.descId);
+
+        unsigned intDests = 0, fpDests = 0;
+        countDests(desc, inst, intDests, fpDests);
+
+        // Structural hazards.
+        if (rob.size() >= cfg.robSize || iq.size() >= cfg.iqSize)
+            break;
+        if (intRegs.numFree() < intDests || fpRegs.numFree() < fpDests)
+            break;
+        if (desc.isLoad && loadsInFlight >= cfg.lqSize)
+            break;
+        if (desc.isStore && storeQueue.size() >= cfg.sqSize)
+            break;
+
+        DynInst dyn;
+        dyn.seq = nextSeq++;
+        dyn.pc = fetched.pc;
+        dyn.inst = &inst;
+        dyn.desc = &desc;
+        dyn.predTaken = fetched.predTaken;
+        dyn.isLoad = desc.isLoad;
+        dyn.isStore = desc.isStore;
+        dyn.intMap = specIntMap;
+        dyn.fpMap = specFpMap;
+        dyn.inIq = true;
+
+        auto addIntSrc = [&dyn](std::uint8_t arch) {
+            dyn.intSrcs[dyn.numIntSrcs++] = arch;
+        };
+        auto addDest = [&](std::uint8_t arch, bool is_fp) {
+            auto &dest = dyn.dests[dyn.numDests++];
+            dest.arch = arch;
+            dest.isFp = is_fp;
+            if (is_fp) {
+                dest.prevPhys = specFpMap[arch];
+                dest.newPhys = static_cast<std::uint16_t>(fpRegs.alloc());
+                specFpMap[arch] = dest.newPhys;
+            } else {
+                dest.prevPhys = specIntMap[arch];
+                dest.newPhys =
+                    static_cast<std::uint16_t>(intRegs.alloc());
+                specIntMap[arch] = dest.newPhys;
+            }
+        };
+
+        for (int i = 0; i < desc.numOperands; ++i) {
+            const auto &spec = desc.operands[i];
+            const auto &op = inst.ops[i];
+            switch (spec.kind) {
+              case isa::OperandKind::Gpr:
+                if (spec.isRead)
+                    addIntSrc(op.reg);
+                if (spec.isWrite)
+                    addDest(op.reg, false);
+                break;
+              case isa::OperandKind::Xmm:
+                if (spec.isRead)
+                    dyn.fpSrcs[dyn.numFpSrcs++] = op.reg;
+                if (spec.isWrite)
+                    addDest(op.reg, true);
+                break;
+              case isa::OperandKind::Mem:
+                if (!op.mem.ripRel)
+                    addIntSrc(op.mem.base);
+                break;
+              default:
+                break;
+            }
+        }
+        for (int i = 0; i < desc.numImplicitReads; ++i)
+            addIntSrc(desc.implicitReads[i]);
+        if (desc.readsFlags)
+            addIntSrc(static_cast<std::uint8_t>(isa::flagsReg));
+        for (int i = 0; i < desc.numImplicitWrites; ++i)
+            addDest(desc.implicitWrites[i], false);
+        if (desc.writesFlags)
+            addDest(static_cast<std::uint8_t>(isa::flagsReg), false);
+
+        if (dyn.isStore)
+            storeQueue.push_back({dyn.seq, false, 0, 0, {}});
+        if (dyn.isLoad)
+            ++loadsInFlight;
+
+        rob.push_back(dyn);
+        iq.push_back(&rob.back());
+        frontQueue.pop_front();
+        renamedAny = true;
+    }
+    if (hadWork && !renamedAny)
+        ++result.renameStallCycles;
+}
+
+void
+Core::fetchStage()
+{
+    if (now < fetchResumeCycle)
+        return;
+    const std::size_t codeSize = program->code.size();
+    const std::size_t queueLimit =
+        static_cast<std::size_t>(cfg.fetchWidth) *
+        (cfg.frontendDelay + 2);
+
+    for (unsigned n = 0;
+         n < cfg.fetchWidth && frontQueue.size() < queueLimit; ++n) {
+        if (fetchPc >= codeSize)
+            return;
+        const isa::Inst &inst = program->code[fetchPc];
+        const isa::InstrDesc &desc = isa::isaTable().desc(inst.descId);
+
+        bool predTaken = false;
+        std::uint32_t next = fetchPc + 1;
+        if (desc.isBranch) {
+            predTaken =
+                desc.isCondBranch ? predictor.predict(fetchPc) : true;
+            if (predTaken) {
+                const std::int64_t target = inst.branchTarget;
+                if (target >= 0 &&
+                    target <= static_cast<std::int64_t>(codeSize)) {
+                    next = static_cast<std::uint32_t>(target);
+                }
+                // An invalid static target cannot redirect fetch; the
+                // branch faults at execute.
+            }
+        }
+        frontQueue.push_back({fetchPc, now + cfg.frontendDelay,
+                              predTaken});
+        fetchPc = next;
+        if (predTaken)
+            break;
+    }
+}
+
+void
+Core::finishRun()
+{
+    cache.flush(now, probe, this);
+
+    std::array<std::uint64_t, 16> gpr{};
+    for (int r = 0; r < 16; ++r)
+        gpr[r] = intRegs.read(commitIntMap[r]);
+    const std::uint64_t flags = intRegs.read(commitIntMap[isa::flagsReg]);
+    std::array<std::array<std::uint64_t, 2>, 16> xmm{};
+    for (int r = 0; r < 16; ++r)
+        fpRegs.read(commitFpMap[r], xmm[r].data());
+
+    result.signature = isa::computeSignature(gpr, flags, xmm, memory);
+}
+
+SimResult
+Core::run(const isa::TestProgram &prog, isa::ArithModel *arith,
+          CoreProbe *probe_in)
+{
+    program = &prog;
+    probe = probe_in;
+    arithModel = arith ? arith : &isa::ArithModel::functional();
+
+    memory.reset(prog);
+    cache.reset(cfg.l1d, &memory);
+    intRegs.reset(cfg.numIntPhysRegs);
+    fpRegs.reset(cfg.numFpPhysRegs);
+    predictor.reset();
+
+    panicIf(cfg.numIntPhysRegs < isa::numIntArchRegs + 8,
+            "too few integer physical registers");
+    panicIf(cfg.numFpPhysRegs < isa::numXmmArchRegs + 8,
+            "too few FP physical registers");
+
+    for (int r = 0; r < isa::numIntArchRegs; ++r) {
+        const unsigned phys = intRegs.alloc();
+        intRegs.write(phys, r < 16 ? prog.initGpr[r] : 0);
+        intRegs.markReadyNow(phys);
+        specIntMap[r] = commitIntMap[r] =
+            static_cast<std::uint16_t>(phys);
+    }
+    for (int r = 0; r < isa::numXmmArchRegs; ++r) {
+        const unsigned phys = fpRegs.alloc();
+        fpRegs.write(phys, prog.initXmm[r].data());
+        fpRegs.markReadyNow(phys);
+        specFpMap[r] = commitFpMap[r] = static_cast<std::uint16_t>(phys);
+    }
+
+    for (auto &pool : fuPools)
+        pool = FuPool{};
+    auto setPool = [&](isa::OpClass cls, unsigned count,
+                       bool needs_busy) {
+        FuPool &pool = poolFor(cls);
+        pool.count = count;
+        if (needs_busy)
+            pool.busyUntil.assign(count, 0);
+    };
+    setPool(isa::OpClass::IntAlu, cfg.numIntAlu, false);
+    setPool(isa::OpClass::IntMul, cfg.numIntMul, false);
+    setPool(isa::OpClass::IntDiv, cfg.numIntDiv, true);
+    setPool(isa::OpClass::FpAdd, cfg.numFpAdd, false);
+    setPool(isa::OpClass::FpMul, cfg.numFpMul, false);
+    setPool(isa::OpClass::FpDiv, cfg.numFpDiv, true);
+    setPool(isa::OpClass::FpCvt, cfg.numSimdAlu, false);
+    setPool(isa::OpClass::SimdAlu, cfg.numSimdAlu, false);
+    setPool(isa::OpClass::Branch, cfg.numIntAlu, false);
+    setPool(isa::OpClass::NoOp, cfg.numIntAlu, false);
+    memPorts = FuPool{};
+    memPorts.count = cfg.numMemPorts;
+
+    intLastDefSeq.assign(cfg.numIntPhysRegs, 0);
+    rob.clear();
+    iq.clear();
+    storeQueue.clear();
+    frontQueue.clear();
+    loadsInFlight = 0;
+    fetchPc = 0;
+    fetchResumeCycle = 0;
+    now = 0;
+    nextSeq = 1;
+    result = SimResult{};
+    running = true;
+
+    while (running) {
+        if (now >= cfg.maxCycles) {
+            result.exit = SimResult::Exit::Hang;
+            running = false;
+            break;
+        }
+        if (probe)
+            probe->onCycleBegin(*this, now);
+        commitStage();
+        if (!running)
+            break;
+        issueStage();
+        renameStage();
+        fetchStage();
+        ++now;
+    }
+
+    result.cycles = now;
+    result.cacheHits = cache.hits;
+    result.cacheMisses = cache.misses;
+    if (result.exit == SimResult::Exit::Finished)
+        finishRun();
+    if (probe)
+        probe->onRunEnd(*this, now);
+    return result;
+}
+
+} // namespace harpo::uarch

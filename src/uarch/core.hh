@@ -1,0 +1,241 @@
+/**
+ * @file
+ * The out-of-order core model.
+ *
+ * An execute-in-execute design (like gem5's O3): register renaming onto
+ * physical register files that hold real values, an issue queue, a
+ * conservative load/store queue with store-to-load forwarding, a
+ * write-back L1D with real data, and in-order commit. Because every
+ * bit-holding structure carries real program data, injected faults
+ * propagate or mask through renaming, forwarding, overwrites and
+ * evictions exactly where hardware masking happens.
+ */
+
+#ifndef HARPOCRATES_UARCH_CORE_HH
+#define HARPOCRATES_UARCH_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "isa/arith_model.hh"
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+#include "isa/registers.hh"
+#include "uarch/branch_predictor.hh"
+#include "uarch/cache.hh"
+#include "uarch/core_config.hh"
+#include "uarch/phys_regfile.hh"
+#include "uarch/probes.hh"
+
+namespace harpo::uarch
+{
+
+/** Why a run crashed (when it did). */
+enum class CrashKind : std::uint8_t
+{
+    None,
+    BadAddress,
+    DivFault,
+    BadBranch,
+};
+
+/** Result of simulating one program on the core. */
+struct SimResult
+{
+    enum class Exit : std::uint8_t { Finished, Crashed, Hang };
+
+    Exit exit = Exit::Finished;
+    CrashKind crash = CrashKind::None;
+    std::uint64_t cycles = 0;
+    std::uint64_t instsCommitted = 0;
+    std::uint64_t signature = 0;
+
+    // Microarchitectural statistics.
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t instsIssued = 0;    ///< incl. wrong-path work
+    std::uint64_t instsSquashed = 0;  ///< renamed but thrown away
+    std::uint64_t loadForwards = 0;   ///< loads served by the SQ
+    std::uint64_t renameStallCycles = 0; ///< cycles rename was blocked
+
+    bool crashed() const { return exit != Exit::Finished; }
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instsCommitted) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/** An in-flight instruction. */
+struct DynInst
+{
+    std::uint64_t seq = 0;
+    std::uint32_t pc = 0;
+    const isa::Inst *inst = nullptr;
+    const isa::InstrDesc *desc = nullptr;
+
+    /** Rename-time source mapping snapshot (before own dest alloc). */
+    std::array<std::uint16_t, isa::numIntArchRegs> intMap{};
+    std::array<std::uint16_t, isa::numXmmArchRegs> fpMap{};
+
+    struct Dest
+    {
+        std::uint8_t arch = 0;
+        std::uint16_t newPhys = 0;
+        std::uint16_t prevPhys = 0;
+        bool isFp = false;
+        bool written = false;
+    };
+    std::array<Dest, 5> dests{};
+    int numDests = 0;
+
+    /** Integer/FP architectural registers this instruction reads. */
+    std::array<std::uint8_t, 6> intSrcs{};
+    int numIntSrcs = 0;
+    std::array<std::uint8_t, 2> fpSrcs{};
+    int numFpSrcs = 0;
+
+    bool inIq = false;
+    bool executed = false;
+    std::uint64_t completeCycle = 0;
+
+    bool isLoad = false;
+    bool isStore = false;
+    isa::ExecStatus fault = isa::ExecStatus::Ok;
+    bool badBranch = false;
+
+    bool predTaken = false;
+    bool actualTaken = false;
+    std::uint32_t nextPc = 0;
+};
+
+/** A store buffered between execute and commit. */
+struct StoreEntry
+{
+    std::uint64_t seq = 0;
+    bool executed = false;
+    std::uint64_t addr = 0;
+    unsigned size = 0;
+    std::array<std::uint8_t, 16> data{};
+};
+
+/** The core. One instance simulates one program at a time. */
+class Core
+{
+  public:
+    explicit Core(const CoreConfig &config);
+
+    /**
+     * Run @p program to completion.
+     *
+     * @param arith Datapath model (functional when null). The fault
+     *        injector passes a gate-netlist-backed model; the IBR
+     *        analyser passes an observing model.
+     * @param probe Microarchitectural event listener / fault driver.
+     */
+    SimResult run(const isa::TestProgram &program,
+                  isa::ArithModel *arith = nullptr,
+                  CoreProbe *probe = nullptr);
+
+    // ---- State accessors for probes / fault injection ----
+    PhysRegFile &intPrf() { return intRegs; }
+    L1Cache &l1d() { return cache; }
+    const CoreConfig &config() const { return cfg; }
+
+    /** Physical registers of the committed integer mapping (the
+     *  architecturally live registers, for end-of-run ACE). */
+    const std::array<std::uint16_t, isa::numIntArchRegs> &
+    committedIntMap() const
+    {
+        return commitIntMap;
+    }
+
+    /** Per-physical-register sequence number of the last writer
+     *  (0 = initial architectural value), for def-use analyses. */
+    const std::vector<std::uint64_t> &
+    intDefSeqs() const
+    {
+        return intLastDefSeq;
+    }
+
+    std::uint64_t currentCycle() const { return now; }
+
+  private:
+    friend class CoreExecContext;
+
+    // Pipeline stages (called newest-to-oldest each cycle).
+    void commitStage();
+    void issueStage();
+    void renameStage();
+    void fetchStage();
+
+    void squashAfter(std::uint64_t seq, std::uint32_t restart_pc);
+    bool olderStorePending(std::uint64_t seq) const;
+    void finishRun();
+
+    CoreConfig cfg;
+
+    const isa::TestProgram *program = nullptr;
+    isa::Memory memory;
+    L1Cache cache;
+    PhysRegFile intRegs;
+    FpPhysRegFile fpRegs;
+    BranchPredictor predictor;
+    isa::ArithModel *arithModel = nullptr;
+    CoreProbe *probe = nullptr;
+
+    // Rename state.
+    std::array<std::uint16_t, isa::numIntArchRegs> specIntMap{};
+    std::array<std::uint16_t, isa::numXmmArchRegs> specFpMap{};
+    std::array<std::uint16_t, isa::numIntArchRegs> commitIntMap{};
+    std::array<std::uint16_t, isa::numXmmArchRegs> commitFpMap{};
+
+    std::vector<std::uint64_t> intLastDefSeq;
+
+    // Windows.
+    std::deque<DynInst> rob;
+    std::vector<DynInst *> iq;
+    std::deque<StoreEntry> storeQueue;
+    unsigned loadsInFlight = 0;
+
+    // Frontend.
+    struct FetchedInst
+    {
+        std::uint32_t pc = 0;
+        std::uint64_t readyCycle = 0;
+        bool predTaken = false;
+    };
+    std::deque<FetchedInst> frontQueue;
+    std::uint32_t fetchPc = 0;
+    std::uint64_t fetchResumeCycle = 0;
+
+    // Functional units: per-class issue slots and busy tracking.
+    struct FuPool
+    {
+        unsigned count = 0;
+        unsigned usedThisCycle = 0;
+        std::vector<std::uint64_t> busyUntil;
+    };
+    std::array<FuPool, static_cast<std::size_t>(
+                           isa::OpClass::NumClasses)>
+        fuPools;
+    FuPool memPorts;
+    FuPool &poolFor(isa::OpClass cls);
+    bool acquireFu(const isa::InstrDesc &desc, std::uint64_t until);
+
+    std::uint64_t now = 0;
+    std::uint64_t nextSeq = 1;
+    bool running = false;
+
+    SimResult result;
+};
+
+} // namespace harpo::uarch
+
+#endif // HARPOCRATES_UARCH_CORE_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Configuration of the modelled out-of-order core. Defaults follow
+ * publicly available parameters of commercial x86 cores (as the paper
+ * does for its gem5 configuration).
+ */
+
+#ifndef HARPOCRATES_UARCH_CORE_CONFIG_HH
+#define HARPOCRATES_UARCH_CORE_CONFIG_HH
+
+#include <cstdint>
+
+namespace harpo::uarch
+{
+
+/** L1 data cache geometry and timing. */
+struct CacheConfig
+{
+    std::uint32_t size = 32 * 1024;
+    std::uint32_t lineSize = 64;
+    std::uint32_t ways = 8;
+    std::uint32_t hitLatency = 3;
+    std::uint32_t missLatency = 20;
+
+    std::uint32_t numSets() const { return size / (lineSize * ways); }
+    std::uint32_t numLines() const { return size / lineSize; }
+};
+
+/** Out-of-order core parameters. */
+struct CoreConfig
+{
+    unsigned fetchWidth = 4;
+    unsigned renameWidth = 4;
+    unsigned issueWidth = 6;
+    unsigned commitWidth = 4;
+    unsigned frontendDelay = 3;     ///< fetch-to-rename stages
+
+    unsigned robSize = 192;
+    unsigned iqSize = 60;
+    unsigned lqSize = 32;
+    unsigned sqSize = 24;
+
+    unsigned numIntPhysRegs = 128;  ///< the paper's IRF fault target
+    unsigned numFpPhysRegs = 96;
+
+    unsigned numIntAlu = 2;
+    unsigned numIntMul = 1;
+    unsigned numIntDiv = 1;
+    unsigned numFpAdd = 1;
+    unsigned numFpMul = 1;
+    unsigned numFpDiv = 1;
+    unsigned numSimdAlu = 2;
+    unsigned numMemPorts = 2;
+
+    unsigned branchMispredictPenalty = 8;
+
+    CacheConfig l1d{};
+
+    /** Watchdog: a run exceeding this cycle count is declared hung. */
+    std::uint64_t maxCycles = 20'000'000;
+};
+
+} // namespace harpo::uarch
+
+#endif // HARPOCRATES_UARCH_CORE_CONFIG_HH

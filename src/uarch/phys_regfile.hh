@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Physical register files with real bit-level content. The integer PRF
+ * is one of the paper's six fault targets: transient faults are
+ * injected by flipping bits of these storage words mid-run.
+ */
+
+#ifndef HARPOCRATES_UARCH_PHYS_REGFILE_HH
+#define HARPOCRATES_UARCH_PHYS_REGFILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace harpo::uarch
+{
+
+/** 64-bit-entry physical register file with a free list. */
+class PhysRegFile
+{
+  public:
+    static constexpr std::uint64_t pendingReady = ~0ull;
+
+    explicit PhysRegFile(unsigned num_regs = 0) { reset(num_regs); }
+
+    void
+    reset(unsigned num_regs)
+    {
+        values.assign(num_regs, 0);
+        readyCycle.assign(num_regs, 0);
+        freeList.clear();
+        // Allocate from low indices first for reproducibility.
+        for (unsigned i = num_regs; i-- > 0;)
+            freeList.push_back(i);
+    }
+
+    unsigned size() const { return static_cast<unsigned>(values.size()); }
+
+    bool hasFree() const { return !freeList.empty(); }
+
+    std::size_t numFree() const { return freeList.size(); }
+
+    /** Allocate a register; it is initially not ready. */
+    unsigned
+    alloc()
+    {
+        panicIf(freeList.empty(), "PhysRegFile: out of registers");
+        const unsigned reg = freeList.back();
+        freeList.pop_back();
+        readyCycle[reg] = pendingReady;
+        return reg;
+    }
+
+    void
+    free(unsigned reg)
+    {
+        freeList.push_back(reg);
+    }
+
+    std::uint64_t read(unsigned reg) const { return values[reg]; }
+    void write(unsigned reg, std::uint64_t v) { values[reg] = v; }
+
+    /** Flip one stored bit (transient fault injection). */
+    void
+    flipBit(unsigned reg, unsigned bit)
+    {
+        values[reg] ^= 1ull << bit;
+    }
+
+    /** Force one stored bit (permanent / intermittent stuck-at). */
+    void
+    forceBit(unsigned reg, unsigned bit, bool value)
+    {
+        if (value)
+            values[reg] |= 1ull << bit;
+        else
+            values[reg] &= ~(1ull << bit);
+    }
+
+    bool
+    isReady(unsigned reg, std::uint64_t cycle) const
+    {
+        return readyCycle[reg] <= cycle;
+    }
+
+    void
+    setReadyAt(unsigned reg, std::uint64_t cycle)
+    {
+        readyCycle[reg] = cycle;
+    }
+
+    /** Mark ready immediately (initial architectural values). */
+    void markReadyNow(unsigned reg) { readyCycle[reg] = 0; }
+
+  private:
+    std::vector<std::uint64_t> values;
+    std::vector<std::uint64_t> readyCycle;
+    std::vector<unsigned> freeList;
+};
+
+/** 128-bit-entry register file for the XMM architectural state. */
+class FpPhysRegFile
+{
+  public:
+    static constexpr std::uint64_t pendingReady = ~0ull;
+
+    explicit FpPhysRegFile(unsigned num_regs = 0) { reset(num_regs); }
+
+    void
+    reset(unsigned num_regs)
+    {
+        values.assign(num_regs * 2, 0);
+        readyCycle.assign(num_regs, 0);
+        freeList.clear();
+        for (unsigned i = num_regs; i-- > 0;)
+            freeList.push_back(i);
+    }
+
+    unsigned
+    size() const
+    {
+        return static_cast<unsigned>(readyCycle.size());
+    }
+
+    bool hasFree() const { return !freeList.empty(); }
+
+    std::size_t numFree() const { return freeList.size(); }
+
+    unsigned
+    alloc()
+    {
+        panicIf(freeList.empty(), "FpPhysRegFile: out of registers");
+        const unsigned reg = freeList.back();
+        freeList.pop_back();
+        readyCycle[reg] = pendingReady;
+        return reg;
+    }
+
+    void free(unsigned reg) { freeList.push_back(reg); }
+
+    void
+    read(unsigned reg, std::uint64_t out[2]) const
+    {
+        out[0] = values[reg * 2];
+        out[1] = values[reg * 2 + 1];
+    }
+
+    void
+    write(unsigned reg, const std::uint64_t v[2])
+    {
+        values[reg * 2] = v[0];
+        values[reg * 2 + 1] = v[1];
+    }
+
+    bool
+    isReady(unsigned reg, std::uint64_t cycle) const
+    {
+        return readyCycle[reg] <= cycle;
+    }
+
+    void
+    setReadyAt(unsigned reg, std::uint64_t cycle)
+    {
+        readyCycle[reg] = cycle;
+    }
+
+    void markReadyNow(unsigned reg) { readyCycle[reg] = 0; }
+
+  private:
+    std::vector<std::uint64_t> values;
+    std::vector<std::uint64_t> readyCycle;
+    std::vector<unsigned> freeList;
+};
+
+} // namespace harpo::uarch
+
+#endif // HARPOCRATES_UARCH_PHYS_REGFILE_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Observation and intervention hooks into the core's bit-holding
+ * structures. Coverage analysers (ACE) observe events; the fault
+ * injector uses onCycleBegin plus the core's state accessors to flip
+ * or force bits at precise cycles.
+ */
+
+#ifndef HARPOCRATES_UARCH_PROBES_HH
+#define HARPOCRATES_UARCH_PROBES_HH
+
+#include <array>
+#include <cstdint>
+
+namespace harpo::uarch
+{
+
+class Core;
+
+/** Dataflow summary of one executed instruction, for probes that
+ *  build dynamic def-use graphs (true-liveness ACE analysis). */
+struct ExecInfo
+{
+    std::uint64_t seq = 0;
+    std::uint64_t cycle = 0;
+    bool isStore = false;
+    bool isBranch = false;
+    bool faulted = false;
+
+    struct SrcRead
+    {
+        std::uint16_t phys = 0;
+        std::uint64_t defSeq = 0; ///< seq of the producing instruction
+        std::uint8_t liveBits = 64;
+    };
+    std::array<SrcRead, 6> srcs{};
+    int numSrcs = 0;
+
+    struct DefWrite
+    {
+        std::uint16_t phys = 0;
+        std::uint8_t arch = 0;
+    };
+    std::array<DefWrite, 5> defs{};
+    int numDefs = 0;
+};
+
+/** Listener for microarchitectural events. All methods default to
+ *  no-ops so implementations override only what they need. */
+class CoreProbe
+{
+  public:
+    virtual ~CoreProbe() = default;
+
+    /** Called at the start of every simulated cycle. */
+    virtual void
+    onCycleBegin(Core &core, std::uint64_t cycle)
+    {
+        (void)core;
+        (void)cycle;
+    }
+
+    /** A physical integer register was read by an executing
+     *  instruction. @p live_bits is the core's estimate of how many
+     *  of the 64 stored bits the consumer can architecturally
+     *  propagate (5 for flag reads, 6 for compare sources whose only
+     *  product is flags, the operand width otherwise) — the
+     *  first-order approximation of bit-level ACE liveness. */
+    virtual void
+    onIntRegRead(unsigned phys_reg, unsigned live_bits,
+                 std::uint64_t cycle)
+    {
+        (void)phys_reg;
+        (void)live_bits;
+        (void)cycle;
+    }
+
+    /** A physical integer register was written. */
+    virtual void
+    onIntRegWrite(unsigned phys_reg, unsigned arch_reg,
+                  std::uint64_t cycle)
+    {
+        (void)phys_reg;
+        (void)arch_reg;
+        (void)cycle;
+    }
+
+    /** Bytes [index, index+len) of the L1D data array were read. */
+    virtual void
+    onCacheRead(std::uint32_t data_index, unsigned len,
+                std::uint64_t cycle)
+    {
+        (void)data_index;
+        (void)len;
+        (void)cycle;
+    }
+
+    /** Bytes [index, index+len) of the L1D data array were written
+     *  (by a store or a line fill). */
+    virtual void
+    onCacheWrite(std::uint32_t data_index, unsigned len,
+                 std::uint64_t cycle)
+    {
+        (void)data_index;
+        (void)len;
+        (void)cycle;
+    }
+
+    /** A line's worth of data-array bytes was evicted. When @p dirty,
+     *  the bytes flowed back to memory (architecturally live). */
+    virtual void
+    onCacheEvict(std::uint32_t data_index, unsigned len, bool dirty,
+                 std::uint64_t cycle)
+    {
+        (void)data_index;
+        (void)len;
+        (void)dirty;
+        (void)cycle;
+    }
+
+    /** An instruction finished executing (possibly on the wrong
+     *  path); @p info summarises its register dataflow. */
+    virtual void
+    onInstExecuted(const ExecInfo &info)
+    {
+        (void)info;
+    }
+
+    /** An instruction committed (it is architecturally real). */
+    virtual void
+    onInstCommitted(std::uint64_t seq)
+    {
+        (void)seq;
+    }
+
+    /** End of run: @p core exposes the final live register mapping. */
+    virtual void
+    onRunEnd(Core &core, std::uint64_t cycle)
+    {
+        (void)core;
+        (void)cycle;
+    }
+};
+
+} // namespace harpo::uarch
+
+#endif // HARPOCRATES_UARCH_PROBES_HH

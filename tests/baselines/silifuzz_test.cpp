@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "baselines/silifuzz.hh"
+#include "isa/emulator.hh"
+#include "uarch/core.hh"
+
+using namespace harpo;
+using namespace harpo::baselines;
+
+namespace
+{
+
+SiliFuzz
+fuzzedInstance(unsigned iterations = 3000)
+{
+    SiliFuzzConfig cfg;
+    cfg.iterations = iterations;
+    cfg.aggregateInstructions = 300;
+    cfg.seed = 12345;
+    SiliFuzz fuzzer(cfg);
+    fuzzer.fuzz();
+    return fuzzer;
+}
+
+} // namespace
+
+TEST(SiliFuzz, StatisticsAreConsistent)
+{
+    const SiliFuzz fuzzer = fuzzedInstance();
+    const auto &s = fuzzer.stats();
+    EXPECT_EQ(s.generated, 3000u);
+    EXPECT_EQ(s.generated,
+              s.decodeFailed + s.crashed + s.nonDeterministic + s.kept);
+    EXPECT_GT(s.kept, 0u);
+    EXPECT_EQ(s.kept, fuzzer.snapshots().size());
+}
+
+TEST(SiliFuzz, SubstantialFractionIsDiscarded)
+{
+    // The paper reports ~2 of 3 sequences discarded as non-runnable.
+    const SiliFuzz fuzzer = fuzzedInstance();
+    EXPECT_GT(fuzzer.stats().discardFraction(), 0.3);
+}
+
+TEST(SiliFuzz, SnapshotsAreShort)
+{
+    const SiliFuzz fuzzer = fuzzedInstance(2000);
+    for (const auto &snap : fuzzer.snapshots()) {
+        EXPECT_GT(snap.size(), 0u);
+        EXPECT_LE(snap.size(), 100u); // <= snapshotBytes / min inst len
+    }
+}
+
+TEST(SiliFuzz, AggregatedTestsRunCleanly)
+{
+    const SiliFuzz fuzzer = fuzzedInstance();
+    const auto tests = fuzzer.makeTests(3);
+    ASSERT_FALSE(tests.empty());
+    for (const auto &test : tests) {
+        EXPECT_GT(test.code.size(), 50u);
+        isa::Emulator::Options opts;
+        opts.stepLimit = 10 * test.code.size() + 4096;
+        const auto emu = isa::Emulator().run(test, opts);
+        EXPECT_EQ(emu.exit, isa::EmuResult::Exit::Finished) << test.name;
+
+        uarch::Core core{uarch::CoreConfig{}};
+        const auto sim = core.run(test);
+        EXPECT_EQ(sim.exit, uarch::SimResult::Exit::Finished)
+            << test.name;
+        EXPECT_EQ(sim.signature, emu.signature) << test.name;
+    }
+}
+
+TEST(SiliFuzz, DeterministicForEqualSeeds)
+{
+    SiliFuzzConfig cfg;
+    cfg.iterations = 1000;
+    cfg.seed = 7;
+    SiliFuzz a(cfg), b(cfg);
+    a.fuzz();
+    b.fuzz();
+    EXPECT_EQ(a.stats().kept, b.stats().kept);
+    EXPECT_EQ(a.stats().decodeFailed, b.stats().decodeFailed);
+}
+
+TEST(SiliFuzz, TracksRunnableInstructionCount)
+{
+    const SiliFuzz fuzzer = fuzzedInstance(2000);
+    std::uint64_t total = 0;
+    for (const auto &snap : fuzzer.snapshots())
+        total += snap.size();
+    EXPECT_EQ(fuzzer.stats().runnableInstructions, total);
+}

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "baselines/workloads.hh"
+#include "coverage/measure.hh"
+#include "isa/emulator.hh"
+#include "uarch/core.hh"
+
+using namespace harpo;
+using namespace harpo::baselines;
+using coverage::TargetStructure;
+
+namespace
+{
+
+class SuiteTest : public ::testing::TestWithParam<Workload>
+{
+};
+
+std::vector<Workload>
+allWorkloads()
+{
+    auto all = mibenchSuite();
+    for (auto &w : dcdiagSuite())
+        all.push_back(std::move(w));
+    return all;
+}
+
+} // namespace
+
+TEST_P(SuiteTest, RunsToCompletionOnEmulator)
+{
+    const Workload &w = GetParam();
+    isa::Emulator::Options opts;
+    opts.stepLimit = 2'000'000;
+    const auto r = isa::Emulator().run(w.program, opts);
+    EXPECT_EQ(r.exit, isa::EmuResult::Exit::Finished) << w.name;
+    EXPECT_GT(r.instsExecuted, 500u) << w.name;
+}
+
+TEST_P(SuiteTest, IsDeterministic)
+{
+    const Workload &w = GetParam();
+    isa::Emulator::Options a, b;
+    a.nondetSeed = 1;
+    b.nondetSeed = 2;
+    EXPECT_EQ(isa::Emulator().run(w.program, a).signature,
+              isa::Emulator().run(w.program, b).signature)
+        << w.name;
+}
+
+TEST_P(SuiteTest, CoreMatchesEmulator)
+{
+    const Workload &w = GetParam();
+    uarch::Core core{uarch::CoreConfig{}};
+    const auto sim = core.run(w.program);
+    ASSERT_EQ(sim.exit, uarch::SimResult::Exit::Finished) << w.name;
+    const auto emu = isa::Emulator().run(w.program);
+    EXPECT_EQ(sim.signature, emu.signature) << w.name;
+    EXPECT_EQ(sim.instsCommitted, emu.instsExecuted) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, SuiteTest, ::testing::ValuesIn(allWorkloads()),
+    [](const ::testing::TestParamInfo<Workload> &info) {
+        return info.param.suite + "_" + info.param.name;
+    });
+
+TEST(Suites, ExpectedComposition)
+{
+    EXPECT_EQ(mibenchSuite().size(), 12u);
+    EXPECT_EQ(dcdiagSuite().size(), 6u);
+}
+
+TEST(Suites, FpHeavyKernelsTouchTheFpUnits)
+{
+    for (const auto &w : dcdiagSuite()) {
+        if (w.name == "mxm" || w.name == "svd_rot" ||
+            w.name == "stencil_fp") {
+            const double ibr =
+                coverage::measureCoverage(w.program,
+                                          TargetStructure::FpAdder,
+                                          uarch::CoreConfig{})
+                    .coverage;
+            EXPECT_GT(ibr, 0.0) << w.name;
+        }
+    }
+}
+
+TEST(Suites, MostMibenchProgramsNeverTouchSse)
+{
+    // The paper's observation: general-purpose integer workloads leave
+    // the SSE units idle (zero detection possible).
+    int idle = 0;
+    for (const auto &w : mibenchSuite()) {
+        const double ibr =
+            coverage::measureCoverage(w.program,
+                                      TargetStructure::FpMultiplier,
+                                      uarch::CoreConfig{})
+                .coverage;
+        idle += ibr == 0.0;
+    }
+    EXPECT_GE(idle, 10); // at least 10 of 12
+}
+
+TEST(Suites, HashKernelExercisesMultiplier)
+{
+    for (const auto &w : dcdiagSuite()) {
+        if (w.name == "hash_mul") {
+            const double ibr = coverage::measureCoverage(
+                                   w.program,
+                                   TargetStructure::IntMultiplier,
+                                   uarch::CoreConfig{})
+                                   .coverage;
+            EXPECT_GT(ibr, 0.0);
+        }
+    }
+}
+
+TEST(Suites, RuntimesAreBoundedForSfi)
+{
+    // Every workload must be cheap enough for repeated campaigns.
+    for (const auto &w : allWorkloads()) {
+        uarch::Core core{uarch::CoreConfig{}};
+        const auto sim = core.run(w.program);
+        EXPECT_LT(sim.cycles, 1'500'000u) << w.name;
+    }
+}

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "common/bitvec.hh"
+
+using harpo::BitVec;
+
+TEST(BitVec, StartsCleared)
+{
+    BitVec v(200);
+    EXPECT_EQ(v.size(), 200u);
+    for (std::size_t i = 0; i < 200; ++i)
+        EXPECT_FALSE(v.get(i));
+    EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, SetGetFlip)
+{
+    BitVec v(130);
+    v.set(0, true);
+    v.set(63, true);
+    v.set(64, true);
+    v.set(129, true);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_TRUE(v.get(63));
+    EXPECT_TRUE(v.get(64));
+    EXPECT_TRUE(v.get(129));
+    EXPECT_EQ(v.popcount(), 4u);
+    v.flip(63);
+    EXPECT_FALSE(v.get(63));
+    v.flip(63);
+    EXPECT_TRUE(v.get(63));
+}
+
+TEST(BitVec, ExtractDeposit)
+{
+    BitVec v(256);
+    v.deposit(10, 64, 0xDEADBEEFCAFEBABEull);
+    EXPECT_EQ(v.extract(10, 64), 0xDEADBEEFCAFEBABEull);
+    EXPECT_EQ(v.extract(10, 16), 0xBABEull);
+    v.deposit(100, 12, 0xABC);
+    EXPECT_EQ(v.extract(100, 12), 0xABCu);
+    // Neighbouring bits untouched.
+    EXPECT_FALSE(v.get(99));
+    EXPECT_FALSE(v.get(112));
+}
+
+TEST(BitVec, ClearResetsEverything)
+{
+    BitVec v(100);
+    for (std::size_t i = 0; i < 100; i += 3)
+        v.set(i, true);
+    v.clear();
+    EXPECT_EQ(v.popcount(), 0u);
+}

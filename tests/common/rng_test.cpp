@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+
+using harpo::Rng;
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = r.below(13);
+        EXPECT_LT(v, 13u);
+    }
+}
+
+TEST(Rng, BelowCoversAllResidues)
+{
+    Rng r(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.below(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(3);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const std::int64_t v = r.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        sawLo |= v == -2;
+        sawHi |= v == 2;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ForkIsIndependent)
+{
+    Rng parent(9);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += parent.next() == child.next();
+    EXPECT_LT(same, 3);
+}

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.hh"
+#include "common/softfloat.hh"
+
+using namespace harpo;
+
+namespace
+{
+
+std::uint64_t
+bits(double d)
+{
+    std::uint64_t b;
+    std::memcpy(&b, &d, sizeof(b));
+    return b;
+}
+
+double
+dbl(std::uint64_t b)
+{
+    double d;
+    std::memcpy(&d, &b, sizeof(d));
+    return d;
+}
+
+bool
+isSubnormal(std::uint64_t b)
+{
+    return ((b >> 52) & 0x7FF) == 0 && (b & 0xFFFFFFFFFFFFFull) != 0;
+}
+
+/** Random double with a bounded exponent, never subnormal/NaN/Inf. */
+std::uint64_t
+randomNormal(Rng &rng)
+{
+    const std::uint64_t sign = rng.next() & 0x8000000000000000ull;
+    const std::uint64_t exp =
+        (900 + rng.below(200)) << 52; // comfortably mid-range
+    const std::uint64_t frac = rng.next() & 0xFFFFFFFFFFFFFull;
+    return sign | exp | frac;
+}
+
+} // namespace
+
+TEST(SoftFloat, AddMatchesHostOnNormals)
+{
+    Rng rng(123);
+    for (int i = 0; i < 200000; ++i) {
+        const std::uint64_t a = randomNormal(rng);
+        const std::uint64_t b = randomNormal(rng);
+        const std::uint64_t got = softAdd64(a, b);
+        const double expect = dbl(a) + dbl(b);
+        if (isSubnormal(bits(expect)) || expect == 0.0) {
+            // FTZ model flushes; host may produce subnormal/exact zero.
+            continue;
+        }
+        EXPECT_EQ(got, bits(expect))
+            << "a=" << std::hex << a << " b=" << b;
+    }
+}
+
+TEST(SoftFloat, MulMatchesHostOnNormals)
+{
+    Rng rng(321);
+    for (int i = 0; i < 200000; ++i) {
+        const std::uint64_t a = randomNormal(rng);
+        const std::uint64_t b = randomNormal(rng);
+        const std::uint64_t got = softMul64(a, b);
+        const double expect = dbl(a) * dbl(b);
+        if (isSubnormal(bits(expect)))
+            continue;
+        EXPECT_EQ(got, bits(expect))
+            << "a=" << std::hex << a << " b=" << b;
+    }
+}
+
+TEST(SoftFloat, AddSpecialCases)
+{
+    const std::uint64_t inf = bits(INFINITY);
+    const std::uint64_t ninf = bits(-INFINITY);
+    const std::uint64_t nan = bits(NAN);
+    EXPECT_EQ(softAdd64(inf, inf), inf);
+    EXPECT_EQ(softAdd64(ninf, ninf), ninf);
+    EXPECT_EQ(softAdd64(inf, ninf), kCanonicalNan);
+    EXPECT_EQ(softAdd64(nan, bits(1.0)), kCanonicalNan);
+    EXPECT_EQ(softAdd64(bits(1.0), nan), kCanonicalNan);
+    EXPECT_EQ(softAdd64(bits(0.0), bits(0.0)), bits(0.0));
+    EXPECT_EQ(softAdd64(bits(-0.0), bits(-0.0)), bits(-0.0));
+    EXPECT_EQ(softAdd64(bits(0.0), bits(-0.0)), bits(0.0));
+    // Exact cancellation gives +0 under RNE.
+    EXPECT_EQ(softAdd64(bits(1.5), bits(-1.5)), bits(0.0));
+    // Zero operand passes the other through.
+    EXPECT_EQ(softAdd64(bits(0.0), bits(2.5)), bits(2.5));
+}
+
+TEST(SoftFloat, MulSpecialCases)
+{
+    const std::uint64_t inf = bits(INFINITY);
+    const std::uint64_t nan = bits(NAN);
+    EXPECT_EQ(softMul64(inf, bits(2.0)), inf);
+    EXPECT_EQ(softMul64(inf, bits(-2.0)), bits(-INFINITY));
+    EXPECT_EQ(softMul64(inf, bits(0.0)), kCanonicalNan);
+    EXPECT_EQ(softMul64(nan, bits(0.0)), kCanonicalNan);
+    EXPECT_EQ(softMul64(bits(0.0), bits(-3.0)), bits(-0.0));
+    // Overflow saturates to infinity.
+    EXPECT_EQ(softMul64(bits(1e300), bits(1e300)), inf);
+    // Underflow flushes to zero (FTZ).
+    EXPECT_EQ(softMul64(bits(1e-300), bits(1e-300)), bits(0.0));
+}
+
+TEST(SoftFloat, SubnormalInputsTreatedAsZero)
+{
+    const std::uint64_t sub = 0x0000000000000001ull; // smallest subnormal
+    EXPECT_EQ(softAdd64(sub, bits(1.0)), bits(1.0));
+    EXPECT_EQ(softMul64(sub, bits(1.0)), bits(0.0));
+}
+
+TEST(SoftFloat, SubIsAddWithFlippedSign)
+{
+    Rng rng(777);
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t a = randomNormal(rng);
+        const std::uint64_t b = randomNormal(rng);
+        EXPECT_EQ(softSub64(a, b),
+                  softAdd64(a, b ^ 0x8000000000000000ull));
+    }
+}
+
+TEST(SoftFloat, DivBasics)
+{
+    EXPECT_EQ(softDiv64(bits(6.0), bits(3.0)), bits(2.0));
+    EXPECT_EQ(softDiv64(bits(1.0), bits(0.0)), bits(INFINITY));
+    EXPECT_EQ(softDiv64(bits(-1.0), bits(0.0)), bits(-INFINITY));
+    EXPECT_EQ(softDiv64(bits(0.0), bits(0.0)), kCanonicalNan);
+}
+
+TEST(SoftFloat, IntConversions)
+{
+    EXPECT_EQ(softFromInt64(0), bits(0.0));
+    EXPECT_EQ(softFromInt64(-7), bits(-7.0));
+    EXPECT_EQ(softFromInt64(1ll << 40), bits(1099511627776.0));
+    EXPECT_EQ(softToInt64Trunc(bits(3.9)), 3);
+    EXPECT_EQ(softToInt64Trunc(bits(-3.9)), -3);
+    EXPECT_EQ(softToInt64Trunc(bits(NAN)),
+              static_cast<std::int64_t>(0x8000000000000000ull));
+    EXPECT_EQ(softToInt64Trunc(bits(1e300)),
+              static_cast<std::int64_t>(0x8000000000000000ull));
+}
+
+TEST(SoftFloat, Compare)
+{
+    EXPECT_EQ(softCompare64(bits(1.0), bits(2.0)), -1);
+    EXPECT_EQ(softCompare64(bits(2.0), bits(1.0)), 1);
+    EXPECT_EQ(softCompare64(bits(2.0), bits(2.0)), 0);
+    EXPECT_EQ(softCompare64(bits(0.0), bits(-0.0)), 0);
+    EXPECT_EQ(softCompare64(bits(NAN), bits(1.0)), 2);
+}

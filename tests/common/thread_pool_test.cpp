@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+using harpo::ThreadPool;
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop)
+{
+    ThreadPool pool(2);
+    pool.parallelFor(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, NestedParallelForCompletes)
+{
+    ThreadPool pool(2);
+    std::atomic<int> total{0};
+    pool.parallelFor(4, [&](std::size_t) {
+        pool.parallelFor(4, [&](std::size_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ThreadPool, ManyMoreItemsThanThreads)
+{
+    ThreadPool pool(3);
+    std::atomic<long> sum{0};
+    pool.parallelFor(10000,
+                     [&](std::size_t i) { sum.fetch_add(long(i)); });
+    EXPECT_EQ(sum.load(), 10000L * 9999 / 2);
+}

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "coverage/ace.hh"
+#include "coverage/ibr.hh"
+#include "coverage/measure.hh"
+#include "isa/builder.hh"
+#include "isa/registers.hh"
+#include "museqgen/museqgen.hh"
+
+using namespace harpo;
+using namespace harpo::coverage;
+using namespace harpo::isa;
+using PB = ProgramBuilder;
+
+namespace
+{
+
+double
+coverageOf(const TestProgram &program, TargetStructure target)
+{
+    return measureCoverage(program, target, uarch::CoreConfig{}).coverage;
+}
+
+} // namespace
+
+TEST(CoverageMeasure, NamesAndCircuits)
+{
+    EXPECT_STREQ(structureName(TargetStructure::IntRegFile), "IRF");
+    EXPECT_STREQ(structureName(TargetStructure::FpMultiplier),
+                 "SSE-FP-Multiplier");
+    EXPECT_EQ(circuitFor(TargetStructure::IntAdder), FuCircuit::IntAdd);
+    EXPECT_EQ(circuitFor(TargetStructure::L1DCache), FuCircuit::None);
+    EXPECT_TRUE(isBitArray(TargetStructure::IntRegFile));
+    EXPECT_FALSE(isBitArray(TargetStructure::FpAdder));
+}
+
+TEST(CoverageMeasure, AllMetricsInUnitInterval)
+{
+    museqgen::MuSeqGen gen(museqgen::GenConfig{});
+    Rng rng(1);
+    const auto program = gen.generate(rng);
+    for (auto target :
+         {TargetStructure::IntRegFile, TargetStructure::L1DCache,
+          TargetStructure::IntAdder, TargetStructure::IntMultiplier,
+          TargetStructure::FpAdder, TargetStructure::FpMultiplier}) {
+        const double c = coverageOf(program, target);
+        EXPECT_GE(c, 0.0) << structureName(target);
+        EXPECT_LE(c, 1.0) << structureName(target);
+    }
+}
+
+TEST(CoverageMeasure, LongLiveValuesRaisePrfAce)
+{
+    // Two equal-shape programs that only differ in whether the values
+    // parked across a long idle window are *read* afterwards. Both end
+    // by overwriting every register, so the end-of-run live-value ACE
+    // floor is identical and the difference isolates the read-ended
+    // (ACE) vs overwrite-ended (un-ACE) intervals.
+    auto makeProgram = [](bool read_back) {
+        PB b(read_back ? "live" : "dead");
+        for (int r = 0; r < 14; ++r) {
+            const int reg = r == RSP ? R14 : r;
+            b.i("mov r64, imm64", {PB::gpr(reg), PB::imm(r * 11 + 1)});
+        }
+        for (int i = 0; i < 400; ++i)
+            b.i("nop");
+        if (read_back) {
+            for (int r = 0; r < 14; ++r) {
+                const int reg = r == RSP ? R14 : r;
+                b.i("test r64, r64", {PB::gpr(reg), PB::gpr(reg)});
+            }
+        } else {
+            for (int r = 0; r < 14; ++r) {
+                const int reg = r == RSP ? R14 : r;
+                b.i("mov r64, imm64", {PB::gpr(reg), PB::imm(0)});
+            }
+        }
+        // Equalise the final live-interval floor.
+        for (int r = 0; r < 14; ++r) {
+            const int reg = r == RSP ? R14 : r;
+            b.i("mov r64, imm64", {PB::gpr(reg), PB::imm(r)});
+        }
+        return b.build();
+    };
+    EXPECT_GT(coverageOf(makeProgram(true), TargetStructure::IntRegFile),
+              coverageOf(makeProgram(false),
+                         TargetStructure::IntRegFile));
+}
+
+TEST(CoverageMeasure, StreamingReusedDataRaisesL1dAce)
+{
+    // Repeatedly re-reading a large resident working set keeps cache
+    // bits ACE; a tiny working set leaves most of the array un-ACE.
+    PB big("big");
+    big.addRegion(0x100000, 32 * 1024);
+    big.setGpr(RSI, 0x100000);
+    big.i("mov r64, imm64", {PB::gpr(R8), PB::imm(0)});
+    auto pass = big.here();
+    big.i("mov r64, r64", {PB::gpr(RBX), PB::gpr(RSI)});
+    big.i("mov r64, imm64", {PB::gpr(RCX), PB::imm(32 * 1024 / 64)});
+    auto loop = big.here();
+    big.i("mov r64, m64", {PB::gpr(RAX), PB::mem(RBX)});
+    big.i("add r64, imm32", {PB::gpr(RBX), PB::imm(64)});
+    big.i("dec r64", {PB::gpr(RCX)});
+    big.br("jne rel32", loop);
+    big.i("inc r64", {PB::gpr(R8)});
+    big.i("cmp r64, imm32", {PB::gpr(R8), PB::imm(6)});
+    big.br("jne rel32", pass);
+
+    PB small("small");
+    small.addRegion(0x100000, 32 * 1024);
+    small.setGpr(RSI, 0x100000);
+    small.i("mov r64, imm64", {PB::gpr(RCX), PB::imm(3000)});
+    auto l2 = small.here();
+    small.i("mov r64, m64", {PB::gpr(RAX), PB::mem(RSI)});
+    small.i("dec r64", {PB::gpr(RCX)});
+    small.br("jne rel32", l2);
+
+    EXPECT_GT(coverageOf(big.build(), TargetStructure::L1DCache),
+              coverageOf(small.build(), TargetStructure::L1DCache));
+}
+
+TEST(CoverageMeasure, AdderHeavyProgramRaisesIntAddIbr)
+{
+    PB adds("adds");
+    adds.setGpr(RAX, 0xFFFFFFFFFFFFFFFull);
+    adds.setGpr(RBX, 0x123456789ABCDEFull);
+    for (int i = 0; i < 300; ++i)
+        adds.i("add r64, r64", {PB::gpr(RAX), PB::gpr(RBX)});
+
+    PB moves("moves");
+    moves.setGpr(RBX, 1);
+    for (int i = 0; i < 300; ++i)
+        moves.i("mov r64, r64", {PB::gpr(RAX), PB::gpr(RBX)});
+
+    const double addIbr =
+        coverageOf(adds.build(), TargetStructure::IntAdder);
+    const double movIbr =
+        coverageOf(moves.build(), TargetStructure::IntAdder);
+    EXPECT_GT(addIbr, 0.05);
+    EXPECT_EQ(movIbr, 0.0);
+}
+
+TEST(CoverageMeasure, MultiplierIbrSeesOnlyMultiplies)
+{
+    PB muls("muls");
+    muls.setGpr(RAX, 3);
+    muls.setGpr(RBX, 0x10001);
+    for (int i = 0; i < 200; ++i)
+        muls.i("imul r64, r64", {PB::gpr(RAX), PB::gpr(RBX)});
+    const auto program = muls.build();
+    EXPECT_GT(coverageOf(program, TargetStructure::IntMultiplier), 0.0);
+    EXPECT_EQ(coverageOf(program, TargetStructure::FpMultiplier), 0.0);
+}
+
+TEST(CoverageMeasure, FpUnitsNeedSseActivity)
+{
+    PB fp("fp");
+    fp.setXmm(0, 0x3FF8000000000000ull);
+    fp.setXmm(1, 0x4000000000000000ull);
+    for (int i = 0; i < 100; ++i) {
+        fp.i("addsd xmm, xmm", {PB::xmm(0), PB::xmm(1)});
+        fp.i("mulsd xmm, xmm", {PB::xmm(2), PB::xmm(1)});
+    }
+    const auto program = fp.build();
+    EXPECT_GT(coverageOf(program, TargetStructure::FpAdder), 0.0);
+    EXPECT_GT(coverageOf(program, TargetStructure::FpMultiplier), 0.0);
+
+    PB intOnly("int");
+    for (int i = 0; i < 100; ++i)
+        intOnly.i("add r64, imm32", {PB::gpr(RAX), PB::imm(1)});
+    const auto intProgram = intOnly.build();
+    EXPECT_EQ(coverageOf(intProgram, TargetStructure::FpAdder), 0.0);
+    EXPECT_EQ(coverageOf(intProgram, TargetStructure::FpMultiplier),
+              0.0);
+}
+
+TEST(CoverageMeasure, CrashingProgramScoresZero)
+{
+    PB crash("crash");
+    crash.setGpr(RSI, 0xDEAD0000);
+    crash.i("mov r64, m64", {PB::gpr(RAX), PB::mem(RSI)});
+    EXPECT_EQ(coverageOf(crash.build(), TargetStructure::IntRegFile),
+              0.0);
+}
+
+TEST(IbrModel, CountsEffectiveBitsNotJustUses)
+{
+    IbrArithModel ibr;
+    bool cout = false;
+    ibr.intAdd(0xFF, 0x1, false, cout);       // 8 + 1 bits
+    ibr.intAdd(~0ull, ~0ull, false, cout);    // 64 + 64 bits
+    EXPECT_EQ(ibr.inputBits(FuCircuit::IntAdd), 8u + 1 + 64 + 64);
+    EXPECT_EQ(ibr.uses(FuCircuit::IntAdd), 2u);
+    EXPECT_EQ(ibr.inputBits(FuCircuit::IntMul), 0u);
+}
+
+TEST(IbrModel, PacksIntoRatio)
+{
+    IbrArithModel ibr;
+    bool cout = false;
+    for (int i = 0; i < 10; ++i)
+        ibr.intAdd(~0ull, ~0ull, false, cout);
+    // 10 full-width ops over 10 cycles -> IBR 1.0.
+    EXPECT_DOUBLE_EQ(ibr.ibr(FuCircuit::IntAdd, 10), 1.0);
+    // Over 100 cycles -> 0.1.
+    EXPECT_DOUBLE_EQ(ibr.ibr(FuCircuit::IntAdd, 100), 0.1);
+}

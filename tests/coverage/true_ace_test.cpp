@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the liveness-refined (true) ACE analyser: reads whose
+ * consumers are architecturally dead must earn no coverage, and the
+ * metric must track measured fault detection on propagating programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coverage/ace.hh"
+#include "coverage/true_ace.hh"
+#include "faultsim/campaign.hh"
+#include "isa/builder.hh"
+#include "isa/registers.hh"
+#include "uarch/core.hh"
+
+using namespace harpo;
+using namespace harpo::isa;
+using namespace harpo::coverage;
+using PB = ProgramBuilder;
+
+namespace
+{
+
+double
+trueAceOf(const TestProgram &program)
+{
+    TrueAceAnalyzer ace;
+    uarch::Core core{uarch::CoreConfig{}};
+    const auto sim = core.run(program, nullptr, &ace);
+    EXPECT_EQ(sim.exit, uarch::SimResult::Exit::Finished);
+    return ace.coverage();
+}
+
+double
+intervalAceOf(const TestProgram &program)
+{
+    PrfAceAnalyzer ace;
+    uarch::Core core{uarch::CoreConfig{}};
+    const auto sim = core.run(program, nullptr, &ace);
+    EXPECT_EQ(sim.exit, uarch::SimResult::Exit::Finished);
+    return ace.coverage();
+}
+
+/** Program whose computed chain is read but leads nowhere: the chain
+ *  result is overwritten before the end and never stored/branched. */
+TestProgram
+deadChainProgram()
+{
+    PB b("deadchain");
+    b.setGpr(RAX, 7);
+    b.setGpr(RBX, 9);
+    for (int i = 0; i < 300; ++i) {
+        // RBX consumes RAX repeatedly...
+        b.i("add r64, r64", {PB::gpr(RBX), PB::gpr(RAX)});
+        b.i("add r64, r64", {PB::gpr(RAX), PB::gpr(RBX)});
+    }
+    // ...but everything is overwritten at the end — including the
+    // flags, which would otherwise keep the whole chain transitively
+    // live through the final RFLAGS value.
+    b.i("mov r64, imm64", {PB::gpr(RAX), PB::imm(1)});
+    b.i("mov r64, imm64", {PB::gpr(RBX), PB::imm(2)});
+    b.i("test r64, r64", {PB::gpr(RAX), PB::gpr(RAX)});
+    return b.build();
+}
+
+/** Same shape, but the chain's result survives to the end. */
+TestProgram
+liveChainProgram()
+{
+    PB b("livechain");
+    b.setGpr(RAX, 7);
+    b.setGpr(RBX, 9);
+    for (int i = 0; i < 300; ++i) {
+        b.i("add r64, r64", {PB::gpr(RBX), PB::gpr(RAX)});
+        b.i("add r64, r64", {PB::gpr(RAX), PB::gpr(RBX)});
+    }
+    return b.build();
+}
+
+} // namespace
+
+TEST(TrueAce, DeadChainsEarnLessThanLiveChains)
+{
+    // Both programs share the same parked-register coverage floor
+    // (~16 live architectural values of 128 physical registers); the
+    // dead chain must earn strictly less on top of it.
+    const double dead = trueAceOf(deadChainProgram());
+    const double live = trueAceOf(liveChainProgram());
+    EXPECT_LT(dead + 0.005, live);
+}
+
+TEST(TrueAce, IntervalAnalysisOverestimatesDeadChains)
+{
+    // The classic interval analysis cannot see transitive deadness:
+    // it credits the dead chain's reads even though no fault there
+    // can ever surface.
+    const auto program = deadChainProgram();
+    EXPECT_LT(trueAceOf(program) + 0.005, intervalAceOf(program));
+}
+
+TEST(TrueAce, AgreesWithIntervalOnFullyLivePrograms)
+{
+    // When every computed value survives, the two analyses should
+    // roughly agree (true ACE is never higher).
+    const auto program = liveChainProgram();
+    const double refined = trueAceOf(program);
+    const double classic = intervalAceOf(program);
+    EXPECT_LE(refined, classic + 1e-9);
+    EXPECT_GT(refined, classic * 0.5);
+}
+
+TEST(TrueAce, StoresAreLiveSinks)
+{
+    PB b("storesink");
+    b.addRegion(0x10000, 4096);
+    b.setGpr(RSI, 0x10000);
+    b.setGpr(RAX, 3);
+    for (int i = 0; i < 100; ++i) {
+        b.i("add r64, r64", {PB::gpr(RAX), PB::gpr(RAX)});
+        b.i("mov m64, r64", {PB::mem(RSI, (i * 8) % 2048),
+                             PB::gpr(RAX)});
+    }
+    // Overwrite RAX at the end: the chain still mattered via stores.
+    b.i("mov r64, imm64", {PB::gpr(RAX), PB::imm(0)});
+    const double cov = trueAceOf(b.build());
+    EXPECT_GT(cov, 0.01);
+}
+
+TEST(TrueAce, TracksMeasuredDetection)
+{
+    // On a propagating program, the refined metric must sit near the
+    // measured detection capability (the paper's crux correlation).
+    const auto program = liveChainProgram();
+    const double cov = trueAceOf(program);
+
+    faultsim::CampaignConfig camp = faultsim::CampaignConfig::forTarget(
+        TargetStructure::IntRegFile);
+    camp.numInjections = 300;
+    camp.seed = 3;
+    const auto r = faultsim::FaultCampaign::run(program, camp);
+    ASSERT_TRUE(r.goldenOk);
+    EXPECT_NEAR(cov, r.detection(), 0.08);
+}
+
+TEST(TrueAce, ZeroForEmptyProgram)
+{
+    PB b("empty");
+    EXPECT_EQ(trueAceOf(b.build()), 0.0);
+}
+
+TEST(TrueAce, WrongPathWorkEarnsNothing)
+{
+    // A predictable branch skips a block that the cold predictor may
+    // execute on the wrong path; squashed work must not add coverage
+    // relative to the same program without the wrong-path block.
+    PB b("wrongpath");
+    b.setGpr(RAX, 1);
+    b.setGpr(RBX, 5);
+    b.i("cmp r64, imm32", {PB::gpr(RAX), PB::imm(1)});
+    auto skip = b.newLabel();
+    b.br("je rel32", skip);
+    for (int i = 0; i < 20; ++i)
+        b.i("add r64, r64", {PB::gpr(RBX), PB::gpr(RBX)});
+    b.bind(skip);
+    for (int i = 0; i < 50; ++i)
+        b.i("add r64, r64", {PB::gpr(RCX), PB::gpr(RBX)});
+    const double cov = trueAceOf(b.build());
+    EXPECT_GT(cov, 0.0);
+    EXPECT_LT(cov, 1.0);
+}

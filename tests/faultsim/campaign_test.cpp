@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hh"
+#include "faultsim/campaign.hh"
+#include "isa/builder.hh"
+#include "isa/registers.hh"
+#include "museqgen/museqgen.hh"
+
+using namespace harpo;
+using namespace harpo::faultsim;
+using namespace harpo::isa;
+using coverage::TargetStructure;
+using PB = ProgramBuilder;
+
+namespace
+{
+
+/** An adder-saturating program with results propagated to output. */
+TestProgram
+addChain(int n = 300)
+{
+    PB b("addchain");
+    b.setGpr(RAX, 0x0123456789ABCDEFull);
+    b.setGpr(RBX, 0xFEDCBA9876543210ull);
+    for (int i = 0; i < n; ++i) {
+        b.i("add r64, r64", {PB::gpr(RAX), PB::gpr(RBX)});
+        b.i("adc r64, imm32", {PB::gpr(RBX), PB::imm(i)});
+    }
+    return b.build();
+}
+
+} // namespace
+
+TEST(FaultCampaign, CountsAreConsistent)
+{
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::IntRegFile);
+    cfg.numInjections = 60;
+    const CampaignResult r = FaultCampaign::run(addChain(), cfg);
+    EXPECT_TRUE(r.goldenOk);
+    EXPECT_EQ(r.total(), 60u);
+    EXPECT_GE(r.detection(), 0.0);
+    EXPECT_LE(r.detection(), 1.0);
+}
+
+TEST(FaultCampaign, DeterministicForEqualSeeds)
+{
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::IntAdder);
+    cfg.numInjections = 40;
+    cfg.seed = 99;
+    const auto program = addChain(100);
+    const CampaignResult a = FaultCampaign::run(program, cfg);
+    const CampaignResult b = FaultCampaign::run(program, cfg);
+    EXPECT_EQ(a.sdc, b.sdc);
+    EXPECT_EQ(a.crash, b.crash);
+    EXPECT_EQ(a.masked, b.masked);
+    EXPECT_EQ(a.hang, b.hang);
+}
+
+TEST(FaultCampaign, GateFaultsInExercisedAdderAreDetected)
+{
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::IntAdder);
+    cfg.numInjections = 80;
+    const CampaignResult r = FaultCampaign::run(addChain(), cfg);
+    ASSERT_TRUE(r.goldenOk);
+    // A long dependent add chain with wide operands feeding the output
+    // signature must detect a sizable share of stuck-at faults.
+    EXPECT_GT(r.detection(), 0.3);
+}
+
+TEST(FaultCampaign, UnusedUnitFaultsAreAllMasked)
+{
+    // The add chain never multiplies: every multiplier gate fault is
+    // architecturally invisible.
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::IntMultiplier);
+    cfg.numInjections = 40;
+    const CampaignResult r = FaultCampaign::run(addChain(100), cfg);
+    ASSERT_TRUE(r.goldenOk);
+    EXPECT_EQ(r.detection(), 0.0);
+    EXPECT_EQ(r.masked, 40u);
+}
+
+TEST(FaultCampaign, FpUnitFaultsDetectedByFpProgram)
+{
+    // Stream diverse in-range operands from memory through the FP
+    // units and fold every result into an integer checksum, so no
+    // saturation (Inf/NaN fixpoints) can mask later faults.
+    PB b("fpstream");
+    b.addRegion(0x100000, 8192);
+    {
+        harpo::Rng rng(0x77);
+        std::vector<std::uint64_t> data(512);
+        for (auto &v : data) {
+            const double d = 0.5 + rng.uniform() * 1.5;
+            std::memcpy(&v, &d, sizeof(v));
+        }
+        b.initMemQwords(0x100000, data);
+    }
+    b.setGpr(RSI, 0x100000);
+    b.setGpr(R15, 0);
+    for (int i = 0; i < 150; ++i) {
+        const int off1 = (i * 8) % 4096;
+        const int off2 = ((i * 24) + 8) % 4096;
+        b.i("movsd xmm, m64", {PB::xmm(0), PB::mem(RSI, off1)});
+        b.i("addsd xmm, m64", {PB::xmm(0), PB::mem(RSI, off2)});
+        b.i("mulsd xmm, m64", {PB::xmm(0), PB::mem(RSI, off1)});
+        b.i("movq r64, xmm", {PB::gpr(RAX), PB::xmm(0)});
+        b.i("xor r64, r64", {PB::gpr(R15), PB::gpr(RAX)});
+        b.i("rol r64, imm8", {PB::gpr(R15), PB::imm(1)});
+    }
+    const auto program = b.build();
+
+    for (auto target :
+         {TargetStructure::FpAdder, TargetStructure::FpMultiplier}) {
+        CampaignConfig cfg = CampaignConfig::forTarget(target);
+        cfg.numInjections = 60;
+        const CampaignResult r = FaultCampaign::run(program, cfg);
+        ASSERT_TRUE(r.goldenOk) << coverage::structureName(target);
+        EXPECT_GT(r.detection(), 0.1)
+            << coverage::structureName(target);
+    }
+}
+
+TEST(FaultCampaign, TransientPrfFaultsOnLiveDataCauseSdc)
+{
+    // Live long-resident values: many transient PRF flips land on
+    // architecturally required bits and surface as SDCs.
+    PB b("liveregs");
+    for (int r = 0; r < 14; ++r) {
+        const int reg = r == RSP ? R14 : r;
+        b.setGpr(reg, 0x1111111111111111ull * (r + 1));
+    }
+    for (int i = 0; i < 500; ++i)
+        b.i("nop");
+    for (int r = 0; r < 8; ++r)
+        b.i("xor r64, r64", {PB::gpr(R15), PB::gpr(r == RSP ? R14 : r)});
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::IntRegFile);
+    cfg.numInjections = 120;
+    const CampaignResult r = FaultCampaign::run(b.build(), cfg);
+    ASSERT_TRUE(r.goldenOk);
+    EXPECT_GT(r.sdc, 0u);
+}
+
+TEST(FaultCampaign, CacheFaultsOnResidentDataDetected)
+{
+    // Fill the whole cache with data that is later read back out.
+    PB b("cachefill");
+    b.addRegion(0x100000, 32 * 1024);
+    b.setGpr(RSI, 0x100000);
+    b.setGpr(RAX, 0xABCDEF);
+    // Touch every line (fills), then re-read and accumulate.
+    b.i("mov r64, r64", {PB::gpr(RBX), PB::gpr(RSI)});
+    b.i("mov r64, imm64", {PB::gpr(RCX), PB::imm(512)});
+    auto fill = b.here();
+    b.i("mov m64, r64", {PB::mem(RBX), PB::gpr(RAX)});
+    b.i("add r64, imm32", {PB::gpr(RBX), PB::imm(64)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", fill);
+    b.i("mov r64, r64", {PB::gpr(RBX), PB::gpr(RSI)});
+    b.i("mov r64, imm64", {PB::gpr(RCX), PB::imm(512)});
+    auto readback = b.here();
+    b.i("add r64, m64", {PB::gpr(RDX), PB::mem(RBX)});
+    b.i("add r64, imm32", {PB::gpr(RBX), PB::imm(64)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", readback);
+
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::L1DCache);
+    cfg.numInjections = 150;
+    const CampaignResult r = FaultCampaign::run(b.build(), cfg);
+    ASSERT_TRUE(r.goldenOk);
+    EXPECT_GT(r.detection(), 0.0);
+}
+
+TEST(FaultCampaign, EmptyishProgramMasksAlmostEverything)
+{
+    PB b("idle");
+    for (int i = 0; i < 50; ++i)
+        b.i("nop");
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::IntRegFile);
+    cfg.numInjections = 80;
+    const CampaignResult r = FaultCampaign::run(b.build(), cfg);
+    ASSERT_TRUE(r.goldenOk);
+    // NOPs read nothing; only flips landing in the 17 live mapped
+    // registers (of 128) can surface.
+    EXPECT_LT(r.detection(), 0.35);
+}
+
+TEST(FaultCampaign, CrashingGoldenRunIsRejected)
+{
+    PB b("crash");
+    b.setGpr(RSI, 0xBAD00000);
+    b.i("mov r64, m64", {PB::gpr(RAX), PB::mem(RSI)});
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::IntRegFile);
+    cfg.numInjections = 10;
+    const CampaignResult r = FaultCampaign::run(b.build(), cfg);
+    EXPECT_FALSE(r.goldenOk);
+    EXPECT_EQ(r.total(), 0u);
+}
+
+TEST(FaultCampaign, IntermittentAndPermanentStorageFaultsSupported)
+{
+    const auto program = addChain(150);
+    for (auto type : {FaultType::Intermittent, FaultType::Permanent}) {
+        CampaignConfig cfg =
+            CampaignConfig::forTarget(TargetStructure::IntRegFile);
+        cfg.faultType = type;
+        cfg.numInjections = 50;
+        const CampaignResult r = FaultCampaign::run(program, cfg);
+        ASSERT_TRUE(r.goldenOk);
+        EXPECT_EQ(r.total(), 50u);
+    }
+}
+
+TEST(FaultCampaign, PermanentDetectsAtLeastAsMuchAsTransient)
+{
+    // Permanent faults persist for the whole run, so on the same
+    // program they are strictly easier to detect than transients —
+    // the fault-type containment of paper Fig. 2.
+    const auto program = addChain(200);
+    CampaignConfig trans =
+        CampaignConfig::forTarget(TargetStructure::IntRegFile);
+    trans.numInjections = 150;
+    CampaignConfig perm = trans;
+    perm.faultType = FaultType::Permanent;
+    const double dTrans =
+        FaultCampaign::run(program, trans).detection();
+    const double dPerm = FaultCampaign::run(program, perm).detection();
+    EXPECT_GE(dPerm + 0.05, dTrans);
+}

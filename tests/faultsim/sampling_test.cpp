@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Properties of the statistical fault sampler: uniform coverage of
+ * the fault universe, range validity, determinism, and the
+ * structure-appropriate default fault models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "faultsim/campaign.hh"
+#include "gates/fu_library.hh"
+
+using namespace harpo;
+using namespace harpo::faultsim;
+using coverage::TargetStructure;
+
+TEST(FaultSampling, PrfFaultsStayInRange)
+{
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::IntRegFile);
+    cfg.numInjections = 500;
+    const auto faults = FaultCampaign::sampleFaults(cfg, 10000);
+    ASSERT_EQ(faults.size(), 500u);
+    for (const auto &f : faults) {
+        EXPECT_LT(f.location, cfg.core.numIntPhysRegs);
+        EXPECT_LT(f.bit, 64);
+        EXPECT_LT(f.cycle, 10000u);
+        EXPECT_EQ(f.type, FaultType::Transient);
+    }
+}
+
+TEST(FaultSampling, CacheFaultsStayInRange)
+{
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::L1DCache);
+    cfg.numInjections = 500;
+    const auto faults = FaultCampaign::sampleFaults(cfg, 5000);
+    for (const auto &f : faults) {
+        EXPECT_LT(f.location, cfg.core.l1d.size);
+        EXPECT_LT(f.bit, 8);
+        EXPECT_LT(f.cycle, 5000u);
+    }
+}
+
+TEST(FaultSampling, GateFaultsComeFromLogicGates)
+{
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::FpAdder);
+    cfg.numInjections = 300;
+    const auto faults = FaultCampaign::sampleFaults(cfg, 1000);
+    const auto &logicGates = gates::FuLibrary::instance()
+                                 .fpAdder()
+                                 .netlist()
+                                 .logicGates();
+    const std::set<gates::Netlist::NodeId> valid(logicGates.begin(),
+                                                 logicGates.end());
+    for (const auto &f : faults) {
+        EXPECT_EQ(f.type, FaultType::GateStuckAt);
+        EXPECT_TRUE(valid.count(
+            static_cast<gates::Netlist::NodeId>(f.gate)))
+            << f.gate;
+    }
+}
+
+TEST(FaultSampling, SamplingIsUniformishOverCycles)
+{
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::IntRegFile);
+    cfg.numInjections = 4000;
+    const auto faults = FaultCampaign::sampleFaults(cfg, 1000);
+    int firstHalf = 0;
+    for (const auto &f : faults)
+        firstHalf += f.cycle < 500;
+    EXPECT_GT(firstHalf, 1800);
+    EXPECT_LT(firstHalf, 2200);
+}
+
+TEST(FaultSampling, BothStuckPolaritiesSampled)
+{
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::IntAdder);
+    cfg.numInjections = 200;
+    const auto faults = FaultCampaign::sampleFaults(cfg, 100);
+    int stuck1 = 0;
+    for (const auto &f : faults)
+        stuck1 += f.stuckValue;
+    EXPECT_GT(stuck1, 50);
+    EXPECT_LT(stuck1, 150);
+}
+
+TEST(FaultSampling, DeterministicPerSeed)
+{
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::L1DCache);
+    cfg.numInjections = 100;
+    cfg.seed = 77;
+    const auto a = FaultCampaign::sampleFaults(cfg, 1234);
+    const auto b = FaultCampaign::sampleFaults(cfg, 1234);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].location, b[i].location);
+        EXPECT_EQ(a[i].bit, b[i].bit);
+        EXPECT_EQ(a[i].cycle, b[i].cycle);
+    }
+    cfg.seed = 78;
+    const auto c = FaultCampaign::sampleFaults(cfg, 1234);
+    int same = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        same += a[i].location == c[i].location &&
+                a[i].cycle == c[i].cycle;
+    EXPECT_LT(same, 10);
+}
+
+TEST(FaultSampling, IntermittentWindowsApplied)
+{
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::IntRegFile);
+    cfg.faultType = FaultType::Intermittent;
+    cfg.intermittentWindow = 333;
+    cfg.numInjections = 50;
+    const auto faults = FaultCampaign::sampleFaults(cfg, 2000);
+    for (const auto &f : faults) {
+        EXPECT_EQ(f.type, FaultType::Intermittent);
+        EXPECT_EQ(f.endCycle, f.cycle + 333);
+    }
+}

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Bit-exact equivalence of the gate-level functional units against the
+ * functional datapath models, plus stuck-at fault behaviour sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.hh"
+#include "common/softfloat.hh"
+#include "gates/fu_library.hh"
+
+using namespace harpo;
+using namespace harpo::gates;
+
+namespace
+{
+
+std::uint64_t
+bits(double d)
+{
+    std::uint64_t b;
+    std::memcpy(&b, &d, sizeof(b));
+    return b;
+}
+
+/** Random fp64 with full random exponent (incl. specials sometimes). */
+std::uint64_t
+randomFp(Rng &rng)
+{
+    switch (rng.below(8)) {
+      case 0:
+        return rng.next(); // anything, incl. NaN/Inf/subnormals
+      case 1:
+        return bits(0.0);
+      case 2:
+        return bits(-0.0);
+      case 3:
+        return bits(INFINITY);
+      default: {
+        const std::uint64_t sign = rng.next() & 0x8000000000000000ull;
+        const std::uint64_t exp = (1 + rng.below(2045)) << 52;
+        return sign | exp | (rng.next() & 0xFFFFFFFFFFFFFull);
+      }
+    }
+}
+
+} // namespace
+
+TEST(IntAdderCircuit, MatchesWideAdd)
+{
+    const auto &adder = FuLibrary::instance().intAdder();
+    Rng rng(1);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t a = rng.next();
+        const std::uint64_t b = rng.next();
+        const bool cin = rng.chance(0.5);
+        const auto res = adder.compute(a, b, cin);
+        const unsigned __int128 wide =
+            static_cast<unsigned __int128>(a) + b + (cin ? 1 : 0);
+        EXPECT_EQ(res.sum, static_cast<std::uint64_t>(wide));
+        EXPECT_EQ(res.carryOut, (wide >> 64) != 0);
+    }
+}
+
+TEST(IntAdderCircuit, EdgeValues)
+{
+    const auto &adder = FuLibrary::instance().intAdder();
+    const std::uint64_t vals[] = {0, 1, ~0ull, 0x8000000000000000ull,
+                                  0x7FFFFFFFFFFFFFFFull};
+    for (auto a : vals) {
+        for (auto b : vals) {
+            for (bool cin : {false, true}) {
+                const auto res = adder.compute(a, b, cin);
+                const unsigned __int128 wide =
+                    static_cast<unsigned __int128>(a) + b + (cin ? 1 : 0);
+                EXPECT_EQ(res.sum, static_cast<std::uint64_t>(wide));
+                EXPECT_EQ(res.carryOut, (wide >> 64) != 0);
+            }
+        }
+    }
+}
+
+TEST(IntAdderCircuit, StuckFaultChangesSomeResults)
+{
+    const auto &adder = FuLibrary::instance().intAdder();
+    const auto &gatesList = adder.netlist().logicGates();
+    ASSERT_FALSE(gatesList.empty());
+    // A stuck-at fault must corrupt at least one of a few additions
+    // (the fault is on a live gate for some input pattern).
+    Rng rng(2);
+    int corrupting = 0;
+    for (int f = 0; f < 50; ++f) {
+        const auto gate = gatesList[rng.below(gatesList.size())];
+        const bool stuck = rng.chance(0.5);
+        for (int i = 0; i < 20; ++i) {
+            const std::uint64_t a = rng.next();
+            const std::uint64_t b = rng.next();
+            const auto good = adder.compute(a, b, false);
+            const auto bad = adder.compute(a, b, false, gate, stuck);
+            if (good.sum != bad.sum || good.carryOut != bad.carryOut) {
+                ++corrupting;
+                break;
+            }
+        }
+    }
+    EXPECT_GT(corrupting, 25);
+}
+
+TEST(IntMultiplierCircuit, MatchesWideMul)
+{
+    const auto &mul = FuLibrary::instance().intMultiplier();
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t a = rng.next();
+        const std::uint64_t b = rng.next();
+        const auto res = mul.compute(a, b);
+        const unsigned __int128 wide =
+            static_cast<unsigned __int128>(a) * b;
+        EXPECT_EQ(res.lo, static_cast<std::uint64_t>(wide));
+        EXPECT_EQ(res.hi, static_cast<std::uint64_t>(wide >> 64));
+    }
+}
+
+TEST(IntMultiplierCircuit, EdgeValues)
+{
+    const auto &mul = FuLibrary::instance().intMultiplier();
+    const std::uint64_t vals[] = {0, 1, 2, ~0ull, 0x8000000000000000ull,
+                                  0xFFFFFFFFull};
+    for (auto a : vals) {
+        for (auto b : vals) {
+            const auto res = mul.compute(a, b);
+            const unsigned __int128 wide =
+                static_cast<unsigned __int128>(a) * b;
+            EXPECT_EQ(res.lo, static_cast<std::uint64_t>(wide));
+            EXPECT_EQ(res.hi, static_cast<std::uint64_t>(wide >> 64));
+        }
+    }
+}
+
+TEST(FpAdderCircuit, MatchesSoftFloat)
+{
+    const auto &fpa = FuLibrary::instance().fpAdder();
+    Rng rng(4);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t a = randomFp(rng);
+        const std::uint64_t b = randomFp(rng);
+        EXPECT_EQ(fpa.compute(a, b), softAdd64(a, b))
+            << std::hex << "a=" << a << " b=" << b;
+    }
+}
+
+TEST(FpAdderCircuit, CloseMagnitudeCancellation)
+{
+    const auto &fpa = FuLibrary::instance().fpAdder();
+    Rng rng(5);
+    // Stress the subtract path: operands with equal/adjacent exponents
+    // and opposite signs (massive cancellation, LZC normalisation).
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t exp = (1000 + rng.below(3)) << 52;
+        const std::uint64_t a = exp | (rng.next() & 0xFFFFFFFFFFFFFull);
+        const std::uint64_t b = 0x8000000000000000ull |
+                                ((exp >> 52) + rng.below(2) - 1) << 52 |
+                                (rng.next() & 0xFFFFFFFFFFFFFull);
+        EXPECT_EQ(fpa.compute(a, b), softAdd64(a, b))
+            << std::hex << "a=" << a << " b=" << b;
+    }
+}
+
+TEST(FpAdderCircuit, SpecialOperands)
+{
+    const auto &fpa = FuLibrary::instance().fpAdder();
+    const std::uint64_t specials[] = {
+        bits(0.0), bits(-0.0), bits(INFINITY), bits(-INFINITY),
+        bits(NAN), kCanonicalNan, 1 /* subnormal */, bits(1.0),
+        bits(-1.0), bits(1e308), bits(-1e308), bits(5e-324),
+    };
+    for (auto a : specials)
+        for (auto b : specials)
+            EXPECT_EQ(fpa.compute(a, b), softAdd64(a, b))
+                << std::hex << "a=" << a << " b=" << b;
+}
+
+TEST(FpMultiplierCircuit, MatchesSoftFloat)
+{
+    const auto &fpm = FuLibrary::instance().fpMultiplier();
+    Rng rng(6);
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t a = randomFp(rng);
+        const std::uint64_t b = randomFp(rng);
+        EXPECT_EQ(fpm.compute(a, b), softMul64(a, b))
+            << std::hex << "a=" << a << " b=" << b;
+    }
+}
+
+TEST(FpMultiplierCircuit, SpecialOperands)
+{
+    const auto &fpm = FuLibrary::instance().fpMultiplier();
+    const std::uint64_t specials[] = {
+        bits(0.0), bits(-0.0), bits(INFINITY), bits(-INFINITY),
+        bits(NAN), 1, bits(1.0), bits(2.0), bits(0.5), bits(1e308),
+        bits(1e-308), bits(-3.25),
+    };
+    for (auto a : specials)
+        for (auto b : specials)
+            EXPECT_EQ(fpm.compute(a, b), softMul64(a, b))
+                << std::hex << "a=" << a << " b=" << b;
+}
+
+TEST(FpMultiplierCircuit, OverflowAndUnderflowBoundaries)
+{
+    const auto &fpm = FuLibrary::instance().fpMultiplier();
+    Rng rng(7);
+    for (int i = 0; i < 5000; ++i) {
+        // Exponents near the limits so products overflow or flush.
+        const std::uint64_t expA =
+            (rng.chance(0.5) ? 1 + rng.below(80)
+                             : 1966 + rng.below(80))
+            << 52;
+        const std::uint64_t expB =
+            (rng.chance(0.5) ? 1 + rng.below(80)
+                             : 1966 + rng.below(80))
+            << 52;
+        const std::uint64_t a =
+            (rng.next() & 0x800FFFFFFFFFFFFFull) | expA;
+        const std::uint64_t b =
+            (rng.next() & 0x800FFFFFFFFFFFFFull) | expB;
+        EXPECT_EQ(fpm.compute(a, b), softMul64(a, b))
+            << std::hex << "a=" << a << " b=" << b;
+    }
+}
+
+TEST(FuLibrary, NetlistSizesAreSubstantial)
+{
+    const auto &lib = FuLibrary::instance();
+    // Structural sanity: these are real circuits, not behavioural stubs.
+    EXPECT_GT(lib.intAdder().netlist().logicGates().size(), 500u);
+    EXPECT_GT(lib.intMultiplier().netlist().logicGates().size(), 10000u);
+    EXPECT_GT(lib.fpAdder().netlist().logicGates().size(), 2000u);
+    EXPECT_GT(lib.fpMultiplier().netlist().logicGates().size(), 8000u);
+}
+
+TEST(FuLibrary, NetlistForMapsCircuits)
+{
+    const auto &lib = FuLibrary::instance();
+    EXPECT_EQ(&lib.netlistFor(harpo::isa::FuCircuit::IntAdd),
+              &lib.intAdder().netlist());
+    EXPECT_EQ(&lib.netlistFor(harpo::isa::FuCircuit::FpMul),
+              &lib.fpMultiplier().netlist());
+}

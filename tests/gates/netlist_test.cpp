@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "gates/circuit_builder.hh"
+#include "gates/netlist.hh"
+
+using namespace harpo::gates;
+
+namespace
+{
+
+std::uint8_t
+eval1(const Netlist &nl, std::initializer_list<std::uint8_t> in)
+{
+    std::vector<std::uint8_t> inputs(in);
+    std::vector<std::uint8_t> outputs, scratch;
+    nl.evaluate(inputs, outputs, Netlist::noFault, false, scratch);
+    return outputs.at(0);
+}
+
+} // namespace
+
+TEST(Netlist, BasicGateTruthTables)
+{
+    for (auto [kind, a, b, expect] : {
+             std::tuple{GateKind::And, 1, 1, 1},
+             std::tuple{GateKind::And, 1, 0, 0},
+             std::tuple{GateKind::Or, 0, 0, 0},
+             std::tuple{GateKind::Or, 0, 1, 1},
+             std::tuple{GateKind::Xor, 1, 1, 0},
+             std::tuple{GateKind::Xor, 1, 0, 1},
+             std::tuple{GateKind::Nand, 1, 1, 0},
+             std::tuple{GateKind::Nor, 0, 0, 1},
+             std::tuple{GateKind::Xnor, 1, 1, 1},
+         }) {
+        Netlist nl;
+        const auto ia = nl.addInput();
+        const auto ib = nl.addInput();
+        nl.markOutput(nl.binary(kind, ia, ib));
+        EXPECT_EQ(eval1(nl, {static_cast<std::uint8_t>(a),
+                             static_cast<std::uint8_t>(b)}),
+                  expect);
+    }
+}
+
+TEST(Netlist, NotAndBuf)
+{
+    Netlist nl;
+    const auto in = nl.addInput();
+    nl.markOutput(nl.unary(GateKind::Not, in));
+    nl.markOutput(nl.unary(GateKind::Buf, in));
+    std::vector<std::uint8_t> outputs, scratch;
+    nl.evaluate({1}, outputs, Netlist::noFault, false, scratch);
+    EXPECT_EQ(outputs[0], 0);
+    EXPECT_EQ(outputs[1], 1);
+}
+
+TEST(Netlist, StuckAtFaultForcesGateOutput)
+{
+    Netlist nl;
+    const auto a = nl.addInput();
+    const auto b = nl.addInput();
+    const auto g = nl.binary(GateKind::And, a, b);
+    nl.markOutput(g);
+    std::vector<std::uint8_t> outputs, scratch;
+    // Fault-free: 1 AND 1 = 1.
+    nl.evaluate({1, 1}, outputs, Netlist::noFault, false, scratch);
+    EXPECT_EQ(outputs[0], 1);
+    // Stuck-at-0 on the AND output.
+    nl.evaluate({1, 1}, outputs, g, false, scratch);
+    EXPECT_EQ(outputs[0], 0);
+    // Stuck-at-1 with inputs 0,0.
+    nl.evaluate({0, 0}, outputs, g, true, scratch);
+    EXPECT_EQ(outputs[0], 1);
+}
+
+TEST(Netlist, StuckFaultPropagatesDownstream)
+{
+    Netlist nl;
+    const auto a = nl.addInput();
+    const auto inv = nl.unary(GateKind::Not, a);
+    const auto out = nl.unary(GateKind::Not, inv);
+    nl.markOutput(out);
+    std::vector<std::uint8_t> outputs, scratch;
+    nl.evaluate({1}, outputs, inv, true, scratch);
+    EXPECT_EQ(outputs[0], 0); // forced 1 at inv -> 0 at out
+}
+
+TEST(Netlist, LogicGatesExcludeInputsAndConstants)
+{
+    Netlist nl;
+    nl.addInput();
+    nl.constant(true);
+    const auto a = nl.addInput();
+    const auto g = nl.unary(GateKind::Buf, a);
+    nl.markOutput(g);
+    ASSERT_EQ(nl.logicGates().size(), 1u);
+    EXPECT_EQ(nl.logicGates()[0], g);
+}
+
+TEST(CircuitBuilderOps, RippleAndKoggeStoneAgree)
+{
+    Netlist nl;
+    CircuitBuilder cb(nl);
+    const Bus a = cb.inputBus(16);
+    const Bus b = cb.inputBus(16);
+    const auto cin = nl.addInput();
+    const auto ks = cb.koggeStoneAdd(a, b, cin);
+    const auto rc = cb.rippleAdd(a, b, cin);
+    cb.markOutput(ks.sum);
+    nl.markOutput(ks.carryOut);
+    cb.markOutput(rc.sum);
+    nl.markOutput(rc.carryOut);
+
+    std::vector<std::uint8_t> outputs, scratch;
+    for (std::uint32_t trial = 0; trial < 3000; ++trial) {
+        const std::uint32_t av = trial * 2654435761u & 0xFFFF;
+        const std::uint32_t bv = (trial * 40503u + 77) & 0xFFFF;
+        const std::uint32_t c = trial & 1;
+        std::vector<std::uint8_t> inputs;
+        for (int i = 0; i < 16; ++i)
+            inputs.push_back((av >> i) & 1);
+        for (int i = 0; i < 16; ++i)
+            inputs.push_back((bv >> i) & 1);
+        inputs.push_back(static_cast<std::uint8_t>(c));
+        nl.evaluate(inputs, outputs, Netlist::noFault, false, scratch);
+        std::uint32_t ksSum = 0, rcSum = 0;
+        for (int i = 0; i < 16; ++i) {
+            ksSum |= static_cast<std::uint32_t>(outputs[i]) << i;
+            rcSum |= static_cast<std::uint32_t>(outputs[17 + i]) << i;
+        }
+        const std::uint32_t expect = (av + bv + c) & 0xFFFF;
+        const std::uint32_t carry = (av + bv + c) >> 16;
+        EXPECT_EQ(ksSum, expect);
+        EXPECT_EQ(outputs[16], carry);
+        EXPECT_EQ(rcSum, expect);
+        EXPECT_EQ(outputs[33], carry);
+    }
+}
+
+TEST(CircuitBuilderOps, MultiplySmall)
+{
+    Netlist nl;
+    CircuitBuilder cb(nl);
+    const Bus a = cb.inputBus(8);
+    const Bus b = cb.inputBus(8);
+    cb.markOutput(cb.multiply(a, b));
+    std::vector<std::uint8_t> outputs, scratch;
+    for (unsigned av = 0; av < 256; av += 7) {
+        for (unsigned bv = 0; bv < 256; bv += 11) {
+            std::vector<std::uint8_t> inputs;
+            for (int i = 0; i < 8; ++i)
+                inputs.push_back((av >> i) & 1);
+            for (int i = 0; i < 8; ++i)
+                inputs.push_back((bv >> i) & 1);
+            nl.evaluate(inputs, outputs, Netlist::noFault, false,
+                        scratch);
+            unsigned got = 0;
+            for (int i = 0; i < 16; ++i)
+                got |= static_cast<unsigned>(outputs[i]) << i;
+            EXPECT_EQ(got, av * bv);
+        }
+    }
+}
+
+TEST(CircuitBuilderOps, ShiftRightStickyJams)
+{
+    Netlist nl;
+    CircuitBuilder cb(nl);
+    const Bus v = cb.inputBus(16);
+    const Bus amt = cb.inputBus(4);
+    auto sh = cb.shiftRightSticky(v, amt);
+    cb.markOutput(sh.value);
+    nl.markOutput(sh.sticky);
+    std::vector<std::uint8_t> outputs, scratch;
+    for (unsigned value : {0x8001u, 0xFFFFu, 0x0010u, 0x0000u}) {
+        for (unsigned amount = 0; amount < 16; ++amount) {
+            std::vector<std::uint8_t> inputs;
+            for (int i = 0; i < 16; ++i)
+                inputs.push_back((value >> i) & 1);
+            for (int i = 0; i < 4; ++i)
+                inputs.push_back((amount >> i) & 1);
+            nl.evaluate(inputs, outputs, Netlist::noFault, false,
+                        scratch);
+            unsigned got = 0;
+            for (int i = 0; i < 16; ++i)
+                got |= static_cast<unsigned>(outputs[i]) << i;
+            const unsigned lost = value & ((1u << amount) - 1);
+            EXPECT_EQ(got, value >> amount)
+                << value << ">>" << amount;
+            EXPECT_EQ(outputs[16], lost != 0 ? 1 : 0);
+        }
+    }
+}
+
+TEST(CircuitBuilderOps, LeadingZeroCount)
+{
+    Netlist nl;
+    CircuitBuilder cb(nl);
+    const Bus v = cb.inputBus(16);
+    cb.markOutput(cb.leadingZeroCount(v));
+    std::vector<std::uint8_t> outputs, scratch;
+    for (unsigned value : {0x8000u, 0x4000u, 0x0001u, 0x00FFu, 0x0000u,
+                           0x1234u}) {
+        std::vector<std::uint8_t> inputs;
+        for (int i = 0; i < 16; ++i)
+            inputs.push_back((value >> i) & 1);
+        nl.evaluate(inputs, outputs, Netlist::noFault, false, scratch);
+        unsigned got = 0;
+        for (std::size_t i = 0; i < outputs.size(); ++i)
+            got |= static_cast<unsigned>(outputs[i]) << i;
+        unsigned expect = 0;
+        for (int i = 15; i >= 0 && !((value >> i) & 1); --i)
+            ++expect;
+        EXPECT_EQ(got, expect) << "value=" << value;
+    }
+}

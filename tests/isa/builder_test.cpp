@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "isa/emulator.hh"
+#include "isa/isa_table.hh"
+#include "isa/registers.hh"
+
+using namespace harpo::isa;
+using PB = ProgramBuilder;
+
+TEST(Builder, EmitsInstructionsInOrder)
+{
+    PB b("order");
+    b.i("nop");
+    b.i("inc r64", {PB::gpr(RAX)});
+    b.i("nop");
+    auto p = b.build();
+    ASSERT_EQ(p.code.size(), 3u);
+    EXPECT_EQ(isaTable().desc(p.code[0].descId).op, Op::Nop);
+    EXPECT_EQ(isaTable().desc(p.code[1].descId).op, Op::Inc);
+}
+
+TEST(Builder, BackwardLabelResolves)
+{
+    PB b("back");
+    b.i("nop");
+    auto top = b.here();
+    b.i("nop");
+    b.br("jmp rel32", top);
+    auto p = b.build();
+    EXPECT_EQ(p.code[2].branchTarget, 1);
+    // Encoded displacement relative to next instruction.
+    EXPECT_EQ(p.code[2].ops[0].imm, -2);
+}
+
+TEST(Builder, ForwardLabelResolves)
+{
+    PB b("fwd");
+    auto out = b.newLabel();
+    b.br("jmp rel32", out);
+    b.i("nop");
+    b.i("nop");
+    b.bind(out);
+    b.i("nop");
+    auto p = b.build();
+    EXPECT_EQ(p.code[0].branchTarget, 3);
+}
+
+TEST(Builder, DefaultCoreIsWholeProgram)
+{
+    PB b("core");
+    b.i("nop");
+    b.i("nop");
+    auto p = b.build();
+    EXPECT_EQ(p.coreBegin, 0u);
+    EXPECT_EQ(p.coreEnd, 2u);
+}
+
+TEST(Builder, ExplicitCoreMarkers)
+{
+    PB b("roi");
+    b.i("nop"); // init
+    b.coreBegin();
+    b.i("inc r64", {PB::gpr(RAX)});
+    b.i("inc r64", {PB::gpr(RAX)});
+    b.coreEnd();
+    b.i("nop"); // teardown
+    auto p = b.build();
+    EXPECT_EQ(p.coreBegin, 1u);
+    EXPECT_EQ(p.coreEnd, 3u);
+    EXPECT_EQ(p.coreSize(), 2u);
+}
+
+TEST(Builder, StackHelperAlignsRsp)
+{
+    PB b("stack");
+    b.addStack(0x70000, 4096);
+    b.i("push r64", {PB::gpr(RAX)});
+    b.i("pop r64", {PB::gpr(RBX)});
+    auto p = b.build();
+    EXPECT_EQ(p.initGpr[RSP] % 16, 0u);
+    EXPECT_EQ(Emulator().run(p).exit, EmuResult::Exit::Finished);
+}
+
+TEST(Builder, MemInitQwordsLittleEndian)
+{
+    PB b("meminit");
+    b.addRegion(0x5000, 64);
+    b.initMemQwords(0x5000, {0x0102030405060708ull});
+    b.setGpr(RSI, 0x5000);
+    b.i("mov r64, m8", {PB::gpr(RAX), PB::mem(RSI)});
+    Emulator::FinalState fin;
+    Emulator().run(b.build(), Emulator::Options(), &fin);
+    EXPECT_EQ(fin.gpr[RAX], 0x08u); // lowest byte first
+}
+
+TEST(Builder, AbsOperandIsRipRelative)
+{
+    PB b("abs");
+    b.addRegion(0x9000, 64);
+    b.initMemQwords(0x9000, {123});
+    b.i("mov r64, m64", {PB::gpr(RAX), PB::abs(0x9000)});
+    Emulator::FinalState fin;
+    EXPECT_EQ(Emulator().run(b.build(), Emulator::Options(), &fin).exit,
+              EmuResult::Exit::Finished);
+    EXPECT_EQ(fin.gpr[RAX], 123u);
+}

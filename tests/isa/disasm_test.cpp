@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "isa/disasm.hh"
+#include "isa/isa_table.hh"
+#include "isa/registers.hh"
+
+using namespace harpo::isa;
+using PB = ProgramBuilder;
+
+TEST(Disasm, RegisterForms)
+{
+    PB b("d");
+    b.i("add r64, r64", {PB::gpr(RAX), PB::gpr(RBX)});
+    b.i("add r32, r32", {PB::gpr(RCX), PB::gpr(R9)});
+    b.i("mov r64, imm64", {PB::gpr(RDX), PB::imm(0x1234)});
+    auto p = b.build();
+    EXPECT_EQ(disassemble(p.code[0]), "add rax, rbx");
+    EXPECT_EQ(disassemble(p.code[1]), "add ecx, r9d");
+    EXPECT_EQ(disassemble(p.code[2]), "mov rdx, 0x1234");
+}
+
+TEST(Disasm, MemoryForms)
+{
+    PB b("d");
+    b.i("mov r64, m64", {PB::gpr(RAX), PB::mem(RSI, 16)});
+    b.i("mov m64, r64", {PB::mem(RDI), PB::gpr(RBX)});
+    b.i("mov r64, m64", {PB::gpr(RCX), PB::abs(0x9000)});
+    auto p = b.build();
+    EXPECT_EQ(disassemble(p.code[0]), "mov rax, [rsi+16]");
+    EXPECT_EQ(disassemble(p.code[1]), "mov [rdi], rbx");
+    EXPECT_EQ(disassemble(p.code[2]), "mov rcx, [0x9000]");
+}
+
+TEST(Disasm, XmmAndBranchForms)
+{
+    PB b("d");
+    b.i("mulsd xmm, xmm", {PB::xmm(0), PB::xmm(7)});
+    auto top = b.here();
+    b.i("nop");
+    b.br("jne rel32", top);
+    auto p = b.build();
+    EXPECT_EQ(disassemble(p.code[0]), "mulsd xmm0, xmm7");
+    EXPECT_EQ(disassemble(p.code[2]), "jne #1");
+}
+
+TEST(Disasm, WholeProgramHasOneLinePerInstruction)
+{
+    PB b("d");
+    b.i("nop");
+    b.i("inc r64", {PB::gpr(RAX)});
+    const std::string text = disassemble(b.build());
+    EXPECT_NE(text.find("0:  nop"), std::string::npos);
+    EXPECT_NE(text.find("1:  inc rax"), std::string::npos);
+}
+
+TEST(Disasm, EveryVariantDisassemblesNonEmpty)
+{
+    for (const auto &desc : isaTable().all()) {
+        Inst inst;
+        inst.descId = desc.id;
+        for (int i = 0; i < desc.numOperands; ++i)
+            inst.ops[i].kind = desc.operands[i].kind;
+        const std::string text = disassemble(inst);
+        EXPECT_FALSE(text.empty()) << desc.mnemonic;
+        EXPECT_EQ(text.find(' ') != std::string::npos,
+                  desc.numOperands > 0)
+            << desc.mnemonic;
+    }
+}

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "isa/emulator.hh"
+#include "isa/registers.hh"
+
+using namespace harpo::isa;
+
+namespace
+{
+
+using PB = ProgramBuilder;
+
+} // namespace
+
+TEST(Emulator, StraightLineArithmetic)
+{
+    PB b("straight");
+    b.setGpr(RAX, 40);
+    b.i("add r64, imm32", {PB::gpr(RAX), PB::imm(2)});
+    Emulator::FinalState fin;
+    EmuResult r = Emulator().run(b.build(), Emulator::Options(), &fin);
+    EXPECT_EQ(r.exit, EmuResult::Exit::Finished);
+    EXPECT_EQ(r.instsExecuted, 1u);
+    EXPECT_EQ(fin.gpr[RAX], 42u);
+}
+
+TEST(Emulator, BackwardLoopSumsSeries)
+{
+    // sum = 0; for (i = 10; i != 0; --i) sum += i;
+    PB b("loop");
+    b.setGpr(RAX, 0);  // sum
+    b.setGpr(RCX, 10); // i
+    auto top = b.here();
+    b.i("add r64, r64", {PB::gpr(RAX), PB::gpr(RCX)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", top);
+    Emulator::FinalState fin;
+    EmuResult r = Emulator().run(b.build(), Emulator::Options(), &fin);
+    EXPECT_EQ(r.exit, EmuResult::Exit::Finished);
+    EXPECT_EQ(fin.gpr[RAX], 55u);
+    EXPECT_EQ(r.instsExecuted, 30u);
+}
+
+TEST(Emulator, ForwardBranchSkips)
+{
+    PB b("fwd");
+    b.setGpr(RAX, 1);
+    b.i("cmp r64, imm32", {PB::gpr(RAX), PB::imm(1)});
+    auto skip = b.newLabel();
+    b.br("je rel32", skip);
+    b.i("mov r64, imm64", {PB::gpr(RBX), PB::imm(999)});
+    b.bind(skip);
+    b.i("mov r64, imm64", {PB::gpr(RCX), PB::imm(7)});
+    Emulator::FinalState fin;
+    EmuResult r = Emulator().run(b.build(), Emulator::Options(), &fin);
+    EXPECT_EQ(r.exit, EmuResult::Exit::Finished);
+    EXPECT_EQ(fin.gpr[RBX], 0u);
+    EXPECT_EQ(fin.gpr[RCX], 7u);
+}
+
+TEST(Emulator, MemoryReadWriteWithRegions)
+{
+    PB b("mem");
+    b.addRegion(0x10000, 4096);
+    b.initMemQwords(0x10000, {11, 22, 33});
+    b.setGpr(RSI, 0x10000);
+    b.i("mov r64, m64", {PB::gpr(RAX), PB::mem(RSI, 8)});
+    b.i("add r64, m64", {PB::gpr(RAX), PB::mem(RSI, 16)});
+    b.i("mov m64, r64", {PB::mem(RSI, 24), PB::gpr(RAX)});
+    b.i("mov r64, m64", {PB::gpr(RBX), PB::mem(RSI, 24)});
+    Emulator::FinalState fin;
+    EmuResult r = Emulator().run(b.build(), Emulator::Options(), &fin);
+    EXPECT_EQ(r.exit, EmuResult::Exit::Finished);
+    EXPECT_EQ(fin.gpr[RBX], 55u);
+}
+
+TEST(Emulator, OutOfRegionAccessCrashes)
+{
+    PB b("crash");
+    b.addRegion(0x10000, 64);
+    b.setGpr(RSI, 0x20000);
+    b.i("mov r64, m64", {PB::gpr(RAX), PB::mem(RSI)});
+    EmuResult r = Emulator().run(b.build());
+    EXPECT_EQ(r.exit, EmuResult::Exit::BadAddress);
+    EXPECT_TRUE(r.crashed());
+}
+
+TEST(Emulator, DivFaultCrashes)
+{
+    PB b("div0");
+    b.setGpr(RBX, 0);
+    b.i("div r64", {PB::gpr(RBX)});
+    EmuResult r = Emulator().run(b.build());
+    EXPECT_EQ(r.exit, EmuResult::Exit::DivFault);
+}
+
+TEST(Emulator, BranchOutsideProgramCrashes)
+{
+    PB b("wild");
+    b.i("jmp rel32", {PB::imm(1000)});
+    auto program = b.build();
+    program.code[0].branchTarget = 1001;
+    EmuResult r = Emulator().run(program);
+    EXPECT_EQ(r.exit, EmuResult::Exit::BadBranch);
+}
+
+TEST(Emulator, InfiniteLoopHitsStepLimit)
+{
+    PB b("hang");
+    auto top = b.here();
+    b.i("nop");
+    b.br("jmp rel32", top);
+    Emulator::Options opts;
+    opts.stepLimit = 1000;
+    EmuResult r = Emulator().run(b.build(), opts);
+    EXPECT_EQ(r.exit, EmuResult::Exit::StepLimit);
+}
+
+TEST(Emulator, DeterministicProgramHasStableSignature)
+{
+    PB b("det");
+    b.setGpr(RAX, 3);
+    b.i("imul r64, r64", {PB::gpr(RAX), PB::gpr(RAX)});
+    auto program = b.build();
+    Emulator::Options a, c;
+    a.nondetSeed = 1;
+    c.nondetSeed = 2;
+    EXPECT_EQ(Emulator().run(program, a).signature,
+              Emulator().run(program, c).signature);
+}
+
+TEST(Emulator, RdtscProgramIsNonDeterministic)
+{
+    PB b("nondet");
+    b.i("rdtsc");
+    auto program = b.build();
+    Emulator::Options a, c;
+    a.nondetSeed = 1;
+    c.nondetSeed = 2;
+    EXPECT_NE(Emulator().run(program, a).signature,
+              Emulator().run(program, c).signature);
+}
+
+TEST(Emulator, SignatureCoversMemory)
+{
+    PB base("sig1");
+    base.addRegion(0x1000, 64);
+    base.setGpr(RSI, 0x1000);
+    base.setGpr(RAX, 5);
+    base.i("mov m64, r64", {PB::mem(RSI), PB::gpr(RAX)});
+    // Same final registers, different memory value.
+    PB other("sig2");
+    other.addRegion(0x1000, 64);
+    other.setGpr(RSI, 0x1000);
+    other.setGpr(RAX, 5);
+    other.i("mov m64, r64", {PB::mem(RSI, 8), PB::gpr(RAX)});
+    EXPECT_NE(Emulator().run(base.build()).signature,
+              Emulator().run(other.build()).signature);
+}
+
+TEST(Emulator, CoverageHookSeesEveryInstruction)
+{
+    PB b("hook");
+    b.setGpr(RCX, 3);
+    auto top = b.here();
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", top);
+    int count = 0;
+    Emulator emu;
+    emu.setCoverageHook([&](const Inst &, const InstrDesc &,
+                            std::uint64_t, bool) { ++count; });
+    EmuResult r = emu.run(b.build());
+    EXPECT_EQ(r.exit, EmuResult::Exit::Finished);
+    EXPECT_EQ(count, 6);
+}

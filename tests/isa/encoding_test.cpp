@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "isa/encoding.hh"
+#include "isa/isa_table.hh"
+
+using namespace harpo;
+using namespace harpo::isa;
+
+namespace
+{
+
+/** Build a random but structurally valid instruction for @p desc. */
+Inst
+randomInst(const InstrDesc &desc, Rng &rng, std::size_t index,
+           std::size_t programLen)
+{
+    Inst inst;
+    inst.descId = desc.id;
+    for (int i = 0; i < desc.numOperands; ++i) {
+        const OperandSpec &spec = desc.operands[i];
+        Operand &op = inst.ops[i];
+        op.kind = spec.kind;
+        switch (spec.kind) {
+          case OperandKind::Gpr:
+          case OperandKind::Xmm:
+            op.reg = static_cast<std::uint8_t>(rng.below(16));
+            break;
+          case OperandKind::Imm:
+            if (desc.isBranch) {
+                // Keep targets inside [0, programLen].
+                inst.branchTarget = static_cast<std::int32_t>(
+                    rng.below(programLen + 1));
+                op.imm = inst.branchTarget -
+                         static_cast<std::int64_t>(index) - 1;
+            } else {
+                const unsigned bits = spec.width * 8;
+                op.imm = static_cast<std::int64_t>(rng.next());
+                if (bits < 64) {
+                    op.imm = (op.imm << (64 - bits)) >> (64 - bits);
+                }
+            }
+            break;
+          case OperandKind::Mem:
+            op.mem.ripRel = rng.chance(0.3);
+            op.mem.base = static_cast<std::uint8_t>(rng.below(16));
+            op.mem.disp = static_cast<std::int32_t>(rng.next());
+            break;
+          default:
+            break;
+        }
+    }
+    return inst;
+}
+
+bool
+sameOperand(const Operand &a, const Operand &b, const OperandSpec &spec,
+            bool isBranch)
+{
+    if (spec.kind != a.kind && a.kind != OperandKind::None)
+        return false;
+    switch (spec.kind) {
+      case OperandKind::Gpr:
+      case OperandKind::Xmm:
+        return a.reg == b.reg;
+      case OperandKind::Imm:
+        return isBranch || a.imm == b.imm;
+      case OperandKind::Mem:
+        return a.mem.ripRel == b.mem.ripRel && a.mem.base == b.mem.base &&
+               a.mem.disp == b.mem.disp;
+      default:
+        return true;
+    }
+}
+
+} // namespace
+
+TEST(Encoding, RoundTripEveryVariant)
+{
+    Rng rng(2024);
+    // One instance of every descriptor, in one program.
+    std::vector<Inst> code;
+    const std::size_t n = isaTable().size();
+    for (std::size_t i = 0; i < n; ++i)
+        code.push_back(randomInst(isaTable().desc(
+                                      static_cast<std::uint16_t>(i)),
+                                  rng, i, n));
+
+    const auto bytes = encodeProgram(code);
+    const DecodeResult decoded = decodeProgram(bytes.data(), bytes.size());
+    ASSERT_TRUE(decoded.ok);
+    ASSERT_EQ(decoded.code.size(), code.size());
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const InstrDesc &desc = isaTable().desc(code[i].descId);
+        EXPECT_EQ(decoded.code[i].descId, code[i].descId);
+        for (int k = 0; k < desc.numOperands; ++k) {
+            EXPECT_TRUE(sameOperand(decoded.code[i].ops[k],
+                                    code[i].ops[k], desc.operands[k],
+                                    desc.isBranch))
+                << desc.mnemonic << " operand " << k;
+        }
+        if (desc.isBranch) {
+            EXPECT_EQ(decoded.code[i].branchTarget, code[i].branchTarget);
+        }
+    }
+}
+
+TEST(Encoding, RandomProgramsRoundTrip)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<Inst> code;
+        const std::size_t len = 1 + rng.below(60);
+        for (std::size_t i = 0; i < len; ++i) {
+            const auto &desc =
+                isaTable().desc(static_cast<std::uint16_t>(
+                    rng.below(isaTable().size())));
+            code.push_back(randomInst(desc, rng, i, len));
+        }
+        const auto bytes = encodeProgram(code);
+        const DecodeResult decoded =
+            decodeProgram(bytes.data(), bytes.size());
+        ASSERT_TRUE(decoded.ok);
+        ASSERT_EQ(decoded.code.size(), code.size());
+        EXPECT_EQ(decoded.consumed, bytes.size());
+    }
+}
+
+TEST(Encoding, IllegalOpcodeRejected)
+{
+    // Find a byte value with no descriptor.
+    int illegal = -1;
+    for (int b = 0; b < 256; ++b) {
+        if (isaTable().byOpcode(static_cast<std::uint8_t>(b)) == nullptr) {
+            illegal = b;
+            break;
+        }
+    }
+    ASSERT_GE(illegal, 0);
+    const std::uint8_t buf[1] = {static_cast<std::uint8_t>(illegal)};
+    const DecodeResult decoded = decodeProgram(buf, 1);
+    EXPECT_FALSE(decoded.ok);
+    EXPECT_TRUE(decoded.code.empty());
+}
+
+TEST(Encoding, TruncatedInstructionRejected)
+{
+    // Encode a full instruction then chop the last byte.
+    const InstrDesc *d = isaTable().byMnemonic("mov r64, imm64");
+    ASSERT_NE(d, nullptr);
+    Inst inst;
+    inst.descId = d->id;
+    inst.ops[0].kind = OperandKind::Gpr;
+    inst.ops[0].reg = 3;
+    inst.ops[1].kind = OperandKind::Imm;
+    inst.ops[1].imm = 0x1234;
+    std::vector<std::uint8_t> bytes;
+    encodeInst(inst, 0, bytes);
+    const DecodeResult decoded =
+        decodeProgram(bytes.data(), bytes.size() - 1);
+    EXPECT_FALSE(decoded.ok);
+}
+
+TEST(Encoding, MemoryModeByteIsLenientLikeModRm)
+{
+    const InstrDesc *d = isaTable().byMnemonic("mov r64, m64");
+    ASSERT_NE(d, nullptr);
+    Inst inst;
+    inst.descId = d->id;
+    inst.ops[0].kind = OperandKind::Gpr;
+    inst.ops[1].kind = OperandKind::Mem;
+    std::vector<std::uint8_t> bytes;
+    encodeInst(inst, 0, bytes);
+    bytes[2] = 7; // any mode byte decodes; bit 0 selects RIP-relative
+    const DecodeResult decoded =
+        decodeProgram(bytes.data(), bytes.size());
+    ASSERT_TRUE(decoded.ok);
+    EXPECT_TRUE(decoded.code[0].ops[1].mem.ripRel);
+}
+
+TEST(Encoding, EncodedLengthMatchesEncoder)
+{
+    Rng rng(5);
+    for (const auto &desc : isaTable().all()) {
+        const Inst inst = randomInst(desc, rng, 0, 10);
+        std::vector<std::uint8_t> bytes;
+        encodeInst(inst, 0, bytes);
+        EXPECT_EQ(bytes.size(), encodedLength(desc)) << desc.mnemonic;
+    }
+}
+
+TEST(Encoding, RandomBytesOftenIllegalButNeverCrash)
+{
+    Rng rng(31337);
+    int legal = 0;
+    const int trials = 2000;
+    for (int t = 0; t < trials; ++t) {
+        std::uint8_t buf[100];
+        for (auto &b : buf)
+            b = static_cast<std::uint8_t>(rng.next());
+        const DecodeResult decoded = decodeProgram(buf, sizeof(buf));
+        legal += decoded.ok;
+    }
+    // Random byte blobs should mostly fail to decode fully (illegal
+    // opcodes / modes), mirroring SiliFuzz's discarded sequences.
+    EXPECT_LT(legal, trials / 2);
+}

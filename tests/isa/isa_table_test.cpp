@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "isa/isa_table.hh"
+#include "isa/registers.hh"
+
+using namespace harpo::isa;
+
+TEST(IsaTable, HasSubstantialVariantCount)
+{
+    // The table models a representative subset of x86-64: well over a
+    // hundred distinct (mnemonic, operand signature) variants.
+    EXPECT_GE(isaTable().size(), 150u);
+}
+
+TEST(IsaTable, IdsMatchIndices)
+{
+    const auto &all = isaTable().all();
+    for (std::size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i].id, i);
+}
+
+TEST(IsaTable, MnemonicsAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &d : isaTable().all())
+        EXPECT_TRUE(names.insert(d.mnemonic).second)
+            << "duplicate: " << d.mnemonic;
+}
+
+TEST(IsaTable, OpcodesAreUniqueAndRoundTrip)
+{
+    std::set<std::uint8_t> opcodes;
+    for (const auto &d : isaTable().all()) {
+        EXPECT_TRUE(opcodes.insert(d.opcode).second);
+        const InstrDesc *back = isaTable().byOpcode(d.opcode);
+        ASSERT_NE(back, nullptr);
+        EXPECT_EQ(back->id, d.id);
+    }
+}
+
+TEST(IsaTable, SomeOpcodesAreInvalid)
+{
+    int invalid = 0;
+    for (int b = 0; b < 256; ++b)
+        invalid += isaTable().byOpcode(static_cast<std::uint8_t>(b))
+                   == nullptr;
+    EXPECT_GT(invalid, 20) << "fuzzing needs illegal opcode space";
+}
+
+TEST(IsaTable, MulHasImplicitRaxRdx)
+{
+    const InstrDesc *d = isaTable().byMnemonic("mul r64");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->numImplicitReads, 1);
+    EXPECT_EQ(d->implicitReads[0], RAX);
+    EXPECT_EQ(d->numImplicitWrites, 2);
+    EXPECT_EQ(d->implicitWrites[0], RAX);
+    EXPECT_EQ(d->implicitWrites[1], RDX);
+    EXPECT_EQ(d->opClass, OpClass::IntMul);
+    EXPECT_EQ(d->circuit, FuCircuit::IntMul);
+}
+
+TEST(IsaTable, DivReadsRdxRaxAndIsUnpipelined)
+{
+    const InstrDesc *d = isaTable().byMnemonic("div r64");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->numImplicitReads, 2);
+    EXPECT_FALSE(d->pipelined);
+    EXPECT_EQ(d->opClass, OpClass::IntDiv);
+}
+
+TEST(IsaTable, AdderCircuitAssignment)
+{
+    EXPECT_EQ(isaTable().byMnemonic("add r64, r64")->circuit,
+              FuCircuit::IntAdd);
+    EXPECT_EQ(isaTable().byMnemonic("sub r64, r64")->circuit,
+              FuCircuit::IntAdd);
+    EXPECT_EQ(isaTable().byMnemonic("cmp r64, r64")->circuit,
+              FuCircuit::IntAdd);
+    EXPECT_EQ(isaTable().byMnemonic("xor r64, r64")->circuit,
+              FuCircuit::None);
+    EXPECT_EQ(isaTable().byMnemonic("addsd xmm, xmm")->circuit,
+              FuCircuit::FpAdd);
+    EXPECT_EQ(isaTable().byMnemonic("mulsd xmm, xmm")->circuit,
+              FuCircuit::FpMul);
+}
+
+TEST(IsaTable, LoadStoreFlagsDerivedFromOperands)
+{
+    const InstrDesc *load = isaTable().byMnemonic("mov r64, m64");
+    ASSERT_NE(load, nullptr);
+    EXPECT_TRUE(load->isLoad);
+    EXPECT_FALSE(load->isStore);
+    const InstrDesc *store = isaTable().byMnemonic("mov m64, r64");
+    ASSERT_NE(store, nullptr);
+    EXPECT_TRUE(store->isStore);
+    EXPECT_FALSE(store->isLoad);
+    const InstrDesc *rmw = isaTable().byMnemonic("add m64, r64");
+    ASSERT_NE(rmw, nullptr);
+    EXPECT_TRUE(rmw->isLoad);
+    EXPECT_TRUE(rmw->isStore);
+    // CMP with memory destination only loads.
+    const InstrDesc *cmp = isaTable().byMnemonic("cmp m64, r64");
+    ASSERT_NE(cmp, nullptr);
+    EXPECT_TRUE(cmp->isLoad);
+    EXPECT_FALSE(cmp->isStore);
+}
+
+TEST(IsaTable, NonDeterministicInstructionsFlagged)
+{
+    EXPECT_FALSE(isaTable().byMnemonic("rdtsc")->deterministic);
+    EXPECT_FALSE(isaTable().byMnemonic("rdrand r64")->deterministic);
+    EXPECT_TRUE(isaTable().byMnemonic("add r64, r64")->deterministic);
+}
+
+TEST(IsaTable, BranchesFlagged)
+{
+    const InstrDesc *jmp = isaTable().byMnemonic("jmp rel32");
+    ASSERT_NE(jmp, nullptr);
+    EXPECT_TRUE(jmp->isBranch);
+    EXPECT_FALSE(jmp->isCondBranch);
+    const InstrDesc *je = isaTable().byMnemonic("je rel32");
+    ASSERT_NE(je, nullptr);
+    EXPECT_TRUE(je->isCondBranch);
+    EXPECT_TRUE(je->readsFlags);
+}
+
+TEST(IsaTable, SelectFiltersByPredicate)
+{
+    const auto fpAdds = isaTable().select([](const InstrDesc &d) {
+        return d.circuit == FuCircuit::FpAdd;
+    });
+    EXPECT_GE(fpAdds.size(), 4u); // addsd/subsd/addpd/subpd variants
+    for (auto id : fpAdds)
+        EXPECT_EQ(isaTable().desc(id).circuit, FuCircuit::FpAdd);
+}
+
+TEST(IsaTable, ShiftsReadAndWriteFlags)
+{
+    const InstrDesc *rcr = isaTable().byMnemonic("rcr r64, imm8");
+    ASSERT_NE(rcr, nullptr);
+    EXPECT_TRUE(rcr->readsFlags);
+    EXPECT_TRUE(rcr->writesFlags);
+    const InstrDesc *shlCl = isaTable().byMnemonic("shl r64, cl");
+    ASSERT_NE(shlCl, nullptr);
+    EXPECT_EQ(shlCl->numImplicitReads, 1);
+    EXPECT_EQ(shlCl->implicitReads[0], RCX);
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Reproduces the gem5 v22.0 RCR instruction-emulation corner case the
+ * paper reports in section VI-D: the simulator asserted when the rotate
+ * amount equals the size of the rotated register. Our semantics handle
+ * the case correctly, and the emulator can *emulate* the legacy bug so
+ * the bug-hunt example can rediscover it with generated programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "isa/emulator.hh"
+#include "isa/isa_table.hh"
+#include "isa/registers.hh"
+#include "isa/semantics.hh"
+#include "test_context.hh"
+
+using namespace harpo::isa;
+using harpo::test::TestContext;
+using PB = ProgramBuilder;
+
+namespace
+{
+
+/** Reference RCR on a (w+1)-bit quantity. */
+std::uint64_t
+referenceRcr(std::uint64_t value, unsigned w, bool carry_in, unsigned cc,
+             bool &carry_out)
+{
+    unsigned __int128 wide =
+        (static_cast<unsigned __int128>(carry_in ? 1 : 0) << w) | value;
+    if (cc != 0)
+        wide = (wide >> cc) | (wide << (w + 1 - cc));
+    carry_out = (wide >> w) & 1;
+    const std::uint64_t mask = w >= 64 ? ~0ull : (1ull << w) - 1;
+    return static_cast<std::uint64_t>(wide) & mask;
+}
+
+Inst
+rcrImm(const char *mnemonic, int reg, unsigned count)
+{
+    const InstrDesc *d = isaTable().byMnemonic(mnemonic);
+    Inst inst;
+    inst.descId = d->id;
+    inst.ops[0].kind = OperandKind::Gpr;
+    inst.ops[0].reg = static_cast<std::uint8_t>(reg);
+    inst.ops[1].kind = OperandKind::Imm;
+    inst.ops[1].imm = count;
+    return inst;
+}
+
+} // namespace
+
+TEST(RcrCorner, RotateAmountEqualToWidth32)
+{
+    // 32-bit RCR by exactly 32 (= operand width): the corner case.
+    // count & 63 = 32, cc = 32 % 33 = 32 == w.
+    TestContext xc;
+    xc.gpr[RAX] = 0xDEADBEEF;
+    xc.flags = flag::cf;
+    ASSERT_EQ(execute(rcrImm("rcr r32, imm8", RAX, 32), xc),
+              ExecStatus::Ok);
+    bool cout = false;
+    const std::uint64_t expect =
+        referenceRcr(0xDEADBEEF, 32, true, 32, cout);
+    EXPECT_EQ(xc.gpr[RAX], expect);
+    EXPECT_EQ((xc.flags & flag::cf) != 0, cout);
+}
+
+TEST(RcrCorner, FullSweepMatchesReference32)
+{
+    for (unsigned count = 0; count < 64; ++count) {
+        for (bool carry : {false, true}) {
+            TestContext xc;
+            xc.gpr[RBX] = 0x12345678;
+            xc.flags = carry ? flag::cf : 0;
+            execute(rcrImm("rcr r32, imm8", RBX, count), xc);
+            if (count == 0) {
+                EXPECT_EQ(xc.gpr[RBX], 0x12345678u);
+                continue;
+            }
+            bool cout = false;
+            const std::uint64_t expect = referenceRcr(
+                0x12345678, 32, carry, count % 33, cout);
+            EXPECT_EQ(xc.gpr[RBX], expect) << "count=" << count;
+            EXPECT_EQ((xc.flags & flag::cf) != 0,
+                      count % 33 == 0 ? carry : cout)
+                << "count=" << count;
+        }
+    }
+}
+
+TEST(RcrCorner, LegacyBugEmulationAssertsExactlyAtWidth)
+{
+    for (unsigned count : {1u, 16u, 31u, 32u, 33u, 48u}) {
+        PB b("rcr" + std::to_string(count));
+        b.setGpr(RAX, 0xFFFF);
+        b.i("rcr r32, imm8",
+            {PB::gpr(RAX), PB::imm(static_cast<std::int64_t>(count))});
+        Emulator::Options opts;
+        opts.emulateRcrBug = true;
+        const EmuResult r = Emulator().run(b.build(), opts);
+        if (count % 33 == 32) {
+            EXPECT_EQ(r.exit, EmuResult::Exit::EmulatorAssert)
+                << "count=" << count;
+        } else {
+            EXPECT_EQ(r.exit, EmuResult::Exit::Finished)
+                << "count=" << count;
+        }
+    }
+}
+
+TEST(RcrCorner, BugEmulationOffRunsFine)
+{
+    PB b("rcr32");
+    b.setGpr(RAX, 0xFFFF);
+    b.i("rcr r32, imm8", {PB::gpr(RAX), PB::imm(32)});
+    const EmuResult r = Emulator().run(b.build());
+    EXPECT_EQ(r.exit, EmuResult::Exit::Finished);
+}
+
+TEST(RcrCorner, Rcr64NeverReachesWidth)
+{
+    // For 64-bit RCR the masked count is at most 63, so cc == 64 is
+    // unreachable and the bug emulation must never fire.
+    for (unsigned count = 0; count < 64; ++count) {
+        PB b("rcr64_" + std::to_string(count));
+        b.setGpr(RAX, 0x123456789ABCDEFull);
+        b.i("rcr r64, imm8",
+            {PB::gpr(RAX), PB::imm(static_cast<std::int64_t>(count))});
+        Emulator::Options opts;
+        opts.emulateRcrBug = true;
+        EXPECT_EQ(Emulator().run(b.build(), opts).exit,
+                  EmuResult::Exit::Finished);
+    }
+}

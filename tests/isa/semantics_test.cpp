@@ -1,0 +1,541 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hh"
+#include "common/softfloat.hh"
+#include "isa/isa_table.hh"
+#include "isa/registers.hh"
+#include "isa/semantics.hh"
+#include "test_context.hh"
+
+using namespace harpo;
+using namespace harpo::isa;
+using harpo::test::TestContext;
+
+namespace
+{
+
+Inst
+makeInst(const std::string &mnemonic, std::initializer_list<Operand> ops)
+{
+    const InstrDesc *d = isaTable().byMnemonic(mnemonic);
+    EXPECT_NE(d, nullptr) << mnemonic;
+    Inst inst;
+    inst.descId = d->id;
+    int i = 0;
+    for (const auto &o : ops)
+        inst.ops[i++] = o;
+    return inst;
+}
+
+Operand
+reg(int r)
+{
+    Operand o;
+    o.kind = OperandKind::Gpr;
+    o.reg = static_cast<std::uint8_t>(r);
+    return o;
+}
+
+Operand
+xreg(int r)
+{
+    Operand o;
+    o.kind = OperandKind::Xmm;
+    o.reg = static_cast<std::uint8_t>(r);
+    return o;
+}
+
+Operand
+imm(std::int64_t v)
+{
+    Operand o;
+    o.kind = OperandKind::Imm;
+    o.imm = v;
+    return o;
+}
+
+Operand
+memAt(int base, std::int32_t disp = 0)
+{
+    Operand o;
+    o.kind = OperandKind::Mem;
+    o.mem.base = static_cast<std::uint8_t>(base);
+    o.mem.disp = disp;
+    return o;
+}
+
+std::uint64_t
+fp(double d)
+{
+    std::uint64_t b;
+    std::memcpy(&b, &d, sizeof(b));
+    return b;
+}
+
+} // namespace
+
+TEST(Semantics, Add64SetsResultAndFlags)
+{
+    TestContext xc;
+    xc.gpr[RAX] = 5;
+    xc.gpr[RBX] = 7;
+    EXPECT_EQ(execute(makeInst("add r64, r64", {reg(RAX), reg(RBX)}), xc),
+              ExecStatus::Ok);
+    EXPECT_EQ(xc.gpr[RAX], 12u);
+    EXPECT_FALSE(xc.flags & flag::zf);
+    EXPECT_FALSE(xc.flags & flag::cf);
+    EXPECT_FALSE(xc.flags & flag::sf);
+}
+
+TEST(Semantics, AddCarryAndOverflow)
+{
+    TestContext xc;
+    xc.gpr[RAX] = ~0ull;
+    xc.gpr[RBX] = 1;
+    execute(makeInst("add r64, r64", {reg(RAX), reg(RBX)}), xc);
+    EXPECT_EQ(xc.gpr[RAX], 0u);
+    EXPECT_TRUE(xc.flags & flag::cf);
+    EXPECT_TRUE(xc.flags & flag::zf);
+    EXPECT_FALSE(xc.flags & flag::of);
+
+    xc.gpr[RAX] = 0x7FFFFFFFFFFFFFFFull;
+    xc.gpr[RBX] = 1;
+    execute(makeInst("add r64, r64", {reg(RAX), reg(RBX)}), xc);
+    EXPECT_TRUE(xc.flags & flag::of);
+    EXPECT_TRUE(xc.flags & flag::sf);
+    EXPECT_FALSE(xc.flags & flag::cf);
+}
+
+TEST(Semantics, Add32ZeroExtends)
+{
+    TestContext xc;
+    xc.gpr[RAX] = 0xFFFFFFFF00000001ull;
+    xc.gpr[RBX] = 0x00000000FFFFFFFFull;
+    execute(makeInst("add r32, r32", {reg(RAX), reg(RBX)}), xc);
+    // 1 + 0xFFFFFFFF = 0 with carry; upper half cleared by 32-bit write.
+    EXPECT_EQ(xc.gpr[RAX], 0u);
+    EXPECT_TRUE(xc.flags & flag::cf);
+    EXPECT_TRUE(xc.flags & flag::zf);
+}
+
+TEST(Semantics, SubBorrowFlag)
+{
+    TestContext xc;
+    xc.gpr[RCX] = 3;
+    xc.gpr[RDX] = 5;
+    execute(makeInst("sub r64, r64", {reg(RCX), reg(RDX)}), xc);
+    EXPECT_EQ(xc.gpr[RCX], static_cast<std::uint64_t>(-2));
+    EXPECT_TRUE(xc.flags & flag::cf); // borrow
+    EXPECT_TRUE(xc.flags & flag::sf);
+}
+
+TEST(Semantics, AdcSbbChainPropagatesCarry)
+{
+    // 128-bit add: (2^64-1):(2^64-1) + 0:1 = 1:0:0 -> low 0, high 0 + CF.
+    TestContext xc;
+    xc.gpr[RAX] = ~0ull;
+    xc.gpr[RDX] = ~0ull;
+    xc.gpr[RBX] = 1;
+    xc.gpr[RCX] = 0;
+    execute(makeInst("add r64, r64", {reg(RAX), reg(RBX)}), xc);
+    execute(makeInst("adc r64, r64", {reg(RDX), reg(RCX)}), xc);
+    EXPECT_EQ(xc.gpr[RAX], 0u);
+    EXPECT_EQ(xc.gpr[RDX], 0u);
+    EXPECT_TRUE(xc.flags & flag::cf);
+}
+
+TEST(Semantics, CmpDoesNotWriteDestination)
+{
+    TestContext xc;
+    xc.gpr[RSI] = 9;
+    xc.gpr[RDI] = 9;
+    execute(makeInst("cmp r64, r64", {reg(RSI), reg(RDI)}), xc);
+    EXPECT_EQ(xc.gpr[RSI], 9u);
+    EXPECT_TRUE(xc.flags & flag::zf);
+}
+
+TEST(Semantics, LogicOpsClearCarry)
+{
+    TestContext xc;
+    xc.flags = flag::cf | flag::of;
+    xc.gpr[RAX] = 0xF0;
+    xc.gpr[RBX] = 0x0F;
+    execute(makeInst("and r64, r64", {reg(RAX), reg(RBX)}), xc);
+    EXPECT_EQ(xc.gpr[RAX], 0u);
+    EXPECT_TRUE(xc.flags & flag::zf);
+    EXPECT_FALSE(xc.flags & flag::cf);
+    EXPECT_FALSE(xc.flags & flag::of);
+}
+
+TEST(Semantics, IncPreservesCarry)
+{
+    TestContext xc;
+    xc.flags = flag::cf;
+    xc.gpr[RAX] = 1;
+    execute(makeInst("inc r64", {reg(RAX)}), xc);
+    EXPECT_EQ(xc.gpr[RAX], 2u);
+    EXPECT_TRUE(xc.flags & flag::cf);
+}
+
+TEST(Semantics, NegSetsCarryIfNonzero)
+{
+    TestContext xc;
+    xc.gpr[RAX] = 5;
+    execute(makeInst("neg r64", {reg(RAX)}), xc);
+    EXPECT_EQ(xc.gpr[RAX], static_cast<std::uint64_t>(-5));
+    EXPECT_TRUE(xc.flags & flag::cf);
+    xc.gpr[RBX] = 0;
+    execute(makeInst("neg r64", {reg(RBX)}), xc);
+    EXPECT_EQ(xc.gpr[RBX], 0u);
+    EXPECT_FALSE(xc.flags & flag::cf);
+}
+
+TEST(Semantics, MovVariants)
+{
+    TestContext xc;
+    xc.gpr[RBX] = 0x1122334455667788ull;
+    execute(makeInst("mov r64, r64", {reg(RAX), reg(RBX)}), xc);
+    EXPECT_EQ(xc.gpr[RAX], 0x1122334455667788ull);
+    execute(makeInst("mov r32, r32", {reg(RCX), reg(RBX)}), xc);
+    EXPECT_EQ(xc.gpr[RCX], 0x55667788ull);
+    execute(makeInst("mov r64, imm64", {reg(RDX), imm(-1)}), xc);
+    EXPECT_EQ(xc.gpr[RDX], ~0ull);
+}
+
+TEST(Semantics, MovLoadStoreRoundTrip)
+{
+    TestContext xc;
+    xc.gpr[RSI] = 0x1000;
+    xc.gpr[RAX] = 0xCAFEBABEDEADBEEFull;
+    execute(makeInst("mov m64, r64", {memAt(RSI, 8), reg(RAX)}), xc);
+    execute(makeInst("mov r64, m64", {reg(RBX), memAt(RSI, 8)}), xc);
+    EXPECT_EQ(xc.gpr[RBX], 0xCAFEBABEDEADBEEFull);
+    // Byte load zero-extends.
+    execute(makeInst("mov r64, m8", {reg(RCX), memAt(RSI, 8)}), xc);
+    EXPECT_EQ(xc.gpr[RCX], 0xEFu);
+}
+
+TEST(Semantics, MemoryRmwAdd)
+{
+    TestContext xc;
+    xc.gpr[RSI] = 0x2000;
+    xc.writeQword(0x2000, 40);
+    xc.gpr[RAX] = 2;
+    execute(makeInst("add m64, r64", {memAt(RSI), reg(RAX)}), xc);
+    EXPECT_EQ(xc.readQword(0x2000), 42u);
+}
+
+TEST(Semantics, BadAddressFaults)
+{
+    TestContext xc;
+    xc.memValid = false;
+    xc.gpr[RSI] = 0x3000;
+    EXPECT_EQ(execute(makeInst("mov r64, m64", {reg(RAX), memAt(RSI)}),
+                      xc),
+              ExecStatus::BadAddress);
+}
+
+TEST(Semantics, MulProducesWideResult)
+{
+    TestContext xc;
+    xc.gpr[RAX] = 0xFFFFFFFFFFFFFFFFull;
+    xc.gpr[RBX] = 2;
+    execute(makeInst("mul r64", {reg(RBX)}), xc);
+    EXPECT_EQ(xc.gpr[RAX], 0xFFFFFFFFFFFFFFFEull);
+    EXPECT_EQ(xc.gpr[RDX], 1u);
+    EXPECT_TRUE(xc.flags & flag::cf);
+}
+
+TEST(Semantics, Imul2SignedOverflowFlag)
+{
+    TestContext xc;
+    xc.gpr[RAX] = 3;
+    xc.gpr[RBX] = static_cast<std::uint64_t>(-4);
+    execute(makeInst("imul r64, r64", {reg(RAX), reg(RBX)}), xc);
+    EXPECT_EQ(static_cast<std::int64_t>(xc.gpr[RAX]), -12);
+    EXPECT_FALSE(xc.flags & flag::of);
+
+    xc.gpr[RCX] = 0x4000000000000000ull;
+    xc.gpr[RDX] = 4;
+    execute(makeInst("imul r64, r64", {reg(RCX), reg(RDX)}), xc);
+    EXPECT_TRUE(xc.flags & flag::of);
+}
+
+TEST(Semantics, DivQuotientRemainder)
+{
+    TestContext xc;
+    xc.gpr[RDX] = 0;
+    xc.gpr[RAX] = 100;
+    xc.gpr[RBX] = 7;
+    EXPECT_EQ(execute(makeInst("div r64", {reg(RBX)}), xc),
+              ExecStatus::Ok);
+    EXPECT_EQ(xc.gpr[RAX], 14u);
+    EXPECT_EQ(xc.gpr[RDX], 2u);
+}
+
+TEST(Semantics, DivByZeroFaults)
+{
+    TestContext xc;
+    xc.gpr[RBX] = 0;
+    EXPECT_EQ(execute(makeInst("div r64", {reg(RBX)}), xc),
+              ExecStatus::DivFault);
+}
+
+TEST(Semantics, DivQuotientOverflowFaults)
+{
+    TestContext xc;
+    xc.gpr[RDX] = 5; // dividend high >= divisor -> quotient overflow
+    xc.gpr[RAX] = 0;
+    xc.gpr[RBX] = 5;
+    EXPECT_EQ(execute(makeInst("div r64", {reg(RBX)}), xc),
+              ExecStatus::DivFault);
+}
+
+TEST(Semantics, IdivSigned)
+{
+    TestContext xc;
+    xc.gpr[RAX] = static_cast<std::uint64_t>(-100);
+    xc.gpr[RDX] = ~0ull; // sign extension of negative dividend
+    xc.gpr[RBX] = 7;
+    EXPECT_EQ(execute(makeInst("idiv r64", {reg(RBX)}), xc),
+              ExecStatus::Ok);
+    EXPECT_EQ(static_cast<std::int64_t>(xc.gpr[RAX]), -14);
+    EXPECT_EQ(static_cast<std::int64_t>(xc.gpr[RDX]), -2);
+}
+
+TEST(Semantics, ShiftsMatchHost)
+{
+    Rng rng(99);
+    for (int iter = 0; iter < 2000; ++iter) {
+        const std::uint64_t a = rng.next();
+        const unsigned c = static_cast<unsigned>(rng.below(64));
+        TestContext xc;
+        xc.gpr[RAX] = a;
+        execute(makeInst("shl r64, imm8", {reg(RAX), imm(c)}), xc);
+        EXPECT_EQ(xc.gpr[RAX], c == 0 ? a : a << c);
+        xc.gpr[RBX] = a;
+        execute(makeInst("shr r64, imm8", {reg(RBX), imm(c)}), xc);
+        EXPECT_EQ(xc.gpr[RBX], c == 0 ? a : a >> c);
+        xc.gpr[RCX] = a;
+        execute(makeInst("sar r64, imm8", {reg(RCX), imm(c)}), xc);
+        EXPECT_EQ(xc.gpr[RCX],
+                  c == 0 ? a
+                         : static_cast<std::uint64_t>(
+                               static_cast<std::int64_t>(a) >> c));
+    }
+}
+
+TEST(Semantics, RotatesMatchHost)
+{
+    Rng rng(100);
+    for (int iter = 0; iter < 2000; ++iter) {
+        const std::uint64_t a = rng.next();
+        const unsigned c = 1 + static_cast<unsigned>(rng.below(63));
+        TestContext xc;
+        xc.gpr[RAX] = a;
+        execute(makeInst("rol r64, imm8", {reg(RAX), imm(c)}), xc);
+        EXPECT_EQ(xc.gpr[RAX], (a << c) | (a >> (64 - c)));
+        xc.gpr[RBX] = a;
+        execute(makeInst("ror r64, imm8", {reg(RBX), imm(c)}), xc);
+        EXPECT_EQ(xc.gpr[RBX], (a >> c) | (a << (64 - c)));
+    }
+}
+
+TEST(Semantics, ShiftByClUsesRcx)
+{
+    TestContext xc;
+    xc.gpr[RAX] = 1;
+    xc.gpr[RCX] = 12;
+    execute(makeInst("shl r64, cl", {reg(RAX)}), xc);
+    EXPECT_EQ(xc.gpr[RAX], 1ull << 12);
+}
+
+TEST(Semantics, RclRcrInverse)
+{
+    // RCL then RCR by the same amount restores value and carry.
+    Rng rng(55);
+    for (int iter = 0; iter < 500; ++iter) {
+        const std::uint64_t a = rng.next();
+        const unsigned c = static_cast<unsigned>(rng.below(64));
+        const bool carry = rng.chance(0.5);
+        TestContext xc;
+        xc.gpr[RAX] = a;
+        xc.flags = carry ? flag::cf : 0;
+        execute(makeInst("rcl r64, imm8", {reg(RAX), imm(c)}), xc);
+        execute(makeInst("rcr r64, imm8", {reg(RAX), imm(c)}), xc);
+        EXPECT_EQ(xc.gpr[RAX], a) << "c=" << c;
+        EXPECT_EQ((xc.flags & flag::cf) != 0, carry) << "c=" << c;
+    }
+}
+
+TEST(Semantics, BitCounts)
+{
+    TestContext xc;
+    xc.gpr[RBX] = 0x00F0000000000000ull;
+    execute(makeInst("popcnt r64, r64", {reg(RAX), reg(RBX)}), xc);
+    EXPECT_EQ(xc.gpr[RAX], 4u);
+    execute(makeInst("lzcnt r64, r64", {reg(RCX), reg(RBX)}), xc);
+    EXPECT_EQ(xc.gpr[RCX], 8u);
+    execute(makeInst("tzcnt r64, r64", {reg(RDX), reg(RBX)}), xc);
+    EXPECT_EQ(xc.gpr[RDX], 52u);
+    xc.gpr[RSI] = 0;
+    execute(makeInst("popcnt r64, r64", {reg(RAX), reg(RSI)}), xc);
+    EXPECT_TRUE(xc.flags & flag::zf);
+}
+
+TEST(Semantics, CmovTakesOnlyWhenConditionHolds)
+{
+    TestContext xc;
+    xc.gpr[RAX] = 1;
+    xc.gpr[RBX] = 2;
+    xc.flags = flag::zf;
+    execute(makeInst("cmove r64, r64", {reg(RAX), reg(RBX)}), xc);
+    EXPECT_EQ(xc.gpr[RAX], 2u);
+    xc.flags = 0;
+    xc.gpr[RAX] = 1;
+    execute(makeInst("cmove r64, r64", {reg(RAX), reg(RBX)}), xc);
+    EXPECT_EQ(xc.gpr[RAX], 1u);
+}
+
+TEST(Semantics, SetccWritesZeroOrOne)
+{
+    TestContext xc;
+    xc.flags = flag::sf; // SF != OF -> less
+    execute(makeInst("setl r64", {reg(RAX)}), xc);
+    EXPECT_EQ(xc.gpr[RAX], 1u);
+    xc.flags = 0;
+    execute(makeInst("setl r64", {reg(RBX)}), xc);
+    EXPECT_EQ(xc.gpr[RBX], 0u);
+}
+
+TEST(Semantics, PushPopRoundTrip)
+{
+    TestContext xc;
+    xc.gpr[RSP] = 0x8000;
+    xc.gpr[RAX] = 0x123456789ABCDEF0ull;
+    execute(makeInst("push r64", {reg(RAX)}), xc);
+    EXPECT_EQ(xc.gpr[RSP], 0x7FF8u);
+    execute(makeInst("pop r64", {reg(RBX)}), xc);
+    EXPECT_EQ(xc.gpr[RSP], 0x8000u);
+    EXPECT_EQ(xc.gpr[RBX], 0x123456789ABCDEF0ull);
+}
+
+TEST(Semantics, XchgSwaps)
+{
+    TestContext xc;
+    xc.gpr[RAX] = 1;
+    xc.gpr[RBX] = 2;
+    execute(makeInst("xchg r64, r64", {reg(RAX), reg(RBX)}), xc);
+    EXPECT_EQ(xc.gpr[RAX], 2u);
+    EXPECT_EQ(xc.gpr[RBX], 1u);
+}
+
+TEST(Semantics, LeaComputesAddressWithoutAccess)
+{
+    TestContext xc;
+    xc.memValid = false; // LEA must not touch memory
+    xc.gpr[RSI] = 0x1000;
+    EXPECT_EQ(execute(makeInst("lea r64, m", {reg(RAX), memAt(RSI, 0x20)}),
+                      xc),
+              ExecStatus::Ok);
+    EXPECT_EQ(xc.gpr[RAX], 0x1020u);
+}
+
+TEST(Semantics, BranchesEvaluateConditions)
+{
+    TestContext xc;
+    xc.flags = flag::zf;
+    Inst je = makeInst("je rel32", {imm(5)});
+    execute(je, xc);
+    EXPECT_TRUE(xc.taken);
+    xc.flags = 0;
+    execute(je, xc);
+    EXPECT_FALSE(xc.taken);
+    execute(makeInst("jmp rel32", {imm(5)}), xc);
+    EXPECT_TRUE(xc.taken);
+}
+
+TEST(Semantics, SseAddMul)
+{
+    TestContext xc;
+    xc.xmm[0] = {fp(1.5), fp(10.0)};
+    xc.xmm[1] = {fp(2.25), fp(20.0)};
+    execute(makeInst("addsd xmm, xmm", {xreg(0), xreg(1)}), xc);
+    EXPECT_EQ(xc.xmm[0][0], fp(3.75));
+    EXPECT_EQ(xc.xmm[0][1], fp(10.0)); // upper lane preserved
+
+    xc.xmm[2] = {fp(3.0), fp(4.0)};
+    xc.xmm[3] = {fp(2.0), fp(0.5)};
+    execute(makeInst("mulpd xmm, xmm", {xreg(2), xreg(3)}), xc);
+    EXPECT_EQ(xc.xmm[2][0], fp(6.0));
+    EXPECT_EQ(xc.xmm[2][1], fp(2.0));
+}
+
+TEST(Semantics, SseSubViaAdder)
+{
+    TestContext xc;
+    xc.xmm[0] = {fp(5.0), 0};
+    xc.xmm[1] = {fp(1.5), 0};
+    execute(makeInst("subsd xmm, xmm", {xreg(0), xreg(1)}), xc);
+    EXPECT_EQ(xc.xmm[0][0], fp(3.5));
+}
+
+TEST(Semantics, UcomisdFlags)
+{
+    TestContext xc;
+    xc.xmm[0] = {fp(1.0), 0};
+    xc.xmm[1] = {fp(2.0), 0};
+    execute(makeInst("ucomisd xmm, xmm", {xreg(0), xreg(1)}), xc);
+    EXPECT_TRUE(xc.flags & flag::cf); // below
+    EXPECT_FALSE(xc.flags & flag::zf);
+    xc.xmm[1] = {fp(1.0), 0};
+    execute(makeInst("ucomisd xmm, xmm", {xreg(0), xreg(1)}), xc);
+    EXPECT_TRUE(xc.flags & flag::zf);
+    xc.xmm[1] = {harpo::kCanonicalNan, 0};
+    execute(makeInst("ucomisd xmm, xmm", {xreg(0), xreg(1)}), xc);
+    EXPECT_TRUE(xc.flags & flag::pf); // unordered
+}
+
+TEST(Semantics, Conversions)
+{
+    TestContext xc;
+    xc.gpr[RAX] = static_cast<std::uint64_t>(-42);
+    execute(makeInst("cvtsi2sd xmm, r64", {xreg(0), reg(RAX)}), xc);
+    EXPECT_EQ(xc.xmm[0][0], fp(-42.0));
+    execute(makeInst("cvttsd2si r64, xmm", {reg(RBX), xreg(0)}), xc);
+    EXPECT_EQ(static_cast<std::int64_t>(xc.gpr[RBX]), -42);
+}
+
+TEST(Semantics, MovqBetweenFiles)
+{
+    TestContext xc;
+    xc.gpr[RAX] = 0xABCDEF;
+    execute(makeInst("movq xmm, r64", {xreg(5), reg(RAX)}), xc);
+    EXPECT_EQ(xc.xmm[5][0], 0xABCDEFu);
+    EXPECT_EQ(xc.xmm[5][1], 0u);
+    execute(makeInst("movq r64, xmm", {reg(RBX), xreg(5)}), xc);
+    EXPECT_EQ(xc.gpr[RBX], 0xABCDEFu);
+}
+
+TEST(Semantics, SimdIntegerLanewise)
+{
+    TestContext xc;
+    xc.xmm[0] = {10, 20};
+    xc.xmm[1] = {1, 2};
+    execute(makeInst("paddq xmm, xmm", {xreg(0), xreg(1)}), xc);
+    EXPECT_EQ(xc.xmm[0][0], 11u);
+    EXPECT_EQ(xc.xmm[0][1], 22u);
+    execute(makeInst("psubq xmm, xmm", {xreg(0), xreg(1)}), xc);
+    EXPECT_EQ(xc.xmm[0][0], 10u);
+    EXPECT_EQ(xc.xmm[0][1], 20u);
+}
+
+TEST(Semantics, BswapReverses)
+{
+    TestContext xc;
+    xc.gpr[RAX] = 0x0102030405060708ull;
+    execute(makeInst("bswap r64", {reg(RAX)}), xc);
+    EXPECT_EQ(xc.gpr[RAX], 0x0807060504030201ull);
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A simple ExecContext over flat architectural state for direct
+ * semantics testing (no emulator / program plumbing).
+ */
+
+#ifndef HARPOCRATES_TESTS_ISA_TEST_CONTEXT_HH
+#define HARPOCRATES_TESTS_ISA_TEST_CONTEXT_HH
+
+#include <array>
+#include <cstring>
+#include <map>
+
+#include "isa/exec_context.hh"
+#include "isa/registers.hh"
+
+namespace harpo::test
+{
+
+/** Flat-state context with a byte-map memory (any address is valid
+ *  unless explicitly poisoned). */
+class TestContext : public isa::ExecContext
+{
+  public:
+    std::array<std::uint64_t, 16> gpr{};
+    std::uint64_t flags = 0;
+    std::array<std::array<std::uint64_t, 2>, 16> xmm{};
+    std::map<std::uint64_t, std::uint8_t> memory;
+    bool taken = false;
+    bool memValid = true;
+
+    std::uint64_t
+    readIntReg(int arch_reg) override
+    {
+        return arch_reg == isa::flagsReg ? flags : gpr[arch_reg];
+    }
+
+    void
+    setIntReg(int arch_reg, std::uint64_t val) override
+    {
+        if (arch_reg == isa::flagsReg)
+            flags = val;
+        else
+            gpr[arch_reg] = val;
+    }
+
+    void
+    readXmmReg(int arch_reg, std::uint64_t out[2]) override
+    {
+        out[0] = xmm[arch_reg][0];
+        out[1] = xmm[arch_reg][1];
+    }
+
+    void
+    setXmmReg(int arch_reg, const std::uint64_t val[2]) override
+    {
+        xmm[arch_reg][0] = val[0];
+        xmm[arch_reg][1] = val[1];
+    }
+
+    bool
+    readMem(std::uint64_t addr, unsigned size, std::uint8_t *data) override
+    {
+        if (!memValid)
+            return false;
+        for (unsigned i = 0; i < size; ++i) {
+            auto it = memory.find(addr + i);
+            data[i] = it == memory.end() ? 0 : it->second;
+        }
+        return true;
+    }
+
+    bool
+    writeMem(std::uint64_t addr, unsigned size,
+             const std::uint8_t *data) override
+    {
+        if (!memValid)
+            return false;
+        for (unsigned i = 0; i < size; ++i)
+            memory[addr + i] = data[i];
+        return true;
+    }
+
+    void setTaken(bool t) override { taken = t; }
+
+    std::uint64_t
+    readQword(std::uint64_t addr)
+    {
+        std::uint8_t buf[8];
+        readMem(addr, 8, buf);
+        std::uint64_t v;
+        std::memcpy(&v, buf, 8);
+        return v;
+    }
+
+    void
+    writeQword(std::uint64_t addr, std::uint64_t v)
+    {
+        std::uint8_t buf[8];
+        std::memcpy(buf, &v, 8);
+        writeMem(addr, 8, buf);
+    }
+};
+
+} // namespace harpo::test
+
+#endif // HARPOCRATES_TESTS_ISA_TEST_CONTEXT_HH

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "isa/emulator.hh"
+#include "museqgen/manager.hh"
+
+using namespace harpo;
+using namespace harpo::museqgen;
+
+namespace
+{
+
+GenConfig
+smallConfig()
+{
+    GenConfig cfg;
+    cfg.numInstructions = 80;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Manager, GenerateBatchProducesDistinctGenomes)
+{
+    Manager mgr(smallConfig(), 1);
+    const auto batch = mgr.generateBatch(10);
+    ASSERT_EQ(batch.size(), 10u);
+    int identical = 0;
+    for (std::size_t i = 1; i < batch.size(); ++i)
+        identical += batch[i].seq == batch[0].seq;
+    EXPECT_EQ(identical, 0);
+}
+
+TEST(Manager, MutateEachKeepsParentsAndAddsOffspring)
+{
+    Manager mgr(smallConfig(), 2);
+    const auto parents = mgr.generateBatch(4);
+    const auto all = mgr.mutateEach(parents, 3);
+    ASSERT_EQ(all.size(), 4u + 4u * 3u);
+    for (std::size_t i = 0; i < parents.size(); ++i)
+        EXPECT_EQ(all[i].seq, parents[i].seq);
+}
+
+TEST(Manager, PaperExampleFlow)
+{
+    // "Generate 10 random programs, mutate each 5 times, generate
+    // programs from the (10 + 50) total sequences."
+    Manager mgr(smallConfig(), 3);
+    const auto programs = mgr.randomThenMutate(10, 5);
+    ASSERT_EQ(programs.size(), 60u);
+    for (const auto &program : programs) {
+        isa::Emulator::Options opts;
+        opts.stepLimit = 10 * program.code.size() + 500;
+        EXPECT_EQ(isa::Emulator().run(program, opts).exit,
+                  isa::EmuResult::Exit::Finished)
+            << program.name;
+    }
+}
+
+TEST(Manager, CrossoverPairsHalvesTheBatch)
+{
+    Manager mgr(smallConfig(), 4);
+    const auto parents = mgr.generateBatch(8);
+    const auto children = mgr.crossoverPairs(parents, 2);
+    ASSERT_EQ(children.size(), 4u);
+    for (const auto &child : children)
+        EXPECT_EQ(child.seq.size(), 80u);
+}
+
+TEST(Manager, DeterministicPerSeed)
+{
+    Manager a(smallConfig(), 9);
+    Manager b(smallConfig(), 9);
+    const auto pa = a.randomThenMutate(3, 2);
+    const auto pb = b.randomThenMutate(3, 2);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        ASSERT_EQ(pa[i].code.size(), pb[i].code.size());
+        for (std::size_t k = 0; k < pa[i].code.size(); ++k)
+            EXPECT_EQ(pa[i].code[k].descId, pb[i].code[k].descId);
+    }
+}

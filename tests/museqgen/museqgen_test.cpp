@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hh"
+#include "isa/emulator.hh"
+#include "isa/encoding.hh"
+#include "isa/isa_table.hh"
+#include "museqgen/museqgen.hh"
+#include "uarch/core.hh"
+
+using namespace harpo;
+using namespace harpo::museqgen;
+using harpo::isa::isaTable;
+
+TEST(DefaultPool, ExcludesHazardousVariants)
+{
+    const auto pool = defaultPool(false);
+    EXPECT_GT(pool.size(), 100u);
+    for (auto id : pool) {
+        const auto &d = isaTable().desc(id);
+        EXPECT_TRUE(d.deterministic) << d.mnemonic;
+        EXPECT_NE(d.opClass, isa::OpClass::IntDiv) << d.mnemonic;
+        EXPECT_FALSE(d.isBranch) << d.mnemonic;
+    }
+}
+
+TEST(DefaultPool, BranchVariantOptIn)
+{
+    const auto without = defaultPool(false);
+    const auto with = defaultPool(true);
+    EXPECT_GT(with.size(), without.size());
+}
+
+TEST(MuSeqGen, GenomeHasRequestedLength)
+{
+    GenConfig cfg;
+    cfg.numInstructions = 123;
+    MuSeqGen gen(cfg);
+    Rng rng(1);
+    const Genome g = gen.randomGenome(rng);
+    EXPECT_EQ(g.seq.size(), 123u);
+    for (auto id : g.seq)
+        EXPECT_NE(std::find(gen.pool().begin(), gen.pool().end(), id),
+                  gen.pool().end());
+}
+
+TEST(MuSeqGen, SynthesisIsDeterministic)
+{
+    GenConfig cfg;
+    cfg.numInstructions = 200;
+    MuSeqGen gen(cfg);
+    Rng rng(7);
+    const Genome g = gen.randomGenome(rng);
+    const auto p1 = gen.synthesize(g);
+    const auto p2 = gen.synthesize(g);
+    EXPECT_EQ(isa::encodeProgram(p1.code), isa::encodeProgram(p2.code));
+    EXPECT_EQ(p1.initGpr, p2.initGpr);
+}
+
+// The central validity property (paper V-B): every generated program
+// must run to completion, deterministically, with no crash — under
+// arbitrary seeds and after arbitrary chains of mutations.
+TEST(MuSeqGen, GeneratedProgramsAlwaysRunToCompletion)
+{
+    GenConfig cfg;
+    cfg.numInstructions = 300;
+    MuSeqGen gen(cfg);
+    for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+        Rng rng(seed);
+        const auto program = gen.generate(rng);
+        isa::Emulator::Options opts;
+        opts.stepLimit = 10 * program.code.size() + 1000;
+        const auto r = isa::Emulator().run(program, opts);
+        EXPECT_EQ(r.exit, isa::EmuResult::Exit::Finished)
+            << "seed " << seed;
+    }
+}
+
+TEST(MuSeqGen, MutatedProgramsStayValid)
+{
+    GenConfig cfg;
+    cfg.numInstructions = 250;
+    MuSeqGen gen(cfg);
+    Rng rng(42);
+    Genome g = gen.randomGenome(rng);
+    for (int step = 0; step < 40; ++step) {
+        g = gen.mutate(g, rng);
+        const auto program = gen.synthesize(g);
+        isa::Emulator::Options opts;
+        opts.stepLimit = 10 * program.code.size() + 1000;
+        const auto r = isa::Emulator().run(program, opts);
+        ASSERT_EQ(r.exit, isa::EmuResult::Exit::Finished)
+            << "mutation step " << step;
+    }
+}
+
+TEST(MuSeqGen, GeneratedProgramsAreDeterministic)
+{
+    GenConfig cfg;
+    cfg.numInstructions = 200;
+    MuSeqGen gen(cfg);
+    Rng rng(5);
+    const auto program = gen.generate(rng);
+    isa::Emulator::Options a, b;
+    a.nondetSeed = 111;
+    b.nondetSeed = 222;
+    EXPECT_EQ(isa::Emulator().run(program, a).signature,
+              isa::Emulator().run(program, b).signature);
+}
+
+TEST(MuSeqGen, GeneratedProgramsRunOnTheCore)
+{
+    GenConfig cfg;
+    cfg.numInstructions = 300;
+    MuSeqGen gen(cfg);
+    for (std::uint64_t seed = 100; seed < 110; ++seed) {
+        Rng rng(seed);
+        const auto program = gen.generate(rng);
+        uarch::Core core{uarch::CoreConfig{}};
+        const auto sim = core.run(program);
+        ASSERT_EQ(sim.exit, uarch::SimResult::Exit::Finished)
+            << "seed " << seed;
+        // And agrees with the emulator.
+        const auto emu = isa::Emulator().run(program);
+        EXPECT_EQ(sim.signature, emu.signature) << "seed " << seed;
+    }
+}
+
+TEST(MuSeqGen, MutationReplacesAllOccurrences)
+{
+    GenConfig cfg;
+    cfg.numInstructions = 400;
+    MuSeqGen gen(cfg);
+    Rng rng(9);
+    const Genome parent = gen.randomGenome(rng);
+    const Genome child = gen.mutate(parent, rng);
+    ASSERT_EQ(child.seq.size(), parent.seq.size());
+    EXPECT_EQ(child.operandSeed, parent.operandSeed);
+
+    // Find the victim: some variant of the parent absent (or fully
+    // replaced) in the child; every changed position must have held
+    // the same victim variant and now hold the same replacement.
+    std::set<std::pair<std::uint16_t, std::uint16_t>> changes;
+    for (std::size_t i = 0; i < parent.seq.size(); ++i) {
+        if (parent.seq[i] != child.seq[i])
+            changes.insert({parent.seq[i], child.seq[i]});
+    }
+    EXPECT_LE(changes.size(), 1u);
+    if (!changes.empty()) {
+        const auto [victim, replacement] = *changes.begin();
+        for (std::size_t i = 0; i < parent.seq.size(); ++i) {
+            if (parent.seq[i] == victim)
+                EXPECT_EQ(child.seq[i], replacement);
+        }
+    }
+}
+
+TEST(MuSeqGen, CrossoverMixesParents)
+{
+    GenConfig cfg;
+    cfg.numInstructions = 100;
+    MuSeqGen gen(cfg);
+    Rng rng(3);
+    Genome a = gen.randomGenome(rng);
+    Genome b = gen.randomGenome(rng);
+    const Genome child = gen.crossover(a, b, 2, rng);
+    ASSERT_EQ(child.seq.size(), 100u);
+    for (std::size_t i = 0; i < child.seq.size(); ++i)
+        EXPECT_TRUE(child.seq[i] == a.seq[i] || child.seq[i] == b.seq[i]);
+}
+
+TEST(MuSeqGen, StackImbalanceIsRealignedAndSafe)
+{
+    // A pool of only pushes produces maximal stack imbalance; the
+    // epilogue and mid-region stack placement keep it valid.
+    GenConfig cfg;
+    cfg.numInstructions = 100;
+    cfg.pool = {isaTable().byMnemonic("push r64")->id};
+    MuSeqGen gen(cfg);
+    Rng rng(4);
+    const auto program = gen.generate(rng);
+    EXPECT_EQ(program.code.size(), 101u); // +1 realign epilogue
+    const auto r = isa::Emulator().run(program);
+    EXPECT_EQ(r.exit, isa::EmuResult::Exit::Finished);
+}
+
+TEST(MuSeqGen, MemoryOperandsStayInRegion)
+{
+    GenConfig cfg;
+    cfg.numInstructions = 500;
+    cfg.memory.regionSize = 4096;
+    cfg.memory.stride = 8;
+    MuSeqGen gen(cfg);
+    Rng rng(6);
+    const auto program = gen.generate(rng);
+    for (const auto &inst : program.code) {
+        for (const auto &op : inst.ops) {
+            if (op.kind == isa::OperandKind::Mem && !op.mem.ripRel) {
+                EXPECT_GE(op.mem.disp, 0);
+                EXPECT_LT(op.mem.disp, 4096);
+            }
+        }
+    }
+    EXPECT_EQ(isa::Emulator().run(program).exit,
+              isa::EmuResult::Exit::Finished);
+}
+
+TEST(MuSeqGen, RegAllocPoliciesProduceValidPrograms)
+{
+    for (auto policy :
+         {RegAllocPolicy::MaxDependencyDistance, RegAllocPolicy::RoundRobin,
+          RegAllocPolicy::Random}) {
+        GenConfig cfg;
+        cfg.numInstructions = 200;
+        cfg.regAlloc = policy;
+        MuSeqGen gen(cfg);
+        Rng rng(8);
+        const auto program = gen.generate(rng);
+        EXPECT_EQ(isa::Emulator().run(program).exit,
+                  isa::EmuResult::Exit::Finished);
+    }
+}
+
+TEST(MuSeqGen, BranchesResolveToNextInstruction)
+{
+    GenConfig cfg;
+    cfg.numInstructions = 200;
+    cfg.allowBranches = true;
+    MuSeqGen gen(cfg);
+    Rng rng(10);
+    const auto program = gen.generate(rng);
+    bool sawBranch = false;
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+        const auto &desc = isaTable().desc(program.code[i].descId);
+        if (desc.isBranch) {
+            sawBranch = true;
+            EXPECT_EQ(program.code[i].branchTarget,
+                      static_cast<std::int32_t>(i + 1));
+        }
+    }
+    EXPECT_TRUE(sawBranch);
+    EXPECT_EQ(isa::Emulator().run(program).exit,
+              isa::EmuResult::Exit::Finished);
+}

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "isa/isa_table.hh"
+#include "isa/emulator.hh"
+#include "museqgen/museqgen.hh"
+
+using namespace harpo;
+using namespace harpo::museqgen;
+using harpo::isa::isaTable;
+
+TEST(PoolWeights, BiasedSelectionFollowsWeights)
+{
+    GenConfig cfg;
+    cfg.numInstructions = 4000;
+    cfg.pool = {isaTable().byMnemonic("add r64, r64")->id,
+                isaTable().byMnemonic("xor r64, r64")->id,
+                isaTable().byMnemonic("nop")->id};
+    cfg.poolWeights = {8.0, 1.0, 1.0};
+    MuSeqGen gen(cfg);
+    Rng rng(1);
+    const Genome g = gen.randomGenome(rng);
+
+    std::map<std::uint16_t, int> counts;
+    for (auto id : g.seq)
+        counts[id]++;
+    const int adds = counts[cfg.pool[0]];
+    const int xors = counts[cfg.pool[1]];
+    const int nops = counts[cfg.pool[2]];
+    EXPECT_EQ(adds + xors + nops, 4000);
+    // 80/10/10 split within statistical slack.
+    EXPECT_GT(adds, 2900);
+    EXPECT_LT(xors, 700);
+    EXPECT_LT(nops, 700);
+}
+
+TEST(PoolWeights, ZeroWeightVariantNeverSelected)
+{
+    GenConfig cfg;
+    cfg.numInstructions = 2000;
+    cfg.pool = {isaTable().byMnemonic("add r64, r64")->id,
+                isaTable().byMnemonic("nop")->id};
+    cfg.poolWeights = {1.0, 0.0};
+    MuSeqGen gen(cfg);
+    Rng rng(2);
+    const Genome g = gen.randomGenome(rng);
+    for (auto id : g.seq)
+        EXPECT_EQ(id, cfg.pool[0]);
+}
+
+TEST(PoolWeights, EmptyWeightsMeanUniform)
+{
+    GenConfig cfg;
+    cfg.numInstructions = 6000;
+    cfg.pool = {isaTable().byMnemonic("add r64, r64")->id,
+                isaTable().byMnemonic("nop")->id};
+    MuSeqGen gen(cfg);
+    Rng rng(3);
+    const Genome g = gen.randomGenome(rng);
+    int adds = 0;
+    for (auto id : g.seq)
+        adds += id == cfg.pool[0];
+    EXPECT_GT(adds, 2700);
+    EXPECT_LT(adds, 3300);
+}
+
+TEST(PoolWeights, WeightedProgramsStillValid)
+{
+    GenConfig cfg;
+    cfg.numInstructions = 300;
+    // Heavily FP-weighted full pool.
+    cfg.pool = defaultPool(false);
+    cfg.poolWeights.assign(cfg.pool.size(), 1.0);
+    for (std::size_t i = 0; i < cfg.pool.size(); ++i) {
+        const auto &d = isaTable().desc(cfg.pool[i]);
+        if (d.opClass == isa::OpClass::FpAdd ||
+            d.opClass == isa::OpClass::FpMul) {
+            cfg.poolWeights[i] = 20.0;
+        }
+    }
+    MuSeqGen gen(cfg);
+    Rng rng(4);
+    const auto program = gen.generate(rng);
+    isa::Emulator::Options opts;
+    opts.stepLimit = 10 * program.code.size() + 1000;
+    EXPECT_EQ(isa::Emulator().run(program, opts).exit,
+              isa::EmuResult::Exit::Finished);
+}

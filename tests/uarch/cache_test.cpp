@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "isa/program.hh"
+#include "uarch/cache.hh"
+
+using namespace harpo;
+using namespace harpo::uarch;
+
+namespace
+{
+
+isa::TestProgram
+regionProgram()
+{
+    isa::TestProgram p;
+    p.regions.push_back({0x10000, 64 * 1024});
+    std::vector<std::uint8_t> init(64 * 1024);
+    for (std::size_t i = 0; i < init.size(); ++i)
+        init[i] = static_cast<std::uint8_t>(i * 7 + 1);
+    p.memInit.push_back({0x10000, std::move(init)});
+    return p;
+}
+
+} // namespace
+
+class CacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        program = regionProgram();
+        memory.reset(program);
+        cache.reset(CacheConfig{}, &memory);
+    }
+
+    isa::TestProgram program;
+    isa::Memory memory;
+    L1Cache cache;
+};
+
+TEST_F(CacheTest, MissThenHitLatency)
+{
+    std::uint8_t buf[8];
+    unsigned lat = 0;
+    ASSERT_TRUE(cache.read(0x10000, 8, buf, lat, 1, nullptr, nullptr));
+    EXPECT_EQ(lat, CacheConfig{}.missLatency);
+    ASSERT_TRUE(cache.read(0x10000, 8, buf, lat, 2, nullptr, nullptr));
+    EXPECT_EQ(lat, CacheConfig{}.hitLatency);
+    EXPECT_EQ(cache.hits, 1u);
+    EXPECT_EQ(cache.misses, 1u);
+}
+
+TEST_F(CacheTest, ReadsReturnBackingData)
+{
+    std::uint8_t buf[16];
+    unsigned lat = 0;
+    ASSERT_TRUE(cache.read(0x10020, 16, buf, lat, 1, nullptr, nullptr));
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(buf[i], static_cast<std::uint8_t>((0x20 + i) * 7 + 1));
+}
+
+TEST_F(CacheTest, WriteReadRoundTrip)
+{
+    const std::uint64_t v = 0xDEADBEEFCAFEF00Dull;
+    std::uint8_t in[8];
+    std::memcpy(in, &v, 8);
+    unsigned lat = 0;
+    ASSERT_TRUE(cache.write(0x10100, 8, in, lat, 1, nullptr, nullptr));
+    std::uint8_t out[8];
+    ASSERT_TRUE(cache.read(0x10100, 8, out, lat, 2, nullptr, nullptr));
+    EXPECT_EQ(std::memcmp(in, out, 8), 0);
+}
+
+TEST_F(CacheTest, InvalidAddressFails)
+{
+    std::uint8_t buf[8];
+    unsigned lat = 0;
+    EXPECT_FALSE(cache.read(0x50000000, 8, buf, lat, 1, nullptr,
+                            nullptr));
+}
+
+TEST_F(CacheTest, DirtyEvictionWritesBack)
+{
+    const CacheConfig cfg{};
+    // Write a value, then touch enough conflicting lines to evict it.
+    const std::uint64_t addr = 0x10000;
+    const std::uint64_t v = 0x1122334455667788ull;
+    std::uint8_t in[8];
+    std::memcpy(in, &v, 8);
+    unsigned lat = 0;
+    ASSERT_TRUE(cache.write(addr, 8, in, lat, 1, nullptr, nullptr));
+    // Same set repeats every numSets*lineSize bytes.
+    const std::uint64_t setStride = cfg.numSets() * cfg.lineSize;
+    for (unsigned w = 1; w <= cfg.ways; ++w) {
+        std::uint8_t buf[8];
+        ASSERT_TRUE(cache.read(addr + w * setStride, 8, buf, lat, 1 + w,
+                               nullptr, nullptr));
+    }
+    // The dirty line must have reached backing memory.
+    std::uint8_t back[8];
+    ASSERT_TRUE(memory.read(addr, 8, back));
+    EXPECT_EQ(std::memcmp(back, in, 8), 0);
+}
+
+TEST_F(CacheTest, FlushWritesDirtyLines)
+{
+    const std::uint64_t v = 0xABCD;
+    std::uint8_t in[8];
+    std::memcpy(in, &v, 8);
+    unsigned lat = 0;
+    ASSERT_TRUE(cache.write(0x10400, 8, in, lat, 1, nullptr, nullptr));
+    cache.flush(2, nullptr, nullptr);
+    std::uint8_t back[8];
+    ASSERT_TRUE(memory.read(0x10400, 8, back));
+    EXPECT_EQ(std::memcmp(back, in, 8), 0);
+}
+
+TEST_F(CacheTest, FlippedBitVisibleOnRead)
+{
+    std::uint8_t buf[8];
+    unsigned lat = 0;
+    ASSERT_TRUE(cache.read(0x10000, 8, buf, lat, 1, nullptr, nullptr));
+    // Locate the cached copy: line index is deterministic on a cold
+    // cache (first fill goes to way 0 of its set).
+    // Flip every data-array bit 0 and look for a changed read; at
+    // least the resident line's byte must respond.
+    bool changed = false;
+    for (std::uint32_t idx = 0; idx < cache.dataSize() && !changed;
+         idx += 64) {
+        cache.flipBit(idx, 0);
+        std::uint8_t buf2[8];
+        ASSERT_TRUE(
+            cache.read(0x10000, 8, buf2, lat, 2, nullptr, nullptr));
+        changed = std::memcmp(buf, buf2, 8) != 0;
+        cache.flipBit(idx, 0); // restore
+    }
+    EXPECT_TRUE(changed);
+}
+
+TEST_F(CacheTest, LineCrossingAccessHandled)
+{
+    // Access straddling a 64-byte boundary.
+    std::uint8_t in[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    unsigned lat = 0;
+    ASSERT_TRUE(cache.write(0x1003C, 8, in, lat, 1, nullptr, nullptr));
+    std::uint8_t out[8];
+    ASSERT_TRUE(cache.read(0x1003C, 8, out, lat, 2, nullptr, nullptr));
+    EXPECT_EQ(std::memcmp(in, out, 8), 0);
+}
+
+TEST_F(CacheTest, ProbeSeesReadsWritesAndEvictions)
+{
+    struct Counter : CoreProbe
+    {
+        int reads = 0, writes = 0, evicts = 0;
+        void
+        onCacheRead(std::uint32_t, unsigned, std::uint64_t) override
+        {
+            ++reads;
+        }
+        void
+        onCacheWrite(std::uint32_t, unsigned, std::uint64_t) override
+        {
+            ++writes;
+        }
+        void
+        onCacheEvict(std::uint32_t, unsigned, bool,
+                     std::uint64_t) override
+        {
+            ++evicts;
+        }
+    } counter;
+
+    std::uint8_t buf[8] = {};
+    unsigned lat = 0;
+    cache.read(0x10000, 8, buf, lat, 1, &counter, nullptr);
+    EXPECT_GE(counter.writes, 1); // the fill
+    EXPECT_EQ(counter.reads, 1);
+    cache.write(0x10000, 8, buf, lat, 2, &counter, nullptr);
+    EXPECT_GE(counter.writes, 2);
+    cache.flush(3, &counter, nullptr);
+    EXPECT_GE(counter.evicts, 1);
+}

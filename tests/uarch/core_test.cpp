@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "isa/emulator.hh"
+#include "isa/registers.hh"
+#include "uarch/core.hh"
+
+using namespace harpo;
+using namespace harpo::isa;
+using namespace harpo::uarch;
+using PB = ProgramBuilder;
+
+namespace
+{
+
+/** Run on both the OoO core and the emulator; expect matching
+ *  architectural outcomes. Returns the core result. */
+SimResult
+runBoth(const TestProgram &program)
+{
+    Core core{CoreConfig{}};
+    const SimResult sim = core.run(program);
+    const EmuResult emu = Emulator().run(program);
+    if (emu.exit == EmuResult::Exit::Finished) {
+        EXPECT_EQ(sim.exit, SimResult::Exit::Finished)
+            << "program " << program.name;
+        EXPECT_EQ(sim.signature, emu.signature)
+            << "program " << program.name;
+        EXPECT_EQ(sim.instsCommitted, emu.instsExecuted);
+    } else {
+        EXPECT_NE(sim.exit, SimResult::Exit::Finished)
+            << "program " << program.name;
+    }
+    return sim;
+}
+
+} // namespace
+
+TEST(Core, StraightLineMatchesEmulator)
+{
+    PB b("straight");
+    b.setGpr(RAX, 40);
+    b.setGpr(RBX, 2);
+    b.i("add r64, r64", {PB::gpr(RAX), PB::gpr(RBX)});
+    b.i("imul r64, r64", {PB::gpr(RAX), PB::gpr(RAX)});
+    b.i("sub r64, imm32", {PB::gpr(RAX), PB::imm(100)});
+    runBoth(b.build());
+}
+
+TEST(Core, LoopMatchesEmulator)
+{
+    PB b("loop");
+    b.setGpr(RAX, 0);
+    b.setGpr(RCX, 50);
+    auto top = b.here();
+    b.i("add r64, r64", {PB::gpr(RAX), PB::gpr(RCX)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", top);
+    const SimResult sim = runBoth(b.build());
+    EXPECT_GT(sim.cycles, 50u);
+}
+
+TEST(Core, MemoryOpsMatchEmulator)
+{
+    PB b("mem");
+    b.addRegion(0x10000, 4096);
+    b.initMemQwords(0x10000, {5, 10, 15, 20});
+    b.setGpr(RSI, 0x10000);
+    b.i("mov r64, m64", {PB::gpr(RAX), PB::mem(RSI, 0)});
+    b.i("add r64, m64", {PB::gpr(RAX), PB::mem(RSI, 8)});
+    b.i("mov m64, r64", {PB::mem(RSI, 24), PB::gpr(RAX)});
+    b.i("add m64, r64", {PB::mem(RSI, 24), PB::gpr(RAX)});
+    b.i("mov r64, m64", {PB::gpr(RBX), PB::mem(RSI, 24)});
+    runBoth(b.build());
+}
+
+TEST(Core, StoreToLoadForwarding)
+{
+    // A store immediately followed by a dependent load: the load must
+    // see the store's data via forwarding (the store has not yet
+    // committed to the cache when the load executes).
+    PB b("fwd");
+    b.addRegion(0x20000, 4096);
+    b.setGpr(RSI, 0x20000);
+    b.setGpr(RAX, 0x1234);
+    b.i("mov m64, r64", {PB::mem(RSI), PB::gpr(RAX)});
+    b.i("mov r64, m64", {PB::gpr(RBX), PB::mem(RSI)});
+    b.i("add r64, r64", {PB::gpr(RBX), PB::gpr(RBX)});
+    runBoth(b.build());
+}
+
+TEST(Core, PushPopSequence)
+{
+    PB b("stack");
+    b.addStack(0x70000, 4096);
+    b.setGpr(RAX, 11);
+    b.setGpr(RBX, 22);
+    b.i("push r64", {PB::gpr(RAX)});
+    b.i("push r64", {PB::gpr(RBX)});
+    b.i("pop r64", {PB::gpr(RCX)});
+    b.i("pop r64", {PB::gpr(RDX)});
+    runBoth(b.build());
+}
+
+TEST(Core, BadAddressCrashes)
+{
+    PB b("crash");
+    b.addRegion(0x10000, 64);
+    b.setGpr(RSI, 0x99999999);
+    b.i("mov r64, m64", {PB::gpr(RAX), PB::mem(RSI)});
+    Core core{CoreConfig{}};
+    const SimResult sim = core.run(b.build());
+    EXPECT_EQ(sim.exit, SimResult::Exit::Crashed);
+    EXPECT_EQ(sim.crash, CrashKind::BadAddress);
+}
+
+TEST(Core, DivZeroCrashes)
+{
+    PB b("div0");
+    b.setGpr(RBX, 0);
+    b.i("div r64", {PB::gpr(RBX)});
+    Core core{CoreConfig{}};
+    const SimResult sim = core.run(b.build());
+    EXPECT_EQ(sim.exit, SimResult::Exit::Crashed);
+    EXPECT_EQ(sim.crash, CrashKind::DivFault);
+}
+
+TEST(Core, WildBranchCrashes)
+{
+    PB b("wild");
+    b.i("jmp rel32", {PB::imm(100000)});
+    auto program = b.build();
+    program.code[0].branchTarget = 100001;
+    Core core{CoreConfig{}};
+    const SimResult sim = core.run(program);
+    EXPECT_EQ(sim.exit, SimResult::Exit::Crashed);
+    EXPECT_EQ(sim.crash, CrashKind::BadBranch);
+}
+
+TEST(Core, WrongPathFaultDoesNotCrash)
+{
+    // A branch that is always taken skips a faulting load; with a
+    // cold predictor the wrong path may execute the load, but the
+    // squash must prevent any crash.
+    PB b("wrongpath");
+    b.addRegion(0x10000, 64);
+    b.setGpr(RSI, 0x99999999);
+    b.setGpr(RAX, 1);
+    b.i("cmp r64, imm32", {PB::gpr(RAX), PB::imm(1)});
+    auto skip = b.newLabel();
+    b.br("je rel32", skip);
+    b.i("mov r64, m64", {PB::gpr(RBX), PB::mem(RSI)}); // wrong path
+    b.bind(skip);
+    b.i("inc r64", {PB::gpr(RAX)});
+    runBoth(b.build());
+}
+
+TEST(Core, InfiniteLoopHangsAtWatchdog)
+{
+    PB b("hang");
+    auto top = b.here();
+    b.i("nop");
+    b.br("jmp rel32", top);
+    CoreConfig cfg;
+    cfg.maxCycles = 5000;
+    Core core{cfg};
+    const SimResult sim = core.run(b.build());
+    EXPECT_EQ(sim.exit, SimResult::Exit::Hang);
+    EXPECT_EQ(sim.cycles, 5000u);
+}
+
+TEST(Core, IndependentOpsExploitIlp)
+{
+    // Eight independent chains should reach IPC > 1 on a 2-ALU core.
+    PB b("ilp");
+    for (int r = 0; r < 8; ++r)
+        b.setGpr(r == RSP ? R8 : r, 1);
+    for (int iter = 0; iter < 100; ++iter) {
+        for (int r : {RAX, RCX, RDX, RBX}) {
+            b.i("add r64, imm32", {PB::gpr(r), PB::imm(3)});
+            b.i("xor r64, imm32", {PB::gpr(r), PB::imm(5)});
+        }
+    }
+    Core core{CoreConfig{}};
+    const SimResult sim = core.run(b.build());
+    EXPECT_EQ(sim.exit, SimResult::Exit::Finished);
+    EXPECT_GT(sim.ipc(), 1.0);
+}
+
+TEST(Core, DependentChainLimitsIlp)
+{
+    PB b("chain");
+    b.setGpr(RAX, 1);
+    for (int iter = 0; iter < 400; ++iter)
+        b.i("imul r64, r64", {PB::gpr(RAX), PB::gpr(RAX)});
+    Core core{CoreConfig{}};
+    const SimResult sim = core.run(b.build());
+    EXPECT_EQ(sim.exit, SimResult::Exit::Finished);
+    // A dependent multiply chain is bounded by the multiplier latency.
+    EXPECT_LT(sim.ipc(), 0.5);
+}
+
+TEST(Core, MispredictsAreCountedAndRecovered)
+{
+    // Alternating taken/not-taken pattern defeats a bimodal predictor
+    // part of the time but must still produce correct results.
+    PB b("mispredict");
+    b.setGpr(RAX, 0);
+    b.setGpr(RCX, 40);
+    auto top = b.here();
+    b.i("test r64, imm32", {PB::gpr(RCX), PB::imm(1)});
+    auto odd = b.newLabel();
+    b.br("jne rel32", odd);
+    b.i("add r64, imm32", {PB::gpr(RAX), PB::imm(7)});
+    b.bind(odd);
+    b.i("add r64, imm32", {PB::gpr(RAX), PB::imm(1)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", top);
+    const SimResult sim = runBoth(b.build());
+    EXPECT_GT(sim.branchMispredicts, 0u);
+}
+
+TEST(Core, MulDivImplicitRegisters)
+{
+    PB b("muldiv");
+    b.setGpr(RAX, 123456789);
+    b.setGpr(RBX, 987654);
+    b.setGpr(RDX, 0);
+    b.i("mul r64", {PB::gpr(RBX)});
+    b.i("mov r64, imm64", {PB::gpr(RCX), PB::imm(1000)});
+    b.i("div r64", {PB::gpr(RCX)});
+    runBoth(b.build());
+}
+
+TEST(Core, SseDataflowMatchesEmulator)
+{
+    PB b("sse");
+    b.setGpr(RAX, 0x4008000000000000ull); // 3.0
+    b.setGpr(RBX, 0x3FF8000000000000ull); // 1.5
+    b.i("movq xmm, r64", {PB::xmm(0), PB::gpr(RAX)});
+    b.i("movq xmm, r64", {PB::xmm(1), PB::gpr(RBX)});
+    b.i("addsd xmm, xmm", {PB::xmm(0), PB::xmm(1)});
+    b.i("mulsd xmm, xmm", {PB::xmm(0), PB::xmm(0)});
+    b.i("subsd xmm, xmm", {PB::xmm(0), PB::xmm(1)});
+    b.i("movq r64, xmm", {PB::gpr(RCX), PB::xmm(0)});
+    runBoth(b.build());
+}
+
+TEST(Core, CacheStatsPopulated)
+{
+    PB b("stats");
+    b.addRegion(0x10000, 8192);
+    b.setGpr(RSI, 0x10000);
+    for (int i = 0; i < 32; ++i)
+        b.i("mov r64, m64", {PB::gpr(RAX), PB::mem(RSI, i * 64)});
+    for (int i = 0; i < 32; ++i)
+        b.i("mov r64, m64", {PB::gpr(RBX), PB::mem(RSI, i * 64)});
+    Core core{CoreConfig{}};
+    const SimResult sim = core.run(b.build());
+    EXPECT_EQ(sim.exit, SimResult::Exit::Finished);
+    EXPECT_GE(sim.cacheMisses, 32u);
+    EXPECT_GE(sim.cacheHits, 32u);
+}
+
+TEST(Core, EmptyProgramFinishesImmediately)
+{
+    PB b("empty");
+    Core core{CoreConfig{}};
+    const SimResult sim = core.run(b.build());
+    EXPECT_EQ(sim.exit, SimResult::Exit::Finished);
+    EXPECT_EQ(sim.instsCommitted, 0u);
+}
+
+TEST(Core, RegisterPressureStressMatchesEmulator)
+{
+    // More in-flight dests than architectural registers forces heavy
+    // renaming and free-list churn.
+    PB b("pressure");
+    for (int r = 0; r < 16; ++r) {
+        if (r != RSP)
+            b.setGpr(r, r * 1000 + 7);
+    }
+    for (int iter = 0; iter < 200; ++iter) {
+        for (int r = 0; r < 16; ++r) {
+            if (r == RSP)
+                continue;
+            b.i("add r64, imm32", {PB::gpr(r), PB::imm(iter + r)});
+        }
+    }
+    runBoth(b.build());
+}
+
+TEST(Core, FlagsRenamingAcrossBranches)
+{
+    PB b("flags");
+    b.setGpr(RAX, 5);
+    b.setGpr(RBX, 5);
+    b.i("cmp r64, r64", {PB::gpr(RAX), PB::gpr(RBX)});
+    b.i("sete r64", {PB::gpr(RCX)});
+    b.i("adc r64, imm32", {PB::gpr(RAX), PB::imm(0)});
+    b.i("cmovne r64, r64", {PB::gpr(RDX), PB::gpr(RBX)});
+    runBoth(b.build());
+}

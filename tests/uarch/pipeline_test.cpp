@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Targeted pipeline-behaviour tests: statistics counters, unpipelined
+ * FU contention, partial-overlap store-to-load stalls, squash
+ * recovery under nested mispredicts, and load-queue pressure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "isa/emulator.hh"
+#include "isa/registers.hh"
+#include "uarch/core.hh"
+
+using namespace harpo;
+using namespace harpo::isa;
+using namespace harpo::uarch;
+using PB = ProgramBuilder;
+
+namespace
+{
+
+SimResult
+runCore(const TestProgram &program)
+{
+    Core core{CoreConfig{}};
+    return core.run(program);
+}
+
+} // namespace
+
+TEST(Pipeline, IssuedCountsAtLeastCommitted)
+{
+    PB b("issued");
+    for (int i = 0; i < 50; ++i)
+        b.i("inc r64", {PB::gpr(RAX)});
+    const SimResult sim = runCore(b.build());
+    EXPECT_GE(sim.instsIssued, sim.instsCommitted);
+    EXPECT_EQ(sim.instsCommitted, 50u);
+}
+
+TEST(Pipeline, SquashedCountedOnMispredicts)
+{
+    // A data-dependent unpredictable branch pattern.
+    PB b("squash");
+    b.setGpr(RAX, 0x5A5A5A5A);
+    b.setGpr(RCX, 24);
+    auto top = b.here();
+    b.i("ror r64, imm8", {PB::gpr(RAX), PB::imm(1)});
+    b.i("test r64, imm32", {PB::gpr(RAX), PB::imm(1)});
+    auto skip = b.newLabel();
+    b.br("jne rel32", skip);
+    b.i("add r64, imm32", {PB::gpr(RBX), PB::imm(3)});
+    b.i("xor r64, imm32", {PB::gpr(RDX), PB::imm(7)});
+    b.bind(skip);
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", top);
+    const SimResult sim = runCore(b.build());
+    EXPECT_EQ(sim.exit, SimResult::Exit::Finished);
+    EXPECT_GT(sim.branchMispredicts, 0u);
+    EXPECT_GT(sim.instsSquashed, 0u);
+}
+
+TEST(Pipeline, StoreForwardsCounted)
+{
+    PB b("fwd");
+    b.addRegion(0x10000, 4096);
+    b.setGpr(RSI, 0x10000);
+    b.setGpr(RAX, 42);
+    for (int i = 0; i < 8; ++i) {
+        b.i("mov m64, r64", {PB::mem(RSI, i * 8), PB::gpr(RAX)});
+        b.i("mov r64, m64", {PB::gpr(RBX), PB::mem(RSI, i * 8)});
+    }
+    const SimResult sim = runCore(b.build());
+    EXPECT_EQ(sim.exit, SimResult::Exit::Finished);
+    EXPECT_GT(sim.loadForwards, 0u);
+}
+
+TEST(Pipeline, PartialOverlapForwardingIsCorrect)
+{
+    // An 8-byte store followed by a 1-byte load inside it (contained:
+    // forwards), then a 8-byte load overlapping two stores (partial:
+    // must stall until commit, then read the cache) — both must
+    // produce emulator-identical results.
+    PB b("partial");
+    b.addRegion(0x20000, 4096);
+    b.setGpr(RSI, 0x20000);
+    b.setGpr(RAX, 0x1122334455667788ull);
+    b.setGpr(RBX, 0x99AABBCCDDEEFF00ull);
+    b.i("mov m64, r64", {PB::mem(RSI, 0), PB::gpr(RAX)});
+    b.i("mov m64, r64", {PB::mem(RSI, 8), PB::gpr(RBX)});
+    b.i("mov r64, m8", {PB::gpr(RCX), PB::mem(RSI, 3)}); // contained
+    b.i("mov r64, m64", {PB::gpr(RDX), PB::mem(RSI, 4)}); // straddles
+    const auto program = b.build();
+    Core core{CoreConfig{}};
+    const SimResult sim = core.run(program);
+    const EmuResult emu = Emulator().run(program);
+    ASSERT_EQ(sim.exit, SimResult::Exit::Finished);
+    EXPECT_EQ(sim.signature, emu.signature);
+}
+
+TEST(Pipeline, UnpipelinedDividerSerialises)
+{
+    // Two independent divides cannot overlap on one divider: runtime
+    // must be at least 2x the divide latency.
+    PB b("div2");
+    b.setGpr(RDX, 0);
+    b.setGpr(RAX, 1000);
+    b.setGpr(RBX, 7);
+    b.i("div r64", {PB::gpr(RBX)});
+    b.i("mov r64, r64", {PB::gpr(RCX), PB::gpr(RAX)});
+    b.setGpr(R8, 3);
+    // Reset RDX:RAX for the second divide.
+    b.i("mov r64, imm64", {PB::gpr(RAX), PB::imm(900)});
+    b.i("mov r64, imm64", {PB::gpr(RDX), PB::imm(0)});
+    b.i("div r64", {PB::gpr(R8)});
+    const SimResult sim = runCore(b.build());
+    ASSERT_EQ(sim.exit, SimResult::Exit::Finished);
+    EXPECT_GE(sim.cycles, 2u * 20u);
+}
+
+TEST(Pipeline, RenameStallsUnderRegisterPressure)
+{
+    // A minimal physical register file plus a serial dependence
+    // chain forces cycles where rename is completely blocked.
+    CoreConfig cfg;
+    cfg.numIntPhysRegs = isa::numIntArchRegs + 8;
+    PB b("pressure");
+    for (int i = 0; i < 120; ++i)
+        b.i("add r64, imm32", {PB::gpr(RAX), PB::imm(i)});
+    const auto program = b.build();
+    Core core{cfg};
+    const SimResult sim = core.run(program);
+    ASSERT_EQ(sim.exit, SimResult::Exit::Finished);
+    EXPECT_GT(sim.renameStallCycles, 0u);
+    // Correctness is unaffected by the stalls.
+    const EmuResult emu = Emulator().run(program);
+    EXPECT_EQ(sim.signature, emu.signature);
+}
+
+TEST(Pipeline, TinyWindowsStillCorrect)
+{
+    CoreConfig cfg;
+    cfg.robSize = 8;
+    cfg.iqSize = 4;
+    cfg.lqSize = 2;
+    cfg.sqSize = 2;
+    cfg.fetchWidth = 1;
+    cfg.renameWidth = 1;
+    cfg.issueWidth = 1;
+    cfg.commitWidth = 1;
+    PB b("tiny");
+    b.addRegion(0x30000, 4096);
+    b.setGpr(RSI, 0x30000);
+    b.setGpr(RCX, 30);
+    auto top = b.here();
+    b.i("mov m64, r64", {PB::mem(RSI), PB::gpr(RCX)});
+    b.i("add r64, m64", {PB::gpr(RAX), PB::mem(RSI)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", top);
+    const auto program = b.build();
+    Core core{cfg};
+    const SimResult sim = core.run(program);
+    const EmuResult emu = Emulator().run(program);
+    ASSERT_EQ(sim.exit, SimResult::Exit::Finished);
+    EXPECT_EQ(sim.signature, emu.signature);
+}
+
+TEST(Pipeline, WideWindowsStillCorrect)
+{
+    CoreConfig cfg;
+    cfg.fetchWidth = 8;
+    cfg.renameWidth = 8;
+    cfg.issueWidth = 12;
+    cfg.commitWidth = 8;
+    cfg.robSize = 512;
+    cfg.numIntAlu = 6;
+    PB b("wide");
+    for (int r = 0; r < 12; ++r) {
+        const int reg = r == RSP ? R13 : r;
+        b.setGpr(reg, r + 1);
+    }
+    for (int i = 0; i < 300; ++i)
+        b.i("add r64, imm32",
+            {PB::gpr((i * 5 + 1) % 13 == RSP ? R13 : (i * 5 + 1) % 13),
+             PB::imm(i)});
+    const auto program = b.build();
+    Core core{cfg};
+    const SimResult sim = core.run(program);
+    const EmuResult emu = Emulator().run(program);
+    ASSERT_EQ(sim.exit, SimResult::Exit::Finished);
+    EXPECT_EQ(sim.signature, emu.signature);
+    EXPECT_GT(sim.ipc(), 2.0);
+}
+
+TEST(Pipeline, BackToBackMispredictsRecover)
+{
+    // Every iteration flips the branch direction: worst case for the
+    // bimodal predictor; recovery must still be exact.
+    PB b("flipflop");
+    b.setGpr(RCX, 40);
+    b.setGpr(RAX, 0);
+    auto top = b.here();
+    b.i("test r64, imm32", {PB::gpr(RCX), PB::imm(1)});
+    auto odd = b.newLabel();
+    b.br("jne rel32", odd);
+    b.i("add r64, imm32", {PB::gpr(RAX), PB::imm(100)});
+    b.bind(odd);
+    b.i("inc r64", {PB::gpr(RAX)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", top);
+    const auto program = b.build();
+    Core core{CoreConfig{}};
+    const SimResult sim = core.run(program);
+    const EmuResult emu = Emulator().run(program);
+    ASSERT_EQ(sim.exit, SimResult::Exit::Finished);
+    EXPECT_EQ(sim.signature, emu.signature);
+}
