@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_feedback.cpp" "bench_objs/CMakeFiles/ablation_feedback.dir/ablation_feedback.cpp.o" "gcc" "bench_objs/CMakeFiles/ablation_feedback.dir/ablation_feedback.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/harpo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/harpo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/museqgen/CMakeFiles/harpo_museqgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultsim/CMakeFiles/harpo_faultsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/harpo_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/harpo_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/CMakeFiles/harpo_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/harpo_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/harpo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_feedback"
+  "../bench/ablation_feedback.pdb"
+  "CMakeFiles/ablation_feedback.dir/ablation_feedback.cpp.o"
+  "CMakeFiles/ablation_feedback.dir/ablation_feedback.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_mutation"
+  "../bench/ablation_mutation.pdb"
+  "CMakeFiles/ablation_mutation.dir/ablation_mutation.cpp.o"
+  "CMakeFiles/ablation_mutation.dir/ablation_mutation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_protection"
+  "../bench/ablation_protection.pdb"
+  "CMakeFiles/ablation_protection.dir/ablation_protection.cpp.o"
+  "CMakeFiles/ablation_protection.dir/ablation_protection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

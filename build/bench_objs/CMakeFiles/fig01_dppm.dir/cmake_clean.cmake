@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_dppm"
+  "../bench/fig01_dppm.pdb"
+  "CMakeFiles/fig01_dppm.dir/fig01_dppm.cpp.o"
+  "CMakeFiles/fig01_dppm.dir/fig01_dppm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_dppm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_baseline_irf_l1d"
+  "../bench/fig04_baseline_irf_l1d.pdb"
+  "CMakeFiles/fig04_baseline_irf_l1d.dir/fig04_baseline_irf_l1d.cpp.o"
+  "CMakeFiles/fig04_baseline_irf_l1d.dir/fig04_baseline_irf_l1d.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_baseline_irf_l1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

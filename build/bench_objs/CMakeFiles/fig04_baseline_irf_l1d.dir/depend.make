@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_baseline_irf_l1d.
+# This may be replaced when dependencies are built.

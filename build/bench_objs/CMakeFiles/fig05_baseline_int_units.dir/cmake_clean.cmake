@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_baseline_int_units"
+  "../bench/fig05_baseline_int_units.pdb"
+  "CMakeFiles/fig05_baseline_int_units.dir/fig05_baseline_int_units.cpp.o"
+  "CMakeFiles/fig05_baseline_int_units.dir/fig05_baseline_int_units.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_baseline_int_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_baseline_int_units.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_baseline_fp_units"
+  "../bench/fig06_baseline_fp_units.pdb"
+  "CMakeFiles/fig06_baseline_fp_units.dir/fig06_baseline_fp_units.cpp.o"
+  "CMakeFiles/fig06_baseline_fp_units.dir/fig06_baseline_fp_units.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_baseline_fp_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_detection_summary"
+  "../bench/fig11_detection_summary.pdb"
+  "CMakeFiles/fig11_detection_summary.dir/fig11_detection_summary.cpp.o"
+  "CMakeFiles/fig11_detection_summary.dir/fig11_detection_summary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_detection_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/rate_comparison"
+  "../bench/rate_comparison.pdb"
+  "CMakeFiles/rate_comparison.dir/rate_comparison.cpp.o"
+  "CMakeFiles/rate_comparison.dir/rate_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

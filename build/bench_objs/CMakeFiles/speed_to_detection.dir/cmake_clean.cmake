@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/speed_to_detection"
+  "../bench/speed_to_detection.pdb"
+  "CMakeFiles/speed_to_detection.dir/speed_to_detection.cpp.o"
+  "CMakeFiles/speed_to_detection.dir/speed_to_detection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_to_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab1_loop_breakdown"
+  "../bench/tab1_loop_breakdown.pdb"
+  "CMakeFiles/tab1_loop_breakdown.dir/tab1_loop_breakdown.cpp.o"
+  "CMakeFiles/tab1_loop_breakdown.dir/tab1_loop_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_loop_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

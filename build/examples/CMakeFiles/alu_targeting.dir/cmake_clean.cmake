@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alu_targeting.dir/alu_targeting.cpp.o"
+  "CMakeFiles/alu_targeting.dir/alu_targeting.cpp.o.d"
+  "alu_targeting"
+  "alu_targeting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alu_targeting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harpo_baselines.dir/dcdiag.cc.o"
+  "CMakeFiles/harpo_baselines.dir/dcdiag.cc.o.d"
+  "CMakeFiles/harpo_baselines.dir/mibench.cc.o"
+  "CMakeFiles/harpo_baselines.dir/mibench.cc.o.d"
+  "CMakeFiles/harpo_baselines.dir/silifuzz.cc.o"
+  "CMakeFiles/harpo_baselines.dir/silifuzz.cc.o.d"
+  "libharpo_baselines.a"
+  "libharpo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harpo_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

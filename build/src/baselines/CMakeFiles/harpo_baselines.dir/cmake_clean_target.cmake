@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libharpo_baselines.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harpo_common.dir/logging.cc.o"
+  "CMakeFiles/harpo_common.dir/logging.cc.o.d"
+  "CMakeFiles/harpo_common.dir/rng.cc.o"
+  "CMakeFiles/harpo_common.dir/rng.cc.o.d"
+  "CMakeFiles/harpo_common.dir/softfloat.cc.o"
+  "CMakeFiles/harpo_common.dir/softfloat.cc.o.d"
+  "CMakeFiles/harpo_common.dir/thread_pool.cc.o"
+  "CMakeFiles/harpo_common.dir/thread_pool.cc.o.d"
+  "libharpo_common.a"
+  "libharpo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harpo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

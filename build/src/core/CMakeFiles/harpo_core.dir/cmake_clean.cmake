@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harpo_core.dir/harpocrates.cc.o"
+  "CMakeFiles/harpo_core.dir/harpocrates.cc.o.d"
+  "libharpo_core.a"
+  "libharpo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harpo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

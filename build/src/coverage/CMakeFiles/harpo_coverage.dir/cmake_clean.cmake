@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harpo_coverage.dir/measure.cc.o"
+  "CMakeFiles/harpo_coverage.dir/measure.cc.o.d"
+  "CMakeFiles/harpo_coverage.dir/true_ace.cc.o"
+  "CMakeFiles/harpo_coverage.dir/true_ace.cc.o.d"
+  "libharpo_coverage.a"
+  "libharpo_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harpo_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

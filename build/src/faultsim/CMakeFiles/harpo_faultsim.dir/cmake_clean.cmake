@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harpo_faultsim.dir/campaign.cc.o"
+  "CMakeFiles/harpo_faultsim.dir/campaign.cc.o.d"
+  "libharpo_faultsim.a"
+  "libharpo_faultsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harpo_faultsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gates/circuit_builder.cc" "src/gates/CMakeFiles/harpo_gates.dir/circuit_builder.cc.o" "gcc" "src/gates/CMakeFiles/harpo_gates.dir/circuit_builder.cc.o.d"
+  "/root/repo/src/gates/fp_units.cc" "src/gates/CMakeFiles/harpo_gates.dir/fp_units.cc.o" "gcc" "src/gates/CMakeFiles/harpo_gates.dir/fp_units.cc.o.d"
+  "/root/repo/src/gates/fu_library.cc" "src/gates/CMakeFiles/harpo_gates.dir/fu_library.cc.o" "gcc" "src/gates/CMakeFiles/harpo_gates.dir/fu_library.cc.o.d"
+  "/root/repo/src/gates/int_units.cc" "src/gates/CMakeFiles/harpo_gates.dir/int_units.cc.o" "gcc" "src/gates/CMakeFiles/harpo_gates.dir/int_units.cc.o.d"
+  "/root/repo/src/gates/netlist.cc" "src/gates/CMakeFiles/harpo_gates.dir/netlist.cc.o" "gcc" "src/gates/CMakeFiles/harpo_gates.dir/netlist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harpo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/harpo_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harpo_gates.dir/circuit_builder.cc.o"
+  "CMakeFiles/harpo_gates.dir/circuit_builder.cc.o.d"
+  "CMakeFiles/harpo_gates.dir/fp_units.cc.o"
+  "CMakeFiles/harpo_gates.dir/fp_units.cc.o.d"
+  "CMakeFiles/harpo_gates.dir/fu_library.cc.o"
+  "CMakeFiles/harpo_gates.dir/fu_library.cc.o.d"
+  "CMakeFiles/harpo_gates.dir/int_units.cc.o"
+  "CMakeFiles/harpo_gates.dir/int_units.cc.o.d"
+  "CMakeFiles/harpo_gates.dir/netlist.cc.o"
+  "CMakeFiles/harpo_gates.dir/netlist.cc.o.d"
+  "libharpo_gates.a"
+  "libharpo_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harpo_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/arith_model.cc" "src/isa/CMakeFiles/harpo_isa.dir/arith_model.cc.o" "gcc" "src/isa/CMakeFiles/harpo_isa.dir/arith_model.cc.o.d"
+  "/root/repo/src/isa/builder.cc" "src/isa/CMakeFiles/harpo_isa.dir/builder.cc.o" "gcc" "src/isa/CMakeFiles/harpo_isa.dir/builder.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/isa/CMakeFiles/harpo_isa.dir/disasm.cc.o" "gcc" "src/isa/CMakeFiles/harpo_isa.dir/disasm.cc.o.d"
+  "/root/repo/src/isa/emulator.cc" "src/isa/CMakeFiles/harpo_isa.dir/emulator.cc.o" "gcc" "src/isa/CMakeFiles/harpo_isa.dir/emulator.cc.o.d"
+  "/root/repo/src/isa/encoding.cc" "src/isa/CMakeFiles/harpo_isa.dir/encoding.cc.o" "gcc" "src/isa/CMakeFiles/harpo_isa.dir/encoding.cc.o.d"
+  "/root/repo/src/isa/isa_table.cc" "src/isa/CMakeFiles/harpo_isa.dir/isa_table.cc.o" "gcc" "src/isa/CMakeFiles/harpo_isa.dir/isa_table.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/isa/CMakeFiles/harpo_isa.dir/program.cc.o" "gcc" "src/isa/CMakeFiles/harpo_isa.dir/program.cc.o.d"
+  "/root/repo/src/isa/registers.cc" "src/isa/CMakeFiles/harpo_isa.dir/registers.cc.o" "gcc" "src/isa/CMakeFiles/harpo_isa.dir/registers.cc.o.d"
+  "/root/repo/src/isa/semantics.cc" "src/isa/CMakeFiles/harpo_isa.dir/semantics.cc.o" "gcc" "src/isa/CMakeFiles/harpo_isa.dir/semantics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harpo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

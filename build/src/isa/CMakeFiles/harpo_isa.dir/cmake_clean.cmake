@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harpo_isa.dir/arith_model.cc.o"
+  "CMakeFiles/harpo_isa.dir/arith_model.cc.o.d"
+  "CMakeFiles/harpo_isa.dir/builder.cc.o"
+  "CMakeFiles/harpo_isa.dir/builder.cc.o.d"
+  "CMakeFiles/harpo_isa.dir/disasm.cc.o"
+  "CMakeFiles/harpo_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/harpo_isa.dir/emulator.cc.o"
+  "CMakeFiles/harpo_isa.dir/emulator.cc.o.d"
+  "CMakeFiles/harpo_isa.dir/encoding.cc.o"
+  "CMakeFiles/harpo_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/harpo_isa.dir/isa_table.cc.o"
+  "CMakeFiles/harpo_isa.dir/isa_table.cc.o.d"
+  "CMakeFiles/harpo_isa.dir/program.cc.o"
+  "CMakeFiles/harpo_isa.dir/program.cc.o.d"
+  "CMakeFiles/harpo_isa.dir/registers.cc.o"
+  "CMakeFiles/harpo_isa.dir/registers.cc.o.d"
+  "CMakeFiles/harpo_isa.dir/semantics.cc.o"
+  "CMakeFiles/harpo_isa.dir/semantics.cc.o.d"
+  "libharpo_isa.a"
+  "libharpo_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harpo_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/museqgen/manager.cc" "src/museqgen/CMakeFiles/harpo_museqgen.dir/manager.cc.o" "gcc" "src/museqgen/CMakeFiles/harpo_museqgen.dir/manager.cc.o.d"
+  "/root/repo/src/museqgen/museqgen.cc" "src/museqgen/CMakeFiles/harpo_museqgen.dir/museqgen.cc.o" "gcc" "src/museqgen/CMakeFiles/harpo_museqgen.dir/museqgen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harpo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/harpo_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harpo_museqgen.dir/manager.cc.o"
+  "CMakeFiles/harpo_museqgen.dir/manager.cc.o.d"
+  "CMakeFiles/harpo_museqgen.dir/museqgen.cc.o"
+  "CMakeFiles/harpo_museqgen.dir/museqgen.cc.o.d"
+  "libharpo_museqgen.a"
+  "libharpo_museqgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harpo_museqgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

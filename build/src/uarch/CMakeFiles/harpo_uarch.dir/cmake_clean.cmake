@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harpo_uarch.dir/cache.cc.o"
+  "CMakeFiles/harpo_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/harpo_uarch.dir/core.cc.o"
+  "CMakeFiles/harpo_uarch.dir/core.cc.o.d"
+  "libharpo_uarch.a"
+  "libharpo_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harpo_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

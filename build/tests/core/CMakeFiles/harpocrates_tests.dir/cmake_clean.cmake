@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harpocrates_tests.dir/harpocrates_test.cpp.o"
+  "CMakeFiles/harpocrates_tests.dir/harpocrates_test.cpp.o.d"
+  "harpocrates_tests"
+  "harpocrates_tests.pdb"
+  "harpocrates_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harpocrates_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

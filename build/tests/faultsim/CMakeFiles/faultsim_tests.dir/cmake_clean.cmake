@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faultsim_tests.dir/campaign_test.cpp.o"
+  "CMakeFiles/faultsim_tests.dir/campaign_test.cpp.o.d"
+  "CMakeFiles/faultsim_tests.dir/protection_test.cpp.o"
+  "CMakeFiles/faultsim_tests.dir/protection_test.cpp.o.d"
+  "CMakeFiles/faultsim_tests.dir/sampling_test.cpp.o"
+  "CMakeFiles/faultsim_tests.dir/sampling_test.cpp.o.d"
+  "faultsim_tests"
+  "faultsim_tests.pdb"
+  "faultsim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faultsim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gates_tests.dir/fault_property_test.cpp.o"
+  "CMakeFiles/gates_tests.dir/fault_property_test.cpp.o.d"
+  "CMakeFiles/gates_tests.dir/fu_circuits_test.cpp.o"
+  "CMakeFiles/gates_tests.dir/fu_circuits_test.cpp.o.d"
+  "CMakeFiles/gates_tests.dir/netlist_test.cpp.o"
+  "CMakeFiles/gates_tests.dir/netlist_test.cpp.o.d"
+  "gates_tests"
+  "gates_tests.pdb"
+  "gates_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gates_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/isa/alu_property_test.cpp" "tests/isa/CMakeFiles/isa_tests.dir/alu_property_test.cpp.o" "gcc" "tests/isa/CMakeFiles/isa_tests.dir/alu_property_test.cpp.o.d"
+  "/root/repo/tests/isa/builder_test.cpp" "tests/isa/CMakeFiles/isa_tests.dir/builder_test.cpp.o" "gcc" "tests/isa/CMakeFiles/isa_tests.dir/builder_test.cpp.o.d"
+  "/root/repo/tests/isa/disasm_test.cpp" "tests/isa/CMakeFiles/isa_tests.dir/disasm_test.cpp.o" "gcc" "tests/isa/CMakeFiles/isa_tests.dir/disasm_test.cpp.o.d"
+  "/root/repo/tests/isa/emulator_test.cpp" "tests/isa/CMakeFiles/isa_tests.dir/emulator_test.cpp.o" "gcc" "tests/isa/CMakeFiles/isa_tests.dir/emulator_test.cpp.o.d"
+  "/root/repo/tests/isa/encoding_test.cpp" "tests/isa/CMakeFiles/isa_tests.dir/encoding_test.cpp.o" "gcc" "tests/isa/CMakeFiles/isa_tests.dir/encoding_test.cpp.o.d"
+  "/root/repo/tests/isa/isa_table_test.cpp" "tests/isa/CMakeFiles/isa_tests.dir/isa_table_test.cpp.o" "gcc" "tests/isa/CMakeFiles/isa_tests.dir/isa_table_test.cpp.o.d"
+  "/root/repo/tests/isa/rcr_corner_test.cpp" "tests/isa/CMakeFiles/isa_tests.dir/rcr_corner_test.cpp.o" "gcc" "tests/isa/CMakeFiles/isa_tests.dir/rcr_corner_test.cpp.o.d"
+  "/root/repo/tests/isa/semantics_test.cpp" "tests/isa/CMakeFiles/isa_tests.dir/semantics_test.cpp.o" "gcc" "tests/isa/CMakeFiles/isa_tests.dir/semantics_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/harpo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/harpo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/museqgen/CMakeFiles/harpo_museqgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultsim/CMakeFiles/harpo_faultsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/harpo_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/harpo_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/CMakeFiles/harpo_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/harpo_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/harpo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

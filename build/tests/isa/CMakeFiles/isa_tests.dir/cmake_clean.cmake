@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_tests.dir/alu_property_test.cpp.o"
+  "CMakeFiles/isa_tests.dir/alu_property_test.cpp.o.d"
+  "CMakeFiles/isa_tests.dir/builder_test.cpp.o"
+  "CMakeFiles/isa_tests.dir/builder_test.cpp.o.d"
+  "CMakeFiles/isa_tests.dir/disasm_test.cpp.o"
+  "CMakeFiles/isa_tests.dir/disasm_test.cpp.o.d"
+  "CMakeFiles/isa_tests.dir/emulator_test.cpp.o"
+  "CMakeFiles/isa_tests.dir/emulator_test.cpp.o.d"
+  "CMakeFiles/isa_tests.dir/encoding_test.cpp.o"
+  "CMakeFiles/isa_tests.dir/encoding_test.cpp.o.d"
+  "CMakeFiles/isa_tests.dir/isa_table_test.cpp.o"
+  "CMakeFiles/isa_tests.dir/isa_table_test.cpp.o.d"
+  "CMakeFiles/isa_tests.dir/rcr_corner_test.cpp.o"
+  "CMakeFiles/isa_tests.dir/rcr_corner_test.cpp.o.d"
+  "CMakeFiles/isa_tests.dir/semantics_test.cpp.o"
+  "CMakeFiles/isa_tests.dir/semantics_test.cpp.o.d"
+  "isa_tests"
+  "isa_tests.pdb"
+  "isa_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/museqgen_tests.dir/manager_test.cpp.o"
+  "CMakeFiles/museqgen_tests.dir/manager_test.cpp.o.d"
+  "CMakeFiles/museqgen_tests.dir/museqgen_test.cpp.o"
+  "CMakeFiles/museqgen_tests.dir/museqgen_test.cpp.o.d"
+  "CMakeFiles/museqgen_tests.dir/weights_test.cpp.o"
+  "CMakeFiles/museqgen_tests.dir/weights_test.cpp.o.d"
+  "museqgen_tests"
+  "museqgen_tests.pdb"
+  "museqgen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/museqgen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uarch_tests.dir/cache_test.cpp.o"
+  "CMakeFiles/uarch_tests.dir/cache_test.cpp.o.d"
+  "CMakeFiles/uarch_tests.dir/core_test.cpp.o"
+  "CMakeFiles/uarch_tests.dir/core_test.cpp.o.d"
+  "CMakeFiles/uarch_tests.dir/pipeline_test.cpp.o"
+  "CMakeFiles/uarch_tests.dir/pipeline_test.cpp.o.d"
+  "uarch_tests"
+  "uarch_tests.pdb"
+  "uarch_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uarch_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
