@@ -149,7 +149,7 @@ BM_SingleFaultInjection(benchmark::State &state)
     std::size_t i = 0;
     for (auto _ : state) {
         const auto outcome = faultsim::FaultCampaign::runOne(
-            program, faults[i++ % faults.size()], cfg.core,
+            program, faults[i++ % faults.size()], cfg,
             goldenSim.signature, goldenSim.cycles);
         benchmark::DoNotOptimize(outcome);
     }

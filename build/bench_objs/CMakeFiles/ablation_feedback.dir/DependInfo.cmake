@@ -22,6 +22,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/gates/CMakeFiles/harpo_gates.dir/DependInfo.cmake"
   "/root/repo/build/src/isa/CMakeFiles/harpo_isa.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/harpo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/resilience/CMakeFiles/harpo_resilience.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -183,13 +183,36 @@ bench_objs/CMakeFiles/micro_throughput.dir/micro_throughput.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/common/rng.hh /root/repo/src/coverage/measure.hh \
- /root/repo/src/isa/program.hh /usr/include/c++/12/array \
+ /root/repo/src/common/rng.hh /usr/include/c++/12/array \
+ /root/repo/src/coverage/measure.hh /root/repo/src/isa/program.hh \
  /root/repo/src/isa/instruction.hh /root/repo/src/uarch/core.hh \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/isa/arith_model.hh \
  /root/repo/src/isa/registers.hh /root/repo/src/uarch/branch_predictor.hh \
  /root/repo/src/uarch/cache.hh /root/repo/src/uarch/core_config.hh \
+ /root/repo/src/resilience/budget.hh /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
+ /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
+ /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
+ /usr/include/c++/12/bits/locale_classes.h \
+ /usr/include/c++/12/bits/locale_classes.tcc \
+ /usr/include/c++/12/streambuf /usr/include/c++/12/bits/streambuf.tcc \
+ /usr/include/c++/12/bits/basic_ios.h \
+ /usr/include/c++/12/bits/locale_facets.h /usr/include/c++/12/cwctype \
+ /usr/include/wctype.h /usr/include/x86_64-linux-gnu/bits/wctype-wchar.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_base.h \
+ /usr/include/c++/12/bits/streambuf_iterator.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
+ /usr/include/c++/12/bits/locale_facets.tcc \
+ /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
+ /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/uarch/probes.hh /root/repo/src/uarch/phys_regfile.hh \
  /root/repo/src/common/logging.hh /root/repo/src/faultsim/campaign.hh \
  /root/repo/src/faultsim/fault.hh /root/repo/src/gates/fu_library.hh \
@@ -198,6 +221,5 @@ bench_objs/CMakeFiles/micro_throughput.dir/micro_throughput.cpp.o: \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/museqgen/museqgen.hh

@@ -11,5 +11,6 @@ subdirs("uarch")
 subdirs("coverage")
 subdirs("faultsim")
 subdirs("museqgen")
+subdirs("resilience")
 subdirs("core")
 subdirs("baselines")

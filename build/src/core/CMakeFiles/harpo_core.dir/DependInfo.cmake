@@ -19,6 +19,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/coverage/CMakeFiles/harpo_coverage.dir/DependInfo.cmake"
   "/root/repo/build/src/faultsim/CMakeFiles/harpo_faultsim.dir/DependInfo.cmake"
   "/root/repo/build/src/museqgen/CMakeFiles/harpo_museqgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/resilience/CMakeFiles/harpo_resilience.dir/DependInfo.cmake"
   "/root/repo/build/src/gates/CMakeFiles/harpo_gates.dir/DependInfo.cmake"
   )
 

@@ -128,11 +128,8 @@ src/faultsim/CMakeFiles/harpo_faultsim.dir/campaign.cc.o: \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/isa/arith_model.hh \
  /root/repo/src/isa/registers.hh /root/repo/src/uarch/branch_predictor.hh \
  /root/repo/src/uarch/cache.hh /root/repo/src/uarch/core_config.hh \
- /root/repo/src/uarch/probes.hh /root/repo/src/uarch/phys_regfile.hh \
- /root/repo/src/common/logging.hh /root/repo/src/faultsim/fault.hh \
- /root/repo/src/gates/fu_library.hh /root/repo/src/gates/int_units.hh \
- /root/repo/src/gates/netlist.hh /root/repo/src/gates/fp_units.hh \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/atomic_base.h \
+ /root/repo/src/resilience/budget.hh /usr/include/c++/12/atomic \
+ /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \
  /usr/include/c++/12/bits/atomic_wait.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
@@ -174,17 +171,10 @@ src/faultsim/CMakeFiles/harpo_faultsim.dir/campaign.cc.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/common/rng.hh /usr/include/c++/12/limits \
- /root/repo/src/common/thread_pool.hh \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/bits/shared_ptr.h \
- /usr/include/c++/12/bits/shared_ptr_base.h \
- /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h /usr/include/c++/12/ostream \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
  /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
@@ -199,8 +189,23 @@ src/faultsim/CMakeFiles/harpo_faultsim.dir/campaign.cc.o: \
  /usr/include/c++/12/bits/streambuf_iterator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
- /usr/include/c++/12/bits/basic_ios.tcc \
+ /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/uarch/probes.hh /root/repo/src/uarch/phys_regfile.hh \
+ /root/repo/src/common/logging.hh /root/repo/src/faultsim/fault.hh \
+ /root/repo/src/gates/fu_library.hh /root/repo/src/gates/int_units.hh \
+ /root/repo/src/gates/netlist.hh /root/repo/src/gates/fp_units.hh \
+ /root/repo/src/common/rng.hh /root/repo/src/common/thread_pool.hh \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/shared_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr_base.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/ext/concurrence.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/stop_token \
@@ -214,7 +219,6 @@ src/faultsim/CMakeFiles/harpo_faultsim.dir/campaign.cc.o: \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
@@ -223,4 +227,4 @@ src/faultsim/CMakeFiles/harpo_faultsim.dir/campaign.cc.o: \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/thread
+ /usr/include/c++/12/thread /root/repo/src/resilience/error.hh

@@ -50,7 +50,7 @@ src/museqgen/CMakeFiles/harpo_museqgen.dir/manager.cc.o: \
  /usr/include/c++/12/backward/binders.h \
  /usr/include/c++/12/bits/range_access.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/rng.hh \
- /usr/include/c++/12/cstdint \
+ /usr/include/c++/12/array /usr/include/c++/12/cstdint \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
  /usr/include/x86_64-linux-gnu/bits/libc-header-start.h \
  /usr/include/x86_64-linux-gnu/bits/types.h \
@@ -124,4 +124,4 @@ src/museqgen/CMakeFiles/harpo_museqgen.dir/manager.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/isa/program.hh \
- /usr/include/c++/12/array /root/repo/src/isa/instruction.hh
+ /root/repo/src/isa/instruction.hh

@@ -122,8 +122,8 @@ src/museqgen/CMakeFiles/harpo_museqgen.dir/museqgen.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/rng.hh \
- /usr/include/c++/12/limits /root/repo/src/isa/program.hh \
- /usr/include/c++/12/array /root/repo/src/isa/instruction.hh \
+ /usr/include/c++/12/array /usr/include/c++/12/limits \
+ /root/repo/src/isa/program.hh /root/repo/src/isa/instruction.hh \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \

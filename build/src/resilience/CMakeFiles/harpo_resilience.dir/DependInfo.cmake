@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resilience/checkpoint.cc" "src/resilience/CMakeFiles/harpo_resilience.dir/checkpoint.cc.o" "gcc" "src/resilience/CMakeFiles/harpo_resilience.dir/checkpoint.cc.o.d"
+  "/root/repo/src/resilience/snapshot_io.cc" "src/resilience/CMakeFiles/harpo_resilience.dir/snapshot_io.cc.o" "gcc" "src/resilience/CMakeFiles/harpo_resilience.dir/snapshot_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harpo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/museqgen/CMakeFiles/harpo_museqgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/harpo_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

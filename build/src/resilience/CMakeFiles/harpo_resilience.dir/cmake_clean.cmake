@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harpo_resilience.dir/checkpoint.cc.o"
+  "CMakeFiles/harpo_resilience.dir/checkpoint.cc.o.d"
+  "CMakeFiles/harpo_resilience.dir/snapshot_io.cc.o"
+  "CMakeFiles/harpo_resilience.dir/snapshot_io.cc.o.d"
+  "libharpo_resilience.a"
+  "libharpo_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harpo_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

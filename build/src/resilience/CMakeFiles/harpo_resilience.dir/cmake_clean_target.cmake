@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libharpo_resilience.a"
+)

@@ -11,6 +11,7 @@ subdirs("uarch")
 subdirs("coverage")
 subdirs("faultsim")
 subdirs("museqgen")
+subdirs("resilience")
 subdirs("core")
 subdirs("baselines")
 subdirs("integration")

@@ -304,4 +304,5 @@ tests/common/CMakeFiles/common_tests.dir/thread_pool_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
+ /root/repo/src/resilience/error.hh

@@ -293,15 +293,17 @@ tests/core/CMakeFiles/harpocrates_tests.dir/harpocrates_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/harpocrates.hh /root/repo/src/coverage/measure.hh \
- /root/repo/src/isa/program.hh /root/repo/src/isa/instruction.hh \
- /root/repo/src/uarch/core.hh /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/isa/arith_model.hh /root/repo/src/isa/registers.hh \
- /root/repo/src/uarch/branch_predictor.hh /root/repo/src/uarch/cache.hh \
- /root/repo/src/uarch/core_config.hh /root/repo/src/uarch/probes.hh \
- /root/repo/src/uarch/phys_regfile.hh /root/repo/src/common/logging.hh \
- /root/repo/src/museqgen/museqgen.hh /root/repo/src/common/rng.hh \
+ /root/repo/src/core/harpocrates.hh /root/repo/src/common/rng.hh \
+ /root/repo/src/coverage/measure.hh /root/repo/src/isa/program.hh \
+ /root/repo/src/isa/instruction.hh /root/repo/src/uarch/core.hh \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/isa/arith_model.hh \
+ /root/repo/src/isa/registers.hh /root/repo/src/uarch/branch_predictor.hh \
+ /root/repo/src/uarch/cache.hh /root/repo/src/uarch/core_config.hh \
+ /root/repo/src/resilience/budget.hh /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/uarch/probes.hh /root/repo/src/uarch/phys_regfile.hh \
+ /root/repo/src/common/logging.hh /root/repo/src/museqgen/museqgen.hh \
  /root/repo/src/isa/isa_table.hh /root/repo/src/faultsim/campaign.hh \
  /root/repo/src/faultsim/fault.hh /root/repo/src/gates/fu_library.hh \
  /root/repo/src/gates/int_units.hh /root/repo/src/gates/netlist.hh \

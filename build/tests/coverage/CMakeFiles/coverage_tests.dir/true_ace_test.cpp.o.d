@@ -299,6 +299,8 @@ tests/coverage/CMakeFiles/coverage_tests.dir/true_ace_test.cpp.o: \
  /root/repo/src/isa/arith_model.hh /root/repo/src/isa/instruction.hh \
  /root/repo/src/isa/program.hh /root/repo/src/uarch/branch_predictor.hh \
  /root/repo/src/uarch/cache.hh /root/repo/src/uarch/core_config.hh \
+ /root/repo/src/resilience/budget.hh /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/uarch/probes.hh /root/repo/src/uarch/phys_regfile.hh \
  /root/repo/src/common/logging.hh /root/repo/src/coverage/true_ace.hh \
  /root/repo/src/faultsim/campaign.hh /root/repo/src/coverage/measure.hh \

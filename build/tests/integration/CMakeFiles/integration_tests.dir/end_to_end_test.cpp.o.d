@@ -302,6 +302,8 @@ tests/integration/CMakeFiles/integration_tests.dir/end_to_end_test.cpp.o: \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/isa/arith_model.hh \
  /root/repo/src/isa/registers.hh /root/repo/src/uarch/branch_predictor.hh \
  /root/repo/src/uarch/cache.hh /root/repo/src/uarch/core_config.hh \
+ /root/repo/src/resilience/budget.hh /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/uarch/probes.hh /root/repo/src/uarch/phys_regfile.hh \
  /root/repo/src/common/logging.hh /root/repo/src/museqgen/museqgen.hh \
  /root/repo/src/faultsim/campaign.hh /root/repo/src/faultsim/fault.hh \

@@ -22,6 +22,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/baselines/CMakeFiles/harpo_baselines.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/harpo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/resilience/CMakeFiles/harpo_resilience.dir/DependInfo.cmake"
   "/root/repo/build/src/museqgen/CMakeFiles/harpo_museqgen.dir/DependInfo.cmake"
   "/root/repo/build/src/faultsim/CMakeFiles/harpo_faultsim.dir/DependInfo.cmake"
   "/root/repo/build/src/coverage/CMakeFiles/harpo_coverage.dir/DependInfo.cmake"

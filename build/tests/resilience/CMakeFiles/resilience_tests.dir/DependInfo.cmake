@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/resilience/budget_test.cpp" "tests/resilience/CMakeFiles/resilience_tests.dir/budget_test.cpp.o" "gcc" "tests/resilience/CMakeFiles/resilience_tests.dir/budget_test.cpp.o.d"
+  "/root/repo/tests/resilience/checkpoint_test.cpp" "tests/resilience/CMakeFiles/resilience_tests.dir/checkpoint_test.cpp.o" "gcc" "tests/resilience/CMakeFiles/resilience_tests.dir/checkpoint_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/harpo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/harpo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/resilience/CMakeFiles/harpo_resilience.dir/DependInfo.cmake"
+  "/root/repo/build/src/museqgen/CMakeFiles/harpo_museqgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultsim/CMakeFiles/harpo_faultsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/harpo_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/harpo_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/CMakeFiles/harpo_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/harpo_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/harpo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

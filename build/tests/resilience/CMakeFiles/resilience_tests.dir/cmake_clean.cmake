@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_tests.dir/budget_test.cpp.o"
+  "CMakeFiles/resilience_tests.dir/budget_test.cpp.o.d"
+  "CMakeFiles/resilience_tests.dir/checkpoint_test.cpp.o"
+  "CMakeFiles/resilience_tests.dir/checkpoint_test.cpp.o.d"
+  "resilience_tests"
+  "resilience_tests.pdb"
+  "resilience_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -295,4 +295,6 @@ tests/uarch/CMakeFiles/uarch_tests.dir/cache_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /usr/include/c++/12/cstring /root/repo/src/isa/program.hh \
  /root/repo/src/isa/instruction.hh /root/repo/src/uarch/cache.hh \
- /root/repo/src/uarch/core_config.hh /root/repo/src/uarch/probes.hh
+ /root/repo/src/uarch/core_config.hh /root/repo/src/resilience/budget.hh \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/uarch/probes.hh

@@ -7,24 +7,39 @@
  *  3. Measure its hardware coverage (IBR) for the integer adder.
  *  4. Grade its fault detection capability with a gate-level SFI
  *     campaign.
- *  5. Let the Harpocrates loop refine it and compare.
+ *  5. Let the Harpocrates loop refine it and compare. The loop
+ *     checkpoints itself every few generations; pass
+ *     `--resume quickstart.ckpt` to continue an interrupted run.
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "common/rng.hh"
 #include "core/harpocrates.hh"
 #include "coverage/measure.hh"
 #include "faultsim/campaign.hh"
 #include "museqgen/museqgen.hh"
+#include "resilience/checkpoint.hh"
+#include "resilience/error.hh"
 #include "uarch/core.hh"
 
 using namespace harpo;
 using coverage::TargetStructure;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const char *resumePath = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--resume") == 0 && i + 1 < argc) {
+            resumePath = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--resume <snapshot>]\n", argv[0]);
+            return 2;
+        }
+    }
     // 1. A 400-instruction constrained-random program.
     museqgen::GenConfig genCfg;
     genCfg.numInstructions = 400;
@@ -58,11 +73,16 @@ main()
                 100.0 * sfi.detection(), sfi.sdc, sfi.crash, sfi.hang,
                 sfi.masked);
 
-    // 5. Refine with the Harpocrates loop and re-grade.
+    // 5. Refine with the Harpocrates loop and re-grade. The loop
+    //    snapshots its full state every 5 generations, so a killed
+    //    run continues from the last checkpoint with --resume and
+    //    lands on the bit-identical final result.
     core::LoopConfig loopCfg =
         core::presetFor(TargetStructure::IntAdder, /*scale=*/0.5);
     loopCfg.gen.numInstructions = 400;
     loopCfg.seed = 1;
+    loopCfg.checkpointPath = "quickstart.ckpt";
+    loopCfg.checkpointEvery = 5;
     core::Harpocrates loop(loopCfg);
     loop.onGeneration = [](const core::GenerationStats &g) {
         if (g.generation % 5 == 0) {
@@ -70,7 +90,23 @@ main()
                         g.generation, g.bestCoverage);
         }
     };
-    const core::LoopResult refined = loop.run();
+    core::LoopResult refined;
+    try {
+        if (resumePath) {
+            const auto checkpoint =
+                resilience::LoopCheckpoint::load(resumePath);
+            std::printf("resuming from '%s' at generation %lu\n",
+                        resumePath,
+                        static_cast<unsigned long>(
+                            checkpoint.nextGeneration));
+            refined = loop.resume(checkpoint);
+        } else {
+            refined = loop.run();
+        }
+    } catch (const Error &e) {
+        std::fprintf(stderr, "quickstart: %s\n", e.what());
+        return 1;
+    }
     const auto refinedSfi =
         faultsim::FaultCampaign::run(refined.bestProgram, camp);
     std::printf("refined program detection: %.1f%% "

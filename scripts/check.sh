@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full pre-merge check: configure, build and run the test suite twice —
+# once plain and once under ASan+UBSan (-DHARPO_SANITIZE=ON). Run from
+# anywhere; build trees live in build/ and build-sanitize/.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+
+run_suite() {
+    local dir="$1"; shift
+    echo "==> configure ${dir} ($*)"
+    cmake -B "${repo}/${dir}" -S "${repo}" "$@"
+    echo "==> build ${dir}"
+    cmake --build "${repo}/${dir}" -j
+    echo "==> ctest ${dir}"
+    (cd "${repo}/${dir}" && ctest --output-on-failure -j "$(nproc)")
+}
+
+run_suite build
+run_suite build-sanitize -DHARPO_SANITIZE=ON
+
+echo "==> all checks passed"

@@ -92,4 +92,17 @@ Rng::fork()
     return Rng(next() ^ 0xD1B54A32D192ED03ull);
 }
 
+std::array<std::uint64_t, 4>
+Rng::saveState() const
+{
+    return {state[0], state[1], state[2], state[3]};
+}
+
+void
+Rng::restoreState(const std::array<std::uint64_t, 4> &saved)
+{
+    for (int i = 0; i < 4; ++i)
+        state[i] = saved[i];
+}
+
 } // namespace harpo

@@ -11,6 +11,7 @@
 #ifndef HARPOCRATES_COMMON_RNG_HH
 #define HARPOCRATES_COMMON_RNG_HH
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -57,6 +58,13 @@ class Rng
 
     /** Derive an independent child generator (for per-thread streams). */
     Rng fork();
+
+    /** Snapshot the generator state (for checkpoint/resume). */
+    std::array<std::uint64_t, 4> saveState() const;
+
+    /** Restore a state captured with saveState(); the stream continues
+     *  exactly where the snapshot was taken. */
+    void restoreState(const std::array<std::uint64_t, 4> &saved);
 
   private:
     std::uint64_t state[4];

@@ -1,5 +1,7 @@
 #include "common/thread_pool.hh"
 
+#include <exception>
+
 namespace harpo
 {
 
@@ -39,7 +41,14 @@ ThreadPool::workerLoop()
             task = std::move(tasks.front());
             tasks.pop();
         }
-        task();
+        // A throwing task must never unwind into the worker thread
+        // (that would std::terminate the process and poison the pool).
+        // parallelFor's runners capture their own exceptions; this is
+        // the backstop for any other task kind.
+        try {
+            task();
+        } catch (...) {
+        }
     }
 }
 
@@ -56,6 +65,9 @@ ThreadPool::parallelFor(std::size_t count,
     {
         std::atomic<std::size_t> nextIndex{0};
         std::atomic<std::size_t> done{0};
+        std::atomic<bool> errored{false};
+        std::exception_ptr error; // guarded by errorMutex
+        std::mutex errorMutex;
         std::mutex doneMutex;
         std::condition_variable doneCv;
         std::function<void(std::size_t)> body;
@@ -67,14 +79,27 @@ ThreadPool::parallelFor(std::size_t count,
 
     // Each task drains indices from a shared counter, so uneven
     // per-iteration costs (e.g. crashing vs full-length faulty runs)
-    // balance automatically.
+    // balance automatically. A throwing iteration records the first
+    // exception and flips `errored`; the remaining indices are then
+    // drained without running the body so `done` still reaches
+    // `count` and every waiter wakes up.
     const std::size_t numTasks = std::min(count, workers.size());
     auto runner = [state] {
         for (;;) {
             const std::size_t i = state->nextIndex.fetch_add(1);
             if (i >= state->count)
                 break;
-            state->body(i);
+            if (!state->errored.load(std::memory_order_acquire)) {
+                try {
+                    state->body(i);
+                } catch (...) {
+                    std::lock_guard lock(state->errorMutex);
+                    if (!state->error)
+                        state->error = std::current_exception();
+                    state->errored.store(true,
+                                         std::memory_order_release);
+                }
+            }
             if (state->done.fetch_add(1) + 1 == state->count) {
                 std::lock_guard lock(state->doneMutex);
                 state->doneCv.notify_all();
@@ -93,9 +118,18 @@ ThreadPool::parallelFor(std::size_t count,
     // deadlock-free even when every worker is already busy.
     runner();
 
-    std::unique_lock lock(state->doneMutex);
-    state->doneCv.wait(lock,
-                       [&] { return state->done.load() >= count; });
+    {
+        std::unique_lock lock(state->doneMutex);
+        state->doneCv.wait(
+            lock, [&] { return state->done.load() >= count; });
+    }
+
+    // Surface the first failure only after every in-flight iteration
+    // has drained, so no body is still touching caller state.
+    if (state->errored.load(std::memory_order_acquire)) {
+        std::lock_guard lock(state->errorMutex);
+        std::rethrow_exception(state->error);
+    }
 }
 
 ThreadPool &

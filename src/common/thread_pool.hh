@@ -37,6 +37,12 @@ class ThreadPool
      * Run @p body(i) for every i in [0, count) across the pool and block
      * until all iterations complete. @p body must be thread-safe across
      * distinct indices.
+     *
+     * Exception safety: if a body throws, the first exception is
+     * captured, iterations that have not yet started are skipped, and
+     * the exception is rethrown on the caller once every in-flight
+     * iteration has drained. The workers themselves survive, so the
+     * pool stays fully usable for subsequent parallelFor calls.
      */
     void parallelFor(std::size_t count,
                      const std::function<void(std::size_t)> &body);

@@ -2,15 +2,19 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <mutex>
 #include <unordered_set>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
 #include "faultsim/campaign.hh"
 #include "isa/emulator.hh"
 #include "isa/encoding.hh"
+#include "resilience/checkpoint.hh"
+#include "resilience/error.hh"
 
 namespace harpo::core
 {
@@ -56,6 +60,61 @@ Harpocrates::Harpocrates(LoopConfig config) : cfg(std::move(config))
 {
     panicIf(cfg.topK == 0 || cfg.topK > cfg.population,
             "Harpocrates: invalid topK");
+    evalCore = cfg.core;
+    evalCore.budget = &cfg.budget;
+}
+
+std::uint64_t
+Harpocrates::fingerprint(const LoopConfig &config)
+{
+    Fnv1a hash;
+    hash.addWord(config.seed);
+    hash.addWord(config.population);
+    hash.addWord(config.topK);
+    hash.addWord(config.generations);
+    hash.addWord(static_cast<std::uint64_t>(config.target));
+    hash.addWord(static_cast<std::uint64_t>(config.fitness));
+    hash.addWord(config.useCrossover);
+    hash.addWord(config.detectionEvery);
+    hash.addWord(config.detectionInjections);
+
+    const museqgen::GenConfig &gen = config.gen;
+    hash.addWord(gen.numInstructions);
+    hash.addWord(gen.pool.size());
+    for (const std::uint16_t variant : gen.pool)
+        hash.addWord(variant);
+    hash.addWord(gen.poolWeights.size());
+    for (const double weight : gen.poolWeights) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &weight, sizeof(bits));
+        hash.addWord(bits);
+    }
+    hash.addWord(static_cast<std::uint64_t>(gen.regAlloc));
+    hash.addWord(gen.memory.regionBase);
+    hash.addWord(gen.memory.regionSize);
+    hash.addWord(gen.memory.stride);
+    hash.addWord(gen.memory.roundRobin);
+    hash.addWord(gen.allowBranches);
+    hash.addWord(gen.stackSize);
+
+    const uarch::CoreConfig &core = config.core;
+    for (const std::uint64_t field :
+         {std::uint64_t(core.fetchWidth), std::uint64_t(core.renameWidth),
+          std::uint64_t(core.issueWidth), std::uint64_t(core.commitWidth),
+          std::uint64_t(core.frontendDelay), std::uint64_t(core.robSize),
+          std::uint64_t(core.iqSize), std::uint64_t(core.lqSize),
+          std::uint64_t(core.sqSize), std::uint64_t(core.numIntPhysRegs),
+          std::uint64_t(core.numFpPhysRegs), std::uint64_t(core.numIntAlu),
+          std::uint64_t(core.numIntMul), std::uint64_t(core.numIntDiv),
+          std::uint64_t(core.numFpAdd), std::uint64_t(core.numFpMul),
+          std::uint64_t(core.numFpDiv), std::uint64_t(core.numSimdAlu),
+          std::uint64_t(core.numMemPorts),
+          std::uint64_t(core.branchMispredictPenalty),
+          std::uint64_t(core.l1d.size), std::uint64_t(core.l1d.lineSize),
+          std::uint64_t(core.l1d.ways), std::uint64_t(core.l1d.hitLatency),
+          std::uint64_t(core.l1d.missLatency), core.maxCycles})
+        hash.addWord(field);
+    return hash.value();
 }
 
 double
@@ -63,14 +122,15 @@ Harpocrates::fitnessOf(const isa::TestProgram &program) const
 {
     switch (cfg.fitness) {
       case FitnessKind::HardwareCoverage:
-        return coverage::measureCoverage(program, cfg.target, cfg.core)
+        return coverage::measureCoverage(program, cfg.target, evalCore)
             .coverage;
       case FitnessKind::ProxySoftwareCoverage:
         return proxyCoverage(program);
       case FitnessKind::RandomSearch:
         return 0.0; // replaced by a random draw in run()
       case FitnessKind::Custom:
-        panicIf(!cfg.customFitness,
+        if (!cfg.customFitness)
+            throw Error::badProgram(
                 "FitnessKind::Custom requires customFitness");
         return cfg.customFitness(program);
     }
@@ -93,11 +153,54 @@ Harpocrates::run()
         result.timing.mutationSec += secondsSince(start);
     }
 
+    return runLoop(gen, rng, std::move(population), 0,
+                   std::move(result));
+}
+
+LoopResult
+Harpocrates::resume(const resilience::LoopCheckpoint &checkpoint)
+{
+    if (checkpoint.configFingerprint != fingerprint(cfg))
+        throw Error::io(
+            "checkpoint was written under a different LoopConfig; "
+            "resuming would silently diverge");
+
+    museqgen::MuSeqGen gen(cfg.gen);
+    Rng rng(cfg.seed);
+    rng.restoreState(checkpoint.rngState);
+
+    LoopResult result;
+    result.history = checkpoint.history;
+    result.bestGenome = checkpoint.bestGenome;
+    result.bestCoverage = checkpoint.bestCoverage;
+    result.timing = checkpoint.timing;
+    result.programsEvaluated = checkpoint.programsEvaluated;
+    result.instructionsGenerated = checkpoint.instructionsGenerated;
+
+    return runLoop(gen, rng, checkpoint.population,
+                   checkpoint.nextGeneration, std::move(result));
+}
+
+LoopResult
+Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
+                     std::vector<museqgen::Genome> population,
+                     unsigned first_generation, LoopResult result)
+{
+    panicIf(population.size() != cfg.population,
+            "Harpocrates: population size mismatch");
+
     std::vector<isa::TestProgram> programs(cfg.population);
     std::vector<double> fitness(cfg.population, 0.0);
 
-    for (unsigned generation = 0; generation < cfg.generations;
-         ++generation) {
+    for (unsigned generation = first_generation;
+         generation < cfg.generations; ++generation) {
+        // The budget gates each generation; an expired budget turns
+        // the run into a truncated-but-valid (and, with
+        // checkpointing, resumable) result.
+        if (!cfg.budget.allowsGeneration(result.history.size())) {
+            result.truncated = true;
+            break;
+        }
         // Step 0/3 output -> programs: synthesis ("generation").
         {
             const auto start = std::chrono::steady_clock::now();
@@ -122,20 +225,35 @@ Harpocrates::run()
             result.timing.compilationSec += secondsSince(start);
         }
 
-        // Step 1: evaluation (fitness scoring), in parallel.
+        // Step 1: evaluation (fitness scoring), in parallel. Each
+        // evaluation polls the budget first, so a deadline expiring
+        // mid-generation abandons the generation promptly (its
+        // partial fitness values are discarded).
         {
             const auto start = std::chrono::steady_clock::now();
-            if (cfg.fitness == FitnessKind::RandomSearch) {
-                for (unsigned i = 0; i < cfg.population; ++i)
-                    fitness[i] = rng.uniform();
-            } else if (cfg.parallelEval) {
-                ThreadPool::global().parallelFor(
-                    cfg.population, [&](std::size_t i) {
-                        fitness[i] = fitnessOf(programs[i]);
-                    });
-            } else {
-                for (unsigned i = 0; i < cfg.population; ++i)
-                    fitness[i] = fitnessOf(programs[i]);
+            auto evalOne = [&](std::size_t i) {
+                if (cfg.budget.expired())
+                    throw Error::budget(
+                        "generation evaluation interrupted");
+                fitness[i] = fitnessOf(programs[i]);
+            };
+            try {
+                if (cfg.fitness == FitnessKind::RandomSearch) {
+                    for (unsigned i = 0; i < cfg.population; ++i)
+                        fitness[i] = rng.uniform();
+                } else if (cfg.parallelEval) {
+                    ThreadPool::global().parallelFor(cfg.population,
+                                                     evalOne);
+                } else {
+                    for (unsigned i = 0; i < cfg.population; ++i)
+                        evalOne(i);
+                }
+            } catch (const Error &e) {
+                if (e.kind() != ErrorKind::Budget)
+                    throw;
+                result.timing.evaluationSec += secondsSince(start);
+                result.truncated = true;
+                break;
             }
             result.timing.evaluationSec += secondsSince(start);
             result.programsEvaluated += cfg.population;
@@ -170,10 +288,18 @@ Harpocrates::run()
                 faultsim::CampaignConfig::forTarget(cfg.target);
             camp.numInjections = cfg.detectionInjections;
             camp.core = cfg.core;
+            camp.budget = cfg.budget;
             camp.seed = cfg.seed ^ 0xFA157;
-            stats.detection =
-                faultsim::FaultCampaign::run(programs[order[0]], camp)
-                    .detection();
+            const faultsim::CampaignResult det =
+                faultsim::FaultCampaign::run(programs[order[0]], camp);
+            // A truncated campaign would record a detection value that
+            // diverges from an uninterrupted run; abandon the
+            // generation instead (resume recomputes it in full).
+            if (det.truncated) {
+                result.truncated = true;
+                break;
+            }
+            stats.detection = det.detection();
         }
 
         result.history.push_back(stats);
@@ -204,10 +330,34 @@ Harpocrates::run()
             population = std::move(next);
             result.timing.mutationSec += secondsSince(start);
         }
+
+        // Snapshot the complete loop state at the generation
+        // boundary: the mutated population plus the RNG state after
+        // the mutation draws is exactly what the next generation
+        // consumes, so a resume replays bit-identically.
+        if (cfg.checkpointEvery != 0 && !cfg.checkpointPath.empty() &&
+            (generation + 1) % cfg.checkpointEvery == 0) {
+            resilience::LoopCheckpoint ckpt;
+            ckpt.configFingerprint = fingerprint(cfg);
+            ckpt.nextGeneration = generation + 1;
+            ckpt.rngState = rng.saveState();
+            ckpt.population = population;
+            ckpt.bestGenome = result.bestGenome;
+            ckpt.bestCoverage = result.bestCoverage;
+            ckpt.history = result.history;
+            ckpt.timing = result.timing;
+            ckpt.programsEvaluated = result.programsEvaluated;
+            ckpt.instructionsGenerated = result.instructionsGenerated;
+            ckpt.save(cfg.checkpointPath);
+        }
     }
 
-    result.bestProgram =
-        gen.synthesize(result.bestGenome, cfg.gen.namePrefix + "-best");
+    // A run truncated before its first completed generation has no
+    // best genome to synthesize.
+    if (!result.bestGenome.seq.empty()) {
+        result.bestProgram = gen.synthesize(
+            result.bestGenome, cfg.gen.namePrefix + "-best");
+    }
     return result;
 }
 

@@ -16,12 +16,20 @@
 #define HARPOCRATES_CORE_HARPOCRATES_HH
 
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "common/rng.hh"
 #include "coverage/measure.hh"
 #include "isa/program.hh"
 #include "museqgen/museqgen.hh"
+#include "resilience/budget.hh"
 #include "uarch/core_config.hh"
+
+namespace harpo::resilience
+{
+struct LoopCheckpoint;
+} // namespace harpo::resilience
 
 namespace harpo::core
 {
@@ -63,6 +71,17 @@ struct LoopConfig
      *  (the paper: "any quality metric can be used to guide the
      *  iterative refinement"). Must be thread-safe. */
     std::function<double(const isa::TestProgram &)> customFitness;
+
+    /** Cooperative run budget (wall-clock deadline, generation cap,
+     *  cancel token). Expiry truncates the run at the next safe
+     *  point: the partial LoopResult is valid and, combined with
+     *  checkpointing, resumable. */
+    RunBudget budget{};
+
+    /** Atomically checkpoint the loop state to this path every
+     *  checkpointEvery generations (both must be set). */
+    std::string checkpointPath;
+    unsigned checkpointEvery = 0;
 };
 
 /** Per-generation progress record. */
@@ -101,6 +120,9 @@ struct LoopResult
     TimingBreakdown timing;
     std::uint64_t programsEvaluated = 0;
     std::uint64_t instructionsGenerated = 0;
+    /** The run stopped early because its RunBudget expired. history
+     *  covers exactly the completed generations. */
+    bool truncated = false;
 };
 
 /** The loop orchestrator. */
@@ -114,12 +136,31 @@ class Harpocrates
 
     LoopResult run();
 
+    /**
+     * Continue an interrupted run from @p checkpoint. The resumed
+     * run replays the remaining generations deterministically: its
+     * LoopResult.history and bestCoverage are bit-identical to the
+     * uninterrupted same-seed run. Throws harpo::Error{Io} when the
+     * checkpoint was written under a different LoopConfig.
+     */
+    LoopResult resume(const resilience::LoopCheckpoint &checkpoint);
+
+    /** Hash of the semantic (determinism-relevant) config fields,
+     *  stored in checkpoints to reject cross-config resumes. */
+    static std::uint64_t fingerprint(const LoopConfig &config);
+
     const LoopConfig &config() const { return cfg; }
 
   private:
     double fitnessOf(const isa::TestProgram &program) const;
+    LoopResult runLoop(museqgen::MuSeqGen &gen, Rng &rng,
+                       std::vector<museqgen::Genome> population,
+                       unsigned first_generation, LoopResult result);
 
     LoopConfig cfg;
+    /** cfg.core plus a pointer to cfg.budget, so every fitness
+     *  simulation observes the loop's budget. */
+    uarch::CoreConfig evalCore;
 };
 
 /**

@@ -2,9 +2,11 @@
 
 #include <atomic>
 
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
 #include "gates/fu_library.hh"
+#include "resilience/error.hh"
 
 namespace harpo::faultsim
 {
@@ -125,32 +127,32 @@ class ParityProbe : public uarch::CoreProbe
 Outcome
 FaultCampaign::runOne(const isa::TestProgram &program,
                       const FaultSpec &fault,
-                      const uarch::CoreConfig &core_config,
+                      const CampaignConfig &config,
                       std::uint64_t golden_signature,
-                      std::uint64_t golden_cycles,
-                      CacheProtection l1d_protection)
+                      std::uint64_t golden_cycles)
 {
+    uarch::CoreConfig cfg = config.core;
+    cfg.maxCycles = config.hangBudget(golden_cycles);
+    cfg.budget = &config.budget;
+
     const bool protectedL1d =
         fault.target == coverage::TargetStructure::L1DCache &&
         fault.type != FaultType::GateStuckAt &&
-        l1d_protection != CacheProtection::None;
+        config.l1dProtection != CacheProtection::None;
     if (protectedL1d) {
         // SECDED corrects any single-bit fault on access: the program
         // can never observe it.
-        if (l1d_protection == CacheProtection::Secded)
+        if (config.l1dProtection == CacheProtection::Secded)
             return Outcome::HwCorrected;
         // Parity: rerun and classify by the first consuming access.
-        uarch::CoreConfig cfg = core_config;
-        cfg.maxCycles = golden_cycles * 3 + 10000;
         uarch::Core core(cfg);
         ParityProbe probe(fault);
-        core.run(program, nullptr, &probe);
+        const uarch::SimResult sim =
+            core.run(program, nullptr, &probe);
+        if (sim.exit == uarch::SimResult::Exit::Cancelled)
+            throw Error::budget("fault injection cancelled mid-run");
         return probe.outcome();
     }
-
-    uarch::CoreConfig cfg = core_config;
-    // Hangs are decided quickly relative to the golden runtime.
-    cfg.maxCycles = golden_cycles * 3 + 10000;
 
     uarch::Core core(cfg);
     uarch::SimResult sim;
@@ -168,6 +170,8 @@ FaultCampaign::runOne(const isa::TestProgram &program,
         return Outcome::Crash;
       case uarch::SimResult::Exit::Hang:
         return Outcome::Hang;
+      case uarch::SimResult::Exit::Cancelled:
+        throw Error::budget("fault injection cancelled mid-run");
       default:
         return sim.signature == golden_signature ? Outcome::Masked
                                                  : Outcome::Sdc;
@@ -180,9 +184,21 @@ FaultCampaign::run(const isa::TestProgram &program,
 {
     CampaignResult result;
 
-    // Golden (fault-free) run.
-    uarch::Core golden(config.core);
+    // An already-exhausted budget: nothing to do, but say so.
+    if (!config.budget.allowsInjection(0)) {
+        result.truncated = true;
+        return result;
+    }
+
+    // Golden (fault-free) run, itself bounded by the budget.
+    uarch::CoreConfig goldenCfg = config.core;
+    goldenCfg.budget = &config.budget;
+    uarch::Core golden(goldenCfg);
     const uarch::SimResult goldenSim = golden.run(program);
+    if (goldenSim.exit == uarch::SimResult::Exit::Cancelled) {
+        result.truncated = true;
+        return result;
+    }
     if (goldenSim.exit != uarch::SimResult::Exit::Finished)
         return result; // goldenOk stays false: unusable test program
     result.goldenOk = true;
@@ -195,10 +211,9 @@ FaultCampaign::run(const isa::TestProgram &program,
     std::atomic<unsigned> masked{0}, sdc{0}, crash{0}, hang{0},
         hwCorrected{0}, hwDetected{0};
     auto classify = [&](std::size_t i) {
-        const Outcome outcome =
-            runOne(program, faults[i], config.core,
-                   goldenSim.signature, goldenSim.cycles,
-                   config.l1dProtection);
+        const Outcome outcome = runOne(program, faults[i], config,
+                                       goldenSim.signature,
+                                       goldenSim.cycles);
         switch (outcome) {
           case Outcome::Masked: masked.fetch_add(1); break;
           case Outcome::Sdc: sdc.fetch_add(1); break;
@@ -209,13 +224,77 @@ FaultCampaign::run(const isa::TestProgram &program,
         }
     };
 
-    if (config.parallel) {
-        ThreadPool::global().parallelFor(faults.size(), classify);
-    } else {
-        for (std::size_t i = 0; i < faults.size(); ++i)
+    // Per-injection bookkeeping so a failed or skipped injection can
+    // be retried (or reported) instead of silently miscounting.
+    enum : std::uint8_t { Pending = 0, Done, Failed, Skipped };
+    std::vector<std::atomic<std::uint8_t>> status(faults.size());
+    std::atomic<std::uint64_t> started{0};
+    std::atomic<bool> truncated{false};
+
+    auto inject = [&](std::size_t i) {
+        if (truncated.load(std::memory_order_relaxed)) {
+            status[i].store(Skipped);
+            return;
+        }
+        if (!config.budget.allowsInjection(started.fetch_add(1))) {
+            truncated.store(true);
+            status[i].store(Skipped);
+            return;
+        }
+        try {
             classify(i);
+            status[i].store(Done);
+        } catch (const Error &e) {
+            if (e.kind() == ErrorKind::Budget) {
+                truncated.store(true);
+                status[i].store(Skipped);
+            } else {
+                status[i].store(Failed);
+            }
+        } catch (...) {
+            status[i].store(Failed);
+        }
+    };
+
+    // Parallel first; if the pool itself fails (poisoned or unable to
+    // dispatch), degrade to a serial sweep over whatever is pending.
+    if (config.parallel) {
+        try {
+            ThreadPool::global().parallelFor(faults.size(), inject);
+        } catch (...) {
+            warn("fault campaign: parallel dispatch failed, "
+                 "degrading to serial execution");
+        }
+    }
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        if (status[i].load() == Pending)
+            inject(i);
     }
 
+    // Serial retry pass for transient failures.
+    for (unsigned attempt = 0; attempt < config.injectionRetries;
+         ++attempt) {
+        for (std::size_t i = 0; i < faults.size(); ++i) {
+            if (status[i].load() != Failed)
+                continue;
+            if (truncated.load() || config.budget.expired()) {
+                truncated.store(true);
+                break;
+            }
+            try {
+                classify(i);
+                status[i].store(Done);
+            } catch (const Error &e) {
+                if (e.kind() == ErrorKind::Budget)
+                    truncated.store(true);
+            } catch (...) {
+            }
+        }
+    }
+    for (std::size_t i = 0; i < faults.size(); ++i)
+        result.failedInjections += status[i].load() == Failed;
+
+    result.truncated = truncated.load();
     result.masked = masked.load();
     result.sdc = sdc.load();
     result.crash = crash.load();

@@ -26,6 +26,7 @@
 #include "coverage/measure.hh"
 #include "faultsim/fault.hh"
 #include "isa/program.hh"
+#include "resilience/budget.hh"
 #include "uarch/core.hh"
 
 namespace harpo::faultsim
@@ -64,6 +65,31 @@ struct CampaignConfig
     /** L1D protection scheme applied during injection (paper II-E). */
     CacheProtection l1dProtection = CacheProtection::None;
 
+    /** Hang watchdog for faulty runs: a run is declared hung after
+     *  golden_cycles * hangMultiplier + hangSlackCycles cycles.
+     *  Hangs are decided quickly relative to the golden runtime. */
+    double hangMultiplier = 3.0;
+    std::uint64_t hangSlackCycles = 10000;
+
+    /** Cooperative run budget (deadline / injection cap / cancel
+     *  token). An expired budget yields a truncated-but-valid
+     *  CampaignResult instead of a hung campaign. */
+    RunBudget budget{};
+
+    /** How often a transiently-failed injection is re-attempted
+     *  (serially) before being dropped as failed. */
+    unsigned injectionRetries = 1;
+
+    /** Faulty-run cycle watchdog for a given golden runtime. */
+    std::uint64_t
+    hangBudget(std::uint64_t golden_cycles) const
+    {
+        return static_cast<std::uint64_t>(
+                   static_cast<double>(golden_cycles) *
+                   hangMultiplier) +
+               hangSlackCycles;
+    }
+
     /** Campaign with the structure-appropriate default fault model. */
     static CampaignConfig
     forTarget(coverage::TargetStructure target_structure)
@@ -90,6 +116,13 @@ struct CampaignResult
     std::uint64_t goldenCycles = 0;
     std::uint64_t goldenSignature = 0;
 
+    /** The campaign stopped early because its RunBudget expired; the
+     *  counters cover only the completed injections. */
+    bool truncated = false;
+    /** Injections dropped after exhausting their retries. */
+    unsigned failedInjections = 0;
+
+    /** Completed-injection count (the denominator of all rates). */
     unsigned
     total() const
     {
@@ -130,14 +163,13 @@ class FaultCampaign
     sampleFaults(const CampaignConfig &config,
                  std::uint64_t golden_cycles);
 
-    /** Run one fault and classify its outcome. */
+    /** Run one fault and classify its outcome. Throws
+     *  harpo::Error{Budget} when config.budget expires mid-run. */
     static Outcome runOne(const isa::TestProgram &program,
                           const FaultSpec &fault,
-                          const uarch::CoreConfig &core_config,
+                          const CampaignConfig &config,
                           std::uint64_t golden_signature,
-                          std::uint64_t golden_cycles,
-                          CacheProtection l1d_protection =
-                              CacheProtection::None);
+                          std::uint64_t golden_cycles);
 };
 
 } // namespace harpo::faultsim

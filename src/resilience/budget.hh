@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Run budgets and cooperative cancellation.
+ *
+ * A RunBudget puts an envelope around a long-running computation: an
+ * optional wall-clock deadline, optional work caps (generations of
+ * the Harpocrates loop, injections of a fault campaign), and an
+ * optional externally-owned CancelToken. The budget is *cooperative*:
+ * the core model's cycle loop, the campaign's injection loop and the
+ * per-generation evaluator all poll it at natural yield points, so an
+ * expired budget turns into a truncated-but-valid result instead of a
+ * hung or killed process.
+ *
+ * Header-only on purpose: uarch::CoreConfig embeds a budget pointer
+ * and the uarch library must not grow a link dependency for it.
+ */
+
+#ifndef HARPOCRATES_RESILIENCE_BUDGET_HH
+#define HARPOCRATES_RESILIENCE_BUDGET_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+namespace harpo
+{
+
+/**
+ * A one-way cancellation flag shared between a controller (signal
+ * handler, supervisor thread, deadline watchdog) and the work it
+ * bounds. Thread-safe; cancellation is sticky until reset().
+ */
+class CancelToken
+{
+  public:
+    void
+    requestCancel() noexcept
+    {
+        flag.store(true, std::memory_order_release);
+    }
+
+    bool
+    cancelled() const noexcept
+    {
+        return flag.load(std::memory_order_acquire);
+    }
+
+    /** Re-arm the token for a new run. */
+    void reset() noexcept { flag.store(false, std::memory_order_release); }
+
+  private:
+    std::atomic<bool> flag{false};
+};
+
+/**
+ * Resource envelope for a long run. A default-constructed budget is
+ * unlimited and costs almost nothing to poll. All limits compose: the
+ * budget is exhausted as soon as any one of them trips.
+ */
+struct RunBudget
+{
+    using Clock = std::chrono::steady_clock;
+
+    /** Absolute wall-clock deadline (unset = no time limit). */
+    std::optional<Clock::time_point> deadline;
+
+    /** Cap on completed loop generations (0 = unlimited). Counts the
+     *  whole run history, so a resumed run keeps the same cap. */
+    std::uint64_t maxGenerations = 0;
+
+    /** Cap on started fault injections per campaign (0 = unlimited). */
+    std::uint64_t maxInjections = 0;
+
+    /** Optional external cancellation source (not owned). */
+    const CancelToken *cancel = nullptr;
+
+    /** Budget expiring @p seconds of wall clock from now. */
+    static RunBudget
+    wallClock(double seconds)
+    {
+        RunBudget budget;
+        budget.deadline =
+            Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(seconds));
+        return budget;
+    }
+
+    bool
+    unlimited() const
+    {
+        return !deadline && maxGenerations == 0 && maxInjections == 0 &&
+               cancel == nullptr;
+    }
+
+    /** Deadline passed or cancellation requested. */
+    bool
+    expired() const
+    {
+        if (cancel && cancel->cancelled())
+            return true;
+        return deadline && Clock::now() >= *deadline;
+    }
+
+    /** May another generation start, given @p completed so far? */
+    bool
+    allowsGeneration(std::uint64_t completed) const
+    {
+        return !expired() &&
+               (maxGenerations == 0 || completed < maxGenerations);
+    }
+
+    /** May another injection start, given @p started so far? */
+    bool
+    allowsInjection(std::uint64_t started) const
+    {
+        return !expired() &&
+               (maxInjections == 0 || started < maxInjections);
+    }
+};
+
+} // namespace harpo
+
+#endif // HARPOCRATES_RESILIENCE_BUDGET_HH

@@ -1,0 +1,114 @@
+#include "resilience/checkpoint.hh"
+
+#include "resilience/error.hh"
+#include "resilience/snapshot_io.hh"
+
+namespace harpo::resilience
+{
+
+namespace
+{
+
+/** "HARPOCKP" as a little-endian u64. */
+constexpr std::uint64_t checkpointMagic = 0x504B434F50524148ull;
+
+void
+putGenome(SnapshotWriter &out, const museqgen::Genome &genome)
+{
+    out.u64(genome.operandSeed);
+    out.u32(static_cast<std::uint32_t>(genome.seq.size()));
+    for (const std::uint16_t variant : genome.seq)
+        out.u16(variant);
+}
+
+museqgen::Genome
+getGenome(SnapshotReader &in)
+{
+    museqgen::Genome genome;
+    genome.operandSeed = in.u64();
+    const std::uint32_t len = in.u32();
+    genome.seq.reserve(len);
+    for (std::uint32_t i = 0; i < len; ++i)
+        genome.seq.push_back(in.u16());
+    return genome;
+}
+
+} // namespace
+
+void
+LoopCheckpoint::save(const std::string &path) const
+{
+    SnapshotWriter out;
+    out.u64(configFingerprint);
+    out.u32(nextGeneration);
+    for (const std::uint64_t word : rngState)
+        out.u64(word);
+
+    out.f64(bestCoverage);
+    out.u64(programsEvaluated);
+    out.u64(instructionsGenerated);
+    out.f64(timing.mutationSec);
+    out.f64(timing.generationSec);
+    out.f64(timing.compilationSec);
+    out.f64(timing.evaluationSec);
+
+    out.u32(static_cast<std::uint32_t>(history.size()));
+    for (const core::GenerationStats &stats : history) {
+        out.u32(stats.generation);
+        out.f64(stats.bestCoverage);
+        out.f64(stats.meanTopK);
+        out.f64(stats.detection);
+    }
+
+    putGenome(out, bestGenome);
+    out.u32(static_cast<std::uint32_t>(population.size()));
+    for (const museqgen::Genome &genome : population)
+        putGenome(out, genome);
+
+    writeSnapshotFile(path, checkpointMagic, kVersion, out.bytes());
+}
+
+LoopCheckpoint
+LoopCheckpoint::load(const std::string &path)
+{
+    SnapshotReader in(
+        readSnapshotFile(path, checkpointMagic, kVersion));
+
+    LoopCheckpoint ckpt;
+    ckpt.configFingerprint = in.u64();
+    ckpt.nextGeneration = in.u32();
+    for (std::uint64_t &word : ckpt.rngState)
+        word = in.u64();
+
+    ckpt.bestCoverage = in.f64();
+    ckpt.programsEvaluated = in.u64();
+    ckpt.instructionsGenerated = in.u64();
+    ckpt.timing.mutationSec = in.f64();
+    ckpt.timing.generationSec = in.f64();
+    ckpt.timing.compilationSec = in.f64();
+    ckpt.timing.evaluationSec = in.f64();
+
+    const std::uint32_t historyLen = in.u32();
+    ckpt.history.reserve(historyLen);
+    for (std::uint32_t i = 0; i < historyLen; ++i) {
+        core::GenerationStats stats;
+        stats.generation = in.u32();
+        stats.bestCoverage = in.f64();
+        stats.meanTopK = in.f64();
+        stats.detection = in.f64();
+        ckpt.history.push_back(stats);
+    }
+
+    ckpt.bestGenome = getGenome(in);
+    const std::uint32_t populationLen = in.u32();
+    ckpt.population.reserve(populationLen);
+    for (std::uint32_t i = 0; i < populationLen; ++i)
+        ckpt.population.push_back(getGenome(in));
+
+    if (!in.atEnd())
+        throw Error::io("checkpoint '" + path +
+                        "' has trailing bytes");
+    return ckpt;
+}
+
+} // namespace harpo::resilience

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Checkpoint/resume for the Harpocrates loop.
+ *
+ * A LoopCheckpoint is a complete snapshot of the evolutionary loop
+ * between two generations: the population's genomes, the RNG state,
+ * the generation counter, the best-so-far genome/coverage, the
+ * per-generation history and the timing breakdown. Resuming from a
+ * snapshot reproduces the exact history an uninterrupted run would
+ * have produced — everything downstream of the snapshot is a pure
+ * function of this state plus the (fingerprinted) LoopConfig.
+ *
+ * Files are written via resilience::writeSnapshotFile, i.e. versioned
+ * and atomic (tmp + rename): a crash mid-checkpoint leaves the
+ * previous snapshot intact.
+ */
+
+#ifndef HARPOCRATES_RESILIENCE_CHECKPOINT_HH
+#define HARPOCRATES_RESILIENCE_CHECKPOINT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/harpocrates.hh"
+#include "museqgen/museqgen.hh"
+
+namespace harpo::resilience
+{
+
+/** On-disk snapshot of the full Harpocrates loop state. */
+struct LoopCheckpoint
+{
+    /** File format version; bump when the layout changes. Loaders
+     *  accept any version up to the current one. */
+    static constexpr std::uint32_t kVersion = 1;
+
+    /** Fingerprint of the semantic LoopConfig fields (seed, sizes,
+     *  target, generator policies). Harpocrates::resume refuses a
+     *  snapshot whose fingerprint does not match its own config,
+     *  because the replayed history would silently diverge. */
+    std::uint64_t configFingerprint = 0;
+
+    /** First generation the resumed run will execute. */
+    std::uint32_t nextGeneration = 0;
+
+    /** xoshiro256** state at the moment of the snapshot. */
+    std::array<std::uint64_t, 4> rngState{};
+
+    /** The population entering generation nextGeneration. */
+    std::vector<museqgen::Genome> population;
+
+    museqgen::Genome bestGenome;
+    double bestCoverage = 0.0;
+
+    std::vector<core::GenerationStats> history;
+    core::TimingBreakdown timing;
+    std::uint64_t programsEvaluated = 0;
+    std::uint64_t instructionsGenerated = 0;
+
+    /** Atomically persist to @p path; throws harpo::Error{Io}. */
+    void save(const std::string &path) const;
+
+    /** Load and validate @p path; throws harpo::Error{Io} on missing,
+     *  corrupt, or version-incompatible snapshots. */
+    static LoopCheckpoint load(const std::string &path);
+};
+
+} // namespace harpo::resilience
+
+#endif // HARPOCRATES_RESILIENCE_CHECKPOINT_HH

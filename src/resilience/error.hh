@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The library's error taxonomy.
+ *
+ * Long runs fail in qualitatively different ways — an unusable test
+ * program, an exhausted run budget, a bad snapshot file, a broken
+ * invariant — and callers react differently to each (skip the input,
+ * return a truncated result, refuse the resume, abort). harpo::Error
+ * carries that distinction as a typed kind so failure handling does
+ * not depend on parsing message strings.
+ */
+
+#ifndef HARPOCRATES_RESILIENCE_ERROR_HH
+#define HARPOCRATES_RESILIENCE_ERROR_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace harpo
+{
+
+/** What went wrong, at the granularity callers dispatch on. */
+enum class ErrorKind : std::uint8_t
+{
+    BadProgram, ///< the input program cannot serve as a test program
+    Budget,     ///< a RunBudget expired / cancellation was requested
+    Io,         ///< snapshot or file problem (missing, corrupt, stale)
+    Internal,   ///< an invariant of this library was violated
+};
+
+inline const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::BadProgram: return "bad-program";
+      case ErrorKind::Budget: return "budget";
+      case ErrorKind::Io: return "io";
+      case ErrorKind::Internal: return "internal";
+    }
+    return "unknown";
+}
+
+/** A typed exception: an ErrorKind plus a human-readable message. */
+class Error : public std::runtime_error
+{
+  public:
+    Error(ErrorKind kind, const std::string &msg)
+        : std::runtime_error(std::string(errorKindName(kind)) + ": " +
+                             msg),
+          errKind(kind)
+    {
+    }
+
+    ErrorKind kind() const noexcept { return errKind; }
+
+    static Error
+    badProgram(const std::string &msg)
+    {
+        return Error(ErrorKind::BadProgram, msg);
+    }
+
+    static Error
+    budget(const std::string &msg)
+    {
+        return Error(ErrorKind::Budget, msg);
+    }
+
+    static Error io(const std::string &msg)
+    {
+        return Error(ErrorKind::Io, msg);
+    }
+
+    static Error
+    internal(const std::string &msg)
+    {
+        return Error(ErrorKind::Internal, msg);
+    }
+
+  private:
+    ErrorKind errKind;
+};
+
+} // namespace harpo
+
+#endif // HARPOCRATES_RESILIENCE_ERROR_HH

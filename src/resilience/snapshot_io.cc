@@ -1,0 +1,188 @@
+#include "resilience/snapshot_io.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/hash.hh"
+#include "resilience/error.hh"
+
+namespace harpo::resilience
+{
+
+namespace
+{
+
+std::uint64_t
+payloadChecksum(const std::vector<std::uint8_t> &payload)
+{
+    Fnv1a hash;
+    hash.addBytes(payload.data(), payload.size());
+    return hash.value();
+}
+
+void
+putLe64(std::uint8_t *out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void
+putLe32(std::uint8_t *out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t
+getLe64(const std::uint8_t *in)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+    return v;
+}
+
+std::uint32_t
+getLe32(const std::uint8_t *in)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+    return v;
+}
+
+constexpr std::size_t headerSize = 8 + 4 + 4 + 8 + 8;
+
+} // namespace
+
+void
+SnapshotWriter::f64(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+double
+SnapshotReader::f64()
+{
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::uint64_t
+SnapshotReader::takeLe(int n)
+{
+    if (pos + static_cast<std::size_t>(n) > buf.size())
+        throw Error::io("snapshot payload truncated");
+    std::uint64_t v = 0;
+    for (int i = 0; i < n; ++i)
+        v |= static_cast<std::uint64_t>(buf[pos + i]) << (8 * i);
+    pos += static_cast<std::size_t>(n);
+    return v;
+}
+
+void
+writeSnapshotFile(const std::string &path, std::uint64_t magic,
+                  std::uint32_t version,
+                  const std::vector<std::uint8_t> &payload)
+{
+    std::uint8_t header[headerSize];
+    putLe64(header, magic);
+    putLe32(header + 8, version);
+    putLe32(header + 12, 0);
+    putLe64(header + 16, payload.size());
+    putLe64(header + 24, payloadChecksum(payload));
+
+    const std::string tmp = path + ".tmp";
+    std::FILE *file = std::fopen(tmp.c_str(), "wb");
+    if (!file)
+        throw Error::io("cannot create snapshot temporary '" + tmp +
+                        "'");
+
+    const bool wrote =
+        std::fwrite(header, 1, headerSize, file) == headerSize &&
+        (payload.empty() ||
+         std::fwrite(payload.data(), 1, payload.size(), file) ==
+             payload.size()) &&
+        std::fflush(file) == 0;
+    const bool closed = std::fclose(file) == 0;
+    if (!wrote || !closed) {
+        std::remove(tmp.c_str());
+        throw Error::io("short write to snapshot temporary '" + tmp +
+                        "'");
+    }
+
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw Error::io("cannot rename snapshot into place at '" +
+                        path + "'");
+    }
+}
+
+std::vector<std::uint8_t>
+readSnapshotFile(const std::string &path, std::uint64_t magic,
+                 std::uint32_t max_version, std::uint32_t *out_version)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        throw Error::io("cannot open snapshot '" + path + "'");
+
+    // Validate the header — and bound the payload size by the actual
+    // file size — before allocating anything, so a garbage file is an
+    // Error{Io}, not a std::length_error from a wild resize.
+    std::uint8_t header[headerSize];
+    const bool gotHeader =
+        std::fread(header, 1, headerSize, file) == headerSize;
+    long fileSize = -1;
+    if (gotHeader && std::fseek(file, 0, SEEK_END) == 0)
+        fileSize = std::ftell(file);
+    if (!gotHeader || fileSize < 0) {
+        std::fclose(file);
+        throw Error::io("snapshot '" + path +
+                        "' is truncated or unreadable");
+    }
+    if (getLe64(header) != magic) {
+        std::fclose(file);
+        throw Error::io("snapshot '" + path + "' has wrong magic");
+    }
+    const std::uint32_t version = getLe32(header + 8);
+    if (version == 0 || version > max_version) {
+        std::fclose(file);
+        throw Error::io("snapshot '" + path +
+                        "' has unsupported version " +
+                        std::to_string(version));
+    }
+    const std::uint64_t payloadSize = getLe64(header + 16);
+    // A complete snapshot is exactly header + payload.
+    if (static_cast<std::uint64_t>(fileSize) - headerSize !=
+        payloadSize) {
+        std::fclose(file);
+        throw Error::io("snapshot '" + path +
+                        "' is truncated or overlong");
+    }
+
+    std::vector<std::uint8_t> payload(payloadSize);
+    const bool ok =
+        std::fseek(file, headerSize, SEEK_SET) == 0 &&
+        (payload.empty() ||
+         std::fread(payload.data(), 1, payload.size(), file) ==
+             payload.size());
+    std::fclose(file);
+    if (!ok)
+        throw Error::io("snapshot '" + path +
+                        "' is truncated or unreadable");
+
+    if (getLe64(header + 24) != payloadChecksum(payload))
+        throw Error::io("snapshot '" + path + "' fails its checksum");
+
+    if (out_version)
+        *out_version = version;
+    return payload;
+}
+
+} // namespace harpo::resilience

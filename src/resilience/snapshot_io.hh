@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Versioned, atomically-written binary snapshot files.
+ *
+ * A snapshot file is a framed payload:
+ *
+ *   u64 magic | u32 version | u32 reserved | u64 payloadSize |
+ *   u64 fnv1a(payload) | payload bytes
+ *
+ * All integers are little-endian; doubles travel as IEEE-754 bit
+ * patterns so a round trip is bit-identical. Writes go to a sibling
+ * temporary file first and are renamed over the destination, so a
+ * crash mid-write can never leave a half-written snapshot under the
+ * real name — readers see either the old complete file or the new
+ * one. Readers verify magic, version and checksum and throw
+ * harpo::Error{Io} on any mismatch.
+ */
+
+#ifndef HARPOCRATES_RESILIENCE_SNAPSHOT_IO_HH
+#define HARPOCRATES_RESILIENCE_SNAPSHOT_IO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace harpo::resilience
+{
+
+/** Append-only little-endian byte sink for snapshot payloads. */
+class SnapshotWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf.push_back(v);
+    }
+
+    void
+    u16(std::uint16_t v)
+    {
+        appendLe(v, 2);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        appendLe(v, 4);
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        appendLe(v, 8);
+    }
+
+    /** Doubles are stored as raw IEEE-754 bit patterns. */
+    void f64(double v);
+
+    const std::vector<std::uint8_t> &bytes() const { return buf; }
+
+  private:
+    void
+    appendLe(std::uint64_t v, int n)
+    {
+        for (int i = 0; i < n; ++i)
+            buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    std::vector<std::uint8_t> buf;
+};
+
+/** Bounds-checked little-endian reader; throws Error{Io} on overrun. */
+class SnapshotReader
+{
+  public:
+    explicit SnapshotReader(std::vector<std::uint8_t> data)
+        : buf(std::move(data))
+    {
+    }
+
+    std::uint8_t u8() { return static_cast<std::uint8_t>(takeLe(1)); }
+    std::uint16_t u16() { return static_cast<std::uint16_t>(takeLe(2)); }
+    std::uint32_t u32() { return static_cast<std::uint32_t>(takeLe(4)); }
+    std::uint64_t u64() { return takeLe(8); }
+    double f64();
+
+    bool atEnd() const { return pos == buf.size(); }
+
+  private:
+    std::uint64_t takeLe(int n);
+
+    std::vector<std::uint8_t> buf;
+    std::size_t pos = 0;
+};
+
+/**
+ * Atomically persist @p payload to @p path under the given magic and
+ * version: write to "<path>.tmp", flush, rename. Throws Error{Io} on
+ * any filesystem failure (the temporary is cleaned up).
+ */
+void writeSnapshotFile(const std::string &path, std::uint64_t magic,
+                       std::uint32_t version,
+                       const std::vector<std::uint8_t> &payload);
+
+/**
+ * Load and verify a snapshot written by writeSnapshotFile. Throws
+ * Error{Io} when the file is missing, truncated, corrupt, carries the
+ * wrong magic, or a version newer than @p max_version. The file's
+ * version is stored through @p out_version when non-null.
+ */
+std::vector<std::uint8_t>
+readSnapshotFile(const std::string &path, std::uint64_t magic,
+                 std::uint32_t max_version,
+                 std::uint32_t *out_version = nullptr);
+
+} // namespace harpo::resilience
+
+#endif // HARPOCRATES_RESILIENCE_SNAPSHOT_IO_HH

@@ -720,6 +720,14 @@ Core::run(const isa::TestProgram &prog, isa::ArithModel *arith,
             running = false;
             break;
         }
+        if (cfg.budget &&
+            (cfg.budgetPollCycles <= 1 ||
+             now % cfg.budgetPollCycles == 0) &&
+            cfg.budget->expired()) {
+            result.exit = SimResult::Exit::Cancelled;
+            running = false;
+            break;
+        }
         if (probe)
             probe->onCycleBegin(*this, now);
         commitStage();

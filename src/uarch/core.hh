@@ -44,7 +44,13 @@ enum class CrashKind : std::uint8_t
 /** Result of simulating one program on the core. */
 struct SimResult
 {
-    enum class Exit : std::uint8_t { Finished, Crashed, Hang };
+    enum class Exit : std::uint8_t
+    {
+        Finished,
+        Crashed,
+        Hang,
+        Cancelled, ///< the CoreConfig::budget expired mid-run
+    };
 
     Exit exit = Exit::Finished;
     CrashKind crash = CrashKind::None;

@@ -10,6 +10,8 @@
 
 #include <cstdint>
 
+#include "resilience/budget.hh"
+
 namespace harpo::uarch
 {
 
@@ -58,6 +60,13 @@ struct CoreConfig
 
     /** Watchdog: a run exceeding this cycle count is declared hung. */
     std::uint64_t maxCycles = 20'000'000;
+
+    /** Optional cooperative run budget (not owned). The cycle loop
+     *  polls it every budgetPollCycles cycles and exits with
+     *  SimResult::Exit::Cancelled once it expires, so a wall-clock
+     *  deadline or CancelToken can interrupt a simulation mid-run. */
+    const RunBudget *budget = nullptr;
+    std::uint64_t budgetPollCycles = 4096;
 };
 
 } // namespace harpo::uarch

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "common/rng.hh"
 
@@ -66,6 +67,29 @@ TEST(Rng, UniformInUnitInterval)
         sum += u;
     }
     EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, SaveRestoreReproducesTheStream)
+{
+    Rng r(123);
+    for (int i = 0; i < 57; ++i)
+        r.next();
+    const auto state = r.saveState();
+    std::vector<std::uint64_t> expected;
+    for (int i = 0; i < 200; ++i)
+        expected.push_back(r.next());
+
+    // Restoring into the same generator rewinds it...
+    r.restoreState(state);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(r.next(), expected[i]);
+
+    // ...and restoring into a differently-seeded one transplants the
+    // stream wholesale.
+    Rng other(999);
+    other.restoreState(state);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(other.next(), expected[i]);
 }
 
 TEST(Rng, ForkIsIndependent)

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <vector>
 
 #include "common/thread_pool.hh"
+#include "resilience/error.hh"
 
 using harpo::ThreadPool;
 
@@ -39,4 +41,85 @@ TEST(ThreadPool, ManyMoreItemsThanThreads)
     pool.parallelFor(10000,
                      [&](std::size_t i) { sum.fetch_add(long(i)); });
     EXPECT_EQ(sum.load(), 10000L * 9999 / 2);
+}
+
+TEST(ThreadPool, ThrowingBodyPropagatesAndPoolStaysUsable)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(200,
+                                  [](std::size_t i) {
+                                      if (i == 37)
+                                          throw std::runtime_error(
+                                              "boom");
+                                  }),
+                 std::runtime_error);
+
+    // The workers survived the throw: the same pool completes a
+    // fresh parallelFor in full.
+    std::atomic<int> hits{0};
+    pool.parallelFor(500, [&](std::size_t) { hits.fetch_add(1); });
+    EXPECT_EQ(hits.load(), 500);
+}
+
+TEST(ThreadPool, EveryIterationThrowingSurfacesExactlyOneException)
+{
+    ThreadPool pool(4);
+    try {
+        pool.parallelFor(64, [](std::size_t) {
+            throw harpo::Error::budget("each iteration throws");
+        });
+        FAIL() << "expected harpo::Error";
+    } catch (const harpo::Error &e) {
+        EXPECT_EQ(e.kind(), harpo::ErrorKind::Budget);
+    }
+}
+
+TEST(ThreadPool, ErrorSkipsUnstartedIterations)
+{
+    ThreadPool pool(2);
+    std::atomic<int> executed{0};
+    try {
+        pool.parallelFor(100000, [&](std::size_t i) {
+            if (i == 0)
+                throw std::runtime_error("early");
+            executed.fetch_add(1);
+        });
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &) {
+    }
+    // Index 0 is claimed first, so the bulk of the range is skipped
+    // once the error is recorded (exact count depends on timing).
+    EXPECT_LT(executed.load(), 100000);
+}
+
+TEST(ThreadPool, GlobalPoolSurvivesAThrowingCampaignBody)
+{
+    EXPECT_THROW(ThreadPool::global().parallelFor(
+                     64,
+                     [](std::size_t i) {
+                         if (i % 2 == 0)
+                             throw harpo::Error::internal("poison");
+                     }),
+                 harpo::Error);
+    std::atomic<long> sum{0};
+    ThreadPool::global().parallelFor(
+        1000, [&](std::size_t i) { sum.fetch_add(long(i)); });
+    EXPECT_EQ(sum.load(), 1000L * 999 / 2);
+}
+
+TEST(ThreadPool, NestedInnerThrowPropagatesThroughOuterBody)
+{
+    ThreadPool pool(2);
+    std::atomic<int> outerFailures{0};
+    pool.parallelFor(4, [&](std::size_t) {
+        try {
+            pool.parallelFor(4, [](std::size_t j) {
+                if (j == 3)
+                    throw std::runtime_error("inner");
+            });
+        } catch (const std::runtime_error &) {
+            outerFailures.fetch_add(1);
+        }
+    });
+    EXPECT_EQ(outerFailures.load(), 4);
 }

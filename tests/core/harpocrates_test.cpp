@@ -158,6 +158,68 @@ TEST(Harpocrates, PresetsExistForAllSixStructures)
     EXPECT_GT(irf.gen.memory.regionSize, irf.core.l1d.size);
 }
 
+TEST(Harpocrates, ExpiredBudgetTruncatesImmediately)
+{
+    LoopConfig cfg = tinyConfig(TargetStructure::IntAdder);
+    cfg.generations = 100;
+    cfg.budget = RunBudget::wallClock(0.0);
+    Harpocrates loop(cfg);
+    const LoopResult r = loop.run();
+    EXPECT_TRUE(r.truncated);
+    EXPECT_TRUE(r.history.empty());
+}
+
+TEST(Harpocrates, GenerationCapTruncatesButKeepsCompletedWork)
+{
+    LoopConfig cfg = tinyConfig(TargetStructure::IntAdder);
+    cfg.generations = 100;
+    cfg.budget.maxGenerations = 3;
+    Harpocrates loop(cfg);
+    const LoopResult r = loop.run();
+    EXPECT_TRUE(r.truncated);
+    ASSERT_EQ(r.history.size(), 3u);
+    EXPECT_GT(r.bestCoverage, 0.0);
+    EXPECT_FALSE(r.bestProgram.code.empty());
+}
+
+TEST(Harpocrates, TruncatedRunPrefixMatchesUnbudgetedRun)
+{
+    // Cutting a run short must not change the generations that did
+    // complete: the budgeted run is a bit-exact prefix of the full
+    // one.
+    Harpocrates full(tinyConfig(TargetStructure::IntAdder));
+    const LoopResult rf = full.run();
+
+    LoopConfig cfg = tinyConfig(TargetStructure::IntAdder);
+    cfg.budget.maxGenerations = 4;
+    Harpocrates capped(cfg);
+    const LoopResult rc = capped.run();
+
+    ASSERT_EQ(rc.history.size(), 4u);
+    for (unsigned g = 0; g < 4; ++g) {
+        EXPECT_EQ(rc.history[g].bestCoverage,
+                  rf.history[g].bestCoverage);
+        EXPECT_EQ(rc.history[g].meanTopK, rf.history[g].meanTopK);
+    }
+}
+
+TEST(Harpocrates, CancelTokenStopsTheLoop)
+{
+    CancelToken token;
+    LoopConfig cfg = tinyConfig(TargetStructure::IntAdder);
+    cfg.generations = 100;
+    cfg.budget.cancel = &token;
+    Harpocrates loop(cfg);
+    loop.onGeneration = [&](const GenerationStats &g) {
+        if (g.generation == 1)
+            token.requestCancel();
+    };
+    const LoopResult r = loop.run();
+    EXPECT_TRUE(r.truncated);
+    EXPECT_GE(r.history.size(), 2u);
+    EXPECT_LT(r.history.size(), 100u);
+}
+
 TEST(Harpocrates, CustomFitnessDrivesSelection)
 {
     // Custom objective: maximize the number of PUSH instructions.

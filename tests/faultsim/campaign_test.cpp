@@ -206,6 +206,89 @@ TEST(FaultCampaign, CrashingGoldenRunIsRejected)
     EXPECT_EQ(r.total(), 0u);
 }
 
+TEST(FaultCampaign, UnusableProgramYieldsZeroRatesWithoutInjections)
+{
+    // A program whose golden run crashes must be reported unusable:
+    // no injections are performed and every rate is a well-defined
+    // zero (no division by the empty total).
+    PB b("crash2");
+    b.setGpr(RSI, 0xBAD00000);
+    b.i("mov r64, m64", {PB::gpr(RAX), PB::mem(RSI)});
+    const auto program = b.build();
+
+    for (const bool parallel : {true, false}) {
+        CampaignConfig cfg =
+            CampaignConfig::forTarget(TargetStructure::IntRegFile);
+        cfg.numInjections = 50;
+        cfg.parallel = parallel;
+        const CampaignResult r = FaultCampaign::run(program, cfg);
+        EXPECT_FALSE(r.goldenOk);
+        EXPECT_FALSE(r.truncated);
+        EXPECT_EQ(r.total(), 0u);
+        EXPECT_EQ(r.detection(), 0.0);
+        EXPECT_EQ(r.sdcRate(), 0.0);
+        EXPECT_EQ(r.failedInjections, 0u);
+    }
+}
+
+TEST(FaultCampaign, TightHangBudgetTurnsFaultyRunsIntoHangs)
+{
+    // With the watchdog collapsed to a single cycle, every faulty
+    // run trips the hang classification while the golden run (which
+    // uses the core's own maxCycles) still finishes.
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::IntRegFile);
+    cfg.numInjections = 30;
+    cfg.hangMultiplier = 0.0;
+    cfg.hangSlackCycles = 1;
+    const CampaignResult r = FaultCampaign::run(addChain(100), cfg);
+    ASSERT_TRUE(r.goldenOk);
+    EXPECT_EQ(r.total(), 30u);
+    EXPECT_EQ(r.hang, 30u);
+}
+
+TEST(FaultCampaign, ExpiredBudgetReturnsTruncatedResult)
+{
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::IntRegFile);
+    cfg.numInjections = 1000;
+    cfg.budget = harpo::RunBudget::wallClock(0.0);
+    const CampaignResult r = FaultCampaign::run(addChain(200), cfg);
+    EXPECT_TRUE(r.truncated);
+    EXPECT_FALSE(r.goldenOk);
+    EXPECT_EQ(r.total(), 0u);
+    EXPECT_EQ(r.detection(), 0.0);
+}
+
+TEST(FaultCampaign, CancelTokenTruncatesCampaign)
+{
+    harpo::CancelToken token;
+    token.requestCancel();
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::IntAdder);
+    cfg.numInjections = 500;
+    cfg.budget.cancel = &token;
+    const CampaignResult r = FaultCampaign::run(addChain(), cfg);
+    EXPECT_TRUE(r.truncated);
+    EXPECT_EQ(r.total(), 0u);
+}
+
+TEST(FaultCampaign, InjectionCapTruncatesButKeepsCompletedWork)
+{
+    for (const bool parallel : {true, false}) {
+        CampaignConfig cfg =
+            CampaignConfig::forTarget(TargetStructure::IntRegFile);
+        cfg.numInjections = 80;
+        cfg.parallel = parallel;
+        cfg.budget.maxInjections = 10;
+        const CampaignResult r = FaultCampaign::run(addChain(100), cfg);
+        EXPECT_TRUE(r.goldenOk);
+        EXPECT_TRUE(r.truncated);
+        EXPECT_GT(r.total(), 0u);
+        EXPECT_LE(r.total(), 10u);
+    }
+}
+
 TEST(FaultCampaign, IntermittentAndPermanentStorageFaultsSupported)
 {
     const auto program = addChain(150);

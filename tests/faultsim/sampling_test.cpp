@@ -113,6 +113,21 @@ TEST(FaultSampling, DeterministicPerSeed)
     EXPECT_LT(same, 10);
 }
 
+TEST(FaultSampling, HangBudgetMatchesLegacyFormula)
+{
+    // The default watchdog must reproduce the historical hardcoded
+    // golden * 3 + 10000 bound.
+    const CampaignConfig cfg;
+    EXPECT_EQ(cfg.hangBudget(0), 10000u);
+    EXPECT_EQ(cfg.hangBudget(1000), 1000u * 3 + 10000u);
+    EXPECT_EQ(cfg.hangBudget(123456), 123456u * 3 + 10000u);
+
+    CampaignConfig tight;
+    tight.hangMultiplier = 1.5;
+    tight.hangSlackCycles = 64;
+    EXPECT_EQ(tight.hangBudget(1000), 1564u);
+}
+
 TEST(FaultSampling, IntermittentWindowsApplied)
 {
     CampaignConfig cfg =

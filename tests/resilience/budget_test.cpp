@@ -1,0 +1,128 @@
+/**
+ * @file
+ * RunBudget / CancelToken semantics and the harpo::Error taxonomy,
+ * including cooperative cancellation of a Core simulation mid-run.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "isa/registers.hh"
+#include "resilience/budget.hh"
+#include "resilience/error.hh"
+#include "uarch/core.hh"
+
+using namespace harpo;
+using isa::ProgramBuilder;
+using PB = ProgramBuilder;
+
+TEST(RunBudget, DefaultIsUnlimited)
+{
+    RunBudget budget;
+    EXPECT_TRUE(budget.unlimited());
+    EXPECT_FALSE(budget.expired());
+    EXPECT_TRUE(budget.allowsGeneration(1u << 30));
+    EXPECT_TRUE(budget.allowsInjection(1u << 30));
+}
+
+TEST(RunBudget, ZeroWallClockIsImmediatelyExpired)
+{
+    const RunBudget budget = RunBudget::wallClock(0.0);
+    EXPECT_FALSE(budget.unlimited());
+    EXPECT_TRUE(budget.expired());
+    EXPECT_FALSE(budget.allowsGeneration(0));
+    EXPECT_FALSE(budget.allowsInjection(0));
+}
+
+TEST(RunBudget, GenerousWallClockIsNotExpired)
+{
+    const RunBudget budget = RunBudget::wallClock(3600.0);
+    EXPECT_FALSE(budget.expired());
+    EXPECT_TRUE(budget.allowsGeneration(0));
+}
+
+TEST(RunBudget, CancelTokenTripsTheBudget)
+{
+    CancelToken token;
+    RunBudget budget;
+    budget.cancel = &token;
+    EXPECT_FALSE(budget.expired());
+    token.requestCancel();
+    EXPECT_TRUE(budget.expired());
+    EXPECT_FALSE(budget.allowsInjection(0));
+    token.reset();
+    EXPECT_FALSE(budget.expired());
+}
+
+TEST(RunBudget, GenerationAndInjectionCaps)
+{
+    RunBudget budget;
+    budget.maxGenerations = 3;
+    budget.maxInjections = 5;
+    EXPECT_TRUE(budget.allowsGeneration(2));
+    EXPECT_FALSE(budget.allowsGeneration(3));
+    EXPECT_TRUE(budget.allowsInjection(4));
+    EXPECT_FALSE(budget.allowsInjection(5));
+}
+
+TEST(Error, CarriesKindAndMessage)
+{
+    const Error e = Error::budget("deadline hit");
+    EXPECT_EQ(e.kind(), ErrorKind::Budget);
+    EXPECT_NE(std::string(e.what()).find("budget"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("deadline hit"),
+              std::string::npos);
+
+    EXPECT_EQ(Error::badProgram("x").kind(), ErrorKind::BadProgram);
+    EXPECT_EQ(Error::io("x").kind(), ErrorKind::Io);
+    EXPECT_EQ(Error::internal("x").kind(), ErrorKind::Internal);
+}
+
+namespace
+{
+
+/** A long-but-finite busy-loop program. */
+isa::TestProgram
+spinProgram(int iterations)
+{
+    PB b("spin");
+    b.setGpr(isa::RCX, iterations);
+    const auto top = b.here();
+    b.i("dec r64", {PB::gpr(isa::RCX)});
+    b.br("jne rel32", top);
+    return b.build();
+}
+
+} // namespace
+
+TEST(RunBudget, CancelledCoreRunExitsWithCancelled)
+{
+    CancelToken token;
+    token.requestCancel();
+    RunBudget budget;
+    budget.cancel = &token;
+
+    uarch::CoreConfig cfg;
+    cfg.budget = &budget;
+    cfg.budgetPollCycles = 1;
+    uarch::Core core(cfg);
+    const uarch::SimResult sim = core.run(spinProgram(100000));
+    EXPECT_EQ(sim.exit, uarch::SimResult::Exit::Cancelled);
+    EXPECT_LT(sim.cycles, 16u); // cancelled at the first poll
+}
+
+TEST(RunBudget, UnexpiredBudgetDoesNotPerturbTheRun)
+{
+    RunBudget budget = RunBudget::wallClock(3600.0);
+    uarch::CoreConfig plain;
+    uarch::CoreConfig budgeted;
+    budgeted.budget = &budget;
+
+    const auto program = spinProgram(500);
+    const uarch::SimResult a = uarch::Core(plain).run(program);
+    const uarch::SimResult b = uarch::Core(budgeted).run(program);
+    ASSERT_EQ(a.exit, uarch::SimResult::Exit::Finished);
+    ASSERT_EQ(b.exit, uarch::SimResult::Exit::Finished);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.signature, b.signature);
+}

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Checkpoint file format properties: bit-exact round trips, atomic
+ * writes, corruption detection — and the headline kill-and-resume
+ * guarantee: a Harpocrates run checkpointed at generation k and
+ * resumed from disk reproduces the uninterrupted run's history
+ * bit-identically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/harpocrates.hh"
+#include "resilience/checkpoint.hh"
+#include "resilience/error.hh"
+#include "resilience/snapshot_io.hh"
+
+using namespace harpo;
+using namespace harpo::resilience;
+using harpo::core::Harpocrates;
+using harpo::core::LoopConfig;
+using harpo::core::LoopResult;
+using coverage::TargetStructure;
+
+namespace
+{
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "harpo_" + name;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f)
+        std::fclose(f);
+    return f != nullptr;
+}
+
+LoopCheckpoint
+sampleCheckpoint()
+{
+    LoopCheckpoint ckpt;
+    ckpt.configFingerprint = 0xDEADBEEFCAFEF00Dull;
+    ckpt.nextGeneration = 7;
+    ckpt.rngState = {1, 2, 3, 0xFFFFFFFFFFFFFFFFull};
+    ckpt.bestCoverage = 0.8251234567;
+    ckpt.programsEvaluated = 112;
+    ckpt.instructionsGenerated = 44800;
+    ckpt.timing.mutationSec = 0.125;
+    ckpt.timing.generationSec = 1.5;
+    ckpt.timing.compilationSec = 0.0625;
+    ckpt.timing.evaluationSec = 10.75;
+    for (unsigned g = 0; g < 7; ++g) {
+        core::GenerationStats stats;
+        stats.generation = g;
+        stats.bestCoverage = 0.1 * g;
+        stats.meanTopK = 0.05 * g;
+        stats.detection = g % 2 ? 0.5 : -1.0;
+        ckpt.history.push_back(stats);
+    }
+    ckpt.bestGenome.seq = {5, 9, 5, 120, 7};
+    ckpt.bestGenome.operandSeed = 0x1234;
+    for (int i = 0; i < 4; ++i) {
+        museqgen::Genome genome;
+        genome.seq = {static_cast<std::uint16_t>(i),
+                      static_cast<std::uint16_t>(i + 1)};
+        genome.operandSeed = 99 + i;
+        ckpt.population.push_back(genome);
+    }
+    return ckpt;
+}
+
+} // namespace
+
+TEST(Checkpoint, RoundTripIsBitExact)
+{
+    const std::string path = tmpPath("roundtrip.ckpt");
+    const LoopCheckpoint a = sampleCheckpoint();
+    a.save(path);
+    const LoopCheckpoint b = LoopCheckpoint::load(path);
+
+    EXPECT_EQ(b.configFingerprint, a.configFingerprint);
+    EXPECT_EQ(b.nextGeneration, a.nextGeneration);
+    EXPECT_EQ(b.rngState, a.rngState);
+    EXPECT_EQ(b.bestCoverage, a.bestCoverage);
+    EXPECT_EQ(b.programsEvaluated, a.programsEvaluated);
+    EXPECT_EQ(b.instructionsGenerated, a.instructionsGenerated);
+    EXPECT_EQ(b.timing.mutationSec, a.timing.mutationSec);
+    EXPECT_EQ(b.timing.evaluationSec, a.timing.evaluationSec);
+    ASSERT_EQ(b.history.size(), a.history.size());
+    for (std::size_t i = 0; i < a.history.size(); ++i) {
+        EXPECT_EQ(b.history[i].generation, a.history[i].generation);
+        EXPECT_EQ(b.history[i].bestCoverage,
+                  a.history[i].bestCoverage);
+        EXPECT_EQ(b.history[i].meanTopK, a.history[i].meanTopK);
+        EXPECT_EQ(b.history[i].detection, a.history[i].detection);
+    }
+    EXPECT_EQ(b.bestGenome.seq, a.bestGenome.seq);
+    EXPECT_EQ(b.bestGenome.operandSeed, a.bestGenome.operandSeed);
+    ASSERT_EQ(b.population.size(), a.population.size());
+    for (std::size_t i = 0; i < a.population.size(); ++i) {
+        EXPECT_EQ(b.population[i].seq, a.population[i].seq);
+        EXPECT_EQ(b.population[i].operandSeed,
+                  a.population[i].operandSeed);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, AtomicWriteLeavesNoTemporaryBehind)
+{
+    const std::string path = tmpPath("atomic.ckpt");
+    sampleCheckpoint().save(path);
+    EXPECT_TRUE(fileExists(path));
+    EXPECT_FALSE(fileExists(path + ".tmp"));
+    // Overwriting an existing checkpoint is equally atomic.
+    sampleCheckpoint().save(path);
+    EXPECT_TRUE(fileExists(path));
+    EXPECT_FALSE(fileExists(path + ".tmp"));
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileThrowsIoError)
+{
+    try {
+        LoopCheckpoint::load(tmpPath("does-not-exist.ckpt"));
+        FAIL() << "expected Error{Io}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Io);
+    }
+}
+
+TEST(Checkpoint, GarbageFileThrowsIoError)
+{
+    const std::string path = tmpPath("garbage.ckpt");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a checkpoint", f);
+    std::fclose(f);
+    try {
+        LoopCheckpoint::load(path);
+        FAIL() << "expected Error{Io}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Io);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, LongGarbageFileThrowsIoErrorNotLengthError)
+{
+    // A garbage file longer than the header parses a wild payload
+    // size out of random bytes; the reader must reject it as
+    // Error{Io}, not die in vector::resize.
+    const std::string path = tmpPath("long_garbage.ckpt");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    harpo::Rng rng(0xDEAD);
+    for (int i = 0; i < 4096; ++i)
+        std::fputc(static_cast<int>(rng.below(256)), f);
+    std::fclose(f);
+    try {
+        LoopCheckpoint::load(path);
+        FAIL() << "expected Error{Io}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Io);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SnapshotIo, WildPayloadSizeIsRejectedWithoutAllocation)
+{
+    // Correct magic and version, but a payload-size field claiming
+    // petabytes: must fail on the file-size mismatch before any
+    // allocation is attempted.
+    const std::string path = tmpPath("wild_size.snap");
+    writeSnapshotFile(path, /*magic=*/0x1234, /*version=*/1,
+                      {1, 2, 3, 4});
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    const std::uint8_t huge[8] = {0xFF, 0xFF, 0xFF, 0xFF,
+                                  0xFF, 0xFF, 0xFF, 0x7F};
+    std::fseek(f, 16, SEEK_SET); // the payload-size field
+    std::fwrite(huge, 1, sizeof(huge), f);
+    std::fclose(f);
+    try {
+        readSnapshotFile(path, 0x1234, 1);
+        FAIL() << "expected Error{Io}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Io);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncatedFileThrowsIoError)
+{
+    const std::string path = tmpPath("truncated.ckpt");
+    sampleCheckpoint().save(path);
+
+    // Chop the tail off the valid snapshot.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<unsigned char> bytes(static_cast<std::size_t>(size));
+    ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f),
+              bytes.size());
+    std::fclose(f);
+    f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size() - 9, f);
+    std::fclose(f);
+
+    try {
+        LoopCheckpoint::load(path);
+        FAIL() << "expected Error{Io}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Io);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, CorruptPayloadFailsChecksum)
+{
+    const std::string path = tmpPath("corrupt.ckpt");
+    sampleCheckpoint().save(path);
+    // Flip one payload byte in place.
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 48, SEEK_SET); // past the 32-byte header
+    const int byte = std::fgetc(f);
+    std::fseek(f, 48, SEEK_SET);
+    std::fputc(byte ^ 0x40, f);
+    std::fclose(f);
+    try {
+        LoopCheckpoint::load(path);
+        FAIL() << "expected Error{Io}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Io);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SnapshotIo, RejectsWrongMagicAndFutureVersions)
+{
+    const std::string path = tmpPath("framing.snap");
+    writeSnapshotFile(path, /*magic=*/0x1111, /*version=*/3,
+                      {1, 2, 3});
+
+    EXPECT_NO_THROW(readSnapshotFile(path, 0x1111, 3));
+    EXPECT_THROW(readSnapshotFile(path, 0x2222, 3), Error);
+    EXPECT_THROW(readSnapshotFile(path, 0x1111, 2), Error);
+    std::uint32_t version = 0;
+    readSnapshotFile(path, 0x1111, 9, &version);
+    EXPECT_EQ(version, 3u);
+    std::remove(path.c_str());
+}
+
+namespace
+{
+
+LoopConfig
+loopConfig()
+{
+    LoopConfig cfg = core::presetFor(TargetStructure::IntAdder, 0.2);
+    cfg.population = 6;
+    cfg.topK = 2;
+    cfg.generations = 6;
+    cfg.gen.numInstructions = 80;
+    cfg.seed = 1234;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Checkpoint, KillAndResumeReproducesTheRunBitIdentically)
+{
+    // Reference: the uninterrupted run.
+    const LoopResult straight = Harpocrates(loopConfig()).run();
+    ASSERT_EQ(straight.history.size(), 6u);
+
+    // "Killed" run: checkpoint every generation, budget-capped at 3
+    // completed generations.
+    const std::string path = tmpPath("resume.ckpt");
+    LoopConfig interruptedCfg = loopConfig();
+    interruptedCfg.checkpointPath = path;
+    interruptedCfg.checkpointEvery = 1;
+    interruptedCfg.budget.maxGenerations = 3;
+    const LoopResult partial = Harpocrates(interruptedCfg).run();
+    EXPECT_TRUE(partial.truncated);
+    ASSERT_EQ(partial.history.size(), 3u);
+
+    // Resume from disk with the plain config (budget and checkpoint
+    // settings are not part of the fingerprint).
+    const LoopCheckpoint ckpt = LoopCheckpoint::load(path);
+    EXPECT_EQ(ckpt.nextGeneration, 3u);
+    const LoopResult resumed = Harpocrates(loopConfig()).resume(ckpt);
+
+    EXPECT_FALSE(resumed.truncated);
+    ASSERT_EQ(resumed.history.size(), straight.history.size());
+    for (std::size_t g = 0; g < straight.history.size(); ++g) {
+        EXPECT_EQ(resumed.history[g].generation,
+                  straight.history[g].generation);
+        EXPECT_EQ(resumed.history[g].bestCoverage,
+                  straight.history[g].bestCoverage);
+        EXPECT_EQ(resumed.history[g].meanTopK,
+                  straight.history[g].meanTopK);
+        EXPECT_EQ(resumed.history[g].detection,
+                  straight.history[g].detection);
+    }
+    EXPECT_EQ(resumed.bestCoverage, straight.bestCoverage);
+    EXPECT_EQ(resumed.bestGenome.seq, straight.bestGenome.seq);
+    EXPECT_EQ(resumed.bestGenome.operandSeed,
+              straight.bestGenome.operandSeed);
+    EXPECT_EQ(resumed.programsEvaluated, straight.programsEvaluated);
+    EXPECT_EQ(resumed.instructionsGenerated,
+              straight.instructionsGenerated);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumeRefusesAMismatchedConfig)
+{
+    const std::string path = tmpPath("mismatch.ckpt");
+    LoopConfig cfg = loopConfig();
+    cfg.checkpointPath = path;
+    cfg.checkpointEvery = 2;
+    Harpocrates(cfg).run();
+    ASSERT_TRUE(fileExists(path));
+
+    LoopConfig other = loopConfig();
+    other.seed = 999; // a semantically different run
+    try {
+        Harpocrates(other).resume(LoopCheckpoint::load(path));
+        FAIL() << "expected Error{Io}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Io);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumeAtFinalGenerationJustFinishes)
+{
+    const std::string path = tmpPath("final.ckpt");
+    LoopConfig cfg = loopConfig();
+    cfg.checkpointPath = path;
+    cfg.checkpointEvery = 1;
+    const LoopResult full = Harpocrates(cfg).run();
+
+    // The last checkpoint sits at nextGeneration == generations.
+    const LoopCheckpoint ckpt = LoopCheckpoint::load(path);
+    EXPECT_EQ(ckpt.nextGeneration, cfg.generations);
+    const LoopResult resumed =
+        Harpocrates(loopConfig()).resume(ckpt);
+    EXPECT_EQ(resumed.history.size(), full.history.size());
+    EXPECT_EQ(resumed.bestCoverage, full.bestCoverage);
+    EXPECT_FALSE(resumed.bestProgram.code.empty());
+    std::remove(path.c_str());
+}
