@@ -120,6 +120,111 @@ maxCoverage(const std::vector<GradedProgram> &rows)
     return m;
 }
 
+/**
+ * Minimal streaming JSON writer for machine-readable bench results
+ * (the BENCH_*.json files the perf-tracking harness diffs across
+ * runs). Emits tokens in call order; the caller is responsible for
+ * balanced begin/end pairs.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject() { sep(); out += '{'; needComma = false; return *this; }
+    JsonWriter &endObject() { out += '}'; needComma = true; return *this; }
+    JsonWriter &beginArray() { sep(); out += '['; needComma = false; return *this; }
+    JsonWriter &endArray() { out += ']'; needComma = true; return *this; }
+
+    JsonWriter &
+    key(const char *name)
+    {
+        sep();
+        appendString(name);
+        out += ": ";
+        afterKey = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(const std::string &v)
+    {
+        sep();
+        appendString(v.c_str());
+        needComma = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(double v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        sep();
+        out += buf;
+        needComma = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::uint64_t v)
+    {
+        sep();
+        out += std::to_string(v);
+        needComma = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(bool v)
+    {
+        sep();
+        out += v ? "true" : "false";
+        needComma = true;
+        return *this;
+    }
+
+    /** Write the accumulated document (plus a trailing newline). */
+    bool
+    save(const std::string &path) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f)
+            return false;
+        std::fputs(out.c_str(), f);
+        std::fputc('\n', f);
+        return std::fclose(f) == 0;
+    }
+
+    const std::string &text() const { return out; }
+
+  private:
+    void
+    sep()
+    {
+        if (afterKey) {
+            afterKey = false;
+            return;
+        }
+        if (needComma)
+            out += ", ";
+    }
+
+    void
+    appendString(const char *s)
+    {
+        out += '"';
+        for (; *s; ++s) {
+            if (*s == '"' || *s == '\\')
+                out += '\\';
+            out += *s;
+        }
+        out += '"';
+    }
+
+    std::string out;
+    bool needComma = false;
+    bool afterKey = false;
+};
+
 } // namespace harpo::bench
 
 #endif // HARPOCRATES_BENCH_BENCH_UTIL_HH

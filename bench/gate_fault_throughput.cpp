@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Throughput of gate-level stuck-at fault classification: the scalar
+ * one-fault-per-walk evaluator versus the bit-parallel 64-lane batch
+ * replay, on all four functional-unit netlists.
+ *
+ * Each side classifies the same sampled fault population against the
+ * same synthetic operand trace — "does this fault's output ever
+ * diverge from fault-free?" — with its natural early exit (scalar
+ * stops a fault at its first divergence; the batch walk stops once
+ * every lane has diverged). Results agree bit-for-bit by
+ * construction; the bench asserts it.
+ *
+ * Emits BENCH_gates.json next to the binary for perf tracking.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.hh"
+#include "common/rng.hh"
+#include "faultsim/fu_trace.hh"
+#include "gates/fu_library.hh"
+
+using namespace harpo;
+using namespace harpo::gates;
+using harpo::faultsim::FuOp;
+using harpo::faultsim::GateFault;
+
+namespace
+{
+
+constexpr unsigned kTraceOps = 48;
+constexpr unsigned kNumFaults = 504; // 8 full 63-lane batches
+
+double
+seconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+std::vector<FuOp>
+syntheticTrace(isa::FuCircuit circuit, Rng &rng)
+{
+    const bool fp = circuit == isa::FuCircuit::FpAdd ||
+                    circuit == isa::FuCircuit::FpMul;
+    std::vector<FuOp> trace(kTraceOps);
+    for (unsigned i = 0; i < kTraceOps; ++i) {
+        FuOp &op = trace[i];
+        op.circuit = circuit;
+        op.cycle = i;
+        op.carryIn = rng.chance(0.5);
+        op.a = rng.next();
+        op.b = rng.next();
+        if (fp) {
+            const double da = 0.5 + rng.uniform() * 3.0;
+            const double db = 0.5 + rng.uniform() * 3.0;
+            std::memcpy(&op.a, &da, sizeof(op.a));
+            std::memcpy(&op.b, &db, sizeof(op.b));
+        }
+    }
+    return trace;
+}
+
+/** Scalar reference classification: does @p fault ever diverge? */
+bool
+scalarDiverges(isa::FuCircuit circuit, const std::vector<FuOp> &trace,
+               const GateFault &fault)
+{
+    const FuLibrary &lib = FuLibrary::instance();
+    for (const FuOp &op : trace) {
+        switch (circuit) {
+          case isa::FuCircuit::IntAdd: {
+            const auto g = lib.intAdder().compute(op.a, op.b, op.carryIn);
+            const auto f = lib.intAdder().compute(
+                op.a, op.b, op.carryIn, fault.gate, fault.stuckValue);
+            if (g.sum != f.sum || g.carryOut != f.carryOut)
+                return true;
+            break;
+          }
+          case isa::FuCircuit::IntMul: {
+            const auto g = lib.intMultiplier().compute(op.a, op.b);
+            const auto f = lib.intMultiplier().compute(
+                op.a, op.b, fault.gate, fault.stuckValue);
+            if (g.lo != f.lo || g.hi != f.hi)
+                return true;
+            break;
+          }
+          case isa::FuCircuit::FpAdd:
+            if (lib.fpAdder().compute(op.a, op.b) !=
+                lib.fpAdder().compute(op.a, op.b, fault.gate,
+                                      fault.stuckValue))
+                return true;
+            break;
+          default:
+            if (lib.fpMultiplier().compute(op.a, op.b) !=
+                lib.fpMultiplier().compute(op.a, op.b, fault.gate,
+                                           fault.stuckValue))
+                return true;
+            break;
+        }
+    }
+    return false;
+}
+
+struct CircuitResult
+{
+    const char *name = "";
+    double scalarSec = 0.0;
+    double batchSec = 0.0;
+    unsigned diverging = 0;
+    bool agree = true;
+
+    double scalarFps() const { return kNumFaults / scalarSec; }
+    double batchFps() const { return kNumFaults / batchSec; }
+    double speedup() const { return scalarSec / batchSec; }
+};
+
+CircuitResult
+benchCircuit(const char *name, isa::FuCircuit circuit)
+{
+    Rng rng(0xBE7C);
+    const std::vector<FuOp> trace = syntheticTrace(circuit, rng);
+
+    const Netlist &nl = FuLibrary::instance().netlistFor(circuit);
+    const auto &logic = nl.logicGates();
+    std::vector<GateFault> faults(kNumFaults);
+    for (auto &f : faults)
+        f = {static_cast<std::int64_t>(logic[rng.below(logic.size())]),
+             rng.chance(0.5)};
+
+    CircuitResult r;
+    r.name = name;
+
+    std::vector<bool> scalarVerdict(kNumFaults);
+    auto t0 = std::chrono::steady_clock::now();
+    for (unsigned k = 0; k < kNumFaults; ++k)
+        scalarVerdict[k] = scalarDiverges(circuit, trace, faults[k]);
+    r.scalarSec = seconds(t0);
+
+    std::vector<bool> batchVerdict(kNumFaults);
+    t0 = std::chrono::steady_clock::now();
+    for (unsigned lo = 0; lo < kNumFaults; lo += 63) {
+        const unsigned n = std::min(63u, kNumFaults - lo);
+        const std::uint64_t diverged = faultsim::replayDivergence(
+            circuit, trace, faults.data() + lo, n);
+        for (unsigned k = 0; k < n; ++k)
+            batchVerdict[lo + k] = (diverged >> k) & 1;
+    }
+    r.batchSec = seconds(t0);
+
+    for (unsigned k = 0; k < kNumFaults; ++k) {
+        r.diverging += batchVerdict[k];
+        if (scalarVerdict[k] != batchVerdict[k])
+            r.agree = false;
+    }
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Gate-fault classification throughput: scalar vs "
+                "bit-parallel batch (%u faults, %u-op trace) ===\n",
+                kNumFaults, kTraceOps);
+
+    const std::pair<const char *, isa::FuCircuit> circuits[] = {
+        {"IntAdder", isa::FuCircuit::IntAdd},
+        {"IntMultiplier", isa::FuCircuit::IntMul},
+        {"FpAdder", isa::FuCircuit::FpAdd},
+        {"FpMultiplier", isa::FuCircuit::FpMul},
+    };
+
+    bench::JsonWriter json;
+    json.beginObject();
+    json.key("bench").value(std::string("gate_fault_throughput"));
+    json.key("num_faults").value(std::uint64_t{kNumFaults});
+    json.key("trace_ops").value(std::uint64_t{kTraceOps});
+    json.key("circuits").beginArray();
+
+    bool allAgree = true;
+    for (const auto &[name, circuit] : circuits) {
+        const CircuitResult r = benchCircuit(name, circuit);
+        allAgree = allAgree && r.agree;
+        std::printf("  %-14s scalar %9.0f faults/s   batch %10.0f "
+                    "faults/s   speedup %6.1fx   diverging %u/%u   %s\n",
+                    r.name, r.scalarFps(), r.batchFps(), r.speedup(),
+                    r.diverging, kNumFaults,
+                    r.agree ? "agree" : "MISMATCH");
+        json.beginObject();
+        json.key("circuit").value(std::string(r.name));
+        json.key("scalar_faults_per_sec").value(r.scalarFps());
+        json.key("batch_faults_per_sec").value(r.batchFps());
+        json.key("speedup").value(r.speedup());
+        json.key("diverging_faults").value(std::uint64_t{r.diverging});
+        json.key("agree").value(r.agree);
+        json.endObject();
+    }
+    json.endArray();
+    json.key("all_agree").value(allAgree);
+    json.endObject();
+
+    const char *out = "BENCH_gates.json";
+    if (!json.save(out)) {
+        std::fprintf(stderr, "failed to write %s\n", out);
+        return 1;
+    }
+    std::printf("  wrote %s\n", out);
+    return allAgree ? 0 : 1;
+}

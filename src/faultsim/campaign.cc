@@ -1,11 +1,18 @@
 #include "faultsim/campaign.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
+#include "faultsim/fu_trace.hh"
 #include "gates/fu_library.hh"
+#include "isa/encoding.hh"
 #include "resilience/error.hh"
 
 namespace harpo::faultsim
@@ -122,7 +129,134 @@ class ParityProbe : public uarch::CoreProbe
     Outcome result = Outcome::Masked; // never touched again
 };
 
+/** Content fingerprint of everything that determines a golden run's
+ *  outcome on the program side: code, initial architectural state,
+ *  memory layout and contents, and the core-test range. */
+std::uint64_t
+programFingerprint(const isa::TestProgram &program)
+{
+    Fnv1a h;
+    const std::vector<std::uint8_t> bytes =
+        isa::encodeProgram(program.code);
+    h.addBytes(bytes.data(), bytes.size());
+    for (const std::uint64_t v : program.initGpr)
+        h.addWord(v);
+    for (const auto &lanes : program.initXmm) {
+        h.addWord(lanes[0]);
+        h.addWord(lanes[1]);
+    }
+    for (const auto &r : program.regions) {
+        h.addWord(r.base);
+        h.addWord(r.size);
+    }
+    for (const auto &mi : program.memInit) {
+        h.addWord(mi.addr);
+        h.addBytes(mi.bytes.data(), mi.bytes.size());
+    }
+    h.addWord(program.coreBegin);
+    h.addWord(program.coreEnd);
+    return h.value();
+}
+
+/** Fingerprint of every CoreConfig field that can change simulated
+ *  behaviour (everything but the non-owning budget pointer). */
+std::uint64_t
+coreConfigFingerprint(const uarch::CoreConfig &c)
+{
+    Fnv1a h;
+    for (const std::uint64_t v : {
+             static_cast<std::uint64_t>(c.fetchWidth),
+             static_cast<std::uint64_t>(c.renameWidth),
+             static_cast<std::uint64_t>(c.issueWidth),
+             static_cast<std::uint64_t>(c.commitWidth),
+             static_cast<std::uint64_t>(c.frontendDelay),
+             static_cast<std::uint64_t>(c.robSize),
+             static_cast<std::uint64_t>(c.iqSize),
+             static_cast<std::uint64_t>(c.lqSize),
+             static_cast<std::uint64_t>(c.sqSize),
+             static_cast<std::uint64_t>(c.numIntPhysRegs),
+             static_cast<std::uint64_t>(c.numFpPhysRegs),
+             static_cast<std::uint64_t>(c.numIntAlu),
+             static_cast<std::uint64_t>(c.numIntMul),
+             static_cast<std::uint64_t>(c.numIntDiv),
+             static_cast<std::uint64_t>(c.numFpAdd),
+             static_cast<std::uint64_t>(c.numFpMul),
+             static_cast<std::uint64_t>(c.numFpDiv),
+             static_cast<std::uint64_t>(c.numSimdAlu),
+             static_cast<std::uint64_t>(c.numMemPorts),
+             static_cast<std::uint64_t>(c.branchMispredictPenalty),
+             static_cast<std::uint64_t>(c.l1d.size),
+             static_cast<std::uint64_t>(c.l1d.lineSize),
+             static_cast<std::uint64_t>(c.l1d.ways),
+             static_cast<std::uint64_t>(c.l1d.hitLatency),
+             static_cast<std::uint64_t>(c.l1d.missLatency),
+             c.maxCycles,
+         })
+        h.addWord(v);
+    return h.value();
+}
+
+/** One cached golden run: the classification-relevant results plus
+ *  (for functional-unit campaigns) the recorded operand trace. */
+struct GoldenEntry
+{
+    bool ok = false; ///< golden run finished cleanly
+    std::uint64_t cycles = 0;
+    std::uint64_t signature = 0;
+    bool traceRecorded = false;
+    bool traceOverflow = false;
+    std::shared_ptr<const std::vector<FuOp>> trace;
+};
+
+struct GoldenCache
+{
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, GoldenEntry> entries;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+
+    /** Simple size bound: wholesale eviction keeps the cache O(1) in
+     *  memory without LRU bookkeeping on the hot path. */
+    static constexpr std::size_t maxEntries = 256;
+};
+
+GoldenCache &
+goldenCache()
+{
+    static GoldenCache cache;
+    return cache;
+}
+
+std::uint64_t
+goldenKey(std::uint64_t program_fp, std::uint64_t config_fp)
+{
+    Fnv1a h;
+    h.addWord(program_fp);
+    h.addWord(config_fp);
+    return h.value();
+}
+
 } // namespace
+
+void
+FaultCampaign::clearGoldenCache()
+{
+    GoldenCache &cache = goldenCache();
+    std::lock_guard<std::mutex> lock(cache.mu);
+    cache.entries.clear();
+}
+
+std::uint64_t
+FaultCampaign::goldenCacheHits()
+{
+    return goldenCache().hits.load();
+}
+
+std::uint64_t
+FaultCampaign::goldenCacheMisses()
+{
+    return goldenCache().misses.load();
+}
 
 Outcome
 FaultCampaign::runOne(const isa::TestProgram &program,
@@ -190,30 +324,136 @@ FaultCampaign::run(const isa::TestProgram &program,
         return result;
     }
 
-    // Golden (fault-free) run, itself bounded by the budget.
-    uarch::CoreConfig goldenCfg = config.core;
-    goldenCfg.budget = &config.budget;
-    uarch::Core golden(goldenCfg);
-    const uarch::SimResult goldenSim = golden.run(program);
-    if (goldenSim.exit == uarch::SimResult::Exit::Cancelled) {
-        result.truncated = true;
-        return result;
+    // A functional-unit campaign wants the golden operand trace for
+    // the bit-parallel replay path.
+    const bool fuTarget = !coverage::isBitArray(config.target);
+    const bool wantTrace = fuTarget && config.batchFuSim;
+
+    // Golden (fault-free) run — reused from the cache when the same
+    // program/core-config pair was already simulated, otherwise run
+    // here (bounded by the budget) and cached for the next campaign.
+    GoldenEntry golden;
+    bool haveGolden = false;
+    std::uint64_t cacheKey = 0;
+    if (config.goldenCacheEnabled) {
+        cacheKey = goldenKey(programFingerprint(program),
+                             coreConfigFingerprint(config.core));
+        GoldenCache &cache = goldenCache();
+        std::lock_guard<std::mutex> lock(cache.mu);
+        const auto it = cache.entries.find(cacheKey);
+        if (it != cache.entries.end() &&
+            (!wantTrace || it->second.traceRecorded)) {
+            golden = it->second;
+            haveGolden = true;
+            cache.hits.fetch_add(1);
+        } else {
+            cache.misses.fetch_add(1);
+        }
     }
-    if (goldenSim.exit != uarch::SimResult::Exit::Finished)
+    if (!haveGolden) {
+        uarch::CoreConfig goldenCfg = config.core;
+        goldenCfg.budget = &config.budget;
+        uarch::Core goldenCore(goldenCfg);
+        FuTraceRecorder recorder;
+        const uarch::SimResult goldenSim =
+            wantTrace ? goldenCore.run(program, &recorder, &recorder)
+                      : goldenCore.run(program);
+        if (goldenSim.exit == uarch::SimResult::Exit::Cancelled) {
+            result.truncated = true;
+            return result; // wall-clock dependent: never cached
+        }
+        golden.ok = goldenSim.exit == uarch::SimResult::Exit::Finished;
+        golden.cycles = goldenSim.cycles;
+        golden.signature = goldenSim.signature;
+        golden.traceRecorded = wantTrace;
+        golden.traceOverflow = wantTrace && recorder.overflowed();
+        if (wantTrace && !recorder.overflowed())
+            golden.trace = std::make_shared<const std::vector<FuOp>>(
+                recorder.takeTrace());
+        if (config.goldenCacheEnabled) {
+            GoldenCache &cache = goldenCache();
+            std::lock_guard<std::mutex> lock(cache.mu);
+            if (cache.entries.size() >= GoldenCache::maxEntries)
+                cache.entries.clear();
+            cache.entries[cacheKey] = golden;
+        }
+    }
+    if (!golden.ok)
         return result; // goldenOk stays false: unusable test program
     result.goldenOk = true;
-    result.goldenCycles = goldenSim.cycles;
-    result.goldenSignature = goldenSim.signature;
+    result.goldenCycles = golden.cycles;
+    result.goldenSignature = golden.signature;
 
     const std::vector<FaultSpec> faults =
-        sampleFaults(config, goldenSim.cycles);
+        sampleFaults(config, golden.cycles);
+
+    // ---- Bit-parallel pre-pass (functional-unit campaigns): replay
+    // the golden operand trace in 63-fault batches; a fault whose
+    // outputs never diverge on the trace is provably Masked and skips
+    // core re-simulation. Sound only when a non-diverging faulty run
+    // (identical to golden) also beats the hang watchdog. ----
+    std::vector<std::uint8_t> provablyMasked(faults.size(), 0);
+    const bool useBatch = wantTrace && golden.trace &&
+                          !golden.traceOverflow &&
+                          config.hangBudget(golden.cycles) > golden.cycles;
+    if (useBatch) {
+        const isa::FuCircuit circuit =
+            coverage::circuitFor(config.target);
+        constexpr std::size_t lanesPerBatch = 63;
+        const std::size_t numChunks =
+            (faults.size() + lanesPerBatch - 1) / lanesPerBatch;
+        std::atomic<bool> replayExpired{false};
+        // Idempotent per-chunk work: safe to re-run serially after a
+        // failed parallel dispatch. A chunk that fails for any other
+        // reason leaves its faults unproven — they simply take the
+        // full core-simulation fallback, which is always correct.
+        auto replayChunk = [&](std::size_t c) {
+            if (replayExpired.load(std::memory_order_relaxed))
+                return;
+            const std::size_t lo = c * lanesPerBatch;
+            const std::size_t n =
+                std::min(lanesPerBatch, faults.size() - lo);
+            std::vector<GateFault> batch(n);
+            for (std::size_t k = 0; k < n; ++k)
+                batch[k] = {faults[lo + k].gate,
+                            faults[lo + k].stuckValue};
+            try {
+                const std::uint64_t diverged = replayDivergence(
+                    circuit, *golden.trace, batch.data(), n,
+                    &config.budget);
+                for (std::size_t k = 0; k < n; ++k) {
+                    if (!((diverged >> k) & 1))
+                        provablyMasked[lo + k] = 1;
+                }
+            } catch (const Error &e) {
+                if (e.kind() == ErrorKind::Budget)
+                    replayExpired.store(true);
+            } catch (...) {
+            }
+        };
+        if (config.parallel && numChunks > 1) {
+            try {
+                ThreadPool::global().parallelFor(numChunks, replayChunk);
+            } catch (...) {
+                warn("fault campaign: parallel trace replay failed, "
+                     "degrading to serial replay");
+                for (std::size_t c = 0; c < numChunks; ++c)
+                    replayChunk(c);
+            }
+        } else {
+            for (std::size_t c = 0; c < numChunks; ++c)
+                replayChunk(c);
+        }
+    }
 
     std::atomic<unsigned> masked{0}, sdc{0}, crash{0}, hang{0},
         hwCorrected{0}, hwDetected{0};
     auto classify = [&](std::size_t i) {
-        const Outcome outcome = runOne(program, faults[i], config,
-                                       goldenSim.signature,
-                                       goldenSim.cycles);
+        const Outcome outcome =
+            provablyMasked[i]
+                ? Outcome::Masked
+                : runOne(program, faults[i], config, golden.signature,
+                         golden.cycles);
         switch (outcome) {
           case Outcome::Masked: masked.fetch_add(1); break;
           case Outcome::Sdc: sdc.fetch_add(1); break;

@@ -80,6 +80,21 @@ struct CampaignConfig
      *  (serially) before being dropped as failed. */
     unsigned injectionRetries = 1;
 
+    /** Bit-parallel fast path for functional-unit campaigns: replay
+     *  the golden run's recorded operand trace through the 64-lane
+     *  netlist evaluator (63 faults per walk) and classify faults
+     *  whose outputs never diverge as Masked without re-simulating
+     *  the core. Classification is identical to the scalar path;
+     *  disable only for differential testing against it. */
+    bool batchFuSim = true;
+
+    /** Reuse golden (fault-free) runs across campaigns on the same
+     *  program and core configuration — evolution re-evaluation and
+     *  the summary benches re-grade the same programs repeatedly.
+     *  Keyed by content fingerprints, so any program or core-config
+     *  change invalidates the entry. */
+    bool goldenCacheEnabled = true;
+
     /** Faulty-run cycle watchdog for a given golden runtime. */
     std::uint64_t
     hangBudget(std::uint64_t golden_cycles) const
@@ -170,6 +185,12 @@ class FaultCampaign
                           const CampaignConfig &config,
                           std::uint64_t golden_signature,
                           std::uint64_t golden_cycles);
+
+    // ---- Golden-run cache controls (process-wide, for tests and
+    // telemetry; the cache itself is transparent to results) ----
+    static void clearGoldenCache();
+    static std::uint64_t goldenCacheHits();
+    static std::uint64_t goldenCacheMisses();
 };
 
 } // namespace harpo::faultsim

@@ -1,0 +1,75 @@
+#include "faultsim/fu_trace.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "gates/fu_library.hh"
+#include "resilience/error.hh"
+
+namespace harpo::faultsim
+{
+
+std::vector<gates::Netlist::LaneFault>
+makeLaneFaults(const GateFault *faults, std::size_t count)
+{
+    panicIf(count == 0 || count > 63,
+            "makeLaneFaults: 1..63 faults per batch");
+    std::vector<gates::Netlist::LaneFault> lanes;
+    lanes.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+        panicIf(faults[k].gate < 0, "makeLaneFaults: invalid gate id");
+        gates::Netlist::LaneFault lf;
+        lf.gate = static_cast<gates::Netlist::NodeId>(faults[k].gate);
+        lf.laneMask = 1ull << (k + 1);
+        lf.valueMask = faults[k].stuckValue ? lf.laneMask : 0;
+        lanes.push_back(lf);
+    }
+    std::sort(lanes.begin(), lanes.end(),
+              [](const auto &x, const auto &y) { return x.gate < y.gate; });
+    // Merge same-gate entries so the evaluator applies one force word.
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        if (out > 0 && lanes[out - 1].gate == lanes[i].gate) {
+            lanes[out - 1].laneMask |= lanes[i].laneMask;
+            lanes[out - 1].valueMask |= lanes[i].valueMask;
+        } else {
+            lanes[out++] = lanes[i];
+        }
+    }
+    lanes.resize(out);
+    return lanes;
+}
+
+std::uint64_t
+replayDivergence(isa::FuCircuit circuit, const std::vector<FuOp> &trace,
+                 const GateFault *faults, std::size_t count,
+                 const RunBudget *budget)
+{
+    const std::vector<gates::Netlist::LaneFault> lanes =
+        makeLaneFaults(faults, count);
+    const std::uint64_t allLanes = ((count == 63 ? 0 : 1ull << (count + 1))
+                                    - 2) &
+                                   ~1ull;
+
+    const gates::FuLibrary &lib = gates::FuLibrary::instance();
+    std::vector<std::uint64_t> outputs, scratch;
+    std::uint64_t diverged = 0;
+    unsigned sinceBudgetPoll = 0;
+    for (const FuOp &op : trace) {
+        if (op.circuit != circuit)
+            continue;
+        if (budget && ++sinceBudgetPoll >= 256) {
+            sinceBudgetPoll = 0;
+            if (budget->expired())
+                throw Error::budget("fault replay cancelled mid-trace");
+        }
+        diverged |= lib.computeBatchFor(circuit, op.a, op.b, op.carryIn,
+                                        lanes, outputs, scratch);
+        if ((diverged & allLanes) == allLanes)
+            break;
+    }
+    return (diverged >> 1) & (count == 63 ? ~0ull >> 1
+                                          : (1ull << count) - 1);
+}
+
+} // namespace harpo::faultsim

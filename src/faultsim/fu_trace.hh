@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Operand-trace recording and bit-parallel replay for functional-unit
+ * fault campaigns.
+ *
+ * The golden run records every functional-unit invocation (circuit,
+ * operands, carry-in, cycle) — including wrong-path work, since a
+ * faulty run speculates identically until its first divergence. The
+ * campaign then replays that stream through Netlist::evaluateBatch
+ * with 63 faults packed per walk: faults whose outputs never diverge
+ * from the fault-free lane on any replayed operation are *provably
+ * Masked* (see DESIGN.md §7 for the soundness argument) and skip core
+ * re-simulation entirely; only the diverging minority falls back to
+ * the full core model to classify Masked/SDC/Crash/Hang.
+ */
+
+#ifndef HARPOCRATES_FAULTSIM_FU_TRACE_HH
+#define HARPOCRATES_FAULTSIM_FU_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gates/netlist.hh"
+#include "isa/arith_model.hh"
+#include "isa/instruction.hh"
+#include "resilience/budget.hh"
+#include "uarch/probes.hh"
+
+namespace harpo::faultsim
+{
+
+/** One recorded functional-unit invocation of the golden run. */
+struct FuOp
+{
+    isa::FuCircuit circuit = isa::FuCircuit::None;
+    bool carryIn = false;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint64_t cycle = 0;
+};
+
+/**
+ * Records the golden run's per-FU operand/result stream. Plugs into
+ * Core::run as both the datapath model (an ArithModel decorator that
+ * sees the exact operands every unit receives, like the IBR analyser)
+ * and a CoreProbe (onCycleBegin tags each op with its execute cycle).
+ */
+class FuTraceRecorder final : public isa::ArithModel,
+                              public uarch::CoreProbe
+{
+  public:
+    /** Recording cap: a program exceeding this many FU ops overflows
+     *  the trace and the campaign falls back to the scalar path (an
+     *  incomplete trace cannot prove a fault Masked). */
+    static constexpr std::size_t maxOps = 1u << 20;
+
+    explicit FuTraceRecorder(isa::ArithModel *base_model = nullptr)
+        : base(base_model ? base_model : &isa::ArithModel::functional())
+    {}
+
+    std::uint64_t
+    intAdd(std::uint64_t a, std::uint64_t b, bool carry_in,
+           bool &carry_out) override
+    {
+        record(isa::FuCircuit::IntAdd, a, b, carry_in);
+        return base->intAdd(a, b, carry_in, carry_out);
+    }
+
+    void
+    intMul(std::uint64_t a, std::uint64_t b, std::uint64_t &lo,
+           std::uint64_t &hi) override
+    {
+        record(isa::FuCircuit::IntMul, a, b, false);
+        base->intMul(a, b, lo, hi);
+    }
+
+    std::uint64_t
+    fpAdd(std::uint64_t a, std::uint64_t b) override
+    {
+        record(isa::FuCircuit::FpAdd, a, b, false);
+        return base->fpAdd(a, b);
+    }
+
+    std::uint64_t
+    fpMul(std::uint64_t a, std::uint64_t b) override
+    {
+        record(isa::FuCircuit::FpMul, a, b, false);
+        return base->fpMul(a, b);
+    }
+
+    void
+    onCycleBegin(uarch::Core &, std::uint64_t cycle) override
+    {
+        now = cycle;
+    }
+
+    const std::vector<FuOp> &trace() const { return ops; }
+    std::vector<FuOp> takeTrace() { return std::move(ops); }
+    bool overflowed() const { return overflow; }
+
+  private:
+    void
+    record(isa::FuCircuit circuit, std::uint64_t a, std::uint64_t b,
+           bool carry_in)
+    {
+        if (ops.size() >= maxOps) {
+            overflow = true;
+            return;
+        }
+        ops.push_back({circuit, carry_in, a, b, now});
+    }
+
+    isa::ArithModel *base;
+    std::vector<FuOp> ops;
+    std::uint64_t now = 0;
+    bool overflow = false;
+};
+
+/** A candidate permanent stuck-at fault for batch replay. */
+struct GateFault
+{
+    std::int64_t gate = -1;
+    bool stuckValue = false;
+};
+
+/** Pack @p count faults into sorted per-lane netlist forces: fault k
+ *  occupies lane k+1, lane 0 stays fault-free (duplicate gates are
+ *  merged). Exposed for tests and benches. */
+std::vector<gates::Netlist::LaneFault>
+makeLaneFaults(const GateFault *faults, std::size_t count);
+
+/**
+ * Replay @p trace's ops for @p circuit through the batch evaluator.
+ *
+ * @param faults Up to 63 candidate faults (lane k+1 carries fault k).
+ * @param budget Optional cooperative budget, polled periodically;
+ *        expiry throws harpo::Error{Budget} like a cancelled core run.
+ * @return Bitmask over faults: bit k set when fault k's output
+ *         diverges from the fault-free lane on some replayed op.
+ *         Clear bits are provably Masked faults. Stops walking the
+ *         trace early once every fault has diverged.
+ */
+std::uint64_t replayDivergence(isa::FuCircuit circuit,
+                               const std::vector<FuOp> &trace,
+                               const GateFault *faults, std::size_t count,
+                               const RunBudget *budget = nullptr);
+
+} // namespace harpo::faultsim
+
+#endif // HARPOCRATES_FAULTSIM_FU_TRACE_HH

@@ -153,6 +153,20 @@ evaluate64(const Netlist &nl, std::uint64_t a, std::uint64_t b,
     return unpackWord(outputs, 0, 64);
 }
 
+std::uint64_t
+evaluateBatch64(const Netlist &nl, std::uint64_t a, std::uint64_t b,
+                const std::vector<Netlist::LaneFault> &faults,
+                std::vector<std::uint64_t> &outputs,
+                std::vector<std::uint64_t> &scratch)
+{
+    thread_local std::vector<std::uint64_t> inputs;
+    inputs.clear();
+    Netlist::broadcastInputs(inputs, a, 64);
+    Netlist::broadcastInputs(inputs, b, 64);
+    nl.evaluateBatch(inputs, outputs, faults, scratch);
+    return Netlist::divergedLanes(outputs);
+}
+
 } // namespace
 
 FpAdderCircuit::FpAdderCircuit()
@@ -264,6 +278,15 @@ FpAdderCircuit::compute(std::uint64_t a, std::uint64_t b,
     return evaluate64(nl, a, b, stuck_gate, stuck_value);
 }
 
+std::uint64_t
+FpAdderCircuit::computeBatch(std::uint64_t a, std::uint64_t b,
+                             const std::vector<Netlist::LaneFault> &faults,
+                             std::vector<std::uint64_t> &outputs,
+                             std::vector<std::uint64_t> &scratch) const
+{
+    return evaluateBatch64(nl, a, b, faults, outputs, scratch);
+}
+
 FpMultiplierCircuit::FpMultiplierCircuit()
 {
     CircuitBuilder cb(nl);
@@ -331,6 +354,16 @@ FpMultiplierCircuit::compute(std::uint64_t a, std::uint64_t b,
                              bool stuck_value) const
 {
     return evaluate64(nl, a, b, stuck_gate, stuck_value);
+}
+
+std::uint64_t
+FpMultiplierCircuit::computeBatch(
+    std::uint64_t a, std::uint64_t b,
+    const std::vector<Netlist::LaneFault> &faults,
+    std::vector<std::uint64_t> &outputs,
+    std::vector<std::uint64_t> &scratch) const
+{
+    return evaluateBatch64(nl, a, b, faults, outputs, scratch);
 }
 
 } // namespace harpo::gates

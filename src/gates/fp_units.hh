@@ -29,6 +29,17 @@ class FpAdderCircuit
                           std::int64_t stuck_gate = Netlist::noFault,
                           bool stuck_value = false) const;
 
+    /** Bit-parallel: evaluate one (a, b) operation across 64 lanes,
+     *  each lane carrying the stuck-at forces in @p faults (sorted by
+     *  gate id). @p outputs receives the packed per-lane result bits;
+     *  returns the mask of lanes whose fp64 result differs from lane 0
+     *  (keep lane 0 fault-free as the golden reference). */
+    std::uint64_t
+    computeBatch(std::uint64_t a, std::uint64_t b,
+                 const std::vector<Netlist::LaneFault> &faults,
+                 std::vector<std::uint64_t> &outputs,
+                 std::vector<std::uint64_t> &scratch) const;
+
     const Netlist &netlist() const { return nl; }
 
   private:
@@ -44,6 +55,13 @@ class FpMultiplierCircuit
     std::uint64_t compute(std::uint64_t a, std::uint64_t b,
                           std::int64_t stuck_gate = Netlist::noFault,
                           bool stuck_value = false) const;
+
+    /** Bit-parallel 64-lane evaluation; see FpAdderCircuit. */
+    std::uint64_t
+    computeBatch(std::uint64_t a, std::uint64_t b,
+                 const std::vector<Netlist::LaneFault> &faults,
+                 std::vector<std::uint64_t> &outputs,
+                 std::vector<std::uint64_t> &scratch) const;
 
     const Netlist &netlist() const { return nl; }
 

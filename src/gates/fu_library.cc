@@ -29,4 +29,26 @@ FuLibrary::netlistFor(isa::FuCircuit circuit) const
     }
 }
 
+std::uint64_t
+FuLibrary::computeBatchFor(isa::FuCircuit circuit, std::uint64_t a,
+                           std::uint64_t b, bool carry_in,
+                           const std::vector<Netlist::LaneFault> &faults,
+                           std::vector<std::uint64_t> &outputs,
+                           std::vector<std::uint64_t> &scratch) const
+{
+    switch (circuit) {
+      case isa::FuCircuit::IntAdd:
+        return intAdd.computeBatch(a, b, carry_in, faults, outputs,
+                                   scratch);
+      case isa::FuCircuit::IntMul:
+        return intMul.computeBatch(a, b, faults, outputs, scratch);
+      case isa::FuCircuit::FpAdd:
+        return fpAdd.computeBatch(a, b, faults, outputs, scratch);
+      case isa::FuCircuit::FpMul:
+        return fpMul.computeBatch(a, b, faults, outputs, scratch);
+      default:
+        panic("computeBatchFor: no circuit for FuCircuit::None");
+    }
+}
+
 } // namespace harpo::gates

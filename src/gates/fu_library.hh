@@ -31,6 +31,17 @@ class FuLibrary
     /** Netlist for a given FU circuit kind (panics on None). */
     const Netlist &netlistFor(isa::FuCircuit circuit) const;
 
+    /** Bit-parallel evaluation of one operation on @p circuit across
+     *  64 stuck-at lanes (the per-unit computeBatch wrappers behind
+     *  one dispatch point; @p carry_in only matters for IntAdd).
+     *  Returns the mask of lanes diverging from fault-free lane 0. */
+    std::uint64_t
+    computeBatchFor(isa::FuCircuit circuit, std::uint64_t a,
+                    std::uint64_t b, bool carry_in,
+                    const std::vector<Netlist::LaneFault> &faults,
+                    std::vector<std::uint64_t> &outputs,
+                    std::vector<std::uint64_t> &scratch) const;
+
   private:
     FuLibrary() = default;
 

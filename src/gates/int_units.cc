@@ -55,6 +55,22 @@ IntAdderCircuit::compute(std::uint64_t a, std::uint64_t b, bool carry_in,
     return r;
 }
 
+std::uint64_t
+IntAdderCircuit::computeBatch(std::uint64_t a, std::uint64_t b,
+                              bool carry_in,
+                              const std::vector<Netlist::LaneFault> &faults,
+                              std::vector<std::uint64_t> &outputs,
+                              std::vector<std::uint64_t> &scratch) const
+{
+    thread_local std::vector<std::uint64_t> inputs;
+    inputs.clear();
+    Netlist::broadcastInputs(inputs, a, 64);
+    Netlist::broadcastInputs(inputs, b, 64);
+    inputs.push_back(carry_in ? ~0ull : 0ull);
+    nl.evaluateBatch(inputs, outputs, faults, scratch);
+    return Netlist::divergedLanes(outputs);
+}
+
 IntMultiplierCircuit::IntMultiplierCircuit()
 {
     CircuitBuilder cb(nl);
@@ -80,6 +96,21 @@ IntMultiplierCircuit::compute(std::uint64_t a, std::uint64_t b,
     r.lo = unpackWord(outputs, 0, 64);
     r.hi = unpackWord(outputs, 64, 64);
     return r;
+}
+
+std::uint64_t
+IntMultiplierCircuit::computeBatch(
+    std::uint64_t a, std::uint64_t b,
+    const std::vector<Netlist::LaneFault> &faults,
+    std::vector<std::uint64_t> &outputs,
+    std::vector<std::uint64_t> &scratch) const
+{
+    thread_local std::vector<std::uint64_t> inputs;
+    inputs.clear();
+    Netlist::broadcastInputs(inputs, a, 64);
+    Netlist::broadcastInputs(inputs, b, 64);
+    nl.evaluateBatch(inputs, outputs, faults, scratch);
+    return Netlist::divergedLanes(outputs);
 }
 
 } // namespace harpo::gates

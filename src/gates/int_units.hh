@@ -32,6 +32,17 @@ class IntAdderCircuit
                    std::int64_t stuck_gate = Netlist::noFault,
                    bool stuck_value = false) const;
 
+    /** Bit-parallel: evaluate one operation across 64 lanes, each
+     *  lane carrying the stuck-at forces in @p faults (sorted by gate
+     *  id). @p outputs receives the packed per-lane output bits;
+     *  returns the mask of lanes whose {sum, carry-out} differ from
+     *  lane 0 (keep lane 0 fault-free as the golden reference). */
+    std::uint64_t
+    computeBatch(std::uint64_t a, std::uint64_t b, bool carry_in,
+                 const std::vector<Netlist::LaneFault> &faults,
+                 std::vector<std::uint64_t> &outputs,
+                 std::vector<std::uint64_t> &scratch) const;
+
     const Netlist &netlist() const { return nl; }
 
   private:
@@ -53,6 +64,13 @@ class IntMultiplierCircuit
     Result compute(std::uint64_t a, std::uint64_t b,
                    std::int64_t stuck_gate = Netlist::noFault,
                    bool stuck_value = false) const;
+
+    /** Bit-parallel 64-lane evaluation; see IntAdderCircuit. */
+    std::uint64_t
+    computeBatch(std::uint64_t a, std::uint64_t b,
+                 const std::vector<Netlist::LaneFault> &faults,
+                 std::vector<std::uint64_t> &outputs,
+                 std::vector<std::uint64_t> &scratch) const;
 
     const Netlist &netlist() const { return nl; }
 

@@ -65,7 +65,10 @@ Netlist::evaluate(const std::vector<std::uint8_t> &inputs,
 {
     panicIf(inputs.size() != inputCount,
             "Netlist::evaluate: input count mismatch");
-    scratch.resize(nodes.size());
+    // Callers reuse scratch/output buffers across calls; skip the
+    // resize entirely on the hot path where they already fit.
+    if (scratch.size() != nodes.size())
+        scratch.resize(nodes.size());
 
     std::size_t nextInput = 0;
     for (std::size_t i = 0; i < nodes.size(); ++i) {
@@ -89,16 +92,89 @@ Netlist::evaluate(const std::vector<std::uint8_t> &inputs,
           case GateKind::Xnor:
             v = (scratch[g.a] ^ scratch[g.b]) ^ 1;
             break;
-          default: v = 0; break;
+          default:
+            panic("Netlist::evaluate: unknown gate kind");
         }
         if (static_cast<std::int64_t>(i) == stuck_gate)
             v = stuck_value ? 1 : 0;
         scratch[i] = v;
     }
 
-    outputs_out.resize(outputs.size());
+    if (outputs_out.size() != outputs.size())
+        outputs_out.resize(outputs.size());
     for (std::size_t i = 0; i < outputs.size(); ++i)
         outputs_out[i] = scratch[outputs[i]];
+}
+
+void
+Netlist::evaluateBatch(const std::vector<std::uint64_t> &inputs,
+                       std::vector<std::uint64_t> &outputs_out,
+                       const std::vector<LaneFault> &faults,
+                       std::vector<std::uint64_t> &scratch) const
+{
+    panicIf(inputs.size() != inputCount,
+            "Netlist::evaluateBatch: input count mismatch");
+    if (scratch.size() != nodes.size())
+        scratch.resize(nodes.size());
+
+    std::size_t nextInput = 0;
+    std::size_t nextFault = 0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const Gate &g = nodes[i];
+        std::uint64_t v;
+        switch (g.kind) {
+          case GateKind::Const0: v = 0; break;
+          case GateKind::Const1: v = ~0ull; break;
+          case GateKind::Input: v = inputs[nextInput++]; break;
+          case GateKind::Buf: v = scratch[g.a]; break;
+          case GateKind::Not: v = ~scratch[g.a]; break;
+          case GateKind::And: v = scratch[g.a] & scratch[g.b]; break;
+          case GateKind::Or: v = scratch[g.a] | scratch[g.b]; break;
+          case GateKind::Xor: v = scratch[g.a] ^ scratch[g.b]; break;
+          case GateKind::Nand:
+            v = ~(scratch[g.a] & scratch[g.b]);
+            break;
+          case GateKind::Nor:
+            v = ~(scratch[g.a] | scratch[g.b]);
+            break;
+          case GateKind::Xnor:
+            v = ~(scratch[g.a] ^ scratch[g.b]);
+            break;
+          default:
+            panic("Netlist::evaluateBatch: unknown gate kind");
+        }
+        while (nextFault < faults.size() && faults[nextFault].gate == i) {
+            const LaneFault &f = faults[nextFault++];
+            v = (v & ~f.laneMask) | (f.valueMask & f.laneMask);
+        }
+        scratch[i] = v;
+    }
+    panicIf(nextFault != faults.size(),
+            "Netlist::evaluateBatch: faults not sorted by gate id, or "
+            "fault on an undefined node");
+
+    if (outputs_out.size() != outputs.size())
+        outputs_out.resize(outputs.size());
+    for (std::size_t i = 0; i < outputs.size(); ++i)
+        outputs_out[i] = scratch[outputs[i]];
+}
+
+void
+Netlist::broadcastInputs(std::vector<std::uint64_t> &inputs,
+                         std::uint64_t v, unsigned n_bits)
+{
+    for (unsigned i = 0; i < n_bits; ++i)
+        inputs.push_back((v >> i) & 1 ? ~0ull : 0ull);
+}
+
+std::uint64_t
+Netlist::laneWord(const std::vector<std::uint64_t> &outputs, unsigned lane,
+                  unsigned lo, unsigned n)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < n; ++i)
+        v |= ((outputs[lo + i] >> lane) & 1) << i;
+    return v;
 }
 
 } // namespace harpo::gates

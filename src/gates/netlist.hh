@@ -7,6 +7,14 @@
  * functional units. This module provides the netlist substrate: gates
  * are appended in topological order (operands must already exist), and
  * evaluation optionally forces one gate's output to a stuck value.
+ *
+ * Two evaluators exist. evaluate() is the scalar reference: one byte
+ * per node, one stuck gate per call. evaluateBatch() packs 64
+ * evaluation lanes into one std::uint64_t per node, so a single
+ * topological walk evaluates 64 independent lanes — either 64 input
+ * patterns, or one input pattern against up to 63 distinct stuck-at
+ * faults with lane 0 kept fault-free as the reference (the layout the
+ * fault-parallel campaign path uses).
  */
 
 #ifndef HARPOCRATES_GATES_NETLIST_HH
@@ -87,6 +95,56 @@ class Netlist
                   std::vector<std::uint8_t> &outputs,
                   std::int64_t stuck_gate, bool stuck_value,
                   std::vector<std::uint8_t> &scratch) const;
+
+    /**
+     * Per-lane stuck-at forcing for evaluateBatch(). On node @c gate,
+     * lanes in @c laneMask are forced: lanes also in @c valueMask to 1,
+     * the rest to 0. @c valueMask must be a subset of @c laneMask.
+     */
+    struct LaneFault
+    {
+        NodeId gate = 0;
+        std::uint64_t laneMask = 0;
+        std::uint64_t valueMask = 0;
+    };
+
+    /**
+     * Bit-parallel evaluation: 64 lanes per walk.
+     *
+     * @param inputs One word per primary input; bit L is lane L's
+     *        input value (see broadcastInputs for the common
+     *        same-pattern-every-lane case).
+     * @param outputs Receives one word per marked output.
+     * @param faults Per-lane stuck-at forces, sorted by ascending
+     *        gate id (duplicate gate entries are allowed and applied
+     *        in order). Pass an empty vector for fault-free lanes.
+     * @param scratch Reusable node-value buffer, as for evaluate().
+     */
+    void evaluateBatch(const std::vector<std::uint64_t> &inputs,
+                       std::vector<std::uint64_t> &outputs,
+                       const std::vector<LaneFault> &faults,
+                       std::vector<std::uint64_t> &scratch) const;
+
+    /** Append @p n_bits words broadcasting scalar @p v: word i is
+     *  all-ones when bit i of @p v is set (every lane sees @p v). */
+    static void broadcastInputs(std::vector<std::uint64_t> &inputs,
+                                std::uint64_t v, unsigned n_bits);
+
+    /** Reassemble lane @p lane of batch outputs [lo, lo+n) into an
+     *  integer, bit i taken from outputs[lo + i]. */
+    static std::uint64_t laneWord(const std::vector<std::uint64_t> &outputs,
+                                  unsigned lane, unsigned lo, unsigned n);
+
+    /** Mask of lanes whose output bits differ from lane 0 anywhere in
+     *  @p outputs (bit 0 of the result is always clear). */
+    static std::uint64_t
+    divergedLanes(const std::vector<std::uint64_t> &outputs)
+    {
+        std::uint64_t diverged = 0;
+        for (const std::uint64_t w : outputs)
+            diverged |= (w & 1) ? ~w : w;
+        return diverged & ~1ull;
+    }
 
   private:
     std::vector<Gate> nodes;

@@ -4,6 +4,13 @@
  * structures. Coverage analysers (ACE) observe events; the fault
  * injector uses onCycleBegin plus the core's state accessors to flip
  * or force bits at precise cycles.
+ *
+ * Datapath-level observation composes with these hooks: a recorder
+ * that needs both the exact operands delivered to a functional unit
+ * and the cycle they arrived implements ArithModel (the operands) and
+ * CoreProbe (onCycleBegin for the timestamp) on one object — see
+ * faultsim::FuTraceRecorder, which feeds the bit-parallel gate-fault
+ * replay path.
  */
 
 #ifndef HARPOCRATES_UARCH_PROBES_HH

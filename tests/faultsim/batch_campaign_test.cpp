@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Campaign-level tests for the bit-parallel functional-unit fast path
+ * and the golden-run cache: the batch path must classify every fault
+ * exactly as the scalar path does (same seed, same Masked/SDC/Crash/
+ * Hang counts), and the cache must hit on repeats while any program or
+ * core-config change invalidates it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hh"
+#include "faultsim/campaign.hh"
+#include "isa/builder.hh"
+#include "isa/registers.hh"
+
+using namespace harpo;
+using namespace harpo::faultsim;
+using namespace harpo::isa;
+using coverage::TargetStructure;
+using PB = ProgramBuilder;
+
+namespace
+{
+
+/** Exercises all four gate-level units and folds every result into
+ *  the architectural output, so faults in any unit can surface. */
+TestProgram
+allUnitsProgram(int n = 80)
+{
+    PB b("allunits");
+    b.addRegion(0x100000, 8192);
+    {
+        harpo::Rng rng(0x44);
+        std::vector<std::uint64_t> data(512);
+        for (auto &v : data) {
+            const double d = 0.5 + rng.uniform() * 1.5;
+            std::memcpy(&v, &d, sizeof(v));
+        }
+        b.initMemQwords(0x100000, data);
+    }
+    b.setGpr(RSI, 0x100000);
+    b.setGpr(RAX, 0x0123456789ABCDEFull);
+    b.setGpr(RBX, 0xFEDCBA9876543210ull);
+    b.setGpr(R15, 0);
+    for (int i = 0; i < n; ++i) {
+        const int off1 = (i * 8) % 4096;
+        const int off2 = ((i * 24) + 8) % 4096;
+        b.i("add r64, r64", {PB::gpr(RAX), PB::gpr(RBX)});
+        b.i("imul r64, r64", {PB::gpr(RBX), PB::gpr(RAX)});
+        b.i("movsd xmm, m64", {PB::xmm(0), PB::mem(RSI, off1)});
+        b.i("addsd xmm, m64", {PB::xmm(0), PB::mem(RSI, off2)});
+        b.i("mulsd xmm, m64", {PB::xmm(0), PB::mem(RSI, off1)});
+        b.i("movq r64, xmm", {PB::gpr(RCX), PB::xmm(0)});
+        b.i("xor r64, r64", {PB::gpr(R15), PB::gpr(RCX)});
+        b.i("xor r64, r64", {PB::gpr(R15), PB::gpr(RAX)});
+        b.i("rol r64, imm8", {PB::gpr(R15), PB::imm(1)});
+    }
+    return b.build();
+}
+
+CampaignConfig
+fuConfig(TargetStructure target, bool batch)
+{
+    CampaignConfig cfg = CampaignConfig::forTarget(target);
+    cfg.numInjections = 60;
+    cfg.seed = 7;
+    cfg.batchFuSim = batch;
+    cfg.goldenCacheEnabled = false; // isolate from other tests
+    return cfg;
+}
+
+} // namespace
+
+TEST(BatchCampaign, MatchesScalarClassificationForAllFuTargets)
+{
+    const auto program = allUnitsProgram();
+    for (const auto target :
+         {TargetStructure::IntAdder, TargetStructure::IntMultiplier,
+          TargetStructure::FpAdder, TargetStructure::FpMultiplier}) {
+        const CampaignResult scalar =
+            FaultCampaign::run(program, fuConfig(target, false));
+        const CampaignResult batch =
+            FaultCampaign::run(program, fuConfig(target, true));
+        ASSERT_TRUE(scalar.goldenOk) << coverage::structureName(target);
+        ASSERT_TRUE(batch.goldenOk) << coverage::structureName(target);
+        EXPECT_EQ(scalar.masked, batch.masked)
+            << coverage::structureName(target);
+        EXPECT_EQ(scalar.sdc, batch.sdc)
+            << coverage::structureName(target);
+        EXPECT_EQ(scalar.crash, batch.crash)
+            << coverage::structureName(target);
+        EXPECT_EQ(scalar.hang, batch.hang)
+            << coverage::structureName(target);
+        EXPECT_EQ(scalar.goldenSignature, batch.goldenSignature);
+        EXPECT_EQ(scalar.goldenCycles, batch.goldenCycles);
+        EXPECT_EQ(scalar.failedInjections, batch.failedInjections);
+        EXPECT_FALSE(batch.truncated);
+    }
+}
+
+TEST(BatchCampaign, UnusedUnitAllMaskedThroughBatchPath)
+{
+    // The program never divides... but it does use every modelled
+    // unit; build one that only adds, so multiplier faults can only
+    // be proven Masked by the replay (zero ops to diverge on).
+    PB b("addonly");
+    b.setGpr(RAX, 5);
+    b.setGpr(RBX, 7);
+    for (int i = 0; i < 120; ++i)
+        b.i("add r64, r64", {PB::gpr(RAX), PB::gpr(RBX)});
+    CampaignConfig cfg = fuConfig(TargetStructure::IntMultiplier, true);
+    cfg.numInjections = 40;
+    const CampaignResult r = FaultCampaign::run(b.build(), cfg);
+    ASSERT_TRUE(r.goldenOk);
+    EXPECT_EQ(r.masked, 40u);
+    EXPECT_EQ(r.detection(), 0.0);
+}
+
+TEST(BatchCampaign, BatchPathRespectsTightHangBudget)
+{
+    // hangMultiplier 0 / slack 1 makes even an identical faulty run
+    // trip the watchdog in the scalar path, so the trace-replay
+    // shortcut (which would call these runs Masked) must disengage.
+    const auto program = allUnitsProgram(40);
+    for (const bool batch : {false, true}) {
+        CampaignConfig cfg = fuConfig(TargetStructure::IntAdder, batch);
+        cfg.numInjections = 20;
+        cfg.hangMultiplier = 0.0;
+        cfg.hangSlackCycles = 1;
+        const CampaignResult r = FaultCampaign::run(program, cfg);
+        ASSERT_TRUE(r.goldenOk);
+        EXPECT_EQ(r.hang, 20u) << "batch=" << batch;
+    }
+}
+
+TEST(GoldenCache, RepeatCampaignHitsCache)
+{
+    FaultCampaign::clearGoldenCache();
+    const auto program = allUnitsProgram(40);
+    CampaignConfig cfg = fuConfig(TargetStructure::IntAdder, true);
+    cfg.goldenCacheEnabled = true;
+    cfg.numInjections = 10;
+
+    const std::uint64_t h0 = FaultCampaign::goldenCacheHits();
+    const std::uint64_t m0 = FaultCampaign::goldenCacheMisses();
+    const CampaignResult a = FaultCampaign::run(program, cfg);
+    EXPECT_EQ(FaultCampaign::goldenCacheHits(), h0);
+    EXPECT_EQ(FaultCampaign::goldenCacheMisses(), m0 + 1);
+
+    const CampaignResult b = FaultCampaign::run(program, cfg);
+    EXPECT_EQ(FaultCampaign::goldenCacheHits(), h0 + 1);
+    EXPECT_EQ(FaultCampaign::goldenCacheMisses(), m0 + 1);
+
+    // Cached golden run must be indistinguishable from a fresh one.
+    EXPECT_EQ(a.goldenSignature, b.goldenSignature);
+    EXPECT_EQ(a.goldenCycles, b.goldenCycles);
+    EXPECT_EQ(a.masked, b.masked);
+    EXPECT_EQ(a.sdc, b.sdc);
+}
+
+TEST(GoldenCache, CoreConfigChangeInvalidates)
+{
+    FaultCampaign::clearGoldenCache();
+    const auto program = allUnitsProgram(40);
+    CampaignConfig cfg = fuConfig(TargetStructure::IntAdder, true);
+    cfg.goldenCacheEnabled = true;
+    cfg.numInjections = 10;
+    FaultCampaign::run(program, cfg);
+
+    const std::uint64_t m0 = FaultCampaign::goldenCacheMisses();
+    cfg.core.robSize = 64; // different microarchitecture, new golden
+    FaultCampaign::run(program, cfg);
+    EXPECT_EQ(FaultCampaign::goldenCacheMisses(), m0 + 1);
+
+    CampaignConfig cacheCfg = cfg;
+    cacheCfg.core.l1d.missLatency = 55; // cache geometry counts too
+    FaultCampaign::run(program, cacheCfg);
+    EXPECT_EQ(FaultCampaign::goldenCacheMisses(), m0 + 2);
+}
+
+TEST(GoldenCache, ProgramChangeInvalidates)
+{
+    FaultCampaign::clearGoldenCache();
+    CampaignConfig cfg = fuConfig(TargetStructure::IntAdder, true);
+    cfg.goldenCacheEnabled = true;
+    cfg.numInjections = 10;
+    FaultCampaign::run(allUnitsProgram(40), cfg);
+
+    const std::uint64_t h0 = FaultCampaign::goldenCacheHits();
+    const std::uint64_t m0 = FaultCampaign::goldenCacheMisses();
+    FaultCampaign::run(allUnitsProgram(41), cfg);
+    EXPECT_EQ(FaultCampaign::goldenCacheHits(), h0);
+    EXPECT_EQ(FaultCampaign::goldenCacheMisses(), m0 + 1);
+}
+
+TEST(GoldenCache, DisabledCacheNeverTouchesCounters)
+{
+    FaultCampaign::clearGoldenCache();
+    const auto program = allUnitsProgram(40);
+    CampaignConfig cfg = fuConfig(TargetStructure::IntAdder, true);
+    cfg.numInjections = 10; // goldenCacheEnabled already false
+    const std::uint64_t h0 = FaultCampaign::goldenCacheHits();
+    const std::uint64_t m0 = FaultCampaign::goldenCacheMisses();
+    FaultCampaign::run(program, cfg);
+    FaultCampaign::run(program, cfg);
+    EXPECT_EQ(FaultCampaign::goldenCacheHits(), h0);
+    EXPECT_EQ(FaultCampaign::goldenCacheMisses(), m0);
+}

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Differential tests for the bit-parallel (64-lane) netlist evaluator:
+ * evaluateBatch must match the scalar evaluate() lane-exactly for
+ * every gate kind, both stuck values, ragged batches and random input
+ * vectors, and the trace-replay divergence mask must agree with a
+ * scalar fault-by-fault replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <iterator>
+#include <vector>
+
+#include "common/rng.hh"
+#include "faultsim/fu_trace.hh"
+#include "gates/fu_library.hh"
+#include "gates/netlist.hh"
+
+using namespace harpo;
+using namespace harpo::gates;
+using harpo::faultsim::FuOp;
+using harpo::faultsim::GateFault;
+
+namespace
+{
+
+/** A random netlist exercising all nine logic kinds plus constants. */
+Netlist
+randomNetlist(Rng &rng, unsigned num_inputs, unsigned num_gates)
+{
+    Netlist nl;
+    std::vector<Netlist::NodeId> pool;
+    for (unsigned i = 0; i < num_inputs; ++i)
+        pool.push_back(nl.addInput());
+    pool.push_back(nl.constant(false));
+    pool.push_back(nl.constant(true));
+
+    static constexpr GateKind kinds[] = {
+        GateKind::Buf, GateKind::Not, GateKind::And, GateKind::Or,
+        GateKind::Xor, GateKind::Nand, GateKind::Nor, GateKind::Xnor,
+    };
+    for (unsigned g = 0; g < num_gates; ++g) {
+        const GateKind kind = kinds[rng.below(std::size(kinds))];
+        const auto a = pool[rng.below(pool.size())];
+        if (kind == GateKind::Buf || kind == GateKind::Not) {
+            pool.push_back(nl.unary(kind, a));
+        } else {
+            const auto b = pool[rng.below(pool.size())];
+            pool.push_back(nl.binary(kind, a, b));
+        }
+    }
+    // A handful of outputs spread across the pool, newest included so
+    // every fault has a path to an output.
+    for (unsigned o = 0; o < 8; ++o)
+        nl.markOutput(pool[pool.size() - 1 - rng.below(pool.size() / 2)]);
+    return nl;
+}
+
+/** Scalar reference for one lane of a batch evaluation. */
+std::vector<std::uint8_t>
+scalarLane(const Netlist &nl, const std::vector<std::uint64_t> &inputs,
+           unsigned lane, std::int64_t stuck_gate, bool stuck_value)
+{
+    std::vector<std::uint8_t> in(inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        in[i] = static_cast<std::uint8_t>((inputs[i] >> lane) & 1);
+    std::vector<std::uint8_t> out, scratch;
+    nl.evaluate(in, out, stuck_gate, stuck_value, scratch);
+    return out;
+}
+
+} // namespace
+
+TEST(BatchEval, MatchesScalarLaneExactlyOnRandomNetlists)
+{
+    Rng rng(0xBA7C);
+    unsigned laneChecks = 0;
+    for (unsigned trial = 0; trial < 12; ++trial) {
+        const Netlist nl = randomNetlist(rng, 12, 120);
+        const auto &logic = nl.logicGates();
+
+        for (unsigned rep = 0; rep < 4; ++rep) {
+            // Random per-lane input patterns (pattern parallelism) and
+            // a random per-lane stuck fault on all lanes but lane 0.
+            std::vector<std::uint64_t> inputs(nl.numInputs());
+            for (auto &w : inputs)
+                w = rng.next();
+            std::vector<std::int64_t> laneGate(64, Netlist::noFault);
+            std::vector<bool> laneValue(64, false);
+            std::vector<Netlist::LaneFault> faults;
+            for (unsigned lane = 1; lane < 64; ++lane) {
+                laneGate[lane] = static_cast<std::int64_t>(
+                    logic[rng.below(logic.size())]);
+                laneValue[lane] = rng.chance(0.5);
+                Netlist::LaneFault lf;
+                lf.gate = static_cast<Netlist::NodeId>(laneGate[lane]);
+                lf.laneMask = 1ull << lane;
+                lf.valueMask = laneValue[lane] ? lf.laneMask : 0;
+                faults.push_back(lf);
+            }
+            std::sort(faults.begin(), faults.end(),
+                      [](const auto &x, const auto &y) {
+                          return x.gate < y.gate;
+                      });
+
+            std::vector<std::uint64_t> outputs, scratch;
+            nl.evaluateBatch(inputs, outputs, faults, scratch);
+            ASSERT_EQ(outputs.size(), nl.numOutputs());
+
+            for (unsigned lane = 0; lane < 64; ++lane) {
+                const auto expect = scalarLane(nl, inputs, lane,
+                                               laneGate[lane],
+                                               laneValue[lane]);
+                for (std::size_t o = 0; o < expect.size(); ++o) {
+                    ASSERT_EQ((outputs[o] >> lane) & 1, expect[o])
+                        << "trial=" << trial << " lane=" << lane
+                        << " output=" << o;
+                }
+                ++laneChecks;
+            }
+        }
+    }
+    // The satellite asks for 1000+ random vectors: 12 * 4 * 64 lanes.
+    EXPECT_GE(laneChecks, 1000u);
+}
+
+TEST(BatchEval, FaultFreeBatchHasNoDivergedLanes)
+{
+    Rng rng(0x0F0F);
+    const Netlist nl = randomNetlist(rng, 10, 80);
+    std::vector<std::uint64_t> inputs(nl.numInputs());
+    // Broadcast one pattern to every lane: all lanes must agree.
+    for (auto &w : inputs)
+        w = rng.chance(0.5) ? ~0ull : 0ull;
+    std::vector<std::uint64_t> outputs, scratch;
+    nl.evaluateBatch(inputs, outputs, {}, scratch);
+    EXPECT_EQ(Netlist::divergedLanes(outputs), 0u);
+}
+
+TEST(BatchEval, BroadcastAndLaneWordRoundTrip)
+{
+    std::vector<std::uint64_t> inputs;
+    const std::uint64_t v = 0xDEADBEEFCAFEF00Dull;
+    Netlist::broadcastInputs(inputs, v, 64);
+    ASSERT_EQ(inputs.size(), 64u);
+    for (unsigned lane : {0u, 1u, 17u, 63u})
+        EXPECT_EQ(Netlist::laneWord(inputs, lane, 0, 64), v);
+}
+
+TEST(BatchEval, FuWrappersMatchScalarComputePerLane)
+{
+    Rng rng(0xF00);
+    const auto &lib = FuLibrary::instance();
+    std::vector<std::uint64_t> outputs, scratch;
+
+    for (const isa::FuCircuit circuit :
+         {isa::FuCircuit::IntAdd, isa::FuCircuit::IntMul,
+          isa::FuCircuit::FpAdd, isa::FuCircuit::FpMul}) {
+        const Netlist &nl = lib.netlistFor(circuit);
+        const auto &logic = nl.logicGates();
+
+        // Ragged batch: 21 faults in lanes 1..21.
+        std::vector<GateFault> faults(21);
+        for (auto &f : faults)
+            f = {static_cast<std::int64_t>(logic[rng.below(logic.size())]),
+                 rng.chance(0.5)};
+        const auto lanes =
+            faultsim::makeLaneFaults(faults.data(), faults.size());
+
+        for (unsigned rep = 0; rep < 16; ++rep) {
+            std::uint64_t a = rng.next();
+            std::uint64_t b = rng.next();
+            if (circuit == isa::FuCircuit::FpAdd ||
+                circuit == isa::FuCircuit::FpMul) {
+                // Mostly finite, in-range doubles; keep some raw bits
+                // for the special-case cascade.
+                if (!rng.chance(0.25)) {
+                    const double da = 0.5 + rng.uniform() * 3.0;
+                    const double db = 0.5 + rng.uniform() * 3.0;
+                    std::memcpy(&a, &da, sizeof(a));
+                    std::memcpy(&b, &db, sizeof(b));
+                }
+            }
+            const bool cin = rng.chance(0.5);
+            const std::uint64_t diverged = lib.computeBatchFor(
+                circuit, a, b, cin, lanes, outputs, scratch);
+
+            for (std::size_t k = 0; k < faults.size(); ++k) {
+                const unsigned lane = static_cast<unsigned>(k + 1);
+                std::uint64_t batchLo =
+                    Netlist::laneWord(outputs, lane, 0, 64);
+                std::uint64_t refLo = 0, refHi = 0, batchHi = 0;
+                bool refCarry = false, batchCarry = false;
+                switch (circuit) {
+                  case isa::FuCircuit::IntAdd: {
+                    const auto r = lib.intAdder().compute(
+                        a, b, cin, faults[k].gate, faults[k].stuckValue);
+                    refLo = r.sum;
+                    refCarry = r.carryOut;
+                    batchCarry = (outputs[64] >> lane) & 1;
+                    break;
+                  }
+                  case isa::FuCircuit::IntMul: {
+                    const auto r = lib.intMultiplier().compute(
+                        a, b, faults[k].gate, faults[k].stuckValue);
+                    refLo = r.lo;
+                    refHi = r.hi;
+                    batchHi = Netlist::laneWord(outputs, lane, 64, 64);
+                    break;
+                  }
+                  case isa::FuCircuit::FpAdd:
+                    refLo = lib.fpAdder().compute(
+                        a, b, faults[k].gate, faults[k].stuckValue);
+                    break;
+                  default:
+                    refLo = lib.fpMultiplier().compute(
+                        a, b, faults[k].gate, faults[k].stuckValue);
+                    break;
+                }
+                ASSERT_EQ(batchLo, refLo);
+                ASSERT_EQ(batchHi, refHi);
+                ASSERT_EQ(batchCarry, refCarry);
+
+                // The diverged mask is exactly "differs from lane 0".
+                const std::uint64_t golden =
+                    Netlist::laneWord(outputs, 0, 0, 64);
+                const std::uint64_t goldenHi =
+                    outputs.size() > 64
+                        ? Netlist::laneWord(outputs, 0, 64,
+                                            circuit ==
+                                                    isa::FuCircuit::IntMul
+                                                ? 64
+                                                : 1)
+                        : 0;
+                const std::uint64_t faultyHi =
+                    outputs.size() > 64
+                        ? Netlist::laneWord(outputs, lane, 64,
+                                            circuit ==
+                                                    isa::FuCircuit::IntMul
+                                                ? 64
+                                                : 1)
+                        : 0;
+                const bool differs =
+                    batchLo != golden || faultyHi != goldenHi;
+                EXPECT_EQ(((diverged >> lane) & 1) != 0, differs);
+            }
+        }
+    }
+}
+
+TEST(BatchEval, ReplayDivergenceMatchesScalarReplay)
+{
+    Rng rng(0x5EED);
+    const auto &lib = FuLibrary::instance();
+
+    for (const isa::FuCircuit circuit :
+         {isa::FuCircuit::IntAdd, isa::FuCircuit::IntMul,
+          isa::FuCircuit::FpAdd, isa::FuCircuit::FpMul}) {
+        const Netlist &nl = lib.netlistFor(circuit);
+        const auto &logic = nl.logicGates();
+
+        // A short synthetic trace mixing this circuit's ops with ops
+        // of other circuits (which the replay must skip).
+        std::vector<FuOp> trace;
+        for (unsigned i = 0; i < 40; ++i) {
+            FuOp op;
+            op.circuit = circuit;
+            op.a = rng.next();
+            op.b = rng.next();
+            if (circuit == isa::FuCircuit::FpAdd ||
+                circuit == isa::FuCircuit::FpMul) {
+                const double da = 0.25 + rng.uniform() * 2.0;
+                const double db = 0.25 + rng.uniform() * 2.0;
+                std::memcpy(&op.a, &da, sizeof(op.a));
+                std::memcpy(&op.b, &db, sizeof(op.b));
+            }
+            op.carryIn = rng.chance(0.5);
+            op.cycle = i;
+            trace.push_back(op);
+            FuOp other = op;
+            other.circuit = circuit == isa::FuCircuit::IntAdd
+                                ? isa::FuCircuit::FpMul
+                                : isa::FuCircuit::IntAdd;
+            trace.push_back(other);
+        }
+
+        // Ragged batch sizes, including a full 63-lane one.
+        for (const std::size_t count : {1ul, 10ul, 63ul}) {
+            std::vector<GateFault> faults(count);
+            for (auto &f : faults)
+                f = {static_cast<std::int64_t>(
+                         logic[rng.below(logic.size())]),
+                     rng.chance(0.5)};
+
+            const std::uint64_t diverged = faultsim::replayDivergence(
+                circuit, trace, faults.data(), count);
+
+            for (std::size_t k = 0; k < count; ++k) {
+                bool scalarDiverges = false;
+                for (const FuOp &op : trace) {
+                    if (op.circuit != circuit)
+                        continue;
+                    bool c0 = false, c1 = false;
+                    std::uint64_t g = 0, f = 0, gHi = 0, fHi = 0;
+                    switch (circuit) {
+                      case isa::FuCircuit::IntAdd: {
+                        const auto rg = lib.intAdder().compute(
+                            op.a, op.b, op.carryIn);
+                        const auto rf = lib.intAdder().compute(
+                            op.a, op.b, op.carryIn, faults[k].gate,
+                            faults[k].stuckValue);
+                        g = rg.sum;
+                        f = rf.sum;
+                        c0 = rg.carryOut;
+                        c1 = rf.carryOut;
+                        break;
+                      }
+                      case isa::FuCircuit::IntMul: {
+                        const auto rg =
+                            lib.intMultiplier().compute(op.a, op.b);
+                        const auto rf = lib.intMultiplier().compute(
+                            op.a, op.b, faults[k].gate,
+                            faults[k].stuckValue);
+                        g = rg.lo;
+                        gHi = rg.hi;
+                        f = rf.lo;
+                        fHi = rf.hi;
+                        break;
+                      }
+                      case isa::FuCircuit::FpAdd:
+                        g = lib.fpAdder().compute(op.a, op.b);
+                        f = lib.fpAdder().compute(op.a, op.b,
+                                                  faults[k].gate,
+                                                  faults[k].stuckValue);
+                        break;
+                      default:
+                        g = lib.fpMultiplier().compute(op.a, op.b);
+                        f = lib.fpMultiplier().compute(
+                            op.a, op.b, faults[k].gate,
+                            faults[k].stuckValue);
+                        break;
+                    }
+                    if (g != f || gHi != fHi || c0 != c1) {
+                        scalarDiverges = true;
+                        break;
+                    }
+                }
+                EXPECT_EQ(((diverged >> k) & 1) != 0, scalarDiverges)
+                    << "circuit=" << static_cast<int>(circuit)
+                    << " count=" << count << " fault=" << k;
+            }
+        }
+    }
+}
+
+TEST(BatchEval, ScalarEvaluateStillPanicsOnBadInputCount)
+{
+    Netlist nl;
+    nl.addInput();
+    nl.markOutput(nl.addInput());
+    std::vector<std::uint8_t> out, scratch;
+    EXPECT_DEATH(nl.evaluate({1}, out, Netlist::noFault, false, scratch),
+                 "input count mismatch");
+    std::vector<std::uint64_t> wout, wscratch;
+    EXPECT_DEATH(nl.evaluateBatch({~0ull}, wout, {}, wscratch),
+                 "input count mismatch");
+}
