@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Throughput of transient storage-fault campaigns: the full-rerun
+ * path (every faulty run simulated from cycle 0 to its natural end)
+ * versus the checkpoint-fork fast path (resume from the golden
+ * snapshot preceding the injection, stop at the first golden-digest
+ * match), on the IRF and the L1D data array.
+ *
+ * Both sides classify the same sampled fault population (same seed);
+ * the fork path is provably classification-identical (DESIGN.md §8)
+ * and the bench asserts the outcome histograms agree bit-for-bit.
+ *
+ * Emits BENCH_transients.json next to the binary for perf tracking.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "faultsim/campaign.hh"
+#include "isa/builder.hh"
+#include "isa/registers.hh"
+
+using namespace harpo;
+using namespace harpo::faultsim;
+using namespace harpo::isa;
+using coverage::TargetStructure;
+using PB = ProgramBuilder;
+
+namespace
+{
+
+constexpr unsigned kInjections = 250;
+
+double
+seconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Long-running IRF workload: live long-resident values consumed at
+ *  the very end, padded with a wide NOP plateau — most transient
+ *  flips land in dead registers or dead cycles and mask, which is
+ *  exactly the population the digest early exit accelerates. */
+TestProgram
+irfWorkload()
+{
+    PB b("bench_irf");
+    for (int r = 0; r < 14; ++r) {
+        const int reg = r == RSP ? R14 : r;
+        b.setGpr(reg, 0x1111111111111111ull * (r + 1));
+    }
+    for (int i = 0; i < 3000; ++i)
+        b.i("nop");
+    for (int r = 0; r < 8; ++r)
+        b.i("xor r64, r64",
+            {PB::gpr(R15), PB::gpr(r == RSP ? R14 : r)});
+    return b.build();
+}
+
+/** L1D workload: stream fresh values over an 8 KiB resident buffer
+ *  for several passes, then read it all back into a checksum. A flip
+ *  in the buffer is scrubbed by the next overwrite pass (masked,
+ *  caught early by the digest); a flip in the untouched three
+ *  quarters of the data array is dead on arrival; only flips during
+ *  or after the readback can surface. The kind of masked-dominated
+ *  population the paper's campaigns spend most of their time on. */
+TestProgram
+l1dWorkload()
+{
+    PB b("bench_l1d");
+    b.addRegion(0x100000, 8 * 1024);
+    b.setGpr(RSI, 0x100000);
+    b.setGpr(RAX, 0x1234567);
+    b.setGpr(RDX, 3); // overwrite passes
+    auto pass = b.here();
+    b.i("mov r64, r64", {PB::gpr(RBX), PB::gpr(RSI)});
+    b.i("mov r64, imm64", {PB::gpr(RCX), PB::imm(1024)});
+    auto fill = b.here();
+    b.i("mov m64, r64", {PB::mem(RBX), PB::gpr(RAX)});
+    b.i("add r64, imm32", {PB::gpr(RAX), PB::imm(1)});
+    b.i("add r64, imm32", {PB::gpr(RBX), PB::imm(8)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", fill);
+    b.i("dec r64", {PB::gpr(RDX)});
+    b.br("jne rel32", pass);
+    b.i("mov r64, r64", {PB::gpr(RBX), PB::gpr(RSI)});
+    b.i("mov r64, imm64", {PB::gpr(RCX), PB::imm(1024)});
+    auto readback = b.here();
+    b.i("add r64, m64", {PB::gpr(RDI), PB::mem(RBX)});
+    b.i("add r64, imm32", {PB::gpr(RBX), PB::imm(8)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", readback);
+    return b.build();
+}
+
+struct TargetResult
+{
+    const char *name = "";
+    CampaignResult slow;
+    CampaignResult fork;
+    double slowSec = 0.0;
+    double forkSec = 0.0;
+
+    double speedup() const { return slowSec / forkSec; }
+
+    bool
+    agree() const
+    {
+        return slow.masked == fork.masked && slow.sdc == fork.sdc &&
+               slow.crash == fork.crash && slow.hang == fork.hang &&
+               slow.hwCorrected == fork.hwCorrected &&
+               slow.hwDetected == fork.hwDetected;
+    }
+};
+
+TargetResult
+benchTarget(const char *name, const TestProgram &program,
+            TargetStructure target)
+{
+    TargetResult r;
+    r.name = name;
+
+    CampaignConfig cfg = CampaignConfig::forTarget(target);
+    cfg.numInjections = kInjections;
+    cfg.seed = 0xBE7C;
+    // Single-threaded on both sides: the ratio measures the algorithm,
+    // not the thread pool.
+    cfg.parallel = false;
+
+    cfg.forkInjection = false;
+    FaultCampaign::clearGoldenCache();
+    auto t0 = std::chrono::steady_clock::now();
+    r.slow = FaultCampaign::run(program, cfg);
+    r.slowSec = seconds(t0);
+
+    cfg.forkInjection = true;
+    FaultCampaign::clearGoldenCache();
+    t0 = std::chrono::steady_clock::now();
+    r.fork = FaultCampaign::run(program, cfg);
+    r.forkSec = seconds(t0);
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Transient-fault campaign throughput: full rerun "
+                "vs checkpoint-fork (%u injections) ===\n",
+                kInjections);
+
+    const TestProgram irf = irfWorkload();
+    const TestProgram l1d = l1dWorkload();
+    const std::pair<const char *, const TestProgram *> targets[] = {
+        {"IntRegFile", &irf},
+        {"L1DCache", &l1d},
+    };
+
+    bench::JsonWriter json;
+    json.beginObject();
+    json.key("bench").value(std::string("transient_fault_throughput"));
+    json.key("num_injections").value(std::uint64_t{kInjections});
+    json.key("targets").beginArray();
+
+    bool allAgree = true;
+    for (const auto &[name, program] : targets) {
+        const TargetStructure target =
+            program == &irf ? TargetStructure::IntRegFile
+                            : TargetStructure::L1DCache;
+        const TargetResult r = benchTarget(name, *program, target);
+        allAgree = allAgree && r.agree();
+        std::printf(
+            "  %-11s rerun %7.2fs   fork %7.2fs   speedup %6.1fx   "
+            "forked %u/%u   digest-exits %u   %s\n",
+            r.name, r.slowSec, r.forkSec, r.speedup(),
+            r.fork.forkedInjections, r.fork.total(),
+            r.fork.digestEarlyExits,
+            r.agree() ? "agree" : "MISMATCH");
+        json.beginObject();
+        json.key("target").value(std::string(r.name));
+        json.key("golden_cycles").value(r.slow.goldenCycles);
+        json.key("rerun_sec").value(r.slowSec);
+        json.key("fork_sec").value(r.forkSec);
+        json.key("speedup").value(r.speedup());
+        json.key("rerun_faults_per_sec")
+            .value(kInjections / r.slowSec);
+        json.key("fork_faults_per_sec").value(kInjections / r.forkSec);
+        json.key("forked_injections")
+            .value(std::uint64_t{r.fork.forkedInjections});
+        json.key("digest_early_exits")
+            .value(std::uint64_t{r.fork.digestEarlyExits});
+        json.key("masked").value(std::uint64_t{r.fork.masked});
+        json.key("sdc").value(std::uint64_t{r.fork.sdc});
+        json.key("crash").value(std::uint64_t{r.fork.crash});
+        json.key("hang").value(std::uint64_t{r.fork.hang});
+        json.key("agree").value(r.agree());
+        json.endObject();
+    }
+    json.endArray();
+    json.key("all_agree").value(allAgree);
+    json.endObject();
+
+    const char *out = "BENCH_transients.json";
+    if (!json.save(out)) {
+        std::fprintf(stderr, "failed to write %s\n", out);
+        return 1;
+    }
+    std::printf("  wrote %s\n", out);
+    return allAgree ? 0 : 1;
+}

@@ -2,9 +2,15 @@
 # Full pre-merge check: configure, build and run the test suite twice —
 # once plain and once under ASan+UBSan (-DHARPO_SANITIZE=ON). Run from
 # anywhere; build trees live in build/ and build-sanitize/.
+#
+# Usage: check.sh [plain|sanitize|all]
+#   plain     build/ctest only            (CI's fast job)
+#   sanitize  build-sanitize/ctest only   (CI's sanitizer job)
+#   all       both (default)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
+suite="${1:-all}"
 
 run_suite() {
     local dir="$1"; shift
@@ -16,7 +22,17 @@ run_suite() {
     (cd "${repo}/${dir}" && ctest --output-on-failure -j "$(nproc)")
 }
 
-run_suite build
-run_suite build-sanitize -DHARPO_SANITIZE=ON
+case "${suite}" in
+  plain)    run_suite build ;;
+  sanitize) run_suite build-sanitize -DHARPO_SANITIZE=ON ;;
+  all)
+    run_suite build
+    run_suite build-sanitize -DHARPO_SANITIZE=ON
+    ;;
+  *)
+    echo "usage: $0 [plain|sanitize|all]" >&2
+    exit 2
+    ;;
+esac
 
 echo "==> all checks passed"

@@ -10,6 +10,7 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
+#include "faultsim/fork_inject.hh"
 #include "faultsim/fu_trace.hh"
 #include "gates/fu_library.hh"
 #include "isa/encoding.hh"
@@ -29,6 +30,12 @@ FaultCampaign::sampleFaults(const CampaignConfig &config,
     const bool array = coverage::isBitArray(config.target);
     const isa::FuCircuit circuit = coverage::circuitFor(config.target);
 
+    // Degenerate golden run (zero cycles): there is no cycle at which
+    // a storage fault could be injected, so the sample is empty rather
+    // than a list of faults pinned to a fictitious cycle 0.
+    if (array && golden_cycles == 0)
+        return faults;
+
     for (unsigned i = 0; i < config.numInjections; ++i) {
         FaultSpec f;
         f.target = config.target;
@@ -43,10 +50,18 @@ FaultCampaign::sampleFaults(const CampaignConfig &config,
                     rng.below(config.core.l1d.size));
                 f.bit = static_cast<std::uint8_t>(rng.below(8));
             }
-            f.cycle = rng.below(std::max<std::uint64_t>(golden_cycles, 1));
+            f.cycle = rng.below(golden_cycles);
             f.stuckValue = rng.chance(0.5);
-            if (f.type == FaultType::Intermittent)
-                f.endCycle = f.cycle + config.intermittentWindow;
+            if (f.type == FaultType::Intermittent) {
+                // Clamp the stuck window to the faulty-run watchdog:
+                // cycles past it are never simulated, and an endCycle
+                // beyond the budget is indistinguishable from (and
+                // serialises more honestly as) one exactly at it.
+                f.endCycle = std::max(
+                    f.cycle,
+                    std::min(f.cycle + config.intermittentWindow,
+                             config.hangBudget(golden_cycles)));
+            }
         } else {
             const auto &netlist =
                 gates::FuLibrary::instance().netlistFor(circuit);
@@ -63,71 +78,6 @@ FaultCampaign::sampleFaults(const CampaignConfig &config,
 
 namespace
 {
-
-/**
- * Parity protection model: the fault is detected by hardware at the
- * first *consuming* access (read, or dirty write-back) of the faulted
- * byte after injection; an overwrite or refill scrubs it silently.
- * The data never reaches the program, so no bit is actually flipped —
- * the access pattern alone decides the outcome.
- */
-class ParityProbe : public uarch::CoreProbe
-{
-  public:
-    explicit ParityProbe(const FaultSpec &fault) : spec(fault) {}
-
-    void
-    onCycleBegin(uarch::Core &, std::uint64_t cycle) override
-    {
-        if (!armed && cycle >= spec.cycle)
-            armed = true;
-    }
-
-    void
-    onCacheRead(std::uint32_t index, unsigned len,
-                std::uint64_t) override
-    {
-        if (armed && !resolved && covers(index, len))
-            resolve(Outcome::HwDetected);
-    }
-
-    void
-    onCacheWrite(std::uint32_t index, unsigned len,
-                 std::uint64_t) override
-    {
-        if (armed && !resolved && covers(index, len))
-            resolve(Outcome::Masked); // overwrite scrubs the flip
-    }
-
-    void
-    onCacheEvict(std::uint32_t index, unsigned len, bool dirty,
-                 std::uint64_t) override
-    {
-        if (armed && !resolved && covers(index, len))
-            resolve(dirty ? Outcome::HwDetected : Outcome::Masked);
-    }
-
-    Outcome outcome() const { return result; }
-
-  private:
-    bool
-    covers(std::uint32_t index, unsigned len) const
-    {
-        return spec.location >= index && spec.location < index + len;
-    }
-
-    void
-    resolve(Outcome o)
-    {
-        result = o;
-        resolved = true;
-    }
-
-    FaultSpec spec;
-    bool armed = false;
-    bool resolved = false;
-    Outcome result = Outcome::Masked; // never touched again
-};
 
 /** Content fingerprint of everything that determines a golden run's
  *  outcome on the program side: code, initial architectural state,
@@ -197,7 +147,8 @@ coreConfigFingerprint(const uarch::CoreConfig &c)
 }
 
 /** One cached golden run: the classification-relevant results plus
- *  (for functional-unit campaigns) the recorded operand trace. */
+ *  (for functional-unit campaigns) the recorded operand trace and
+ *  (for transient storage campaigns) the checkpoint-fork plan. */
 struct GoldenEntry
 {
     bool ok = false; ///< golden run finished cleanly
@@ -206,18 +157,132 @@ struct GoldenEntry
     bool traceRecorded = false;
     bool traceOverflow = false;
     std::shared_ptr<const std::vector<FuOp>> trace;
+    bool planRecorded = false;
+    std::shared_ptr<const ForkPlan> plan;
+
+    /** Heap payload, for the cache's byte budget. */
+    std::size_t
+    payloadBytes() const
+    {
+        std::size_t n = sizeof(GoldenEntry);
+        if (trace)
+            n += trace->size() * sizeof(FuOp);
+        if (plan)
+            n += plan->footprintBytes();
+        return n;
+    }
 };
 
+/**
+ * Golden-run cache with second-chance (clock) eviction. Entries carry
+ * a referenced bit set on every hit; the clock hand sweeps insertion
+ * order, clearing referenced bits and evicting the first unreferenced
+ * entry. Bounded both by entry count and by payload bytes — fork
+ * plans carry full core snapshots, so byte accounting matters more
+ * than entry count for storage campaigns.
+ */
 struct GoldenCache
 {
+    static constexpr std::size_t defaultMaxEntries = 256;
+    static constexpr std::size_t defaultMaxBytes =
+        std::size_t{192} << 20;
+
+    struct Slot
+    {
+        GoldenEntry entry;
+        std::size_t bytes = 0;
+        bool referenced = false;
+    };
+
     std::mutex mu;
-    std::unordered_map<std::uint64_t, GoldenEntry> entries;
+    std::unordered_map<std::uint64_t, Slot> entries;
+    std::vector<std::uint64_t> clock; ///< keys in insertion order
+    std::size_t hand = 0;
+    std::size_t totalBytes = 0;
+    std::size_t maxEntries = defaultMaxEntries;
+    std::size_t maxBytes = defaultMaxBytes;
     std::atomic<std::uint64_t> hits{0};
     std::atomic<std::uint64_t> misses{0};
 
-    /** Simple size bound: wholesale eviction keeps the cache O(1) in
-     *  memory without LRU bookkeeping on the hot path. */
-    static constexpr std::size_t maxEntries = 256;
+    // All of the below require mu to be held.
+
+    void
+    removeClockKey(std::size_t idx)
+    {
+        clock.erase(clock.begin() +
+                    static_cast<std::ptrdiff_t>(idx));
+        if (hand > idx)
+            --hand;
+        if (hand >= clock.size())
+            hand = 0;
+    }
+
+    /** Evict one entry in second-chance order (no-op when empty). */
+    void
+    evictOne()
+    {
+        while (!clock.empty()) {
+            if (hand >= clock.size())
+                hand = 0;
+            const auto it = entries.find(clock[hand]);
+            if (it == entries.end()) {
+                removeClockKey(hand); // stale key
+                continue;
+            }
+            if (it->second.referenced) {
+                it->second.referenced = false; // second chance
+                if (++hand >= clock.size())
+                    hand = 0;
+                continue;
+            }
+            totalBytes -= it->second.bytes;
+            entries.erase(it);
+            removeClockKey(hand);
+            return;
+        }
+    }
+
+    void
+    insert(std::uint64_t key, GoldenEntry entry)
+    {
+        const std::size_t bytes = entry.payloadBytes();
+        const auto it = entries.find(key);
+        if (it != entries.end()) {
+            totalBytes -= it->second.bytes;
+            entries.erase(it);
+            for (std::size_t i = 0; i < clock.size(); ++i) {
+                if (clock[i] == key) {
+                    removeClockKey(i);
+                    break;
+                }
+            }
+        }
+        while (!entries.empty() &&
+               (entries.size() >= maxEntries ||
+                totalBytes + bytes > maxBytes))
+            evictOne();
+        entries[key] = Slot{std::move(entry), bytes, true};
+        totalBytes += bytes;
+        clock.push_back(key);
+    }
+
+    /** Re-apply the (possibly shrunk) capacity limits. */
+    void
+    enforceCapacity()
+    {
+        while (!entries.empty() && (entries.size() > maxEntries ||
+                                    totalBytes > maxBytes))
+            evictOne();
+    }
+
+    void
+    clear()
+    {
+        entries.clear();
+        clock.clear();
+        hand = 0;
+        totalBytes = 0;
+    }
 };
 
 GoldenCache &
@@ -243,7 +308,20 @@ FaultCampaign::clearGoldenCache()
 {
     GoldenCache &cache = goldenCache();
     std::lock_guard<std::mutex> lock(cache.mu);
-    cache.entries.clear();
+    cache.clear();
+}
+
+void
+FaultCampaign::setGoldenCacheCapacity(std::size_t max_entries,
+                                      std::size_t max_bytes)
+{
+    GoldenCache &cache = goldenCache();
+    std::lock_guard<std::mutex> lock(cache.mu);
+    cache.maxEntries =
+        max_entries ? max_entries : GoldenCache::defaultMaxEntries;
+    cache.maxBytes =
+        max_bytes ? max_bytes : GoldenCache::defaultMaxBytes;
+    cache.enforceCapacity();
 }
 
 std::uint64_t
@@ -325,9 +403,13 @@ FaultCampaign::run(const isa::TestProgram &program,
     }
 
     // A functional-unit campaign wants the golden operand trace for
-    // the bit-parallel replay path.
+    // the bit-parallel replay path; a transient storage campaign wants
+    // the checkpoint/digest fork plan for the fork fast path.
     const bool fuTarget = !coverage::isBitArray(config.target);
     const bool wantTrace = fuTarget && config.batchFuSim;
+    const bool wantPlan = !fuTarget &&
+                          config.faultType == FaultType::Transient &&
+                          config.forkInjection;
 
     // Golden (fault-free) run — reused from the cache when the same
     // program/core-config pair was already simulated, otherwise run
@@ -342,8 +424,10 @@ FaultCampaign::run(const isa::TestProgram &program,
         std::lock_guard<std::mutex> lock(cache.mu);
         const auto it = cache.entries.find(cacheKey);
         if (it != cache.entries.end() &&
-            (!wantTrace || it->second.traceRecorded)) {
-            golden = it->second;
+            (!wantTrace || it->second.entry.traceRecorded) &&
+            (!wantPlan || it->second.entry.planRecorded)) {
+            golden = it->second.entry;
+            it->second.referenced = true;
             haveGolden = true;
             cache.hits.fetch_add(1);
         } else {
@@ -355,9 +439,13 @@ FaultCampaign::run(const isa::TestProgram &program,
         goldenCfg.budget = &config.budget;
         uarch::Core goldenCore(goldenCfg);
         FuTraceRecorder recorder;
+        ForkPlanRecorder planRecorder(config.digestIntervalCycles,
+                                      config.maxGoldenSnapshots);
         const uarch::SimResult goldenSim =
             wantTrace ? goldenCore.run(program, &recorder, &recorder)
-                      : goldenCore.run(program);
+            : wantPlan
+                ? goldenCore.run(program, nullptr, &planRecorder)
+                : goldenCore.run(program);
         if (goldenSim.exit == uarch::SimResult::Exit::Cancelled) {
             result.truncated = true;
             return result; // wall-clock dependent: never cached
@@ -370,12 +458,13 @@ FaultCampaign::run(const isa::TestProgram &program,
         if (wantTrace && !recorder.overflowed())
             golden.trace = std::make_shared<const std::vector<FuOp>>(
                 recorder.takeTrace());
+        golden.planRecorded = wantPlan;
+        if (wantPlan)
+            golden.plan = planRecorder.takePlan();
         if (config.goldenCacheEnabled) {
             GoldenCache &cache = goldenCache();
             std::lock_guard<std::mutex> lock(cache.mu);
-            if (cache.entries.size() >= GoldenCache::maxEntries)
-                cache.entries.clear();
-            cache.entries[cacheKey] = golden;
+            cache.insert(cacheKey, golden);
         }
     }
     if (!golden.ok)
@@ -446,14 +535,36 @@ FaultCampaign::run(const isa::TestProgram &program,
         }
     }
 
+    // ---- Checkpoint-fork fast path (transient storage campaigns):
+    // resume each faulty run from the golden snapshot preceding its
+    // injection cycle and stop it at the first golden-digest match.
+    // Sound only when a run identical to golden beats the watchdog
+    // (same condition as the batch pre-pass); otherwise every fault
+    // takes the full-rerun path, which is always correct. ----
+    const bool useFork = wantPlan && golden.plan &&
+                         !golden.plan->checkpoints.empty() &&
+                         config.hangBudget(golden.cycles) > golden.cycles;
+
     std::atomic<unsigned> masked{0}, sdc{0}, crash{0}, hang{0},
         hwCorrected{0}, hwDetected{0};
+    std::atomic<unsigned> forked{0}, digestExits{0};
     auto classify = [&](std::size_t i) {
-        const Outcome outcome =
-            provablyMasked[i]
-                ? Outcome::Masked
-                : runOne(program, faults[i], config, golden.signature,
-                         golden.cycles);
+        Outcome outcome;
+        if (provablyMasked[i]) {
+            outcome = Outcome::Masked;
+        } else if (useFork &&
+                   faults[i].type == FaultType::Transient) {
+            const ForkOutcome fo = forkInjectTransient(
+                program, faults[i], config, *golden.plan,
+                golden.signature);
+            forked.fetch_add(1);
+            if (fo.digestEarlyExit)
+                digestExits.fetch_add(1);
+            outcome = fo.outcome;
+        } else {
+            outcome = runOne(program, faults[i], config,
+                             golden.signature, golden.cycles);
+        }
         switch (outcome) {
           case Outcome::Masked: masked.fetch_add(1); break;
           case Outcome::Sdc: sdc.fetch_add(1); break;
@@ -535,6 +646,8 @@ FaultCampaign::run(const isa::TestProgram &program,
         result.failedInjections += status[i].load() == Failed;
 
     result.truncated = truncated.load();
+    result.forkedInjections = forked.load();
+    result.digestEarlyExits = digestExits.load();
     result.masked = masked.load();
     result.sdc = sdc.load();
     result.crash = crash.load();

@@ -32,19 +32,6 @@
 namespace harpo::faultsim
 {
 
-/** Outcome of a single faulty run. HwCorrected / HwDetected arise
- *  only on protected structures (paper II-E: a flip in a SECDED cache
- *  is corrected; parity turns it into a detected machine-check). */
-enum class Outcome : std::uint8_t
-{
-    Masked,
-    Sdc,
-    Crash,
-    Hang,
-    HwCorrected, ///< ECC corrected the fault (architecturally masked)
-    HwDetected,  ///< parity machine-check (hardware-detected, not SDC)
-};
-
 /** Protection scheme of the L1D data array (paper II-E). */
 enum class CacheProtection : std::uint8_t { None, Parity, Secded };
 
@@ -87,6 +74,27 @@ struct CampaignConfig
      *  the core. Classification is identical to the scalar path;
      *  disable only for differential testing against it. */
     bool batchFuSim = true;
+
+    /** Checkpoint-fork fast path for transient storage campaigns:
+     *  the golden run records periodic core snapshots and per-interval
+     *  state digests; each faulty run then resumes from the last
+     *  snapshot at or before its injection cycle (skipping the common
+     *  prefix) and stops as provably Masked at the first interval
+     *  boundary where its state digest matches the golden run's
+     *  (DESIGN.md §8). Classification is identical to the full-rerun
+     *  path; disable only for differential testing against it. */
+    bool forkInjection = true;
+
+    /** Cycle stride between golden state digests for the fork-path
+     *  early exit. Smaller strides exit sooner after a fault masks
+     *  but spend more time digesting state. */
+    std::uint64_t digestIntervalCycles = 64;
+
+    /** Maximum snapshots retained per golden run. The recorder starts
+     *  at one snapshot per digest interval and doubles its stride
+     *  (dropping every other checkpoint) whenever the cap is reached,
+     *  bounding memory for arbitrarily long runs. */
+    unsigned maxGoldenSnapshots = 24;
 
     /** Reuse golden (fault-free) runs across campaigns on the same
      *  program and core configuration — evolution re-evaluation and
@@ -136,6 +144,12 @@ struct CampaignResult
     bool truncated = false;
     /** Injections dropped after exhausting their retries. */
     unsigned failedInjections = 0;
+
+    /** Injections served by the checkpoint-fork fast path (telemetry;
+     *  classification is identical either way). */
+    unsigned forkedInjections = 0;
+    /** Fork-path runs stopped early by a golden-digest match. */
+    unsigned digestEarlyExits = 0;
 
     /** Completed-injection count (the denominator of all rates). */
     unsigned
@@ -191,6 +205,13 @@ class FaultCampaign
     static void clearGoldenCache();
     static std::uint64_t goldenCacheHits();
     static std::uint64_t goldenCacheMisses();
+
+    /** Override the golden cache's capacity (entries and/or payload
+     *  bytes); 0 restores the built-in default for that limit.
+     *  Shrinking evicts immediately (second-chance order). Exposed for
+     *  tests exercising eviction and for memory-constrained hosts. */
+    static void setGoldenCacheCapacity(std::size_t max_entries,
+                                       std::size_t max_bytes = 0);
 };
 
 } // namespace harpo::faultsim

@@ -22,6 +22,19 @@
 namespace harpo::faultsim
 {
 
+/** Outcome of a single faulty run. HwCorrected / HwDetected arise
+ *  only on protected structures (paper II-E: a flip in a SECDED cache
+ *  is corrected; parity turns it into a detected machine-check). */
+enum class Outcome : std::uint8_t
+{
+    Masked,
+    Sdc,
+    Crash,
+    Hang,
+    HwCorrected, ///< ECC corrected the fault (architecturally masked)
+    HwDetected,  ///< parity machine-check (hardware-detected, not SDC)
+};
+
 /** Temporal behaviour of an injected fault (paper II-B). */
 enum class FaultType : std::uint8_t
 {
@@ -77,7 +90,9 @@ class StorageFaultProbe : public uarch::CoreProbe
         }
     }
 
-  private:
+  protected:
+    // Subclasses (the fork-injection probe) reuse the spec and the
+    // flip machinery while layering extra per-cycle behaviour on top.
     void
     apply(uarch::Core &core, bool flip)
     {
@@ -98,6 +113,75 @@ class StorageFaultProbe : public uarch::CoreProbe
 
     FaultSpec spec;
     bool done = false;
+};
+
+/**
+ * Parity protection model: the fault is detected by hardware at the
+ * first *consuming* access (read, or dirty write-back) of the faulted
+ * byte after injection; an overwrite or refill scrubs it silently.
+ * The data never reaches the program, so no bit is actually flipped —
+ * the access pattern alone decides the outcome.
+ */
+class ParityProbe : public uarch::CoreProbe
+{
+  public:
+    explicit ParityProbe(const FaultSpec &fault) : spec(fault) {}
+
+    void
+    onCycleBegin(uarch::Core &, std::uint64_t cycle) override
+    {
+        if (!armed && cycle >= spec.cycle)
+            armed = true;
+    }
+
+    void
+    onCacheRead(std::uint32_t index, unsigned len,
+                std::uint64_t) override
+    {
+        if (armed && !resolved && covers(index, len))
+            resolve(Outcome::HwDetected);
+    }
+
+    void
+    onCacheWrite(std::uint32_t index, unsigned len,
+                 std::uint64_t) override
+    {
+        if (armed && !resolved && covers(index, len))
+            resolve(Outcome::Masked); // overwrite scrubs the flip
+    }
+
+    void
+    onCacheEvict(std::uint32_t index, unsigned len, bool dirty,
+                 std::uint64_t) override
+    {
+        if (armed && !resolved && covers(index, len))
+            resolve(dirty ? Outcome::HwDetected : Outcome::Masked);
+    }
+
+    Outcome outcome() const { return result; }
+
+    /** The first consuming access has happened: the outcome is final
+     *  and the rest of the run cannot change it. */
+    bool hasResolved() const { return resolved; }
+
+  private:
+    bool
+    covers(std::uint32_t index, unsigned len) const
+    {
+        return spec.location >= index && spec.location < index + len;
+    }
+
+    void
+    resolve(Outcome o)
+    {
+        result = o;
+        resolved = true;
+    }
+
+    FaultSpec spec;
+    bool armed = false;
+    bool resolved = false;
+    Outcome result = Outcome::Masked; // never touched again
 };
 
 /** ArithModel routing the faulted unit through its gate netlist. */

@@ -1,0 +1,210 @@
+#include "faultsim/fork_inject.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "resilience/error.hh"
+
+namespace harpo::faultsim
+{
+
+const ForkPlan::Checkpoint &
+ForkPlan::checkpointFor(std::uint64_t cycle) const
+{
+    panicIf(checkpoints.empty(), "fork plan has no checkpoints");
+    // At most maxGoldenSnapshots entries: a linear scan is fine.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < checkpoints.size(); ++i) {
+        if (checkpoints[i].cycle > cycle)
+            break;
+        best = i;
+    }
+    return checkpoints[best];
+}
+
+std::size_t
+ForkPlan::footprintBytes() const
+{
+    std::size_t n = digests.size() * sizeof(std::uint64_t);
+    for (const auto &cp : checkpoints) {
+        if (cp.state)
+            n += sizeof(uarch::Core::Snapshot) +
+                 cp.state->footprintBytes();
+    }
+    return n;
+}
+
+ForkPlanRecorder::ForkPlanRecorder(std::uint64_t digest_every,
+                                   unsigned max_snapshots)
+    : plan(std::make_shared<ForkPlan>()),
+      snapEvery(std::max<std::uint64_t>(digest_every, 1)),
+      maxSnapshots(std::max(max_snapshots, 1u))
+{
+    plan->digestEvery = snapEvery;
+}
+
+void
+ForkPlanRecorder::onCycleBegin(uarch::Core &core, std::uint64_t cycle)
+{
+    if (cycle % plan->digestEvery == 0)
+        plan->digests.push_back(core.stateDigest());
+    if (cycle % snapEvery == 0) {
+        plan->checkpoints.push_back(
+            {cycle, std::make_shared<uarch::Core::Snapshot>(
+                        core.saveSnapshot())});
+        if (plan->checkpoints.size() > maxSnapshots) {
+            // Cap reached: drop every other checkpoint (cycle 0 stays)
+            // and double the stride from here on.
+            std::vector<ForkPlan::Checkpoint> kept;
+            kept.reserve(plan->checkpoints.size() / 2 + 1);
+            for (std::size_t i = 0; i < plan->checkpoints.size(); i += 2)
+                kept.push_back(std::move(plan->checkpoints[i]));
+            plan->checkpoints = std::move(kept);
+            snapEvery *= 2;
+        }
+    }
+    plan->goldenCycles = cycle;
+}
+
+std::shared_ptr<const ForkPlan>
+ForkPlanRecorder::takePlan()
+{
+    return std::move(plan);
+}
+
+namespace
+{
+
+/** Applies the transient flip (via the base probe), then watches for
+ *  digest re-convergence with the golden run at interval boundaries.
+ *  A match at a boundary proves the remainder of the run is identical
+ *  to golden — stop the core; the caller classifies Masked.
+ *
+ *  Digesting the full core state is not free (it walks the cache data
+ *  array and memory), so comparisons back off exponentially while the
+ *  fault stays divergent: boundaries 1, 2, 4, 8, ... intervals after
+ *  the last failed check, capped. Faults that mask quickly still exit
+ *  at their first boundary; persistent faults pay O(log) digests
+ *  instead of one per interval. Skipping checks never affects
+ *  soundness — only how soon a converged run is noticed. */
+class DigestForkProbe : public StorageFaultProbe
+{
+  public:
+    DigestForkProbe(const FaultSpec &fault, const ForkPlan &fork_plan)
+        : StorageFaultProbe(fault), plan(fork_plan)
+    {}
+
+    void
+    onCycleBegin(uarch::Core &core, std::uint64_t cycle) override
+    {
+        StorageFaultProbe::onCycleBegin(core, cycle);
+        // Only compare once the flip is in (covers the injection cycle
+        // itself: a flip into dead state converges immediately).
+        if (!done || cycle % plan.digestEvery != 0)
+            return;
+        const std::uint64_t idx = cycle / plan.digestEvery;
+        if (idx < nextCheckIdx || idx >= plan.digests.size())
+            return;
+        if (core.stateDigest() == plan.digests[idx]) {
+            core.requestStop();
+            return;
+        }
+        nextCheckIdx = idx + checkStride;
+        checkStride = std::min<std::uint64_t>(checkStride * 2,
+                                              maxCheckStride);
+    }
+
+  private:
+    static constexpr std::uint64_t maxCheckStride = 32;
+
+    const ForkPlan &plan;
+    std::uint64_t nextCheckIdx = 0;
+    std::uint64_t checkStride = 1;
+};
+
+/** Parity rerun that stops as soon as the first consuming access has
+ *  fixed the outcome (the tail of the run cannot change it). The
+ *  digest exit is *not* used here: parity outcomes depend on future
+ *  access events, not on state divergence. */
+class StoppingParityProbe : public ParityProbe
+{
+  public:
+    using ParityProbe::ParityProbe;
+
+    void
+    onCycleBegin(uarch::Core &core, std::uint64_t cycle) override
+    {
+        ParityProbe::onCycleBegin(core, cycle);
+        if (hasResolved())
+            core.requestStop();
+    }
+};
+
+} // namespace
+
+ForkOutcome
+forkInjectTransient(const isa::TestProgram &program,
+                    const FaultSpec &fault,
+                    const CampaignConfig &config,
+                    const ForkPlan &plan,
+                    std::uint64_t golden_signature)
+{
+    uarch::CoreConfig cfg = config.core;
+    cfg.maxCycles = config.hangBudget(plan.goldenCycles);
+    cfg.budget = &config.budget;
+
+    ForkOutcome out;
+
+    const bool protectedL1d =
+        fault.target == coverage::TargetStructure::L1DCache &&
+        config.l1dProtection != CacheProtection::None;
+    if (protectedL1d &&
+        config.l1dProtection == CacheProtection::Secded) {
+        // SECDED corrects any single-bit fault on access: the program
+        // can never observe it. No simulation needed.
+        out.outcome = Outcome::HwCorrected;
+        return out;
+    }
+
+    const ForkPlan::Checkpoint &cp = plan.checkpointFor(fault.cycle);
+    out.resumedFromCycle = cp.cycle;
+
+    if (protectedL1d) {
+        // Parity: replay (fault-free) from the checkpoint and classify
+        // by the first consuming access of the faulted byte.
+        uarch::Core core(cfg);
+        StoppingParityProbe probe(fault);
+        const uarch::SimResult sim =
+            core.resumeFrom(*cp.state, program, nullptr, &probe);
+        if (sim.exit == uarch::SimResult::Exit::Cancelled)
+            throw Error::budget("fault injection cancelled mid-run");
+        out.outcome = probe.outcome();
+        return out;
+    }
+
+    uarch::Core core(cfg);
+    DigestForkProbe probe(fault, plan);
+    const uarch::SimResult sim =
+        core.resumeFrom(*cp.state, program, nullptr, &probe);
+    switch (sim.exit) {
+      case uarch::SimResult::Exit::Stopped:
+        out.outcome = Outcome::Masked; // digest matched golden
+        out.digestEarlyExit = true;
+        return out;
+      case uarch::SimResult::Exit::Crashed:
+        out.outcome = Outcome::Crash;
+        return out;
+      case uarch::SimResult::Exit::Hang:
+        out.outcome = Outcome::Hang;
+        return out;
+      case uarch::SimResult::Exit::Cancelled:
+        throw Error::budget("fault injection cancelled mid-run");
+      default:
+        out.outcome = sim.signature == golden_signature
+                          ? Outcome::Masked
+                          : Outcome::Sdc;
+        return out;
+    }
+}
+
+} // namespace harpo::faultsim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Checkpoint-fork transient fault injection (DESIGN.md §8).
+ *
+ * The golden run records a ForkPlan: periodic full-core snapshots plus
+ * a state digest at every digest-interval boundary. A transient faulty
+ * run then *forks* — resumes from the last snapshot at or before its
+ * injection cycle, skipping the fault-free prefix entirely — and after
+ * injecting compares its own state digest against the golden digest at
+ * each interval boundary. The first match proves the fault has fully
+ * masked (identical live state + deterministic core ⇒ identical
+ * suffix), so the run stops immediately instead of simulating to
+ * completion. Faults that never re-converge run to their natural end
+ * and are classified exactly as the full-rerun path would.
+ */
+
+#ifndef HARPOCRATES_FAULTSIM_FORK_INJECT_HH
+#define HARPOCRATES_FAULTSIM_FORK_INJECT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "faultsim/campaign.hh"
+#include "faultsim/fault.hh"
+#include "uarch/core.hh"
+
+namespace harpo::faultsim
+{
+
+/** Everything a forked injection needs from the golden run: shared
+ *  read-only across worker threads (and campaigns, via the golden
+ *  cache). */
+struct ForkPlan
+{
+    /** Digest stride; digests[i] is Core::stateDigest() at the top of
+     *  cycle i * digestEvery of the golden run. */
+    std::uint64_t digestEvery = 1;
+    std::vector<std::uint64_t> digests;
+
+    struct Checkpoint
+    {
+        std::uint64_t cycle = 0;
+        std::shared_ptr<const uarch::Core::Snapshot> state;
+    };
+    /** Ascending by cycle; the first checkpoint is always cycle 0, so
+     *  every injection cycle has a checkpoint at or before it. */
+    std::vector<Checkpoint> checkpoints;
+
+    std::uint64_t goldenCycles = 0;
+
+    /** The latest checkpoint with cycle <= @p cycle. */
+    const Checkpoint &checkpointFor(std::uint64_t cycle) const;
+
+    /** Rough heap footprint, for golden-cache accounting. */
+    std::size_t footprintBytes() const;
+};
+
+/** CoreProbe that records a ForkPlan during the golden run. Snapshot
+ *  checkpoints start at one per digest interval; whenever the retained
+ *  count would exceed the cap, every other checkpoint is dropped and
+ *  the stride doubles — at most max_snapshots copies live at once and
+ *  O(cap · log(cycles)) are ever taken. */
+class ForkPlanRecorder : public uarch::CoreProbe
+{
+  public:
+    ForkPlanRecorder(std::uint64_t digest_every, unsigned max_snapshots);
+
+    void onCycleBegin(uarch::Core &core, std::uint64_t cycle) override;
+
+    /** The finished plan (call once, after the run ends). */
+    std::shared_ptr<const ForkPlan> takePlan();
+
+  private:
+    std::shared_ptr<ForkPlan> plan;
+    std::uint64_t snapEvery;
+    unsigned maxSnapshots;
+};
+
+/** What one forked injection produced. */
+struct ForkOutcome
+{
+    Outcome outcome = Outcome::Masked;
+    /** Golden cycle the faulty run resumed from (prefix skipped). */
+    std::uint64_t resumedFromCycle = 0;
+    /** The run stopped at a digest match instead of running out. */
+    bool digestEarlyExit = false;
+};
+
+/**
+ * Classify one transient storage fault via the fork fast path.
+ * Semantically identical to FaultCampaign::runOne() for transient
+ * IntRegFile / L1DCache faults under every CacheProtection mode
+ * (proven differentially by tests/faultsim/fork_campaign_test.cpp).
+ * Throws harpo::Error{Budget} when config.budget expires mid-run.
+ *
+ * Note the parity path forks (prefix skip + stop once the first
+ * consuming access resolves the outcome) but never uses the digest
+ * exit: a parity outcome depends on future access events, not on
+ * state divergence, so digest convergence proves nothing for it.
+ */
+ForkOutcome forkInjectTransient(const isa::TestProgram &program,
+                                const FaultSpec &fault,
+                                const CampaignConfig &config,
+                                const ForkPlan &plan,
+                                std::uint64_t golden_signature);
+
+} // namespace harpo::faultsim
+
+#endif // HARPOCRATES_FAULTSIM_FORK_INJECT_HH

@@ -98,6 +98,16 @@ class Memory
     /** Direct access for fault injection at a concrete address. */
     std::uint8_t *bytePtr(std::uint64_t addr);
 
+    /** Total bytes of backing storage (for snapshot accounting). */
+    std::size_t
+    backingBytes() const
+    {
+        std::size_t n = 0;
+        for (const auto &b : backing)
+            n += b.bytes.size();
+        return n;
+    }
+
   private:
     struct Backing
     {

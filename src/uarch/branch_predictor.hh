@@ -43,6 +43,14 @@ class BranchPredictor
             --c;
     }
 
+    /** Mix the full counter table into @p hasher (state digests). */
+    template <typename Hasher>
+    void
+    hashInto(Hasher &hasher) const
+    {
+        hasher.addBytes(counters.data(), counters.size());
+    }
+
   private:
     std::vector<std::uint8_t> counters;
 };

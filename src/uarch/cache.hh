@@ -64,6 +64,35 @@ class L1Cache
 
     std::uint32_t dataSize() const { return cfg.size; }
 
+    /** Re-point the backing memory after this object was restored by
+     *  copy from a Core::Snapshot (the snapshot's pointer refers to
+     *  the snapshotted core's memory, not the restoring core's). */
+    void rebind(isa::Memory *backing) { memory = backing; }
+
+    /**
+     * Mix all behaviour-relevant cache state into @p hasher: per-line
+     * tags/valid/dirty/LRU ordering plus the data bytes of *valid*
+     * lines only. Bytes under invalid lines are dead — no future read
+     * can observe them before a fill overwrites them — so excluding
+     * them lets a faulty run whose flipped line was evicted converge
+     * with the golden digest (the fork-injection early exit).
+     */
+    template <typename Hasher>
+    void
+    hashState(Hasher &hasher) const
+    {
+        for (std::size_t idx = 0; idx < lines.size(); ++idx) {
+            const Line &line = lines[idx];
+            hasher.addWord(static_cast<std::uint64_t>(line.valid) |
+                           (static_cast<std::uint64_t>(line.dirty) << 1));
+            if (!line.valid)
+                continue;
+            hasher.addWord(line.tag);
+            hasher.addWord(line.lastUse);
+            hasher.addBytes(&data[idx * cfg.lineSize], cfg.lineSize);
+        }
+    }
+
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
 

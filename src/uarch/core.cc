@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "isa/emulator.hh"
@@ -712,8 +713,15 @@ Core::run(const isa::TestProgram &prog, isa::ArithModel *arith,
     now = 0;
     nextSeq = 1;
     result = SimResult{};
+    stopRequested = false;
     running = true;
 
+    return mainLoop();
+}
+
+SimResult
+Core::mainLoop()
+{
     while (running) {
         if (now >= cfg.maxCycles) {
             result.exit = SimResult::Exit::Hang;
@@ -728,8 +736,14 @@ Core::run(const isa::TestProgram &prog, isa::ArithModel *arith,
             running = false;
             break;
         }
-        if (probe)
+        if (probe) {
             probe->onCycleBegin(*this, now);
+            if (stopRequested) {
+                result.exit = SimResult::Exit::Stopped;
+                running = false;
+                break;
+            }
+        }
         commitStage();
         if (!running)
             break;
@@ -747,6 +761,212 @@ Core::run(const isa::TestProgram &prog, isa::ArithModel *arith,
     if (probe)
         probe->onRunEnd(*this, now);
     return result;
+}
+
+Core::Snapshot
+Core::saveSnapshot() const
+{
+    Snapshot s;
+    s.memory = memory;
+    s.cache = cache; // backing pointer rebound on restore
+    s.intRegs = intRegs;
+    s.fpRegs = fpRegs;
+    s.predictor = predictor;
+
+    s.specIntMap = specIntMap;
+    s.specFpMap = specFpMap;
+    s.commitIntMap = commitIntMap;
+    s.commitFpMap = commitFpMap;
+    s.intLastDefSeq = intLastDefSeq;
+
+    s.rob = rob;
+    s.iqSeqs.reserve(iq.size());
+    for (const DynInst *d : iq)
+        s.iqSeqs.push_back(d->seq);
+    s.storeQueue = storeQueue;
+    s.loadsInFlight = loadsInFlight;
+
+    s.frontQueue = frontQueue;
+    s.fetchPc = fetchPc;
+    s.fetchResumeCycle = fetchResumeCycle;
+
+    s.fuPools = fuPools;
+    s.memPorts = memPorts;
+
+    s.now = now;
+    s.nextSeq = nextSeq;
+    s.result = result;
+    return s;
+}
+
+SimResult
+Core::resumeFrom(const Snapshot &snap, const isa::TestProgram &prog,
+                 isa::ArithModel *arith, CoreProbe *probe_in)
+{
+    panicIf(snap.intRegs.size() != cfg.numIntPhysRegs ||
+                snap.fpRegs.size() != cfg.numFpPhysRegs ||
+                snap.cache.dataSize() != cfg.l1d.size,
+            "resumeFrom: snapshot taken under a different core config");
+
+    program = &prog;
+    probe = probe_in;
+    arithModel = arith ? arith : &isa::ArithModel::functional();
+
+    memory = snap.memory;
+    cache = snap.cache;
+    cache.rebind(&memory);
+    intRegs = snap.intRegs;
+    fpRegs = snap.fpRegs;
+    predictor = snap.predictor;
+
+    specIntMap = snap.specIntMap;
+    specFpMap = snap.specFpMap;
+    commitIntMap = snap.commitIntMap;
+    commitFpMap = snap.commitFpMap;
+    intLastDefSeq = snap.intLastDefSeq;
+
+    rob = snap.rob;
+    for (DynInst &d : rob) {
+        panicIf(d.pc >= prog.code.size(),
+                "resumeFrom: snapshot does not match the program");
+        d.inst = &prog.code[d.pc];
+        d.desc = &isa::isaTable().desc(d.inst->descId);
+    }
+    iq.clear();
+    iq.reserve(snap.iqSeqs.size());
+    for (const std::uint64_t seq : snap.iqSeqs) {
+        for (DynInst &d : rob) {
+            if (d.seq == seq) {
+                iq.push_back(&d);
+                break;
+            }
+        }
+    }
+    panicIf(iq.size() != snap.iqSeqs.size(),
+            "resumeFrom: issue queue out of sync with ROB");
+    storeQueue = snap.storeQueue;
+    loadsInFlight = snap.loadsInFlight;
+
+    frontQueue = snap.frontQueue;
+    fetchPc = snap.fetchPc;
+    fetchResumeCycle = snap.fetchResumeCycle;
+
+    fuPools = snap.fuPools;
+    memPorts = snap.memPorts;
+
+    now = snap.now;
+    nextSeq = snap.nextSeq;
+    result = snap.result;
+    stopRequested = false;
+    running = true;
+
+    return mainLoop();
+}
+
+std::uint64_t
+Core::stateDigest() const
+{
+    StateHash h;
+    h.addWord(now);
+    h.addWord(nextSeq);
+    h.addWord(fetchPc);
+    h.addWord(fetchResumeCycle > now ? fetchResumeCycle : 0);
+    h.addWord(loadsInFlight);
+
+    for (const std::uint16_t v : specIntMap)
+        h.addWord(v);
+    for (const std::uint16_t v : specFpMap)
+        h.addWord(v);
+    for (const std::uint16_t v : commitIntMap)
+        h.addWord(v);
+    for (const std::uint16_t v : commitFpMap)
+        h.addWord(v);
+
+    intRegs.hashLiveState(h, now);
+    fpRegs.hashLiveState(h, now);
+    predictor.hashInto(h);
+    cache.hashState(h);
+    memory.hashInto(h);
+
+    h.addWord(rob.size());
+    for (const DynInst &d : rob) {
+        h.addWord(d.seq);
+        h.addWord(d.pc);
+        for (const std::uint16_t v : d.intMap)
+            h.addWord(v);
+        for (const std::uint16_t v : d.fpMap)
+            h.addWord(v);
+        h.addWord(static_cast<std::uint64_t>(d.numDests) |
+                  (static_cast<std::uint64_t>(d.numIntSrcs) << 8) |
+                  (static_cast<std::uint64_t>(d.numFpSrcs) << 16));
+        for (int i = 0; i < d.numDests; ++i) {
+            const auto &dest = d.dests[i];
+            h.addWord(static_cast<std::uint64_t>(dest.arch) |
+                      (static_cast<std::uint64_t>(dest.newPhys) << 8) |
+                      (static_cast<std::uint64_t>(dest.prevPhys) << 24) |
+                      (static_cast<std::uint64_t>(dest.isFp) << 40) |
+                      (static_cast<std::uint64_t>(dest.written) << 41));
+        }
+        for (int i = 0; i < d.numIntSrcs; ++i)
+            h.addWord(d.intSrcs[i]);
+        for (int i = 0; i < d.numFpSrcs; ++i)
+            h.addWord(d.fpSrcs[i]);
+        h.addWord(static_cast<std::uint64_t>(d.inIq) |
+                  (static_cast<std::uint64_t>(d.executed) << 1) |
+                  (static_cast<std::uint64_t>(d.isLoad) << 2) |
+                  (static_cast<std::uint64_t>(d.isStore) << 3) |
+                  (static_cast<std::uint64_t>(d.badBranch) << 4) |
+                  (static_cast<std::uint64_t>(d.predTaken) << 5) |
+                  (static_cast<std::uint64_t>(d.actualTaken) << 6) |
+                  (static_cast<std::uint64_t>(d.fault) << 8));
+        h.addWord(d.completeCycle > now ? d.completeCycle : 0);
+        h.addWord(d.nextPc);
+    }
+
+    h.addWord(iq.size());
+    for (const DynInst *d : iq)
+        h.addWord(d->seq);
+
+    h.addWord(storeQueue.size());
+    for (const StoreEntry &s : storeQueue) {
+        h.addWord(s.seq);
+        h.addWord(s.executed);
+        h.addWord(s.addr);
+        h.addWord(s.size);
+        h.addBytes(s.data.data(), s.size);
+    }
+
+    h.addWord(frontQueue.size());
+    for (const FetchedInst &f : frontQueue) {
+        h.addWord(f.pc);
+        h.addWord(f.readyCycle > now ? f.readyCycle : 0);
+        h.addWord(f.predTaken);
+    }
+
+    for (const FuPool &pool : fuPools) {
+        for (const std::uint64_t busy : pool.busyUntil)
+            h.addWord(busy > now ? busy : 0);
+    }
+    for (const std::uint64_t busy : memPorts.busyUntil)
+        h.addWord(busy > now ? busy : 0);
+
+    return h.value();
+}
+
+std::size_t
+Core::Snapshot::footprintBytes() const
+{
+    std::size_t n = sizeof(Snapshot);
+    n += memory.backingBytes();
+    n += cache.dataSize();
+    n += cache.dataSize() / 16; // line metadata, roughly
+    n += intRegs.size() * 16 + fpRegs.size() * 24;
+    n += intLastDefSeq.size() * 8;
+    n += rob.size() * sizeof(DynInst);
+    n += iqSeqs.size() * 8;
+    n += storeQueue.size() * sizeof(StoreEntry);
+    n += frontQueue.size() * sizeof(FetchedInst);
+    return n;
 }
 
 } // namespace harpo::uarch

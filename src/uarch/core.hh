@@ -50,6 +50,7 @@ struct SimResult
         Crashed,
         Hang,
         Cancelled, ///< the CoreConfig::budget expired mid-run
+        Stopped,   ///< a probe called Core::requestStop() mid-run
     };
 
     Exit exit = Exit::Finished;
@@ -134,8 +135,75 @@ struct StoreEntry
 /** The core. One instance simulates one program at a time. */
 class Core
 {
+    // Frontend / functional-unit bookkeeping types, declared before
+    // Snapshot so the snapshot can embed them by value.
+    struct FetchedInst
+    {
+        std::uint32_t pc = 0;
+        std::uint64_t readyCycle = 0;
+        bool predTaken = false;
+    };
+
+    struct FuPool
+    {
+        unsigned count = 0;
+        unsigned usedThisCycle = 0;
+        std::vector<std::uint64_t> busyUntil;
+    };
+
+    static constexpr std::size_t numFuPools =
+        static_cast<std::size_t>(isa::OpClass::NumClasses);
+
   public:
     explicit Core(const CoreConfig &config);
+
+    /**
+     * A complete copy of everything that determines the remainder of
+     * a run: architectural and microarchitectural state, memory and
+     * cache contents, in-flight windows, frontend, FU occupancy,
+     * cycle and sequence counters, and accumulated statistics.
+     *
+     * Opaque value type: produce with saveSnapshot() (typically from
+     * a CoreProbe::onCycleBegin), consume with resumeFrom() on any
+     * Core built with the same CoreConfig and the same program
+     * *content* (instruction pointers are re-derived from PCs, so the
+     * program object's identity does not matter). Snapshots are
+     * self-contained and immutable — share one read-only instance
+     * across worker threads freely.
+     */
+    struct Snapshot
+    {
+        isa::Memory memory;
+        L1Cache cache; ///< backing pointer rebound on restore
+        PhysRegFile intRegs;
+        FpPhysRegFile fpRegs;
+        BranchPredictor predictor;
+
+        std::array<std::uint16_t, isa::numIntArchRegs> specIntMap{};
+        std::array<std::uint16_t, isa::numXmmArchRegs> specFpMap{};
+        std::array<std::uint16_t, isa::numIntArchRegs> commitIntMap{};
+        std::array<std::uint16_t, isa::numXmmArchRegs> commitFpMap{};
+        std::vector<std::uint64_t> intLastDefSeq;
+
+        std::deque<DynInst> rob; ///< inst/desc re-derived on restore
+        std::vector<std::uint64_t> iqSeqs; ///< issue-queue order
+        std::deque<StoreEntry> storeQueue;
+        unsigned loadsInFlight = 0;
+
+        std::deque<FetchedInst> frontQueue;
+        std::uint32_t fetchPc = 0;
+        std::uint64_t fetchResumeCycle = 0;
+
+        std::array<FuPool, numFuPools> fuPools{};
+        FuPool memPorts;
+
+        std::uint64_t now = 0;
+        std::uint64_t nextSeq = 1;
+        SimResult result;
+
+        /** Rough heap footprint, for snapshot-cache accounting. */
+        std::size_t footprintBytes() const;
+    };
 
     /**
      * Run @p program to completion.
@@ -148,6 +216,49 @@ class Core
     SimResult run(const isa::TestProgram &program,
                   isa::ArithModel *arith = nullptr,
                   CoreProbe *probe = nullptr);
+
+    /**
+     * Capture the complete state of the run in flight. Only
+     * meaningful between run()/resumeFrom() setup and run end —
+     * in practice, from a probe's onCycleBegin, which fires at the
+     * top of every cycle before any stage mutates state.
+     */
+    Snapshot saveSnapshot() const;
+
+    /**
+     * Continue a run from @p snapshot to completion, exactly as the
+     * original run would have continued (bit-identical SimResult,
+     * proven by tests/uarch/snapshot_test.cpp). @p program must have
+     * the same content as the snapshotted run's program; this core
+     * must have the same structural CoreConfig (register file, cache
+     * geometry, widths). maxCycles and budget may differ — the fault
+     * campaign resumes golden snapshots under a faulty-run watchdog.
+     */
+    SimResult resumeFrom(const Snapshot &snapshot,
+                         const isa::TestProgram &program,
+                         isa::ArithModel *arith = nullptr,
+                         CoreProbe *probe = nullptr);
+
+    /**
+     * Digest of all behaviour-relevant state at the top of the
+     * current cycle. Two runs of the same program on the same config
+     * whose digests match at the same cycle are in identical live
+     * states and therefore (the core being deterministic) produce
+     * identical suffixes — the foundation of the fork-injection
+     * early exit (DESIGN.md §8). Dead state is excluded so scrubbed
+     * faults converge: free physical registers' values, data under
+     * invalid cache lines, ready/busy cycles already in the past, and
+     * observation-only counters (SimResult statistics, cache hit/miss
+     * tallies, intLastDefSeq).
+     */
+    std::uint64_t stateDigest() const;
+
+    /**
+     * Ask the running simulation to stop at the top of the current
+     * cycle (callable from a probe's onCycleBegin). The run returns
+     * with SimResult::Exit::Stopped and no end-of-run signature.
+     */
+    void requestStop() { stopRequested = true; }
 
     // ---- State accessors for probes / fault injection ----
     PhysRegFile &intPrf() { return intRegs; }
@@ -181,6 +292,9 @@ class Core
     void renameStage();
     void fetchStage();
 
+    /** Cycle loop shared by run() and resumeFrom(). */
+    SimResult mainLoop();
+
     void squashAfter(std::uint64_t seq, std::uint32_t restart_pc);
     bool olderStorePending(std::uint64_t seq) const;
     void finishRun();
@@ -211,26 +325,12 @@ class Core
     unsigned loadsInFlight = 0;
 
     // Frontend.
-    struct FetchedInst
-    {
-        std::uint32_t pc = 0;
-        std::uint64_t readyCycle = 0;
-        bool predTaken = false;
-    };
     std::deque<FetchedInst> frontQueue;
     std::uint32_t fetchPc = 0;
     std::uint64_t fetchResumeCycle = 0;
 
     // Functional units: per-class issue slots and busy tracking.
-    struct FuPool
-    {
-        unsigned count = 0;
-        unsigned usedThisCycle = 0;
-        std::vector<std::uint64_t> busyUntil;
-    };
-    std::array<FuPool, static_cast<std::size_t>(
-                           isa::OpClass::NumClasses)>
-        fuPools;
+    std::array<FuPool, numFuPools> fuPools;
     FuPool memPorts;
     FuPool &poolFor(isa::OpClass cls);
     bool acquireFu(const isa::InstrDesc &desc, std::uint64_t until);
@@ -238,6 +338,7 @@ class Core
     std::uint64_t now = 0;
     std::uint64_t nextSeq = 1;
     bool running = false;
+    bool stopRequested = false;
 
     SimResult result;
 };

@@ -93,6 +93,35 @@ class PhysRegFile
     /** Mark ready immediately (initial architectural values). */
     void markReadyNow(unsigned reg) { readyCycle[reg] = 0; }
 
+    /**
+     * Mix all behaviour-relevant register state at cycle @p now into
+     * @p hasher. Free registers contribute only their membership and
+     * allocation order: their values and ready cycles are dead (alloc
+     * re-marks a register pending, and its producer rewrites the value
+     * before any consumer can pass the readiness check), so excluding
+     * them lets a faulty run whose flipped register was free converge
+     * with the golden digest. Ready cycles in the past collapse to 0 —
+     * only "when does it *become* ready" can influence the future.
+     */
+    template <typename Hasher>
+    void
+    hashLiveState(Hasher &hasher, std::uint64_t now) const
+    {
+        std::vector<std::uint64_t> freeMask((values.size() + 63) / 64);
+        for (const unsigned reg : freeList)
+            freeMask[reg / 64] |= 1ull << (reg % 64);
+        for (std::size_t reg = 0; reg < values.size(); ++reg) {
+            if ((freeMask[reg / 64] >> (reg % 64)) & 1)
+                continue;
+            hasher.addWord(values[reg]);
+            hasher.addWord(readyCycle[reg] > now ? readyCycle[reg] : 0);
+        }
+        for (const std::uint64_t word : freeMask)
+            hasher.addWord(word);
+        for (const unsigned reg : freeList)
+            hasher.addWord(reg);
+    }
+
   private:
     std::vector<std::uint64_t> values;
     std::vector<std::uint64_t> readyCycle;
@@ -166,6 +195,28 @@ class FpPhysRegFile
     }
 
     void markReadyNow(unsigned reg) { readyCycle[reg] = 0; }
+
+    /** Same live-state contract as PhysRegFile::hashLiveState. */
+    template <typename Hasher>
+    void
+    hashLiveState(Hasher &hasher, std::uint64_t now) const
+    {
+        std::vector<std::uint64_t> freeMask((readyCycle.size() + 63) /
+                                            64);
+        for (const unsigned reg : freeList)
+            freeMask[reg / 64] |= 1ull << (reg % 64);
+        for (std::size_t reg = 0; reg < readyCycle.size(); ++reg) {
+            if ((freeMask[reg / 64] >> (reg % 64)) & 1)
+                continue;
+            hasher.addWord(values[reg * 2]);
+            hasher.addWord(values[reg * 2 + 1]);
+            hasher.addWord(readyCycle[reg] > now ? readyCycle[reg] : 0);
+        }
+        for (const std::uint64_t word : freeMask)
+            hasher.addWord(word);
+        for (const unsigned reg : freeList)
+            hasher.addWord(reg);
+    }
 
   private:
     std::vector<std::uint64_t> values;

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Checkpoint-fork injection vs. the full-rerun oracle: with the same
+ * seed, the fork fast path must classify every sampled fault exactly
+ * as the slow path does — per structure (IRF, L1D) and per L1D
+ * protection mode (None / Parity / SECDED). Also covers the golden
+ * cache's plan gating and its second-chance eviction policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "faultsim/campaign.hh"
+#include "faultsim/fork_inject.hh"
+#include "isa/builder.hh"
+#include "isa/registers.hh"
+#include "museqgen/museqgen.hh"
+
+using namespace harpo;
+using namespace harpo::faultsim;
+using namespace harpo::isa;
+using coverage::TargetStructure;
+using PB = ProgramBuilder;
+
+namespace
+{
+
+TestProgram
+addChain(int n = 150)
+{
+    PB b("forkaddchain");
+    b.setGpr(RAX, 0x0123456789ABCDEFull);
+    b.setGpr(RBX, 0xFEDCBA9876543210ull);
+    for (int i = 0; i < n; ++i) {
+        b.i("add r64, r64", {PB::gpr(RAX), PB::gpr(RBX)});
+        b.i("adc r64, imm32", {PB::gpr(RBX), PB::imm(i)});
+    }
+    return b.build();
+}
+
+/** Fill cache lines and read them back, so L1D faults matter. */
+TestProgram
+cacheChurn()
+{
+    PB b("forkcachechurn");
+    b.addRegion(0x100000, 16 * 1024);
+    b.setGpr(RSI, 0x100000);
+    b.setGpr(RAX, 0xABCDEF);
+    b.i("mov r64, r64", {PB::gpr(RBX), PB::gpr(RSI)});
+    b.i("mov r64, imm64", {PB::gpr(RCX), PB::imm(256)});
+    auto fill = b.here();
+    b.i("mov m64, r64", {PB::mem(RBX), PB::gpr(RAX)});
+    b.i("add r64, imm32", {PB::gpr(RBX), PB::imm(64)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", fill);
+    b.i("mov r64, r64", {PB::gpr(RBX), PB::gpr(RSI)});
+    b.i("mov r64, imm64", {PB::gpr(RCX), PB::imm(256)});
+    auto readback = b.here();
+    b.i("add r64, m64", {PB::gpr(RDX), PB::mem(RBX)});
+    b.i("add r64, imm32", {PB::gpr(RBX), PB::imm(64)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", readback);
+    return b.build();
+}
+
+/** Run the same campaign with the fork path off and on; the outcome
+ *  histogram must be identical. Returns the fork-path result. */
+CampaignResult
+expectForkMatchesSlow(const TestProgram &program, CampaignConfig cfg)
+{
+    cfg.forkInjection = false;
+    FaultCampaign::clearGoldenCache();
+    const CampaignResult slow = FaultCampaign::run(program, cfg);
+    EXPECT_TRUE(slow.goldenOk);
+    EXPECT_EQ(slow.forkedInjections, 0u);
+
+    cfg.forkInjection = true;
+    FaultCampaign::clearGoldenCache();
+    const CampaignResult fork = FaultCampaign::run(program, cfg);
+    EXPECT_TRUE(fork.goldenOk);
+
+    EXPECT_EQ(fork.masked, slow.masked);
+    EXPECT_EQ(fork.sdc, slow.sdc);
+    EXPECT_EQ(fork.crash, slow.crash);
+    EXPECT_EQ(fork.hang, slow.hang);
+    EXPECT_EQ(fork.hwCorrected, slow.hwCorrected);
+    EXPECT_EQ(fork.hwDetected, slow.hwDetected);
+    EXPECT_EQ(fork.goldenSignature, slow.goldenSignature);
+    EXPECT_EQ(fork.goldenCycles, slow.goldenCycles);
+    return fork;
+}
+
+} // namespace
+
+TEST(ForkCampaign, MatchesFullRerunOnIntRegFile)
+{
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::IntRegFile);
+    cfg.numInjections = 100;
+    cfg.seed = 0xF01;
+    const CampaignResult fork =
+        expectForkMatchesSlow(addChain(), cfg);
+    // Every transient injection went through the fork path, and the
+    // mostly-masked population overwhelmingly exits at a digest match
+    // instead of running to completion.
+    EXPECT_EQ(fork.forkedInjections, fork.total());
+    EXPECT_GT(fork.digestEarlyExits, 0u);
+}
+
+TEST(ForkCampaign, MatchesFullRerunOnL1dAllProtectionModes)
+{
+    const TestProgram program = cacheChurn();
+    for (const auto prot :
+         {CacheProtection::None, CacheProtection::Parity,
+          CacheProtection::Secded}) {
+        CampaignConfig cfg =
+            CampaignConfig::forTarget(TargetStructure::L1DCache);
+        cfg.numInjections = 80;
+        cfg.seed = 0xF02;
+        cfg.l1dProtection = prot;
+        const CampaignResult fork =
+            expectForkMatchesSlow(program, cfg);
+        EXPECT_EQ(fork.forkedInjections, fork.total())
+            << "protection mode " << static_cast<int>(prot);
+    }
+}
+
+TEST(ForkCampaign, MatchesFullRerunOnGeneratedPrograms)
+{
+    museqgen::GenConfig gcfg;
+    gcfg.numInstructions = 150;
+    const museqgen::MuSeqGen gen(gcfg);
+    Rng rng(0xF03);
+    for (int trial = 0; trial < 2; ++trial) {
+        const TestProgram program = gen.generate(rng);
+        CampaignConfig cfg =
+            CampaignConfig::forTarget(TargetStructure::IntRegFile);
+        cfg.numInjections = 60;
+        cfg.seed = 0xF04 + static_cast<std::uint64_t>(trial);
+        expectForkMatchesSlow(program, cfg);
+    }
+}
+
+TEST(ForkCampaign, TightHangBudgetFallsBackToFullRerun)
+{
+    // When even a golden-identical run would trip the watchdog, the
+    // digest early exit is unsound — the campaign must disable the
+    // fork path and classify through the slow path (all Hang).
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::IntRegFile);
+    cfg.numInjections = 20;
+    cfg.hangMultiplier = 0.0;
+    cfg.hangSlackCycles = 1;
+    FaultCampaign::clearGoldenCache();
+    const CampaignResult r = FaultCampaign::run(addChain(100), cfg);
+    ASSERT_TRUE(r.goldenOk);
+    EXPECT_EQ(r.forkedInjections, 0u);
+    EXPECT_EQ(r.hang, 20u);
+}
+
+TEST(ForkCampaign, PlanlessCacheEntryIsNotReusedByForkCampaign)
+{
+    // A golden entry cached by a slow-path campaign has no fork plan;
+    // a fork-path campaign on the same program must re-run golden
+    // (recording the plan) rather than reuse it, and vice versa keeps
+    // the classification identical — which expectForkMatchesSlow
+    // already proves. Here we watch the hit/miss counters directly.
+    const TestProgram program = addChain(120);
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::IntRegFile);
+    cfg.numInjections = 10;
+    FaultCampaign::clearGoldenCache();
+
+    cfg.forkInjection = false;
+    const std::uint64_t m0 = FaultCampaign::goldenCacheMisses();
+    FaultCampaign::run(program, cfg);
+    EXPECT_EQ(FaultCampaign::goldenCacheMisses(), m0 + 1);
+
+    cfg.forkInjection = true;
+    FaultCampaign::run(program, cfg); // plan-less entry: miss again
+    EXPECT_EQ(FaultCampaign::goldenCacheMisses(), m0 + 2);
+
+    const std::uint64_t h0 = FaultCampaign::goldenCacheHits();
+    FaultCampaign::run(program, cfg); // plan now cached: hit
+    EXPECT_EQ(FaultCampaign::goldenCacheHits(), h0 + 1);
+}
+
+TEST(ForkCampaign, SecondChanceEvictionKeepsRecentlyUsedEntries)
+{
+    FaultCampaign::clearGoldenCache();
+    FaultCampaign::setGoldenCacheCapacity(2);
+
+    const TestProgram a = addChain(60);
+    const TestProgram b = addChain(70);
+    const TestProgram c = addChain(80);
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::IntRegFile);
+    cfg.numInjections = 5;
+
+    const CampaignResult ra = FaultCampaign::run(a, cfg);
+    FaultCampaign::run(b, cfg);
+    FaultCampaign::run(c, cfg); // capacity 2: one of {a, b} evicted
+
+    // The newest entry survives whatever the sweep evicted.
+    const std::uint64_t h0 = FaultCampaign::goldenCacheHits();
+    FaultCampaign::run(c, cfg);
+    EXPECT_EQ(FaultCampaign::goldenCacheHits(), h0 + 1);
+
+    // Eviction is transparent to results: a re-run of the (possibly
+    // evicted) first program classifies identically.
+    const CampaignResult ra2 = FaultCampaign::run(a, cfg);
+    EXPECT_EQ(ra2.masked, ra.masked);
+    EXPECT_EQ(ra2.sdc, ra.sdc);
+    EXPECT_EQ(ra2.crash, ra.crash);
+    EXPECT_EQ(ra2.hang, ra.hang);
+
+    FaultCampaign::setGoldenCacheCapacity(0, 0); // restore defaults
+    FaultCampaign::clearGoldenCache();
+}
+
+TEST(ForkCampaign, PlanRecorderThinsSnapshotsUnderCap)
+{
+    // Directly exercise the recorder's adaptive thinning: a long run
+    // with a tiny snapshot cap must keep checkpoint 0, stay under the
+    // cap, and still cover the whole run with digests.
+    const TestProgram program = addChain(400);
+    uarch::Core core{uarch::CoreConfig{}};
+    ForkPlanRecorder recorder(/*digest_every=*/8, /*max_snapshots=*/4);
+    const uarch::SimResult sim =
+        core.run(program, nullptr, &recorder);
+    ASSERT_EQ(sim.exit, uarch::SimResult::Exit::Finished);
+
+    const auto plan = recorder.takePlan();
+    ASSERT_TRUE(plan);
+    EXPECT_LE(plan->checkpoints.size(), 4u);
+    ASSERT_FALSE(plan->checkpoints.empty());
+    EXPECT_EQ(plan->checkpoints.front().cycle, 0u);
+    EXPECT_EQ(plan->goldenCycles, sim.cycles);
+    EXPECT_EQ(plan->digests.size(), sim.cycles / 8 + 1);
+    // Every fault cycle has a checkpoint at or before it.
+    for (const std::uint64_t cycle :
+         {std::uint64_t{0}, sim.cycles / 2, sim.cycles}) {
+        const auto &cp = plan->checkpointFor(cycle);
+        EXPECT_LE(cp.cycle, cycle);
+        EXPECT_TRUE(cp.state);
+    }
+    EXPECT_GT(plan->footprintBytes(), 0u);
+}

@@ -141,3 +141,42 @@ TEST(FaultSampling, IntermittentWindowsApplied)
         EXPECT_EQ(f.endCycle, f.cycle + 333);
     }
 }
+
+TEST(FaultSampling, IntermittentWindowsClampedToHangBudget)
+{
+    // A window stretching past the faulty-run watchdog is never
+    // simulated beyond it; the sampler clamps endCycle to the budget
+    // (and never below the start cycle) instead of emitting cycles
+    // that do not exist.
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::IntRegFile);
+    cfg.faultType = FaultType::Intermittent;
+    cfg.intermittentWindow = 1u << 30;
+    cfg.hangMultiplier = 2.0;
+    cfg.hangSlackCycles = 100;
+    cfg.numInjections = 60;
+    const std::uint64_t golden = 500;
+    const auto faults = FaultCampaign::sampleFaults(cfg, golden);
+    ASSERT_EQ(faults.size(), 60u);
+    for (const auto &f : faults) {
+        EXPECT_LE(f.endCycle, cfg.hangBudget(golden));
+        EXPECT_GE(f.endCycle, f.cycle);
+    }
+}
+
+TEST(FaultSampling, ZeroCycleGoldenRunYieldsNoStorageFaults)
+{
+    // With a zero-cycle golden run there is no cycle to inject at:
+    // the sample must be empty, not a list pinned to a made-up cycle.
+    for (const auto target :
+         {TargetStructure::IntRegFile, TargetStructure::L1DCache}) {
+        CampaignConfig cfg = CampaignConfig::forTarget(target);
+        cfg.numInjections = 40;
+        EXPECT_TRUE(FaultCampaign::sampleFaults(cfg, 0).empty());
+    }
+    // Gate campaigns inject per operation, not per cycle: unaffected.
+    CampaignConfig gate =
+        CampaignConfig::forTarget(TargetStructure::IntAdder);
+    gate.numInjections = 40;
+    EXPECT_EQ(FaultCampaign::sampleFaults(gate, 0).size(), 40u);
+}

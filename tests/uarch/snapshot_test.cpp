@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Snapshot/resume exactness: resuming from a saveSnapshot() taken at
+ * any cycle must reproduce the straight run bit for bit — same exit,
+ * same cycle count, same signature, same microarchitectural
+ * statistics. This equivalence is what makes checkpoint-fork fault
+ * injection sound (DESIGN.md §8), so it is property-tested across
+ * randomized MuSeqGen programs and handcrafted corner cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hh"
+#include "isa/builder.hh"
+#include "isa/registers.hh"
+#include "museqgen/museqgen.hh"
+#include "uarch/core.hh"
+
+using namespace harpo;
+using namespace harpo::isa;
+using namespace harpo::uarch;
+using PB = ProgramBuilder;
+
+namespace
+{
+
+/** Captures one snapshot at a chosen cycle. */
+class SnapshotCapture : public CoreProbe
+{
+  public:
+    explicit SnapshotCapture(std::uint64_t at_cycle) : at(at_cycle) {}
+
+    void
+    onCycleBegin(Core &core, std::uint64_t cycle) override
+    {
+        if (cycle == at && !snap)
+            snap = std::make_unique<Core::Snapshot>(
+                core.saveSnapshot());
+    }
+
+    std::uint64_t at;
+    std::unique_ptr<Core::Snapshot> snap;
+};
+
+/** Records the state digest at every cycle. */
+class DigestTrace : public CoreProbe
+{
+  public:
+    void
+    onCycleBegin(Core &core, std::uint64_t) override
+    {
+        digests.push_back(core.stateDigest());
+    }
+
+    std::vector<std::uint64_t> digests;
+};
+
+void
+expectSameResult(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.exit, b.exit);
+    EXPECT_EQ(a.crash, b.crash);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instsCommitted, b.instsCommitted);
+    EXPECT_EQ(a.signature, b.signature);
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
+    EXPECT_EQ(a.cacheHits, b.cacheHits);
+    EXPECT_EQ(a.cacheMisses, b.cacheMisses);
+    EXPECT_EQ(a.instsIssued, b.instsIssued);
+    EXPECT_EQ(a.instsSquashed, b.instsSquashed);
+    EXPECT_EQ(a.loadForwards, b.loadForwards);
+    EXPECT_EQ(a.renameStallCycles, b.renameStallCycles);
+}
+
+/** Straight-run @p program, then re-run capturing a snapshot at
+ *  @p cycle and resume it on a fresh core; both results must match. */
+void
+checkResumeAt(const TestProgram &program, std::uint64_t cycle)
+{
+    Core straight{CoreConfig{}};
+    const SimResult ref = straight.run(program);
+
+    Core recording{CoreConfig{}};
+    SnapshotCapture capture(cycle);
+    const SimResult rec = recording.run(program, nullptr, &capture);
+    expectSameResult(ref, rec);
+    ASSERT_TRUE(capture.snap) << "no snapshot at cycle " << cycle;
+
+    Core resumed{CoreConfig{}};
+    const SimResult res = resumed.resumeFrom(*capture.snap, program);
+    expectSameResult(ref, res);
+}
+
+/** A branchy, memory-heavy handcrafted program. */
+TestProgram
+loopStoreLoad()
+{
+    PB b("loopstoreload");
+    b.addRegion(0x10000, 8192);
+    b.setGpr(RSI, 0x10000);
+    b.setGpr(RCX, 60);
+    b.setGpr(RAX, 0x1234);
+    auto top = b.here();
+    b.i("mov m64, r64", {PB::mem(RSI, 0), PB::gpr(RAX)});
+    b.i("add r64, m64", {PB::gpr(RAX), PB::mem(RSI, 0)});
+    b.i("add r64, imm32", {PB::gpr(RSI), PB::imm(64)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", top);
+    return b.build();
+}
+
+} // namespace
+
+TEST(Snapshot, ResumeFromAnyCycleMatchesStraightRun)
+{
+    const TestProgram program = loopStoreLoad();
+    Core probe{CoreConfig{}};
+    const SimResult ref = probe.run(program);
+    ASSERT_EQ(ref.exit, SimResult::Exit::Finished);
+    ASSERT_GT(ref.cycles, 20u);
+
+    // Cycle 0, a handful of interior cycles, and the last full cycle.
+    checkResumeAt(program, 0);
+    checkResumeAt(program, 1);
+    checkResumeAt(program, ref.cycles / 2);
+    checkResumeAt(program, ref.cycles - 1);
+}
+
+TEST(Snapshot, PropertyRandomProgramsRandomCycles)
+{
+    // The paper-style generator produces programs mixing ALU, FP,
+    // loads/stores and flag traffic; resume must be exact at uniformly
+    // random cycles on every one of them.
+    museqgen::GenConfig gcfg;
+    gcfg.numInstructions = 120;
+    const museqgen::MuSeqGen gen(gcfg);
+
+    Rng rng(0xF0121);
+    for (int trial = 0; trial < 6; ++trial) {
+        const TestProgram program = gen.generate(rng);
+        Core straight{CoreConfig{}};
+        const SimResult ref = straight.run(program);
+        ASSERT_EQ(ref.exit, SimResult::Exit::Finished)
+            << program.name;
+        for (int k = 0; k < 3; ++k)
+            checkResumeAt(program, rng.below(ref.cycles));
+    }
+}
+
+TEST(Snapshot, ResumeAcrossEqualProgramCopies)
+{
+    // Snapshots reference instructions by PC, not by pointer: a
+    // snapshot taken while running one TestProgram object must resume
+    // against a different object with equal content (exactly what the
+    // fingerprint-keyed golden cache does across campaigns).
+    const TestProgram original = loopStoreLoad();
+    const TestProgram copy = original;
+
+    Core recording{CoreConfig{}};
+    SnapshotCapture capture(10);
+    const SimResult ref =
+        recording.run(original, nullptr, &capture);
+    ASSERT_TRUE(capture.snap);
+
+    Core resumed{CoreConfig{}};
+    const SimResult res = resumed.resumeFrom(*capture.snap, copy);
+    expectSameResult(ref, res);
+}
+
+TEST(Snapshot, DigestsAgreeBetweenIdenticalRuns)
+{
+    const TestProgram program = loopStoreLoad();
+    DigestTrace a, b;
+    Core coreA{CoreConfig{}}, coreB{CoreConfig{}};
+    coreA.run(program, nullptr, &a);
+    coreB.run(program, nullptr, &b);
+    ASSERT_EQ(a.digests.size(), b.digests.size());
+    EXPECT_EQ(a.digests, b.digests);
+    // And the digest is not a constant: state evolves cycle to cycle.
+    ASSERT_GT(a.digests.size(), 2u);
+    EXPECT_NE(a.digests.front(), a.digests.back());
+}
+
+TEST(Snapshot, DigestsAgreeAfterResume)
+{
+    // A resumed run must not only end identically but pass through
+    // the same per-cycle digests as the straight run's suffix.
+    const TestProgram program = loopStoreLoad();
+    DigestTrace straightTrace;
+    Core straight{CoreConfig{}};
+    straight.run(program, nullptr, &straightTrace);
+
+    const std::uint64_t at = straightTrace.digests.size() / 3;
+    Core recording{CoreConfig{}};
+    SnapshotCapture capture(at);
+    recording.run(program, nullptr, &capture);
+    ASSERT_TRUE(capture.snap);
+
+    DigestTrace resumedTrace;
+    Core resumed{CoreConfig{}};
+    resumed.resumeFrom(*capture.snap, program, nullptr,
+                       &resumedTrace);
+    ASSERT_EQ(resumedTrace.digests.size(),
+              straightTrace.digests.size() - at);
+    for (std::size_t i = 0; i < resumedTrace.digests.size(); ++i)
+        ASSERT_EQ(resumedTrace.digests[i],
+                  straightTrace.digests[at + i])
+            << "digest diverged at resumed cycle " << at + i;
+}
+
+namespace
+{
+
+/** Stops the core at a fixed cycle. */
+class StopAt : public CoreProbe
+{
+  public:
+    explicit StopAt(std::uint64_t at_cycle) : at(at_cycle) {}
+
+    void
+    onCycleBegin(Core &core, std::uint64_t cycle) override
+    {
+        if (cycle >= at)
+            core.requestStop();
+    }
+
+    std::uint64_t at;
+};
+
+} // namespace
+
+TEST(Snapshot, RequestStopEndsRunWithStoppedExit)
+{
+    const TestProgram program = loopStoreLoad();
+    StopAt stopper(7);
+    Core core{CoreConfig{}};
+    const SimResult sim = core.run(program, nullptr, &stopper);
+    EXPECT_EQ(sim.exit, SimResult::Exit::Stopped);
+    EXPECT_EQ(sim.cycles, 7u);
+}
