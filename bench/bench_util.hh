@@ -56,29 +56,67 @@ silifuzzTests(unsigned num_tests = 5, unsigned iterations = 8000,
     return tests;
 }
 
-/** Grade one program: coverage + SFI detection for @p target. */
+/** One program graded against all six structures at once. */
+struct GradedAllProgram
+{
+    std::string suite;
+    std::string name;
+    isa::TestProgram program;
+    coverage::CoverageVector cov;
+};
+
+/** Grade all six structure coverages of one workload in a single
+ *  cache-aware instrumented simulation; the golden run it performs
+ *  also seeds the fault campaign's golden cache, so later per-target
+ *  campaigns on the same program skip their own golden runs. */
+inline GradedAllProgram
+gradeAll(const baselines::Workload &workload)
+{
+    GradedAllProgram g;
+    g.suite = workload.suite;
+    g.name = workload.name;
+    g.program = workload.program;
+    g.cov = faultsim::FaultCampaign::measureAllCoverageCached(
+        workload.program, uarch::CoreConfig{});
+    return g;
+}
+
+/** SFI detection of @p program for @p target. The campaign's golden
+ *  run hits the cache when gradeAll already simulated the program. */
+inline double
+gradeDetection(const isa::TestProgram &program,
+               coverage::TargetStructure target,
+               unsigned injections = kInjections, std::uint64_t seed = 1)
+{
+    faultsim::CampaignConfig camp =
+        faultsim::CampaignConfig::forTarget(target);
+    camp.numInjections = injections;
+    camp.seed = seed;
+    const auto res = faultsim::FaultCampaign::run(program, camp);
+    return res.goldenOk ? res.detection() : 0.0;
+}
+
+/** Project one target's row out of an all-structure grading. */
+inline GradedProgram
+project(const GradedAllProgram &g, coverage::TargetStructure target,
+        double detection)
+{
+    return GradedProgram{g.suite, g.name,      g.program,
+                         g.cov[target], detection, g.cov.sim.cycles};
+}
+
+/** Grade one program: coverage + SFI detection for @p target. One
+ *  all-structure session measures the coverage; the campaign then
+ *  reuses the session's cached golden run. */
 inline GradedProgram
 grade(const baselines::Workload &workload,
       coverage::TargetStructure target,
       unsigned injections = kInjections, std::uint64_t seed = 1)
 {
-    GradedProgram g;
-    g.suite = workload.suite;
-    g.name = workload.name;
-    g.program = workload.program;
-    const auto cov = coverage::measureCoverage(
-        workload.program, target, uarch::CoreConfig{});
-    g.coverage = cov.coverage;
-    g.cycles = cov.sim.cycles;
-
-    faultsim::CampaignConfig camp =
-        faultsim::CampaignConfig::forTarget(target);
-    camp.numInjections = injections;
-    camp.seed = seed;
-    const auto res =
-        faultsim::FaultCampaign::run(workload.program, camp);
-    g.detection = res.goldenOk ? res.detection() : 0.0;
-    return g;
+    const GradedAllProgram all = gradeAll(workload);
+    return project(all, target,
+                   gradeDetection(workload.program, target, injections,
+                                  seed));
 }
 
 /** Print one coverage/detection row. */

@@ -33,13 +33,21 @@ main()
     for (auto &w : silifuzzTests())
         workloads.push_back(std::move(w));
 
+    // One composed-session simulation grades each workload against
+    // every structure at once; the per-target campaigns below then
+    // reuse its cached golden run.
+    std::vector<GradedAllProgram> graded;
+    for (const auto &w : workloads)
+        graded.push_back(gradeAll(w));
+
     for (auto target :
          {TargetStructure::IntRegFile, TargetStructure::L1DCache}) {
         std::printf("\n--- %s ---\n", coverage::structureName(target));
         std::vector<GradedProgram> rows;
         int aceViolations = 0;
-        for (const auto &w : workloads) {
-            rows.push_back(grade(w, target));
+        for (const auto &g : graded) {
+            rows.push_back(project(
+                g, target, gradeDetection(g.program, target)));
             printRow(rows.back());
             // ACE is an upper bound on detection (allow SFI noise).
             if (rows.back().detection >

@@ -39,13 +39,21 @@ main()
         TargetStructure::FpAdder,      TargetStructure::FpMultiplier,
     };
 
+    // One composed-session simulation grades each workload against
+    // every structure at once; the per-target campaigns below then
+    // reuse its cached golden run.
+    std::vector<GradedAllProgram> graded;
+    for (const auto &w : workloads)
+        graded.push_back(gradeAll(w));
+
     std::printf("\n  %-18s %-11s %8s %8s\n", "structure", "framework",
                 "max", "avg");
     for (auto target : targets) {
         // Baselines, grouped by suite.
         std::map<std::string, std::vector<GradedProgram>> bySuite;
-        for (const auto &w : workloads)
-            bySuite[w.suite].push_back(grade(w, target, injections));
+        for (const auto &g : graded)
+            bySuite[g.suite].push_back(project(
+                g, target, gradeDetection(g.program, target, injections)));
 
         // Harpocrates: refine for this structure, then grade.
         core::LoopConfig cfg = core::presetFor(target, 1.0);

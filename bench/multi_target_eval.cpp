@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Single-pass evaluation sessions vs per-target grading loops.
+ *
+ * Grades a mixed workload set (MiBench + OpenDCDiag + SiliFuzz) two
+ * ways and counts core simulations started for each:
+ *
+ *  - path A (pre-session shape): one measureCoverage call per target
+ *    structure per program, the loop every multi-structure caller used
+ *    to run — six simulations per program;
+ *  - path B: one measureAllCoverage call per program — one composed
+ *    ProbeSet session carrying all six analysers.
+ *
+ * Asserts the two paths agree bit-for-bit on every coverage value,
+ * then demonstrates the unified golden cache: a cached all-structure
+ * grading seeds the fault campaign's golden entry, so per-target
+ * campaigns on the same program skip their golden runs entirely.
+ *
+ * Emits BENCH_multitarget.json for the perf-tracking harness; the
+ * acceptance bar is a >= 3x reduction in simulations per program.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.hh"
+
+using namespace harpo;
+using namespace harpo::bench;
+using coverage::TargetStructure;
+
+int
+main(int argc, char **argv)
+{
+    // Optional CLI: restrict path A to named structures (exercises
+    // parseStructure; default = all six).
+    std::vector<TargetStructure> targets;
+    for (int i = 1; i < argc; ++i) {
+        const auto parsed = coverage::parseStructure(argv[i]);
+        if (!parsed) {
+            std::fprintf(stderr, "unknown structure '%s'; known:",
+                         argv[i]);
+            for (const auto &info : coverage::allStructures())
+                std::fprintf(stderr, " %s", info.name);
+            std::fprintf(stderr, "\n");
+            return 1;
+        }
+        targets.push_back(*parsed);
+    }
+    if (targets.empty()) {
+        for (const auto &info : coverage::allStructures())
+            targets.push_back(info.target);
+    }
+
+    auto workloads = baselines::mibenchSuite();
+    for (auto &w : baselines::dcdiagSuite())
+        workloads.push_back(std::move(w));
+    for (auto &w : silifuzzTests())
+        workloads.push_back(std::move(w));
+
+    std::printf("=== multi-target evaluation: %zu programs x %zu "
+                "structures ===\n",
+                workloads.size(), targets.size());
+    const uarch::CoreConfig core{};
+
+    // --- Path A: the old shape, one measurement per target. ---
+    const std::uint64_t simsBeforeA = uarch::Core::simulationsStarted();
+    std::vector<std::vector<coverage::CoverageResult>> perTarget;
+    for (const auto &w : workloads) {
+        std::vector<coverage::CoverageResult> rows;
+        for (const auto target : targets)
+            rows.push_back(
+                coverage::measureCoverage(w.program, target, core));
+        perTarget.push_back(std::move(rows));
+    }
+    const std::uint64_t simsA =
+        uarch::Core::simulationsStarted() - simsBeforeA;
+
+    // --- Path B: one composed session per program. ---
+    const std::uint64_t simsBeforeB = uarch::Core::simulationsStarted();
+    std::vector<coverage::CoverageVector> vectors;
+    for (const auto &w : workloads)
+        vectors.push_back(coverage::measureAllCoverage(w.program, core));
+    const std::uint64_t simsB =
+        uarch::Core::simulationsStarted() - simsBeforeB;
+
+    // --- Identity: the session must not perturb any measurement. ---
+    unsigned mismatches = 0;
+    for (std::size_t p = 0; p < workloads.size(); ++p) {
+        for (std::size_t t = 0; t < targets.size(); ++t) {
+            const double solo = perTarget[p][t].coverage;
+            const double composed = vectors[p][targets[t]];
+            if (solo != composed) {
+                std::fprintf(stderr,
+                             "MISMATCH %s/%s %s: solo=%.17g "
+                             "composed=%.17g\n",
+                             workloads[p].suite.c_str(),
+                             workloads[p].name.c_str(),
+                             coverage::structureName(targets[t]), solo,
+                             composed);
+                ++mismatches;
+            }
+        }
+        if (perTarget[p].front().sim.cycles != vectors[p].sim.cycles) {
+            std::fprintf(stderr, "MISMATCH %s/%s: cycle counts\n",
+                         workloads[p].suite.c_str(),
+                         workloads[p].name.c_str());
+            ++mismatches;
+        }
+    }
+
+    const double reduction =
+        simsB == 0 ? 0.0
+                   : static_cast<double>(simsA) /
+                         static_cast<double>(simsB);
+    std::printf("  path A (per-target loop):   %lu simulations\n",
+                static_cast<unsigned long>(simsA));
+    std::printf("  path B (composed session):  %lu simulations\n",
+                static_cast<unsigned long>(simsB));
+    std::printf("  reduction: %.1fx, identity: %s\n", reduction,
+                mismatches == 0 ? "bit-exact" : "BROKEN");
+
+    // --- Unified golden cache: grade-then-campaign shares one run. ---
+    // A cached all-structure grading records trace + fork plan +
+    // coverage; the per-target campaigns that follow hit that entry
+    // instead of re-simulating the golden execution.
+    const auto &probe = workloads.front();
+    const std::uint64_t hitsBefore =
+        faultsim::FaultCampaign::goldenCacheHits();
+    const std::uint64_t simsBeforeC = uarch::Core::simulationsStarted();
+    (void)faultsim::FaultCampaign::measureAllCoverageCached(
+        probe.program, core);
+    for (const auto target : targets) {
+        faultsim::CampaignConfig camp =
+            faultsim::CampaignConfig::forTarget(target);
+        camp.numInjections = 20;
+        camp.seed = 7;
+        (void)faultsim::FaultCampaign::run(probe.program, camp);
+    }
+    const std::uint64_t campaignGoldenHits =
+        faultsim::FaultCampaign::goldenCacheHits() - hitsBefore;
+    const std::uint64_t simsCampaigns =
+        uarch::Core::simulationsStarted() - simsBeforeC;
+    std::printf("  campaign sharing: %lu golden-cache hits across %zu "
+                "per-target campaigns after one cached grading\n",
+                static_cast<unsigned long>(campaignGoldenHits),
+                targets.size());
+
+    JsonWriter json;
+    json.beginObject();
+    json.key("benchmark").value(std::string("multi_target_eval"));
+    json.key("programs").value(std::uint64_t(workloads.size()));
+    json.key("structures").value(std::uint64_t(targets.size()));
+    json.key("sims_per_target_loop").value(simsA);
+    json.key("sims_composed_session").value(simsB);
+    json.key("sim_reduction").value(reduction);
+    json.key("identity_bit_exact").value(mismatches == 0);
+    json.key("campaign_golden_cache_hits").value(campaignGoldenHits);
+    json.key("campaign_total_sims").value(simsCampaigns);
+    json.endObject();
+    if (!json.save("BENCH_multitarget.json")) {
+        std::fprintf(stderr, "failed to write BENCH_multitarget.json\n");
+        return 1;
+    }
+    std::printf("  wrote BENCH_multitarget.json\n");
+
+    // The acceptance bar is 3x for the all-six default; a CLI-restricted
+    // run can at best reduce by its own target count.
+    const double requiredReduction =
+        std::min(3.0, 0.9 * static_cast<double>(targets.size()));
+    if (mismatches != 0 || reduction < requiredReduction) {
+        std::fprintf(stderr,
+                     "FAIL: identity mismatches=%u, reduction=%.1fx "
+                     "(need bit-exact and >= %.1fx)\n",
+                     mismatches, reduction, requiredReduction);
+        return 1;
+    }
+    return 0;
+}

@@ -7,16 +7,19 @@
  *  - "Fleetscanner mode": out-of-production scans push for maximal
  *    detection without a time constraint.
  *
- * This example configures Harpocrates both ways for the SSE FP
- * multiplier and then plays the resulting screens over a simulated
- * rack of CPUs, some of which carry a permanent gate defect.
+ * This example configures Harpocrates both ways for a functional-unit
+ * target (default: the SSE FP multiplier; pick another with
+ * `--target <name>`) and then plays the resulting screens over a
+ * simulated rack of CPUs, some of which carry a permanent gate defect.
  */
 
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "common/rng.hh"
 #include "core/harpocrates.hh"
+#include "coverage/measure.hh"
 #include "faultsim/campaign.hh"
 #include "gates/fu_library.hh"
 #include "uarch/core.hh"
@@ -27,7 +30,7 @@ using coverage::TargetStructure;
 namespace
 {
 
-/** A simulated CPU: healthy, or with one stuck gate in the FP mult. */
+/** A simulated CPU: healthy, or with one stuck gate in the unit. */
 struct FleetCpu
 {
     int id;
@@ -39,32 +42,69 @@ struct FleetCpu
 /** Run a screening program on one CPU; true = flagged as faulty. */
 bool
 screenCpu(const isa::TestProgram &test, const FleetCpu &cpu,
-          std::uint64_t golden_signature)
+          isa::FuCircuit circuit, std::uint64_t golden_signature)
 {
     uarch::Core core{uarch::CoreConfig{}};
     if (!cpu.defective) {
         return core.run(test).signature != golden_signature;
     }
-    faultsim::FaultyArithModel arith(isa::FuCircuit::FpMul, cpu.gate,
-                                     cpu.stuckValue);
+    faultsim::FaultyArithModel arith(circuit, cpu.gate, cpu.stuckValue);
     const auto sim = core.run(test, &arith);
     return sim.crashed() || sim.signature != golden_signature;
+}
+
+/** Print all six structure coverages of one screening program,
+ *  measured in a single composed-session simulation. */
+void
+printCoverageVector(const char *label, const isa::TestProgram &program)
+{
+    const coverage::CoverageVector cov =
+        coverage::measureAllCoverage(program, uarch::CoreConfig{});
+    std::printf("%-13s: coverage", label);
+    for (const auto &info : coverage::allStructures())
+        std::printf("  %s=%.3f", info.name, cov[info.target]);
+    std::printf("\n");
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    TargetStructure target = TargetStructure::FpMultiplier;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--target") == 0 && i + 1 < argc) {
+            const auto parsed = coverage::parseStructure(argv[++i]);
+            if (!parsed || coverage::isBitArray(*parsed)) {
+                std::fprintf(stderr,
+                             "unknown or non-functional-unit target "
+                             "'%s'; choose one of:",
+                             argv[i]);
+                for (const auto &info : coverage::allStructures()) {
+                    if (!info.bitArray)
+                        std::fprintf(stderr, " %s", info.name);
+                }
+                std::fprintf(stderr, "\n");
+                return 1;
+            }
+            target = *parsed;
+        } else {
+            std::fprintf(stderr, "usage: %s [--target <structure>]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+    const isa::FuCircuit circuit = coverage::circuitFor(target);
+    std::printf("screening target: %s\n",
+                coverage::structureName(target));
+
     // --- Build the two screening programs. ---
     // Ripple: short programs (tight budget), fewer refinement rounds.
-    core::LoopConfig ripple =
-        core::presetFor(TargetStructure::FpMultiplier, 0.4);
+    core::LoopConfig ripple = core::presetFor(target, 0.4);
     ripple.gen.numInstructions = 150;
     ripple.seed = 11;
     // Fleetscanner: longer programs, more refinement.
-    core::LoopConfig scanner =
-        core::presetFor(TargetStructure::FpMultiplier, 0.6);
+    core::LoopConfig scanner = core::presetFor(target, 0.6);
     scanner.gen.numInstructions = 600;
     scanner.seed = 12;
 
@@ -75,11 +115,14 @@ main()
                 scanner.gen.numInstructions);
     const auto scannerResult = core::Harpocrates(scanner).run();
 
+    // What else does each screen cover? All six structures from one
+    // simulation each.
+    printCoverageVector("ripple", rippleResult.bestProgram);
+    printCoverageVector("fleetscanner", scannerResult.bestProgram);
+
     // --- Simulate a 60-CPU fleet at ~5% defect rate. ---
-    const auto &gatesList = gates::FuLibrary::instance()
-                                .fpMultiplier()
-                                .netlist()
-                                .logicGates();
+    const auto &gatesList =
+        gates::FuLibrary::instance().netlistFor(circuit).logicGates();
     Rng rng(0xF1EE7);
     std::vector<FleetCpu> fleet;
     int defects = 0;
@@ -93,8 +136,8 @@ main()
         }
         fleet.push_back(cpu);
     }
-    std::printf("fleet: 60 CPUs, %d with a permanent FP-mult defect\n",
-                defects);
+    std::printf("fleet: 60 CPUs, %d with a permanent %s defect\n",
+                defects, coverage::structureName(target));
 
     // --- Run both screens over the fleet. ---
     for (const auto &[label, result] :
@@ -105,8 +148,8 @@ main()
         const auto golden = core.run(result.bestProgram);
         int caught = 0, falseAlarms = 0;
         for (const auto &cpu : fleet) {
-            const bool flagged =
-                screenCpu(result.bestProgram, cpu, golden.signature);
+            const bool flagged = screenCpu(result.bestProgram, cpu,
+                                           circuit, golden.signature);
             if (flagged && cpu.defective)
                 ++caught;
             if (flagged && !cpu.defective)

@@ -3,6 +3,14 @@
 # once plain and once under ASan+UBSan (-DHARPO_SANITIZE=ON). Run from
 # anywhere; build trees live in build/ and build-sanitize/.
 #
+# Tests run tier by tier — unit first, then integration, then slow
+# (ctest labels set by harpo_test) — so a broken unit test fails the
+# run in seconds instead of after the multi-minute end-to-end suite.
+#
+# When ccache is installed it is used as the compiler launcher; CI
+# persists its cache across runs keyed on the compiler and the
+# CMakeLists.txt hashes.
+#
 # Usage: check.sh [plain|sanitize|all]
 #   plain     build/ctest only            (CI's fast job)
 #   sanitize  build-sanitize/ctest only   (CI's sanitizer job)
@@ -12,14 +20,22 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 suite="${1:-all}"
 
+launcher_args=()
+if command -v ccache > /dev/null 2>&1; then
+    launcher_args+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 run_suite() {
     local dir="$1"; shift
     echo "==> configure ${dir} ($*)"
-    cmake -B "${repo}/${dir}" -S "${repo}" "$@"
+    cmake -B "${repo}/${dir}" -S "${repo}" "${launcher_args[@]}" "$@"
     echo "==> build ${dir}"
     cmake --build "${repo}/${dir}" -j
-    echo "==> ctest ${dir}"
-    (cd "${repo}/${dir}" && ctest --output-on-failure -j "$(nproc)")
+    for tier in unit integration slow; do
+        echo "==> ctest ${dir} [${tier}]"
+        (cd "${repo}/${dir}" &&
+             ctest --output-on-failure -j "$(nproc)" -L "${tier}")
+    done
 }
 
 case "${suite}" in

@@ -60,6 +60,15 @@ Harpocrates::Harpocrates(LoopConfig config) : cfg(std::move(config))
 {
     panicIf(cfg.topK == 0 || cfg.topK > cfg.population,
             "Harpocrates: invalid topK");
+    if (cfg.fitness == FitnessKind::MultiTarget) {
+        double sum = 0.0;
+        for (const double w : cfg.targetWeights) {
+            panicIf(w < 0.0, "Harpocrates: negative targetWeight");
+            sum += w;
+        }
+        panicIf(sum == 0.0, "Harpocrates: MultiTarget fitness needs at "
+                            "least one non-zero targetWeight");
+    }
     evalCore = cfg.core;
     evalCore.budget = &cfg.budget;
 }
@@ -77,6 +86,15 @@ Harpocrates::fingerprint(const LoopConfig &config)
     hash.addWord(config.useCrossover);
     hash.addWord(config.detectionEvery);
     hash.addWord(config.detectionInjections);
+    // Weights only steer MultiTarget runs; hashing them elsewhere would
+    // needlessly invalidate checkpoints written before they existed.
+    if (config.fitness == FitnessKind::MultiTarget) {
+        for (const double weight : config.targetWeights) {
+            std::uint64_t bits;
+            std::memcpy(&bits, &weight, sizeof(bits));
+            hash.addWord(bits);
+        }
+    }
 
     const museqgen::GenConfig &gen = config.gen;
     hash.addWord(gen.numInstructions);
@@ -133,8 +151,24 @@ Harpocrates::fitnessOf(const isa::TestProgram &program) const
             throw Error::badProgram(
                 "FitnessKind::Custom requires customFitness");
         return cfg.customFitness(program);
+      case FitnessKind::MultiTarget:
+        // The eval loop measures the full vector (it also feeds the
+        // per-structure stats); this path serves direct callers.
+        return weightedFitness(
+            coverage::measureAllCoverage(program, evalCore));
     }
     return 0.0;
+}
+
+double
+Harpocrates::weightedFitness(const coverage::CoverageVector &cov) const
+{
+    double weighted = 0.0, sum = 0.0;
+    for (std::size_t s = 0; s < coverage::numTargetStructures; ++s) {
+        weighted += cfg.targetWeights[s] * cov.coverage[s];
+        sum += cfg.targetWeights[s];
+    }
+    return weighted / sum; // sum > 0, enforced by the constructor
 }
 
 LoopResult
@@ -176,6 +210,12 @@ Harpocrates::resume(const resilience::LoopCheckpoint &checkpoint)
     result.timing = checkpoint.timing;
     result.programsEvaluated = checkpoint.programsEvaluated;
     result.instructionsGenerated = checkpoint.instructionsGenerated;
+    // Per-structure bests are a pure function of the history; rebuild
+    // them rather than widening the checkpoint format further.
+    for (const core::GenerationStats &stats : result.history)
+        for (std::size_t s = 0; s < coverage::numTargetStructures; ++s)
+            result.bestByStructure[s] = std::max(
+                result.bestByStructure[s], stats.bestByStructure[s]);
 
     return runLoop(gen, rng, checkpoint.population,
                    checkpoint.nextGeneration, std::move(result));
@@ -191,6 +231,9 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
 
     std::vector<isa::TestProgram> programs(cfg.population);
     std::vector<double> fitness(cfg.population, 0.0);
+    const bool multiTarget = cfg.fitness == FitnessKind::MultiTarget;
+    std::vector<coverage::CoverageVector> covVectors(
+        multiTarget ? cfg.population : 0);
 
     for (unsigned generation = first_generation;
          generation < cfg.generations; ++generation) {
@@ -235,7 +278,13 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
                 if (cfg.budget.expired())
                     throw Error::budget(
                         "generation evaluation interrupted");
-                fitness[i] = fitnessOf(programs[i]);
+                if (multiTarget) {
+                    covVectors[i] = coverage::measureAllCoverage(
+                        programs[i], evalCore);
+                    fitness[i] = weightedFitness(covVectors[i]);
+                } else {
+                    fitness[i] = fitnessOf(programs[i]);
+                }
             };
             try {
                 if (cfg.fitness == FitnessKind::RandomSearch) {
@@ -275,6 +324,13 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
         for (unsigned k = 0; k < cfg.topK; ++k)
             meanTop += fitness[order[k]];
         stats.meanTopK = meanTop / cfg.topK;
+        if (multiTarget) {
+            stats.bestByStructure = covVectors[order[0]].coverage;
+            for (std::size_t s = 0; s < coverage::numTargetStructures;
+                 ++s)
+                result.bestByStructure[s] = std::max(
+                    result.bestByStructure[s], stats.bestByStructure[s]);
+        }
 
         if (stats.bestCoverage >= result.bestCoverage) {
             result.bestCoverage = stats.bestCoverage;

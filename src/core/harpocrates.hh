@@ -15,6 +15,7 @@
 #ifndef HARPOCRATES_CORE_HARPOCRATES_HH
 #define HARPOCRATES_CORE_HARPOCRATES_HH
 
+#include <array>
 #include <functional>
 #include <string>
 #include <vector>
@@ -46,6 +47,12 @@ enum class FitnessKind : std::uint8_t
     RandomSearch,
     /** User-supplied objective (LoopConfig::customFitness). */
     Custom,
+    /** Weighted sum of all six structure coverages, measured in ONE
+     *  simulation per candidate (coverage::measureAllCoverage), so
+     *  one evolved population serves several structures at the cost
+     *  of single-target grading. Weights: LoopConfig::targetWeights;
+     *  per-structure bests: GenerationStats/LoopResult. */
+    MultiTarget,
 };
 
 /** Loop configuration. */
@@ -60,6 +67,13 @@ struct LoopConfig
     std::uint64_t seed = 1;
     uarch::CoreConfig core{};
     FitnessKind fitness = FitnessKind::HardwareCoverage;
+    /** Per-structure weights of the MultiTarget objective, indexed by
+     *  TargetStructure value. Fitness is the weight-normalised sum
+     *  sum(w[s] * coverage[s]) / sum(w), so it stays in [0, 1]. Zero
+     *  weights exclude a structure; at least one must be non-zero.
+     *  Ignored by every other FitnessKind. */
+    std::array<double, coverage::numTargetStructures> targetWeights{
+        1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
     /** Use k-point crossover in addition to replacement mutation. */
     bool useCrossover = false;
     /** Sample fault detection of the best program every N generations
@@ -92,6 +106,9 @@ struct GenerationStats
     double meanTopK = 0.0;
     /** Sampled detection capability (-1 when not sampled). */
     double detection = -1.0;
+    /** All six structure coverages of this generation's best-fitness
+     *  program (MultiTarget runs only; all-zero otherwise). */
+    std::array<double, coverage::numTargetStructures> bestByStructure{};
 };
 
 /** Wall-clock breakdown across the whole run (Table I). */
@@ -117,6 +134,9 @@ struct LoopResult
     museqgen::Genome bestGenome;
     isa::TestProgram bestProgram;
     double bestCoverage = 0.0;
+    /** Per-structure running best over all generations' best programs
+     *  (MultiTarget runs only; all-zero otherwise). */
+    std::array<double, coverage::numTargetStructures> bestByStructure{};
     TimingBreakdown timing;
     std::uint64_t programsEvaluated = 0;
     std::uint64_t instructionsGenerated = 0;
@@ -153,6 +173,7 @@ class Harpocrates
 
   private:
     double fitnessOf(const isa::TestProgram &program) const;
+    double weightedFitness(const coverage::CoverageVector &cov) const;
     LoopResult runLoop(museqgen::MuSeqGen &gen, Rng &rng,
                        std::vector<museqgen::Genome> population,
                        unsigned first_generation, LoopResult result);

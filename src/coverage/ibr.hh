@@ -22,13 +22,14 @@
 namespace harpo::coverage
 {
 
-/** ArithModel decorator accumulating per-unit effective input bits. */
-class IbrArithModel : public isa::ArithModel
+/** ArithModel decorator accumulating per-unit effective input bits.
+ *  Chainable: compose over other observers or an executing fault
+ *  model via uarch::ProbeSet::chain. */
+class IbrArithModel : public isa::ChainedArithModel
 {
   public:
     explicit IbrArithModel(isa::ArithModel *base_model = nullptr)
-        : base(base_model ? base_model
-                          : &isa::ArithModel::functional())
+        : isa::ChainedArithModel(base_model)
     {}
 
     std::uint64_t
@@ -36,7 +37,7 @@ class IbrArithModel : public isa::ArithModel
            bool &carry_out) override
     {
         record(isa::FuCircuit::IntAdd, a, b);
-        return base->intAdd(a, b, carry_in, carry_out);
+        return base().intAdd(a, b, carry_in, carry_out);
     }
 
     void
@@ -44,21 +45,21 @@ class IbrArithModel : public isa::ArithModel
            std::uint64_t &hi) override
     {
         record(isa::FuCircuit::IntMul, a, b);
-        base->intMul(a, b, lo, hi);
+        base().intMul(a, b, lo, hi);
     }
 
     std::uint64_t
     fpAdd(std::uint64_t a, std::uint64_t b) override
     {
         record(isa::FuCircuit::FpAdd, a, b);
-        return base->fpAdd(a, b);
+        return base().fpAdd(a, b);
     }
 
     std::uint64_t
     fpMul(std::uint64_t a, std::uint64_t b) override
     {
         record(isa::FuCircuit::FpMul, a, b);
-        return base->fpMul(a, b);
+        return base().fpMul(a, b);
     }
 
     std::uint64_t
@@ -108,7 +109,6 @@ class IbrArithModel : public isa::ArithModel
         ++opCount[idx];
     }
 
-    isa::ArithModel *base;
     std::array<std::uint64_t, 5> bits{};
     std::array<std::uint64_t, 5> opCount{};
 };

@@ -1,80 +1,114 @@
 #include "coverage/measure.hh"
 
+#include <cstring>
+
 #include "common/logging.hh"
-#include "coverage/ace.hh"
-#include "coverage/ibr.hh"
-#include "coverage/true_ace.hh"
 
 namespace harpo::coverage
 {
 
+const std::array<StructureInfo, numTargetStructures> &
+allStructures()
+{
+    static const std::array<StructureInfo, numTargetStructures> table{{
+        {TargetStructure::IntRegFile, "IRF", isa::FuCircuit::None, true},
+        {TargetStructure::L1DCache, "L1D", isa::FuCircuit::None, true},
+        {TargetStructure::IntAdder, "IntAdder", isa::FuCircuit::IntAdd,
+         false},
+        {TargetStructure::IntMultiplier, "IntMultiplier",
+         isa::FuCircuit::IntMul, false},
+        {TargetStructure::FpAdder, "SSE-FP-Adder", isa::FuCircuit::FpAdd,
+         false},
+        {TargetStructure::FpMultiplier, "SSE-FP-Multiplier",
+         isa::FuCircuit::FpMul, false},
+    }};
+    return table;
+}
+
+namespace
+{
+
+const StructureInfo &
+infoFor(TargetStructure target)
+{
+    const auto idx = static_cast<std::size_t>(target);
+    panicIf(idx >= numTargetStructures,
+            "invalid TargetStructure enum value");
+    const StructureInfo &info = allStructures()[idx];
+    panicIf(info.target != target,
+            "structure descriptor table out of order");
+    return info;
+}
+
+} // namespace
+
 const char *
 structureName(TargetStructure target)
 {
-    switch (target) {
-      case TargetStructure::IntRegFile: return "IRF";
-      case TargetStructure::L1DCache: return "L1D";
-      case TargetStructure::IntAdder: return "IntAdder";
-      case TargetStructure::IntMultiplier: return "IntMultiplier";
-      case TargetStructure::FpAdder: return "SSE-FP-Adder";
-      case TargetStructure::FpMultiplier: return "SSE-FP-Multiplier";
+    return infoFor(target).name;
+}
+
+std::optional<TargetStructure>
+parseStructure(const char *name)
+{
+    if (!name)
+        return std::nullopt;
+    for (const StructureInfo &info : allStructures()) {
+        if (std::strcmp(info.name, name) == 0)
+            return info.target;
     }
-    return "?";
+    return std::nullopt;
 }
 
 isa::FuCircuit
 circuitFor(TargetStructure target)
 {
-    switch (target) {
-      case TargetStructure::IntAdder: return isa::FuCircuit::IntAdd;
-      case TargetStructure::IntMultiplier: return isa::FuCircuit::IntMul;
-      case TargetStructure::FpAdder: return isa::FuCircuit::FpAdd;
-      case TargetStructure::FpMultiplier: return isa::FuCircuit::FpMul;
-      default: return isa::FuCircuit::None;
-    }
+    return infoFor(target).circuit;
 }
 
 bool
 isBitArray(TargetStructure target)
 {
-    return target == TargetStructure::IntRegFile ||
-           target == TargetStructure::L1DCache;
+    return infoFor(target).bitArray;
+}
+
+CoverageVector
+CoverageSession::extract(const uarch::SimResult &sim) const
+{
+    CoverageVector result;
+    result.sim = sim;
+    if (sim.exit != uarch::SimResult::Exit::Finished)
+        return result; // all-zero coverage: unusable test program
+
+    for (const StructureInfo &info : allStructures()) {
+        const auto idx = static_cast<std::size_t>(info.target);
+        if (info.target == TargetStructure::IntRegFile)
+            result.coverage[idx] = irfAce.coverage();
+        else if (info.target == TargetStructure::L1DCache)
+            result.coverage[idx] = l1dAce.coverage();
+        else
+            result.coverage[idx] = ibr.ibr(info.circuit, sim.cycles);
+    }
+    return result;
+}
+
+CoverageVector
+measureAllCoverage(const isa::TestProgram &program,
+                   const uarch::CoreConfig &config)
+{
+    uarch::Core core(config);
+    CoverageSession cov;
+    uarch::ProbeSet session;
+    cov.attach(session);
+    return cov.extract(core.run(program, session));
 }
 
 CoverageResult
 measureCoverage(const isa::TestProgram &program, TargetStructure target,
                 const uarch::CoreConfig &config)
 {
-    CoverageResult result;
-    uarch::Core core(config);
-
-    switch (target) {
-      case TargetStructure::IntRegFile: {
-        // Liveness-refined ACE: only bits that transitively reach an
-        // architectural output count (see true_ace.hh).
-        TrueAceAnalyzer ace;
-        result.sim = core.run(program, nullptr, &ace);
-        result.coverage = ace.coverage();
-        break;
-      }
-      case TargetStructure::L1DCache: {
-        CacheAceAnalyzer ace;
-        result.sim = core.run(program, nullptr, &ace);
-        result.coverage = ace.coverage();
-        break;
-      }
-      default: {
-        IbrArithModel ibr;
-        result.sim = core.run(program, &ibr, nullptr);
-        result.coverage =
-            ibr.ibr(circuitFor(target), result.sim.cycles);
-        break;
-      }
-    }
-
-    if (result.sim.exit != uarch::SimResult::Exit::Finished)
-        result.coverage = 0.0;
-    return result;
+    const CoverageVector all = measureAllCoverage(program, config);
+    return CoverageResult{all[target], all.sim};
 }
 
 } // namespace harpo::coverage

@@ -1,15 +1,23 @@
 /**
  * @file
- * Unified hardware-coverage measurement: given a test program and a
- * target structure, run it once on the core model and return the
- * structure-appropriate coverage metric (ACE for bit arrays, IBR for
- * functional units). This is the fast grading step of the Harpocrates
- * loop (paper step 1).
+ * Unified hardware-coverage measurement: given a test program, run it
+ * once on the core model with every coverage analyser attached as one
+ * composed evaluation session (uarch::ProbeSet) and return all six
+ * structure coverages — ACE for the bit arrays, IBR for the
+ * functional units. This is the fast grading step of the Harpocrates
+ * loop (paper step 1); grading all six structures costs the same one
+ * simulation as grading one (DESIGN.md §9).
  */
 
 #ifndef HARPOCRATES_COVERAGE_MEASURE_HH
 #define HARPOCRATES_COVERAGE_MEASURE_HH
 
+#include <array>
+#include <optional>
+
+#include "coverage/ace.hh"
+#include "coverage/ibr.hh"
+#include "coverage/true_ace.hh"
 #include "isa/program.hh"
 #include "uarch/core.hh"
 
@@ -27,8 +35,28 @@ enum class TargetStructure : std::uint8_t
     FpMultiplier,  ///< SSE FP multiplier, gate-level (permanents)
 };
 
-/** Printable structure name (as used in the paper's figures). */
+inline constexpr std::size_t numTargetStructures = 6;
+
+/** Everything the library knows about one target structure. The
+ *  single source of truth for names, circuits and metric kinds. */
+struct StructureInfo
+{
+    TargetStructure target;
+    const char *name;        ///< as used in the paper's figures
+    isa::FuCircuit circuit;  ///< None for the bit-array targets
+    bool bitArray;           ///< ACE/transients vs IBR/permanents
+};
+
+/** The descriptor table, indexed by TargetStructure value. */
+const std::array<StructureInfo, numTargetStructures> &allStructures();
+
+/** Printable structure name (as used in the paper's figures).
+ *  Panics on an out-of-range enum value. */
 const char *structureName(TargetStructure target);
+
+/** Exact inverse of structureName: the structure whose name is
+ *  @p name, or nullopt when no structure matches. */
+std::optional<TargetStructure> parseStructure(const char *name);
 
 /** The gate circuit backing a functional-unit target (None for the
  *  bit-array targets). */
@@ -45,9 +73,62 @@ struct CoverageResult
     uarch::SimResult sim;         ///< the underlying simulation
 };
 
-/** Measure @p target coverage of @p program on a core of @p config.
- *  Crashing/hanging programs get coverage 0 (they are not usable as
- *  test programs). */
+/** All six structure coverages from one simulation. */
+struct CoverageVector
+{
+    std::array<double, numTargetStructures> coverage{};
+    uarch::SimResult sim;         ///< the underlying simulation
+
+    double
+    operator[](TargetStructure target) const
+    {
+        return coverage[static_cast<std::size_t>(target)];
+    }
+};
+
+/**
+ * The coverage analysers of one evaluation session, bundled so other
+ * subsystems (e.g. the fault campaign's unified golden run) can attach
+ * all-six-structure coverage to a ProbeSet they already drive.
+ */
+class CoverageSession
+{
+  public:
+    /** Chain the IBR model and register the ACE probes on
+     *  @p session. Call before Core::run; the IBR observer stacks
+     *  over whatever model the session already carries. */
+    void
+    attach(uarch::ProbeSet &session)
+    {
+        session.chain(ibr);
+        session.add(&irfAce);
+        session.add(&l1dAce);
+    }
+
+    /** Assemble the vector once the session's run completed with
+     *  @p sim. Non-finished runs yield all-zero coverage. */
+    CoverageVector extract(const uarch::SimResult &sim) const;
+
+  private:
+    TrueAceAnalyzer irfAce;
+    CacheAceAnalyzer l1dAce;
+    IbrArithModel ibr;
+};
+
+/**
+ * Measure all six structure coverages of @p program in ONE core
+ * simulation: TrueAceAnalyzer (IRF), CacheAceAnalyzer (L1D) and
+ * IbrArithModel (the four FUs) ride the same run as a composed
+ * ProbeSet session. Each entry is bit-identical to the corresponding
+ * solo measureCoverage value (probes are pure observers; proven by
+ * tests/coverage/session_test.cpp). Crashing/hanging programs get
+ * all-zero coverage (they are not usable as test programs).
+ */
+CoverageVector measureAllCoverage(const isa::TestProgram &program,
+                                  const uarch::CoreConfig &config);
+
+/** Measure @p target coverage of @p program on a core of @p config —
+ *  a single-structure projection of measureAllCoverage. */
 CoverageResult measureCoverage(const isa::TestProgram &program,
                                TargetStructure target,
                                const uarch::CoreConfig &config);

@@ -147,8 +147,10 @@ coreConfigFingerprint(const uarch::CoreConfig &c)
 }
 
 /** One cached golden run: the classification-relevant results plus
- *  (for functional-unit campaigns) the recorded operand trace and
- *  (for transient storage campaigns) the checkpoint-fork plan. */
+ *  (for functional-unit campaigns) the recorded operand trace, (for
+ *  transient storage campaigns) the checkpoint-fork plan, and (for
+ *  grading) the all-six-structure coverage vector. With unified
+ *  recording all three ride the same simulation. */
 struct GoldenEntry
 {
     bool ok = false; ///< golden run finished cleanly
@@ -159,6 +161,8 @@ struct GoldenEntry
     std::shared_ptr<const std::vector<FuOp>> trace;
     bool planRecorded = false;
     std::shared_ptr<const ForkPlan> plan;
+    bool covRecorded = false;
+    coverage::CoverageVector cov;
 
     /** Heap payload, for the cache's byte budget. */
     std::size_t
@@ -301,7 +305,126 @@ goldenKey(std::uint64_t program_fp, std::uint64_t config_fp)
     return h.value();
 }
 
+/** What a golden-run consumer requires and how to record it. */
+struct GoldenNeeds
+{
+    bool trace = false;  ///< FU operand trace required
+    bool plan = false;   ///< checkpoint-fork plan required
+    bool cov = false;    ///< coverage vector required
+    /** Record everything regardless of what is required, so the
+     *  cached entry also serves consumers with other needs. */
+    bool unified = true;
+    bool cacheEnabled = true;
+    std::uint64_t digestEvery = 64;
+    unsigned maxSnapshots = 24;
+    const RunBudget *budget = nullptr;
+};
+
+/**
+ * Acquire the golden (fault-free) run of @p program on @p core: from
+ * the cache when an entry instrumented for every required need exists,
+ * otherwise by one instrumented golden simulation — the trace
+ * recorder, fork-plan recorder and coverage analysers all ride the
+ * same ProbeSet session — which is then cached for the next consumer.
+ * Returns false when the budget cancelled the run (wall-clock
+ * dependent: never cached).
+ */
+bool
+acquireGolden(const isa::TestProgram &program,
+              const uarch::CoreConfig &core, const GoldenNeeds &needs,
+              GoldenEntry &out)
+{
+    std::uint64_t cacheKey = 0;
+    if (needs.cacheEnabled) {
+        cacheKey = goldenKey(programFingerprint(program),
+                             coreConfigFingerprint(core));
+        GoldenCache &cache = goldenCache();
+        std::lock_guard<std::mutex> lock(cache.mu);
+        const auto it = cache.entries.find(cacheKey);
+        if (it != cache.entries.end() &&
+            (!needs.trace || it->second.entry.traceRecorded) &&
+            (!needs.plan || it->second.entry.planRecorded) &&
+            (!needs.cov || it->second.entry.covRecorded)) {
+            out = it->second.entry;
+            it->second.referenced = true;
+            cache.hits.fetch_add(1);
+            return true;
+        }
+        cache.misses.fetch_add(1);
+    }
+
+    const bool recTrace = needs.trace || needs.unified;
+    const bool recPlan = needs.plan || needs.unified;
+    const bool recCov = needs.cov || needs.unified;
+
+    uarch::CoreConfig goldenCfg = core;
+    goldenCfg.budget = needs.budget;
+    uarch::Core goldenCore(goldenCfg);
+
+    FuTraceRecorder recorder;
+    ForkPlanRecorder planRecorder(needs.digestEvery,
+                                  needs.maxSnapshots);
+    coverage::CoverageSession covSession;
+
+    uarch::ProbeSet session;
+    if (recTrace) {
+        session.chain(recorder);
+        session.add(&recorder); // onCycleBegin timestamps the ops
+    }
+    if (recCov)
+        covSession.attach(session);
+    if (recPlan)
+        session.add(&planRecorder);
+
+    const uarch::SimResult goldenSim = goldenCore.run(program, session);
+    if (goldenSim.exit == uarch::SimResult::Exit::Cancelled)
+        return false;
+
+    out = GoldenEntry{};
+    out.ok = goldenSim.exit == uarch::SimResult::Exit::Finished;
+    out.cycles = goldenSim.cycles;
+    out.signature = goldenSim.signature;
+    out.traceRecorded = recTrace;
+    out.traceOverflow = recTrace && recorder.overflowed();
+    if (recTrace && !recorder.overflowed())
+        out.trace = std::make_shared<const std::vector<FuOp>>(
+            recorder.takeTrace());
+    out.planRecorded = recPlan;
+    if (recPlan)
+        out.plan = planRecorder.takePlan();
+    out.covRecorded = recCov;
+    if (recCov)
+        out.cov = covSession.extract(goldenSim);
+
+    if (needs.cacheEnabled) {
+        GoldenCache &cache = goldenCache();
+        std::lock_guard<std::mutex> lock(cache.mu);
+        cache.insert(cacheKey, out);
+    }
+    return true;
+}
+
 } // namespace
+
+coverage::CoverageVector
+FaultCampaign::measureAllCoverageCached(const isa::TestProgram &program,
+                                        const uarch::CoreConfig &config)
+{
+    const CampaignConfig defaults;
+    GoldenNeeds needs;
+    needs.cov = true;
+    needs.digestEvery = defaults.digestIntervalCycles;
+    needs.maxSnapshots = defaults.maxGoldenSnapshots;
+    needs.budget = config.budget; // honour the caller's budget, if any
+
+    GoldenEntry golden;
+    if (!acquireGolden(program, config, needs, golden)) {
+        coverage::CoverageVector cancelled;
+        cancelled.sim.exit = uarch::SimResult::Exit::Cancelled;
+        return cancelled;
+    }
+    return golden.cov;
+}
 
 void
 FaultCampaign::clearGoldenCache()
@@ -414,58 +537,21 @@ FaultCampaign::run(const isa::TestProgram &program,
     // Golden (fault-free) run — reused from the cache when the same
     // program/core-config pair was already simulated, otherwise run
     // here (bounded by the budget) and cached for the next campaign.
+    // With unified recording, that one run carries trace + plan +
+    // coverage so campaigns on other structures hit the entry too.
+    GoldenNeeds needs;
+    needs.trace = wantTrace;
+    needs.plan = wantPlan;
+    needs.unified = config.unifiedGolden;
+    needs.cacheEnabled = config.goldenCacheEnabled;
+    needs.digestEvery = config.digestIntervalCycles;
+    needs.maxSnapshots = config.maxGoldenSnapshots;
+    needs.budget = &config.budget;
+
     GoldenEntry golden;
-    bool haveGolden = false;
-    std::uint64_t cacheKey = 0;
-    if (config.goldenCacheEnabled) {
-        cacheKey = goldenKey(programFingerprint(program),
-                             coreConfigFingerprint(config.core));
-        GoldenCache &cache = goldenCache();
-        std::lock_guard<std::mutex> lock(cache.mu);
-        const auto it = cache.entries.find(cacheKey);
-        if (it != cache.entries.end() &&
-            (!wantTrace || it->second.entry.traceRecorded) &&
-            (!wantPlan || it->second.entry.planRecorded)) {
-            golden = it->second.entry;
-            it->second.referenced = true;
-            haveGolden = true;
-            cache.hits.fetch_add(1);
-        } else {
-            cache.misses.fetch_add(1);
-        }
-    }
-    if (!haveGolden) {
-        uarch::CoreConfig goldenCfg = config.core;
-        goldenCfg.budget = &config.budget;
-        uarch::Core goldenCore(goldenCfg);
-        FuTraceRecorder recorder;
-        ForkPlanRecorder planRecorder(config.digestIntervalCycles,
-                                      config.maxGoldenSnapshots);
-        const uarch::SimResult goldenSim =
-            wantTrace ? goldenCore.run(program, &recorder, &recorder)
-            : wantPlan
-                ? goldenCore.run(program, nullptr, &planRecorder)
-                : goldenCore.run(program);
-        if (goldenSim.exit == uarch::SimResult::Exit::Cancelled) {
-            result.truncated = true;
-            return result; // wall-clock dependent: never cached
-        }
-        golden.ok = goldenSim.exit == uarch::SimResult::Exit::Finished;
-        golden.cycles = goldenSim.cycles;
-        golden.signature = goldenSim.signature;
-        golden.traceRecorded = wantTrace;
-        golden.traceOverflow = wantTrace && recorder.overflowed();
-        if (wantTrace && !recorder.overflowed())
-            golden.trace = std::make_shared<const std::vector<FuOp>>(
-                recorder.takeTrace());
-        golden.planRecorded = wantPlan;
-        if (wantPlan)
-            golden.plan = planRecorder.takePlan();
-        if (config.goldenCacheEnabled) {
-            GoldenCache &cache = goldenCache();
-            std::lock_guard<std::mutex> lock(cache.mu);
-            cache.insert(cacheKey, golden);
-        }
+    if (!acquireGolden(program, config.core, needs, golden)) {
+        result.truncated = true;
+        return result;
     }
     if (!golden.ok)
         return result; // goldenOk stays false: unusable test program

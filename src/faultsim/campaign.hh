@@ -103,6 +103,17 @@ struct CampaignConfig
      *  change invalidates the entry. */
     bool goldenCacheEnabled = true;
 
+    /** Unified golden recording: the golden run carries the FU operand
+     *  trace, the checkpoint-fork plan AND the all-six coverage vector
+     *  on one composed ProbeSet session regardless of this campaign's
+     *  target, so campaigns on *other* structures (and coverage
+     *  grading via measureAllCoverageCached) hit the cached entry
+     *  instead of re-simulating their own golden run. Classification
+     *  is identical either way (probes are pure observers, DESIGN.md
+     *  §9); disable only for differential testing against per-need
+     *  recording. */
+    bool unifiedGolden = true;
+
     /** Faulty-run cycle watchdog for a given golden runtime. */
     std::uint64_t
     hangBudget(std::uint64_t golden_cycles) const
@@ -199,6 +210,21 @@ class FaultCampaign
                           const CampaignConfig &config,
                           std::uint64_t golden_signature,
                           std::uint64_t golden_cycles);
+
+    /**
+     * Cache-aware all-six-structure grading: returns the coverage
+     * vector recorded by a previous unified golden run of the same
+     * program/core-config pair when available, and otherwise performs
+     * one fully-instrumented golden run (trace + fork plan + coverage)
+     * and caches it — so a later fault campaign on the same program
+     * finds its golden run already done. Values are bit-identical to
+     * coverage::measureAllCoverage. Lives here rather than in
+     * coverage/ because the cache (and the extra recorders it stores)
+     * belong to faultsim.
+     */
+    static coverage::CoverageVector
+    measureAllCoverageCached(const isa::TestProgram &program,
+                             const uarch::CoreConfig &config);
 
     // ---- Golden-run cache controls (process-wide, for tests and
     // telemetry; the cache itself is transparent to results) ----

@@ -45,7 +45,7 @@ struct FuOp
  * sees the exact operands every unit receives, like the IBR analyser)
  * and a CoreProbe (onCycleBegin tags each op with its execute cycle).
  */
-class FuTraceRecorder final : public isa::ArithModel,
+class FuTraceRecorder final : public isa::ChainedArithModel,
                               public uarch::CoreProbe
 {
   public:
@@ -55,7 +55,7 @@ class FuTraceRecorder final : public isa::ArithModel,
     static constexpr std::size_t maxOps = 1u << 20;
 
     explicit FuTraceRecorder(isa::ArithModel *base_model = nullptr)
-        : base(base_model ? base_model : &isa::ArithModel::functional())
+        : isa::ChainedArithModel(base_model)
     {}
 
     std::uint64_t
@@ -63,7 +63,7 @@ class FuTraceRecorder final : public isa::ArithModel,
            bool &carry_out) override
     {
         record(isa::FuCircuit::IntAdd, a, b, carry_in);
-        return base->intAdd(a, b, carry_in, carry_out);
+        return base().intAdd(a, b, carry_in, carry_out);
     }
 
     void
@@ -71,21 +71,21 @@ class FuTraceRecorder final : public isa::ArithModel,
            std::uint64_t &hi) override
     {
         record(isa::FuCircuit::IntMul, a, b, false);
-        base->intMul(a, b, lo, hi);
+        base().intMul(a, b, lo, hi);
     }
 
     std::uint64_t
     fpAdd(std::uint64_t a, std::uint64_t b) override
     {
         record(isa::FuCircuit::FpAdd, a, b, false);
-        return base->fpAdd(a, b);
+        return base().fpAdd(a, b);
     }
 
     std::uint64_t
     fpMul(std::uint64_t a, std::uint64_t b) override
     {
         record(isa::FuCircuit::FpMul, a, b, false);
-        return base->fpMul(a, b);
+        return base().fpMul(a, b);
     }
 
     void
@@ -110,7 +110,6 @@ class FuTraceRecorder final : public isa::ArithModel,
         ops.push_back({circuit, carry_in, a, b, now});
     }
 
-    isa::ArithModel *base;
     std::vector<FuOp> ops;
     std::uint64_t now = 0;
     bool overflow = false;

@@ -44,6 +44,38 @@ class ArithModel
     static ArithModel &functional();
 };
 
+/**
+ * Base class for *observing* ArithModel decorators (IBR accounting,
+ * operand-trace recording): holds the wrapped model and lets an
+ * evaluation session re-point it when several observers are composed
+ * into one chain over the executing model (uarch::ProbeSet::chain).
+ *
+ * Subclasses forward every operation to base() after observing it, so
+ * a chain of observers is value-transparent: the numbers the core sees
+ * are exactly those of the innermost (executing) model.
+ */
+class ChainedArithModel : public ArithModel
+{
+  public:
+    explicit ChainedArithModel(ArithModel *base_model = nullptr)
+        : baseModel(base_model ? base_model : &functional())
+    {}
+
+    /** Re-point the wrapped model (null restores the functional
+     *  model). Used when composing observers into a session chain. */
+    void
+    rebase(ArithModel *base_model)
+    {
+        baseModel = base_model ? base_model : &functional();
+    }
+
+    /** The wrapped model this observer forwards to. */
+    ArithModel &base() const { return *baseModel; }
+
+  private:
+    ArithModel *baseModel;
+};
+
 } // namespace harpo::isa
 
 #endif // HARPOCRATES_ISA_ARITH_MODEL_HH

@@ -58,6 +58,8 @@ LoopCheckpoint::save(const std::string &path) const
         out.f64(stats.bestCoverage);
         out.f64(stats.meanTopK);
         out.f64(stats.detection);
+        for (const double cov : stats.bestByStructure) // v2
+            out.f64(cov);
     }
 
     putGenome(out, bestGenome);
@@ -71,8 +73,9 @@ LoopCheckpoint::save(const std::string &path) const
 LoopCheckpoint
 LoopCheckpoint::load(const std::string &path)
 {
+    std::uint32_t version = 0;
     SnapshotReader in(
-        readSnapshotFile(path, checkpointMagic, kVersion));
+        readSnapshotFile(path, checkpointMagic, kVersion, &version));
 
     LoopCheckpoint ckpt;
     ckpt.configFingerprint = in.u64();
@@ -96,6 +99,10 @@ LoopCheckpoint::load(const std::string &path)
         stats.bestCoverage = in.f64();
         stats.meanTopK = in.f64();
         stats.detection = in.f64();
+        if (version >= 2) {
+            for (double &cov : stats.bestByStructure)
+                cov = in.f64();
+        } // v1: bestByStructure stays all-zero
         ckpt.history.push_back(stats);
     }
 

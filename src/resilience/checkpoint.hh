@@ -33,8 +33,10 @@ namespace harpo::resilience
 struct LoopCheckpoint
 {
     /** File format version; bump when the layout changes. Loaders
-     *  accept any version up to the current one. */
-    static constexpr std::uint32_t kVersion = 1;
+     *  accept any version up to the current one. v2 added the
+     *  per-structure coverage bests to each history entry; v1 files
+     *  load with those fields zeroed. */
+    static constexpr std::uint32_t kVersion = 2;
 
     /** Fingerprint of the semantic LoopConfig fields (seed, sizes,
      *  target, generator policies). Harpocrates::resume refuses a

@@ -1,6 +1,7 @@
 #include "uarch/core.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 
 #include "common/hash.hh"
@@ -15,6 +16,9 @@ namespace harpo::uarch
 
 namespace
 {
+
+/** Process-wide tally of simulations started (run + resumeFrom). */
+std::atomic<std::uint64_t> simsStarted{0};
 
 /** Number of integer/fp destination registers an instruction needs. */
 void
@@ -651,6 +655,7 @@ SimResult
 Core::run(const isa::TestProgram &prog, isa::ArithModel *arith,
           CoreProbe *probe_in)
 {
+    simsStarted.fetch_add(1, std::memory_order_relaxed);
     program = &prog;
     probe = probe_in;
     arithModel = arith ? arith : &isa::ArithModel::functional();
@@ -717,6 +722,12 @@ Core::run(const isa::TestProgram &prog, isa::ArithModel *arith,
     running = true;
 
     return mainLoop();
+}
+
+std::uint64_t
+Core::simulationsStarted()
+{
+    return simsStarted.load(std::memory_order_relaxed);
 }
 
 SimResult
@@ -808,6 +819,7 @@ Core::resumeFrom(const Snapshot &snap, const isa::TestProgram &prog,
                 snap.cache.dataSize() != cfg.l1d.size,
             "resumeFrom: snapshot taken under a different core config");
 
+    simsStarted.fetch_add(1, std::memory_order_relaxed);
     program = &prog;
     probe = probe_in;
     arithModel = arith ? arith : &isa::ArithModel::functional();

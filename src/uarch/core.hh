@@ -218,6 +218,19 @@ class Core
                   CoreProbe *probe = nullptr);
 
     /**
+     * Run @p program under a composed evaluation session: the
+     * session's chained arith model executes and every registered
+     * probe observes the same simulation. Equivalent to the
+     * pointer-pair overload with (session.arithModel(),
+     * session.dispatcher()).
+     */
+    SimResult
+    run(const isa::TestProgram &program, ProbeSet &session)
+    {
+        return run(program, session.arithModel(), session.dispatcher());
+    }
+
+    /**
      * Capture the complete state of the run in flight. Only
      * meaningful between run()/resumeFrom() setup and run end —
      * in practice, from a probe's onCycleBegin, which fires at the
@@ -238,6 +251,22 @@ class Core
                          const isa::TestProgram &program,
                          isa::ArithModel *arith = nullptr,
                          CoreProbe *probe = nullptr);
+
+    /** resumeFrom under a composed evaluation session. */
+    SimResult
+    resumeFrom(const Snapshot &snapshot, const isa::TestProgram &program,
+               ProbeSet &session)
+    {
+        return resumeFrom(snapshot, program, session.arithModel(),
+                          session.dispatcher());
+    }
+
+    /**
+     * Process-wide count of core simulations started (run() and
+     * resumeFrom() both count). Monotonic and thread-safe; benchmarks
+     * difference it around a workload to count simulations performed.
+     */
+    static std::uint64_t simulationsStarted();
 
     /**
      * Digest of all behaviour-relevant state at the top of the

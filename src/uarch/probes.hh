@@ -18,6 +18,10 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "isa/arith_model.hh"
 
 namespace harpo::uarch
 {
@@ -147,6 +151,153 @@ class CoreProbe
         (void)core;
         (void)cycle;
     }
+};
+
+/**
+ * A composable evaluation session: any number of CoreProbes plus a
+ * chain of observing ArithModels over one executing model, attached to
+ * a single simulation.
+ *
+ * Probes are pure observers, so fanning N of them out over one run is
+ * behaviourally identical to N separate runs with one probe each
+ * (DESIGN.md §9). Every hook is forwarded to the registered probes in
+ * registration order. Arith-model observers (ChainedArithModel) are
+ * stacked over the executing model with chain(); each observer
+ * forwards values unchanged, so the core computes with the innermost
+ * model regardless of how many observers watch it.
+ *
+ * Usage:
+ *     ProbeSet session;
+ *     session.model(&faultyModel);     // executing model (optional)
+ *     session.chain(ibr);              // observers, innermost first
+ *     session.add(&trueAce);
+ *     session.add(&cacheAce);
+ *     core.run(program, session);
+ */
+class ProbeSet final : public CoreProbe
+{
+  public:
+    /** Register a probe. Null is tolerated (no-op) so callers can
+     *  pass through optional probes unconditionally. */
+    void
+    add(CoreProbe *p)
+    {
+        if (p)
+            probes_.push_back(p);
+    }
+
+    /** Set the *executing* model at the bottom of the chain (fault
+     *  netlists, or null for the functional model). Must be called
+     *  before any chain() — observers capture the head at chain time. */
+    void
+    model(isa::ArithModel *executing)
+    {
+        panicIf(chained_, "ProbeSet::model after chain — set the "
+                          "executing model before stacking observers");
+        head_ = executing;
+    }
+
+    /** Stack an observing model over the current chain head. The
+     *  observer is rebased onto the head and becomes the new head. */
+    void
+    chain(isa::ChainedArithModel &observer)
+    {
+        observer.rebase(head_);
+        head_ = &observer;
+        chained_ = true;
+    }
+
+    /** The model the core should execute with (null = functional). */
+    isa::ArithModel *arithModel() const { return head_; }
+
+    /** The probe the core should notify: null when no probes are
+     *  registered, the probe itself when there is exactly one (no
+     *  dispatch overhead), this fan-out otherwise. */
+    CoreProbe *
+    dispatcher()
+    {
+        if (probes_.empty())
+            return nullptr;
+        if (probes_.size() == 1)
+            return probes_.front();
+        return this;
+    }
+
+    std::size_t numProbes() const { return probes_.size(); }
+
+    // ---- Fan-out: forward every hook in registration order ----
+    void
+    onCycleBegin(Core &core, std::uint64_t cycle) override
+    {
+        for (CoreProbe *p : probes_)
+            p->onCycleBegin(core, cycle);
+    }
+
+    void
+    onIntRegRead(unsigned phys_reg, unsigned live_bits,
+                 std::uint64_t cycle) override
+    {
+        for (CoreProbe *p : probes_)
+            p->onIntRegRead(phys_reg, live_bits, cycle);
+    }
+
+    void
+    onIntRegWrite(unsigned phys_reg, unsigned arch_reg,
+                  std::uint64_t cycle) override
+    {
+        for (CoreProbe *p : probes_)
+            p->onIntRegWrite(phys_reg, arch_reg, cycle);
+    }
+
+    void
+    onCacheRead(std::uint32_t data_index, unsigned len,
+                std::uint64_t cycle) override
+    {
+        for (CoreProbe *p : probes_)
+            p->onCacheRead(data_index, len, cycle);
+    }
+
+    void
+    onCacheWrite(std::uint32_t data_index, unsigned len,
+                 std::uint64_t cycle) override
+    {
+        for (CoreProbe *p : probes_)
+            p->onCacheWrite(data_index, len, cycle);
+    }
+
+    void
+    onCacheEvict(std::uint32_t data_index, unsigned len, bool dirty,
+                 std::uint64_t cycle) override
+    {
+        for (CoreProbe *p : probes_)
+            p->onCacheEvict(data_index, len, dirty, cycle);
+    }
+
+    void
+    onInstExecuted(const ExecInfo &info) override
+    {
+        for (CoreProbe *p : probes_)
+            p->onInstExecuted(info);
+    }
+
+    void
+    onInstCommitted(std::uint64_t seq) override
+    {
+        for (CoreProbe *p : probes_)
+            p->onInstCommitted(seq);
+    }
+
+    void
+    onRunEnd(Core &core, std::uint64_t cycle) override
+    {
+        for (CoreProbe *p : probes_)
+            p->onRunEnd(core, cycle);
+    }
+
+  private:
+    std::vector<CoreProbe *> probes_;
+    isa::ArithModel *head_ = nullptr;
+    bool chained_ = false;
 };
 
 } // namespace harpo::uarch

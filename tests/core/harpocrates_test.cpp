@@ -220,6 +220,71 @@ TEST(Harpocrates, CancelTokenStopsTheLoop)
     EXPECT_LT(r.history.size(), 100u);
 }
 
+TEST(Harpocrates, MultiTargetFillsPerStructureBests)
+{
+    LoopConfig cfg = tinyConfig(TargetStructure::IntAdder);
+    cfg.fitness = FitnessKind::MultiTarget;
+    Harpocrates loop(cfg);
+    const LoopResult r = loop.run();
+    ASSERT_EQ(r.history.size(), 6u);
+
+    // Every generation carries the best program's full coverage
+    // vector, and the run-level bests are the running max over it.
+    std::array<double, coverage::numTargetStructures> runningMax{};
+    for (const auto &g : r.history) {
+        for (std::size_t s = 0; s < coverage::numTargetStructures;
+             ++s) {
+            EXPECT_GE(g.bestByStructure[s], 0.0);
+            EXPECT_LE(g.bestByStructure[s], 1.0);
+            runningMax[s] =
+                std::max(runningMax[s], g.bestByStructure[s]);
+        }
+    }
+    EXPECT_EQ(r.bestByStructure, runningMax);
+    // An IntAdder-leaning population must actually touch the adder.
+    EXPECT_GT(r.bestByStructure[static_cast<std::size_t>(
+                  TargetStructure::IntAdder)],
+              0.0);
+    EXPECT_GT(r.bestCoverage, 0.0);
+    EXPECT_LE(r.bestCoverage, 1.0);
+}
+
+TEST(Harpocrates, MultiTargetSingleWeightMatchesHardwareCoverage)
+{
+    // Weighting one structure only degenerates MultiTarget into the
+    // plain HardwareCoverage objective: identical fitness values ->
+    // identical selection -> bit-identical refinement trajectory.
+    LoopConfig single = tinyConfig(TargetStructure::IntAdder);
+    const LoopResult hw = Harpocrates(single).run();
+
+    LoopConfig multi = tinyConfig(TargetStructure::IntAdder);
+    multi.fitness = FitnessKind::MultiTarget;
+    multi.targetWeights = {0.0, 0.0, 1.0, 0.0, 0.0, 0.0};
+    const LoopResult mt = Harpocrates(multi).run();
+
+    ASSERT_EQ(mt.history.size(), hw.history.size());
+    for (std::size_t g = 0; g < hw.history.size(); ++g) {
+        EXPECT_EQ(mt.history[g].bestCoverage,
+                  hw.history[g].bestCoverage);
+        EXPECT_EQ(mt.history[g].meanTopK, hw.history[g].meanTopK);
+    }
+    EXPECT_EQ(mt.bestCoverage, hw.bestCoverage);
+    EXPECT_EQ(mt.bestGenome.seq, hw.bestGenome.seq);
+}
+
+TEST(Harpocrates, MultiTargetRejectsUnusableWeights)
+{
+    LoopConfig zero = tinyConfig(TargetStructure::IntAdder);
+    zero.fitness = FitnessKind::MultiTarget;
+    zero.targetWeights = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+    EXPECT_DEATH({ Harpocrates dead(zero); }, "targetWeight");
+
+    LoopConfig negative = tinyConfig(TargetStructure::IntAdder);
+    negative.fitness = FitnessKind::MultiTarget;
+    negative.targetWeights = {1.0, -0.5, 1.0, 1.0, 1.0, 1.0};
+    EXPECT_DEATH({ Harpocrates dead(negative); }, "targetWeight");
+}
+
 TEST(Harpocrates, CustomFitnessDrivesSelection)
 {
     // Custom objective: maximize the number of PUSH instructions.

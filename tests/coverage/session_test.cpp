@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Differential tests for the composed evaluation session: one
+ * measureAllCoverage run must be bit-identical, for every structure, to
+ * standalone runs that attach each analyser on its own — the soundness
+ * claim of DESIGN.md §9 (probes are pure observers, arith observers are
+ * value-transparent).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "coverage/ace.hh"
+#include "coverage/ibr.hh"
+#include "coverage/measure.hh"
+#include "coverage/true_ace.hh"
+#include "isa/builder.hh"
+#include "isa/registers.hh"
+#include "museqgen/museqgen.hh"
+#include "uarch/core.hh"
+#include "uarch/probes.hh"
+
+using namespace harpo;
+using namespace harpo::coverage;
+using namespace harpo::isa;
+using PB = ProgramBuilder;
+
+namespace
+{
+
+/** All six coverages measured the pre-session way: one fresh core run
+ *  per analyser, each attached alone. */
+struct SoloMeasurements
+{
+    double irf = 0.0;
+    double l1d = 0.0;
+    std::array<double, numTargetStructures> byTarget{};
+    uarch::SimResult sim;
+};
+
+SoloMeasurements
+measureSolo(const TestProgram &program)
+{
+    SoloMeasurements m;
+    {
+        TrueAceAnalyzer irf;
+        uarch::Core core{uarch::CoreConfig{}};
+        m.sim = core.run(program, nullptr, &irf);
+        m.irf = irf.coverage();
+    }
+    {
+        CacheAceAnalyzer l1d;
+        uarch::Core core{uarch::CoreConfig{}};
+        core.run(program, nullptr, &l1d);
+        m.l1d = l1d.coverage();
+    }
+    IbrArithModel ibr;
+    uarch::Core core{uarch::CoreConfig{}};
+    const auto sim = core.run(program, &ibr);
+    for (const StructureInfo &info : allStructures()) {
+        const auto idx = static_cast<std::size_t>(info.target);
+        if (info.target == TargetStructure::IntRegFile)
+            m.byTarget[idx] = m.irf;
+        else if (info.target == TargetStructure::L1DCache)
+            m.byTarget[idx] = m.l1d;
+        else
+            m.byTarget[idx] = sim.exit == uarch::SimResult::Exit::Finished
+                                  ? ibr.ibr(info.circuit, sim.cycles)
+                                  : 0.0;
+    }
+    return m;
+}
+
+void
+expectComposedEqualsSolo(const TestProgram &program)
+{
+    const SoloMeasurements solo = measureSolo(program);
+    const CoverageVector all =
+        measureAllCoverage(program, uarch::CoreConfig{});
+
+    EXPECT_EQ(all.sim.exit, solo.sim.exit) << program.name;
+    EXPECT_EQ(all.sim.signature, solo.sim.signature) << program.name;
+    EXPECT_EQ(all.sim.cycles, solo.sim.cycles) << program.name;
+    for (const StructureInfo &info : allStructures()) {
+        const auto idx = static_cast<std::size_t>(info.target);
+        // Bit-exact, not approximate: the session must not perturb
+        // the simulation or the analysers in any way.
+        EXPECT_EQ(all.coverage[idx], solo.byTarget[idx])
+            << program.name << " / " << info.name;
+    }
+}
+
+/** A deterministic program touching every structure: int add/mul,
+ *  SSE add/mul, register traffic and cache traffic. */
+TestProgram
+allStructuresProgram()
+{
+    PB b("allstructs");
+    b.addRegion(0x40000, 8192);
+    b.setGpr(RSI, 0x40000);
+    b.setGpr(RAX, 0x0F0F0F0F0F0F0F0Full);
+    b.setGpr(RBX, 3);
+    b.setGpr(RCX, 30);
+    b.setXmm(0, 0x3FF8000000000000ull);
+    b.setXmm(1, 0x4008000000000000ull);
+    auto top = b.here();
+    b.i("add r64, r64", {PB::gpr(RAX), PB::gpr(RBX)});
+    b.i("imul r64, r64", {PB::gpr(RBX), PB::gpr(RAX)});
+    b.i("addsd xmm, xmm", {PB::xmm(0), PB::xmm(1)});
+    b.i("mulsd xmm, xmm", {PB::xmm(1), PB::xmm(0)});
+    b.i("mov m64, r64", {PB::mem(RSI), PB::gpr(RAX)});
+    b.i("mov r64, m64", {PB::gpr(RDX), PB::mem(RSI)});
+    b.i("add r64, imm32", {PB::gpr(RSI), PB::imm(64)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", top);
+    return b.build();
+}
+
+} // namespace
+
+TEST(CoverageSession, ComposedEqualsSoloOnAllStructuresProgram)
+{
+    expectComposedEqualsSolo(allStructuresProgram());
+}
+
+TEST(CoverageSession, ComposedEqualsSoloOnRandomPrograms)
+{
+    // Randomised MuSeqGen programs: branches, wrong-path execution,
+    // memory traffic — whatever the generator produces must measure
+    // identically composed and solo.
+    museqgen::MuSeqGen gen(museqgen::GenConfig{});
+    Rng rng(0xC0DE); // fixed seed
+    for (int i = 0; i < 8; ++i)
+        expectComposedEqualsSolo(gen.generate(rng));
+}
+
+TEST(CoverageSession, MeasureCoverageIsProjectionOfVector)
+{
+    const auto program = allStructuresProgram();
+    const CoverageVector all =
+        measureAllCoverage(program, uarch::CoreConfig{});
+    for (const StructureInfo &info : allStructures()) {
+        const CoverageResult solo =
+            measureCoverage(program, info.target, uarch::CoreConfig{});
+        EXPECT_EQ(solo.coverage, all[info.target]) << info.name;
+        EXPECT_EQ(solo.sim.signature, all.sim.signature);
+    }
+}
+
+TEST(CoverageSession, CrashedProgramYieldsZeroVector)
+{
+    PB crash("crash");
+    crash.setGpr(RSI, 0xBAD00000);
+    crash.i("mov r64, m64", {PB::gpr(RAX), PB::mem(RSI)});
+    const CoverageVector all =
+        measureAllCoverage(crash.build(), uarch::CoreConfig{});
+    EXPECT_NE(all.sim.exit, uarch::SimResult::Exit::Finished);
+    for (const StructureInfo &info : allStructures())
+        EXPECT_EQ(all[info.target], 0.0) << info.name;
+}
+
+TEST(CoverageSession, ParseStructureInvertsStructureName)
+{
+    for (const StructureInfo &info : allStructures()) {
+        const auto parsed = parseStructure(structureName(info.target));
+        ASSERT_TRUE(parsed.has_value()) << info.name;
+        EXPECT_EQ(*parsed, info.target) << info.name;
+    }
+    EXPECT_FALSE(parseStructure("NotAStructure").has_value());
+    EXPECT_FALSE(parseStructure("irf").has_value()); // names are exact
+    EXPECT_FALSE(parseStructure(nullptr).has_value());
+    EXPECT_FALSE(parseStructure("").has_value());
+}

@@ -160,15 +160,19 @@ TEST(ForkCampaign, TightHangBudgetFallsBackToFullRerun)
 
 TEST(ForkCampaign, PlanlessCacheEntryIsNotReusedByForkCampaign)
 {
-    // A golden entry cached by a slow-path campaign has no fork plan;
-    // a fork-path campaign on the same program must re-run golden
-    // (recording the plan) rather than reuse it, and vice versa keeps
-    // the classification identical — which expectForkMatchesSlow
-    // already proves. Here we watch the hit/miss counters directly.
+    // Under per-need recording (unifiedGolden off), a golden entry
+    // cached by a slow-path campaign has no fork plan; a fork-path
+    // campaign on the same program must re-run golden (recording the
+    // plan) rather than reuse it, and vice versa keeps the
+    // classification identical — which expectForkMatchesSlow already
+    // proves. Here we watch the hit/miss counters directly. (With
+    // unified recording the first run carries the plan already; see
+    // unified_golden_test.cpp.)
     const TestProgram program = addChain(120);
     CampaignConfig cfg =
         CampaignConfig::forTarget(TargetStructure::IntRegFile);
     cfg.numInjections = 10;
+    cfg.unifiedGolden = false;
     FaultCampaign::clearGoldenCache();
 
     cfg.forkInjection = false;

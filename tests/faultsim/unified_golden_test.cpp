@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unified golden recording: one instrumented golden run carries the FU
+ * operand trace, the fork plan AND the all-structure coverage vector,
+ * so campaigns against different structures — and coverage gradings —
+ * share a single cached golden simulation. These tests prove the
+ * sharing happens (hit/miss counters) and that it never changes a
+ * campaign's outcome histogram (differential vs unifiedGolden off).
+ */
+
+#include <gtest/gtest.h>
+
+#include "coverage/measure.hh"
+#include "faultsim/campaign.hh"
+#include "isa/builder.hh"
+#include "isa/registers.hh"
+
+using namespace harpo;
+using namespace harpo::faultsim;
+using namespace harpo::isa;
+using coverage::TargetStructure;
+using PB = ProgramBuilder;
+
+namespace
+{
+
+/** A program exercising every structure, so any campaign target is
+ *  meaningful. */
+TestProgram
+mixedProgram(int iterations = 40)
+{
+    PB b("unifiedmixed");
+    b.addRegion(0x50000, 8192);
+    b.setGpr(RSI, 0x50000);
+    b.setGpr(RAX, 0x123456789ABCDEFull);
+    b.setGpr(RBX, 5);
+    b.setGpr(RCX, static_cast<std::uint64_t>(iterations));
+    b.setXmm(0, 0x3FF0000000000000ull);
+    b.setXmm(1, 0x4010000000000000ull);
+    auto top = b.here();
+    b.i("add r64, r64", {PB::gpr(RAX), PB::gpr(RBX)});
+    b.i("imul r64, r64", {PB::gpr(RBX), PB::gpr(RAX)});
+    b.i("addsd xmm, xmm", {PB::xmm(0), PB::xmm(1)});
+    b.i("mulsd xmm, xmm", {PB::xmm(1), PB::xmm(0)});
+    b.i("mov m64, r64", {PB::mem(RSI), PB::gpr(RAX)});
+    b.i("add r64, m64", {PB::gpr(RDX), PB::mem(RSI)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", top);
+    return b.build();
+}
+
+void
+expectSameHistogram(const CampaignResult &a, const CampaignResult &b)
+{
+    EXPECT_EQ(a.masked, b.masked);
+    EXPECT_EQ(a.sdc, b.sdc);
+    EXPECT_EQ(a.crash, b.crash);
+    EXPECT_EQ(a.hang, b.hang);
+    EXPECT_EQ(a.hwCorrected, b.hwCorrected);
+    EXPECT_EQ(a.hwDetected, b.hwDetected);
+    EXPECT_EQ(a.goldenSignature, b.goldenSignature);
+    EXPECT_EQ(a.goldenCycles, b.goldenCycles);
+}
+
+} // namespace
+
+TEST(UnifiedGolden, HistogramIdenticalWithRecordingOnAndOff)
+{
+    // The extra instrumentation on the golden run is pure observation:
+    // for every structure, a campaign with unified recording must
+    // classify exactly as one with per-need recording.
+    const TestProgram program = mixedProgram();
+    for (const auto &info : coverage::allStructures()) {
+        CampaignConfig cfg = CampaignConfig::forTarget(info.target);
+        cfg.numInjections = 40;
+        cfg.seed = 0x06A + static_cast<std::uint64_t>(info.target);
+
+        cfg.unifiedGolden = false;
+        FaultCampaign::clearGoldenCache();
+        const CampaignResult lean = FaultCampaign::run(program, cfg);
+        ASSERT_TRUE(lean.goldenOk) << info.name;
+
+        cfg.unifiedGolden = true;
+        FaultCampaign::clearGoldenCache();
+        const CampaignResult unified = FaultCampaign::run(program, cfg);
+        ASSERT_TRUE(unified.goldenOk) << info.name;
+
+        expectSameHistogram(unified, lean);
+    }
+}
+
+TEST(UnifiedGolden, CrossStructureCampaignsShareOneGoldenRun)
+{
+    // With unified recording (the default), the first campaign's golden
+    // entry serves every later campaign on the same program: one miss,
+    // then a hit per structure — transient and permanent targets alike.
+    const TestProgram program = mixedProgram();
+    FaultCampaign::clearGoldenCache();
+    const std::uint64_t m0 = FaultCampaign::goldenCacheMisses();
+    const std::uint64_t h0 = FaultCampaign::goldenCacheHits();
+
+    unsigned campaigns = 0;
+    for (const auto &info : coverage::allStructures()) {
+        CampaignConfig cfg = CampaignConfig::forTarget(info.target);
+        cfg.numInjections = 10;
+        cfg.seed = 0x06B;
+        ASSERT_TRUE(FaultCampaign::run(program, cfg).goldenOk)
+            << info.name;
+        ++campaigns;
+    }
+    EXPECT_EQ(FaultCampaign::goldenCacheMisses(), m0 + 1);
+    EXPECT_EQ(FaultCampaign::goldenCacheHits(), h0 + campaigns - 1);
+}
+
+TEST(UnifiedGolden, CachedGradingSeedsCampaignGolden)
+{
+    // measureAllCoverageCached's instrumented run is a full unified
+    // golden: a campaign that follows it hits the cache immediately.
+    const TestProgram program = mixedProgram();
+    FaultCampaign::clearGoldenCache();
+
+    const std::uint64_t m0 = FaultCampaign::goldenCacheMisses();
+    const coverage::CoverageVector cov =
+        FaultCampaign::measureAllCoverageCached(program,
+                                                uarch::CoreConfig{});
+    ASSERT_EQ(cov.sim.exit, uarch::SimResult::Exit::Finished);
+    EXPECT_EQ(FaultCampaign::goldenCacheMisses(), m0 + 1);
+
+    const std::uint64_t h0 = FaultCampaign::goldenCacheHits();
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::IntAdder);
+    cfg.numInjections = 10;
+    ASSERT_TRUE(FaultCampaign::run(program, cfg).goldenOk);
+    EXPECT_EQ(FaultCampaign::goldenCacheHits(), h0 + 1);
+
+    // And the cached vector itself re-serves without a new simulation.
+    const coverage::CoverageVector again =
+        FaultCampaign::measureAllCoverageCached(program,
+                                                uarch::CoreConfig{});
+    EXPECT_EQ(FaultCampaign::goldenCacheHits(), h0 + 2);
+    for (const auto &info : coverage::allStructures())
+        EXPECT_EQ(again[info.target], cov[info.target]) << info.name;
+}
+
+TEST(UnifiedGolden, CachedGradingMatchesDirectMeasurement)
+{
+    // The vector stored in the golden cache is the same measurement
+    // measureAllCoverage performs standalone — bit for bit.
+    const TestProgram program = mixedProgram(25);
+    FaultCampaign::clearGoldenCache();
+    const coverage::CoverageVector cached =
+        FaultCampaign::measureAllCoverageCached(program,
+                                                uarch::CoreConfig{});
+    const coverage::CoverageVector direct =
+        coverage::measureAllCoverage(program, uarch::CoreConfig{});
+    EXPECT_EQ(cached.sim.signature, direct.sim.signature);
+    EXPECT_EQ(cached.sim.cycles, direct.sim.cycles);
+    for (const auto &info : coverage::allStructures())
+        EXPECT_EQ(cached[info.target], direct[info.target]) << info.name;
+}

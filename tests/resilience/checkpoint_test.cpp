@@ -64,6 +64,9 @@ sampleCheckpoint()
         stats.bestCoverage = 0.1 * g;
         stats.meanTopK = 0.05 * g;
         stats.detection = g % 2 ? 0.5 : -1.0;
+        for (std::size_t s = 0; s < coverage::numTargetStructures; ++s)
+            stats.bestByStructure[s] =
+                0.125 * g + 0.001 * static_cast<double>(s);
         ckpt.history.push_back(stats);
     }
     ckpt.bestGenome.seq = {5, 9, 5, 120, 7};
@@ -102,6 +105,8 @@ TEST(Checkpoint, RoundTripIsBitExact)
                   a.history[i].bestCoverage);
         EXPECT_EQ(b.history[i].meanTopK, a.history[i].meanTopK);
         EXPECT_EQ(b.history[i].detection, a.history[i].detection);
+        EXPECT_EQ(b.history[i].bestByStructure,
+                  a.history[i].bestByStructure);
     }
     EXPECT_EQ(b.bestGenome.seq, a.bestGenome.seq);
     EXPECT_EQ(b.bestGenome.operandSeed, a.bestGenome.operandSeed);
@@ -111,6 +116,65 @@ TEST(Checkpoint, RoundTripIsBitExact)
         EXPECT_EQ(b.population[i].operandSeed,
                   a.population[i].operandSeed);
     }
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, VersionOneFileLoadsWithZeroedStructureBests)
+{
+    // A v1 checkpoint (written before per-structure bests existed)
+    // must still load: every parsed field intact, bestByStructure
+    // all-zero. Serialise the v1 layout by hand — the v2 layout minus
+    // the six per-history f64s.
+    const LoopCheckpoint a = sampleCheckpoint();
+    SnapshotWriter out;
+    out.u64(a.configFingerprint);
+    out.u32(a.nextGeneration);
+    for (const std::uint64_t word : a.rngState)
+        out.u64(word);
+    out.f64(a.bestCoverage);
+    out.u64(a.programsEvaluated);
+    out.u64(a.instructionsGenerated);
+    out.f64(a.timing.mutationSec);
+    out.f64(a.timing.generationSec);
+    out.f64(a.timing.compilationSec);
+    out.f64(a.timing.evaluationSec);
+    out.u32(static_cast<std::uint32_t>(a.history.size()));
+    for (const core::GenerationStats &stats : a.history) {
+        out.u32(stats.generation);
+        out.f64(stats.bestCoverage);
+        out.f64(stats.meanTopK);
+        out.f64(stats.detection);
+    }
+    auto putGenome = [&out](const museqgen::Genome &genome) {
+        out.u64(genome.operandSeed);
+        out.u32(static_cast<std::uint32_t>(genome.seq.size()));
+        for (const std::uint16_t variant : genome.seq)
+            out.u16(variant);
+    };
+    putGenome(a.bestGenome);
+    out.u32(static_cast<std::uint32_t>(a.population.size()));
+    for (const museqgen::Genome &genome : a.population)
+        putGenome(genome);
+
+    const std::string path = tmpPath("v1compat.ckpt");
+    constexpr std::uint64_t magic = 0x504B434F50524148ull; // HARPOCKP
+    writeSnapshotFile(path, magic, /*version=*/1, out.bytes());
+
+    const LoopCheckpoint b = LoopCheckpoint::load(path);
+    EXPECT_EQ(b.configFingerprint, a.configFingerprint);
+    EXPECT_EQ(b.nextGeneration, a.nextGeneration);
+    EXPECT_EQ(b.rngState, a.rngState);
+    ASSERT_EQ(b.history.size(), a.history.size());
+    const std::array<double, coverage::numTargetStructures> zero{};
+    for (std::size_t i = 0; i < a.history.size(); ++i) {
+        EXPECT_EQ(b.history[i].generation, a.history[i].generation);
+        EXPECT_EQ(b.history[i].bestCoverage,
+                  a.history[i].bestCoverage);
+        EXPECT_EQ(b.history[i].detection, a.history[i].detection);
+        EXPECT_EQ(b.history[i].bestByStructure, zero);
+    }
+    EXPECT_EQ(b.bestGenome.seq, a.bestGenome.seq);
+    ASSERT_EQ(b.population.size(), a.population.size());
     std::remove(path.c_str());
 }
 

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "isa/builder.hh"
+#include "isa/registers.hh"
+#include "uarch/core.hh"
+#include "uarch/probes.hh"
+
+using namespace harpo;
+using namespace harpo::isa;
+using namespace harpo::uarch;
+using PB = ProgramBuilder;
+
+namespace
+{
+
+/** Counts every hook invocation and appends a tag per event so two
+ *  probes' event streams can be compared for order. */
+struct CountingProbe final : public CoreProbe
+{
+    std::uint64_t cycles = 0, regReads = 0, regWrites = 0;
+    std::uint64_t cacheReads = 0, cacheWrites = 0, cacheEvicts = 0;
+    std::uint64_t executed = 0, committed = 0, runEnds = 0;
+    std::string order;
+
+    void onCycleBegin(Core &, std::uint64_t) override { ++cycles; }
+    void
+    onIntRegRead(unsigned, unsigned, std::uint64_t) override
+    {
+        ++regReads;
+        order += 'r';
+    }
+    void
+    onIntRegWrite(unsigned, unsigned, std::uint64_t) override
+    {
+        ++regWrites;
+        order += 'w';
+    }
+    void
+    onCacheRead(std::uint32_t, unsigned, std::uint64_t) override
+    {
+        ++cacheReads;
+    }
+    void
+    onCacheWrite(std::uint32_t, unsigned, std::uint64_t) override
+    {
+        ++cacheWrites;
+    }
+    void
+    onCacheEvict(std::uint32_t, unsigned, bool, std::uint64_t) override
+    {
+        ++cacheEvicts;
+    }
+    void onInstExecuted(const ExecInfo &) override { ++executed; }
+    void onInstCommitted(std::uint64_t) override { ++committed; }
+    void onRunEnd(Core &, std::uint64_t) override { ++runEnds; }
+};
+
+/** Executing model that returns a recognisable wrong sum, to prove
+ *  the chain bottoms out in the model the session was given. */
+struct StubAdd final : public ArithModel
+{
+    std::uint64_t
+    intAdd(std::uint64_t, std::uint64_t, bool, bool &carry_out) override
+    {
+        carry_out = false;
+        return 0x5150;
+    }
+};
+
+/** Observer that counts intAdd calls and forwards to base(). */
+struct AddCounter final : public ChainedArithModel
+{
+    std::uint64_t adds = 0;
+
+    std::uint64_t
+    intAdd(std::uint64_t a, std::uint64_t b, bool carry_in,
+           bool &carry_out) override
+    {
+        ++adds;
+        return base().intAdd(a, b, carry_in, carry_out);
+    }
+};
+
+TestProgram
+smallProgram()
+{
+    PB b("probeset");
+    b.addRegion(0x30000, 4096);
+    b.setGpr(RSI, 0x30000);
+    b.setGpr(RAX, 7);
+    b.setGpr(RCX, 20);
+    auto top = b.here();
+    b.i("add r64, r64", {PB::gpr(RAX), PB::gpr(RCX)});
+    b.i("mov m64, r64", {PB::mem(RSI), PB::gpr(RAX)});
+    b.i("mov r64, m64", {PB::gpr(RBX), PB::mem(RSI)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", top);
+    return b.build();
+}
+
+} // namespace
+
+TEST(ProbeSet, DispatcherShapeTracksRegistrationCount)
+{
+    ProbeSet set;
+    EXPECT_EQ(set.dispatcher(), nullptr);
+    EXPECT_EQ(set.numProbes(), 0u);
+
+    set.add(nullptr); // tolerated, not registered
+    EXPECT_EQ(set.dispatcher(), nullptr);
+
+    CountingProbe a;
+    set.add(&a);
+    // One probe: handed to the core directly, no fan-out hop.
+    EXPECT_EQ(set.dispatcher(), &a);
+
+    CountingProbe b;
+    set.add(&b);
+    EXPECT_EQ(set.dispatcher(), &set);
+    EXPECT_EQ(set.numProbes(), 2u);
+}
+
+TEST(ProbeSet, FanOutDeliversIdenticalStreamsToAllProbes)
+{
+    const auto program = smallProgram();
+
+    CountingProbe solo;
+    Core soloCore{CoreConfig{}};
+    const SimResult soloSim = soloCore.run(program, nullptr, &solo);
+
+    CountingProbe first, second;
+    ProbeSet set;
+    set.add(&first);
+    set.add(&second);
+    Core core{CoreConfig{}};
+    const SimResult sim = core.run(program, set);
+
+    // The composed run is bit-identical to the solo run...
+    EXPECT_EQ(sim.exit, soloSim.exit);
+    EXPECT_EQ(sim.signature, soloSim.signature);
+    EXPECT_EQ(sim.cycles, soloSim.cycles);
+
+    // ...and every probe saw exactly the solo probe's event stream.
+    for (const CountingProbe *p : {&first, &second}) {
+        EXPECT_EQ(p->cycles, solo.cycles);
+        EXPECT_EQ(p->regReads, solo.regReads);
+        EXPECT_EQ(p->regWrites, solo.regWrites);
+        EXPECT_EQ(p->cacheReads, solo.cacheReads);
+        EXPECT_EQ(p->cacheWrites, solo.cacheWrites);
+        EXPECT_EQ(p->cacheEvicts, solo.cacheEvicts);
+        EXPECT_EQ(p->executed, solo.executed);
+        EXPECT_EQ(p->committed, solo.committed);
+        EXPECT_EQ(p->runEnds, solo.runEnds);
+        EXPECT_EQ(p->order, solo.order);
+    }
+    EXPECT_GT(first.committed, 0u);
+}
+
+TEST(ProbeSet, ChainStacksObserversOverExecutingModel)
+{
+    StubAdd stub;
+    AddCounter inner, outer;
+
+    ProbeSet set;
+    set.model(&stub);
+    set.chain(inner);
+    set.chain(outer);
+
+    // Head is the outermost observer; values flow through both
+    // observers down to the executing stub unchanged.
+    ASSERT_EQ(set.arithModel(), &outer);
+    bool carry = true;
+    EXPECT_EQ(set.arithModel()->intAdd(1, 2, false, carry), 0x5150u);
+    EXPECT_FALSE(carry);
+    EXPECT_EQ(inner.adds, 1u);
+    EXPECT_EQ(outer.adds, 1u);
+    EXPECT_EQ(&inner.base(), &stub);
+    EXPECT_EQ(&outer.base(), &inner);
+}
+
+TEST(ProbeSet, EmptyChainDefaultsToFunctionalModel)
+{
+    // No model(), one observer: the observer bottoms out in the
+    // functional model and the session still computes correct sums.
+    AddCounter counter;
+    ProbeSet set;
+    set.chain(counter);
+    ASSERT_EQ(set.arithModel(), &counter);
+    bool carry = true;
+    EXPECT_EQ(set.arithModel()->intAdd(40, 2, false, carry), 42u);
+    EXPECT_FALSE(carry);
+    EXPECT_EQ(&counter.base(), &ArithModel::functional());
+}
+
+TEST(ProbeSet, NullModelSessionRunsFunctionally)
+{
+    // A session with probes but no arith observers must behave exactly
+    // like a bare functional run.
+    const auto program = smallProgram();
+    Core bare{CoreConfig{}};
+    const SimResult expect = bare.run(program);
+
+    CountingProbe probe;
+    ProbeSet set;
+    set.add(&probe);
+    EXPECT_EQ(set.arithModel(), nullptr);
+    Core core{CoreConfig{}};
+    const SimResult sim = core.run(program, set);
+    EXPECT_EQ(sim.signature, expect.signature);
+    EXPECT_EQ(sim.cycles, expect.cycles);
+}
