@@ -15,6 +15,8 @@
 #include "gates/fu_library.hh"
 #include "isa/emulator.hh"
 #include "museqgen/museqgen.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 #include "uarch/core.hh"
 
 using namespace harpo;
@@ -155,6 +157,53 @@ BM_SingleFaultInjection(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SingleFaultInjection);
+
+// ---- Telemetry overhead: the costs the instrumentation budget in
+// DESIGN.md §10 is built on. ----
+
+/** An uninstalled HARPO_TRACE_SPAN: the per-scope price every
+ *  instrumented hot path pays when tracing is off. */
+void
+BM_TraceSpanDisabled(benchmark::State &state)
+{
+    for (auto _ : state) {
+        HARPO_TRACE_SPAN("bench", "bench");
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+/** One counter increment on the sharded lock-free fast path. */
+void
+BM_MetricsCounterAdd(benchmark::State &state)
+{
+    static const telemetry::MetricId id =
+        telemetry::MetricsRegistry::instance().counter(
+            "bench.counter");
+    for (auto _ : state)
+        telemetry::count(id);
+    benchmark::DoNotOptimize(
+        telemetry::MetricsRegistry::instance().counterValue(id));
+}
+BENCHMARK(BM_MetricsCounterAdd);
+
+/** One histogram observation (bucket search + two slot updates). */
+void
+BM_MetricsHistogramObserve(benchmark::State &state)
+{
+    static const telemetry::MetricId id =
+        telemetry::MetricsRegistry::instance().histogram(
+            "bench.histogram",
+            {1.0, 10.0, 100.0, 1000.0, 10000.0});
+    double v = 0.0;
+    for (auto _ : state) {
+        telemetry::observe(id, v);
+        v += 17.0;
+        if (v > 20000.0)
+            v = 0.0;
+    }
+}
+BENCHMARK(BM_MetricsHistogramObserve);
 
 } // namespace
 

@@ -15,6 +15,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "common/rng.hh"
@@ -22,6 +23,9 @@
 #include "coverage/measure.hh"
 #include "faultsim/campaign.hh"
 #include "gates/fu_library.hh"
+#include "resilience/error.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 #include "uarch/core.hh"
 
 using namespace harpo;
@@ -72,8 +76,15 @@ int
 main(int argc, char **argv)
 {
     TargetStructure target = TargetStructure::FpMultiplier;
+    const char *tracePath = nullptr;
+    bool metricsSummary = false;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--target") == 0 && i + 1 < argc) {
+        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            tracePath = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics-summary") == 0) {
+            metricsSummary = true;
+        } else if (std::strcmp(argv[i], "--target") == 0 &&
+                   i + 1 < argc) {
             const auto parsed = coverage::parseStructure(argv[++i]);
             if (!parsed || coverage::isBitArray(*parsed)) {
                 std::fprintf(stderr,
@@ -89,11 +100,25 @@ main(int argc, char **argv)
             }
             target = *parsed;
         } else {
-            std::fprintf(stderr, "usage: %s [--target <structure>]\n",
+            std::fprintf(stderr,
+                         "usage: %s [--target <structure>] "
+                         "[--trace <jsonl>] [--metrics-summary]\n",
                          argv[0]);
             return 1;
         }
     }
+
+    std::unique_ptr<telemetry::TraceSink> sink;
+    if (tracePath) {
+        try {
+            sink = std::make_unique<telemetry::TraceSink>(tracePath);
+        } catch (const Error &e) {
+            std::fprintf(stderr, "fleet_scan: %s\n", e.what());
+            return 1;
+        }
+        telemetry::TraceSink::install(sink.get());
+    }
+
     const isa::FuCircuit circuit = coverage::circuitFor(target);
     std::printf("screening target: %s\n",
                 coverage::structureName(target));
@@ -159,6 +184,18 @@ main(int argc, char **argv)
                     "CPUs, %d false alarms\n",
                     label, static_cast<std::size_t>(golden.cycles),
                     caught, defects, falseAlarms);
+    }
+
+    if (metricsSummary)
+        std::printf("\n%s",
+                    telemetry::MetricsRegistry::instance()
+                        .summaryTable()
+                        .c_str());
+    if (sink) {
+        const std::uint64_t emitted = sink->lineCount();
+        sink.reset();
+        std::printf("trace: %lu events written to %s\n",
+                    static_cast<unsigned long>(emitted), tracePath);
     }
     return 0;
 }

@@ -13,7 +13,9 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 
 #include "common/rng.hh"
 #include "core/harpocrates.hh"
@@ -22,6 +24,8 @@
 #include "museqgen/museqgen.hh"
 #include "resilience/checkpoint.hh"
 #include "resilience/error.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 #include "uarch/core.hh"
 
 using namespace harpo;
@@ -31,14 +35,41 @@ int
 main(int argc, char **argv)
 {
     const char *resumePath = nullptr;
+    const char *tracePath = nullptr;
+    bool metricsSummary = false;
+    unsigned generationsOverride = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--resume") == 0 && i + 1 < argc) {
             resumePath = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace") == 0 &&
+                   i + 1 < argc) {
+            tracePath = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics-summary") == 0) {
+            metricsSummary = true;
+        } else if (std::strcmp(argv[i], "--generations") == 0 &&
+                   i + 1 < argc) {
+            generationsOverride = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--resume <snapshot>]\n", argv[0]);
+                         "usage: %s [--resume <snapshot>] "
+                         "[--trace <jsonl>] [--metrics-summary] "
+                         "[--generations <n>]\n",
+                         argv[0]);
             return 2;
         }
+    }
+
+    // Install the trace sink first so every phase below emits into it.
+    std::unique_ptr<telemetry::TraceSink> sink;
+    if (tracePath) {
+        try {
+            sink = std::make_unique<telemetry::TraceSink>(tracePath);
+        } catch (const Error &e) {
+            std::fprintf(stderr, "quickstart: %s\n", e.what());
+            return 1;
+        }
+        telemetry::TraceSink::install(sink.get());
     }
     // 1. A 400-instruction constrained-random program.
     museqgen::GenConfig genCfg;
@@ -83,6 +114,8 @@ main(int argc, char **argv)
     loopCfg.seed = 1;
     loopCfg.checkpointPath = "quickstart.ckpt";
     loopCfg.checkpointEvery = 5;
+    if (generationsOverride != 0)
+        loopCfg.generations = generationsOverride;
     core::Harpocrates loop(loopCfg);
     loop.onGeneration = [](const core::GenerationStats &g) {
         if (g.generation % 5 == 0) {
@@ -113,5 +146,17 @@ main(int argc, char **argv)
                 "(coverage %.3f, %lu programs evaluated)\n",
                 100.0 * refinedSfi.detection(), refined.bestCoverage,
                 refined.programsEvaluated);
+
+    if (metricsSummary)
+        std::printf("\n%s",
+                    telemetry::MetricsRegistry::instance()
+                        .summaryTable()
+                        .c_str());
+    if (sink) {
+        const std::uint64_t emitted = sink->lineCount();
+        sink.reset(); // uninstalls, flushes and closes
+        std::printf("trace: %lu events written to %s\n",
+                    static_cast<unsigned long>(emitted), tracePath);
+    }
     return 0;
 }

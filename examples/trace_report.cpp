@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Trace summarizer: validate a JSONL trace emitted with `--trace` and
+ * reconstruct where the run spent its time — the Table-1-style
+ * generate / grade / inject split — plus campaign outcome and cache
+ * hit-rate summaries.
+ *
+ *   usage: trace_report <trace.jsonl>
+ *
+ * Exits non-zero when the trace fails schema validation, so CI can
+ * gate on "the run emitted a well-formed trace".
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "resilience/error.hh"
+#include "telemetry/trace_reader.hh"
+
+using namespace harpo;
+
+namespace
+{
+
+struct SpanAgg
+{
+    std::uint64_t count = 0;
+    std::uint64_t totalNs = 0;
+};
+
+struct CacheAgg
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evicts = 0;
+};
+
+/** Table-1 phase of a span, by its name/category. */
+const char *
+phaseOf(const std::string &cat, const std::string &name)
+{
+    // Loop phases: synthesis + encoding are "generate", fitness
+    // evaluation is "grade", mutation/selection rides with generate.
+    if (cat == "loop") {
+        if (name == "evaluation")
+            return "grade";
+        return "generate";
+    }
+    if (cat == "coverage")
+        return "grade";
+    if (cat == "inject")
+        return "inject";
+    return "other";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s <trace.jsonl>\n", argv[0]);
+        return 2;
+    }
+    const std::string path = argv[1];
+
+    telemetry::TraceStats stats;
+    try {
+        stats = telemetry::validateTrace(path);
+    } catch (const Error &e) {
+        std::fprintf(stderr, "trace_report: validation failed: %s\n",
+                     e.what());
+        return 1;
+    }
+    std::printf("%s: schema v%llu, %llu records "
+                "(%llu spans, %llu open), 0 schema errors\n",
+                path.c_str(),
+                static_cast<unsigned long long>(stats.schema),
+                static_cast<unsigned long long>(stats.records),
+                static_cast<unsigned long long>(stats.spansBegun),
+                static_cast<unsigned long long>(stats.openSpans()));
+
+    // Second pass: aggregate span durations and event summaries.
+    struct OpenSpan
+    {
+        std::string key;   ///< "cat/name"
+        std::string phase;
+        std::uint64_t beginTs = 0;
+    };
+    std::unordered_map<std::uint64_t, OpenSpan> open;
+    std::map<std::string, SpanAgg> byName;
+    std::map<std::string, SpanAgg> byPhase;
+    std::map<std::string, CacheAgg> caches;
+    std::uint64_t genEvents = 0;
+    double bestCoverage = 0.0;
+    std::vector<std::string> campaignLines;
+    std::vector<std::string> budgetLines;
+
+    telemetry::TraceReader reader(path);
+    while (auto record = reader.next()) {
+        const telemetry::TraceRecord &r = *record;
+        if (r.type == "span_begin") {
+            OpenSpan span;
+            const std::string &cat = r.str("cat");
+            const std::string &name = r.str("name");
+            span.key = cat + "/" + name;
+            span.phase = phaseOf(cat, name);
+            span.beginTs = r.u64("ts");
+            open.emplace(r.u64("id"), std::move(span));
+        } else if (r.type == "span_end") {
+            const auto it = open.find(r.u64("id"));
+            const std::uint64_t dur = r.u64("ts") - it->second.beginTs;
+            SpanAgg &agg = byName[it->second.key];
+            ++agg.count;
+            agg.totalNs += dur;
+            SpanAgg &phase = byPhase[it->second.phase];
+            ++phase.count;
+            phase.totalNs += dur;
+            open.erase(it);
+        } else if (r.type == "gen") {
+            ++genEvents;
+            bestCoverage = std::max(bestCoverage, r.f64("best"));
+        } else if (r.type == "cache") {
+            CacheAgg &agg = caches[r.str("cache")];
+            const std::string &op = r.str("op");
+            if (op == "hit")
+                ++agg.hits;
+            else if (op == "miss")
+                ++agg.misses;
+            else
+                ++agg.evicts;
+        } else if (r.type == "campaign") {
+            char line[256];
+            std::snprintf(
+                line, sizeof(line),
+                "  %-18s n=%-5llu masked=%-5llu sdc=%-4llu "
+                "crash=%-4llu hang=%-4llu forked=%-5llu%s",
+                r.str("target").c_str(),
+                static_cast<unsigned long long>(r.u64("injections")),
+                static_cast<unsigned long long>(r.u64("masked")),
+                static_cast<unsigned long long>(r.u64("sdc")),
+                static_cast<unsigned long long>(r.u64("crash")),
+                static_cast<unsigned long long>(r.u64("hang")),
+                static_cast<unsigned long long>(r.u64("forked")),
+                r.boolean("truncated") ? " [truncated]" : "");
+            campaignLines.push_back(line);
+        } else if (r.type == "budget") {
+            budgetLines.push_back("  " + r.str("scope") + ": " +
+                                  r.str("event"));
+        }
+    }
+
+    // The Table-1-style split: generation (synthesis+compilation+
+    // mutation), evaluation (coverage grading), fault injection.
+    std::uint64_t phaseTotal = 0;
+    for (const auto &[phase, agg] : byPhase)
+        phaseTotal += agg.totalNs;
+    std::printf("\nper-phase breakdown (Table 1 split):\n");
+    std::printf("  %-10s %8s %12s %7s\n", "phase", "spans",
+                "seconds", "share");
+    for (const char *phase : {"generate", "grade", "inject", "other"}) {
+        const auto it = byPhase.find(phase);
+        if (it == byPhase.end())
+            continue;
+        std::printf("  %-10s %8llu %12.3f %6.1f%%\n", phase,
+                    static_cast<unsigned long long>(it->second.count),
+                    1e-9 * static_cast<double>(it->second.totalNs),
+                    phaseTotal
+                        ? 100.0 * static_cast<double>(
+                                      it->second.totalNs) /
+                              static_cast<double>(phaseTotal)
+                        : 0.0);
+    }
+
+    std::printf("\nper-span totals:\n");
+    for (const auto &[key, agg] : byName) {
+        std::printf("  %-28s %8llu %12.3f s\n", key.c_str(),
+                    static_cast<unsigned long long>(agg.count),
+                    1e-9 * static_cast<double>(agg.totalNs));
+    }
+
+    if (genEvents) {
+        std::printf("\nevolution: %llu generations, best coverage "
+                    "%.3f\n",
+                    static_cast<unsigned long long>(genEvents),
+                    bestCoverage);
+    }
+    if (!campaignLines.empty()) {
+        std::printf("\ncampaigns:\n");
+        for (const std::string &line : campaignLines)
+            std::printf("%s\n", line.c_str());
+    }
+    if (!caches.empty()) {
+        std::printf("\ncaches:\n");
+        for (const auto &[name, agg] : caches) {
+            const std::uint64_t lookups = agg.hits + agg.misses;
+            std::printf("  %-14s hits=%-6llu misses=%-6llu "
+                        "evicts=%-6llu hit-rate=%5.1f%%\n",
+                        name.c_str(),
+                        static_cast<unsigned long long>(agg.hits),
+                        static_cast<unsigned long long>(agg.misses),
+                        static_cast<unsigned long long>(agg.evicts),
+                        lookups ? 100.0 *
+                                      static_cast<double>(agg.hits) /
+                                      static_cast<double>(lookups)
+                                : 0.0);
+        }
+    }
+    if (!budgetLines.empty()) {
+        std::printf("\nbudget events:\n");
+        for (const std::string &line : budgetLines)
+            std::printf("%s\n", line.c_str());
+    }
+    return 0;
+}

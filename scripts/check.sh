@@ -1,20 +1,23 @@
 #!/usr/bin/env bash
-# Full pre-merge check: configure, build and run the test suite twice —
-# once plain and once under ASan+UBSan (-DHARPO_SANITIZE=ON). Run from
-# anywhere; build trees live in build/ and build-sanitize/.
+# Pre-merge and nightly checks: configure, build and run the test
+# suite. Run from anywhere; build trees live in build/ and
+# build-sanitize/.
 #
-# Tests run tier by tier — unit first, then integration, then slow
-# (ctest labels set by harpo_test) — so a broken unit test fails the
-# run in seconds instead of after the multi-minute end-to-end suite.
+# Tests run tier by tier (ctest labels set by harpo_test) so a broken
+# unit test fails the run in seconds instead of after the multi-minute
+# end-to-end suite. The fast tiers (unit + integration) are the PR
+# gate; the slow tier (multi-second campaigns / evolution loops) runs
+# in CI's scheduled nightly job and in `check.sh all`.
 #
 # When ccache is installed it is used as the compiler launcher; CI
 # persists its cache across runs keyed on the compiler and the
 # CMakeLists.txt hashes.
 #
-# Usage: check.sh [plain|sanitize|all]
-#   plain     build/ctest only            (CI's fast job)
-#   sanitize  build-sanitize/ctest only   (CI's sanitizer job)
-#   all       both (default)
+# Usage: check.sh [plain|sanitize|nightly|all]
+#   plain     build/ctest, unit+integration          (CI's fast job)
+#   sanitize  build-sanitize/ctest, unit+integration (CI's sanitizer job)
+#   nightly   build/ctest, slow tier only            (CI's scheduled job)
+#   all       both trees, every tier (default)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -25,13 +28,15 @@ if command -v ccache > /dev/null 2>&1; then
     launcher_args+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
 fi
 
+# run_suite <build-dir> <tiers> [cmake args...]
 run_suite() {
     local dir="$1"; shift
+    local tiers="$1"; shift
     echo "==> configure ${dir} ($*)"
     cmake -B "${repo}/${dir}" -S "${repo}" "${launcher_args[@]}" "$@"
     echo "==> build ${dir}"
     cmake --build "${repo}/${dir}" -j
-    for tier in unit integration slow; do
+    for tier in ${tiers}; do
         echo "==> ctest ${dir} [${tier}]"
         (cd "${repo}/${dir}" &&
              ctest --output-on-failure -j "$(nproc)" -L "${tier}")
@@ -39,14 +44,16 @@ run_suite() {
 }
 
 case "${suite}" in
-  plain)    run_suite build ;;
-  sanitize) run_suite build-sanitize -DHARPO_SANITIZE=ON ;;
+  plain)    run_suite build "unit integration" ;;
+  sanitize) run_suite build-sanitize "unit integration" \
+                      -DHARPO_SANITIZE=ON ;;
+  nightly)  run_suite build "slow" ;;
   all)
-    run_suite build
-    run_suite build-sanitize -DHARPO_SANITIZE=ON
+    run_suite build "unit integration slow"
+    run_suite build-sanitize "unit integration slow" -DHARPO_SANITIZE=ON
     ;;
   *)
-    echo "usage: $0 [plain|sanitize|all]" >&2
+    echo "usage: $0 [plain|sanitize|nightly|all]" >&2
     exit 2
     ;;
 esac

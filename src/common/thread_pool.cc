@@ -1,9 +1,38 @@
 #include "common/thread_pool.hh"
 
+#include <chrono>
 #include <exception>
+
+#include "telemetry/metrics.hh"
 
 namespace harpo
 {
+
+namespace
+{
+
+telemetry::MetricId
+queueDepthGauge()
+{
+    static const telemetry::MetricId id =
+        telemetry::MetricsRegistry::instance().gauge(
+            "pool.queue_depth");
+    return id;
+}
+
+telemetry::MetricId
+taskWaitHistogram()
+{
+    // Queue-wait latency in microseconds: from push to first
+    // execution of a queued runner task.
+    static const telemetry::MetricId id =
+        telemetry::MetricsRegistry::instance().histogram(
+            "pool.task_wait_us",
+            {10.0, 100.0, 1000.0, 10000.0, 100000.0});
+    return id;
+}
+
+} // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads)
 {
@@ -40,6 +69,8 @@ ThreadPool::workerLoop()
                 return;
             task = std::move(tasks.front());
             tasks.pop();
+            telemetry::setGauge(queueDepthGauge(),
+                                static_cast<std::int64_t>(tasks.size()));
         }
         // A throwing task must never unwind into the worker thread
         // (that would std::terminate the process and poison the pool).
@@ -107,10 +138,21 @@ ThreadPool::parallelFor(std::size_t count,
         }
     };
 
+    const auto enqueueTime = std::chrono::steady_clock::now();
+    auto queuedRunner = [runner, enqueueTime] {
+        telemetry::observe(
+            taskWaitHistogram(),
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - enqueueTime)
+                .count());
+        runner();
+    };
     {
         std::lock_guard lock(mutex);
         for (std::size_t t = 0; t < numTasks; ++t)
-            tasks.push(runner);
+            tasks.push(queuedRunner);
+        telemetry::setGauge(queueDepthGauge(),
+                            static_cast<std::int64_t>(tasks.size()));
     }
     cv.notify_all();
 

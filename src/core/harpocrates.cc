@@ -15,6 +15,8 @@
 #include "isa/encoding.hh"
 #include "resilience/checkpoint.hh"
 #include "resilience/error.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 
 namespace harpo::core
 {
@@ -235,6 +237,18 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
     std::vector<coverage::CoverageVector> covVectors(
         multiTarget ? cfg.population : 0);
 
+    // Metric handles resolve once; increments after that are the
+    // lock-free shard path.
+    static const telemetry::MetricId generationsDone =
+        telemetry::MetricsRegistry::instance().counter(
+            "loop.generations");
+    static const telemetry::MetricId programsScored =
+        telemetry::MetricsRegistry::instance().counter(
+            "loop.programs_evaluated");
+    static const telemetry::MetricId loopTruncations =
+        telemetry::MetricsRegistry::instance().counter(
+            "loop.budget_truncations");
+
     for (unsigned generation = first_generation;
          generation < cfg.generations; ++generation) {
         // The budget gates each generation; an expired budget turns
@@ -242,10 +256,14 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
         // checkpointing, resumable) result.
         if (!cfg.budget.allowsGeneration(result.history.size())) {
             result.truncated = true;
+            telemetry::count(loopTruncations);
+            if (auto *sink = telemetry::TraceSink::current())
+                sink->budget("loop", "generation-gate-expired");
             break;
         }
         // Step 0/3 output -> programs: synthesis ("generation").
         {
+            HARPO_TRACE_SPAN("generation", "loop");
             const auto start = std::chrono::steady_clock::now();
             for (unsigned i = 0; i < cfg.population; ++i) {
                 programs[i] = gen.synthesize(
@@ -259,6 +277,7 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
 
         // "Compilation": lower to the binary encoding.
         {
+            HARPO_TRACE_SPAN("compilation", "loop");
             const auto start = std::chrono::steady_clock::now();
             for (unsigned i = 0; i < cfg.population; ++i) {
                 const auto bytes = isa::encodeProgram(programs[i].code);
@@ -273,6 +292,7 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
         // mid-generation abandons the generation promptly (its
         // partial fitness values are discarded).
         {
+            HARPO_TRACE_SPAN("evaluation", "loop");
             const auto start = std::chrono::steady_clock::now();
             auto evalOne = [&](std::size_t i) {
                 if (cfg.budget.expired())
@@ -302,10 +322,14 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
                     throw;
                 result.timing.evaluationSec += secondsSince(start);
                 result.truncated = true;
+                telemetry::count(loopTruncations);
+                if (auto *sink = telemetry::TraceSink::current())
+                    sink->budget("loop", "evaluation-interrupted");
                 break;
             }
             result.timing.evaluationSec += secondsSince(start);
             result.programsEvaluated += cfg.population;
+            telemetry::count(programsScored, cfg.population);
         }
 
         // Step 2: selection — rank and keep the top-K.
@@ -340,6 +364,7 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
         if (cfg.detectionEvery != 0 &&
             (generation % cfg.detectionEvery == 0 ||
              generation + 1 == cfg.generations)) {
+            HARPO_TRACE_SPAN("detection", "inject");
             faultsim::CampaignConfig camp =
                 faultsim::CampaignConfig::forTarget(cfg.target);
             camp.numInjections = cfg.detectionInjections;
@@ -359,11 +384,21 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
         }
 
         result.history.push_back(stats);
+        telemetry::count(generationsDone);
+        if (auto *sink = telemetry::TraceSink::current()) {
+            telemetry::GenEvent event;
+            event.generation = generation;
+            event.best = stats.bestCoverage;
+            event.meanTopK = stats.meanTopK;
+            event.programs = cfg.population;
+            sink->gen(event);
+        }
         if (onGeneration)
             onGeneration(stats);
 
         // Step 3: mutation — elitist top-K plus mutated offspring.
         {
+            HARPO_TRACE_SPAN("mutation", "loop");
             const auto start = std::chrono::steady_clock::now();
             std::vector<museqgen::Genome> next;
             next.reserve(cfg.population);
@@ -393,6 +428,7 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
         // consumes, so a resume replays bit-identically.
         if (cfg.checkpointEvery != 0 && !cfg.checkpointPath.empty() &&
             (generation + 1) % cfg.checkpointEvery == 0) {
+            HARPO_TRACE_SPAN("checkpoint", "io");
             resilience::LoopCheckpoint ckpt;
             ckpt.configFingerprint = fingerprint(cfg);
             ckpt.nextGeneration = generation + 1;

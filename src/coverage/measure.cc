@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 
 namespace harpo::coverage
 {
@@ -96,6 +98,12 @@ CoverageVector
 measureAllCoverage(const isa::TestProgram &program,
                    const uarch::CoreConfig &config)
 {
+    HARPO_TRACE_SPAN("measure_all", "coverage");
+    static const telemetry::MetricId sessions =
+        telemetry::MetricsRegistry::instance().counter(
+            "coverage.sessions");
+    telemetry::count(sessions);
+
     uarch::Core core(config);
     CoverageSession cov;
     uarch::ProbeSet session;

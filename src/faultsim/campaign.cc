@@ -15,6 +15,8 @@
 #include "gates/fu_library.hh"
 #include "isa/encoding.hh"
 #include "resilience/error.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 
 namespace harpo::faultsim
 {
@@ -207,6 +209,7 @@ struct GoldenCache
     std::size_t maxBytes = defaultMaxBytes;
     std::atomic<std::uint64_t> hits{0};
     std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> evictions{0};
 
     // All of the below require mu to be held.
 
@@ -239,9 +242,13 @@ struct GoldenCache
                     hand = 0;
                 continue;
             }
-            totalBytes -= it->second.bytes;
+            const std::size_t freed = it->second.bytes;
+            totalBytes -= freed;
             entries.erase(it);
             removeClockKey(hand);
+            evictions.fetch_add(1, std::memory_order_relaxed);
+            if (auto *sink = telemetry::TraceSink::current())
+                sink->cache("golden", "evict", freed);
             return;
         }
     }
@@ -334,6 +341,13 @@ acquireGolden(const isa::TestProgram &program,
               const uarch::CoreConfig &core, const GoldenNeeds &needs,
               GoldenEntry &out)
 {
+    static const telemetry::MetricId cacheHits =
+        telemetry::MetricsRegistry::instance().counter(
+            "golden_cache.hits");
+    static const telemetry::MetricId cacheMisses =
+        telemetry::MetricsRegistry::instance().counter(
+            "golden_cache.misses");
+
     std::uint64_t cacheKey = 0;
     if (needs.cacheEnabled) {
         cacheKey = goldenKey(programFingerprint(program),
@@ -348,11 +362,18 @@ acquireGolden(const isa::TestProgram &program,
             out = it->second.entry;
             it->second.referenced = true;
             cache.hits.fetch_add(1);
+            telemetry::count(cacheHits);
+            if (auto *sink = telemetry::TraceSink::current())
+                sink->cache("golden", "hit", it->second.bytes);
             return true;
         }
         cache.misses.fetch_add(1);
+        telemetry::count(cacheMisses);
+        if (auto *sink = telemetry::TraceSink::current())
+            sink->cache("golden", "miss", 0);
     }
 
+    HARPO_TRACE_SPAN("golden_run", "inject");
     const bool recTrace = needs.trace || needs.unified;
     const bool recPlan = needs.plan || needs.unified;
     const bool recCov = needs.cov || needs.unified;
@@ -459,6 +480,28 @@ FaultCampaign::goldenCacheMisses()
     return goldenCache().misses.load();
 }
 
+std::uint64_t
+FaultCampaign::goldenCacheEvictions()
+{
+    return goldenCache().evictions.load();
+}
+
+std::size_t
+FaultCampaign::goldenCacheEntries()
+{
+    GoldenCache &cache = goldenCache();
+    std::lock_guard<std::mutex> lock(cache.mu);
+    return cache.entries.size();
+}
+
+std::size_t
+FaultCampaign::goldenCacheBytes()
+{
+    GoldenCache &cache = goldenCache();
+    std::lock_guard<std::mutex> lock(cache.mu);
+    return cache.totalBytes;
+}
+
 Outcome
 FaultCampaign::runOne(const isa::TestProgram &program,
                       const FaultSpec &fault,
@@ -517,11 +560,31 @@ CampaignResult
 FaultCampaign::run(const isa::TestProgram &program,
                    const CampaignConfig &config)
 {
+    HARPO_TRACE_SPAN("campaign", "inject");
+    static const telemetry::MetricId injectionsDone =
+        telemetry::MetricsRegistry::instance().counter(
+            "campaign.injections");
+    static const telemetry::MetricId forkedCount =
+        telemetry::MetricsRegistry::instance().counter(
+            "campaign.forked_injections");
+    static const telemetry::MetricId retryCount =
+        telemetry::MetricsRegistry::instance().counter(
+            "campaign.injection_retries");
+    static const telemetry::MetricId degradeCount =
+        telemetry::MetricsRegistry::instance().counter(
+            "campaign.parallel_degradations");
+    static const telemetry::MetricId truncCount =
+        telemetry::MetricsRegistry::instance().counter(
+            "campaign.budget_truncations");
+
     CampaignResult result;
 
     // An already-exhausted budget: nothing to do, but say so.
     if (!config.budget.allowsInjection(0)) {
         result.truncated = true;
+        telemetry::count(truncCount);
+        if (auto *sink = telemetry::TraceSink::current())
+            sink->budget("campaign", "exhausted-at-entry");
         return result;
     }
 
@@ -612,6 +675,10 @@ FaultCampaign::run(const isa::TestProgram &program,
             } catch (...) {
                 warn("fault campaign: parallel trace replay failed, "
                      "degrading to serial replay");
+                telemetry::count(degradeCount);
+                if (auto *sink = telemetry::TraceSink::current())
+                    sink->note("campaign: parallel trace replay "
+                               "degraded to serial");
                 for (std::size_t c = 0; c < numChunks; ++c)
                     replayChunk(c);
             }
@@ -701,6 +768,10 @@ FaultCampaign::run(const isa::TestProgram &program,
         } catch (...) {
             warn("fault campaign: parallel dispatch failed, "
                  "degrading to serial execution");
+            telemetry::count(degradeCount);
+            if (auto *sink = telemetry::TraceSink::current())
+                sink->note("campaign: parallel dispatch degraded "
+                           "to serial");
         }
     }
     for (std::size_t i = 0; i < faults.size(); ++i) {
@@ -719,6 +790,7 @@ FaultCampaign::run(const isa::TestProgram &program,
                 break;
             }
             try {
+                telemetry::count(retryCount);
                 classify(i);
                 status[i].store(Done);
             } catch (const Error &e) {
@@ -740,6 +812,31 @@ FaultCampaign::run(const isa::TestProgram &program,
     result.hang = hang.load();
     result.hwCorrected = hwCorrected.load();
     result.hwDetected = hwDetected.load();
+
+    telemetry::count(injectionsDone, result.total());
+    telemetry::count(forkedCount, result.forkedInjections);
+    if (result.truncated) {
+        telemetry::count(truncCount);
+        if (auto *sink = telemetry::TraceSink::current())
+            sink->budget("campaign", "truncated");
+    }
+    if (auto *sink = telemetry::TraceSink::current()) {
+        telemetry::CampaignEvent event;
+        event.target = coverage::structureName(config.target);
+        event.injections = result.total();
+        event.masked = result.masked;
+        event.sdc = result.sdc;
+        event.crash = result.crash;
+        event.hang = result.hang;
+        event.hwCorrected = result.hwCorrected;
+        event.hwDetected = result.hwDetected;
+        event.forked = result.forkedInjections;
+        event.digestExits = result.digestEarlyExits;
+        event.failed = result.failedInjections;
+        event.goldenCycles = result.goldenCycles;
+        event.truncated = result.truncated;
+        sink->campaign(event);
+    }
     return result;
 }
 

@@ -231,6 +231,10 @@ class FaultCampaign
     static void clearGoldenCache();
     static std::uint64_t goldenCacheHits();
     static std::uint64_t goldenCacheMisses();
+    static std::uint64_t goldenCacheEvictions();
+    /** Current entry count / payload bytes resident in the cache. */
+    static std::size_t goldenCacheEntries();
+    static std::size_t goldenCacheBytes();
 
     /** Override the golden cache's capacity (entries and/or payload
      *  bytes); 0 restores the built-in default for that limit.

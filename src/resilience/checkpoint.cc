@@ -27,6 +27,12 @@ getGenome(SnapshotReader &in)
     museqgen::Genome genome;
     genome.operandSeed = in.u64();
     const std::uint32_t len = in.u32();
+    // The checksum covers the payload but not the header, so a
+    // version-confused parse can read a wild count out of data that
+    // is really something else. Each element is 2 bytes; a claim the
+    // remaining payload cannot hold must fail here, not in reserve().
+    if (len > in.remaining() / 2)
+        throw Error::io("checkpoint genome length exceeds payload");
     genome.seq.reserve(len);
     for (std::uint32_t i = 0; i < len; ++i)
         genome.seq.push_back(in.u16());
@@ -92,6 +98,10 @@ LoopCheckpoint::load(const std::string &path)
     ckpt.timing.evaluationSec = in.f64();
 
     const std::uint32_t historyLen = in.u32();
+    // A v1 entry is at least 28 bytes; reject counts the payload
+    // cannot hold before reserving (see getGenome).
+    if (historyLen > in.remaining() / 28)
+        throw Error::io("checkpoint history length exceeds payload");
     ckpt.history.reserve(historyLen);
     for (std::uint32_t i = 0; i < historyLen; ++i) {
         core::GenerationStats stats;
@@ -108,6 +118,10 @@ LoopCheckpoint::load(const std::string &path)
 
     ckpt.bestGenome = getGenome(in);
     const std::uint32_t populationLen = in.u32();
+    // An empty genome still needs 12 bytes (seed + length).
+    if (populationLen > in.remaining() / 12)
+        throw Error::io(
+            "checkpoint population length exceeds payload");
     ckpt.population.reserve(populationLen);
     for (std::uint32_t i = 0; i < populationLen; ++i)
         ckpt.population.push_back(getGenome(in));

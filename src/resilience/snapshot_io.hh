@@ -87,6 +87,10 @@ class SnapshotReader
 
     bool atEnd() const { return pos == buf.size(); }
 
+    /** Bytes left to read — lets parsers sanity-check claimed element
+     *  counts before reserving storage for them. */
+    std::size_t remaining() const { return buf.size() - pos; }
+
   private:
     std::uint64_t takeLe(int n);
 

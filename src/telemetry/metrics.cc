@@ -1,0 +1,399 @@
+#include "telemetry/metrics.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+namespace harpo::telemetry
+{
+
+namespace
+{
+
+// telemetry sits *below* harpo_common in the layering (the thread
+// pool is instrumented), so it carries its own invariant check
+// instead of linking common/logging.
+void
+panicIf(bool condition, const std::string &msg)
+{
+    if (condition) {
+        std::fprintf(stderr, "panic: %s\n", msg.c_str());
+        std::abort();
+    }
+}
+
+constexpr std::size_t kMaxMetrics = 256;
+
+enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+
+/** One thread's slot block. Each slot is written only by its owning
+ *  thread (relaxed load+add+store, no RMW needed) and read by
+ *  snapshotting threads, so every access stays race-free without a
+ *  single locked instruction on the increment path. */
+struct Shard
+{
+    std::array<std::atomic<std::uint64_t>, MetricsRegistry::kMaxSlots>
+        slots{};
+};
+
+std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+double
+bitsDouble(std::uint64_t bits)
+{
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+struct MetricsRegistry::Impl
+{
+    struct Metric
+    {
+        Kind kind = Kind::Counter;
+        std::string name;
+        /** First shard slot (counters, histogram buckets + sum). */
+        std::size_t slotBase = 0;
+        /** Index into gauges (Kind::Gauge only). */
+        std::size_t gaugeIndex = 0;
+        std::vector<double> bounds; ///< histogram bucket upper bounds
+    };
+
+    mutable std::mutex mu;
+    /** Fixed-capacity so a published MetricId can be dereferenced
+     *  without locking: entries are fully written before their id
+     *  escapes the registration call. */
+    std::array<Metric, kMaxMetrics> defs;
+    std::size_t numMetrics = 0;
+    std::size_t nextSlot = 0;
+    std::size_t numGauges = 0;
+    std::array<std::atomic<std::int64_t>, kMaxMetrics> gauges{};
+
+    std::vector<Shard *> liveShards;       // owned via ThreadRef
+    Shard retired;                         // folded-in exited threads
+
+    /** Registers this thread's shard on first use and folds it into
+     *  `retired` when the thread exits, so totals are stable across
+     *  worker lifetimes. */
+    struct ThreadRef
+    {
+        Impl *impl;
+        std::unique_ptr<Shard> shard;
+
+        explicit ThreadRef(Impl *owner)
+            : impl(owner), shard(std::make_unique<Shard>())
+        {
+            std::lock_guard<std::mutex> lock(impl->mu);
+            impl->liveShards.push_back(shard.get());
+        }
+
+        ~ThreadRef()
+        {
+            std::lock_guard<std::mutex> lock(impl->mu);
+            for (std::size_t i = 0; i < shard->slots.size(); ++i) {
+                const std::uint64_t v =
+                    shard->slots[i].load(std::memory_order_relaxed);
+                if (v == 0)
+                    continue;
+                // Sum slots hold double bit patterns and must be
+                // folded as doubles; every other slot is an integer
+                // count. Walk the defs to find out which is which.
+                bool isSum = false;
+                for (std::size_t m = 0; m < impl->numMetrics; ++m) {
+                    const Metric &def = impl->defs[m];
+                    if (def.kind == Kind::Histogram &&
+                        i == def.slotBase + def.bounds.size() + 1) {
+                        isSum = true;
+                        break;
+                    }
+                }
+                auto &dst = impl->retired.slots[i];
+                if (isSum) {
+                    dst.store(doubleBits(
+                                  bitsDouble(dst.load(
+                                      std::memory_order_relaxed)) +
+                                  bitsDouble(v)),
+                              std::memory_order_relaxed);
+                } else {
+                    dst.store(dst.load(std::memory_order_relaxed) + v,
+                              std::memory_order_relaxed);
+                }
+            }
+            impl->liveShards.erase(
+                std::find(impl->liveShards.begin(),
+                          impl->liveShards.end(), shard.get()));
+        }
+    };
+
+    Shard &
+    localShard()
+    {
+        thread_local ThreadRef ref(this);
+        return *ref.shard;
+    }
+
+    /** Lock held: sum one integer slot over every shard. */
+    std::uint64_t
+    slotTotal(std::size_t slot) const
+    {
+        std::uint64_t total =
+            retired.slots[slot].load(std::memory_order_relaxed);
+        for (const Shard *s : liveShards)
+            total += s->slots[slot].load(std::memory_order_relaxed);
+        return total;
+    }
+
+    /** Lock held: sum one double-bits slot over every shard. */
+    double
+    slotTotalF64(std::size_t slot) const
+    {
+        double total = bitsDouble(
+            retired.slots[slot].load(std::memory_order_relaxed));
+        for (const Shard *s : liveShards)
+            total += bitsDouble(
+                s->slots[slot].load(std::memory_order_relaxed));
+        return total;
+    }
+
+    MetricId
+    findOrRegister(Kind kind, const std::string &name,
+                   std::vector<double> bounds)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        for (std::size_t m = 0; m < numMetrics; ++m) {
+            if (defs[m].name != name)
+                continue;
+            panicIf(defs[m].kind != kind,
+                    "metric '" + name + "' re-registered as a "
+                    "different kind");
+            panicIf(kind == Kind::Histogram && defs[m].bounds != bounds,
+                    "histogram '" + name +
+                        "' re-registered with different bounds");
+            return static_cast<MetricId>(m);
+        }
+        panicIf(numMetrics >= kMaxMetrics,
+                "metrics registry: too many metrics");
+        Metric def;
+        def.kind = kind;
+        def.name = name;
+        switch (kind) {
+          case Kind::Counter:
+            def.slotBase = nextSlot;
+            nextSlot += 1;
+            break;
+          case Kind::Gauge:
+            def.gaugeIndex = numGauges++;
+            break;
+          case Kind::Histogram:
+            panicIf(bounds.empty() ||
+                        bounds.size() > MetricsRegistry::kMaxBuckets,
+                    "histogram '" + name + "' needs 1.." +
+                        std::to_string(MetricsRegistry::kMaxBuckets) +
+                        " bucket bounds");
+            panicIf(!std::is_sorted(bounds.begin(), bounds.end()),
+                    "histogram '" + name +
+                        "' bounds must be ascending");
+            def.bounds = std::move(bounds);
+            def.slotBase = nextSlot;
+            // buckets (incl. overflow) + the sum slot.
+            nextSlot += def.bounds.size() + 2;
+            break;
+        }
+        panicIf(nextSlot > MetricsRegistry::kMaxSlots,
+                "metrics registry: out of shard slots");
+        defs[numMetrics] = std::move(def);
+        return static_cast<MetricId>(numMetrics++);
+    }
+};
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    // Leaked on purpose: thread_local shard destructors (including the
+    // main thread's, at process exit) must always find it alive.
+    static MetricsRegistry *registry = new MetricsRegistry();
+    return *registry;
+}
+
+MetricsRegistry::Impl &
+MetricsRegistry::impl() const
+{
+    static Impl *i = new Impl();
+    return *i;
+}
+
+MetricId
+MetricsRegistry::counter(const std::string &name)
+{
+    return impl().findOrRegister(Kind::Counter, name, {});
+}
+
+MetricId
+MetricsRegistry::gauge(const std::string &name)
+{
+    return impl().findOrRegister(Kind::Gauge, name, {});
+}
+
+MetricId
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> bounds)
+{
+    return impl().findOrRegister(Kind::Histogram, name,
+                                 std::move(bounds));
+}
+
+void
+MetricsRegistry::add(MetricId counter_id, std::uint64_t delta)
+{
+    Impl &i = impl();
+    const Impl::Metric &def = i.defs[counter_id];
+    auto &slot = i.localShard().slots[def.slotBase];
+    slot.store(slot.load(std::memory_order_relaxed) + delta,
+               std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::set(MetricId gauge_id, std::int64_t value)
+{
+    Impl &i = impl();
+    i.gauges[i.defs[gauge_id].gaugeIndex].store(
+        value, std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::observe(MetricId histogram_id, double value)
+{
+    Impl &i = impl();
+    const Impl::Metric &def = i.defs[histogram_id];
+    // Inclusive upper bounds (Prometheus-style "le"): a value equal
+    // to a bound lands in that bound's bucket.
+    const std::size_t bucket = static_cast<std::size_t>(
+        std::lower_bound(def.bounds.begin(), def.bounds.end(), value) -
+        def.bounds.begin());
+    Shard &shard = i.localShard();
+    auto &slot = shard.slots[def.slotBase + bucket];
+    slot.store(slot.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+    auto &sum = shard.slots[def.slotBase + def.bounds.size() + 1];
+    sum.store(doubleBits(bitsDouble(sum.load(
+                             std::memory_order_relaxed)) +
+                         value),
+              std::memory_order_relaxed);
+}
+
+std::uint64_t
+MetricsRegistry::counterValue(MetricId counter_id) const
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    return i.slotTotal(i.defs[counter_id].slotBase);
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    MetricsSnapshot snap;
+    for (std::size_t m = 0; m < i.numMetrics; ++m) {
+        const Impl::Metric &def = i.defs[m];
+        switch (def.kind) {
+          case Kind::Counter:
+            snap.counters.emplace_back(def.name,
+                                       i.slotTotal(def.slotBase));
+            break;
+          case Kind::Gauge:
+            snap.gauges.emplace_back(
+                def.name, i.gauges[def.gaugeIndex].load(
+                              std::memory_order_relaxed));
+            break;
+          case Kind::Histogram: {
+            HistogramSnapshot h;
+            h.bounds = def.bounds;
+            h.buckets.resize(def.bounds.size() + 1);
+            for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+                h.buckets[b] = i.slotTotal(def.slotBase + b);
+                h.count += h.buckets[b];
+            }
+            h.sum =
+                i.slotTotalF64(def.slotBase + def.bounds.size() + 1);
+            snap.histograms.emplace_back(def.name, std::move(h));
+            break;
+          }
+        }
+    }
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    for (auto &slot : i.retired.slots)
+        slot.store(0, std::memory_order_relaxed);
+    for (Shard *s : i.liveShards)
+        for (auto &slot : s->slots)
+            slot.store(0, std::memory_order_relaxed);
+    for (auto &g : i.gauges)
+        g.store(0, std::memory_order_relaxed);
+}
+
+std::string
+MetricsRegistry::summaryTable() const
+{
+    const MetricsSnapshot snap = snapshot();
+    std::string out;
+    char line[256];
+
+    auto append = [&](const char *fmt, auto... args) {
+        std::snprintf(line, sizeof(line), fmt, args...);
+        out += line;
+    };
+
+    bool any = false;
+    for (const auto &[name, value] : snap.counters) {
+        if (value == 0)
+            continue;
+        if (!any)
+            out += "-- counters --\n", any = true;
+        append("  %-44s %12llu\n", name.c_str(),
+               static_cast<unsigned long long>(value));
+    }
+    any = false;
+    for (const auto &[name, value] : snap.gauges) {
+        if (value == 0)
+            continue;
+        if (!any)
+            out += "-- gauges --\n", any = true;
+        append("  %-44s %12lld\n", name.c_str(),
+               static_cast<long long>(value));
+    }
+    any = false;
+    for (const auto &[name, h] : snap.histograms) {
+        if (h.count == 0)
+            continue;
+        if (!any)
+            out += "-- histograms --\n", any = true;
+        append("  %-44s n=%-8llu mean=%.6g\n", name.c_str(),
+               static_cast<unsigned long long>(h.count),
+               h.sum / static_cast<double>(h.count));
+    }
+    if (out.empty())
+        out = "(no metrics recorded)\n";
+    return out;
+}
+
+} // namespace harpo::telemetry

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Process-wide metrics registry: counters, gauges and bounded
+ * histograms with a lock-free fast path.
+ *
+ * Counters and histogram buckets live in per-thread shards: each
+ * thread owns a fixed-size block of relaxed-atomic slots, so an
+ * increment is one thread_local load plus one uncontended atomic
+ * store — no lock, no cache-line ping-pong between threads. Reads
+ * (snapshot(), summaryTable()) take the registry mutex and sum over
+ * every live shard plus the retired aggregate that absorbs the slots
+ * of exited threads, so totals never go backwards when a worker dies.
+ *
+ * Gauges carry last-write-wins set() semantics, which sharding cannot
+ * express; they are plain process-wide atomics instead (set is rare —
+ * queue depths, cache occupancy — so contention is a non-issue).
+ *
+ * Registration is idempotent: asking for an existing name returns the
+ * same MetricId, so instrumentation sites can cache a handle in a
+ * function-local static. Values can be zeroed with reset() (tests);
+ * registrations themselves are permanent for the process lifetime.
+ */
+
+#ifndef HARPOCRATES_TELEMETRY_METRICS_HH
+#define HARPOCRATES_TELEMETRY_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace harpo::telemetry
+{
+
+/** Stable handle to one registered metric. */
+using MetricId = std::uint32_t;
+
+/** Read-only view of one bounded histogram's state. */
+struct HistogramSnapshot
+{
+    /** Upper bounds of the finite buckets (ascending); an implicit
+     *  overflow bucket catches everything above the last bound. */
+    std::vector<double> bounds;
+    /** Per-bucket observation counts; size == bounds.size() + 1. */
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+};
+
+/** Read-only view of every registered metric. */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/** The process-wide registry. All methods are thread-safe. */
+class MetricsRegistry
+{
+  public:
+    /** The singleton (never destroyed, so per-thread shard teardown
+     *  at process exit can always reach it). */
+    static MetricsRegistry &instance();
+
+    /** Register (or look up) a counter named @p name. */
+    MetricId counter(const std::string &name);
+
+    /** Register (or look up) a gauge named @p name. */
+    MetricId gauge(const std::string &name);
+
+    /**
+     * Register (or look up) a histogram named @p name with the given
+     * ascending finite-bucket upper @p bounds (at most kMaxBuckets);
+     * observations above the last bound land in an implicit overflow
+     * bucket. Re-registering with different bounds panics — a metric
+     * name must mean one thing process-wide.
+     */
+    MetricId histogram(const std::string &name,
+                       std::vector<double> bounds);
+
+    /** Add @p delta to a counter (lock-free fast path). */
+    void add(MetricId counter_id, std::uint64_t delta = 1);
+
+    /** Set a gauge to @p value (last write wins). */
+    void set(MetricId gauge_id, std::int64_t value);
+
+    /** Record @p value into a histogram (lock-free fast path). */
+    void observe(MetricId histogram_id, double value);
+
+    /** Aggregate every metric across all shards. */
+    MetricsSnapshot snapshot() const;
+
+    /** Current value of one counter (for tests and summaries). */
+    std::uint64_t counterValue(MetricId counter_id) const;
+
+    /** Zero every value; registrations survive. Only safe when no
+     *  other thread is concurrently incrementing (tests, teardown). */
+    void reset();
+
+    /** Human-readable aligned dump of every non-zero metric. */
+    std::string summaryTable() const;
+
+    /** Hard caps, sized far above current usage: a shard is one flat
+     *  slot block, so slots must be bounded up front to keep the
+     *  increment path free of resize checks. */
+    static constexpr std::size_t kMaxSlots = 1024;
+    static constexpr std::size_t kMaxBuckets = 32;
+
+  private:
+    MetricsRegistry() = default;
+    struct Impl;
+    Impl &impl() const;
+};
+
+// ---- Convenience wrappers for instrumentation sites ----
+
+/** `count(id)` reads better than `instance().add(id)` at call sites. */
+inline void
+count(MetricId id, std::uint64_t delta = 1)
+{
+    MetricsRegistry::instance().add(id, delta);
+}
+
+inline void
+setGauge(MetricId id, std::int64_t value)
+{
+    MetricsRegistry::instance().set(id, value);
+}
+
+inline void
+observe(MetricId id, double value)
+{
+    MetricsRegistry::instance().observe(id, value);
+}
+
+} // namespace harpo::telemetry
+
+#endif // HARPOCRATES_TELEMETRY_METRICS_HH

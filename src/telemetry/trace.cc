@@ -1,0 +1,276 @@
+#include "telemetry/trace.hh"
+
+#include <cinttypes>
+#include <cmath>
+
+#include "resilience/error.hh"
+
+namespace harpo::telemetry
+{
+
+namespace
+{
+
+std::atomic<TraceSink *> installedSink{nullptr};
+
+/** JSON string escaping for the few characters our payloads can
+ *  legally carry; control characters become \u00XX so any byte
+ *  sequence stays one well-formed line. */
+void
+appendJsonString(std::string &out, const char *s)
+{
+    out += '"';
+    for (; *s; ++s) {
+        const unsigned char c = static_cast<unsigned char>(*s);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out += buf;
+}
+
+/** Doubles print with %.17g so finite values round-trip
+ *  bit-identically; the non-finite values JSON cannot express travel
+ *  as the reserved strings "nan" / "inf" / "-inf". */
+void
+appendF64(std::string &out, double v)
+{
+    if (std::isnan(v)) {
+        out += "\"nan\"";
+        return;
+    }
+    if (std::isinf(v)) {
+        out += v > 0 ? "\"inf\"" : "\"-inf\"";
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // %.17g prints integral doubles without a decimal point; add one
+    // so the reader can tell numbers meant as doubles from integers.
+    bool isIntegral = true;
+    for (const char *p = buf; *p; ++p) {
+        if (*p == '.' || *p == 'e' || *p == 'n' || *p == 'i') {
+            isIntegral = false;
+            break;
+        }
+    }
+    out += buf;
+    if (isIntegral)
+        out += ".0";
+}
+
+} // namespace
+
+std::uint32_t
+currentThreadId()
+{
+    static std::atomic<std::uint32_t> nextId{0};
+    thread_local const std::uint32_t id =
+        nextId.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+TraceSink::TraceSink(const std::string &path)
+    : epoch(std::chrono::steady_clock::now())
+{
+    file = std::fopen(path.c_str(), "w");
+    if (!file)
+        throw Error::io("cannot create trace file '" + path + "'");
+    std::string line = "{\"type\":\"header\",\"schema\":";
+    appendU64(line, kSchemaVersion);
+    line += '}';
+    writeLine(line);
+}
+
+TraceSink::~TraceSink()
+{
+    TraceSink *self = this;
+    installedSink.compare_exchange_strong(self, nullptr);
+    std::lock_guard<std::mutex> lock(mu);
+    std::fclose(file);
+    file = nullptr;
+}
+
+void
+TraceSink::install(TraceSink *sink)
+{
+    installedSink.store(sink, std::memory_order_release);
+}
+
+TraceSink *
+TraceSink::current()
+{
+    return installedSink.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+TraceSink::nowNs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+}
+
+void
+TraceSink::writeLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (!file)
+        return;
+    std::fwrite(line.data(), 1, line.size(), file);
+    std::fputc('\n', file);
+    lines.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+TraceSink::flush()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (file)
+        std::fflush(file);
+}
+
+std::uint64_t
+TraceSink::spanBegin(const char *name, const char *cat)
+{
+    const std::uint64_t id =
+        nextSpanId.fetch_add(1, std::memory_order_relaxed);
+    std::string line = "{\"type\":\"span_begin\",\"id\":";
+    appendU64(line, id);
+    line += ",\"ts\":";
+    appendU64(line, nowNs());
+    line += ",\"tid\":";
+    appendU64(line, currentThreadId());
+    line += ",\"name\":";
+    appendJsonString(line, name);
+    line += ",\"cat\":";
+    appendJsonString(line, cat);
+    line += '}';
+    writeLine(line);
+    return id;
+}
+
+void
+TraceSink::spanEnd(std::uint64_t span_id)
+{
+    std::string line = "{\"type\":\"span_end\",\"id\":";
+    appendU64(line, span_id);
+    line += ",\"ts\":";
+    appendU64(line, nowNs());
+    line += ",\"tid\":";
+    appendU64(line, currentThreadId());
+    line += '}';
+    writeLine(line);
+}
+
+void
+TraceSink::gen(const GenEvent &event)
+{
+    std::string line = "{\"type\":\"gen\",\"ts\":";
+    appendU64(line, nowNs());
+    line += ",\"generation\":";
+    appendU64(line, event.generation);
+    line += ",\"best\":";
+    appendF64(line, event.best);
+    line += ",\"mean_topk\":";
+    appendF64(line, event.meanTopK);
+    line += ",\"programs\":";
+    appendU64(line, event.programs);
+    line += '}';
+    writeLine(line);
+}
+
+void
+TraceSink::campaign(const CampaignEvent &event)
+{
+    std::string line = "{\"type\":\"campaign\",\"ts\":";
+    appendU64(line, nowNs());
+    line += ",\"target\":";
+    appendJsonString(line, event.target.c_str());
+    const std::pair<const char *, std::uint64_t> fields[] = {
+        {"injections", event.injections},
+        {"masked", event.masked},
+        {"sdc", event.sdc},
+        {"crash", event.crash},
+        {"hang", event.hang},
+        {"hw_corrected", event.hwCorrected},
+        {"hw_detected", event.hwDetected},
+        {"forked", event.forked},
+        {"digest_exits", event.digestExits},
+        {"failed", event.failed},
+        {"golden_cycles", event.goldenCycles},
+    };
+    for (const auto &[name, value] : fields) {
+        line += ",\"";
+        line += name;
+        line += "\":";
+        appendU64(line, value);
+    }
+    line += ",\"truncated\":";
+    line += event.truncated ? "true" : "false";
+    line += '}';
+    writeLine(line);
+}
+
+void
+TraceSink::cache(const char *cache_name, const char *op,
+                 std::uint64_t bytes)
+{
+    std::string line = "{\"type\":\"cache\",\"ts\":";
+    appendU64(line, nowNs());
+    line += ",\"cache\":";
+    appendJsonString(line, cache_name);
+    line += ",\"op\":";
+    appendJsonString(line, op);
+    line += ",\"bytes\":";
+    appendU64(line, bytes);
+    line += '}';
+    writeLine(line);
+}
+
+void
+TraceSink::budget(const char *scope, const char *event)
+{
+    std::string line = "{\"type\":\"budget\",\"ts\":";
+    appendU64(line, nowNs());
+    line += ",\"scope\":";
+    appendJsonString(line, scope);
+    line += ",\"event\":";
+    appendJsonString(line, event);
+    line += '}';
+    writeLine(line);
+}
+
+void
+TraceSink::note(const std::string &text)
+{
+    std::string line = "{\"type\":\"note\",\"ts\":";
+    appendU64(line, nowNs());
+    line += ",\"text\":";
+    appendJsonString(line, text.c_str());
+    line += '}';
+    writeLine(line);
+}
+
+} // namespace harpo::telemetry

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Structured tracing: a TraceSink emits a versioned JSONL event
+ * stream describing where a run spends its time and what its caches
+ * and budgets did. One line per event; every line is a flat JSON
+ * object whose "type" field selects the schema (validated by
+ * telemetry/trace_reader.hh, the other half of the format contract).
+ *
+ * Event types (schema v1):
+ *
+ *   header      first line of every trace: {"type","schema"}
+ *   span_begin  {"type","id","ts","tid","name","cat"}
+ *   span_end    {"type","id","ts","tid"}
+ *   gen         per-generation loop summary
+ *   campaign    fault-campaign outcome record
+ *   cache       cache hit/miss/evict event
+ *   budget      budget consumption / expiry event
+ *   note        free-text diagnostic
+ *
+ * Timestamps ("ts") are steady-clock nanoseconds since the sink was
+ * created — monotonic, never wall-clock. Doubles serialize with
+ * enough digits (%.17g) to round-trip bit-identically; the reserved
+ * strings "nan", "inf" and "-inf" carry the non-finite values JSON
+ * itself cannot.
+ *
+ * A process has at most one *installed* sink (TraceSink::install);
+ * instrumentation sites emit through the installed sink and collapse
+ * to one relaxed atomic load when none is installed. The
+ * HARPO_TRACE_SPAN macro additionally compiles out entirely under
+ * -DHARPO_TELEMETRY_DISABLED, for builds that must not even carry
+ * the check.
+ */
+
+#ifndef HARPOCRATES_TELEMETRY_TRACE_HH
+#define HARPOCRATES_TELEMETRY_TRACE_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace harpo::telemetry
+{
+
+/** Per-generation summary payload (emitted by the Harpocrates loop). */
+struct GenEvent
+{
+    std::uint64_t generation = 0;
+    double best = 0.0;
+    double meanTopK = 0.0;
+    std::uint64_t programs = 0;
+};
+
+/** Campaign outcome payload (emitted by FaultCampaign::run). */
+struct CampaignEvent
+{
+    std::string target;
+    std::uint64_t injections = 0;
+    std::uint64_t masked = 0;
+    std::uint64_t sdc = 0;
+    std::uint64_t crash = 0;
+    std::uint64_t hang = 0;
+    std::uint64_t hwCorrected = 0;
+    std::uint64_t hwDetected = 0;
+    std::uint64_t forked = 0;
+    std::uint64_t digestExits = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t goldenCycles = 0;
+    bool truncated = false;
+};
+
+/** A JSONL trace writer. Every emitter is thread-safe: lines are
+ *  formatted outside the lock and appended atomically under it, so
+ *  concurrent emitters interleave whole lines, never bytes. */
+class TraceSink
+{
+  public:
+    static constexpr std::uint32_t kSchemaVersion = 1;
+
+    /** Open @p path for writing and emit the header line. Throws
+     *  harpo::Error{Io} when the file cannot be created. */
+    explicit TraceSink(const std::string &path);
+
+    /** Flushes and closes. Uninstalls itself if still installed, so a
+     *  sink on the stack cannot dangle behind the global pointer. */
+    ~TraceSink();
+
+    TraceSink(const TraceSink &) = delete;
+    TraceSink &operator=(const TraceSink &) = delete;
+
+    // ---- Global installation ----
+
+    /** Make @p sink the process-wide trace target (nullptr disables
+     *  tracing). The caller keeps ownership and must uninstall (or
+     *  destroy the sink, which auto-uninstalls) before freeing it. */
+    static void install(TraceSink *sink);
+
+    /** The installed sink, or nullptr (one relaxed atomic load). */
+    static TraceSink *current();
+
+    /** True when a sink is installed. */
+    static bool active() { return current() != nullptr; }
+
+    // ---- Emitters ----
+
+    /** Begin a span; returns the id spanEnd must echo. */
+    std::uint64_t spanBegin(const char *name, const char *cat);
+    void spanEnd(std::uint64_t span_id);
+
+    void gen(const GenEvent &event);
+    void campaign(const CampaignEvent &event);
+
+    /** @p op is one of "hit", "miss", "evict". */
+    void cache(const char *cache_name, const char *op,
+               std::uint64_t bytes);
+
+    /** @p scope names the bounded computation ("loop", "campaign");
+     *  @p event what the budget did ("expired", "truncated"). */
+    void budget(const char *scope, const char *event);
+
+    void note(const std::string &text);
+
+    /** Nanoseconds of steady clock since this sink was created. */
+    std::uint64_t nowNs() const;
+
+    /** Flush buffered lines to the file (also done on destruction). */
+    void flush();
+
+    /** Lines emitted so far (tests / diagnostics). */
+    std::uint64_t lineCount() const
+    {
+        return lines.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void writeLine(const std::string &line);
+
+    std::FILE *file = nullptr;
+    std::mutex mu;
+    std::chrono::steady_clock::time_point epoch;
+    std::atomic<std::uint64_t> nextSpanId{1};
+    std::atomic<std::uint64_t> lines{0};
+};
+
+/** Small dense id for the calling thread, for span "tid" fields. */
+std::uint32_t currentThreadId();
+
+/** RAII span against the *installed* sink: no-op (one atomic load)
+ *  when tracing is off. Holds the sink pointer it started on, so an
+ *  uninstall between begin and end still closes the span on the
+ *  right sink (the sink must outlive open spans — guaranteed when it
+ *  is destroyed only after install(nullptr) plus joining emitters,
+ *  and trivially by the auto-uninstalling destructor for sinks whose
+ *  spans live on the same thread). */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(const char *name, const char *cat)
+    {
+        if (TraceSink *s = TraceSink::current()) {
+            sink = s;
+            id = s->spanBegin(name, cat);
+        }
+    }
+
+    ~ScopedSpan()
+    {
+        if (sink)
+            sink->spanEnd(id);
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    TraceSink *sink = nullptr;
+    std::uint64_t id = 0;
+};
+
+} // namespace harpo::telemetry
+
+/**
+ * Scoped-timer macro for hot paths: a span named @p name in category
+ * @p cat covering the enclosing scope. Compiles to nothing under
+ * -DHARPO_TELEMETRY_DISABLED; otherwise costs one relaxed atomic
+ * load when no sink is installed.
+ */
+#ifdef HARPO_TELEMETRY_DISABLED
+#define HARPO_TRACE_SPAN(name, cat)                                   \
+    do {                                                              \
+    } while (0)
+#else
+#define HARPO_TRACE_SPAN_CONCAT2(a, b) a##b
+#define HARPO_TRACE_SPAN_CONCAT(a, b) HARPO_TRACE_SPAN_CONCAT2(a, b)
+#define HARPO_TRACE_SPAN(name, cat)                                   \
+    ::harpo::telemetry::ScopedSpan HARPO_TRACE_SPAN_CONCAT(           \
+        harpoTraceSpan_, __LINE__)                                    \
+    {                                                                 \
+        name, cat                                                     \
+    }
+#endif
+
+#endif // HARPOCRATES_TELEMETRY_TRACE_HH

@@ -1,0 +1,464 @@
+#include "telemetry/trace_reader.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <unordered_set>
+
+#include "resilience/error.hh"
+#include "telemetry/trace.hh"
+
+namespace harpo::telemetry
+{
+
+namespace
+{
+
+[[noreturn]] void
+bad(const std::string &what)
+{
+    throw Error::io("trace: " + what);
+}
+
+/** Strict recursive-descent parser over one line's bytes. */
+struct LineParser
+{
+    const char *p;
+    const char *end;
+
+    explicit LineParser(const std::string &line)
+        : p(line.data()), end(line.data() + line.size())
+    {
+    }
+
+    void
+    skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t'))
+            ++p;
+    }
+
+    char
+    peek()
+    {
+        if (p >= end)
+            bad("unexpected end of line");
+        return *p;
+    }
+
+    void
+    expect(char c)
+    {
+        if (p >= end || *p != c)
+            bad(std::string("expected '") + c + "'");
+        ++p;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (p >= end)
+                bad("unterminated string");
+            const char c = *p++;
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                bad("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (p >= end)
+                bad("unterminated escape");
+            const char esc = *p++;
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (end - p < 4)
+                    bad("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = *p++;
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        bad("bad hex digit in \\u escape");
+                }
+                // Encode the code point as UTF-8 (the BMP is enough
+                // for a validator; surrogates are rejected).
+                if (code >= 0xD800 && code <= 0xDFFF)
+                    bad("surrogate in \\u escape");
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default: bad("unknown escape");
+            }
+        }
+    }
+
+    TraceValue
+    parseNumber()
+    {
+        const char *start = p;
+        bool negative = false;
+        bool isFloat = false;
+        if (peek() == '-') {
+            negative = true;
+            ++p;
+        }
+        if (p >= end || !std::isdigit(static_cast<unsigned char>(*p)))
+            bad("malformed number");
+        const char *intStart = p;
+        while (p < end && std::isdigit(static_cast<unsigned char>(*p)))
+            ++p;
+        // JSON forbids leading zeros ("01"); a lone "0" is fine.
+        if (*intStart == '0' && p - intStart > 1)
+            bad("leading zero in number");
+        if (p < end && *p == '.') {
+            isFloat = true;
+            ++p;
+            if (p >= end ||
+                !std::isdigit(static_cast<unsigned char>(*p)))
+                bad("malformed number fraction");
+            while (p < end &&
+                   std::isdigit(static_cast<unsigned char>(*p)))
+                ++p;
+        }
+        if (p < end && (*p == 'e' || *p == 'E')) {
+            isFloat = true;
+            ++p;
+            if (p < end && (*p == '+' || *p == '-'))
+                ++p;
+            if (p >= end ||
+                !std::isdigit(static_cast<unsigned char>(*p)))
+                bad("malformed number exponent");
+            while (p < end &&
+                   std::isdigit(static_cast<unsigned char>(*p)))
+                ++p;
+        }
+        const std::string token(start, p);
+        TraceValue v;
+        errno = 0;
+        if (isFloat) {
+            v.kind = TraceValue::Kind::F64;
+            char *tail = nullptr;
+            v.f64 = std::strtod(token.c_str(), &tail);
+            if (tail != token.c_str() + token.size())
+                bad("malformed float");
+            // Overflow to infinity is rejected; gradual underflow to
+            // a denormal (which also sets ERANGE) round-trips fine.
+            if (errno == ERANGE && std::isinf(v.f64))
+                bad("float out of range");
+        } else if (negative) {
+            v.kind = TraceValue::Kind::I64;
+            char *tail = nullptr;
+            v.i64 = std::strtoll(token.c_str(), &tail, 10);
+            if (errno == ERANGE ||
+                tail != token.c_str() + token.size())
+                bad("integer out of range");
+        } else {
+            v.kind = TraceValue::Kind::U64;
+            char *tail = nullptr;
+            v.u64 = std::strtoull(token.c_str(), &tail, 10);
+            if (errno == ERANGE ||
+                tail != token.c_str() + token.size())
+                bad("integer out of range");
+        }
+        return v;
+    }
+
+    TraceValue
+    parseValue()
+    {
+        skipWs();
+        const char c = peek();
+        if (c == '"')
+            return TraceValue::ofString(parseString());
+        if (c == 't' || c == 'f') {
+            const char *lit = c == 't' ? "true" : "false";
+            const std::size_t n = std::strlen(lit);
+            if (static_cast<std::size_t>(end - p) < n ||
+                std::strncmp(p, lit, n) != 0)
+                bad("malformed literal");
+            p += n;
+            TraceValue v;
+            v.kind = TraceValue::Kind::Bool;
+            v.boolean = c == 't';
+            return v;
+        }
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+            return parseNumber();
+        bad("unexpected value (only strings, numbers and booleans "
+            "appear in trace lines)");
+    }
+
+    TraceRecord
+    parseObject()
+    {
+        TraceRecord record;
+        skipWs();
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            ++p;
+        } else {
+            while (true) {
+                skipWs();
+                std::string key = parseString();
+                skipWs();
+                expect(':');
+                TraceValue value = parseValue();
+                for (const auto &[existing, unused] : record.fields) {
+                    (void)unused;
+                    if (existing == key)
+                        bad("duplicate field '" + key + "'");
+                }
+                record.fields.emplace_back(std::move(key),
+                                           std::move(value));
+                skipWs();
+                if (peek() == ',') {
+                    ++p;
+                    continue;
+                }
+                expect('}');
+                break;
+            }
+        }
+        skipWs();
+        if (p != end)
+            bad("trailing bytes after object");
+        return record;
+    }
+};
+
+} // namespace
+
+const TraceValue *
+TraceRecord::find(const char *name) const
+{
+    for (const auto &[key, value] : fields) {
+        if (key == name)
+            return &value;
+    }
+    return nullptr;
+}
+
+std::uint64_t
+TraceRecord::u64(const char *name) const
+{
+    const TraceValue *v = find(name);
+    if (!v || v->kind != TraceValue::Kind::U64)
+        bad("record '" + type + "' lacks u64 field '" + name + "'");
+    return v->u64;
+}
+
+double
+TraceRecord::f64(const char *name) const
+{
+    const TraceValue *v = find(name);
+    if (!v)
+        bad("record '" + type + "' lacks field '" + name + "'");
+    switch (v->kind) {
+      case TraceValue::Kind::F64: return v->f64;
+      // Integer-typed literals are still valid doubles.
+      case TraceValue::Kind::U64:
+        return static_cast<double>(v->u64);
+      case TraceValue::Kind::I64:
+        return static_cast<double>(v->i64);
+      case TraceValue::Kind::String:
+        // The writer's encoding of the values JSON cannot express.
+        if (v->str == "nan")
+            return std::numeric_limits<double>::quiet_NaN();
+        if (v->str == "inf")
+            return std::numeric_limits<double>::infinity();
+        if (v->str == "-inf")
+            return -std::numeric_limits<double>::infinity();
+        bad("record '" + type + "' field '" + name +
+            "' is a non-numeric string");
+      default:
+        bad("record '" + type + "' field '" + name +
+            "' is not a number");
+    }
+}
+
+const std::string &
+TraceRecord::str(const char *name) const
+{
+    const TraceValue *v = find(name);
+    if (!v || v->kind != TraceValue::Kind::String)
+        bad("record '" + type + "' lacks string field '" + name +
+            "'");
+    return v->str;
+}
+
+bool
+TraceRecord::boolean(const char *name) const
+{
+    const TraceValue *v = find(name);
+    if (!v || v->kind != TraceValue::Kind::Bool)
+        bad("record '" + type + "' lacks bool field '" + name + "'");
+    return v->boolean;
+}
+
+TraceRecord
+TraceReader::parseLine(const std::string &line)
+{
+    LineParser parser(line);
+    TraceRecord record = parser.parseObject();
+    const TraceValue *type = record.find("type");
+    if (!type || type->kind != TraceValue::Kind::String)
+        bad("record lacks a string 'type' field");
+    record.type = type->str;
+    return record;
+}
+
+TraceReader::TraceReader(const std::string &path) : path_(path)
+{
+    file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        throw Error::io("cannot open trace '" + path + "'");
+}
+
+TraceReader::~TraceReader()
+{
+    if (file)
+        std::fclose(file);
+}
+
+std::optional<TraceRecord>
+TraceReader::next()
+{
+    std::string line;
+    int c;
+    while ((c = std::fgetc(file)) != EOF) {
+        if (c == '\n')
+            break;
+        line += static_cast<char>(c);
+    }
+    if (line.empty() && c == EOF)
+        return std::nullopt;
+    ++lineNo;
+    try {
+        return parseLine(line);
+    } catch (const Error &e) {
+        throw Error::io(path_ + ":" + std::to_string(lineNo) + ": " +
+                        e.what());
+    }
+}
+
+TraceStats
+validateTrace(const std::string &path)
+{
+    TraceReader reader(path);
+    TraceStats stats;
+    std::unordered_set<std::uint64_t> openSpans;
+
+    auto fail = [&](const std::string &what) {
+        bad(path + ": " + what);
+    };
+
+    while (auto record = reader.next()) {
+        ++stats.records;
+        const TraceRecord &r = *record;
+        if (stats.records == 1) {
+            if (r.type != "header")
+                fail("first record must be the header");
+            stats.schema = r.u64("schema");
+            if (stats.schema == 0 ||
+                stats.schema > TraceSink::kSchemaVersion)
+                fail("unsupported schema version " +
+                     std::to_string(stats.schema));
+            continue;
+        }
+        if (r.type == "header") {
+            fail("duplicate header");
+        } else if (r.type == "span_begin") {
+            r.u64("ts");
+            r.u64("tid");
+            r.str("name");
+            r.str("cat");
+            const std::uint64_t id = r.u64("id");
+            if (!openSpans.insert(id).second)
+                fail("span id " + std::to_string(id) +
+                     " begun twice");
+            ++stats.spansBegun;
+        } else if (r.type == "span_end") {
+            r.u64("ts");
+            r.u64("tid");
+            const std::uint64_t id = r.u64("id");
+            if (openSpans.erase(id) == 0)
+                fail("span_end for unknown span id " +
+                     std::to_string(id));
+            ++stats.spansEnded;
+        } else if (r.type == "gen") {
+            r.u64("ts");
+            r.u64("generation");
+            r.f64("best");
+            r.f64("mean_topk");
+            r.u64("programs");
+            ++stats.genEvents;
+        } else if (r.type == "campaign") {
+            r.u64("ts");
+            r.str("target");
+            for (const char *field :
+                 {"injections", "masked", "sdc", "crash", "hang",
+                  "hw_corrected", "hw_detected", "forked",
+                  "digest_exits", "failed", "golden_cycles"})
+                r.u64(field);
+            r.boolean("truncated");
+            ++stats.campaignEvents;
+        } else if (r.type == "cache") {
+            r.u64("ts");
+            r.str("cache");
+            r.u64("bytes");
+            const std::string &op = r.str("op");
+            if (op != "hit" && op != "miss" && op != "evict")
+                fail("cache op '" + op + "' is not hit/miss/evict");
+            ++stats.cacheEvents;
+        } else if (r.type == "budget") {
+            r.u64("ts");
+            r.str("scope");
+            r.str("event");
+            ++stats.budgetEvents;
+        } else if (r.type == "note") {
+            r.u64("ts");
+            r.str("text");
+            ++stats.noteEvents;
+        } else {
+            fail("unknown record type '" + r.type + "'");
+        }
+    }
+    if (stats.records == 0)
+        fail("empty trace (no header)");
+    return stats;
+}
+
+} // namespace harpo::telemetry

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Validating reader for the JSONL trace stream TraceSink emits — the
+ * other half of the format contract. Tests round-trip every event
+ * kind through it, and examples/trace_report.cpp builds its per-phase
+ * breakdown on it, so a schema change that forgets either side fails
+ * loudly instead of silently skewing reports.
+ *
+ * The parser is deliberately strict: one flat JSON object per line,
+ * string/number/bool values only, exact token syntax. Anything else —
+ * malformed JSON, a truncated tail line, an unknown event type, a
+ * missing or mistyped field, a span_end without its span_begin —
+ * throws harpo::Error{Io}. It never crashes on arbitrary input.
+ */
+
+#ifndef HARPOCRATES_TELEMETRY_TRACE_READER_HH
+#define HARPOCRATES_TELEMETRY_TRACE_READER_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace harpo::telemetry
+{
+
+/** One parsed JSON scalar. Numbers keep their lexical class: an
+ *  integer literal is U64 (or I64 when negative), anything with a
+ *  decimal point or exponent is F64 — mirroring how TraceSink prints
+ *  them, so a round trip preserves the type. */
+struct TraceValue
+{
+    enum class Kind : std::uint8_t { String, U64, I64, F64, Bool };
+
+    Kind kind = Kind::U64;
+    std::string str;
+    std::uint64_t u64 = 0;
+    std::int64_t i64 = 0;
+    double f64 = 0.0;
+    bool boolean = false;
+
+    static TraceValue
+    ofString(std::string s)
+    {
+        TraceValue v;
+        v.kind = Kind::String;
+        v.str = std::move(s);
+        return v;
+    }
+};
+
+/** One parsed trace line: its "type" plus every field in file order. */
+struct TraceRecord
+{
+    std::string type;
+    std::vector<std::pair<std::string, TraceValue>> fields;
+
+    /** The field named @p name, or nullptr. */
+    const TraceValue *find(const char *name) const;
+
+    // Typed accessors; throw harpo::Error{Io} on a missing field or a
+    // kind mismatch (that *is* the schema violation being validated).
+    std::uint64_t u64(const char *name) const;
+    double f64(const char *name) const; ///< accepts "nan"/"inf"/"-inf"
+    const std::string &str(const char *name) const;
+    bool boolean(const char *name) const;
+};
+
+/** Aggregate counts from one validated trace. */
+struct TraceStats
+{
+    std::uint64_t schema = 0;
+    std::uint64_t records = 0; ///< including the header
+    std::uint64_t spansBegun = 0;
+    std::uint64_t spansEnded = 0;
+    std::uint64_t genEvents = 0;
+    std::uint64_t campaignEvents = 0;
+    std::uint64_t cacheEvents = 0;
+    std::uint64_t budgetEvents = 0;
+    std::uint64_t noteEvents = 0;
+
+    /** Spans begun but never ended (a truncated run leaves some). */
+    std::uint64_t
+    openSpans() const
+    {
+        return spansBegun - spansEnded;
+    }
+};
+
+/** Streaming record reader over one trace file. */
+class TraceReader
+{
+  public:
+    /** Open @p path; throws harpo::Error{Io} when unreadable. */
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    /** Next record, or nullopt at end of file. Throws
+     *  harpo::Error{Io} on any malformed line. */
+    std::optional<TraceRecord> next();
+
+    /** Parse one JSONL line (no trailing newline). Throws
+     *  harpo::Error{Io} on malformed input; never crashes. */
+    static TraceRecord parseLine(const std::string &line);
+
+  private:
+    std::FILE *file = nullptr;
+    std::string path_;
+    std::uint64_t lineNo = 0;
+};
+
+/**
+ * Fully validate the trace at @p path against schema v1: header
+ * first, every record of a known type with its required fields
+ * correctly typed, every span_end matching an open span_begin, cache
+ * ops drawn from {hit, miss, evict}. Returns the aggregate counts;
+ * throws harpo::Error{Io} on the first violation.
+ */
+TraceStats validateTrace(const std::string &path);
+
+} // namespace harpo::telemetry
+
+#endif // HARPOCRATES_TELEMETRY_TRACE_READER_HH

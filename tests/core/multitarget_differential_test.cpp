@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Differential test of the MultiTarget objective: a MultiTarget run
+ * must be bit-identical to a Custom-fitness run whose callback
+ * computes the same weight-normalised dot product over
+ * measureAllCoverage by hand. Any drift between the two — a changed
+ * accumulation order, a forgotten normalisation, a structure index
+ * mix-up — shows up as a history mismatch on the first generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "core/harpocrates.hh"
+#include "coverage/measure.hh"
+
+using namespace harpo;
+using harpo::core::FitnessKind;
+using harpo::core::Harpocrates;
+using harpo::core::LoopConfig;
+using harpo::core::LoopResult;
+using coverage::TargetStructure;
+using coverage::numTargetStructures;
+
+namespace
+{
+
+LoopConfig
+baseConfig(std::uint64_t seed)
+{
+    LoopConfig cfg = core::presetFor(TargetStructure::IntAdder, 0.2);
+    cfg.population = 4;
+    cfg.topK = 2;
+    cfg.generations = 3;
+    cfg.gen.numInstructions = 60;
+    cfg.seed = seed;
+    return cfg;
+}
+
+} // namespace
+
+TEST(MultiTargetDifferential, EqualsManualDotProductUnderRandomWeights)
+{
+    harpo::Rng rng(0x5EED5EED);
+    for (int trial = 0; trial < 2; ++trial) {
+        std::array<double, numTargetStructures> weights{};
+        for (double &w : weights)
+            w = 0.05 + rng.uniform();
+        // Exercise structure exclusion: zero out one weight per trial.
+        weights[rng.below(numTargetStructures)] = 0.0;
+
+        const std::uint64_t seed = 4242 + trial;
+        LoopConfig multiCfg = baseConfig(seed);
+        multiCfg.fitness = FitnessKind::MultiTarget;
+        multiCfg.targetWeights = weights;
+        const LoopResult multi = Harpocrates(multiCfg).run();
+
+        LoopConfig manualCfg = baseConfig(seed);
+        manualCfg.fitness = FitnessKind::Custom;
+        const uarch::CoreConfig core = manualCfg.core;
+        manualCfg.customFitness =
+            [weights, core](const isa::TestProgram &program) {
+                const coverage::CoverageVector cov =
+                    coverage::measureAllCoverage(program, core);
+                // Same accumulation order as weightedFitness so the
+                // comparison is bit-exact, not merely approximate.
+                double weighted = 0.0, sum = 0.0;
+                for (std::size_t s = 0; s < numTargetStructures; ++s) {
+                    weighted += weights[s] * cov.coverage[s];
+                    sum += weights[s];
+                }
+                return weighted / sum;
+            };
+        const LoopResult manual = Harpocrates(manualCfg).run();
+
+        ASSERT_EQ(multi.history.size(), manual.history.size())
+            << "trial " << trial;
+        for (std::size_t g = 0; g < multi.history.size(); ++g) {
+            EXPECT_EQ(multi.history[g].generation,
+                      manual.history[g].generation);
+            EXPECT_EQ(multi.history[g].bestCoverage,
+                      manual.history[g].bestCoverage)
+                << "trial " << trial << " generation " << g;
+            EXPECT_EQ(multi.history[g].meanTopK,
+                      manual.history[g].meanTopK)
+                << "trial " << trial << " generation " << g;
+        }
+        EXPECT_EQ(multi.bestCoverage, manual.bestCoverage);
+        EXPECT_EQ(multi.bestGenome.seq, manual.bestGenome.seq);
+        EXPECT_EQ(multi.bestGenome.operandSeed,
+                  manual.bestGenome.operandSeed);
+        EXPECT_EQ(multi.programsEvaluated, manual.programsEvaluated);
+
+        // Only the MultiTarget run reports per-structure bests, and
+        // excluded structures are still measured (weights steer
+        // selection, not measurement).
+        double structureSum = 0.0;
+        for (const double v : multi.bestByStructure)
+            structureSum += v;
+        EXPECT_GT(structureSum, 0.0);
+    }
+}
+
+TEST(MultiTargetDifferential, SingleNonZeroWeightMatchesSoloGrading)
+{
+    // With all weight on one structure the MultiTarget fitness is
+    // exactly that structure's solo coverage, so the run must match a
+    // plain HardwareCoverage run targeting it.
+    const std::uint64_t seed = 777;
+    LoopConfig soloCfg = baseConfig(seed);
+    soloCfg.target = TargetStructure::IntAdder;
+    soloCfg.fitness = FitnessKind::HardwareCoverage;
+    const LoopResult solo = Harpocrates(soloCfg).run();
+
+    LoopConfig multiCfg = baseConfig(seed);
+    multiCfg.fitness = FitnessKind::MultiTarget;
+    multiCfg.targetWeights = {};
+    // A power-of-two weight so w*x/w is bit-exact under IEEE-754.
+    multiCfg.targetWeights[static_cast<std::size_t>(
+        TargetStructure::IntAdder)] = 2.0;
+    const LoopResult multi = Harpocrates(multiCfg).run();
+
+    ASSERT_EQ(multi.history.size(), solo.history.size());
+    for (std::size_t g = 0; g < solo.history.size(); ++g) {
+        EXPECT_EQ(multi.history[g].bestCoverage,
+                  solo.history[g].bestCoverage)
+            << "generation " << g;
+        EXPECT_EQ(multi.history[g].meanTopK, solo.history[g].meanTopK)
+            << "generation " << g;
+    }
+    EXPECT_EQ(multi.bestGenome.seq, solo.bestGenome.seq);
+}

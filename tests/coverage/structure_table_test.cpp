@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Pins the structure descriptor table: the six paper structures, their
+ * figure names, circuits and metric kinds are external interface (CLI
+ * flags, trace records, checkpoint targets all speak these names), so
+ * any change must be a conscious one that fails here first. Also
+ * proves structureName/parseStructure are exact inverses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "coverage/measure.hh"
+
+using namespace harpo::coverage;
+using harpo::isa::FuCircuit;
+
+TEST(StructureTable, PinsTheSixPaperStructures)
+{
+    const auto &table = allStructures();
+    ASSERT_EQ(table.size(), 6u);
+    ASSERT_EQ(numTargetStructures, 6u);
+
+    struct Expected
+    {
+        TargetStructure target;
+        const char *name;
+        FuCircuit circuit;
+        bool bitArray;
+    };
+    const Expected expected[6] = {
+        {TargetStructure::IntRegFile, "IRF", FuCircuit::None, true},
+        {TargetStructure::L1DCache, "L1D", FuCircuit::None, true},
+        {TargetStructure::IntAdder, "IntAdder", FuCircuit::IntAdd,
+         false},
+        {TargetStructure::IntMultiplier, "IntMultiplier",
+         FuCircuit::IntMul, false},
+        {TargetStructure::FpAdder, "SSE-FP-Adder", FuCircuit::FpAdd,
+         false},
+        {TargetStructure::FpMultiplier, "SSE-FP-Multiplier",
+         FuCircuit::FpMul, false},
+    };
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        EXPECT_EQ(table[i].target, expected[i].target) << "entry " << i;
+        EXPECT_STREQ(table[i].name, expected[i].name) << "entry " << i;
+        EXPECT_EQ(table[i].circuit, expected[i].circuit)
+            << "entry " << i;
+        EXPECT_EQ(table[i].bitArray, expected[i].bitArray)
+            << "entry " << i;
+        // The table is indexed by enum value.
+        EXPECT_EQ(static_cast<std::size_t>(table[i].target), i);
+    }
+}
+
+TEST(StructureTable, NameParseRoundTripsOverEveryStructure)
+{
+    for (const StructureInfo &info : allStructures()) {
+        const char *name = structureName(info.target);
+        EXPECT_STREQ(name, info.name);
+        const auto parsed = parseStructure(name);
+        ASSERT_TRUE(parsed.has_value()) << name;
+        EXPECT_EQ(*parsed, info.target) << name;
+        // Accessors agree with the table.
+        EXPECT_EQ(circuitFor(info.target), info.circuit);
+        EXPECT_EQ(isBitArray(info.target), info.bitArray);
+    }
+}
+
+TEST(StructureTable, ParseRejectsUnknownAndNearMissNames)
+{
+    EXPECT_FALSE(parseStructure(nullptr).has_value());
+    EXPECT_FALSE(parseStructure("").has_value());
+    EXPECT_FALSE(parseStructure("bogus").has_value());
+    // Matching is exact: case and punctuation matter.
+    EXPECT_FALSE(parseStructure("irf").has_value());
+    EXPECT_FALSE(parseStructure("IRF ").has_value());
+    EXPECT_FALSE(parseStructure("SSE-FP-adder").has_value());
+    EXPECT_FALSE(parseStructure("IntAdder\n").has_value());
+}

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Golden-cache capacity enforcement under adversarial insertion: the
+ * entry cap and the byte cap must hold after every insert, the
+ * second-chance sweep must evict in its documented order, and the
+ * three observability surfaces — the FaultCampaign accessors, the
+ * metrics registry and the trace stream — must all agree with the
+ * ground truth the test derives by hand.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "faultsim/campaign.hh"
+#include "isa/builder.hh"
+#include "isa/registers.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
+#include "telemetry/trace_reader.hh"
+
+using namespace harpo;
+using namespace harpo::faultsim;
+using namespace harpo::isa;
+using coverage::TargetStructure;
+using PB = ProgramBuilder;
+
+namespace
+{
+
+/** Fixed-shape program whose fingerprint varies with @p salt, so every
+ *  salt is a distinct cache key with a near-identical payload size. */
+TestProgram
+saltedChain(std::uint64_t salt, int n = 60)
+{
+    PB b("goldencache" + std::to_string(salt));
+    b.setGpr(RAX, 0x1111111111111111ull ^ salt);
+    b.setGpr(RBX, 0x2222222222222222ull + salt);
+    for (int i = 0; i < n; ++i) {
+        b.i("add r64, r64", {PB::gpr(RAX), PB::gpr(RBX)});
+        b.i("adc r64, imm32",
+            {PB::gpr(RBX), PB::imm(static_cast<int>(salt) + i)});
+    }
+    return b.build();
+}
+
+CampaignConfig
+smallCampaign()
+{
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::IntRegFile);
+    cfg.numInjections = 3;
+    return cfg;
+}
+
+struct CacheCounts
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+};
+
+CacheCounts
+counts()
+{
+    return {FaultCampaign::goldenCacheHits(),
+            FaultCampaign::goldenCacheMisses(),
+            FaultCampaign::goldenCacheEvictions()};
+}
+
+/** Restores default capacity and empties the cache on scope exit so a
+ *  failing assertion cannot leak a tiny cap into later tests. */
+struct CacheGuard
+{
+    ~CacheGuard()
+    {
+        FaultCampaign::setGoldenCacheCapacity(0, 0);
+        FaultCampaign::clearGoldenCache();
+    }
+};
+
+} // namespace
+
+TEST(GoldenCacheEviction, EntryCapHoldsAndAllCountersAgree)
+{
+    CacheGuard guard;
+    FaultCampaign::clearGoldenCache();
+    FaultCampaign::setGoldenCacheCapacity(/*max_entries=*/3);
+
+    auto &registry = telemetry::MetricsRegistry::instance();
+    const telemetry::MetricId hitsId =
+        registry.counter("golden_cache.hits");
+    const telemetry::MetricId missesId =
+        registry.counter("golden_cache.misses");
+    const std::uint64_t mHits0 = registry.counterValue(hitsId);
+    const std::uint64_t mMisses0 = registry.counterValue(missesId);
+    const CacheCounts c0 = counts();
+
+    const std::string tracePath =
+        testing::TempDir() + "harpo_golden_cache.trace.jsonl";
+    auto sink = std::make_unique<telemetry::TraceSink>(tracePath);
+    telemetry::TraceSink::install(sink.get());
+
+    // Seven distinct programs through a 3-entry cache: every run is a
+    // cold miss, and from the fourth on each insert must evict.
+    const CampaignConfig cfg = smallCampaign();
+    for (std::uint64_t salt = 0; salt < 7; ++salt) {
+        FaultCampaign::run(saltedChain(salt), cfg);
+        EXPECT_LE(FaultCampaign::goldenCacheEntries(), 3u)
+            << "after program " << salt;
+    }
+    sink.reset(); // uninstalls and flushes
+
+    const CacheCounts c1 = counts();
+    EXPECT_EQ(c1.misses - c0.misses, 7u);
+    EXPECT_EQ(c1.hits - c0.hits, 0u);
+    EXPECT_EQ(FaultCampaign::goldenCacheEntries(), 3u);
+    // With all-distinct keys, every miss is an insert, so evictions
+    // are exactly inserts minus what remains resident.
+    EXPECT_EQ(c1.evictions - c0.evictions, 7u - 3u);
+
+    // The metrics registry saw the same traffic.
+    EXPECT_EQ(registry.counterValue(hitsId) - mHits0, c1.hits - c0.hits);
+    EXPECT_EQ(registry.counterValue(missesId) - mMisses0,
+              c1.misses - c0.misses);
+
+    // And the trace stream recorded one cache event per hit, miss and
+    // eviction.
+    CacheCounts traced;
+    telemetry::TraceReader reader(tracePath);
+    while (const auto record = reader.next()) {
+        if (record->type != "cache" ||
+            record->str("cache") != "golden")
+            continue;
+        const std::string &op = record->str("op");
+        if (op == "hit")
+            ++traced.hits;
+        else if (op == "miss")
+            ++traced.misses;
+        else if (op == "evict")
+            ++traced.evictions;
+    }
+    EXPECT_EQ(traced.hits, c1.hits - c0.hits);
+    EXPECT_EQ(traced.misses, c1.misses - c0.misses);
+    EXPECT_EQ(traced.evictions, c1.evictions - c0.evictions);
+    std::remove(tracePath.c_str());
+}
+
+TEST(GoldenCacheEviction, ByteCapHoldsUnderAdversarialInsertion)
+{
+    CacheGuard guard;
+    FaultCampaign::clearGoldenCache();
+    FaultCampaign::setGoldenCacheCapacity(0, 0);
+
+    // Size one representative entry, then cap the cache at two and a
+    // half of them: at most two same-shape entries can be resident.
+    const CampaignConfig cfg = smallCampaign();
+    FaultCampaign::run(saltedChain(100), cfg);
+    const std::size_t entryBytes = FaultCampaign::goldenCacheBytes();
+    ASSERT_GT(entryBytes, 0u);
+    ASSERT_EQ(FaultCampaign::goldenCacheEntries(), 1u);
+
+    const std::size_t maxBytes = entryBytes * 5 / 2;
+    FaultCampaign::clearGoldenCache();
+    FaultCampaign::setGoldenCacheCapacity(0, maxBytes);
+
+    const CacheCounts c0 = counts();
+    for (std::uint64_t salt = 200; salt < 206; ++salt) {
+        FaultCampaign::run(saltedChain(salt), cfg);
+        EXPECT_LE(FaultCampaign::goldenCacheBytes(), maxBytes)
+            << "after program " << salt;
+        EXPECT_GE(FaultCampaign::goldenCacheEntries(), 1u);
+    }
+    const CacheCounts c1 = counts();
+    EXPECT_EQ(c1.misses - c0.misses, 6u);
+    // Byte accounting stays consistent with the entry count: inserts
+    // minus evictions is what remains resident.
+    EXPECT_EQ(FaultCampaign::goldenCacheEntries(),
+              (c1.misses - c0.misses) - (c1.evictions - c0.evictions));
+}
+
+TEST(GoldenCacheEviction, SecondChanceSweepEvictsInDocumentedOrder)
+{
+    // Pins the clock policy exactly. Capacity 3, distinct programs
+    // A..E; insertion sets the referenced bit, a hit re-arms it, the
+    // sweep clears bits as it passes and evicts the first clear entry.
+    //   insert A, B, C   -> {A*, B*, C*}            (* = referenced)
+    //   insert D         -> sweep clears A, B, C, comes back to A,
+    //                       evicts A -> {B, C, D*}
+    //   hit C            -> {B, C*, D*}
+    //   insert E         -> hand is on B, which is clear: evicts B,
+    //                       C survives on its second chance
+    //                       -> {C*, D*, E*}
+    CacheGuard guard;
+    FaultCampaign::clearGoldenCache();
+    FaultCampaign::setGoldenCacheCapacity(/*max_entries=*/3);
+
+    const CampaignConfig cfg = smallCampaign();
+    const TestProgram a = saltedChain(10);
+    const TestProgram b = saltedChain(11);
+    const TestProgram c = saltedChain(12);
+    const TestProgram d = saltedChain(13);
+    const TestProgram e = saltedChain(14);
+
+    CacheCounts before = counts();
+    FaultCampaign::run(a, cfg);
+    FaultCampaign::run(b, cfg);
+    FaultCampaign::run(c, cfg);
+    CacheCounts now = counts();
+    EXPECT_EQ(now.misses - before.misses, 3u);
+    EXPECT_EQ(now.evictions - before.evictions, 0u);
+
+    before = now;
+    FaultCampaign::run(d, cfg); // evicts A
+    now = counts();
+    EXPECT_EQ(now.misses - before.misses, 1u);
+    EXPECT_EQ(now.evictions - before.evictions, 1u);
+
+    before = now;
+    FaultCampaign::run(c, cfg); // hit: re-arms C
+    now = counts();
+    EXPECT_EQ(now.hits - before.hits, 1u);
+    EXPECT_EQ(now.misses - before.misses, 0u);
+
+    before = now;
+    FaultCampaign::run(e, cfg); // evicts B; C protected
+    now = counts();
+    EXPECT_EQ(now.misses - before.misses, 1u);
+    EXPECT_EQ(now.evictions - before.evictions, 1u);
+    EXPECT_EQ(FaultCampaign::goldenCacheEntries(), 3u);
+
+    // Residency check: C, D and E hit; A and B were evicted. The A and
+    // B re-runs go last because each one is itself an insert.
+    before = now;
+    FaultCampaign::run(c, cfg);
+    FaultCampaign::run(d, cfg);
+    FaultCampaign::run(e, cfg);
+    now = counts();
+    EXPECT_EQ(now.hits - before.hits, 3u);
+    EXPECT_EQ(now.misses - before.misses, 0u);
+
+    before = now;
+    FaultCampaign::run(a, cfg);
+    FaultCampaign::run(b, cfg);
+    now = counts();
+    EXPECT_EQ(now.hits - before.hits, 0u);
+    EXPECT_EQ(now.misses - before.misses, 2u);
+}

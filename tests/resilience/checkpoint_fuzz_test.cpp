@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Fuzz-style robustness tests for the checkpoint file format: every
+ * possible truncation length, random single-byte corruption, header
+ * version flips, and plain garbage must all surface as a clean
+ * harpo::Error{Io} — never a crash, a wild allocation, or undefined
+ * behaviour. Runs in the regular unit tier so the sanitizer CI job
+ * sweeps it on every push.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/harpocrates.hh"
+#include "resilience/checkpoint.hh"
+#include "resilience/error.hh"
+#include "resilience/snapshot_io.hh"
+
+using namespace harpo;
+using namespace harpo::resilience;
+
+namespace
+{
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "harpo_fuzz_" + name;
+}
+
+std::vector<std::uint8_t>
+readAll(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f),
+              bytes.size());
+    std::fclose(f);
+    return bytes;
+}
+
+void
+writeAll(const std::string &path, const std::vector<std::uint8_t> &b)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    if (!b.empty()) {
+        ASSERT_EQ(std::fwrite(b.data(), 1, b.size(), f), b.size());
+    }
+    std::fclose(f);
+}
+
+LoopCheckpoint
+sampleCheckpoint()
+{
+    LoopCheckpoint ckpt;
+    ckpt.configFingerprint = 0xFEEDFACE12345678ull;
+    ckpt.nextGeneration = 5;
+    ckpt.rngState = {11, 22, 33, 44};
+    ckpt.bestCoverage = 0.73125;
+    ckpt.programsEvaluated = 90;
+    ckpt.instructionsGenerated = 36000;
+    ckpt.timing.mutationSec = 0.25;
+    ckpt.timing.generationSec = 2.0;
+    ckpt.timing.compilationSec = 0.125;
+    ckpt.timing.evaluationSec = 8.5;
+    for (unsigned g = 0; g < 5; ++g) {
+        core::GenerationStats stats;
+        stats.generation = g;
+        stats.bestCoverage = 0.11 * g;
+        stats.meanTopK = 0.07 * g;
+        stats.detection = g % 2 ? 0.25 : -1.0;
+        for (std::size_t s = 0; s < coverage::numTargetStructures; ++s)
+            stats.bestByStructure[s] = 0.0625 * g + 0.005 * s;
+        ckpt.history.push_back(stats);
+    }
+    ckpt.bestGenome.seq = {3, 1, 4, 1, 5, 9, 2, 6};
+    ckpt.bestGenome.operandSeed = 0xABCD;
+    for (int i = 0; i < 3; ++i) {
+        museqgen::Genome genome;
+        genome.seq = {static_cast<std::uint16_t>(10 * i),
+                      static_cast<std::uint16_t>(10 * i + 1),
+                      static_cast<std::uint16_t>(10 * i + 2)};
+        genome.operandSeed = 7 + i;
+        ckpt.population.push_back(genome);
+    }
+    return ckpt;
+}
+
+constexpr std::uint64_t checkpointMagic = 0x504B434F50524148ull;
+
+/** Serialise the v1 on-disk layout by hand — the v2 layout minus the
+ *  per-history-entry structure bests (mirrors checkpoint_test.cpp). */
+std::vector<std::uint8_t>
+v1Payload(const LoopCheckpoint &a)
+{
+    SnapshotWriter out;
+    out.u64(a.configFingerprint);
+    out.u32(a.nextGeneration);
+    for (const std::uint64_t word : a.rngState)
+        out.u64(word);
+    out.f64(a.bestCoverage);
+    out.u64(a.programsEvaluated);
+    out.u64(a.instructionsGenerated);
+    out.f64(a.timing.mutationSec);
+    out.f64(a.timing.generationSec);
+    out.f64(a.timing.compilationSec);
+    out.f64(a.timing.evaluationSec);
+    out.u32(static_cast<std::uint32_t>(a.history.size()));
+    for (const core::GenerationStats &stats : a.history) {
+        out.u32(stats.generation);
+        out.f64(stats.bestCoverage);
+        out.f64(stats.meanTopK);
+        out.f64(stats.detection);
+    }
+    auto putGenome = [&out](const museqgen::Genome &genome) {
+        out.u64(genome.operandSeed);
+        out.u32(static_cast<std::uint32_t>(genome.seq.size()));
+        for (const std::uint16_t variant : genome.seq)
+            out.u16(variant);
+    };
+    putGenome(a.bestGenome);
+    out.u32(static_cast<std::uint32_t>(a.population.size()));
+    for (const museqgen::Genome &genome : a.population)
+        putGenome(genome);
+    return out.bytes();
+}
+
+/** load() must either succeed or throw harpo::Error — anything else
+ *  (a foreign exception, a crash, a sanitizer report) is a bug. */
+enum class LoadOutcome { Ok, IoError };
+
+LoadOutcome
+tryLoad(const std::string &path)
+{
+    try {
+        (void)LoopCheckpoint::load(path);
+        return LoadOutcome::Ok;
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Io);
+        return LoadOutcome::IoError;
+    }
+    // Any other exception type escapes and fails the test.
+}
+
+} // namespace
+
+TEST(CheckpointFuzz, TruncationAtEveryLengthThrowsIoError)
+{
+    const std::string path = tmpPath("trunc.ckpt");
+    sampleCheckpoint().save(path);
+    const std::vector<std::uint8_t> bytes = readAll(path);
+    ASSERT_GT(bytes.size(), 32u);
+
+    const std::string cut = tmpPath("trunc_cut.ckpt");
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        writeAll(cut, {bytes.begin(), bytes.begin() + len});
+        EXPECT_EQ(tryLoad(cut), LoadOutcome::IoError)
+            << "prefix " << len << " of " << bytes.size();
+    }
+    // Sanity: the untruncated file still loads.
+    writeAll(cut, bytes);
+    EXPECT_EQ(tryLoad(cut), LoadOutcome::Ok);
+    std::remove(path.c_str());
+    std::remove(cut.c_str());
+}
+
+TEST(CheckpointFuzz, TruncationOfV1FileAtEveryLengthThrowsIoError)
+{
+    const std::string path = tmpPath("trunc_v1.ckpt");
+    writeSnapshotFile(path, checkpointMagic, /*version=*/1,
+                      v1Payload(sampleCheckpoint()));
+    const std::vector<std::uint8_t> bytes = readAll(path);
+
+    const std::string cut = tmpPath("trunc_v1_cut.ckpt");
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        writeAll(cut, {bytes.begin(), bytes.begin() + len});
+        EXPECT_EQ(tryLoad(cut), LoadOutcome::IoError)
+            << "prefix " << len << " of " << bytes.size();
+    }
+    writeAll(cut, bytes);
+    EXPECT_EQ(tryLoad(cut), LoadOutcome::Ok);
+    std::remove(path.c_str());
+    std::remove(cut.c_str());
+}
+
+TEST(CheckpointFuzz, SingleByteCorruptionIsAlwaysHandledCleanly)
+{
+    // XOR one random byte with a random non-zero mask. Payload bytes
+    // (offset >= 32) are covered by the checksum, so corrupting them
+    // MUST fail the load. Header bytes may or may not be load-bearing
+    // (the reserved field is not), so there the contract is only
+    // "clean outcome": success or Error{Io}, never UB.
+    for (const std::uint32_t version : {1u, 2u}) {
+        const std::string path = tmpPath("corrupt.ckpt");
+        if (version == 2)
+            sampleCheckpoint().save(path);
+        else
+            writeSnapshotFile(path, checkpointMagic, 1,
+                              v1Payload(sampleCheckpoint()));
+        const std::vector<std::uint8_t> clean = readAll(path);
+
+        harpo::Rng rng(0xC0FFEE ^ version);
+        for (int trial = 0; trial < 300; ++trial) {
+            const std::size_t offset = rng.below(clean.size());
+            const auto mask =
+                static_cast<std::uint8_t>(1 + rng.below(255));
+            std::vector<std::uint8_t> bytes = clean;
+            bytes[offset] ^= mask;
+            writeAll(path, bytes);
+            const LoadOutcome outcome = tryLoad(path);
+            if (offset >= 32) {
+                EXPECT_EQ(outcome, LoadOutcome::IoError)
+                    << "v" << version << " payload offset " << offset
+                    << " mask " << int(mask);
+            }
+        }
+        std::remove(path.c_str());
+    }
+}
+
+TEST(CheckpointFuzz, VersionFieldFlipsAreHandledCleanly)
+{
+    // The header is not checksummed, so a bit flip in the version
+    // field makes the loader parse a v2 payload with the v1 layout
+    // (or reject it outright). Every value must produce a clean
+    // outcome; 0 and >kVersion must be rejected explicitly.
+    const std::string path = tmpPath("verflip.ckpt");
+    sampleCheckpoint().save(path);
+    const std::vector<std::uint8_t> clean = readAll(path);
+
+    for (std::uint32_t v = 0; v <= 8; ++v) {
+        std::vector<std::uint8_t> bytes = clean;
+        for (int i = 0; i < 4; ++i) // version is LE u32 at offset 8
+            bytes[8 + i] = static_cast<std::uint8_t>(v >> (8 * i));
+        writeAll(path, bytes);
+        const LoadOutcome outcome = tryLoad(path);
+        if (v == LoopCheckpoint::kVersion) {
+            EXPECT_EQ(outcome, LoadOutcome::Ok);
+        } else if (v == 0 || v > LoopCheckpoint::kVersion) {
+            EXPECT_EQ(outcome, LoadOutcome::IoError) << "version " << v;
+        }
+        // v1 over a v2 payload: either outcome, as long as it is
+        // clean — tryLoad already rejects foreign exceptions.
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SnapshotIoFuzz, RandomGarbageAlwaysThrowsIoError)
+{
+    const std::string path = tmpPath("garbage.snap");
+    harpo::Rng rng(0xBADF00D);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t len = rng.below(256);
+        std::vector<std::uint8_t> bytes(len);
+        for (auto &b : bytes)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        writeAll(path, bytes);
+        try {
+            (void)readSnapshotFile(path, checkpointMagic,
+                                   LoopCheckpoint::kVersion);
+            FAIL() << "garbage of length " << len << " was accepted";
+        } catch (const Error &e) {
+            EXPECT_EQ(e.kind(), ErrorKind::Io);
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SnapshotIoFuzz, ImplausibleElementCountsAreRejectedBeforeAlloc)
+{
+    // Craft a payload whose genome-length field claims more elements
+    // than the payload could possibly hold; the loader must throw
+    // Error{Io} from the plausibility check, not attempt a wild
+    // reserve. Reuses the v1 layout so the count sits right after the
+    // fixed-size prelude.
+    LoopCheckpoint a = sampleCheckpoint();
+    a.history.clear();
+    SnapshotWriter out;
+    out.u64(a.configFingerprint);
+    out.u32(a.nextGeneration);
+    for (const std::uint64_t word : a.rngState)
+        out.u64(word);
+    out.f64(a.bestCoverage);
+    out.u64(a.programsEvaluated);
+    out.u64(a.instructionsGenerated);
+    out.f64(a.timing.mutationSec);
+    out.f64(a.timing.generationSec);
+    out.f64(a.timing.compilationSec);
+    out.f64(a.timing.evaluationSec);
+    out.u32(0);                  // empty history
+    out.u64(a.bestGenome.operandSeed);
+    out.u32(0xFFFFFFFFu);        // absurd bestGenome length
+    const std::string path = tmpPath("wild_len.ckpt");
+    writeSnapshotFile(path, checkpointMagic, 1, out.bytes());
+    try {
+        LoopCheckpoint::load(path);
+        FAIL() << "expected Error{Io}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Io);
+    }
+    std::remove(path.c_str());
+}

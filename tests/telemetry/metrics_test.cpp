@@ -1,0 +1,187 @@
+/**
+ * @file
+ * MetricsRegistry semantics: idempotent registration, cross-thread
+ * counter aggregation (including threads that exit before the read),
+ * gauge last-write-wins, histogram bucket assignment against ground
+ * truth, reset, and the human-readable summary table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.hh"
+
+using namespace harpo::telemetry;
+
+namespace
+{
+
+MetricsRegistry &
+reg()
+{
+    return MetricsRegistry::instance();
+}
+
+} // namespace
+
+TEST(Metrics, RegistrationIsIdempotent)
+{
+    const MetricId a = reg().counter("test.idempotent");
+    const MetricId b = reg().counter("test.idempotent");
+    EXPECT_EQ(a, b);
+    const MetricId c = reg().counter("test.idempotent.other");
+    EXPECT_NE(a, c);
+
+    const MetricId h1 =
+        reg().histogram("test.idempotent.hist", {1.0, 2.0});
+    const MetricId h2 =
+        reg().histogram("test.idempotent.hist", {1.0, 2.0});
+    EXPECT_EQ(h1, h2);
+}
+
+TEST(Metrics, CounterAggregatesAcrossThreads)
+{
+    const MetricId id = reg().counter("test.mt_counter");
+    const std::uint64_t before = reg().counterValue(id);
+
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kPerThread = 20000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([id] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i)
+                count(id);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(reg().counterValue(id) - before, kThreads * kPerThread);
+}
+
+TEST(Metrics, ExitedThreadsFoldIntoRetiredTotals)
+{
+    // The incrementing thread is joined (its shard destroyed) before
+    // the value is read: the retired aggregate must carry its slots.
+    const MetricId id = reg().counter("test.retired_counter");
+    const MetricId hist =
+        reg().histogram("test.retired_hist", {10.0, 100.0});
+    const std::uint64_t before = reg().counterValue(id);
+
+    std::thread worker([&] {
+        count(id, 41);
+        count(id);
+        observe(hist, 5.0);
+        observe(hist, 50.0);
+        observe(hist, 5000.0);
+    });
+    worker.join();
+
+    EXPECT_EQ(reg().counterValue(id) - before, 42u);
+    const MetricsSnapshot snap = reg().snapshot();
+    bool found = false;
+    for (const auto &[name, h] : snap.histograms) {
+        if (name != "test.retired_hist")
+            continue;
+        found = true;
+        ASSERT_EQ(h.buckets.size(), 3u);
+        EXPECT_EQ(h.buckets[0], 1u); // 5.0   <= 10
+        EXPECT_EQ(h.buckets[1], 1u); // 50.0  <= 100
+        EXPECT_EQ(h.buckets[2], 1u); // 5000.0 overflow
+        EXPECT_EQ(h.count, 3u);
+        EXPECT_DOUBLE_EQ(h.sum, 5055.0);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Metrics, GaugeLastWriteWins)
+{
+    const MetricId id = reg().gauge("test.gauge");
+    setGauge(id, 17);
+    setGauge(id, -3);
+    const MetricsSnapshot snap = reg().snapshot();
+    bool found = false;
+    for (const auto &[name, value] : snap.gauges) {
+        if (name == "test.gauge") {
+            found = true;
+            EXPECT_EQ(value, -3);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Metrics, HistogramBucketsMatchGroundTruth)
+{
+    // upper_bound semantics: a value equal to a bound belongs to that
+    // bound's bucket ("<= bound"); strictly above the last bound goes
+    // to the overflow bucket.
+    const MetricId id =
+        reg().histogram("test.bucket_hist", {1.0, 10.0, 100.0});
+    const double values[] = {0.0, 1.0, 1.5, 10.0, 10.5,
+                             99.0, 100.0, 101.0, 1e9};
+    std::uint64_t expect[4] = {2, 2, 3, 2};
+    double expectSum = 0.0;
+    for (const double v : values) {
+        observe(id, v);
+        expectSum += v;
+    }
+
+    const MetricsSnapshot snap = reg().snapshot();
+    for (const auto &[name, h] : snap.histograms) {
+        if (name != "test.bucket_hist")
+            continue;
+        ASSERT_EQ(h.buckets.size(), 4u);
+        for (std::size_t b = 0; b < 4; ++b)
+            EXPECT_EQ(h.buckets[b], expect[b]) << "bucket " << b;
+        EXPECT_EQ(h.count, 9u);
+        EXPECT_DOUBLE_EQ(h.sum, expectSum);
+        return;
+    }
+    FAIL() << "histogram not present in snapshot";
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsRegistrations)
+{
+    const MetricId id = reg().counter("test.reset_counter");
+    count(id, 7);
+    EXPECT_GT(reg().counterValue(id), 0u);
+    reg().reset();
+    EXPECT_EQ(reg().counterValue(id), 0u);
+    // The id is still valid and usable after reset.
+    count(id, 3);
+    EXPECT_EQ(reg().counterValue(id), 3u);
+}
+
+TEST(Metrics, SummaryTableListsNonZeroMetricsOnly)
+{
+    reg().reset();
+    const MetricId shown = reg().counter("test.summary_shown");
+    reg().counter("test.summary_hidden"); // stays zero
+    count(shown, 5);
+
+    const std::string table = reg().summaryTable();
+    EXPECT_NE(table.find("test.summary_shown"), std::string::npos);
+    EXPECT_EQ(table.find("test.summary_hidden"), std::string::npos);
+    EXPECT_NE(table.find("-- counters --"), std::string::npos);
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(MetricsDeathTest, KindMismatchPanics)
+{
+    reg().counter("test.kind_mismatch");
+    EXPECT_DEATH(reg().gauge("test.kind_mismatch"),
+                 "different kind");
+}
+
+TEST(MetricsDeathTest, HistogramBoundsMismatchPanics)
+{
+    reg().histogram("test.bounds_mismatch", {1.0, 2.0});
+    EXPECT_DEATH(reg().histogram("test.bounds_mismatch", {1.0, 3.0}),
+                 "different bounds");
+}
+#endif

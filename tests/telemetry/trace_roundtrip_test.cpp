@@ -1,0 +1,521 @@
+/**
+ * @file
+ * TraceSink <-> TraceReader format contract, property-tested:
+ *
+ *  - every emitted event parses back bit-identically (randomized
+ *    sequences over all event kinds, seeded harpo::Rng, including
+ *    non-finite doubles and hostile strings);
+ *  - interleaved multi-thread emission still yields a line-atomic,
+ *    fully-validating stream;
+ *  - malformed / truncated JSONL throws harpo::Error — never crashes
+ *    (every-byte truncation sweep of a valid trace).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hh"
+#include "resilience/error.hh"
+#include "telemetry/trace.hh"
+#include "telemetry/trace_reader.hh"
+
+using namespace harpo;
+using namespace harpo::telemetry;
+
+namespace
+{
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "harpo_trace_" + name;
+}
+
+/** Random double over the full bit space: denormals, -0.0, NaN
+ *  payloads and infinities all occur. */
+double
+randomDouble(Rng &rng)
+{
+    const std::uint64_t bits = rng.next();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+/** Random string over bytes the emitter must escape or pass through:
+ *  quotes, backslashes, control characters, plain text. */
+std::string
+randomString(Rng &rng)
+{
+    static const char alphabet[] =
+        "abcXYZ0189 \"\\\n\r\t\x01\x1f{}[]:,\x7f";
+    std::string s;
+    const std::uint64_t len = rng.below(24);
+    for (std::uint64_t i = 0; i < len; ++i)
+        s += alphabet[rng.below(sizeof(alphabet) - 1)];
+    return s;
+}
+
+/** Bit-identical for finite doubles; class-identical for NaN (the
+ *  reserved "nan" string cannot carry a payload). */
+void
+expectDoubleRoundTrip(double expected, double actual)
+{
+    if (std::isnan(expected)) {
+        EXPECT_TRUE(std::isnan(actual));
+        return;
+    }
+    EXPECT_EQ(std::memcmp(&expected, &actual, sizeof(double)), 0)
+        << "expected " << expected << " got " << actual;
+}
+
+/** One expected event, mirrored from what the test emitted. */
+struct Expected
+{
+    std::string type;
+    GenEvent gen;
+    CampaignEvent camp;
+    std::string s1, s2; ///< cache/op, scope/event, or note text
+    std::uint64_t u1 = 0;
+};
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(content.data(), 1, content.size(), f),
+              content.size());
+    std::fclose(f);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::string bytes;
+    int c;
+    while ((c = std::fgetc(f)) != EOF)
+        bytes += static_cast<char>(c);
+    std::fclose(f);
+    return bytes;
+}
+
+} // namespace
+
+TEST(TraceRoundTrip, RandomizedEventSequencesParseBackBitIdentically)
+{
+    for (const std::uint64_t seed : {1ull, 42ull, 0xC0FFEEull}) {
+        Rng rng(seed);
+        const std::string path =
+            tmpPath("roundtrip_" + std::to_string(seed) + ".jsonl");
+        std::vector<Expected> expected;
+        std::vector<std::uint64_t> openSpanIds;
+
+        {
+            TraceSink sink(path);
+            for (int i = 0; i < 200; ++i) {
+                Expected e;
+                switch (rng.below(6)) {
+                  case 0: {
+                    e.type = "gen";
+                    e.gen.generation = rng.next();
+                    e.gen.best = randomDouble(rng);
+                    e.gen.meanTopK = randomDouble(rng);
+                    e.gen.programs = rng.below(1000);
+                    sink.gen(e.gen);
+                    break;
+                  }
+                  case 1: {
+                    e.type = "campaign";
+                    e.camp.target = randomString(rng);
+                    e.camp.injections = rng.next();
+                    e.camp.masked = rng.below(1000);
+                    e.camp.sdc = rng.below(1000);
+                    e.camp.crash = rng.below(1000);
+                    e.camp.hang = rng.below(1000);
+                    e.camp.forked = rng.below(1000);
+                    e.camp.digestExits = rng.below(1000);
+                    e.camp.failed = rng.below(10);
+                    e.camp.goldenCycles = rng.next();
+                    e.camp.truncated = rng.chance(0.5);
+                    sink.campaign(e.camp);
+                    break;
+                  }
+                  case 2: {
+                    e.type = "cache";
+                    e.s1 = (i % 2) ? "hit" : "miss";
+                    e.u1 = rng.next();
+                    sink.cache("golden", e.s1.c_str(), e.u1);
+                    break;
+                  }
+                  case 3: {
+                    e.type = "budget";
+                    sink.budget("loop", "expired");
+                    e.s1 = "loop";
+                    e.s2 = "expired";
+                    break;
+                  }
+                  case 4: {
+                    e.type = "note";
+                    e.s1 = randomString(rng);
+                    sink.note(e.s1);
+                    break;
+                  }
+                  case 5: {
+                    if (openSpanIds.empty() || rng.chance(0.6)) {
+                        e.type = "span_begin";
+                        e.s1 = "phase";
+                        e.s2 = "test";
+                        e.u1 = sink.spanBegin("phase", "test");
+                        openSpanIds.push_back(e.u1);
+                    } else {
+                        e.type = "span_end";
+                        e.u1 = openSpanIds.back();
+                        openSpanIds.pop_back();
+                        sink.spanEnd(e.u1);
+                    }
+                    break;
+                  }
+                }
+                expected.push_back(std::move(e));
+            }
+        }
+
+        // The whole file must validate (open spans are legal — a
+        // truncated run leaves them).
+        const TraceStats stats = validateTrace(path);
+        EXPECT_EQ(stats.records, expected.size() + 1); // + header
+
+        // Field-by-field comparison against what was emitted.
+        TraceReader reader(path);
+        const auto header = reader.next();
+        ASSERT_TRUE(header.has_value());
+        EXPECT_EQ(header->type, "header");
+        EXPECT_EQ(header->u64("schema"), TraceSink::kSchemaVersion);
+
+        std::uint64_t lastTs = 0;
+        for (const Expected &e : expected) {
+            const auto rec = reader.next();
+            ASSERT_TRUE(rec.has_value());
+            EXPECT_EQ(rec->type, e.type);
+            if (rec->find("ts")) {
+                // Single-threaded emission: timestamps never regress.
+                EXPECT_GE(rec->u64("ts"), lastTs);
+                lastTs = rec->u64("ts");
+            }
+            if (e.type == "gen") {
+                EXPECT_EQ(rec->u64("generation"), e.gen.generation);
+                expectDoubleRoundTrip(e.gen.best, rec->f64("best"));
+                expectDoubleRoundTrip(e.gen.meanTopK,
+                                      rec->f64("mean_topk"));
+                EXPECT_EQ(rec->u64("programs"), e.gen.programs);
+            } else if (e.type == "campaign") {
+                EXPECT_EQ(rec->str("target"), e.camp.target);
+                EXPECT_EQ(rec->u64("injections"), e.camp.injections);
+                EXPECT_EQ(rec->u64("masked"), e.camp.masked);
+                EXPECT_EQ(rec->u64("sdc"), e.camp.sdc);
+                EXPECT_EQ(rec->u64("crash"), e.camp.crash);
+                EXPECT_EQ(rec->u64("hang"), e.camp.hang);
+                EXPECT_EQ(rec->u64("forked"), e.camp.forked);
+                EXPECT_EQ(rec->u64("digest_exits"),
+                          e.camp.digestExits);
+                EXPECT_EQ(rec->u64("failed"), e.camp.failed);
+                EXPECT_EQ(rec->u64("golden_cycles"),
+                          e.camp.goldenCycles);
+                EXPECT_EQ(rec->boolean("truncated"),
+                          e.camp.truncated);
+            } else if (e.type == "cache") {
+                EXPECT_EQ(rec->str("cache"), "golden");
+                EXPECT_EQ(rec->str("op"), e.s1);
+                EXPECT_EQ(rec->u64("bytes"), e.u1);
+            } else if (e.type == "budget") {
+                EXPECT_EQ(rec->str("scope"), e.s1);
+                EXPECT_EQ(rec->str("event"), e.s2);
+            } else if (e.type == "note") {
+                EXPECT_EQ(rec->str("text"), e.s1);
+            } else { // span_begin / span_end
+                EXPECT_EQ(rec->u64("id"), e.u1);
+                if (e.type == "span_begin") {
+                    EXPECT_EQ(rec->str("name"), e.s1);
+                    EXPECT_EQ(rec->str("cat"), e.s2);
+                }
+            }
+        }
+        EXPECT_FALSE(reader.next().has_value());
+        std::remove(path.c_str());
+    }
+}
+
+TEST(TraceRoundTrip, InterleavedMultiThreadEmissionValidates)
+{
+    const std::string path = tmpPath("mt.jsonl");
+    constexpr int kThreads = 6;
+    constexpr int kEventsPerThread = 150;
+    {
+        TraceSink sink(path);
+        TraceSink::install(&sink);
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&sink, t] {
+                Rng rng(static_cast<std::uint64_t>(t) + 99);
+                for (int i = 0; i < kEventsPerThread; ++i) {
+                    switch (rng.below(3)) {
+                      case 0: {
+                        HARPO_TRACE_SPAN("work", "mt");
+                        sink.note("inside span");
+                        break;
+                      }
+                      case 1:
+                        sink.cache("golden",
+                                   rng.chance(0.5) ? "hit" : "miss",
+                                   rng.below(4096));
+                        break;
+                      case 2:
+                        sink.note(randomString(rng));
+                        break;
+                    }
+                }
+            });
+        }
+        for (auto &t : threads)
+            t.join();
+        TraceSink::install(nullptr);
+    }
+
+    // Whole-line atomicity: every record parses, spans all pair up.
+    const TraceStats stats = validateTrace(path);
+    EXPECT_GT(stats.records, 1u + kThreads * kEventsPerThread);
+    EXPECT_EQ(stats.openSpans(), 0u);
+    EXPECT_EQ(stats.spansBegun, stats.spansEnded);
+    std::remove(path.c_str());
+}
+
+TEST(TraceRoundTrip, ScopedSpanIsInertWithoutAnInstalledSink)
+{
+    // No sink installed: the macro must be a cheap no-op.
+    ASSERT_FALSE(TraceSink::active());
+    {
+        HARPO_TRACE_SPAN("orphan", "test");
+    }
+    SUCCEED();
+}
+
+TEST(TraceRoundTrip, SinkDestructionUninstallsItself)
+{
+    const std::string path = tmpPath("uninstall.jsonl");
+    {
+        TraceSink sink(path);
+        TraceSink::install(&sink);
+        EXPECT_TRUE(TraceSink::active());
+    }
+    EXPECT_FALSE(TraceSink::active());
+    std::remove(path.c_str());
+}
+
+TEST(TraceRoundTrip, UnwritablePathThrowsIoError)
+{
+    try {
+        TraceSink sink("/nonexistent-dir/trace.jsonl");
+        FAIL() << "expected Error{Io}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Io);
+    }
+}
+
+TEST(TraceReaderTest, MalformedLinesThrowErrorNeverCrash)
+{
+    const char *badLines[] = {
+        "",
+        "{",
+        "}",
+        "not json at all",
+        "[1,2,3]",
+        "{\"type\":\"note\",\"ts\":1,\"text\":\"x\"} trailing",
+        "{\"type\":1}",
+        "{\"type\":\"note\",\"ts\":1,\"ts\":2,\"text\":\"dup\"}",
+        "{\"type\":\"note\" \"ts\":1}",
+        "{\"type\":\"note\",}",
+        "{\"type\":\"note\",\"text\":\"bad \\q escape\"}",
+        "{\"type\":\"note\",\"text\":\"\\u12\"}",
+        "{\"type\":\"note\",\"text\":\"\\ud800\"}",
+        "{\"type\":\"note\",\"text\":\"unterminated",
+        "{\"type\":\"gen\",\"ts\":1e999999}",
+        "{\"type\":\"gen\",\"ts\":18446744073709551616}",
+        "{\"type\":\"gen\",\"ts\":-9223372036854775809}",
+        "{\"type\":\"gen\",\"ts\":01}",
+        "{\"type\":\"gen\",\"ts\":+1}",
+        "{\"type\":\"gen\",\"ts\":nul}",
+        "{\"ts\":1}", // no "type" field at all
+    };
+    for (const char *line : badLines) {
+        EXPECT_THROW(TraceReader::parseLine(line), Error)
+            << "line accepted: " << line;
+    }
+}
+
+TEST(TraceReaderTest, ValidatorRejectsSchemaViolations)
+{
+    struct Case
+    {
+        const char *label;
+        std::string content;
+    };
+    const std::string header = "{\"type\":\"header\",\"schema\":1}\n";
+    const Case cases[] = {
+        {"empty file", ""},
+        {"no header first",
+         "{\"type\":\"note\",\"ts\":1,\"text\":\"x\"}\n"},
+        {"future schema", "{\"type\":\"header\",\"schema\":99}\n"},
+        {"schema zero", "{\"type\":\"header\",\"schema\":0}\n"},
+        {"unknown type", header + "{\"type\":\"mystery\",\"ts\":1}\n"},
+        {"gen missing field",
+         header + "{\"type\":\"gen\",\"ts\":1,\"generation\":0,"
+                  "\"best\":0.5,\"programs\":4}\n"},
+        {"span_end without begin",
+         header + "{\"type\":\"span_end\",\"id\":7,\"ts\":1,"
+                  "\"tid\":0}\n"},
+        {"span id begun twice",
+         header +
+             "{\"type\":\"span_begin\",\"id\":1,\"ts\":1,\"tid\":0,"
+             "\"name\":\"a\",\"cat\":\"c\"}\n"
+             "{\"type\":\"span_begin\",\"id\":1,\"ts\":2,\"tid\":0,"
+             "\"name\":\"b\",\"cat\":\"c\"}\n"},
+        {"bad cache op",
+         header + "{\"type\":\"cache\",\"ts\":1,\"cache\":\"g\","
+                  "\"op\":\"purge\",\"bytes\":0}\n"},
+        {"mistyped field",
+         header + "{\"type\":\"note\",\"ts\":\"one\","
+                  "\"text\":\"x\"}\n"},
+        {"truncated tail line",
+         header + "{\"type\":\"note\",\"ts\":1,\"text\":\"x\""},
+    };
+    for (const Case &c : cases) {
+        const std::string path = tmpPath("invalid.jsonl");
+        writeFile(path, c.content);
+        EXPECT_THROW(validateTrace(path), Error) << c.label;
+        std::remove(path.c_str());
+    }
+}
+
+TEST(TraceReaderTest, TruncationAtEveryByteNeverCrashes)
+{
+    // Build a small real trace, then validate every byte-prefix of
+    // it: each prefix must either validate cleanly (iff it is a whole
+    // number of lines including the header) or throw harpo::Error.
+    const std::string path = tmpPath("trunc_src.jsonl");
+    {
+        TraceSink sink(path);
+        const std::uint64_t s = sink.spanBegin("a", "c");
+        sink.gen({3, 0.5, 0.25, 16});
+        sink.cache("golden", "hit", 123);
+        sink.note("almost done");
+        sink.spanEnd(s);
+        sink.budget("loop", "expired");
+    }
+    const std::string bytes = readFile(path);
+    ASSERT_GT(bytes.size(), 0u);
+    const std::size_t headerLen = bytes.find('\n') + 1;
+
+    const std::string cut = tmpPath("trunc_cut.jsonl");
+    for (std::size_t len = 0; len <= bytes.size(); ++len) {
+        writeFile(cut, bytes.substr(0, len));
+        // A prefix validates iff it contains the complete header and
+        // ends at a record boundary — after a newline, or exactly at
+        // the end of an object whose newline was cut off (the reader
+        // does not require a trailing newline on the last line).
+        const bool wholeRecords =
+            len + 1 >= headerLen &&
+            (bytes[len - 1] == '\n' ||
+             (len < bytes.size() && bytes[len] == '\n'));
+        if (wholeRecords) {
+            EXPECT_NO_THROW(validateTrace(cut)) << "prefix " << len;
+        } else {
+            EXPECT_THROW(validateTrace(cut), Error)
+                << "prefix " << len;
+        }
+    }
+    std::remove(cut.c_str());
+    std::remove(path.c_str());
+}
+
+TEST(TraceReaderTest, RandomSingleByteCorruptionNeverCrashes)
+{
+    // Flip one byte at a random offset in a valid trace; the reader
+    // must either still validate (the flip can land on an ignorable
+    // spot, e.g. inside a string) or throw harpo::Error — never UB.
+    const std::string path = tmpPath("corrupt_src.jsonl");
+    {
+        TraceSink sink(path);
+        for (int i = 0; i < 10; ++i) {
+            sink.gen({static_cast<std::uint64_t>(i), 0.5, 0.25, 16});
+            sink.note("some text payload");
+        }
+    }
+    const std::string bytes = readFile(path);
+    Rng rng(0xBADF00D);
+    const std::string cut = tmpPath("corrupt_cut.jsonl");
+    for (int trial = 0; trial < 200; ++trial) {
+        std::string mutated = bytes;
+        const std::size_t pos = rng.below(mutated.size());
+        mutated[pos] = static_cast<char>(
+            static_cast<std::uint8_t>(mutated[pos]) ^
+            static_cast<std::uint8_t>(1u << rng.below(8)));
+        writeFile(cut, mutated);
+        try {
+            validateTrace(cut);
+        } catch (const Error &) {
+            // expected for most flips
+        }
+    }
+    std::remove(cut.c_str());
+    std::remove(path.c_str());
+}
+
+TEST(TraceReaderTest, NonFiniteAndExtremeDoublesRoundTrip)
+{
+    const std::string path = tmpPath("extremes.jsonl");
+    const double values[] = {
+        0.0,
+        -0.0,
+        1.0 / 3.0,
+        -1.0 / 3.0,
+        5e-324,  // smallest denormal
+        1.7976931348623157e308,
+        -1.7976931348623157e308,
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        std::nan(""),
+        123456789.0, // integral-valued double must stay F64
+    };
+    {
+        TraceSink sink(path);
+        for (const double v : values)
+            sink.gen({0, v, -v, 0});
+    }
+    TraceReader reader(path);
+    ASSERT_TRUE(reader.next().has_value()); // header
+    for (const double v : values) {
+        const auto rec = reader.next();
+        ASSERT_TRUE(rec.has_value());
+        expectDoubleRoundTrip(v, rec->f64("best"));
+        expectDoubleRoundTrip(-v, rec->f64("mean_topk"));
+        // The emitter preserves the lexical class: a finite double is
+        // printed with a '.' (or as a reserved string), never as a
+        // bare integer literal.
+        const TraceValue *best = rec->find("best");
+        ASSERT_NE(best, nullptr);
+        EXPECT_TRUE(best->kind == TraceValue::Kind::F64 ||
+                    best->kind == TraceValue::Kind::String);
+    }
+    std::remove(path.c_str());
+}
