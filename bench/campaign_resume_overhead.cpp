@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Cost of crash safety: what does the durable campaign runner add on
+ * top of running the same shards as bare FaultCampaign::run calls?
+ *
+ * Three measurements:
+ *
+ *  1. Journal mechanics — append and replay throughput in records/s
+ *     (every queue transition pays one append; every resume pays one
+ *     replay of the whole history).
+ *  2. Open/resume latency versus campaign size (64/256/1024 shards
+ *     with a fully-journaled history), the time a restarted process
+ *     spends before its first lease.
+ *  3. Supervision overhead — wall-clock of a CampaignRunner driving N
+ *     real SFI shards to resolution versus a bare loop running the
+ *     identical shard configs directly. The runner adds journaling,
+ *     lease bookkeeping, the supervisor thread and the merge; the
+ *     bench GATES this overhead at < 5% (best-of-3, so a scheduler
+ *     hiccup does not fail the gate spuriously).
+ *
+ * Emits BENCH_campaign.json next to the binary for perf tracking.
+ * Exit code 1 when the overhead gate fails.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "campaign_service/runner.hh"
+#include "common/rng.hh"
+#include "museqgen/museqgen.hh"
+
+using namespace harpo;
+using namespace harpo::campaign;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+constexpr double kOverheadGate = 0.05; // < 5% supervision overhead
+
+double
+seconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir =
+        (fs::temp_directory_path() / name).string();
+    fs::remove_all(dir);
+    return dir;
+}
+
+/** The shard workload both sides run: real SFI campaigns on
+ *  generated programs. */
+CampaignSpec
+benchSpec(unsigned programs, unsigned samples, unsigned injections)
+{
+    museqgen::GenConfig gen;
+    gen.numInstructions = 150;
+    museqgen::MuSeqGen generator(gen);
+    Rng rng(0xBE7C);
+    CampaignSpec spec;
+    for (unsigned p = 0; p < programs; ++p) {
+        spec.programs.push_back(generator.generate(rng));
+        spec.programs.back().name = "bench" + std::to_string(p);
+    }
+    spec.targets = {coverage::TargetStructure::IntRegFile};
+    spec.samplesPerPair = samples;
+    spec.injectionsPerShard = injections;
+    spec.seed = 0xBE7C;
+    return spec;
+}
+
+JournalRecord
+syntheticRecord(std::uint32_t i)
+{
+    JournalRecord rec;
+    rec.type = (i % 2 == 0) ? RecordType::LeaseGranted
+                            : RecordType::ShardDone;
+    rec.shard = i % 1024;
+    rec.worker = i % 8;
+    rec.epoch = i + 1;
+    rec.result.goldenOk = true;
+    rec.result.masked = i % 50;
+    rec.result.sdc = i % 7;
+    rec.result.goldenCycles = 1000 + i;
+    rec.result.goldenSignature = 0x1234ull * i;
+    return rec;
+}
+
+/** Lease+complete every shard of a @p shards-sized campaign so the
+ *  journal carries a full history, then time a cold reopen. */
+double
+timedResume(unsigned shards)
+{
+    const std::string dir =
+        freshDir("bench_campaign_resume_" + std::to_string(shards));
+    CampaignSpec spec =
+        benchSpec(1, shards, /*injections=*/1); // size drives shards
+    DurableWorkQueue::create(dir, spec);
+    {
+        DurableWorkQueue q(dir, QueueConfig{});
+        const auto now = DurableWorkQueue::Clock::now();
+        faultsim::CampaignResult result;
+        result.goldenOk = true;
+        result.masked = 1;
+        while (const auto lease = q.tryLease(0, now))
+            q.complete(*lease, result);
+        q.sync();
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    DurableWorkQueue q(dir, QueueConfig{});
+    const double dt = seconds(t0);
+    fs::remove_all(dir);
+    return dt;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("campaign_resume_overhead: durable queue vs bare "
+                "campaign loop\n");
+    bench::JsonWriter json;
+    json.beginObject();
+    json.key("bench").value(std::string("campaign_resume_overhead"));
+
+    // ---- 1. Journal append / replay throughput. ----
+    constexpr unsigned kRecords = 20000;
+    const std::string journalDir = freshDir("bench_campaign_journal");
+    fs::create_directories(journalDir);
+    const std::string journalFile = journalDir + "/journal.log";
+    const auto tAppend = std::chrono::steady_clock::now();
+    {
+        Journal j(journalFile, 0xBE7C);
+        for (unsigned i = 0; i < kRecords; ++i)
+            j.append(syntheticRecord(i));
+        j.sync();
+    }
+    const double appendSec = seconds(tAppend);
+    const auto tReplay = std::chrono::steady_clock::now();
+    const auto replayed = Journal::replay(journalFile, 0xBE7C);
+    const double replaySec = seconds(tReplay);
+    fs::remove_all(journalDir);
+    std::printf("  journal: append %8.0f rec/s   replay %8.0f rec/s "
+                "  (%u records)\n",
+                kRecords / appendSec, kRecords / replaySec, kRecords);
+    json.key("journal_append_records_per_sec")
+        .value(kRecords / appendSec);
+    json.key("journal_replay_records_per_sec")
+        .value(kRecords / replaySec);
+    if (replayed.size() != kRecords) {
+        std::fprintf(stderr, "journal replay lost records\n");
+        return 1;
+    }
+
+    // ---- 2. Open/resume latency vs campaign size. ----
+    json.key("resume_latency").beginArray();
+    for (const unsigned shards : {64u, 256u, 1024u}) {
+        const double dt = timedResume(shards);
+        std::printf("  resume: %5u shards in %7.2f ms\n", shards,
+                    dt * 1e3);
+        json.beginObject();
+        json.key("shards").value(std::uint64_t{shards});
+        json.key("resume_ms").value(dt * 1e3);
+        json.endObject();
+    }
+    json.endArray();
+
+    // ---- 3. Supervision overhead on real SFI shards. ----
+    const CampaignSpec spec =
+        benchSpec(/*programs=*/2, /*samples=*/3, /*injections=*/120);
+    const std::vector<ShardSpec> shards = spec.shards();
+
+    double bareBest = 1e30, runnerBest = 1e30;
+    for (unsigned round = 0; round < 3; ++round) {
+        // Bare loop: the same shard configs, no durability.
+        faultsim::FaultCampaign::clearGoldenCache();
+        const auto tBare = std::chrono::steady_clock::now();
+        unsigned bareDone = 0;
+        for (const ShardSpec &shard : shards) {
+            const faultsim::CampaignConfig cfg =
+                spec.shardConfig(shard);
+            const faultsim::CampaignResult r =
+                faultsim::FaultCampaign::run(
+                    spec.programs[shard.programIndex], cfg);
+            bareDone += r.goldenOk;
+        }
+        bareBest = std::min(bareBest, seconds(tBare));
+
+        // Durable runner: identical shards, one worker (like the
+        // bare loop), full journaling + supervision + merge.
+        faultsim::FaultCampaign::clearGoldenCache();
+        const std::string dir = freshDir("bench_campaign_runner");
+        DurableWorkQueue::create(dir, spec);
+        RunnerConfig rc;
+        rc.workers = 1;
+        const auto tRunner = std::chrono::steady_clock::now();
+        const RunnerReport report = CampaignRunner(dir, rc).run();
+        runnerBest = std::min(runnerBest, seconds(tRunner));
+        fs::remove_all(dir);
+        if (report.done != shards.size() ||
+            bareDone != shards.size()) {
+            std::fprintf(stderr, "shards failed to resolve\n");
+            return 1;
+        }
+    }
+
+    const double overhead = runnerBest / bareBest - 1.0;
+    const bool gateOk = overhead < kOverheadGate;
+    std::printf("  supervision: bare %6.3f s   runner %6.3f s   "
+                "overhead %+5.1f%%  (gate <%.0f%%: %s)\n",
+                bareBest, runnerBest, overhead * 100.0,
+                kOverheadGate * 100.0, gateOk ? "ok" : "FAIL");
+    json.key("bare_sec").value(bareBest);
+    json.key("runner_sec").value(runnerBest);
+    json.key("supervision_overhead").value(overhead);
+    json.key("overhead_gate").value(kOverheadGate);
+    json.key("gate_ok").value(gateOk);
+    json.endObject();
+
+    const char *out = "BENCH_campaign.json";
+    if (!json.save(out)) {
+        std::fprintf(stderr, "failed to write %s\n", out);
+        return 1;
+    }
+    std::printf("  wrote %s\n", out);
+    return gateOk ? 0 : 1;
+}

@@ -11,18 +11,37 @@
  * target (default: the SSE FP multiplier; pick another with
  * `--target <name>`) and then plays the resulting screens over a
  * simulated rack of CPUs, some of which carry a permanent gate defect.
+ *
+ * With `--campaign-dir <dir>` it instead runs a *crash-safe screening
+ * campaign* (src/campaign_service): a durable sharded scan of
+ * generated programs against the target structures that survives
+ * kill -9 mid-run — rerun the same command and it resumes from the
+ * journal, bit-identical to an uninterrupted run. SIGTERM drains
+ * cleanly (leases released, journal synced). `--selftest` proves the
+ * crash-safety end to end by SIGKILLing a child campaign at random
+ * points and byte-comparing the merged tree against an uninterrupted
+ * reference.
  */
 
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <vector>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "campaign_service/runner.hh"
 #include "common/rng.hh"
 #include "core/harpocrates.hh"
 #include "coverage/measure.hh"
 #include "faultsim/campaign.hh"
 #include "gates/fu_library.hh"
+#include "museqgen/museqgen.hh"
 #include "resilience/error.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/trace.hh"
@@ -33,6 +52,15 @@ using coverage::TargetStructure;
 
 namespace
 {
+
+/** SIGTERM/SIGINT drain the campaign instead of killing it. */
+CancelToken drainToken;
+
+void
+onDrainSignal(int)
+{
+    drainToken.requestCancel(); // one atomic store: signal-safe
+}
 
 /** A simulated CPU: healthy, or with one stuck gate in the unit. */
 struct FleetCpu
@@ -70,6 +98,200 @@ printCoverageVector(const char *label, const isa::TestProgram &program)
     std::printf("\n");
 }
 
+/** Campaign-mode options (active when --campaign-dir is given). */
+struct CampaignOptions
+{
+    std::string dir;
+    bool resumeOnly = false; ///< --resume: refuse to create afresh
+    bool selftest = false;
+    unsigned workers = 4;
+    unsigned programs = 3;
+    unsigned injections = 30;
+    unsigned samples = 2; ///< --shards: fault-sample slices per pair
+};
+
+/** The campaign's program set: deterministic MuSeqGen output, so a
+ *  self-test reference run builds the exact same spec. */
+campaign::CampaignSpec
+buildCampaignSpec(const CampaignOptions &opts, TargetStructure target)
+{
+    museqgen::GenConfig gen;
+    gen.namePrefix = "screen";
+    gen.numInstructions = 200;
+    museqgen::MuSeqGen generator(gen);
+    Rng rng(0x5CA11);
+
+    campaign::CampaignSpec spec;
+    for (unsigned p = 0; p < opts.programs; ++p) {
+        spec.programs.push_back(generator.generate(rng));
+        spec.programs.back().name = "screen" + std::to_string(p);
+    }
+    spec.targets = {TargetStructure::IntRegFile, target};
+    spec.injectionsPerShard = opts.injections;
+    spec.samplesPerPair = opts.samples;
+    spec.seed = 0x5CA11;
+    return spec;
+}
+
+/** Create-if-absent (unless --resume), then drive to resolution. */
+int
+runCampaign(const CampaignOptions &opts, TargetStructure target)
+{
+    if (!campaign::DurableWorkQueue::exists(opts.dir)) {
+        if (opts.resumeOnly) {
+            std::fprintf(stderr,
+                         "fleet_scan: --resume, but no campaign in "
+                         "%s\n",
+                         opts.dir.c_str());
+            return 1;
+        }
+        campaign::DurableWorkQueue::create(
+            opts.dir, buildCampaignSpec(opts, target));
+        std::printf("campaign: created %s\n", opts.dir.c_str());
+    }
+
+    std::signal(SIGTERM, onDrainSignal);
+    std::signal(SIGINT, onDrainSignal);
+
+    campaign::RunnerConfig rc;
+    rc.workers = opts.workers;
+    rc.cancel = &drainToken;
+    campaign::CampaignRunner runner(opts.dir, rc);
+    if (runner.queue().replayedRecords() > 0)
+        std::printf("campaign: resumed (%llu journal records, "
+                    "%u leases recovered)\n",
+                    static_cast<unsigned long long>(
+                        runner.queue().replayedRecords()),
+                    runner.queue().recoveredLeases());
+
+    const campaign::RunnerReport report = runner.run();
+    std::printf("campaign: %s  shards=%u done=%u quarantined=%u "
+                "retries=%u expired=%u workers=%u->%u\n",
+                report.drained ? "DRAINED" : "RESOLVED",
+                report.shards, report.done, report.quarantined,
+                report.failedAttempts, report.expiredLeases,
+                report.initialWorkers, report.finalWorkers);
+    std::printf("campaign: golden cache (cumulative) hits=%llu "
+                "misses=%llu evictions=%llu\n",
+                static_cast<unsigned long long>(
+                    report.cacheStats.hits),
+                static_cast<unsigned long long>(
+                    report.cacheStats.misses),
+                static_cast<unsigned long long>(
+                    report.cacheStats.evictions));
+    for (const auto &shard : runner.queue().shards()) {
+        const campaign::ShardStatus st =
+            runner.queue().status(shard.id);
+        if (st.state == campaign::ShardState::Quarantined)
+            std::printf("campaign: quarantined shard %u (%s): %s\n",
+                        shard.id, errorKindName(st.cause),
+                        st.causeMessage.c_str());
+    }
+    if (report.merged)
+        std::printf("campaign: merged results at %s\n",
+                    report.mergedPath.c_str());
+    else
+        std::printf("campaign: drained cleanly; rerun to resume\n");
+    return 0;
+}
+
+/** Kill-and-resume self-test: SIGKILL child campaigns at randomized
+ *  points, then byte-compare against an uninterrupted reference. */
+int
+runSelftest(const CampaignOptions &opts, TargetStructure target)
+{
+    namespace fs = std::filesystem;
+    const std::string refDir = opts.dir + "/selftest_ref";
+    const std::string victimDir = opts.dir + "/selftest_victim";
+    fs::remove_all(refDir);
+    fs::remove_all(victimDir);
+
+    // Uninterrupted reference, in-process.
+    CampaignOptions refOpts = opts;
+    refOpts.dir = refDir;
+    refOpts.selftest = false;
+    if (runCampaign(refOpts, target) != 0)
+        return 1;
+
+    // Victim: child processes SIGKILLed at pseudo-random points. The
+    // child must rebuild the reference's exact spec, so every
+    // spec-shaping flag is forwarded alongside the campaign dir.
+    const std::string self =
+        fs::read_symlink("/proc/self/exe").string();
+    const std::string workersArg = std::to_string(opts.workers);
+    const std::string programsArg = std::to_string(opts.programs);
+    const std::string injectionsArg = std::to_string(opts.injections);
+    const std::string samplesArg = std::to_string(opts.samples);
+    const char *targetName = coverage::structureName(target);
+    const auto spawnChild = [&]() -> pid_t {
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+            ::execl(self.c_str(), self.c_str(), "--campaign-dir",
+                    victimDir.c_str(), "--workers",
+                    workersArg.c_str(), "--programs",
+                    programsArg.c_str(), "--injections",
+                    injectionsArg.c_str(), "--shards",
+                    samplesArg.c_str(), "--target", targetName,
+                    static_cast<char *>(nullptr));
+            _exit(127);
+        }
+        return pid;
+    };
+    Rng rng(0xDEAD);
+    unsigned kills = 0;
+    bool completed = false;
+    for (unsigned round = 0; round < 40 && !completed; ++round) {
+        const pid_t pid = spawnChild();
+        if (pid < 0) {
+            std::perror("fleet_scan: fork");
+            return 1;
+        }
+        const long killAfterUs =
+            3000 + static_cast<long>(rng.uniform() * 30000.0) +
+            static_cast<long>(round) * 10000;
+        ::usleep(static_cast<useconds_t>(killAfterUs));
+        ::kill(pid, SIGKILL);
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+        if (WIFSIGNALED(status)) {
+            ++kills;
+        } else if (WEXITSTATUS(status) == 0) {
+            completed = true;
+        } else {
+            std::fprintf(stderr,
+                         "fleet_scan: selftest child failed (%d)\n",
+                         WEXITSTATUS(status));
+            return 1;
+        }
+    }
+    if (!completed) { // every timed round was killed; finish clean
+        const pid_t pid = spawnChild();
+        if (pid < 0) {
+            std::perror("fleet_scan: fork");
+            return 1;
+        }
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            std::fprintf(stderr, "fleet_scan: selftest final run "
+                                 "failed\n");
+            return 1;
+        }
+    }
+
+    std::string why;
+    const bool identical = campaign::resultsTreesIdentical(
+        refDir + "/results", victimDir + "/results", &why);
+    std::printf("selftest: %u SIGKILLs, merged trees %s\n", kills,
+                identical ? "BYTE-IDENTICAL" : "DIVERGED");
+    if (!identical) {
+        std::fprintf(stderr, "selftest: FAILED: %s\n", why.c_str());
+        return 1;
+    }
+    std::printf("selftest: PASSED\n");
+    return 0;
+}
+
 } // namespace
 
 int
@@ -78,11 +300,35 @@ main(int argc, char **argv)
     TargetStructure target = TargetStructure::FpMultiplier;
     const char *tracePath = nullptr;
     bool metricsSummary = false;
+    CampaignOptions campaignOpts;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             tracePath = argv[++i];
         } else if (std::strcmp(argv[i], "--metrics-summary") == 0) {
             metricsSummary = true;
+        } else if (std::strcmp(argv[i], "--campaign-dir") == 0 &&
+                   i + 1 < argc) {
+            campaignOpts.dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--resume") == 0) {
+            campaignOpts.resumeOnly = true;
+        } else if (std::strcmp(argv[i], "--selftest") == 0) {
+            campaignOpts.selftest = true;
+        } else if (std::strcmp(argv[i], "--workers") == 0 &&
+                   i + 1 < argc) {
+            campaignOpts.workers = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--programs") == 0 &&
+                   i + 1 < argc) {
+            campaignOpts.programs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--injections") == 0 &&
+                   i + 1 < argc) {
+            campaignOpts.injections = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--shards") == 0 &&
+                   i + 1 < argc) {
+            campaignOpts.samples = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
         } else if (std::strcmp(argv[i], "--target") == 0 &&
                    i + 1 < argc) {
             const auto parsed = coverage::parseStructure(argv[++i]);
@@ -102,8 +348,12 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: %s [--target <structure>] "
-                         "[--trace <jsonl>] [--metrics-summary]\n",
-                         argv[0]);
+                         "[--trace <jsonl>] [--metrics-summary]\n"
+                         "       %s --campaign-dir <dir> [--resume] "
+                         "[--workers N] [--programs N]\n"
+                         "           [--injections N] [--shards N] "
+                         "[--selftest]\n",
+                         argv[0], argv[0]);
             return 1;
         }
     }
@@ -117,6 +367,23 @@ main(int argc, char **argv)
             return 1;
         }
         telemetry::TraceSink::install(sink.get());
+    }
+
+    if (!campaignOpts.dir.empty()) {
+        try {
+            return campaignOpts.selftest
+                       ? runSelftest(campaignOpts, target)
+                       : runCampaign(campaignOpts, target);
+        } catch (const Error &e) {
+            std::fprintf(stderr, "fleet_scan: campaign failed: %s\n",
+                         e.what());
+            return 1;
+        }
+    }
+    if (campaignOpts.selftest || campaignOpts.resumeOnly) {
+        std::fprintf(stderr, "fleet_scan: --selftest/--resume "
+                             "require --campaign-dir\n");
+        return 1;
     }
 
     const isa::FuCircuit circuit = coverage::circuitFor(target);

@@ -5,17 +5,19 @@
 #
 # Tests run tier by tier (ctest labels set by harpo_test) so a broken
 # unit test fails the run in seconds instead of after the multi-minute
-# end-to-end suite. The fast tiers (unit + integration) are the PR
-# gate; the slow tier (multi-second campaigns / evolution loops) runs
-# in CI's scheduled nightly job and in `check.sh all`.
+# end-to-end suite. The fast tiers (unit + integration + campaign,
+# where campaign covers the crash-safe runner including the SIGKILL
+# chaos test) are the PR gate; the slow tier (multi-second campaigns /
+# evolution loops) runs in CI's scheduled nightly job and in
+# `check.sh all`.
 #
 # When ccache is installed it is used as the compiler launcher; CI
 # persists its cache across runs keyed on the compiler and the
 # CMakeLists.txt hashes.
 #
 # Usage: check.sh [plain|sanitize|nightly|all]
-#   plain     build/ctest, unit+integration          (CI's fast job)
-#   sanitize  build-sanitize/ctest, unit+integration (CI's sanitizer job)
+#   plain     build/ctest, unit+integration+campaign (CI's fast job)
+#   sanitize  build-sanitize/ctest, same tiers       (CI's sanitizer job)
 #   nightly   build/ctest, slow tier only            (CI's scheduled job)
 #   all       both trees, every tier (default)
 set -euo pipefail
@@ -44,13 +46,14 @@ run_suite() {
 }
 
 case "${suite}" in
-  plain)    run_suite build "unit integration" ;;
-  sanitize) run_suite build-sanitize "unit integration" \
+  plain)    run_suite build "unit integration campaign" ;;
+  sanitize) run_suite build-sanitize "unit integration campaign" \
                       -DHARPO_SANITIZE=ON ;;
   nightly)  run_suite build "slow" ;;
   all)
-    run_suite build "unit integration slow"
-    run_suite build-sanitize "unit integration slow" -DHARPO_SANITIZE=ON
+    run_suite build "unit integration campaign slow"
+    run_suite build-sanitize "unit integration campaign slow" \
+              -DHARPO_SANITIZE=ON
     ;;
   *)
     echo "usage: $0 [plain|sanitize|nightly|all]" >&2

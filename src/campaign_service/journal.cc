@@ -1,0 +1,256 @@
+#include "campaign_service/journal.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "campaign_service/shard.hh"
+#include "common/hash.hh"
+#include "resilience/snapshot_io.hh"
+
+namespace harpo::campaign
+{
+
+namespace
+{
+
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8;
+
+void
+putLe(std::uint8_t *out, std::uint64_t v, int n)
+{
+    for (int i = 0; i < n; ++i)
+        out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t
+getLe(const std::uint8_t *in, int n)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < n; ++i)
+        v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+    return v;
+}
+
+std::vector<std::uint8_t>
+encodeRecord(const JournalRecord &record)
+{
+    resilience::SnapshotWriter w;
+    w.u8(static_cast<std::uint8_t>(record.type));
+    w.u32(record.shard);
+    w.u32(record.worker);
+    w.u64(record.epoch);
+    switch (record.type) {
+      case RecordType::ShardDone:
+        serializeResult(w, record.result);
+        break;
+      case RecordType::ShardFailed:
+      case RecordType::ShardQuarantined: {
+        w.u8(static_cast<std::uint8_t>(record.cause));
+        w.u32(static_cast<std::uint32_t>(record.message.size()));
+        for (const char c : record.message)
+            w.u8(static_cast<std::uint8_t>(c));
+        break;
+      }
+      default:
+        break;
+    }
+    return w.bytes();
+}
+
+JournalRecord
+decodeRecord(std::vector<std::uint8_t> payload)
+{
+    resilience::SnapshotReader r(std::move(payload));
+    JournalRecord record;
+    const std::uint8_t rawType = r.u8();
+    if (rawType < static_cast<std::uint8_t>(RecordType::LeaseGranted) ||
+        rawType > static_cast<std::uint8_t>(RecordType::ShardQuarantined))
+        throw Error::io("journal: unknown record type");
+    record.type = static_cast<RecordType>(rawType);
+    record.shard = r.u32();
+    record.worker = r.u32();
+    record.epoch = r.u64();
+    switch (record.type) {
+      case RecordType::ShardDone:
+        record.result = deserializeResult(r);
+        break;
+      case RecordType::ShardFailed:
+      case RecordType::ShardQuarantined: {
+        const std::uint8_t rawKind = r.u8();
+        if (rawKind > static_cast<std::uint8_t>(ErrorKind::Config))
+            throw Error::io("journal: unknown error kind");
+        record.cause = static_cast<ErrorKind>(rawKind);
+        const std::uint32_t len = r.u32();
+        if (len != r.remaining())
+            throw Error::io("journal: message length mismatch");
+        record.message.reserve(len);
+        for (std::uint32_t i = 0; i < len; ++i)
+            record.message.push_back(static_cast<char>(r.u8()));
+        break;
+      }
+      default:
+        break;
+    }
+    if (!r.atEnd())
+        throw Error::io("journal: trailing bytes in record");
+    return record;
+}
+
+std::uint64_t
+payloadChecksum(const std::vector<std::uint8_t> &payload)
+{
+    Fnv1a h;
+    h.addBytes(payload.data(), payload.size());
+    return h.value();
+}
+
+} // namespace
+
+const char *
+recordTypeName(RecordType type)
+{
+    switch (type) {
+      case RecordType::LeaseGranted: return "lease-granted";
+      case RecordType::LeaseRenewed: return "lease-renewed";
+      case RecordType::LeaseReleased: return "lease-released";
+      case RecordType::LeaseRecovered: return "lease-recovered";
+      case RecordType::ShardDone: return "shard-done";
+      case RecordType::ShardFailed: return "shard-failed";
+      case RecordType::ShardQuarantined: return "shard-quarantined";
+    }
+    return "unknown";
+}
+
+Journal::Journal(const std::string &path, std::uint64_t spec_fingerprint)
+{
+    // Validate (or detect the absence of) an existing header first.
+    bool needHeader = true;
+    if (std::FILE *existing = std::fopen(path.c_str(), "rb")) {
+        std::uint8_t header[kHeaderBytes];
+        const std::size_t got =
+            std::fread(header, 1, kHeaderBytes, existing);
+        std::fclose(existing);
+        if (got == kHeaderBytes) {
+            if (getLe(header, 8) != kMagic)
+                throw Error::io("journal: bad magic in " + path);
+            if (getLe(header + 8, 4) > kVersion)
+                throw Error::io("journal: unsupported version in " +
+                                path);
+            if (getLe(header + 12, 8) != spec_fingerprint)
+                throw Error::io(
+                    "journal: campaign fingerprint mismatch in " +
+                    path + " (journal belongs to another manifest)");
+            needHeader = false;
+        }
+        // got < kHeaderBytes: torn header from a crash while creating
+        // the journal — no record can follow it, rewrite from scratch.
+    }
+
+    file = std::fopen(path.c_str(), needHeader ? "wb" : "ab");
+    if (!file)
+        throw Error::io("journal: cannot open " + path + ": " +
+                        std::strerror(errno));
+    if (needHeader) {
+        std::uint8_t header[kHeaderBytes];
+        putLe(header, kMagic, 8);
+        putLe(header + 8, kVersion, 4);
+        putLe(header + 12, spec_fingerprint, 8);
+        if (std::fwrite(header, 1, kHeaderBytes, file) != kHeaderBytes ||
+            std::fflush(file) != 0) {
+            std::fclose(file);
+            file = nullptr;
+            throw Error::io("journal: cannot write header to " + path);
+        }
+    }
+}
+
+Journal::~Journal()
+{
+    if (file) {
+        std::fflush(file);
+        ::fsync(::fileno(file));
+        std::fclose(file);
+    }
+}
+
+void
+Journal::append(const JournalRecord &record)
+{
+    const std::vector<std::uint8_t> payload = encodeRecord(record);
+    std::vector<std::uint8_t> frame(12 + payload.size());
+    putLe(frame.data(), payload.size(), 4);
+    putLe(frame.data() + 4, payloadChecksum(payload), 8);
+    std::memcpy(frame.data() + 12, payload.data(), payload.size());
+    // One fwrite per record: stdio buffers the frame whole, so flush
+    // failure aside, partial frames only happen at filesystem level
+    // (and replay's checksum discards them).
+    if (std::fwrite(frame.data(), 1, frame.size(), file) !=
+            frame.size() ||
+        std::fflush(file) != 0)
+        throw Error::io("journal: append failed: " +
+                        std::string(std::strerror(errno)));
+    ++written;
+}
+
+void
+Journal::sync()
+{
+    if (std::fflush(file) != 0 || ::fsync(::fileno(file)) != 0)
+        throw Error::io("journal: fsync failed: " +
+                        std::string(std::strerror(errno)));
+}
+
+std::vector<JournalRecord>
+Journal::replay(const std::string &path, std::uint64_t spec_fingerprint)
+{
+    std::vector<JournalRecord> records;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return records; // no journal yet: empty campaign history
+
+    std::uint8_t header[kHeaderBytes];
+    const std::size_t got = std::fread(header, 1, kHeaderBytes, f);
+    if (got < kHeaderBytes) {
+        std::fclose(f); // torn header: nothing durable followed it
+        return records;
+    }
+    if (getLe(header, 8) != kMagic) {
+        std::fclose(f);
+        throw Error::io("journal: bad magic in " + path);
+    }
+    if (getLe(header + 8, 4) > kVersion) {
+        std::fclose(f);
+        throw Error::io("journal: unsupported version in " + path);
+    }
+    if (getLe(header + 12, 8) != spec_fingerprint) {
+        std::fclose(f);
+        throw Error::io("journal: campaign fingerprint mismatch in " +
+                        path);
+    }
+
+    for (;;) {
+        std::uint8_t frameHeader[12];
+        if (std::fread(frameHeader, 1, 12, f) != 12)
+            break; // clean end or torn length/checksum: stop
+        const std::uint64_t len = getLe(frameHeader, 4);
+        const std::uint64_t checksum = getLe(frameHeader + 4, 8);
+        if (len == 0 || len > kMaxRecordBytes)
+            break; // implausible length: torn or corrupt tail
+        std::vector<std::uint8_t> payload(len);
+        if (std::fread(payload.data(), 1, len, f) != len)
+            break; // torn payload
+        if (payloadChecksum(payload) != checksum)
+            break; // corrupt tail
+        try {
+            records.push_back(decodeRecord(std::move(payload)));
+        } catch (const Error &) {
+            break; // checksummed but undecodable: treat as tail
+        }
+    }
+    std::fclose(f);
+    return records;
+}
+
+} // namespace harpo::campaign

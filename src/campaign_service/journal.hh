@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The campaign's durable append-only journal.
+ *
+ * Every state transition of the work queue — lease granted / renewed
+ * / released / recovered, shard completed, shard failed, shard
+ * quarantined — is appended as one checksummed record and flushed
+ * before the transition takes effect anywhere else, so the journal is
+ * the single source of truth a restarted process replays to rebuild
+ * the queue. The file layout is:
+ *
+ *   header:  u64 magic | u32 version | u64 specFingerprint
+ *   record*: u32 payloadLen | u64 fnv1a(payload) | payload
+ *
+ * Crash consistency: records are appended whole and flushed; a crash
+ * (SIGKILL included) can only leave a *torn tail* — a final record
+ * whose length or checksum does not verify. Replay accepts the
+ * longest valid prefix and silently discards the tail, which is
+ * always safe because a record's effects are never externalized
+ * before the record itself is durable (DESIGN.md §11). Anything
+ * invalid *before* a valid record (bad magic, wrong fingerprint)
+ * is real corruption or misuse and throws harpo::Error{Io}.
+ */
+
+#ifndef HARPOCRATES_CAMPAIGN_SERVICE_JOURNAL_HH
+#define HARPOCRATES_CAMPAIGN_SERVICE_JOURNAL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "faultsim/campaign.hh"
+#include "resilience/error.hh"
+
+namespace harpo::campaign
+{
+
+/** What happened, as recorded in the journal. */
+enum class RecordType : std::uint8_t
+{
+    LeaseGranted = 1,
+    LeaseRenewed = 2,
+    LeaseReleased = 3,  ///< voluntary give-back (drain); no failure charged
+    LeaseRecovered = 4, ///< dangling lease found at open (worker died)
+    ShardDone = 5,
+    ShardFailed = 6,
+    ShardQuarantined = 7,
+};
+
+const char *recordTypeName(RecordType type);
+
+/** One journal record. Fields beyond (type, shard, worker, epoch) are
+ *  meaningful only for the types that serialize them. */
+struct JournalRecord
+{
+    RecordType type = RecordType::LeaseGranted;
+    std::uint32_t shard = 0;
+    std::uint32_t worker = 0;
+    std::uint64_t epoch = 0;
+    ErrorKind cause = ErrorKind::Internal; ///< Failed / Quarantined
+    std::string message;                   ///< Failed / Quarantined
+    faultsim::CampaignResult result{};     ///< ShardDone
+};
+
+/** Append side of the journal. Thread-compatible (the work queue
+ *  serializes access under its own mutex). */
+class Journal
+{
+  public:
+    static constexpr std::uint64_t kMagic = 0x314C4E4A5052'4148ull;
+    static constexpr std::uint32_t kVersion = 1;
+    /** Replay refuses records larger than this: no legitimate record
+     *  (even a ShardFailed with a long message) comes close, and the
+     *  bound keeps a corrupt length field from looking plausible. */
+    static constexpr std::uint32_t kMaxRecordBytes = 1u << 20;
+
+    /**
+     * Open @p path for appending. A missing or empty file gets a
+     * fresh header; an existing one must carry the right magic,
+     * version and @p spec_fingerprint (Error{Io} otherwise). A short
+     * torn header (crash while creating the journal) is rewritten.
+     */
+    Journal(const std::string &path, std::uint64_t spec_fingerprint);
+    ~Journal();
+
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /** Append one record and flush it to the OS (survives process
+     *  death). Throws Error{Io} on write failure. */
+    void append(const JournalRecord &record);
+
+    /** fsync the file (survives power loss); called on checkpoints
+     *  and drains, not per record. */
+    void sync();
+
+    std::uint64_t recordsWritten() const { return written; }
+
+    /**
+     * Replay the longest valid record prefix of @p path. A missing
+     * file replays as empty; a torn tail is discarded; bad header
+     * magic/version or a fingerprint mismatch throws Error{Io}.
+     */
+    static std::vector<JournalRecord>
+    replay(const std::string &path, std::uint64_t spec_fingerprint);
+
+  private:
+    std::FILE *file = nullptr;
+    std::uint64_t written = 0;
+};
+
+} // namespace harpo::campaign
+
+#endif // HARPOCRATES_CAMPAIGN_SERVICE_JOURNAL_HH

@@ -1,0 +1,279 @@
+#include "campaign_service/results_tree.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include <unistd.h>
+
+#include "resilience/error.hh"
+
+namespace harpo::campaign
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** JSON string escaping for program names and error messages. */
+std::string
+jsonEscaped(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+formatDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** tmp + flush + fsync + rename, so readers never see half a file. */
+void
+writeTextFileAtomic(const std::string &path, const std::string &text)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        throw Error::io("results tree: cannot create " + tmp + ": " +
+                        std::strerror(errno));
+    const bool wrote =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+        std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+    if (std::fclose(f) != 0 || !wrote) {
+        std::remove(tmp.c_str());
+        throw Error::io("results tree: write failed for " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw Error::io("results tree: rename failed for " + path);
+    }
+}
+
+void
+appendCounters(std::string &out, const faultsim::CampaignResult &r)
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "\"injections\": %u, \"masked\": %u, \"sdc\": %u, "
+        "\"crash\": %u, \"hang\": %u, \"hw_corrected\": %u, "
+        "\"hw_detected\": %u, \"failed_injections\": %u, "
+        "\"golden_cycles\": %llu, \"golden_signature\": %llu, ",
+        r.total(), r.masked, r.sdc, r.crash, r.hang, r.hwCorrected,
+        r.hwDetected, r.failedInjections,
+        static_cast<unsigned long long>(r.goldenCycles),
+        static_cast<unsigned long long>(r.goldenSignature));
+    out += buf;
+    out += "\"detection\": " + formatDouble(r.detection());
+}
+
+std::string
+shardJson(const CampaignSpec &spec, const ShardSpec &shard,
+          const ShardStatus &st)
+{
+    std::string out = "{";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "\"shard\": %u, \"program\": \"%s\", "
+                  "\"target\": \"%s\", \"sample\": %u, "
+                  "\"seed\": %llu, \"state\": \"%s\", ",
+                  shard.id,
+                  jsonEscaped(spec.programs[shard.programIndex].name)
+                      .c_str(),
+                  coverage::structureName(shard.target),
+                  shard.sampleIndex,
+                  static_cast<unsigned long long>(shard.seed),
+                  shardStateName(st.state));
+    out += buf;
+    if (st.state == ShardState::Done) {
+        appendCounters(out, st.result);
+    } else {
+        out += "\"cause\": \"";
+        out += errorKindName(st.cause);
+        out += "\", \"message\": \"" + jsonEscaped(st.causeMessage) +
+               "\"";
+    }
+    out += "}\n";
+    return out;
+}
+
+} // namespace
+
+MergeSummary
+writeResultsTree(const DurableWorkQueue &queue)
+{
+    const CampaignSpec &spec = queue.spec();
+    const std::vector<ShardSpec> &shards = queue.shards();
+
+    MergeSummary summary;
+    summary.shards = static_cast<unsigned>(shards.size());
+
+    std::vector<ShardStatus> statuses;
+    statuses.reserve(shards.size());
+    for (const ShardSpec &shard : shards) {
+        const ShardStatus st = queue.status(shard.id);
+        if (st.state != ShardState::Done &&
+            st.state != ShardState::Quarantined)
+            throw Error::internal(
+                "results tree: shard " + std::to_string(shard.id) +
+                " unresolved (" + shardStateName(st.state) +
+                "); merge requires a fully resolved campaign");
+        statuses.push_back(st);
+    }
+
+    const std::string root = queue.directory() + "/results";
+
+    // ---- Per-shard leaves, in spec (= id) order. ----
+    for (const ShardSpec &shard : shards) {
+        const std::string pairDir =
+            root + "/" +
+            sanitizedName(spec.programs[shard.programIndex].name) +
+            "/" + coverage::structureName(shard.target);
+        fs::create_directories(pairDir);
+        char leaf[32];
+        std::snprintf(leaf, sizeof(leaf), "/shard-%03u.json",
+                      shard.sampleIndex);
+        writeTextFileAtomic(pairDir + leaf,
+                            shardJson(spec, shard, statuses[shard.id]));
+    }
+
+    // ---- merged.json: per-pair aggregation + quarantine report. ----
+    std::string merged = "{\"schema\": 1, ";
+    for (const ShardStatus &st : statuses) {
+        summary.done += st.state == ShardState::Done;
+        summary.quarantined += st.state == ShardState::Quarantined;
+    }
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "\"shards\": %u, \"done\": %u, "
+                  "\"quarantined\": %u, \"pairs\": [",
+                  summary.shards, summary.done, summary.quarantined);
+    merged += buf;
+
+    bool firstPair = true;
+    for (std::uint32_t p = 0; p < spec.programs.size(); ++p) {
+        for (const coverage::TargetStructure target : spec.targets) {
+            faultsim::CampaignResult sum;
+            unsigned pairShards = 0, pairDone = 0;
+            std::string quarantineList;
+            for (const ShardSpec &shard : shards) {
+                if (shard.programIndex != p || shard.target != target)
+                    continue;
+                ++pairShards;
+                const ShardStatus &st = statuses[shard.id];
+                if (st.state == ShardState::Done) {
+                    ++pairDone;
+                    sum.masked += st.result.masked;
+                    sum.sdc += st.result.sdc;
+                    sum.crash += st.result.crash;
+                    sum.hang += st.result.hang;
+                    sum.hwCorrected += st.result.hwCorrected;
+                    sum.hwDetected += st.result.hwDetected;
+                    sum.failedInjections += st.result.failedInjections;
+                    sum.goldenCycles = st.result.goldenCycles;
+                    sum.goldenSignature = st.result.goldenSignature;
+                } else {
+                    if (!quarantineList.empty())
+                        quarantineList += ", ";
+                    quarantineList +=
+                        "{\"shard\": " + std::to_string(shard.id) +
+                        ", \"cause\": \"" + errorKindName(st.cause) +
+                        "\", \"message\": \"" +
+                        jsonEscaped(st.causeMessage) + "\"}";
+                }
+            }
+            if (!firstPair)
+                merged += ", ";
+            firstPair = false;
+            merged += "{\"program\": \"" +
+                      jsonEscaped(spec.programs[p].name) +
+                      "\", \"target\": \"" +
+                      coverage::structureName(target) + "\", ";
+            std::snprintf(buf, sizeof(buf),
+                          "\"shards\": %u, \"completed\": %u, ",
+                          pairShards, pairDone);
+            merged += buf;
+            appendCounters(merged, sum);
+            merged += ", \"quarantined_shards\": [" + quarantineList +
+                      "]}";
+        }
+    }
+    merged += "]}\n";
+
+    summary.mergedPath = root + "/merged.json";
+    writeTextFileAtomic(summary.mergedPath, merged);
+    return summary;
+}
+
+bool
+resultsTreesIdentical(const std::string &dir_a, const std::string &dir_b,
+                      std::string *why)
+{
+    auto listing = [](const std::string &root) {
+        std::vector<std::string> rel;
+        if (fs::exists(root)) {
+            for (const auto &entry :
+                 fs::recursive_directory_iterator(root)) {
+                if (entry.is_regular_file())
+                    rel.push_back(
+                        fs::relative(entry.path(), root).string());
+            }
+        }
+        std::sort(rel.begin(), rel.end());
+        return rel;
+    };
+    auto fileBytes = [](const std::string &path) {
+        std::ifstream in(path, std::ios::binary);
+        return std::string(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+    };
+
+    const std::vector<std::string> a = listing(dir_a);
+    const std::vector<std::string> b = listing(dir_b);
+    if (a != b) {
+        if (why)
+            *why = "file sets differ (" + std::to_string(a.size()) +
+                   " vs " + std::to_string(b.size()) + " files)";
+        return false;
+    }
+    for (const std::string &rel : a) {
+        if (fileBytes(dir_a + "/" + rel) !=
+            fileBytes(dir_b + "/" + rel)) {
+            if (why)
+                *why = "content differs: " + rel;
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace harpo::campaign

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic campaign results tree (Hippocrates-style layout).
+ *
+ * When every shard is resolved the runner materializes
+ *
+ *   <dir>/results/<program>/<target>/shard-NNN.json
+ *   <dir>/results/merged.json
+ *
+ * from queue state alone. Shard results are deterministic functions
+ * of the campaign spec (seeded SFI), the tree is written in spec
+ * order with fixed formatting and no timestamps, and every file goes
+ * down atomically (tmp + rename) — so a campaign killed at any point
+ * and resumed from its journal produces a byte-identical tree to an
+ * uninterrupted run. Quarantined shards are *reported* in the tree
+ * (cause and all), never silently dropped.
+ */
+
+#ifndef HARPOCRATES_CAMPAIGN_SERVICE_RESULTS_TREE_HH
+#define HARPOCRATES_CAMPAIGN_SERVICE_RESULTS_TREE_HH
+
+#include <string>
+
+#include "campaign_service/work_queue.hh"
+
+namespace harpo::campaign
+{
+
+/** What writeResultsTree laid down. */
+struct MergeSummary
+{
+    unsigned shards = 0;
+    unsigned done = 0;
+    unsigned quarantined = 0;
+    std::string mergedPath; ///< <dir>/results/merged.json
+};
+
+/**
+ * Write the full results tree for @p queue under its campaign
+ * directory. Requires every shard resolved (Done or Quarantined) —
+ * throws harpo::Error{Internal} otherwise, because a partial tree
+ * would break the bit-identical-resume contract.
+ */
+MergeSummary writeResultsTree(const DurableWorkQueue &queue);
+
+/**
+ * Byte-compare two results trees (same relative file set, same bytes
+ * per file). On mismatch returns false and, when @p why is non-null,
+ * stores a one-line description of the first difference. Used by the
+ * kill-and-resume self-tests.
+ */
+bool resultsTreesIdentical(const std::string &dir_a,
+                           const std::string &dir_b,
+                           std::string *why = nullptr);
+
+} // namespace harpo::campaign
+
+#endif // HARPOCRATES_CAMPAIGN_SERVICE_RESULTS_TREE_HH

@@ -1,0 +1,328 @@
+#include "campaign_service/runner.hh"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "resilience/snapshot_io.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
+#include "uarch/core.hh"
+
+namespace harpo::campaign
+{
+
+namespace
+{
+
+using Clock = DurableWorkQueue::Clock;
+
+constexpr std::uint64_t kStatsMagic = 0x31535453'50524148ull;
+constexpr std::uint32_t kStatsVersion = 1;
+
+/** Cumulative cross-restart campaign statistics (stats.snap). */
+struct PersistentStats
+{
+    faultsim::GoldenCacheStats cache{};
+    std::uint64_t failedAttempts = 0;
+    std::uint64_t expiredLeases = 0;
+    std::uint64_t recoveredLeases = 0;
+    std::uint64_t invocations = 0;
+};
+
+std::string
+statsPath(const std::string &dir)
+{
+    return dir + "/stats.snap";
+}
+
+PersistentStats
+loadStats(const std::string &dir)
+{
+    PersistentStats stats;
+    try {
+        const std::vector<std::uint8_t> payload =
+            resilience::readSnapshotFile(statsPath(dir), kStatsMagic,
+                                         kStatsVersion);
+        resilience::SnapshotReader r(payload);
+        stats.cache.hits = r.u64();
+        stats.cache.misses = r.u64();
+        stats.cache.evictions = r.u64();
+        stats.failedAttempts = r.u64();
+        stats.expiredLeases = r.u64();
+        stats.recoveredLeases = r.u64();
+        stats.invocations = r.u64();
+    } catch (const Error &) {
+        // Missing or torn stats checkpoint: start cumulative counts
+        // from zero — stats are reporting, never correctness.
+        stats = PersistentStats{};
+    }
+    return stats;
+}
+
+void
+saveStats(const std::string &dir, const PersistentStats &stats)
+{
+    resilience::SnapshotWriter w;
+    w.u64(stats.cache.hits);
+    w.u64(stats.cache.misses);
+    w.u64(stats.cache.evictions);
+    w.u64(stats.failedAttempts);
+    w.u64(stats.expiredLeases);
+    w.u64(stats.recoveredLeases);
+    w.u64(stats.invocations);
+    resilience::writeSnapshotFile(statsPath(dir), kStatsMagic,
+                                  kStatsVersion, w.bytes());
+}
+
+} // namespace
+
+CampaignRunner::CampaignRunner(const std::string &dir_,
+                               const RunnerConfig &config_)
+    : dir(dir_), config(config_), workQueue(dir_, config_.queue)
+{
+}
+
+bool
+CampaignRunner::cancelRequested() const
+{
+    return config.cancel && config.cancel->cancelled();
+}
+
+void
+CampaignRunner::runShard(std::uint32_t index, const Lease &lease)
+{
+    const ShardSpec &shard = workQueue.shards()[lease.shard];
+    const isa::TestProgram &program =
+        workQueue.spec().programs[shard.programIndex];
+
+    faultsim::CampaignConfig shardCfg =
+        workQueue.spec().shardConfig(shard);
+    shardCfg.budget.deadline =
+        Clock::now() +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(
+                std::chrono::duration<double>(config.queue.leaseDuration)
+                    .count() *
+                config.shardDeadlineFrac));
+    shardCfg.budget.cancel = config.cancel;
+
+    try {
+        faultsim::CampaignResult result;
+        if (config.executor) {
+            result = config.executor(shard, shardCfg);
+        } else {
+            // Phase 1 — golden acquisition. Usually a warm-cache hit
+            // across the shard's siblings; when cold it is the long
+            // pole of the shard, so the lease is renewed right after
+            // as a heartbeat before the injection phase starts.
+            uarch::CoreConfig goldenCfg = shardCfg.core;
+            goldenCfg.budget = &shardCfg.budget;
+            faultsim::FaultCampaign::measureAllCoverageCached(
+                program, goldenCfg);
+            if (!workQueue.renew(lease, Clock::now()))
+                return; // lease lost while goldening; re-dispatched
+            // Phase 2 — the seeded injection campaign.
+            result = faultsim::FaultCampaign::run(program, shardCfg);
+        }
+        if (cancelRequested()) {
+            workQueue.release(lease); // drain: no failure charged
+            return;
+        }
+        if (result.truncated) {
+            failedAttempts.fetch_add(1);
+            workQueue.fail(lease, ErrorKind::Budget,
+                           "shard budget expired before the sample "
+                           "completed",
+                           Clock::now());
+            return;
+        }
+        if (!result.goldenOk) {
+            failedAttempts.fetch_add(1);
+            workQueue.fail(lease, ErrorKind::BadProgram,
+                           "golden run failed: unusable test program",
+                           Clock::now());
+            return;
+        }
+        workQueue.complete(lease, result);
+    } catch (const Error &e) {
+        if (e.kind() == ErrorKind::Budget && cancelRequested()) {
+            workQueue.release(lease);
+            return;
+        }
+        failedAttempts.fetch_add(1);
+        workQueue.fail(lease, e.kind(), e.what(), Clock::now());
+    } catch (const std::exception &e) {
+        failedAttempts.fetch_add(1);
+        workQueue.fail(lease, ErrorKind::Internal, e.what(),
+                       Clock::now());
+    } catch (...) {
+        failedAttempts.fetch_add(1);
+        workQueue.fail(lease, ErrorKind::Internal,
+                       "unknown worker exception", Clock::now());
+    }
+    (void)index;
+}
+
+void
+CampaignRunner::workerLoop(std::uint32_t index)
+{
+    for (;;) {
+        if (stopWorkers.load(std::memory_order_relaxed))
+            break;
+        if (index >= targetWorkers.load(std::memory_order_relaxed))
+            break; // degradation shrank the pool under us
+        if (cancelRequested())
+            break;
+        const std::optional<Lease> lease =
+            workQueue.tryLease(index, Clock::now());
+        if (!lease) {
+            if (workQueue.allResolved())
+                break;
+            std::unique_lock<std::mutex> lock(wakeMutex);
+            wakeCv.wait_for(lock, config.idlePause);
+            continue;
+        }
+        runShard(index, *lease);
+        // The lease is resolved (complete / fail / release) by now;
+        // wake the supervisor and any idle workers immediately.
+        wakeCv.notify_all();
+    }
+    wakeCv.notify_all();
+}
+
+RunnerReport
+CampaignRunner::run()
+{
+    HARPO_TRACE_SPAN("campaign_service", "campaign");
+    static const telemetry::MetricId workerGauge =
+        telemetry::MetricsRegistry::instance().gauge(
+            "campaign_service.active_workers");
+
+    RunnerReport report;
+    report.shards = static_cast<unsigned>(workQueue.shards().size());
+    report.recoveredLeases = workQueue.recoveredLeases();
+    report.replayedRecords = workQueue.replayedRecords();
+
+    // Cumulative stats: restore the persisted counters into the
+    // golden cache when this is a fresh process (the crash-resume
+    // path), so live metrics report campaign-cumulative hit/miss
+    // counts; otherwise accumulate by delta.
+    PersistentStats prior = loadStats(dir);
+    const faultsim::GoldenCacheStats baseline =
+        faultsim::FaultCampaign::goldenCacheStats();
+    const bool freshProcess = baseline.hits == 0 &&
+                              baseline.misses == 0 &&
+                              baseline.evictions == 0;
+    if (freshProcess)
+        faultsim::FaultCampaign::restoreGoldenCacheStats(prior.cache);
+
+    const unsigned unresolved =
+        report.shards -
+        (workQueue.doneCount() + workQueue.quarantinedCount());
+    const unsigned initialWorkers = std::max(
+        1u, std::min(std::max(config.workers, 1u),
+                     std::max(unresolved, 1u)));
+    report.initialWorkers = initialWorkers;
+    targetWorkers.store(initialWorkers);
+    telemetry::setGauge(workerGauge,
+                        static_cast<std::int64_t>(initialWorkers));
+
+    std::vector<std::thread> workers;
+    workers.reserve(initialWorkers);
+    for (std::uint32_t i = 0; i < initialWorkers; ++i)
+        workers.emplace_back([this, i] { workerLoop(i); });
+
+    unsigned expiredTotal = 0;
+    while (!workQueue.allResolved() && !cancelRequested()) {
+        {
+            std::unique_lock<std::mutex> lock(wakeMutex);
+            wakeCv.wait_for(lock, config.supervisorTick, [this] {
+                return workQueue.allResolved() || cancelRequested();
+            });
+        }
+        const unsigned expired = workQueue.expireStale(Clock::now());
+        if (expired > 0) {
+            expiredTotal += expired;
+            if (config.lossesBeforeShrink > 0) {
+                const unsigned shrink =
+                    expiredTotal / config.lossesBeforeShrink;
+                const unsigned newTarget = initialWorkers > shrink
+                                               ? initialWorkers - shrink
+                                               : 1u;
+                if (newTarget <
+                    targetWorkers.load(std::memory_order_relaxed)) {
+                    targetWorkers.store(newTarget);
+                    telemetry::setGauge(
+                        workerGauge,
+                        static_cast<std::int64_t>(newTarget));
+                    warn("campaign_service: shrinking parallelism to " +
+                         std::to_string(newTarget) + " after " +
+                         std::to_string(expiredTotal) +
+                         " lease expiries");
+                    if (auto *sink = telemetry::TraceSink::current())
+                        sink->note(
+                            "campaign_service: degrade workers=" +
+                            std::to_string(newTarget) +
+                            " expiries=" +
+                            std::to_string(expiredTotal));
+                }
+            }
+        }
+    }
+
+    stopWorkers.store(true);
+    wakeCv.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+    telemetry::setGauge(workerGauge, 0);
+
+    report.expiredLeases = expiredTotal;
+    report.failedAttempts = failedAttempts.load();
+    report.finalWorkers = targetWorkers.load();
+    report.done = workQueue.doneCount();
+    report.quarantined = workQueue.quarantinedCount();
+    report.drained = !workQueue.allResolved();
+
+    if (!report.drained) {
+        const MergeSummary merge = writeResultsTree(workQueue);
+        report.merged = true;
+        report.mergedPath = merge.mergedPath;
+    }
+
+    // Checkpoint: durable journal tail + cumulative stats, on both
+    // the completion and the drain path (SIGTERM exits cleanly).
+    workQueue.sync();
+    const faultsim::GoldenCacheStats now =
+        faultsim::FaultCampaign::goldenCacheStats();
+    PersistentStats cumulative = prior;
+    if (freshProcess) {
+        cumulative.cache = now; // counters already carry prior
+    } else {
+        cumulative.cache.hits = prior.cache.hits + now.hits -
+                                baseline.hits;
+        cumulative.cache.misses = prior.cache.misses + now.misses -
+                                  baseline.misses;
+        cumulative.cache.evictions = prior.cache.evictions +
+                                     now.evictions -
+                                     baseline.evictions;
+    }
+    cumulative.failedAttempts += report.failedAttempts;
+    cumulative.expiredLeases += report.expiredLeases;
+    cumulative.recoveredLeases += report.recoveredLeases;
+    cumulative.invocations += 1;
+    saveStats(dir, cumulative);
+    report.cacheStats = cumulative.cache;
+
+    if (auto *sink = telemetry::TraceSink::current())
+        sink->note("campaign_service: " +
+                   std::string(report.drained ? "drained" : "resolved") +
+                   " done=" + std::to_string(report.done) +
+                   " quarantined=" +
+                   std::to_string(report.quarantined) + " expired=" +
+                   std::to_string(report.expiredLeases));
+    return report;
+}
+
+} // namespace harpo::campaign

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Crash-safe campaign runner: worker supervision over the durable
+ * work queue.
+ *
+ * A CampaignRunner opens (or resumes) a campaign directory and drives
+ * it to resolution with a pool of worker threads under a supervisor:
+ *
+ *  - workers lease shards, run them as seeded SFI campaigns (golden
+ *    acquisition first — a natural heartbeat point — then injection),
+ *    and resolve the lease with complete / fail / release;
+ *  - each shard runs under a RunBudget whose deadline is a fraction
+ *    of the lease, so a hung simulation cancels itself cooperatively
+ *    before the lease expires and turns into a retriable failure;
+ *  - the supervisor tick expires overdue leases (re-dispatching the
+ *    shard; the stale worker is epoch-fenced) and, on repeated worker
+ *    loss, shrinks parallelism toward serial — the campaign-level
+ *    analogue of the fault campaign's serial-degradation machinery;
+ *  - an external CancelToken (SIGTERM) drains: workers stop leasing,
+ *    in-flight shards cancel via their budgets and release their
+ *    leases, the journal is fsynced and cumulative stats are
+ *    checkpointed, and the process can exit cleanly;
+ *  - when every shard is Done or Quarantined the runner merges the
+ *    deterministic results tree (results_tree.hh).
+ *
+ * Golden-run cache hit/miss/eviction counters are persisted in
+ * <dir>/stats.snap and restored on resume, so a restarted campaign
+ * reports cumulative cache effectiveness instead of resetting to
+ * zero.
+ */
+
+#ifndef HARPOCRATES_CAMPAIGN_SERVICE_RUNNER_HH
+#define HARPOCRATES_CAMPAIGN_SERVICE_RUNNER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "campaign_service/results_tree.hh"
+#include "campaign_service/work_queue.hh"
+#include "resilience/budget.hh"
+
+namespace harpo::campaign
+{
+
+/** Supervision policy. */
+struct RunnerConfig
+{
+    /** Initial worker-thread parallelism (clamped to ≥ 1 and to the
+     *  number of unresolved shards). */
+    unsigned workers = 4;
+
+    QueueConfig queue{};
+
+    /** Supervisor loop period (lease expiry sweep, gauges). */
+    std::chrono::milliseconds supervisorTick{20};
+
+    /** Worker pause when no shard is currently leasable. */
+    std::chrono::milliseconds idlePause{5};
+
+    /** Per-shard budget deadline as a fraction of the lease duration,
+     *  so a hung shard self-cancels before its lease expires. */
+    double shardDeadlineFrac = 0.8;
+
+    /** External drain signal (SIGTERM handler); not owned. */
+    const CancelToken *cancel = nullptr;
+
+    /** Lease expiries per parallelism-shrink step (graceful
+     *  degradation toward serial); 0 disables shrinking. */
+    unsigned lossesBeforeShrink = 2;
+
+    /** Test hook: replaces the built-in shard executor. Must return
+     *  the shard's final CampaignResult or throw (a thrown
+     *  harpo::Error charges the shard a failure of that kind). */
+    std::function<faultsim::CampaignResult(
+        const ShardSpec &, const faultsim::CampaignConfig &)>
+        executor;
+};
+
+/** What one runner invocation did. */
+struct RunnerReport
+{
+    unsigned shards = 0;
+    unsigned done = 0;
+    unsigned quarantined = 0;
+    unsigned failedAttempts = 0; ///< this invocation
+    unsigned expiredLeases = 0;  ///< this invocation
+    unsigned recoveredLeases = 0; ///< dangling leases found at open
+    std::uint64_t replayedRecords = 0; ///< journal records at open
+    unsigned initialWorkers = 0;
+    unsigned finalWorkers = 0; ///< after any degradation shrink
+    bool drained = false;      ///< cancelled before full resolution
+    bool merged = false;       ///< results tree written
+    std::string mergedPath;
+    /** Cumulative across restarts of this campaign (stats.snap). */
+    faultsim::GoldenCacheStats cacheStats{};
+};
+
+/** Drives one campaign directory to resolution (or drain). */
+class CampaignRunner
+{
+  public:
+    /** Opens (resumes) the campaign in @p dir; Error{Io} when the
+     *  directory holds no manifest. */
+    CampaignRunner(const std::string &dir, const RunnerConfig &config);
+
+    /** Run until every shard is resolved (then merge) or the cancel
+     *  token drains the campaign. Call once per runner. */
+    RunnerReport run();
+
+    const DurableWorkQueue &queue() const { return workQueue; }
+
+  private:
+    void workerLoop(std::uint32_t index);
+    void runShard(std::uint32_t index, const Lease &lease);
+    bool cancelRequested() const;
+
+    std::string dir;
+    RunnerConfig config;
+    DurableWorkQueue workQueue;
+
+    std::atomic<unsigned> targetWorkers{1};
+    std::atomic<unsigned> failedAttempts{0};
+    std::atomic<bool> stopWorkers{false};
+
+    /** Wakes the supervisor (and idle workers) the moment a shard
+     *  resolves, so campaign completion is observed immediately
+     *  instead of up to one supervisorTick later. */
+    std::mutex wakeMutex;
+    std::condition_variable wakeCv;
+};
+
+} // namespace harpo::campaign
+
+#endif // HARPOCRATES_CAMPAIGN_SERVICE_RUNNER_HH

@@ -1,0 +1,285 @@
+#include "campaign_service/shard.hh"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/hash.hh"
+#include "isa/encoding.hh"
+#include "resilience/error.hh"
+
+namespace harpo::campaign
+{
+
+std::vector<ShardSpec>
+CampaignSpec::shards() const
+{
+    std::vector<ShardSpec> list;
+    list.reserve(programs.size() * targets.size() * samplesPerPair);
+    std::uint32_t id = 0;
+    for (std::uint32_t p = 0; p < programs.size(); ++p) {
+        for (const coverage::TargetStructure target : targets) {
+            for (std::uint32_t s = 0; s < samplesPerPair; ++s) {
+                ShardSpec shard;
+                shard.id = id++;
+                shard.programIndex = p;
+                shard.target = target;
+                shard.sampleIndex = s;
+                Fnv1a h;
+                h.addWord(seed);
+                h.addWord(shard.id);
+                shard.seed = h.value();
+                shard.numInjections = injectionsPerShard;
+                list.push_back(shard);
+            }
+        }
+    }
+    return list;
+}
+
+faultsim::CampaignConfig
+CampaignSpec::shardConfig(const ShardSpec &shard) const
+{
+    faultsim::CampaignConfig cfg =
+        faultsim::CampaignConfig::forTarget(shard.target);
+    cfg.numInjections = shard.numInjections;
+    cfg.seed = shard.seed;
+    cfg.parallel = shardParallel;
+    cfg.hangMultiplier = hangMultiplier;
+    cfg.hangSlackCycles = hangSlackCycles;
+    cfg.validate();
+    return cfg;
+}
+
+std::uint64_t
+CampaignSpec::fingerprint() const
+{
+    resilience::SnapshotWriter w;
+    serialize(w);
+    Fnv1a h;
+    h.addBytes(w.bytes().data(), w.bytes().size());
+    return h.value();
+}
+
+void
+CampaignSpec::validate() const
+{
+    if (programs.empty())
+        throw Error::internal("CampaignSpec: no programs");
+    if (targets.empty())
+        throw Error::internal("CampaignSpec: no targets");
+    if (injectionsPerShard == 0)
+        throw Error::internal("CampaignSpec: injectionsPerShard == 0");
+    if (samplesPerPair == 0)
+        throw Error::internal("CampaignSpec: samplesPerPair == 0");
+    if (!(hangMultiplier > 0.0) || !std::isfinite(hangMultiplier))
+        throw Error::internal(
+            "CampaignSpec: hangMultiplier must be finite and > 0");
+    std::unordered_set<std::string> names;
+    for (const auto &program : programs) {
+        if (program.name.empty())
+            throw Error::internal(
+                "CampaignSpec: program with empty name");
+        if (!names.insert(sanitizedName(program.name)).second)
+            throw Error::internal(
+                "CampaignSpec: duplicate program name (after path "
+                "sanitization): " +
+                program.name);
+    }
+}
+
+std::string
+sanitizedName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' ||
+                        c == '_' || c == '.';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+void
+serializeProgram(resilience::SnapshotWriter &w,
+                 const isa::TestProgram &program)
+{
+    w.u32(static_cast<std::uint32_t>(program.name.size()));
+    for (const char c : program.name)
+        w.u8(static_cast<std::uint8_t>(c));
+    const std::vector<std::uint8_t> code =
+        isa::encodeProgram(program.code);
+    w.u64(code.size());
+    for (const std::uint8_t b : code)
+        w.u8(b);
+    for (const std::uint64_t v : program.initGpr)
+        w.u64(v);
+    for (const auto &lanes : program.initXmm) {
+        w.u64(lanes[0]);
+        w.u64(lanes[1]);
+    }
+    w.u32(static_cast<std::uint32_t>(program.regions.size()));
+    for (const auto &r : program.regions) {
+        w.u64(r.base);
+        w.u32(r.size);
+    }
+    w.u32(static_cast<std::uint32_t>(program.memInit.size()));
+    for (const auto &mi : program.memInit) {
+        w.u64(mi.addr);
+        w.u64(mi.bytes.size());
+        for (const std::uint8_t b : mi.bytes)
+            w.u8(b);
+    }
+    w.u64(program.coreBegin);
+    w.u64(program.coreEnd);
+}
+
+isa::TestProgram
+deserializeProgram(resilience::SnapshotReader &r)
+{
+    isa::TestProgram program;
+    const std::uint32_t nameLen = r.u32();
+    if (nameLen > r.remaining())
+        throw Error::io("campaign program: implausible name length");
+    program.name.reserve(nameLen);
+    for (std::uint32_t i = 0; i < nameLen; ++i)
+        program.name.push_back(static_cast<char>(r.u8()));
+    const std::uint64_t codeLen = r.u64();
+    if (codeLen > r.remaining())
+        throw Error::io("campaign program: implausible code length");
+    std::vector<std::uint8_t> code;
+    code.reserve(codeLen);
+    for (std::uint64_t i = 0; i < codeLen; ++i)
+        code.push_back(r.u8());
+    const isa::DecodeResult decoded =
+        isa::decodeProgram(code.data(), code.size());
+    if (!decoded.ok)
+        throw Error::io("campaign program: undecodable code bytes");
+    program.code = decoded.code;
+    for (auto &v : program.initGpr)
+        v = r.u64();
+    for (auto &lanes : program.initXmm) {
+        lanes[0] = r.u64();
+        lanes[1] = r.u64();
+    }
+    const std::uint32_t numRegions = r.u32();
+    if (numRegions > r.remaining() / 12)
+        throw Error::io("campaign program: implausible region count");
+    program.regions.reserve(numRegions);
+    for (std::uint32_t i = 0; i < numRegions; ++i) {
+        isa::MemRegion region;
+        region.base = r.u64();
+        region.size = r.u32();
+        program.regions.push_back(region);
+    }
+    const std::uint32_t numInits = r.u32();
+    if (numInits > r.remaining() / 16)
+        throw Error::io("campaign program: implausible memInit count");
+    program.memInit.reserve(numInits);
+    for (std::uint32_t i = 0; i < numInits; ++i) {
+        isa::MemInit init;
+        init.addr = r.u64();
+        const std::uint64_t len = r.u64();
+        if (len > r.remaining())
+            throw Error::io(
+                "campaign program: implausible memInit length");
+        init.bytes.reserve(len);
+        for (std::uint64_t b = 0; b < len; ++b)
+            init.bytes.push_back(r.u8());
+        program.memInit.push_back(std::move(init));
+    }
+    program.coreBegin = r.u64();
+    program.coreEnd = r.u64();
+    return program;
+}
+
+void
+serializeResult(resilience::SnapshotWriter &w,
+                const faultsim::CampaignResult &result)
+{
+    w.u32(result.masked);
+    w.u32(result.sdc);
+    w.u32(result.crash);
+    w.u32(result.hang);
+    w.u32(result.hwCorrected);
+    w.u32(result.hwDetected);
+    w.u8(result.goldenOk ? 1 : 0);
+    w.u64(result.goldenCycles);
+    w.u64(result.goldenSignature);
+    w.u8(result.truncated ? 1 : 0);
+    w.u32(result.failedInjections);
+    w.u32(result.forkedInjections);
+    w.u32(result.digestEarlyExits);
+}
+
+faultsim::CampaignResult
+deserializeResult(resilience::SnapshotReader &r)
+{
+    faultsim::CampaignResult result;
+    result.masked = r.u32();
+    result.sdc = r.u32();
+    result.crash = r.u32();
+    result.hang = r.u32();
+    result.hwCorrected = r.u32();
+    result.hwDetected = r.u32();
+    result.goldenOk = r.u8() != 0;
+    result.goldenCycles = r.u64();
+    result.goldenSignature = r.u64();
+    result.truncated = r.u8() != 0;
+    result.failedInjections = r.u32();
+    result.forkedInjections = r.u32();
+    result.digestEarlyExits = r.u32();
+    return result;
+}
+
+void
+CampaignSpec::serialize(resilience::SnapshotWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(programs.size()));
+    for (const auto &program : programs)
+        serializeProgram(w, program);
+    w.u32(static_cast<std::uint32_t>(targets.size()));
+    for (const coverage::TargetStructure t : targets)
+        w.u8(static_cast<std::uint8_t>(t));
+    w.u32(injectionsPerShard);
+    w.u32(samplesPerPair);
+    w.u64(seed);
+    w.f64(hangMultiplier);
+    w.u64(hangSlackCycles);
+    w.u8(shardParallel ? 1 : 0);
+}
+
+CampaignSpec
+CampaignSpec::deserialize(resilience::SnapshotReader &r)
+{
+    CampaignSpec spec;
+    const std::uint32_t numPrograms = r.u32();
+    if (numPrograms > r.remaining())
+        throw Error::io("campaign spec: implausible program count");
+    spec.programs.reserve(numPrograms);
+    for (std::uint32_t i = 0; i < numPrograms; ++i)
+        spec.programs.push_back(deserializeProgram(r));
+    const std::uint32_t numTargets = r.u32();
+    if (numTargets > r.remaining())
+        throw Error::io("campaign spec: implausible target count");
+    spec.targets.reserve(numTargets);
+    for (std::uint32_t i = 0; i < numTargets; ++i) {
+        const std::uint8_t raw = r.u8();
+        if (raw >= coverage::numTargetStructures)
+            throw Error::io("campaign spec: unknown target structure");
+        spec.targets.push_back(
+            static_cast<coverage::TargetStructure>(raw));
+    }
+    spec.injectionsPerShard = r.u32();
+    spec.samplesPerPair = r.u32();
+    spec.seed = r.u64();
+    spec.hangMultiplier = r.f64();
+    spec.hangSlackCycles = r.u64();
+    spec.shardParallel = r.u8() != 0;
+    spec.validate();
+    return spec;
+}
+
+} // namespace harpo::campaign

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Campaign sharding: the unit of durable, re-dispatchable work.
+ *
+ * A campaign scans a set of test programs against a set of target
+ * structures. The (program × structure) grid is further split into
+ * independent *fault samples* — each shard runs its own seeded SFI
+ * campaign over a slice of the statistical sample — so the work queue
+ * has many small, idempotent shards to lease out, retry and recover
+ * instead of a few monolithic campaigns. A shard is a pure function
+ * of the CampaignSpec: equal specs produce equal shard lists, equal
+ * shard seeds, and therefore equal shard results, which is what makes
+ * a journal-replayed resume bit-identical to an uninterrupted run
+ * (DESIGN.md §11).
+ */
+
+#ifndef HARPOCRATES_CAMPAIGN_SERVICE_SHARD_HH
+#define HARPOCRATES_CAMPAIGN_SERVICE_SHARD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coverage/measure.hh"
+#include "faultsim/campaign.hh"
+#include "isa/program.hh"
+#include "resilience/snapshot_io.hh"
+
+namespace harpo::campaign
+{
+
+/** One leaseable unit of campaign work. */
+struct ShardSpec
+{
+    std::uint32_t id = 0;           ///< dense index into the shard list
+    std::uint32_t programIndex = 0; ///< into CampaignSpec::programs
+    coverage::TargetStructure target =
+        coverage::TargetStructure::IntRegFile;
+    std::uint32_t sampleIndex = 0; ///< which fault-sample slice
+    std::uint64_t seed = 0;        ///< derived; equal specs ⇒ equal seeds
+    unsigned numInjections = 0;
+};
+
+/**
+ * The durable definition of a whole campaign. Serialized into the
+ * campaign directory's manifest, so a resumed process reconstructs
+ * the exact same programs, targets and shard list without help from
+ * the process that created the campaign.
+ */
+struct CampaignSpec
+{
+    /** Programs under scan. Each must carry a unique, non-empty
+     *  TestProgram::name — the results tree is laid out by it. */
+    std::vector<isa::TestProgram> programs;
+
+    std::vector<coverage::TargetStructure> targets;
+
+    /** Injections per shard (each shard is one seeded SFI slice). */
+    unsigned injectionsPerShard = 50;
+
+    /** Fault-sample slices per (program × target) pair. */
+    unsigned samplesPerPair = 2;
+
+    /** Campaign seed; shard seeds derive from it and the shard id. */
+    std::uint64_t seed = 1;
+
+    // Per-shard campaign knobs (forwarded into each shard's
+    // CampaignConfig; everything else stays at forTarget defaults).
+    double hangMultiplier = 3.0;
+    std::uint64_t hangSlackCycles = 10000;
+
+    /** Intra-shard injection parallelism. Off by default: the runner
+     *  parallelises *across* shards, and serial shards keep per-shard
+     *  runtimes predictable for lease sizing. */
+    bool shardParallel = false;
+
+    /** The full shard list, in id order. Pure function of the spec. */
+    std::vector<ShardSpec> shards() const;
+
+    /** The per-shard fault-campaign configuration (validated). */
+    faultsim::CampaignConfig shardConfig(const ShardSpec &shard) const;
+
+    /** Content fingerprint over the serialized spec; binds a journal
+     *  to the manifest it was written against. */
+    std::uint64_t fingerprint() const;
+
+    /** Throws harpo::Error{Internal} on an unusable spec (no
+     *  programs/targets, duplicate or empty program names, zero
+     *  injections or samples, invalid hang parameters). */
+    void validate() const;
+
+    void serialize(resilience::SnapshotWriter &w) const;
+    static CampaignSpec deserialize(resilience::SnapshotReader &r);
+};
+
+/** Filesystem-safe form of a program name (results-tree directory). */
+std::string sanitizedName(const std::string &name);
+
+// ---- Serialization helpers shared by the manifest and journal ----
+
+void serializeProgram(resilience::SnapshotWriter &w,
+                      const isa::TestProgram &program);
+isa::TestProgram deserializeProgram(resilience::SnapshotReader &r);
+
+void serializeResult(resilience::SnapshotWriter &w,
+                     const faultsim::CampaignResult &result);
+faultsim::CampaignResult deserializeResult(resilience::SnapshotReader &r);
+
+} // namespace harpo::campaign
+
+#endif // HARPOCRATES_CAMPAIGN_SERVICE_SHARD_HH

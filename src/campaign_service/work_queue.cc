@@ -1,0 +1,515 @@
+#include "campaign_service/work_queue.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+
+#include "common/hash.hh"
+#include "common/rng.hh"
+#include "resilience/snapshot_io.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
+
+namespace harpo::campaign
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::string
+manifestPath(const std::string &dir)
+{
+    return dir + "/manifest.snap";
+}
+
+std::string
+journalPath(const std::string &dir)
+{
+    return dir + "/journal.log";
+}
+
+struct QueueMetrics
+{
+    telemetry::MetricId grants, renewals, expiries, recoveries,
+        retries, done, quarantines;
+
+    static const QueueMetrics &
+    instance()
+    {
+        static const QueueMetrics m = [] {
+            auto &reg = telemetry::MetricsRegistry::instance();
+            QueueMetrics ids;
+            ids.grants = reg.counter("campaign_service.lease_grants");
+            ids.renewals =
+                reg.counter("campaign_service.lease_renewals");
+            ids.expiries =
+                reg.counter("campaign_service.lease_expiries");
+            ids.recoveries =
+                reg.counter("campaign_service.lease_recoveries");
+            ids.retries = reg.counter("campaign_service.shard_retries");
+            ids.done = reg.counter("campaign_service.shards_done");
+            ids.quarantines =
+                reg.counter("campaign_service.shards_quarantined");
+            return ids;
+        }();
+        return m;
+    }
+};
+
+void
+traceNote(const std::string &text)
+{
+    if (auto *sink = telemetry::TraceSink::current())
+        sink->note(text);
+}
+
+} // namespace
+
+const char *
+shardStateName(ShardState state)
+{
+    switch (state) {
+      case ShardState::Pending: return "pending";
+      case ShardState::Leased: return "leased";
+      case ShardState::Done: return "done";
+      case ShardState::Quarantined: return "quarantined";
+    }
+    return "unknown";
+}
+
+void
+DurableWorkQueue::create(const std::string &dir,
+                         const CampaignSpec &spec)
+{
+    spec.validate();
+    fs::create_directories(dir);
+    if (fs::exists(manifestPath(dir)))
+        throw Error::io("campaign: manifest already present in " + dir +
+                        " (open it to resume; create never clobbers)");
+    // A journal without a manifest is debris from a broken create;
+    // clear it so the fresh campaign does not inherit foreign records.
+    fs::remove(journalPath(dir));
+
+    resilience::SnapshotWriter w;
+    spec.serialize(w);
+    resilience::writeSnapshotFile(manifestPath(dir), kManifestMagic,
+                                  kManifestVersion, w.bytes());
+    Journal bootstrap(journalPath(dir), spec.fingerprint());
+    bootstrap.sync();
+}
+
+bool
+DurableWorkQueue::exists(const std::string &dir)
+{
+    return fs::exists(manifestPath(dir));
+}
+
+DurableWorkQueue::DurableWorkQueue(const std::string &dir_,
+                                   const QueueConfig &config_)
+    : dir(dir_), config(config_)
+{
+    const std::vector<std::uint8_t> payload = resilience::
+        readSnapshotFile(manifestPath(dir), kManifestMagic,
+                         kManifestVersion);
+    resilience::SnapshotReader r(payload);
+    campaignSpec = CampaignSpec::deserialize(r);
+    fingerprint = campaignSpec.fingerprint();
+    shardList = campaignSpec.shards();
+    statuses.assign(shardList.size(), ShardStatus{});
+
+    const std::vector<JournalRecord> records =
+        Journal::replay(journalPath(dir), fingerprint);
+    replayed = records.size();
+    for (const JournalRecord &record : records)
+        applyRecord(record);
+
+    journal = std::make_unique<Journal>(journalPath(dir), fingerprint);
+
+    // Recover leases the previous process died holding. Recovery is
+    // journaled, so recovery *counts* survive further restarts and a
+    // genuinely poisonous worker-killing shard can be quarantined via
+    // maxRecoveries.
+    const auto &metrics = QueueMetrics::instance();
+    for (std::uint32_t i = 0; i < statuses.size(); ++i) {
+        ShardStatus &st = statuses[i];
+        if (st.state != ShardState::Leased)
+            continue;
+        JournalRecord rec;
+        rec.shard = i;
+        rec.worker = st.worker;
+        rec.epoch = st.epoch;
+        st.recoveries += 1;
+        ++recovered;
+        telemetry::count(metrics.recoveries);
+        if (config.maxRecoveries > 0 &&
+            st.recoveries >= config.maxRecoveries) {
+            rec.type = RecordType::ShardQuarantined;
+            rec.cause = ErrorKind::Internal;
+            rec.message = "worker died holding the lease " +
+                          std::to_string(st.recoveries) +
+                          " times (maxRecoveries)";
+            journal->append(rec);
+            st.state = ShardState::Quarantined;
+            st.cause = rec.cause;
+            st.causeMessage = rec.message;
+            telemetry::count(metrics.quarantines);
+            traceNote("campaign_service: quarantine shard=" +
+                      std::to_string(i) + " cause=internal (" +
+                      rec.message + ")");
+        } else {
+            rec.type = RecordType::LeaseRecovered;
+            journal->append(rec);
+            st.state = ShardState::Pending;
+            traceNote("campaign_service: lease recover shard=" +
+                      std::to_string(i) +
+                      " epoch=" + std::to_string(st.epoch));
+        }
+    }
+    if (replayed > 0) {
+        static const telemetry::MetricId resumes =
+            telemetry::MetricsRegistry::instance().counter(
+                "campaign_service.resumes");
+        telemetry::count(resumes);
+        traceNote("campaign_service: resume dir=" + dir + " shards=" +
+                  std::to_string(shardList.size()) + " done=" +
+                  std::to_string(doneCount()) + " quarantined=" +
+                  std::to_string(quarantinedCount()) + " recovered=" +
+                  std::to_string(recovered));
+    }
+}
+
+void
+DurableWorkQueue::applyRecord(const JournalRecord &record)
+{
+    if (record.shard >= statuses.size())
+        return; // foreign/corrupt shard id: ignore defensively
+    ShardStatus &st = statuses[record.shard];
+    nextEpoch = std::max(nextEpoch, record.epoch + 1);
+    switch (record.type) {
+      case RecordType::LeaseGranted:
+        st.state = ShardState::Leased;
+        st.epoch = record.epoch;
+        st.worker = record.worker;
+        break;
+      case RecordType::LeaseRenewed:
+        break; // liveness only; no state change to replay
+      case RecordType::LeaseReleased:
+        if (st.state == ShardState::Leased &&
+            st.epoch == record.epoch)
+            st.state = ShardState::Pending;
+        break;
+      case RecordType::LeaseRecovered:
+        if (st.state == ShardState::Leased &&
+            st.epoch == record.epoch)
+            st.state = ShardState::Pending;
+        st.recoveries += 1;
+        break;
+      case RecordType::ShardDone:
+        st.state = ShardState::Done;
+        st.result = record.result;
+        break;
+      case RecordType::ShardFailed:
+        st.failures += 1;
+        st.state = ShardState::Pending;
+        // Steady-clock gates are not durable; re-arm the backoff
+        // relative to this open so a failing shard cannot hot-loop
+        // straight after a restart.
+        st.notBefore =
+            Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    backoffDelayMs(config,
+                                   shardList[record.shard].seed,
+                                   st.failures)));
+        break;
+      case RecordType::ShardQuarantined:
+        st.state = ShardState::Quarantined;
+        st.cause = record.cause;
+        st.causeMessage = record.message;
+        break;
+    }
+}
+
+std::optional<Lease>
+DurableWorkQueue::tryLease(std::uint32_t worker, Clock::time_point now)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (std::uint32_t i = 0; i < statuses.size(); ++i) {
+        ShardStatus &st = statuses[i];
+        if (st.state != ShardState::Pending || now < st.notBefore)
+            continue;
+        JournalRecord rec;
+        rec.type = RecordType::LeaseGranted;
+        rec.shard = i;
+        rec.worker = worker;
+        rec.epoch = nextEpoch++;
+        journal->append(rec);
+        st.state = ShardState::Leased;
+        st.epoch = rec.epoch;
+        st.worker = worker;
+        st.leaseDeadline = now + config.leaseDuration;
+        telemetry::count(QueueMetrics::instance().grants);
+        traceNote("campaign_service: lease grant shard=" +
+                  std::to_string(i) + " worker=" +
+                  std::to_string(worker) +
+                  " epoch=" + std::to_string(rec.epoch));
+        return Lease{i, worker, rec.epoch, st.leaseDeadline};
+    }
+    return std::nullopt;
+}
+
+namespace
+{
+
+/** Holder check shared by renew/complete/release/fail. */
+bool
+leaseCurrent(const ShardStatus &st, const Lease &lease)
+{
+    return st.state == ShardState::Leased && st.epoch == lease.epoch;
+}
+
+} // namespace
+
+bool
+DurableWorkQueue::renew(const Lease &lease, Clock::time_point now)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (lease.shard >= statuses.size())
+        return false;
+    ShardStatus &st = statuses[lease.shard];
+    if (!leaseCurrent(st, lease))
+        return false;
+    JournalRecord rec;
+    rec.type = RecordType::LeaseRenewed;
+    rec.shard = lease.shard;
+    rec.worker = lease.worker;
+    rec.epoch = lease.epoch;
+    journal->append(rec);
+    st.leaseDeadline = now + config.leaseDuration;
+    telemetry::count(QueueMetrics::instance().renewals);
+    traceNote("campaign_service: lease renew shard=" +
+              std::to_string(lease.shard) +
+              " epoch=" + std::to_string(lease.epoch));
+    return true;
+}
+
+bool
+DurableWorkQueue::complete(const Lease &lease,
+                           const faultsim::CampaignResult &result)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (lease.shard >= statuses.size())
+        return false;
+    ShardStatus &st = statuses[lease.shard];
+    if (!leaseCurrent(st, lease))
+        return false; // stale holder: the shard moved on without us
+    JournalRecord rec;
+    rec.type = RecordType::ShardDone;
+    rec.shard = lease.shard;
+    rec.worker = lease.worker;
+    rec.epoch = lease.epoch;
+    rec.result = result;
+    journal->append(rec);
+    st.state = ShardState::Done;
+    st.result = result;
+    telemetry::count(QueueMetrics::instance().done);
+    traceNote("campaign_service: shard done shard=" +
+              std::to_string(lease.shard) + " injections=" +
+              std::to_string(result.total()));
+    return true;
+}
+
+bool
+DurableWorkQueue::release(const Lease &lease)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (lease.shard >= statuses.size())
+        return false;
+    ShardStatus &st = statuses[lease.shard];
+    if (!leaseCurrent(st, lease))
+        return false;
+    JournalRecord rec;
+    rec.type = RecordType::LeaseReleased;
+    rec.shard = lease.shard;
+    rec.worker = lease.worker;
+    rec.epoch = lease.epoch;
+    journal->append(rec);
+    st.state = ShardState::Pending;
+    traceNote("campaign_service: lease release shard=" +
+              std::to_string(lease.shard) +
+              " epoch=" + std::to_string(lease.epoch));
+    return true;
+}
+
+bool
+DurableWorkQueue::fail(const Lease &lease, ErrorKind cause,
+                       const std::string &message, Clock::time_point now)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (lease.shard >= statuses.size())
+        return false;
+    ShardStatus &st = statuses[lease.shard];
+    if (!leaseCurrent(st, lease))
+        return false;
+    st.failures += 1;
+    const auto &metrics = QueueMetrics::instance();
+    JournalRecord rec;
+    rec.shard = lease.shard;
+    rec.worker = lease.worker;
+    rec.epoch = lease.epoch;
+    rec.cause = cause;
+    rec.message = message;
+    if (st.failures >= config.maxAttempts) {
+        rec.type = RecordType::ShardQuarantined;
+        journal->append(rec);
+        st.state = ShardState::Quarantined;
+        st.cause = cause;
+        st.causeMessage = message;
+        telemetry::count(metrics.quarantines);
+        traceNote("campaign_service: quarantine shard=" +
+                  std::to_string(lease.shard) + " cause=" +
+                  errorKindName(cause) + " after " +
+                  std::to_string(st.failures) + " failures");
+    } else {
+        rec.type = RecordType::ShardFailed;
+        journal->append(rec);
+        st.state = ShardState::Pending;
+        const double delayMs = backoffDelayMs(
+            config, shardList[lease.shard].seed, st.failures);
+        st.notBefore =
+            now + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          delayMs));
+        telemetry::count(metrics.retries);
+        traceNote("campaign_service: shard retry shard=" +
+                  std::to_string(lease.shard) + " failure=" +
+                  std::to_string(st.failures) + " cause=" +
+                  errorKindName(cause) + " backoff_ms=" +
+                  std::to_string(delayMs));
+    }
+    return true;
+}
+
+unsigned
+DurableWorkQueue::expireStale(Clock::time_point now)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    unsigned expired = 0;
+    for (std::uint32_t i = 0; i < statuses.size(); ++i) {
+        ShardStatus &st = statuses[i];
+        if (st.state != ShardState::Leased || now < st.leaseDeadline)
+            continue;
+        JournalRecord rec;
+        rec.type = RecordType::LeaseReleased;
+        rec.shard = i;
+        rec.worker = st.worker;
+        rec.epoch = st.epoch;
+        journal->append(rec);
+        st.state = ShardState::Pending;
+        ++expired;
+        telemetry::count(QueueMetrics::instance().expiries);
+        traceNote("campaign_service: lease expire shard=" +
+                  std::to_string(i) + " worker=" +
+                  std::to_string(st.worker) +
+                  " epoch=" + std::to_string(st.epoch));
+    }
+    return expired;
+}
+
+bool
+DurableWorkQueue::allResolved() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return std::all_of(statuses.begin(), statuses.end(),
+                       [](const ShardStatus &st) {
+                           return st.state == ShardState::Done ||
+                                  st.state == ShardState::Quarantined;
+                       });
+}
+
+unsigned
+DurableWorkQueue::doneCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return static_cast<unsigned>(
+        std::count_if(statuses.begin(), statuses.end(),
+                      [](const ShardStatus &st) {
+                          return st.state == ShardState::Done;
+                      }));
+}
+
+unsigned
+DurableWorkQueue::quarantinedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return static_cast<unsigned>(
+        std::count_if(statuses.begin(), statuses.end(),
+                      [](const ShardStatus &st) {
+                          return st.state == ShardState::Quarantined;
+                      }));
+}
+
+unsigned
+DurableWorkQueue::pendingCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return static_cast<unsigned>(
+        std::count_if(statuses.begin(), statuses.end(),
+                      [](const ShardStatus &st) {
+                          return st.state == ShardState::Pending;
+                      }));
+}
+
+unsigned
+DurableWorkQueue::leasedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return static_cast<unsigned>(
+        std::count_if(statuses.begin(), statuses.end(),
+                      [](const ShardStatus &st) {
+                          return st.state == ShardState::Leased;
+                      }));
+}
+
+ShardStatus
+DurableWorkQueue::status(std::uint32_t shard) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (shard >= statuses.size())
+        throw Error::internal("campaign: shard id out of range");
+    return statuses[shard];
+}
+
+double
+DurableWorkQueue::backoffDelayMs(const QueueConfig &config,
+                                 std::uint64_t shard_seed,
+                                 unsigned failures)
+{
+    if (failures == 0)
+        return 0.0;
+    // Clamp the exponent: past ~2^40 the cap dominates anyway and an
+    // unclamped ldexp would overflow to inf.
+    const int exponent =
+        static_cast<int>(std::min(failures - 1, 40u));
+    const double raw =
+        config.backoffBaseMs * std::ldexp(1.0, exponent);
+    const double capped = std::min(config.backoffCapMs, raw);
+    Fnv1a h;
+    h.addWord(shard_seed);
+    h.addWord(failures);
+    Rng rng(h.value());
+    const double jitter =
+        1.0 + config.backoffJitterFrac * (2.0 * rng.uniform() - 1.0);
+    return capped * jitter;
+}
+
+void
+DurableWorkQueue::sync()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    journal->sync();
+}
+
+} // namespace harpo::campaign

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Durable sharded work queue with leases, retries and quarantine.
+ *
+ * The queue's persistent identity is a campaign directory:
+ *
+ *   <dir>/manifest.snap   atomic versioned CampaignSpec snapshot
+ *   <dir>/journal.log     append-only state-transition journal
+ *
+ * The manifest is immutable after create(); all mutable state is the
+ * journal, replayed at open. Per-shard lifecycle:
+ *
+ *             ┌──────────── lease expiry / release ─────────────┐
+ *             v                                                 │
+ *   Pending ──── tryLease ────> Leased ──── complete ────> Done │
+ *      ^                          │ fail                        │
+ *      └── backoff(attempts) ─────┴──> (attempts ≥ max) ──> Quarantined
+ *
+ * Leases are epoch-fenced: complete/fail/renew with a stale epoch is
+ * ignored, so a worker that lost its lease (hung past the deadline,
+ * shard re-dispatched) cannot corrupt the re-run's outcome. Failed
+ * shards become eligible again after a deterministic exponential
+ * backoff with bounded jitter; after maxAttempts failures the shard
+ * is quarantined with its harpo::ErrorKind cause instead of sinking
+ * the campaign. Leases found dangling at open (the previous process
+ * died holding them) are recovered to Pending and counted, but do not
+ * charge the shard an attempt by default — an external kill is not
+ * the shard's fault, and counting it would make resumed results
+ * diverge from uninterrupted ones (see QueueConfig::maxRecoveries).
+ *
+ * All clock-dependent methods take an explicit time_point so tests
+ * drive lease expiry and backoff without sleeping.
+ */
+
+#ifndef HARPOCRATES_CAMPAIGN_SERVICE_WORK_QUEUE_HH
+#define HARPOCRATES_CAMPAIGN_SERVICE_WORK_QUEUE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign_service/journal.hh"
+#include "campaign_service/shard.hh"
+
+namespace harpo::campaign
+{
+
+/** Retry / lease policy. */
+struct QueueConfig
+{
+    /** Failures before a shard is quarantined as poison. */
+    unsigned maxAttempts = 4;
+
+    /** Crash recoveries before quarantine; 0 (default) disables
+     *  counting recoveries toward quarantine, which keeps resumed
+     *  campaigns bit-identical under arbitrary external kills. Set a
+     *  small positive value in production fleets where a poison shard
+     *  may be killing its *worker process* rather than failing. */
+    unsigned maxRecoveries = 0;
+
+    /** Exponential backoff after a failure: the n-th failure delays
+     *  the shard by min(cap, base·2^(n−1)) scaled by a deterministic
+     *  jitter factor in [1−jitter, 1+jitter]. */
+    double backoffBaseMs = 25.0;
+    double backoffCapMs = 2000.0;
+    double backoffJitterFrac = 0.25;
+
+    /** How long a granted lease lasts without renewal. */
+    std::chrono::milliseconds leaseDuration{30000};
+};
+
+/** A granted lease (a capability to resolve one shard). */
+struct Lease
+{
+    std::uint32_t shard = 0;
+    std::uint32_t worker = 0;
+    std::uint64_t epoch = 0;
+    std::chrono::steady_clock::time_point deadline{};
+};
+
+enum class ShardState : std::uint8_t
+{
+    Pending,
+    Leased,
+    Done,
+    Quarantined,
+};
+
+const char *shardStateName(ShardState state);
+
+/** Runtime status of one shard (in-memory; rebuilt from the journal). */
+struct ShardStatus
+{
+    ShardState state = ShardState::Pending;
+    unsigned failures = 0;
+    unsigned recoveries = 0;
+    std::uint64_t epoch = 0; ///< most recently granted lease epoch
+    std::uint32_t worker = 0;
+    std::chrono::steady_clock::time_point leaseDeadline{};
+    std::chrono::steady_clock::time_point notBefore{}; ///< backoff gate
+    faultsim::CampaignResult result{};                 ///< when Done
+    ErrorKind cause = ErrorKind::Internal; ///< when Quarantined
+    std::string causeMessage;              ///< when Quarantined
+};
+
+/** The durable queue. All methods are thread-safe. */
+class DurableWorkQueue
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    static constexpr std::uint64_t kManifestMagic =
+        0x31464E4D50524148ull; // "HARPMNF1"
+    static constexpr std::uint32_t kManifestVersion = 1;
+
+    /** Lay down a fresh campaign directory (creating it if needed):
+     *  manifest + empty journal. Throws Error{Io} when a manifest is
+     *  already present — opening resumes, creating never clobbers. */
+    static void create(const std::string &dir, const CampaignSpec &spec);
+
+    /** True when @p dir holds a campaign manifest. */
+    static bool exists(const std::string &dir);
+
+    /** Open (resume) the campaign in @p dir: load the manifest,
+     *  replay the journal, recover dangling leases. */
+    DurableWorkQueue(const std::string &dir, const QueueConfig &config);
+
+    const CampaignSpec &spec() const { return campaignSpec; }
+    const std::vector<ShardSpec> &shards() const { return shardList; }
+    const std::string &directory() const { return dir; }
+    std::uint64_t specFingerprint() const { return fingerprint; }
+
+    /** Lease the lowest-id eligible shard (Pending, past its backoff
+     *  gate). Returns nothing when no shard is currently eligible. */
+    std::optional<Lease> tryLease(std::uint32_t worker,
+                                  Clock::time_point now);
+
+    /** Heartbeat: extend the lease deadline. False when the lease is
+     *  stale (expired and re-dispatched, or shard resolved). */
+    bool renew(const Lease &lease, Clock::time_point now);
+
+    /** Resolve the leased shard with a final result. False (and no
+     *  state change) when the lease is stale. */
+    bool complete(const Lease &lease,
+                  const faultsim::CampaignResult &result);
+
+    /** Voluntarily give the shard back (drain path). No failure is
+     *  charged and no backoff applies. False when stale. */
+    bool release(const Lease &lease);
+
+    /** Charge a failure: the shard re-enters Pending behind its
+     *  backoff gate, or Quarantined once maxAttempts is reached.
+     *  False when the lease is stale. */
+    bool fail(const Lease &lease, ErrorKind cause,
+              const std::string &message, Clock::time_point now);
+
+    /** Expire overdue leases back to Pending (re-dispatch); returns
+     *  how many expired. Run from the supervisor tick. */
+    unsigned expireStale(Clock::time_point now);
+
+    /** Every shard Done or Quarantined. */
+    bool allResolved() const;
+
+    unsigned doneCount() const;
+    unsigned quarantinedCount() const;
+    unsigned pendingCount() const;
+    unsigned leasedCount() const;
+
+    /** Dangling leases recovered when this queue was opened. */
+    unsigned recoveredLeases() const { return recovered; }
+
+    /** Journal records replayed when this queue was opened (zero on a
+     *  freshly created campaign: the telltale of a resume). */
+    std::uint64_t replayedRecords() const { return replayed; }
+
+    ShardStatus status(std::uint32_t shard) const;
+
+    /** The deterministic backoff delay charged after the @p failures
+     *  -th failure of a shard seeded @p shard_seed (exposed for tests
+     *  and for DESIGN.md's schedule argument). */
+    static double backoffDelayMs(const QueueConfig &config,
+                                 std::uint64_t shard_seed,
+                                 unsigned failures);
+
+    /** fsync the journal (checkpoint / drain). */
+    void sync();
+
+  private:
+    void applyRecord(const JournalRecord &record);
+
+    std::string dir;
+    QueueConfig config;
+    CampaignSpec campaignSpec;
+    std::uint64_t fingerprint = 0;
+    std::vector<ShardSpec> shardList;
+
+    mutable std::mutex mu;
+    std::vector<ShardStatus> statuses;
+    std::unique_ptr<Journal> journal;
+    std::uint64_t nextEpoch = 1;
+    unsigned recovered = 0;
+    std::uint64_t replayed = 0;
+};
+
+} // namespace harpo::campaign
+
+#endif // HARPOCRATES_CAMPAIGN_SERVICE_WORK_QUEUE_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -21,10 +22,33 @@
 namespace harpo::faultsim
 {
 
+void
+CampaignConfig::validate() const
+{
+    // A non-positive (or NaN/inf) multiplier makes hangBudget() either
+    // fire instantly on every faulty run or never fire at all; both
+    // silently corrupt the hang classification rather than failing.
+    if (!(hangMultiplier > 0.0) || !std::isfinite(hangMultiplier))
+        throw Error::config(
+            "campaign: hangMultiplier must be positive and finite, "
+            "got " +
+            std::to_string(hangMultiplier));
+    // hangSlackCycles is unsigned, so a caller's negative value
+    // arrives wrapped to the top of the u64 range. No real slack is
+    // within 2^62 cycles of that; reject the wrapped band instead of
+    // running with a watchdog that can never expire.
+    if (hangSlackCycles > (std::uint64_t{1} << 62))
+        throw Error::config(
+            "campaign: hangSlackCycles is implausibly large (" +
+            std::to_string(hangSlackCycles) +
+            "); was a negative value converted to unsigned?");
+}
+
 std::vector<FaultSpec>
 FaultCampaign::sampleFaults(const CampaignConfig &config,
                             std::uint64_t golden_cycles)
 {
+    config.validate();
     Rng rng(config.seed);
     std::vector<FaultSpec> faults;
     faults.reserve(config.numInjections);
@@ -486,6 +510,26 @@ FaultCampaign::goldenCacheEvictions()
     return goldenCache().evictions.load();
 }
 
+GoldenCacheStats
+FaultCampaign::goldenCacheStats()
+{
+    GoldenCache &cache = goldenCache();
+    GoldenCacheStats stats;
+    stats.hits = cache.hits.load();
+    stats.misses = cache.misses.load();
+    stats.evictions = cache.evictions.load();
+    return stats;
+}
+
+void
+FaultCampaign::restoreGoldenCacheStats(const GoldenCacheStats &stats)
+{
+    GoldenCache &cache = goldenCache();
+    cache.hits.store(stats.hits);
+    cache.misses.store(stats.misses);
+    cache.evictions.store(stats.evictions);
+}
+
 std::size_t
 FaultCampaign::goldenCacheEntries()
 {
@@ -560,6 +604,7 @@ CampaignResult
 FaultCampaign::run(const isa::TestProgram &program,
                    const CampaignConfig &config)
 {
+    config.validate();
     HARPO_TRACE_SPAN("campaign", "inject");
     static const telemetry::MetricId injectionsDone =
         telemetry::MetricsRegistry::instance().counter(

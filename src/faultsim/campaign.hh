@@ -114,6 +114,14 @@ struct CampaignConfig
      *  recording. */
     bool unifiedGolden = true;
 
+    /** Validates the watchdog parameters; throws harpo::Error
+     *  {Config} on a non-positive or non-finite hangMultiplier and on
+     *  a hangSlackCycles so large it can only be a negative value
+     *  that wrapped through unsigned conversion (either would turn
+     *  the hang watchdog into never-fires or fires-instantly).
+     *  Called by FaultCampaign::run and sampleFaults. */
+    void validate() const;
+
     /** Faulty-run cycle watchdog for a given golden runtime. */
     std::uint64_t
     hangBudget(std::uint64_t golden_cycles) const
@@ -189,6 +197,16 @@ struct CampaignResult
     }
 };
 
+/** Golden-run cache effectiveness counters as one snapshotable value
+ *  (campaign_service persists these across runner restarts so a
+ *  resumed campaign reports cumulative hit/miss/eviction counts). */
+struct GoldenCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+};
+
 /** Runs SFI campaigns. */
 class FaultCampaign
 {
@@ -232,6 +250,12 @@ class FaultCampaign
     static std::uint64_t goldenCacheHits();
     static std::uint64_t goldenCacheMisses();
     static std::uint64_t goldenCacheEvictions();
+    /** All three effectiveness counters as one consistent value. */
+    static GoldenCacheStats goldenCacheStats();
+    /** Overwrite the effectiveness counters (entries are untouched) —
+     *  restores a persisted snapshot so cumulative stats survive a
+     *  process restart. */
+    static void restoreGoldenCacheStats(const GoldenCacheStats &stats);
     /** Current entry count / payload bytes resident in the cache. */
     static std::size_t goldenCacheEntries();
     static std::size_t goldenCacheBytes();

@@ -27,6 +27,7 @@ enum class ErrorKind : std::uint8_t
     Budget,     ///< a RunBudget expired / cancellation was requested
     Io,         ///< snapshot or file problem (missing, corrupt, stale)
     Internal,   ///< an invariant of this library was violated
+    Config,     ///< caller-supplied configuration is rejected
 };
 
 inline const char *
@@ -37,6 +38,7 @@ errorKindName(ErrorKind kind)
       case ErrorKind::Budget: return "budget";
       case ErrorKind::Io: return "io";
       case ErrorKind::Internal: return "internal";
+      case ErrorKind::Config: return "config";
     }
     return "unknown";
 }
@@ -75,6 +77,12 @@ class Error : public std::runtime_error
     internal(const std::string &msg)
     {
         return Error(ErrorKind::Internal, msg);
+    }
+
+    static Error
+    config(const std::string &msg)
+    {
+        return Error(ErrorKind::Config, msg);
     }
 
   private:

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The one campaign spec shared by chaos_test (the killer) and
+ * campaign_chaos_child (the victim). Both sides must construct
+ * byte-identical specs: the child creates the campaign directory on
+ * first run and resumes it on every later run, and the parent builds
+ * the uninterrupted reference tree from the same spec.
+ *
+ * Sized so one uninterrupted run takes tens of milliseconds — long
+ * enough for a SIGKILL to land mid-campaign, short enough that the
+ * kill-loop finishes quickly.
+ */
+
+#ifndef HARPOCRATES_TESTS_CAMPAIGN_SERVICE_CHAOS_CAMPAIGN_HH
+#define HARPOCRATES_TESTS_CAMPAIGN_SERVICE_CHAOS_CAMPAIGN_HH
+
+#include "campaign_service/runner.hh"
+#include "isa/builder.hh"
+#include "isa/registers.hh"
+
+namespace harpo::campaign::chaos
+{
+
+inline isa::TestProgram
+chaosProgram(const std::string &name, std::uint64_t salt)
+{
+    isa::ProgramBuilder b(name);
+    using PB = isa::ProgramBuilder;
+    b.setGpr(isa::RAX, 0x1111111111111111ull * (salt + 1));
+    b.setGpr(isa::RBX, 0x0F0F0F0F0F0F0F0Full ^ salt);
+    for (int i = 0; i < 120; ++i) {
+        b.i("add r64, r64", {PB::gpr(isa::RAX), PB::gpr(isa::RBX)});
+        b.i("adc r64, imm32", {PB::gpr(isa::RBX), PB::imm(i)});
+        b.i("xor r64, r64", {PB::gpr(isa::RCX), PB::gpr(isa::RAX)});
+    }
+    return b.build();
+}
+
+inline CampaignSpec
+chaosSpec()
+{
+    CampaignSpec spec;
+    spec.programs = {chaosProgram("chaos_a", 0),
+                     chaosProgram("chaos_b", 1)};
+    spec.targets = {coverage::TargetStructure::IntRegFile,
+                    coverage::TargetStructure::IntAdder};
+    spec.samplesPerPair = 2;
+    spec.injectionsPerShard = 12;
+    spec.seed = 2024;
+    return spec;
+}
+
+inline RunnerConfig
+chaosRunnerConfig()
+{
+    RunnerConfig rc;
+    rc.workers = 2;
+    rc.supervisorTick = std::chrono::milliseconds(2);
+    rc.idlePause = std::chrono::milliseconds(1);
+    // Real shards here finish in milliseconds; a generous lease keeps
+    // lease expiry out of the picture so every divergence the test
+    // could catch is a crash-consistency bug, not a timing artifact.
+    rc.queue.leaseDuration = std::chrono::seconds(30);
+    return rc;
+}
+
+} // namespace harpo::campaign::chaos
+
+#endif // HARPOCRATES_TESTS_CAMPAIGN_SERVICE_CHAOS_CAMPAIGN_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The chaos test's victim process: create-or-resume the campaign in
+ * argv[1] and drive it to resolution. chaos_test forks/execs this
+ * binary and SIGKILLs it at randomized points; exit code 0 means the
+ * campaign fully resolved and merged.
+ */
+
+#include <cstdio>
+#include <exception>
+
+#include "campaign_service/runner.hh"
+#include "chaos_campaign.hh"
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s <campaign-dir>\n", argv[0]);
+        return 2;
+    }
+    using namespace harpo::campaign;
+    try {
+        const std::string dir = argv[1];
+        if (!DurableWorkQueue::exists(dir))
+            DurableWorkQueue::create(dir, chaos::chaosSpec());
+        CampaignRunner runner(dir, chaos::chaosRunnerConfig());
+        const RunnerReport report = runner.run();
+        return report.merged ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "chaos child: %s\n", e.what());
+        return 3;
+    }
+}

@@ -1,0 +1,131 @@
+/**
+ * Crash-safety chaos test: SIGKILL a child campaign runner at
+ * randomized points until one run survives to completion, then assert
+ * the kill-scarred campaign's merged results tree is byte-identical
+ * to an uninterrupted reference run of the same spec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "campaign_service/runner.hh"
+#include "chaos_campaign.hh"
+#include "common/rng.hh"
+
+using namespace harpo;
+using namespace harpo::campaign;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** The chaos child binary is built next to this test binary. */
+std::string
+childBinaryPath()
+{
+    const std::string self =
+        fs::read_symlink("/proc/self/exe").string();
+    return (fs::path(self).parent_path() / "campaign_chaos_child")
+        .string();
+}
+
+/** Fork/exec one child run; SIGKILL it after @p killAfterUs (when
+ *  positive). Returns the child's exit code, or -1 when killed. */
+int
+runChild(const std::string &binary, const std::string &dir,
+         long killAfterUs)
+{
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        ::execl(binary.c_str(), binary.c_str(), dir.c_str(),
+                static_cast<char *>(nullptr));
+        _exit(127); // exec failed
+    }
+    if (pid < 0)
+        return 126;
+    if (killAfterUs > 0) {
+        ::usleep(static_cast<useconds_t>(killAfterUs));
+        ::kill(pid, SIGKILL);
+    }
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (WIFSIGNALED(status))
+        return -1;
+    return WEXITSTATUS(status);
+}
+
+} // namespace
+
+TEST(CampaignChaos, KilledAndResumedCampaignMergesBitIdentical)
+{
+    const std::string binary = childBinaryPath();
+    ASSERT_TRUE(fs::exists(binary))
+        << binary << " not built (campaign_chaos_child target)";
+
+    const std::string base =
+        std::string(testing::TempDir()) + "/campaign_chaos";
+    const std::string refDir = base + "_ref";
+    const std::string chaosDir = base + "_victim";
+    fs::remove_all(refDir);
+    fs::remove_all(chaosDir);
+
+    // Uninterrupted reference, in-process (same spec via the shared
+    // header).
+    DurableWorkQueue::create(refDir, chaos::chaosSpec());
+    const RunnerReport ref =
+        CampaignRunner(refDir, chaos::chaosRunnerConfig()).run();
+    ASSERT_TRUE(ref.merged);
+    ASSERT_EQ(ref.done, ref.shards);
+    ASSERT_EQ(ref.quarantined, 0u);
+
+    // Kill-loop: SIGKILL the child at pseudo-random points (growing
+    // over rounds so kills land in creation, mid-campaign and merge),
+    // resuming from the journal each round.
+    Rng rng(0xC4A05);
+    bool completed = false;
+    unsigned kills = 0;
+    const unsigned maxRounds = 30;
+    for (unsigned round = 0; round < maxRounds && !completed;
+         ++round) {
+        const long killAfterUs =
+            2000 + static_cast<long>(rng.uniform() * 20000.0) +
+            static_cast<long>(round) * 3000;
+        const int rc = runChild(binary, chaosDir, killAfterUs);
+        if (rc == -1) {
+            ++kills; // killed mid-run; the journal must carry it
+        } else {
+            ASSERT_EQ(rc, 0) << "child failed in round " << round;
+            completed = true;
+        }
+    }
+    if (!completed) {
+        // Slow machine: every timed round got killed. One unhindered
+        // run must finish from wherever the kills left the journal.
+        ASSERT_EQ(runChild(binary, chaosDir, 0), 0);
+        completed = true;
+    }
+    RecordProperty("kills", static_cast<int>(kills));
+    // The earliest kills land a few ms into the child — before the
+    // campaign resolves — so a run of the loop that never killed
+    // anything means the test degraded into a no-op.
+    EXPECT_GE(kills, 1u);
+
+    // The scarred campaign resolved every shard...
+    DurableWorkQueue verify(chaosDir, chaos::chaosRunnerConfig().queue);
+    EXPECT_TRUE(verify.allResolved());
+    EXPECT_EQ(verify.quarantinedCount(), 0u)
+        << "external SIGKILLs must never quarantine innocent shards";
+
+    // ...and merged byte-identically to the uninterrupted reference.
+    std::string why;
+    EXPECT_TRUE(resultsTreesIdentical(refDir + "/results",
+                                      chaosDir + "/results", &why))
+        << why << " (after " << kills << " kills)";
+}

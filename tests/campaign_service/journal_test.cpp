@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "campaign_service/journal.hh"
+#include "resilience/error.hh"
+
+using namespace harpo;
+using namespace harpo::campaign;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+constexpr std::uint64_t kFp = 0xFEEDFACE12345678ull;
+
+std::string
+freshPath(const std::string &name)
+{
+    const std::string path =
+        std::string(testing::TempDir()) + "/" + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+std::vector<JournalRecord>
+sampleRecords()
+{
+    std::vector<JournalRecord> records;
+    JournalRecord grant;
+    grant.type = RecordType::LeaseGranted;
+    grant.shard = 3;
+    grant.worker = 1;
+    grant.epoch = 17;
+    records.push_back(grant);
+
+    JournalRecord done;
+    done.type = RecordType::ShardDone;
+    done.shard = 3;
+    done.worker = 1;
+    done.epoch = 17;
+    done.result.goldenOk = true;
+    done.result.masked = 10;
+    done.result.sdc = 4;
+    done.result.crash = 2;
+    done.result.hang = 1;
+    done.result.goldenCycles = 123456;
+    done.result.goldenSignature = 0xABCDEF;
+    records.push_back(done);
+
+    JournalRecord failed;
+    failed.type = RecordType::ShardFailed;
+    failed.shard = 5;
+    failed.worker = 2;
+    failed.epoch = 18;
+    failed.cause = ErrorKind::Budget;
+    failed.message = "shard budget expired";
+    records.push_back(failed);
+
+    JournalRecord quarantined;
+    quarantined.type = RecordType::ShardQuarantined;
+    quarantined.shard = 5;
+    quarantined.worker = 2;
+    quarantined.epoch = 19;
+    quarantined.cause = ErrorKind::BadProgram;
+    quarantined.message = "golden run failed";
+    records.push_back(quarantined);
+    return records;
+}
+
+void
+expectEqual(const JournalRecord &a, const JournalRecord &b)
+{
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.shard, b.shard);
+    EXPECT_EQ(a.worker, b.worker);
+    EXPECT_EQ(a.epoch, b.epoch);
+    if (a.type == RecordType::ShardDone) {
+        EXPECT_EQ(a.result.masked, b.result.masked);
+        EXPECT_EQ(a.result.sdc, b.result.sdc);
+        EXPECT_EQ(a.result.crash, b.result.crash);
+        EXPECT_EQ(a.result.hang, b.result.hang);
+        EXPECT_EQ(a.result.goldenOk, b.result.goldenOk);
+        EXPECT_EQ(a.result.goldenCycles, b.result.goldenCycles);
+        EXPECT_EQ(a.result.goldenSignature, b.result.goldenSignature);
+    }
+    if (a.type == RecordType::ShardFailed ||
+        a.type == RecordType::ShardQuarantined) {
+        EXPECT_EQ(a.cause, b.cause);
+        EXPECT_EQ(a.message, b.message);
+    }
+}
+
+} // namespace
+
+TEST(Journal, RoundTripsAllRecordTypes)
+{
+    const std::string path = freshPath("journal_roundtrip.log");
+    const std::vector<JournalRecord> records = sampleRecords();
+    {
+        Journal j(path, kFp);
+        for (const JournalRecord &r : records)
+            j.append(r);
+        j.sync();
+        EXPECT_EQ(j.recordsWritten(), records.size());
+    }
+    const std::vector<JournalRecord> replayed =
+        Journal::replay(path, kFp);
+    ASSERT_EQ(replayed.size(), records.size());
+    for (std::size_t i = 0; i < records.size(); ++i)
+        expectEqual(replayed[i], records[i]);
+}
+
+TEST(Journal, MissingFileReplaysEmpty)
+{
+    EXPECT_TRUE(
+        Journal::replay(freshPath("journal_absent.log"), kFp).empty());
+}
+
+TEST(Journal, ReopenAppendsAfterExistingRecords)
+{
+    const std::string path = freshPath("journal_reopen.log");
+    const std::vector<JournalRecord> records = sampleRecords();
+    {
+        Journal j(path, kFp);
+        j.append(records[0]);
+    }
+    {
+        Journal j(path, kFp); // reopen must keep the first record
+        j.append(records[1]);
+    }
+    const auto replayed = Journal::replay(path, kFp);
+    ASSERT_EQ(replayed.size(), 2u);
+    expectEqual(replayed[0], records[0]);
+    expectEqual(replayed[1], records[1]);
+}
+
+TEST(Journal, TruncationAtEveryByteReplaysAValidPrefix)
+{
+    // Crash consistency: whatever byte the file is cut at, replay
+    // must accept the longest valid record prefix and never throw —
+    // the SIGKILL-while-appending contract.
+    const std::string path = freshPath("journal_trunc.log");
+    const std::vector<JournalRecord> records = sampleRecords();
+    {
+        Journal j(path, kFp);
+        for (const JournalRecord &r : records)
+            j.append(r);
+    }
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        bytes.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+    const std::string cutPath = freshPath("journal_cut.log");
+    std::size_t lastCount = 0;
+    for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+        {
+            std::ofstream out(cutPath, std::ios::binary |
+                                           std::ios::trunc);
+            out.write(bytes.data(),
+                      static_cast<std::streamsize>(cut));
+        }
+        const auto replayed = Journal::replay(cutPath, kFp);
+        ASSERT_LE(replayed.size(), records.size()) << "cut=" << cut;
+        // Prefix property: cutting later never yields fewer records.
+        ASSERT_GE(replayed.size(), lastCount) << "cut=" << cut;
+        lastCount = replayed.size();
+        for (std::size_t i = 0; i < replayed.size(); ++i)
+            expectEqual(replayed[i], records[i]);
+    }
+    EXPECT_EQ(lastCount, records.size());
+}
+
+TEST(Journal, TornHeaderIsRewrittenOnOpen)
+{
+    const std::string path = freshPath("journal_torn_header.log");
+    { // a crash mid-create leaves a short header
+        std::ofstream out(path, std::ios::binary);
+        out.write("\x48\x41\x52", 3);
+    }
+    EXPECT_TRUE(Journal::replay(path, kFp).empty());
+    Journal j(path, kFp); // must rewrite, not throw
+    j.append(sampleRecords()[0]);
+    EXPECT_EQ(Journal::replay(path, kFp).size(), 1u);
+}
+
+TEST(Journal, CorruptPayloadStopsReplayAtTheTear)
+{
+    const std::string path = freshPath("journal_corrupt.log");
+    const std::vector<JournalRecord> records = sampleRecords();
+    {
+        Journal j(path, kFp);
+        for (const JournalRecord &r : records)
+            j.append(r);
+    }
+    // Flip one byte in the *last* record's payload: checksum fails,
+    // replay keeps the prefix.
+    const auto size = fs::file_size(path);
+    std::fstream f(path, std::ios::binary | std::ios::in |
+                             std::ios::out);
+    f.seekp(static_cast<std::streamoff>(size) - 1);
+    f.put('\xFF');
+    f.close();
+    const auto replayed = Journal::replay(path, kFp);
+    EXPECT_EQ(replayed.size(), records.size() - 1);
+}
+
+TEST(Journal, FingerprintMismatchThrows)
+{
+    const std::string path = freshPath("journal_fp.log");
+    {
+        Journal j(path, kFp);
+        j.append(sampleRecords()[0]);
+    }
+    EXPECT_THROW(Journal::replay(path, kFp + 1), Error);
+    EXPECT_THROW(Journal(path, kFp + 1), Error);
+}
+
+TEST(Journal, BadMagicThrows)
+{
+    const std::string path = freshPath("journal_magic.log");
+    {
+        std::ofstream out(path, std::ios::binary);
+        const std::string junk(64, 'x');
+        out.write(junk.data(),
+                  static_cast<std::streamsize>(junk.size()));
+    }
+    EXPECT_THROW(Journal::replay(path, kFp), Error);
+}

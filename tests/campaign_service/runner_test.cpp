@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "campaign_service/runner.hh"
+#include "faultsim/campaign.hh"
+#include "telemetry/trace.hh"
+#include "test_support.hh"
+
+using namespace harpo;
+using namespace harpo::campaign;
+using harpo::campaign::test::fakeResult;
+using harpo::campaign::test::smallSpec;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir =
+        std::string(testing::TempDir()) + "/" + name;
+    fs::remove_all(dir);
+    return dir;
+}
+
+/** Fast supervision knobs so tests finish in milliseconds. */
+RunnerConfig
+fastRunner(unsigned workers = 2)
+{
+    RunnerConfig rc;
+    rc.workers = workers;
+    rc.supervisorTick = std::chrono::milliseconds(2);
+    rc.idlePause = std::chrono::milliseconds(1);
+    rc.queue.backoffBaseMs = 2.0;
+    rc.queue.backoffCapMs = 10.0;
+    rc.executor = [](const ShardSpec &shard,
+                     const faultsim::CampaignConfig &) {
+        return fakeResult(shard);
+    };
+    return rc;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+} // namespace
+
+TEST(CampaignRunner, ResolvesAllShardsAndMerges)
+{
+    const std::string dir = freshDir("runner_basic");
+    DurableWorkQueue::create(dir, smallSpec(2, 2));
+    CampaignRunner runner(dir, fastRunner());
+    const RunnerReport report = runner.run();
+    EXPECT_EQ(report.shards, 4u);
+    EXPECT_EQ(report.done, 4u);
+    EXPECT_EQ(report.quarantined, 0u);
+    EXPECT_FALSE(report.drained);
+    ASSERT_TRUE(report.merged);
+    EXPECT_TRUE(fs::exists(report.mergedPath));
+    const std::string merged = slurp(report.mergedPath);
+    EXPECT_NE(merged.find("\"shards\": 4"), std::string::npos);
+    EXPECT_NE(merged.find("\"prog0\""), std::string::npos);
+    EXPECT_NE(merged.find("\"prog1\""), std::string::npos);
+}
+
+TEST(CampaignRunner, IdenticalSpecsProduceIdenticalTrees)
+{
+    const std::string dirA = freshDir("runner_det_a");
+    const std::string dirB = freshDir("runner_det_b");
+    DurableWorkQueue::create(dirA, smallSpec(2, 2));
+    DurableWorkQueue::create(dirB, smallSpec(2, 2));
+    // Different worker counts: the merge must not depend on the
+    // schedule, only on the spec.
+    CampaignRunner(dirA, fastRunner(1)).run();
+    CampaignRunner(dirB, fastRunner(4)).run();
+    std::string why;
+    EXPECT_TRUE(resultsTreesIdentical(dirA + "/results",
+                                      dirB + "/results", &why))
+        << why;
+}
+
+TEST(CampaignRunner, DrainedCampaignResumesBitIdentical)
+{
+    const std::string refDir = freshDir("runner_resume_ref");
+    const std::string dir = freshDir("runner_resume");
+    DurableWorkQueue::create(refDir, smallSpec(2, 3));
+    DurableWorkQueue::create(dir, smallSpec(2, 3));
+
+    // Reference: uninterrupted run.
+    CampaignRunner(refDir, fastRunner()).run();
+
+    // Interrupted: each shard takes ~10ms; a watcher pulls the
+    // SIGTERM-equivalent cancel token mid-campaign, the runner
+    // drains, and a second invocation resumes to completion.
+    CancelToken cancel;
+    RunnerConfig rc = fastRunner(1);
+    rc.cancel = &cancel;
+    rc.executor = [](const ShardSpec &shard,
+                     const faultsim::CampaignConfig &) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        return fakeResult(shard);
+    };
+    std::thread watcher([&cancel] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        cancel.requestCancel();
+    });
+    const RunnerReport drained = CampaignRunner(dir, rc).run();
+    watcher.join();
+    EXPECT_TRUE(drained.drained);
+    EXPECT_FALSE(drained.merged);
+    EXPECT_LT(drained.done, drained.shards);
+
+    const RunnerReport resumed =
+        CampaignRunner(dir, fastRunner()).run();
+    EXPECT_GT(resumed.replayedRecords, 0u);
+    EXPECT_FALSE(resumed.drained);
+    EXPECT_TRUE(resumed.merged);
+    EXPECT_EQ(resumed.done, resumed.shards);
+
+    std::string why;
+    EXPECT_TRUE(resultsTreesIdentical(refDir + "/results",
+                                      dir + "/results", &why))
+        << why;
+}
+
+TEST(CampaignRunner, HungShardIsRedispatchedAndFenced)
+{
+    const std::string dir = freshDir("runner_hang");
+    DurableWorkQueue::create(dir, smallSpec(1, 2));
+
+    std::atomic<unsigned> calls{0};
+    RunnerConfig rc = fastRunner(2);
+    rc.queue.leaseDuration = std::chrono::milliseconds(30);
+    rc.executor = [&calls](const ShardSpec &shard,
+                           const faultsim::CampaignConfig &) {
+        // The first execution of shard 0 hangs well past its lease;
+        // the supervisor expires it and another worker re-runs it.
+        // The zombie's late result is epoch-fenced away.
+        if (shard.id == 0 && calls.fetch_add(1) == 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(120));
+        return fakeResult(shard);
+    };
+    const RunnerReport report = CampaignRunner(dir, rc).run();
+    EXPECT_EQ(report.done, report.shards);
+    EXPECT_GE(report.expiredLeases, 1u);
+    EXPECT_TRUE(report.merged);
+    // The hung shard still merged exactly one deterministic result.
+    const std::string merged = slurp(report.mergedPath);
+    EXPECT_NE(merged.find("\"quarantined\": 0"), std::string::npos);
+}
+
+TEST(CampaignRunner, RepeatedWorkerLossShrinksParallelism)
+{
+    const std::string dir = freshDir("runner_degrade");
+    DurableWorkQueue::create(dir, smallSpec(2, 3)); // 6 shards
+
+    std::atomic<unsigned> hangs{0};
+    RunnerConfig rc = fastRunner(4);
+    rc.queue.leaseDuration = std::chrono::milliseconds(15);
+    rc.lossesBeforeShrink = 1;
+    rc.executor = [&hangs](const ShardSpec &shard,
+                           const faultsim::CampaignConfig &) {
+        // The first three executions "hang" past the lease, driving
+        // repeated worker loss; everything afterwards is healthy.
+        if (hangs.fetch_add(1) < 3)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(60));
+        return fakeResult(shard);
+    };
+    const RunnerReport report = CampaignRunner(dir, rc).run();
+    EXPECT_EQ(report.done, report.shards);
+    EXPECT_GE(report.expiredLeases, 2u);
+    EXPECT_LT(report.finalWorkers, report.initialWorkers);
+}
+
+TEST(CampaignRunner, PoisonShardIsQuarantinedNotDropped)
+{
+    const std::string dir = freshDir("runner_poison");
+    DurableWorkQueue::create(dir, smallSpec(2, 2)); // 4 shards
+
+    RunnerConfig rc = fastRunner();
+    rc.queue.maxAttempts = 2;
+    rc.executor = [](const ShardSpec &shard,
+                     const faultsim::CampaignConfig &) {
+        if (shard.id == 1)
+            throw Error::badProgram("poison shard for testing");
+        return fakeResult(shard);
+    };
+    const RunnerReport report = CampaignRunner(dir, rc).run();
+    EXPECT_EQ(report.quarantined, 1u);
+    EXPECT_EQ(report.done, report.shards - 1);
+    EXPECT_GE(report.failedAttempts, 2u);
+    ASSERT_TRUE(report.merged);
+
+    // The poison shard is *reported* in the merge, not dropped.
+    const std::string merged = slurp(report.mergedPath);
+    EXPECT_NE(merged.find("\"quarantined\": 1"), std::string::npos);
+    EXPECT_NE(merged.find("\"cause\": \"bad-program\""),
+              std::string::npos);
+    EXPECT_NE(merged.find("poison shard for testing"),
+              std::string::npos);
+    const ShardStatus st =
+        CampaignRunner(dir, fastRunner()).queue().status(1);
+    EXPECT_EQ(st.state, ShardState::Quarantined);
+    EXPECT_EQ(st.cause, ErrorKind::BadProgram);
+}
+
+TEST(CampaignRunner, LifecycleEventsAreTraced)
+{
+    const std::string dir = freshDir("runner_trace");
+    const std::string tracePath = dir + "_trace.jsonl";
+    DurableWorkQueue::create(dir, smallSpec(1, 2));
+    {
+        telemetry::TraceSink sink(tracePath);
+        telemetry::TraceSink::install(&sink);
+        RunnerConfig rc = fastRunner(1);
+        rc.queue.maxAttempts = 2;
+        rc.executor = [](const ShardSpec &shard,
+                         const faultsim::CampaignConfig &) {
+            if (shard.id == 0)
+                throw Error::budget("always too slow");
+            return fakeResult(shard);
+        };
+        CampaignRunner(dir, rc).run();
+        telemetry::TraceSink::install(nullptr);
+    }
+    const std::string trace = slurp(tracePath);
+    EXPECT_NE(trace.find("lease grant"), std::string::npos);
+    EXPECT_NE(trace.find("shard retry"), std::string::npos);
+    EXPECT_NE(trace.find("quarantine"), std::string::npos);
+    EXPECT_NE(trace.find("cause=budget"), std::string::npos);
+
+    // And the resume of the finished campaign announces itself.
+    {
+        telemetry::TraceSink sink(tracePath + ".2");
+        telemetry::TraceSink::install(&sink);
+        CampaignRunner(dir, fastRunner()).run();
+        telemetry::TraceSink::install(nullptr);
+    }
+    EXPECT_NE(slurp(tracePath + ".2").find("campaign_service: resume"),
+              std::string::npos);
+}
+
+TEST(CampaignRunner, GoldenCacheStatsAccumulateAcrossRestarts)
+{
+    const std::string dir = freshDir("runner_cache_stats");
+    CampaignSpec spec = smallSpec(1, 1, 4);
+    DurableWorkQueue::create(dir, spec);
+
+    const faultsim::GoldenCacheStats outer =
+        faultsim::FaultCampaign::goldenCacheStats();
+
+    // Simulate a fresh process: zeroed per-process counters make the
+    // runner restore the campaign's persisted cumulative stats.
+    faultsim::FaultCampaign::restoreGoldenCacheStats({});
+    faultsim::FaultCampaign::clearGoldenCache();
+    RunnerConfig rc; // real executor: golden runs touch the cache
+    rc.workers = 1;
+    rc.supervisorTick = std::chrono::milliseconds(2);
+    const RunnerReport first = CampaignRunner(dir, rc).run();
+    ASSERT_EQ(first.done, 1u);
+    EXPECT_GE(first.cacheStats.misses, 1u);
+
+    // "Restart": counters zero again, campaign dir already resolved.
+    faultsim::FaultCampaign::restoreGoldenCacheStats({});
+    const RunnerReport second = CampaignRunner(dir, rc).run();
+    EXPECT_GT(second.replayedRecords, 0u);
+    // The persisted cumulative counts survived the restart.
+    EXPECT_EQ(second.cacheStats.hits, first.cacheStats.hits);
+    EXPECT_EQ(second.cacheStats.misses, first.cacheStats.misses);
+    EXPECT_EQ(second.cacheStats.evictions,
+              first.cacheStats.evictions);
+
+    faultsim::FaultCampaign::restoreGoldenCacheStats(outer);
+}

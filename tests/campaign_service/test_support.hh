@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared builders for the campaign_service test suite: tiny real
+ * programs and small CampaignSpecs, plus a deterministic fake shard
+ * result derived purely from the shard spec (so executor-hook tests
+ * can assert bit-identical merges without running the simulator).
+ */
+
+#ifndef HARPOCRATES_TESTS_CAMPAIGN_SERVICE_TEST_SUPPORT_HH
+#define HARPOCRATES_TESTS_CAMPAIGN_SERVICE_TEST_SUPPORT_HH
+
+#include <string>
+
+#include "campaign_service/shard.hh"
+#include "isa/builder.hh"
+#include "isa/registers.hh"
+
+namespace harpo::campaign::test
+{
+
+inline isa::TestProgram
+tinyProgram(const std::string &name, int length = 20,
+            std::uint64_t salt = 0)
+{
+    isa::ProgramBuilder b(name);
+    using PB = isa::ProgramBuilder;
+    b.setGpr(isa::RAX, 0x0123456789ABCDEFull ^ salt);
+    b.setGpr(isa::RBX, 0xFEDCBA9876543210ull + salt);
+    for (int i = 0; i < length; ++i) {
+        b.i("add r64, r64", {PB::gpr(isa::RAX), PB::gpr(isa::RBX)});
+        b.i("adc r64, imm32", {PB::gpr(isa::RBX), PB::imm(i)});
+    }
+    return b.build();
+}
+
+/** A small real spec: @p programs × IntRegFile × @p samples shards. */
+inline CampaignSpec
+smallSpec(unsigned programs = 2, unsigned samples = 2,
+          unsigned injections = 6)
+{
+    CampaignSpec spec;
+    for (unsigned p = 0; p < programs; ++p)
+        spec.programs.push_back(
+            tinyProgram("prog" + std::to_string(p), 15, p));
+    spec.targets = {coverage::TargetStructure::IntRegFile};
+    spec.samplesPerPair = samples;
+    spec.injectionsPerShard = injections;
+    spec.seed = 7;
+    return spec;
+}
+
+/** Deterministic fake shard outcome: a pure function of the spec, so
+ *  any schedule (retries, restarts, reordering) merges identically. */
+inline faultsim::CampaignResult
+fakeResult(const ShardSpec &shard)
+{
+    faultsim::CampaignResult r;
+    r.goldenOk = true;
+    r.masked = shard.numInjections / 2;
+    r.sdc = shard.numInjections / 4;
+    r.crash = shard.numInjections - r.masked - r.sdc;
+    r.goldenCycles = 100 + shard.id;
+    r.goldenSignature = shard.seed;
+    return r;
+}
+
+} // namespace harpo::campaign::test
+
+#endif // HARPOCRATES_TESTS_CAMPAIGN_SERVICE_TEST_SUPPORT_HH

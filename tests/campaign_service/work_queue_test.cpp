@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <string>
+
+#include "campaign_service/work_queue.hh"
+#include "resilience/error.hh"
+#include "test_support.hh"
+
+using namespace harpo;
+using namespace harpo::campaign;
+using harpo::campaign::test::fakeResult;
+using harpo::campaign::test::smallSpec;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+using Clock = DurableWorkQueue::Clock;
+
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir =
+        std::string(testing::TempDir()) + "/" + name;
+    fs::remove_all(dir);
+    return dir;
+}
+
+QueueConfig
+fastConfig()
+{
+    QueueConfig cfg;
+    cfg.maxAttempts = 3;
+    cfg.backoffBaseMs = 10.0;
+    cfg.backoffCapMs = 100.0;
+    cfg.leaseDuration = std::chrono::milliseconds(1000);
+    return cfg;
+}
+
+} // namespace
+
+TEST(DurableWorkQueue, CreateOpenListsAllShards)
+{
+    const std::string dir = freshDir("wq_create");
+    const CampaignSpec spec = smallSpec(2, 2);
+    DurableWorkQueue::create(dir, spec);
+    EXPECT_TRUE(DurableWorkQueue::exists(dir));
+
+    DurableWorkQueue q(dir, fastConfig());
+    EXPECT_EQ(q.shards().size(), 4u); // 2 programs × 1 target × 2
+    EXPECT_EQ(q.pendingCount(), 4u);
+    EXPECT_EQ(q.replayedRecords(), 0u);
+    EXPECT_FALSE(q.allResolved());
+    // Shard seeds are distinct and deterministic.
+    EXPECT_NE(q.shards()[0].seed, q.shards()[1].seed);
+    EXPECT_EQ(q.shards()[0].seed, spec.shards()[0].seed);
+}
+
+TEST(DurableWorkQueue, CreateNeverClobbersAnExistingCampaign)
+{
+    const std::string dir = freshDir("wq_noclobber");
+    DurableWorkQueue::create(dir, smallSpec());
+    EXPECT_THROW(DurableWorkQueue::create(dir, smallSpec()), Error);
+}
+
+TEST(DurableWorkQueue, LeaseCompleteResolves)
+{
+    const std::string dir = freshDir("wq_lease");
+    DurableWorkQueue::create(dir, smallSpec(1, 1));
+    DurableWorkQueue q(dir, fastConfig());
+
+    const auto now = Clock::now();
+    const auto lease = q.tryLease(0, now);
+    ASSERT_TRUE(lease.has_value());
+    EXPECT_EQ(q.leasedCount(), 1u);
+    EXPECT_FALSE(q.tryLease(1, now).has_value()); // nothing left
+
+    EXPECT_TRUE(q.complete(*lease, fakeResult(q.shards()[0])));
+    EXPECT_TRUE(q.allResolved());
+    EXPECT_EQ(q.doneCount(), 1u);
+    EXPECT_EQ(q.status(0).result.masked,
+              fakeResult(q.shards()[0]).masked);
+}
+
+TEST(DurableWorkQueue, StaleEpochIsFenced)
+{
+    const std::string dir = freshDir("wq_fence");
+    DurableWorkQueue::create(dir, smallSpec(1, 1));
+    DurableWorkQueue q(dir, fastConfig());
+
+    const auto now = Clock::now();
+    const auto first = q.tryLease(0, now);
+    ASSERT_TRUE(first.has_value());
+
+    // The lease expires (hung worker); the shard is re-dispatched.
+    EXPECT_EQ(q.expireStale(now + std::chrono::seconds(2)), 1u);
+    const auto second = q.tryLease(1, now);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_GT(second->epoch, first->epoch);
+
+    // The zombie's writes must all bounce...
+    EXPECT_FALSE(q.renew(*first, now));
+    EXPECT_FALSE(q.complete(*first, fakeResult(q.shards()[0])));
+    EXPECT_FALSE(q.fail(*first, ErrorKind::Internal, "zombie", now));
+    EXPECT_FALSE(q.release(*first));
+    EXPECT_EQ(q.doneCount(), 0u);
+
+    // ...while the current holder's complete lands.
+    EXPECT_TRUE(q.complete(*second, fakeResult(q.shards()[0])));
+    EXPECT_EQ(q.doneCount(), 1u);
+}
+
+TEST(DurableWorkQueue, RenewExtendsTheDeadline)
+{
+    const std::string dir = freshDir("wq_renew");
+    DurableWorkQueue::create(dir, smallSpec(1, 1));
+    DurableWorkQueue q(dir, fastConfig());
+
+    const auto t0 = Clock::now();
+    const auto lease = q.tryLease(0, t0);
+    ASSERT_TRUE(lease.has_value());
+    // Renewed at +900ms: deadline moves to +1900ms, so the sweep at
+    // +1500ms must not expire it.
+    EXPECT_TRUE(
+        q.renew(*lease, t0 + std::chrono::milliseconds(900)));
+    EXPECT_EQ(q.expireStale(t0 + std::chrono::milliseconds(1500)),
+              0u);
+    EXPECT_EQ(q.expireStale(t0 + std::chrono::milliseconds(2000)),
+              1u);
+}
+
+TEST(DurableWorkQueue, FailedShardWaitsOutItsBackoff)
+{
+    const std::string dir = freshDir("wq_backoff_gate");
+    DurableWorkQueue::create(dir, smallSpec(1, 1));
+    DurableWorkQueue q(dir, fastConfig());
+
+    const auto t0 = Clock::now();
+    const auto lease = q.tryLease(0, t0);
+    ASSERT_TRUE(lease.has_value());
+    EXPECT_TRUE(q.fail(*lease, ErrorKind::Budget, "slow", t0));
+    EXPECT_EQ(q.pendingCount(), 1u);
+
+    // Immediately after the failure the shard sits behind its gate;
+    // after the max possible first-failure delay it must be leasable.
+    EXPECT_FALSE(q.tryLease(0, t0).has_value());
+    const double maxDelay =
+        fastConfig().backoffBaseMs * (1.0 + 0.25) + 1.0;
+    const auto later =
+        t0 + std::chrono::milliseconds(
+                 static_cast<std::int64_t>(maxDelay) + 1);
+    EXPECT_TRUE(q.tryLease(0, later).has_value());
+}
+
+TEST(DurableWorkQueue, BackoffScheduleIsDeterministicAndBounded)
+{
+    QueueConfig cfg;
+    cfg.backoffBaseMs = 25.0;
+    cfg.backoffCapMs = 2000.0;
+    cfg.backoffJitterFrac = 0.25;
+
+    double previousNominal = 0.0;
+    for (unsigned failure = 1; failure <= 20; ++failure) {
+        const double a =
+            DurableWorkQueue::backoffDelayMs(cfg, 0xAAAA, failure);
+        const double b =
+            DurableWorkQueue::backoffDelayMs(cfg, 0xAAAA, failure);
+        EXPECT_EQ(a, b) << "failure " << failure; // deterministic
+
+        // Jitter-bounded around min(cap, base·2^(n−1)).
+        const double nominal = std::min(
+            cfg.backoffCapMs,
+            cfg.backoffBaseMs * std::ldexp(1.0, failure - 1));
+        EXPECT_GE(a, nominal * 0.75) << "failure " << failure;
+        EXPECT_LE(a, nominal * 1.25) << "failure " << failure;
+        // The nominal schedule is monotone until it caps.
+        EXPECT_GE(nominal, previousNominal);
+        previousNominal = nominal;
+    }
+    // Different shard seeds jitter differently (same nominal value).
+    EXPECT_NE(DurableWorkQueue::backoffDelayMs(cfg, 1, 3),
+              DurableWorkQueue::backoffDelayMs(cfg, 2, 3));
+    // Zero failures means no delay; absurd counts stay capped.
+    EXPECT_EQ(DurableWorkQueue::backoffDelayMs(cfg, 1, 0), 0.0);
+    EXPECT_LE(DurableWorkQueue::backoffDelayMs(cfg, 1, 1000),
+              cfg.backoffCapMs * 1.25);
+}
+
+TEST(DurableWorkQueue, QuarantinesAtMaxAttemptsWithCause)
+{
+    const std::string dir = freshDir("wq_quarantine");
+    DurableWorkQueue::create(dir, smallSpec(1, 1));
+    QueueConfig cfg = fastConfig();
+    cfg.maxAttempts = 3;
+    DurableWorkQueue q(dir, cfg);
+
+    auto now = Clock::now();
+    for (unsigned attempt = 1; attempt <= 3; ++attempt) {
+        now += std::chrono::seconds(10); // clear any backoff gate
+        const auto lease = q.tryLease(0, now);
+        ASSERT_TRUE(lease.has_value()) << "attempt " << attempt;
+        EXPECT_TRUE(q.fail(*lease, ErrorKind::BadProgram,
+                           "golden run failed", now));
+    }
+    EXPECT_TRUE(q.allResolved());
+    EXPECT_EQ(q.quarantinedCount(), 1u);
+    const ShardStatus st = q.status(0);
+    EXPECT_EQ(st.state, ShardState::Quarantined);
+    EXPECT_EQ(st.cause, ErrorKind::BadProgram);
+    EXPECT_EQ(st.causeMessage, "golden run failed");
+    EXPECT_EQ(st.failures, 3u);
+    // A poisoned shard is never leased again.
+    EXPECT_FALSE(
+        q.tryLease(0, now + std::chrono::hours(1)).has_value());
+}
+
+TEST(DurableWorkQueue, ReleaseChargesNoFailure)
+{
+    const std::string dir = freshDir("wq_release");
+    DurableWorkQueue::create(dir, smallSpec(1, 1));
+    DurableWorkQueue q(dir, fastConfig());
+
+    const auto now = Clock::now();
+    const auto lease = q.tryLease(0, now);
+    ASSERT_TRUE(lease.has_value());
+    EXPECT_TRUE(q.release(*lease));
+    EXPECT_EQ(q.status(0).failures, 0u);
+    // Released shards are immediately leasable (no backoff gate).
+    EXPECT_TRUE(q.tryLease(0, now).has_value());
+}
+
+TEST(DurableWorkQueue, StateSurvivesReopen)
+{
+    const std::string dir = freshDir("wq_reopen");
+    DurableWorkQueue::create(dir, smallSpec(2, 2)); // 4 shards
+    const auto now = Clock::now();
+    faultsim::CampaignResult doneResult;
+    {
+        DurableWorkQueue q(dir, fastConfig());
+        const auto l0 = q.tryLease(0, now);
+        doneResult = fakeResult(q.shards()[l0->shard]);
+        ASSERT_TRUE(q.complete(*l0, doneResult));
+        const auto l1 = q.tryLease(0, now);
+        ASSERT_TRUE(q.fail(*l1, ErrorKind::Budget, "slow", now));
+        q.sync();
+    }
+    DurableWorkQueue q(dir, fastConfig());
+    EXPECT_GT(q.replayedRecords(), 0u);
+    EXPECT_EQ(q.doneCount(), 1u);
+    EXPECT_EQ(q.pendingCount(), 3u);
+    EXPECT_EQ(q.recoveredLeases(), 0u); // no dangling lease
+    EXPECT_EQ(q.status(0).result.masked, doneResult.masked);
+    EXPECT_EQ(q.status(0).result.goldenSignature,
+              doneResult.goldenSignature);
+    EXPECT_EQ(q.status(1).failures, 1u);
+}
+
+TEST(DurableWorkQueue, DanglingLeaseIsRecoveredOnReopen)
+{
+    const std::string dir = freshDir("wq_dangle");
+    DurableWorkQueue::create(dir, smallSpec(1, 2));
+    const auto now = Clock::now();
+    {
+        DurableWorkQueue q(dir, fastConfig());
+        ASSERT_TRUE(q.tryLease(7, now).has_value());
+        // Process "dies" here holding the lease: no release record.
+    }
+    DurableWorkQueue q(dir, fastConfig());
+    EXPECT_EQ(q.recoveredLeases(), 1u);
+    EXPECT_EQ(q.pendingCount(), 2u); // recovered to Pending
+    EXPECT_EQ(q.status(0).recoveries, 1u);
+    // By default recoveries never quarantine (maxRecoveries == 0).
+    EXPECT_EQ(q.quarantinedCount(), 0u);
+    // And the recovered shard is immediately re-dispatchable.
+    EXPECT_TRUE(q.tryLease(0, now).has_value());
+}
+
+TEST(DurableWorkQueue, RepeatedRecoveriesQuarantineWhenOptedIn)
+{
+    const std::string dir = freshDir("wq_recover_quarantine");
+    DurableWorkQueue::create(dir, smallSpec(1, 1));
+    QueueConfig cfg = fastConfig();
+    cfg.maxRecoveries = 2;
+    const auto now = Clock::now();
+    for (unsigned round = 1; round <= 2; ++round) {
+        DurableWorkQueue q(dir, cfg);
+        if (round == 1) {
+            EXPECT_EQ(q.recoveredLeases(), 0u);
+        } else {
+            // The worker-killing shard died holding its lease once;
+            // not yet at the threshold.
+            EXPECT_EQ(q.status(0).recoveries, 1u);
+            EXPECT_EQ(q.quarantinedCount(), 0u);
+        }
+        ASSERT_TRUE(q.tryLease(0, now).has_value());
+        // dies holding the lease
+    }
+    DurableWorkQueue q(dir, cfg);
+    EXPECT_EQ(q.quarantinedCount(), 1u);
+    EXPECT_EQ(q.status(0).state, ShardState::Quarantined);
+    EXPECT_TRUE(q.allResolved());
+}
+
+TEST(DurableWorkQueue, OpenWithoutManifestThrows)
+{
+    const std::string dir = freshDir("wq_nomanifest");
+    fs::create_directories(dir);
+    EXPECT_THROW(DurableWorkQueue(dir, fastConfig()), Error);
+}
+
+TEST(CampaignSpec, ValidateRejectsUnusableSpecs)
+{
+    CampaignSpec empty;
+    EXPECT_THROW(empty.validate(), Error);
+
+    CampaignSpec dup = smallSpec(2, 1);
+    dup.programs[1].name = dup.programs[0].name;
+    EXPECT_THROW(dup.validate(), Error);
+
+    CampaignSpec zeroInj = smallSpec();
+    zeroInj.injectionsPerShard = 0;
+    EXPECT_THROW(zeroInj.validate(), Error);
+
+    CampaignSpec badHang = smallSpec();
+    badHang.hangMultiplier = -1.0;
+    EXPECT_THROW(badHang.validate(), Error);
+}
+
+TEST(CampaignSpec, FingerprintTracksContent)
+{
+    const CampaignSpec a = smallSpec();
+    CampaignSpec b = smallSpec();
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    b.seed += 1;
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}

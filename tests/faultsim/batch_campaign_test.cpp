@@ -121,14 +121,14 @@ TEST(BatchCampaign, UnusedUnitAllMaskedThroughBatchPath)
 
 TEST(BatchCampaign, BatchPathRespectsTightHangBudget)
 {
-    // hangMultiplier 0 / slack 1 makes even an identical faulty run
+    // A negligible hangMultiplier / slack 1 makes even an identical run
     // trip the watchdog in the scalar path, so the trace-replay
     // shortcut (which would call these runs Masked) must disengage.
     const auto program = allUnitsProgram(40);
     for (const bool batch : {false, true}) {
         CampaignConfig cfg = fuConfig(TargetStructure::IntAdder, batch);
         cfg.numInjections = 20;
-        cfg.hangMultiplier = 0.0;
+        cfg.hangMultiplier = 1e-12; // validate() rejects 0
         cfg.hangSlackCycles = 1;
         const CampaignResult r = FaultCampaign::run(program, cfg);
         ASSERT_TRUE(r.goldenOk);

@@ -235,11 +235,13 @@ TEST(FaultCampaign, TightHangBudgetTurnsFaultyRunsIntoHangs)
 {
     // With the watchdog collapsed to a single cycle, every faulty
     // run trips the hang classification while the golden run (which
-    // uses the core's own maxCycles) still finishes.
+    // uses the core's own maxCycles) still finishes. The multiplier
+    // must stay positive (validate() rejects 0), so use one small
+    // enough to contribute nothing for any realistic golden runtime.
     CampaignConfig cfg =
         CampaignConfig::forTarget(TargetStructure::IntRegFile);
     cfg.numInjections = 30;
-    cfg.hangMultiplier = 0.0;
+    cfg.hangMultiplier = 1e-12;
     cfg.hangSlackCycles = 1;
     const CampaignResult r = FaultCampaign::run(addChain(100), cfg);
     ASSERT_TRUE(r.goldenOk);

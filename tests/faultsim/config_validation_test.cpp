@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "faultsim/campaign.hh"
+#include "isa/builder.hh"
+#include "isa/registers.hh"
+#include "resilience/error.hh"
+
+using namespace harpo;
+using namespace harpo::faultsim;
+using coverage::TargetStructure;
+using PB = isa::ProgramBuilder;
+
+namespace
+{
+
+isa::TestProgram
+tinyProgram()
+{
+    PB b("tiny");
+    b.setGpr(isa::RAX, 1);
+    for (int i = 0; i < 8; ++i)
+        b.i("add r64, imm32", {PB::gpr(isa::RAX), PB::imm(i)});
+    return b.build();
+}
+
+CampaignConfig
+baseConfig()
+{
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::IntRegFile);
+    cfg.numInjections = 4;
+    return cfg;
+}
+
+} // namespace
+
+TEST(CampaignConfigValidation, DefaultConfigIsValid)
+{
+    EXPECT_NO_THROW(baseConfig().validate());
+}
+
+TEST(CampaignConfigValidation, RejectsZeroHangMultiplier)
+{
+    CampaignConfig cfg = baseConfig();
+    cfg.hangMultiplier = 0.0;
+    EXPECT_THROW(cfg.validate(), Error);
+    try {
+        cfg.validate();
+        FAIL() << "validate() accepted hangMultiplier == 0";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Config);
+    }
+}
+
+TEST(CampaignConfigValidation, RejectsNegativeHangMultiplier)
+{
+    CampaignConfig cfg = baseConfig();
+    cfg.hangMultiplier = -1.5;
+    EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST(CampaignConfigValidation, RejectsNonFiniteHangMultiplier)
+{
+    CampaignConfig cfg = baseConfig();
+    cfg.hangMultiplier = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(cfg.validate(), Error);
+    cfg.hangMultiplier = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST(CampaignConfigValidation, RejectsWrappedNegativeHangSlack)
+{
+    // hangSlackCycles is unsigned; a caller's -1 arrives as 2^64-1.
+    // validate() must catch the wrapped band instead of running with
+    // a watchdog that can never fire.
+    CampaignConfig cfg = baseConfig();
+    cfg.hangSlackCycles = static_cast<std::uint64_t>(-1);
+    try {
+        cfg.validate();
+        FAIL() << "validate() accepted a wrapped-negative hang slack";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Config);
+    }
+}
+
+TEST(CampaignConfigValidation, AcceptsLargeButPlausibleHangSlack)
+{
+    CampaignConfig cfg = baseConfig();
+    cfg.hangSlackCycles = std::uint64_t{1} << 40; // ~10^12 cycles: fine
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(CampaignConfigValidation, RunRejectsInvalidConfig)
+{
+    CampaignConfig cfg = baseConfig();
+    cfg.hangMultiplier = -2.0;
+    EXPECT_THROW(FaultCampaign::run(tinyProgram(), cfg), Error);
+}
+
+TEST(CampaignConfigValidation, SampleFaultsRejectsInvalidConfig)
+{
+    CampaignConfig cfg = baseConfig();
+    cfg.hangSlackCycles = static_cast<std::uint64_t>(-42);
+    EXPECT_THROW(FaultCampaign::sampleFaults(cfg, 1000), Error);
+}
+
+TEST(GoldenCacheStats, SnapshotAndRestoreRoundTrip)
+{
+    const GoldenCacheStats saved = FaultCampaign::goldenCacheStats();
+
+    GoldenCacheStats stats;
+    stats.hits = 123;
+    stats.misses = 45;
+    stats.evictions = 6;
+    FaultCampaign::restoreGoldenCacheStats(stats);
+    const GoldenCacheStats got = FaultCampaign::goldenCacheStats();
+    EXPECT_EQ(got.hits, 123u);
+    EXPECT_EQ(got.misses, 45u);
+    EXPECT_EQ(got.evictions, 6u);
+    EXPECT_EQ(FaultCampaign::goldenCacheHits(), 123u);
+    EXPECT_EQ(FaultCampaign::goldenCacheMisses(), 45u);
+    EXPECT_EQ(FaultCampaign::goldenCacheEvictions(), 6u);
+
+    // Restored counters keep counting from the restored baseline.
+    FaultCampaign::clearGoldenCache();
+    CampaignConfig cfg = baseConfig();
+    const CampaignResult r = FaultCampaign::run(tinyProgram(), cfg);
+    ASSERT_TRUE(r.goldenOk);
+    EXPECT_GE(FaultCampaign::goldenCacheMisses(), 46u);
+
+    FaultCampaign::restoreGoldenCacheStats(saved); // leave no trace
+}

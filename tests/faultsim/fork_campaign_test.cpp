@@ -149,7 +149,7 @@ TEST(ForkCampaign, TightHangBudgetFallsBackToFullRerun)
     CampaignConfig cfg =
         CampaignConfig::forTarget(TargetStructure::IntRegFile);
     cfg.numInjections = 20;
-    cfg.hangMultiplier = 0.0;
+    cfg.hangMultiplier = 1e-12; // validate() rejects 0
     cfg.hangSlackCycles = 1;
     FaultCampaign::clearGoldenCache();
     const CampaignResult r = FaultCampaign::run(addChain(100), cfg);
