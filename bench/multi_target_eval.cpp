@@ -147,6 +147,74 @@ main(int argc, char **argv)
                 static_cast<unsigned long>(campaignGoldenHits),
                 targets.size());
 
+    // --- Generation grading: batch evaluator vs per-program oracle. ---
+    // Two identical-seed MultiTarget evolution runs, one graded by the
+    // batch evaluator (decode/result caches, core arena, lane IBR),
+    // one by the per-program measureAllCoverage loop. The histories
+    // must match bit for bit (same fitness, same selections); the
+    // evaluation-phase wall clock gives programs/sec for each path.
+    core::LoopConfig loopCfg;
+    loopCfg.fitness = core::FitnessKind::MultiTarget;
+    loopCfg.population = 32;
+    loopCfg.topK = 8;
+    loopCfg.generations = 8;
+    loopCfg.gen.numInstructions = 120;
+    loopCfg.seed = 2025;
+
+    core::LoopConfig scalarCfg = loopCfg;
+    scalarCfg.batchEval = false;
+    loopCfg.batchEval = true;
+
+    // Untimed warm-up so neither measured loop pays first-run costs
+    // (lazy singletons, page faults) — the first loop otherwise runs
+    // a few percent slow and skews the ratio either way.
+    {
+        core::LoopConfig warm = scalarCfg;
+        warm.generations = 2;
+        (void)core::Harpocrates(warm).run();
+    }
+
+    core::Harpocrates batchLoop(loopCfg);
+    const core::LoopResult batchRun = batchLoop.run();
+    core::Harpocrates scalarLoop(scalarCfg);
+    const core::LoopResult scalarRun = scalarLoop.run();
+
+    unsigned genMismatches = 0;
+    if (batchRun.history.size() != scalarRun.history.size() ||
+        batchRun.bestCoverage != scalarRun.bestCoverage)
+        ++genMismatches;
+    for (std::size_t g = 0; genMismatches == 0 &&
+                            g < batchRun.history.size(); ++g) {
+        if (batchRun.history[g].bestCoverage !=
+                scalarRun.history[g].bestCoverage ||
+            batchRun.history[g].meanTopK !=
+                scalarRun.history[g].meanTopK ||
+            batchRun.history[g].bestByStructure !=
+                scalarRun.history[g].bestByStructure)
+            ++genMismatches;
+    }
+
+    const double batchEvalSec = batchRun.timing.evaluationSec;
+    const double scalarEvalSec = scalarRun.timing.evaluationSec;
+    const double batchRate =
+        batchEvalSec > 0.0
+            ? static_cast<double>(batchRun.programsEvaluated) /
+                  batchEvalSec
+            : 0.0;
+    const double scalarRate =
+        scalarEvalSec > 0.0
+            ? static_cast<double>(scalarRun.programsEvaluated) /
+                  scalarEvalSec
+            : 0.0;
+    const double genSpeedup =
+        batchEvalSec > 0.0 ? scalarEvalSec / batchEvalSec : 0.0;
+    std::printf("  generation grading (%lu programs): batch %.0f "
+                "programs/s vs scalar %.0f programs/s -> %.2fx, "
+                "identity: %s\n",
+                static_cast<unsigned long>(batchRun.programsEvaluated),
+                batchRate, scalarRate, genSpeedup,
+                genMismatches == 0 ? "bit-exact" : "BROKEN");
+
     JsonWriter json;
     json.beginObject();
     json.key("benchmark").value(std::string("multi_target_eval"));
@@ -158,6 +226,13 @@ main(int argc, char **argv)
     json.key("identity_bit_exact").value(mismatches == 0);
     json.key("campaign_golden_cache_hits").value(campaignGoldenHits);
     json.key("campaign_total_sims").value(simsCampaigns);
+    json.key("gen_eval_programs").value(batchRun.programsEvaluated);
+    json.key("gen_eval_batch_sec").value(batchEvalSec);
+    json.key("gen_eval_scalar_sec").value(scalarEvalSec);
+    json.key("gen_eval_batch_programs_per_sec").value(batchRate);
+    json.key("gen_eval_scalar_programs_per_sec").value(scalarRate);
+    json.key("gen_eval_batch_speedup").value(genSpeedup);
+    json.key("gen_eval_bit_exact").value(genMismatches == 0);
     json.endObject();
     if (!json.save("BENCH_multitarget.json")) {
         std::fprintf(stderr, "failed to write BENCH_multitarget.json\n");
@@ -174,6 +249,16 @@ main(int argc, char **argv)
                      "FAIL: identity mismatches=%u, reduction=%.1fx "
                      "(need bit-exact and >= %.1fx)\n",
                      mismatches, reduction, requiredReduction);
+        return 1;
+    }
+    // Batch generation grading must stay bit-exact and keep at least
+    // a 1.5x evaluation-phase speedup over the per-program oracle.
+    const double requiredGenSpeedup = 1.5;
+    if (genMismatches != 0 || genSpeedup < requiredGenSpeedup) {
+        std::fprintf(stderr,
+                     "FAIL: generation grading mismatches=%u, "
+                     "speedup=%.2fx (need bit-exact and >= %.2fx)\n",
+                     genMismatches, genSpeedup, requiredGenSpeedup);
         return 1;
     }
     return 0;

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 
 namespace harpo
 {
@@ -83,9 +84,12 @@ class StateHash
     {
         std::size_t i = 0;
         for (; i + 8 <= len; i += 8) {
-            std::uint64_t w = 0;
-            for (int b = 0; b < 8; ++b)
-                w |= static_cast<std::uint64_t>(data[i + b]) << (8 * b);
+            // memcpy, not a shift-assemble loop: this runs over tens
+            // of kilobytes per call on the digest and content-hash
+            // paths. Word order matches the little-endian assembly on
+            // every host this simulator targets.
+            std::uint64_t w;
+            std::memcpy(&w, data + i, 8);
             addWord(w);
         }
         if (i < len) {

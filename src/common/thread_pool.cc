@@ -1,5 +1,6 @@
 #include "common/thread_pool.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 
@@ -87,14 +88,39 @@ void
 ThreadPool::parallelFor(std::size_t count,
                         const std::function<void(std::size_t)> &body)
 {
+    parallelForImpl(count, 1, body);
+}
+
+void
+ThreadPool::parallelForChunked(std::size_t count, std::size_t grain,
+                               const std::function<void(std::size_t)> &body)
+{
+    if (grain == 0) {
+        // Aim for ~4 blocks per participant (workers + the caller) so
+        // a slow block can still be balanced against, without paying
+        // per-index dispatch.
+        const std::size_t participants = workers.size() + 1;
+        grain = std::max<std::size_t>(1, count / (participants * 4));
+    }
+    parallelForImpl(count, grain, body);
+}
+
+void
+ThreadPool::parallelForImpl(std::size_t count, std::size_t grain,
+                            const std::function<void(std::size_t)> &body)
+{
     if (count == 0)
         return;
+
+    // ceil(count / grain) blocks of contiguous indices; the shared
+    // counter hands out block numbers, one fetch_add per block.
+    const std::size_t numChunks = (count + grain - 1) / grain;
 
     // State is shared (not stack-referenced) because queued runner
     // tasks can be dequeued after this call has already returned.
     struct SharedState
     {
-        std::atomic<std::size_t> nextIndex{0};
+        std::atomic<std::size_t> nextChunk{0};
         std::atomic<std::size_t> done{0};
         std::atomic<bool> errored{false};
         std::exception_ptr error; // guarded by errorMutex
@@ -103,24 +129,33 @@ ThreadPool::parallelFor(std::size_t count,
         std::condition_variable doneCv;
         std::function<void(std::size_t)> body;
         std::size_t count;
+        std::size_t grain;
+        std::size_t numChunks;
     };
     auto state = std::make_shared<SharedState>();
     state->body = body;
     state->count = count;
+    state->grain = grain;
+    state->numChunks = numChunks;
 
-    // Each task drains indices from a shared counter, so uneven
+    // Each task drains blocks from a shared counter, so uneven
     // per-iteration costs (e.g. crashing vs full-length faulty runs)
     // balance automatically. A throwing iteration records the first
-    // exception and flips `errored`; the remaining indices are then
+    // exception and flips `errored`; the remaining blocks are then
     // drained without running the body so `done` still reaches
-    // `count` and every waiter wakes up.
-    const std::size_t numTasks = std::min(count, workers.size());
+    // `numChunks` and every waiter wakes up.
+    const std::size_t numTasks = std::min(numChunks, workers.size());
     auto runner = [state] {
         for (;;) {
-            const std::size_t i = state->nextIndex.fetch_add(1);
-            if (i >= state->count)
+            const std::size_t c = state->nextChunk.fetch_add(1);
+            if (c >= state->numChunks)
                 break;
-            if (!state->errored.load(std::memory_order_acquire)) {
+            const std::size_t begin = c * state->grain;
+            const std::size_t end =
+                std::min(state->count, begin + state->grain);
+            for (std::size_t i = begin; i < end; ++i) {
+                if (state->errored.load(std::memory_order_acquire))
+                    break;
                 try {
                     state->body(i);
                 } catch (...) {
@@ -131,7 +166,7 @@ ThreadPool::parallelFor(std::size_t count,
                                          std::memory_order_release);
                 }
             }
-            if (state->done.fetch_add(1) + 1 == state->count) {
+            if (state->done.fetch_add(1) + 1 == state->numChunks) {
                 std::lock_guard lock(state->doneMutex);
                 state->doneCv.notify_all();
             }
@@ -163,7 +198,7 @@ ThreadPool::parallelFor(std::size_t count,
     {
         std::unique_lock lock(state->doneMutex);
         state->doneCv.wait(
-            lock, [&] { return state->done.load() >= count; });
+            lock, [&] { return state->done.load() >= numChunks; });
     }
 
     // Surface the first failure only after every in-flight iteration

@@ -47,11 +47,27 @@ class ThreadPool
     void parallelFor(std::size_t count,
                      const std::function<void(std::size_t)> &body);
 
+    /**
+     * parallelFor with work claimed in contiguous blocks of @p grain
+     * indices: one shared-counter increment (and at most one queue
+     * wake) per block instead of per index, so tiny per-index bodies
+     * — a batch of short program evaluations, say — stop paying
+     * dispatch overhead per item. grain == 1 is exactly parallelFor;
+     * grain == 0 picks a block size that gives each worker a few
+     * blocks to balance uneven costs. Ordering, thread-safety and
+     * exception semantics are identical to parallelFor (the first
+     * exception wins; remaining blocks are drained unrun).
+     */
+    void parallelForChunked(std::size_t count, std::size_t grain,
+                            const std::function<void(std::size_t)> &body);
+
     /** Process-wide shared pool (lazily constructed). */
     static ThreadPool &global();
 
   private:
     void workerLoop();
+    void parallelForImpl(std::size_t count, std::size_t grain,
+                         const std::function<void(std::size_t)> &body);
 
     std::vector<std::thread> workers;
     std::queue<std::function<void()>> tasks;

@@ -73,6 +73,11 @@ Harpocrates::Harpocrates(LoopConfig config) : cfg(std::move(config))
     }
     evalCore = cfg.core;
     evalCore.budget = &cfg.budget;
+    if (cfg.batchEval &&
+        (cfg.fitness == FitnessKind::HardwareCoverage ||
+         cfg.fitness == FitnessKind::MultiTarget))
+        batchEvaluator =
+            std::make_unique<coverage::GenerationEvaluator>(evalCore);
 }
 
 std::uint64_t
@@ -232,6 +237,7 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
             "Harpocrates: population size mismatch");
 
     std::vector<isa::TestProgram> programs(cfg.population);
+    std::vector<std::uint64_t> programHashes(cfg.population, 0);
     std::vector<double> fitness(cfg.population, 0.0);
     const bool multiTarget = cfg.fitness == FitnessKind::MultiTarget;
     std::vector<coverage::CoverageVector> covVectors(
@@ -275,14 +281,20 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
             result.timing.generationSec += secondsSince(start);
         }
 
-        // "Compilation": lower to the binary encoding.
+        // "Compilation": lower to the binary encoding, kept in a
+        // content-keyed cache. Elites re-synthesized under a new name
+        // hash to the same content and reuse last generation's
+        // binary; only genuinely new programs are encoded.
         {
             HARPO_TRACE_SPAN("compilation", "loop");
             const auto start = std::chrono::steady_clock::now();
             for (unsigned i = 0; i < cfg.population; ++i) {
-                const auto bytes = isa::encodeProgram(programs[i].code);
                 result.instructionsGenerated += programs[i].code.size();
-                (void)bytes;
+                const std::uint64_t hash = isa::contentHash(programs[i]);
+                programHashes[i] = hash;
+                auto [it, fresh] = encodingCache.try_emplace(hash);
+                if (fresh)
+                    it->second = isa::encodeProgram(programs[i].code);
             }
             result.timing.compilationSec += secondsSince(start);
         }
@@ -310,6 +322,25 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
                 if (cfg.fitness == FitnessKind::RandomSearch) {
                     for (unsigned i = 0; i < cfg.population; ++i)
                         fitness[i] = rng.uniform();
+                } else if (batchEvaluator) {
+                    // Batch path: one evaluator call grades the whole
+                    // generation (decode/result caches, core arena,
+                    // lane IBR). Same budget contract as evalOne —
+                    // evaluate() throws Error::budget mid-batch.
+                    // The compilation phase just hashed every program
+                    // for the encoding cache; hand those hashes over
+                    // instead of re-hashing 32 KiB init images.
+                    const auto vectors = batchEvaluator->evaluate(
+                        programs, cfg.parallelEval,
+                        programHashes.data());
+                    for (unsigned i = 0; i < cfg.population; ++i) {
+                        if (multiTarget) {
+                            covVectors[i] = vectors[i];
+                            fitness[i] = weightedFitness(vectors[i]);
+                        } else {
+                            fitness[i] = vectors[i][cfg.target];
+                        }
+                    }
                 } else if (cfg.parallelEval) {
                     ThreadPool::global().parallelFor(cfg.population,
                                                      evalOne);

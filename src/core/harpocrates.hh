@@ -16,11 +16,15 @@
 #define HARPOCRATES_CORE_HARPOCRATES_HH
 
 #include <array>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hh"
+#include "coverage/batch_eval.hh"
 #include "coverage/measure.hh"
 #include "isa/program.hh"
 #include "museqgen/museqgen.hh"
@@ -81,6 +85,16 @@ struct LoopConfig
     unsigned detectionEvery = 0;
     unsigned detectionInjections = 100;
     bool parallelEval = true;
+    /** Grade each generation through the batch evaluator
+     *  (coverage::evaluateGeneration) instead of one isolated
+     *  measureAllCoverage call per program. Bit-identical fitness
+     *  (tests/coverage/batch_eval_test.cpp) — this is a performance
+     *  toggle kept so the per-program path stays available as a
+     *  differential oracle. Applies to the hardware-in-the-loop
+     *  fitness kinds (HardwareCoverage, MultiTarget); the software
+     *  kinds never simulate and are unaffected. Deliberately not part
+     *  of fingerprint(): it cannot change any result. */
+    bool batchEval = true;
     /** Objective function used when fitness == FitnessKind::Custom
      *  (the paper: "any quality metric can be used to guide the
      *  iterative refinement"). Must be thread-safe. */
@@ -182,6 +196,16 @@ class Harpocrates
     /** cfg.core plus a pointer to cfg.budget, so every fitness
      *  simulation observes the loop's budget. */
     uarch::CoreConfig evalCore;
+    /** Long-lived batch evaluator (cfg.batchEval): its decode/result
+     *  caches and core arena persist across generations, which is
+     *  where the elite-regrading and recycling wins come from. Null
+     *  when the per-program oracle path is selected. */
+    std::unique_ptr<coverage::GenerationEvaluator> batchEvaluator;
+    /** "Compilation" artifacts keyed by contentHash(program):
+     *  re-synthesized elites reuse their binary instead of being
+     *  re-encoded every generation. */
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>
+        encodingCache;
 };
 
 /**

@@ -15,6 +15,7 @@
 #ifndef HARPOCRATES_COVERAGE_ACE_HH
 #define HARPOCRATES_COVERAGE_ACE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -88,6 +89,17 @@ class PrfAceAnalyzer : public uarch::CoreProbe
                (static_cast<double>(totalCycles) * numRegs * 64.0);
     }
 
+    /** Back to the just-constructed state, keeping the interval
+     *  table's allocation (recycled-session support). */
+    void
+    reset()
+    {
+        std::fill(lastEvent.begin(), lastEvent.end(), 0);
+        aceBitCycles = 0.0;
+        totalCycles = 0;
+        numRegs = 0;
+    }
+
   private:
     void
     ensure(unsigned phys_reg)
@@ -153,6 +165,17 @@ class CacheAceAnalyzer : public uarch::CoreProbe
             return 0.0;
         return static_cast<double>(aceByteCycles) /
                (static_cast<double>(totalCycles) * numBytes);
+    }
+
+    /** Back to the just-constructed state, keeping the interval
+     *  table's allocation (recycled-session support). */
+    void
+    reset()
+    {
+        std::fill(lastEvent.begin(), lastEvent.end(), 0);
+        aceByteCycles = 0;
+        totalCycles = 0;
+        numBytes = 0;
     }
 
   private:

@@ -1,0 +1,252 @@
+#include "coverage/batch_eval.hh"
+
+#include <atomic>
+#include <utility>
+
+#include "common/thread_pool.hh"
+#include "resilience/error.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
+
+namespace harpo::coverage
+{
+
+namespace
+{
+
+struct BatchMetrics
+{
+    telemetry::MetricId batches;
+    telemetry::MetricId programs;
+    telemetry::MetricId evalCacheHits;
+    telemetry::MetricId decodeHits;
+    telemetry::MetricId decodeMisses;
+    telemetry::MetricId arenaReuses;
+    telemetry::MetricId laneSweeps;
+    telemetry::MetricId lanesFilled;
+};
+
+const BatchMetrics &
+batchMetrics()
+{
+    static const BatchMetrics m = [] {
+        auto &reg = telemetry::MetricsRegistry::instance();
+        BatchMetrics ids;
+        ids.batches = reg.counter("batch.generations");
+        ids.programs = reg.counter("batch.programs");
+        ids.evalCacheHits = reg.counter("batch.eval_cache_hits");
+        ids.decodeHits = reg.counter("batch.decode_hits");
+        ids.decodeMisses = reg.counter("batch.decode_misses");
+        ids.arenaReuses = reg.counter("batch.arena_reuses");
+        ids.laneSweeps = reg.counter("batch.lane_sweeps");
+        ids.lanesFilled = reg.counter("batch.lanes_filled");
+        return ids;
+    }();
+    return m;
+}
+
+} // namespace
+
+GenerationEvaluator::GenerationEvaluator(const uarch::CoreConfig &config)
+    : coreCfg(config), simCfg(config)
+{
+    simCfg.runSignature = false;
+    cfgFingerprint = uarch::behaviorFingerprint(simCfg);
+}
+
+std::unique_ptr<GenerationEvaluator::Workspace>
+GenerationEvaluator::acquireWorkspace()
+{
+    {
+        std::lock_guard<std::mutex> lock(workspaceMutex);
+        if (!freeWorkspaces.empty()) {
+            auto ws = std::move(freeWorkspaces.back());
+            freeWorkspaces.pop_back();
+            return ws;
+        }
+    }
+    return std::make_unique<Workspace>();
+}
+
+void
+GenerationEvaluator::releaseWorkspace(std::unique_ptr<Workspace> ws)
+{
+    std::lock_guard<std::mutex> lock(workspaceMutex);
+    freeWorkspaces.push_back(std::move(ws));
+}
+
+std::vector<CoverageVector>
+GenerationEvaluator::evaluate(
+    const std::vector<isa::TestProgram> &programs, bool parallel,
+    const std::uint64_t *precomputedHashes)
+{
+    HARPO_TRACE_SPAN("batch_eval", "coverage");
+
+    const std::size_t n = programs.size();
+    std::vector<CoverageVector> out(n);
+    if (n == 0)
+        return out;
+
+    std::vector<std::uint64_t> hashes(n, 0);
+    // Which recorder graded program i (null: result-cache hit, or the
+    // evaluation never ran because the budget expired first).
+    std::vector<const LaneIbrRecorder *> graded(n, nullptr);
+    std::atomic<std::uint64_t> cacheHits{0};
+
+    if (recorders.size() < n) {
+        recorders.reserve(n);
+        while (recorders.size() < n)
+            recorders.push_back(std::make_unique<LaneIbrRecorder>());
+    }
+
+    std::uint64_t decodeHits0, decodeMisses0;
+    {
+        std::lock_guard<std::mutex> lock(decodeMutex);
+        decodeHits0 = decodeCache.hits();
+        decodeMisses0 = decodeCache.misses();
+    }
+    const std::uint64_t arenaReuses0 = arena.reuses();
+
+    auto evalOne = [&](std::size_t i) {
+        // Same interruption contract as the scalar evaluation loop:
+        // poll before each program, abandon the batch when expired.
+        if (coreCfg.budget && coreCfg.budget->expired())
+            throw Error::budget("batch evaluation interrupted");
+
+        const isa::TestProgram &program = programs[i];
+        const std::uint64_t hash = precomputedHashes
+                                       ? precomputedHashes[i]
+                                       : isa::contentHash(program);
+        hashes[i] = hash;
+        {
+            std::lock_guard<std::mutex> lock(resultMutex);
+            auto it = resultCache.find(hash);
+            if (it != resultCache.end()) {
+                out[i] = it->second;
+                cacheHits.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+        }
+
+        std::shared_ptr<const uarch::StaticProgram> decoded;
+        {
+            std::lock_guard<std::mutex> lock(decodeMutex);
+            decoded = decodeCache.build(program);
+        }
+
+        auto ws = acquireWorkspace();
+        LaneIbrRecorder &recorder = *recorders[i];
+        recorder.reset();
+        ws->irfAce.reset();
+        ws->l1dAce.reset();
+        ws->session.clear();
+        ws->session.chain(recorder);
+        ws->session.add(&ws->irfAce);
+        ws->session.add(&ws->l1dAce);
+
+        uarch::CoreArena::Lease core = arena.acquire(simCfg);
+        const uarch::SimResult sim =
+            core->run(program, ws->session, decoded.get());
+
+        CoverageVector v;
+        v.sim = sim;
+        if (sim.exit == uarch::SimResult::Exit::Finished) {
+            v.coverage[static_cast<std::size_t>(
+                TargetStructure::IntRegFile)] = ws->irfAce.coverage();
+            v.coverage[static_cast<std::size_t>(
+                TargetStructure::L1DCache)] = ws->l1dAce.coverage();
+            // Functional-unit entries follow in the lane grading pass.
+        }
+        out[i] = v;
+        graded[i] = &recorder;
+        releaseWorkspace(std::move(ws));
+    };
+
+    if (parallel) {
+        // Chunked: one queue/counter transaction per block of short
+        // simulations instead of one per program.
+        ThreadPool::global().parallelForChunked(n, 0, evalOne);
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            evalOne(i);
+    }
+
+    // Phase 2: lane-parallel IBR grading across the population, then
+    // the shared scalar formula turns bit totals into ratios.
+    LaneGradeStats laneStats;
+    const std::vector<IbrTotals> totals =
+        gradeIbrLanes(graded.data(), n, &laneStats);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!graded[i] ||
+            out[i].sim.exit != uarch::SimResult::Exit::Finished)
+            continue; // cached, or all-zero by the extract() contract
+        for (const StructureInfo &info : allStructures()) {
+            if (info.bitArray)
+                continue;
+            out[i].coverage[static_cast<std::size_t>(info.target)] =
+                IbrArithModel::ratio(
+                    info.circuit,
+                    totals[i]
+                        .bits[static_cast<std::size_t>(info.circuit)],
+                    out[i].sim.cycles);
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(resultMutex);
+        for (std::size_t i = 0; i < n; ++i) {
+            // Cancelled runs reflect the budget, not the program —
+            // grading the same program later must re-simulate it.
+            if (!graded[i] ||
+                out[i].sim.exit == uarch::SimResult::Exit::Cancelled)
+                continue;
+            resultCache.emplace(hashes[i], out[i]);
+        }
+    }
+
+    std::uint64_t decodeHits1, decodeMisses1;
+    {
+        std::lock_guard<std::mutex> lock(decodeMutex);
+        decodeHits1 = decodeCache.hits();
+        decodeMisses1 = decodeCache.misses();
+    }
+
+    const BatchMetrics &m = batchMetrics();
+    telemetry::count(m.batches);
+    telemetry::count(m.programs, n);
+    telemetry::count(m.evalCacheHits, cacheHits.load());
+    telemetry::count(m.decodeHits, decodeHits1 - decodeHits0);
+    telemetry::count(m.decodeMisses, decodeMisses1 - decodeMisses0);
+    telemetry::count(m.arenaReuses, arena.reuses() - arenaReuses0);
+    telemetry::count(m.laneSweeps, laneStats.sweeps);
+    telemetry::count(m.lanesFilled, laneStats.lanesFilled);
+
+    {
+        std::lock_guard<std::mutex> lock(statsMutex);
+        cumulative.programs += n;
+        cumulative.evalCacheHits += cacheHits.load();
+        cumulative.decodeHits = decodeHits1;
+        cumulative.decodeMisses = decodeMisses1;
+        cumulative.arenaReuses = arena.reuses();
+        cumulative.laneSweeps += laneStats.sweeps;
+        cumulative.lanesFilled += laneStats.lanesFilled;
+    }
+    return out;
+}
+
+BatchStats
+GenerationEvaluator::stats() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex);
+    return cumulative;
+}
+
+std::vector<CoverageVector>
+evaluateGeneration(const std::vector<isa::TestProgram> &programs,
+                   const uarch::CoreConfig &config, bool parallel)
+{
+    GenerationEvaluator evaluator(config);
+    return evaluator.evaluate(programs, parallel);
+}
+
+} // namespace harpo::coverage

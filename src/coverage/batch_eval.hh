@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Batch evaluation of a whole generation of test programs.
+ *
+ * The evolution loop's grading step (paper step 1) used to treat each
+ * program as an isolated job: construct a Core, decode every
+ * instruction at rename, fold IBR per functional-unit invocation,
+ * destroy everything, repeat. GenerationEvaluator restructures the
+ * step around three reuse layers:
+ *
+ *  1. Shared pre-decoded programs — a content-hashed DecodeCache
+ *     (uarch/static_decode.hh) derives each distinct program's rename
+ *     metadata once; re-synthesized elites hit the cache. A result
+ *     cache keyed by the same content hash goes further and skips the
+ *     simulation entirely for programs graded before on this config.
+ *
+ *  2. Recycled Core state — a CoreArena (uarch/core_arena.hh) hands
+ *     out leased Cores whose allocations (and provably-dead cache
+ *     bytes) survive between programs, and a workspace pool recycles
+ *     the per-run coverage analysers the same way.
+ *
+ *  3. Lane-parallel IBR grading — runs record raw operand pairs
+ *     (LaneIbrRecorder) and a post-pass grades up to 64 programs per
+ *     sweep through the bit-sliced reduction of coverage/lane_ibr.hh.
+ *
+ * Every layer is behaviour-preserving: evaluate() returns exit
+ * status, cycle counts and coverage bit-identical to calling
+ * measureAllCoverage() per program (pinned by
+ * tests/coverage/batch_eval_test.cpp and the multi-target bench's
+ * identity gate; the soundness argument is DESIGN.md §12). The one
+ * deliberate difference: SimResult::signature is 0 in every returned
+ * vector. The signature hashes all of architectural memory — nearly
+ * half of a short run's cost — and exists for golden-vs-faulty SDC
+ * comparison in fault campaigns; grading consumes only fitness and
+ * coverage, so the batch path runs with CoreConfig::runSignature off.
+ * Anything that needs signatures (FaultCampaign::acquireGolden, the
+ * detection sampler) keeps its own signature-bearing runs.
+ * Budget semantics also match the scalar path: the budget is polled
+ * before each program and an expired budget raises Error::budget,
+ * mid-batch, exactly like the loop's per-program evaluator.
+ */
+
+#ifndef HARPOCRATES_COVERAGE_BATCH_EVAL_HH
+#define HARPOCRATES_COVERAGE_BATCH_EVAL_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "coverage/lane_ibr.hh"
+#include "coverage/measure.hh"
+#include "uarch/core_arena.hh"
+#include "uarch/static_decode.hh"
+
+namespace harpo::coverage
+{
+
+/** Cumulative reuse counters of one GenerationEvaluator (mirrored
+ *  into the telemetry registry per batch). */
+struct BatchStats
+{
+    std::uint64_t programs = 0;      ///< programs graded (incl. hits)
+    std::uint64_t evalCacheHits = 0; ///< simulations skipped entirely
+    std::uint64_t decodeHits = 0;    ///< pre-decode cache hits
+    std::uint64_t decodeMisses = 0;  ///< distinct programs decoded
+    std::uint64_t arenaReuses = 0;   ///< Cores recycled, not built
+    std::uint64_t laneSweeps = 0;    ///< 64-lane IBR reduction passes
+    std::uint64_t lanesFilled = 0;   ///< operand pairs graded in lanes
+};
+
+/**
+ * Reusable batch evaluator bound to one core configuration. Create it
+ * once and feed it successive generations; all three reuse layers
+ * accumulate across calls (that is where the elite-re-evaluation and
+ * arena wins come from). Thread-safe internally — evaluate() may fan
+ * its per-program work across the global ThreadPool — but evaluate()
+ * itself must not be called concurrently on one instance.
+ */
+class GenerationEvaluator
+{
+  public:
+    explicit GenerationEvaluator(const uarch::CoreConfig &config);
+
+    /**
+     * Grade every program, one CoverageVector each, semantically
+     * identical to { measureAllCoverage(p, config()) for p in
+     * programs }. @p parallel fans the per-program simulations across
+     * the global ThreadPool in chunks. Throws Error::budget when
+     * config().budget expires mid-batch (partial results discarded,
+     * like the scalar evaluation loop).
+     *
+     * @p precomputedHashes, when non-null, must point at
+     * programs.size() values of isa::contentHash(programs[i]) — the
+     * loop's compilation phase already hashes every program for the
+     * encoding cache, and re-hashing a 32 KiB init image per program
+     * is measurable. Passing stale hashes corrupts the result cache.
+     */
+    std::vector<CoverageVector>
+    evaluate(const std::vector<isa::TestProgram> &programs,
+             bool parallel = true,
+             const std::uint64_t *precomputedHashes = nullptr);
+
+    const uarch::CoreConfig &config() const { return coreCfg; }
+
+    /** Cumulative counters since construction. */
+    BatchStats stats() const;
+
+  private:
+    /** Per-run analyser bundle, recycled through a free list. */
+    struct Workspace
+    {
+        TrueAceAnalyzer irfAce;
+        CacheAceAnalyzer l1dAce;
+        uarch::ProbeSet session;
+    };
+
+    std::unique_ptr<Workspace> acquireWorkspace();
+    void releaseWorkspace(std::unique_ptr<Workspace> ws);
+
+    uarch::CoreConfig coreCfg;
+    /** coreCfg with runSignature forced off — what simulations
+     *  actually run under. Grading never reads signatures and the
+     *  memory hash dominates short runs (see file comment). */
+    uarch::CoreConfig simCfg;
+    std::uint64_t cfgFingerprint; ///< behaviorFingerprint(simCfg)
+
+    std::mutex decodeMutex; ///< DecodeCache is not thread-safe
+    uarch::DecodeCache decodeCache;
+
+    uarch::CoreArena arena;
+
+    std::mutex workspaceMutex;
+    std::vector<std::unique_ptr<Workspace>> freeWorkspaces;
+
+    /** Result cache: contentHash(program) -> graded vector. Keyed by
+     *  hash alone (the campaign golden-run cache precedent): a 64-bit
+     *  FNV collision within one run's program set is vanishingly
+     *  unlikely and the cache only ever spans one core fingerprint.
+     *  Cancelled runs are never cached — interruption is not a
+     *  property of the program. */
+    std::mutex resultMutex;
+    std::unordered_map<std::uint64_t, CoverageVector> resultCache;
+
+    /** Operand recorders, one per population slot, kept across
+     *  generations so their stream buffers stop reallocating. */
+    std::vector<std::unique_ptr<LaneIbrRecorder>> recorders;
+
+    mutable std::mutex statsMutex;
+    BatchStats cumulative;
+};
+
+/**
+ * One-shot convenience: grade @p programs on a fresh evaluator. The
+ * loop keeps a long-lived GenerationEvaluator instead (reuse across
+ * generations is most of the win); this entry point serves callers
+ * with a single batch, and the differential test.
+ */
+std::vector<CoverageVector>
+evaluateGeneration(const std::vector<isa::TestProgram> &programs,
+                   const uarch::CoreConfig &config, bool parallel = true);
+
+} // namespace harpo::coverage
+
+#endif // HARPOCRATES_COVERAGE_BATCH_EVAL_HH

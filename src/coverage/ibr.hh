@@ -75,13 +75,26 @@ class IbrArithModel : public isa::ChainedArithModel
     }
 
     /** IBR: accumulated effective input bits over the theoretical
-     *  maximum per cycle. The scalar integer units accept two 64-bit
-     *  inputs per cycle (128 bits); the SSE FP units are 128-bit wide
-     *  (two 64-bit lanes, each with two operands: 256 bits). Clamped
-     *  to 1 — wrong-path work can otherwise push the ratio past the
-     *  committed-path theoretical maximum. */
+     *  maximum per cycle. */
     double
     ibr(isa::FuCircuit circuit, std::uint64_t total_cycles) const
+    {
+        return ratio(circuit, inputBits(circuit), total_cycles);
+    }
+
+    /**
+     * The IBR formula itself, shared with the batch evaluator's lane
+     * grading pass (coverage/lane_ibr.hh) so both paths divide the
+     * same accumulated bits by the same theoretical maximum. The
+     * scalar integer units accept two 64-bit inputs per cycle (128
+     * bits); the SSE FP units are 128-bit wide (two 64-bit lanes,
+     * each with two operands: 256 bits). Clamped to 1 — wrong-path
+     * work can otherwise push the ratio past the committed-path
+     * theoretical maximum.
+     */
+    static double
+    ratio(isa::FuCircuit circuit, std::uint64_t input_bits,
+          std::uint64_t total_cycles)
     {
         if (total_cycles == 0)
             return 0.0;
@@ -89,11 +102,12 @@ class IbrArithModel : public isa::ChainedArithModel
                             circuit == isa::FuCircuit::FpMul;
         const double maxPerCycle = packed ? 256.0 : 128.0;
         return std::min(
-            1.0, static_cast<double>(inputBits(circuit)) /
+            1.0, static_cast<double>(input_bits) /
                      (maxPerCycle * static_cast<double>(total_cycles)));
     }
 
-  private:
+    /** Bits significant to the unit's computation: 64 minus leading
+     *  zeros. The reference the lane grading pass must reproduce. */
     static unsigned
     effectiveBits(std::uint64_t v)
     {
@@ -101,6 +115,15 @@ class IbrArithModel : public isa::ChainedArithModel
                       : 64u - static_cast<unsigned>(__builtin_clzll(v));
     }
 
+    /** Zero all accumulators (recycled-session support). */
+    void
+    reset()
+    {
+        bits.fill(0);
+        opCount.fill(0);
+    }
+
+  private:
     void
     record(isa::FuCircuit circuit, std::uint64_t a, std::uint64_t b)
     {

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * SoA lane-oriented IBR grading for batch evaluation.
+ *
+ * The scalar IbrArithModel folds effectiveBits(a) + effectiveBits(b)
+ * into a per-circuit accumulator at every functional-unit invocation,
+ * inside the simulation. The batch evaluator splits that into two
+ * phases so the reduction can run lane-parallel across the population:
+ *
+ *  1. During each program's run, a LaneIbrRecorder (a pure observing
+ *     ChainedArithModel, exactly like IbrArithModel) appends the raw
+ *     operand pairs per circuit into structure-of-arrays buffers — no
+ *     per-invocation bit counting.
+ *
+ *  2. After the batch, gradeIbrLanes() processes the recorded streams
+ *     in 64-wide lane sweeps, using PR 2's lane convention (bit L of
+ *     every machine word belongs to lane L, see gates/netlist.hh):
+ *     lane L of a sweep carries one operand pair from program L of the
+ *     current 64-program group. Each sweep bit-transposes the 64 lane
+ *     values into bit-planes, suffix-ORs the planes (plane k then
+ *     flags every lane whose value has a set bit at position >= k, so
+ *     a lane's effective-bit count is the number of planes flagging
+ *     it), transposes back and adds one popcount per lane to that
+ *     program's total.
+ *
+ * The reduction is pure integer arithmetic, so totals are exactly the
+ * scalar sums — same doubles out of IbrArithModel::ratio — which the
+ * differential test (tests/coverage/batch_eval_test.cpp) and the
+ * bench identity check pin. See DESIGN.md §12 for why the netlists
+ * themselves are *not* re-evaluated here: IBR is an input-side metric
+ * and never consults gate outputs.
+ */
+
+#ifndef HARPOCRATES_COVERAGE_LANE_IBR_HH
+#define HARPOCRATES_COVERAGE_LANE_IBR_HH
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/arith_model.hh"
+#include "isa/instruction.hh"
+
+namespace harpo::coverage
+{
+
+inline constexpr std::size_t numFuCircuits = 5; // isa::FuCircuit values
+inline constexpr std::size_t ibrLanes = 64;     // one uint64_t of lanes
+
+/** Append-only structure-of-arrays operand recorder for one program.
+ *  Chain into a ProbeSet exactly like IbrArithModel; it observes the
+ *  same invocations and forwards values unchanged. */
+class LaneIbrRecorder : public isa::ChainedArithModel
+{
+  public:
+    explicit LaneIbrRecorder(isa::ArithModel *base_model = nullptr)
+        : isa::ChainedArithModel(base_model)
+    {}
+
+    std::uint64_t
+    intAdd(std::uint64_t a, std::uint64_t b, bool carry_in,
+           bool &carry_out) override
+    {
+        append(isa::FuCircuit::IntAdd, a, b);
+        return base().intAdd(a, b, carry_in, carry_out);
+    }
+
+    void
+    intMul(std::uint64_t a, std::uint64_t b, std::uint64_t &lo,
+           std::uint64_t &hi) override
+    {
+        append(isa::FuCircuit::IntMul, a, b);
+        base().intMul(a, b, lo, hi);
+    }
+
+    std::uint64_t
+    fpAdd(std::uint64_t a, std::uint64_t b) override
+    {
+        append(isa::FuCircuit::FpAdd, a, b);
+        return base().fpAdd(a, b);
+    }
+
+    std::uint64_t
+    fpMul(std::uint64_t a, std::uint64_t b) override
+    {
+        append(isa::FuCircuit::FpMul, a, b);
+        return base().fpMul(a, b);
+    }
+
+    /** Recorded invocation count per circuit (== scalar uses()). */
+    std::uint64_t
+    uses(isa::FuCircuit circuit) const
+    {
+        return streams[static_cast<std::size_t>(circuit)].a.size();
+    }
+
+    const std::vector<std::uint64_t> &
+    operandsA(isa::FuCircuit circuit) const
+    {
+        return streams[static_cast<std::size_t>(circuit)].a;
+    }
+
+    const std::vector<std::uint64_t> &
+    operandsB(isa::FuCircuit circuit) const
+    {
+        return streams[static_cast<std::size_t>(circuit)].b;
+    }
+
+    /** Drop all recorded pairs, keeping buffer capacity (the batch
+     *  evaluator recycles recorders across the population). */
+    void
+    reset()
+    {
+        for (auto &s : streams) {
+            s.a.clear();
+            s.b.clear();
+        }
+    }
+
+  private:
+    struct Stream
+    {
+        std::vector<std::uint64_t> a;
+        std::vector<std::uint64_t> b;
+    };
+
+    void
+    append(isa::FuCircuit circuit, std::uint64_t a, std::uint64_t b)
+    {
+        Stream &s = streams[static_cast<std::size_t>(circuit)];
+        s.a.push_back(a);
+        s.b.push_back(b);
+    }
+
+    std::array<Stream, numFuCircuits> streams;
+};
+
+/** Per-program grading output: accumulated effective input bits and
+ *  invocation counts, indexed by isa::FuCircuit value. */
+struct IbrTotals
+{
+    std::array<std::uint64_t, numFuCircuits> bits{};
+    std::array<std::uint64_t, numFuCircuits> uses{};
+};
+
+/** Occupancy statistics of one grading pass (telemetry). */
+struct LaneGradeStats
+{
+    std::uint64_t sweeps = 0;      ///< 64-lane reduction passes
+    std::uint64_t lanesFilled = 0; ///< operand pairs graded in lanes
+};
+
+/** In-place 64x64 bit-matrix transpose: result bit (i, j) = input bit
+ *  (j, i). Hacker's Delight 7-3, the same primitive family as the
+ *  gates lane machinery's broadcast/extract helpers. */
+inline void
+transpose64(std::array<std::uint64_t, ibrLanes> &m)
+{
+    std::uint64_t mask = 0x00000000FFFFFFFFull;
+    for (unsigned j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+        for (unsigned k = 0; k < ibrLanes; k = ((k | j) + 1) & ~j) {
+            const std::uint64_t t = (m[k] ^ (m[k | j] >> j)) & mask;
+            m[k] ^= t;
+            m[k | j] ^= t << j;
+        }
+    }
+}
+
+/**
+ * Sum effectiveBits() across all 64 lanes of @p values into the
+ * per-lane accumulators @p into, lane-parallel: one transpose to
+ * bit-planes, a running OR across the planes so the plane holding
+ * value-bit v ends up flagging every lane with a set bit at position
+ * >= v (a lane's effective-bit count is then exactly the number of
+ * planes flagging it — effectiveBits(x) = 1 + index of the top set
+ * bit), one transpose back, one popcount per lane.
+ *
+ * Note the transpose convention: transpose64 maps input bit (row j,
+ * pos p) to (row 63-p, pos 63-j), so plane k holds value-bit 63-k and
+ * the OR must run from plane 0 (the top value-bit) downward. The
+ * reversal cancels on the way back — transpose is an involution — so
+ * the final popcount of values[L] still belongs to lane L.
+ */
+inline void
+sumEffectiveBitsLanes(std::array<std::uint64_t, ibrLanes> &values,
+                      std::uint64_t *into)
+{
+    transpose64(values); // plane k: value-bit 63-k across the lanes
+    for (std::size_t k = 1; k < ibrLanes; ++k)
+        values[k] |= values[k - 1];
+    transpose64(values); // values[L] bit b = "lane L has a bit >= b"
+    for (std::size_t lane = 0; lane < ibrLanes; ++lane)
+        into[lane] += static_cast<std::uint64_t>(
+            __builtin_popcountll(values[lane]));
+}
+
+/**
+ * Grade the recorded operand streams of @p count programs in 64-wide
+ * lane sweeps (lane L = program L of each consecutive 64-program
+ * group; exhausted programs leave their lane zero, contributing
+ * nothing). Bit-identical to folding IbrArithModel over each program:
+ * the totals are exact integer sums of the same effectiveBits values.
+ * @p recorders entries may be null (skipped — e.g. programs whose
+ * evaluation was interrupted by the budget).
+ */
+inline std::vector<IbrTotals>
+gradeIbrLanes(const LaneIbrRecorder *const *recorders, std::size_t count,
+              LaneGradeStats *stats = nullptr)
+{
+    std::vector<IbrTotals> totals(count);
+    std::array<std::uint64_t, ibrLanes> lanesA;
+    std::array<std::uint64_t, ibrLanes> lanesB;
+    std::array<std::uint64_t, ibrLanes> groupBits;
+
+    for (std::size_t base = 0; base < count; base += ibrLanes) {
+        const std::size_t width = std::min(ibrLanes, count - base);
+        for (std::size_t c = 0; c < numFuCircuits; ++c) {
+            const auto circuit = static_cast<isa::FuCircuit>(c);
+            std::size_t longest = 0;
+            for (std::size_t lane = 0; lane < width; ++lane) {
+                const LaneIbrRecorder *r = recorders[base + lane];
+                if (!r)
+                    continue;
+                const std::size_t n = r->operandsA(circuit).size();
+                totals[base + lane].uses[c] = n;
+                longest = std::max(longest, n);
+            }
+            groupBits.fill(0);
+            for (std::size_t pair = 0; pair < longest; ++pair) {
+                lanesA.fill(0);
+                lanesB.fill(0);
+                std::uint64_t filled = 0;
+                for (std::size_t lane = 0; lane < width; ++lane) {
+                    const LaneIbrRecorder *r = recorders[base + lane];
+                    if (!r || pair >= r->operandsA(circuit).size())
+                        continue;
+                    lanesA[lane] = r->operandsA(circuit)[pair];
+                    lanesB[lane] = r->operandsB(circuit)[pair];
+                    ++filled;
+                }
+                sumEffectiveBitsLanes(lanesA, groupBits.data());
+                sumEffectiveBitsLanes(lanesB, groupBits.data());
+                if (stats) {
+                    ++stats->sweeps;
+                    stats->lanesFilled += filled;
+                }
+            }
+            for (std::size_t lane = 0; lane < width; ++lane)
+                totals[base + lane].bits[c] = groupBits[lane];
+        }
+    }
+    return totals;
+}
+
+} // namespace harpo::coverage
+
+#endif // HARPOCRATES_COVERAGE_LANE_IBR_HH

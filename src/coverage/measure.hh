@@ -109,6 +109,17 @@ class CoverageSession
      *  @p sim. Non-finished runs yield all-zero coverage. */
     CoverageVector extract(const uarch::SimResult &sim) const;
 
+    /** Zero every analyser, keeping their allocations, so one
+     *  CoverageSession serves a whole population (attach to a cleared
+     *  ProbeSet again after resetting). */
+    void
+    reset()
+    {
+        irfAce.reset();
+        l1dAce.reset();
+        ibr.reset();
+    }
+
   private:
     TrueAceAnalyzer irfAce;
     CacheAceAnalyzer l1dAce;

@@ -47,6 +47,16 @@ class TrueAceAnalyzer : public uarch::CoreProbe
      *  after the run ends. */
     double coverage() const { return finalCoverage; }
 
+    /** Back to the just-constructed state, keeping the def-use record
+     *  allocations (recycled-session support). */
+    void
+    reset()
+    {
+        records.clear();
+        committedSeqs.clear();
+        finalCoverage = 0.0;
+    }
+
   private:
     std::vector<uarch::ExecInfo> records;
     std::vector<std::uint64_t> committedSeqs;

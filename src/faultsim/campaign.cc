@@ -18,6 +18,8 @@
 #include "resilience/error.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/trace.hh"
+#include "uarch/core_arena.hh"
+#include "uarch/static_decode.hh"
 
 namespace harpo::faultsim
 {
@@ -139,37 +141,7 @@ programFingerprint(const isa::TestProgram &program)
 std::uint64_t
 coreConfigFingerprint(const uarch::CoreConfig &c)
 {
-    Fnv1a h;
-    for (const std::uint64_t v : {
-             static_cast<std::uint64_t>(c.fetchWidth),
-             static_cast<std::uint64_t>(c.renameWidth),
-             static_cast<std::uint64_t>(c.issueWidth),
-             static_cast<std::uint64_t>(c.commitWidth),
-             static_cast<std::uint64_t>(c.frontendDelay),
-             static_cast<std::uint64_t>(c.robSize),
-             static_cast<std::uint64_t>(c.iqSize),
-             static_cast<std::uint64_t>(c.lqSize),
-             static_cast<std::uint64_t>(c.sqSize),
-             static_cast<std::uint64_t>(c.numIntPhysRegs),
-             static_cast<std::uint64_t>(c.numFpPhysRegs),
-             static_cast<std::uint64_t>(c.numIntAlu),
-             static_cast<std::uint64_t>(c.numIntMul),
-             static_cast<std::uint64_t>(c.numIntDiv),
-             static_cast<std::uint64_t>(c.numFpAdd),
-             static_cast<std::uint64_t>(c.numFpMul),
-             static_cast<std::uint64_t>(c.numFpDiv),
-             static_cast<std::uint64_t>(c.numSimdAlu),
-             static_cast<std::uint64_t>(c.numMemPorts),
-             static_cast<std::uint64_t>(c.branchMispredictPenalty),
-             static_cast<std::uint64_t>(c.l1d.size),
-             static_cast<std::uint64_t>(c.l1d.lineSize),
-             static_cast<std::uint64_t>(c.l1d.ways),
-             static_cast<std::uint64_t>(c.l1d.hitLatency),
-             static_cast<std::uint64_t>(c.l1d.missLatency),
-             c.maxCycles,
-         })
-        h.addWord(v);
-    return h.value();
+    return uarch::behaviorFingerprint(c);
 }
 
 /** One cached golden run: the classification-relevant results plus
@@ -404,7 +376,23 @@ acquireGolden(const isa::TestProgram &program,
 
     uarch::CoreConfig goldenCfg = core;
     goldenCfg.budget = needs.budget;
-    uarch::Core goldenCore(goldenCfg);
+
+    // Golden runs share the batch evaluator's reuse layers: a
+    // process-wide arena recycles Core allocations across injections
+    // and campaigns, and a content-keyed decode cache hands rename
+    // metadata to repeat gradings of the same program (the campaign
+    // service re-grades shard programs; the loop's detection sampling
+    // re-grades elites). Both are behaviour-preserving — DESIGN.md §12.
+    static uarch::CoreArena arena;
+    static std::mutex decodeMutex;
+    static uarch::DecodeCache decodeCache;
+    std::shared_ptr<const uarch::StaticProgram> decoded;
+    {
+        std::lock_guard<std::mutex> lock(decodeMutex);
+        decoded = decodeCache.build(program);
+    }
+    uarch::CoreArena::Lease lease = arena.acquire(goldenCfg);
+    uarch::Core &goldenCore = *lease;
 
     FuTraceRecorder recorder;
     ForkPlanRecorder planRecorder(needs.digestEvery,
@@ -421,7 +409,8 @@ acquireGolden(const isa::TestProgram &program,
     if (recPlan)
         session.add(&planRecorder);
 
-    const uarch::SimResult goldenSim = goldenCore.run(program, session);
+    const uarch::SimResult goldenSim =
+        goldenCore.run(program, session, decoded.get());
     if (goldenSim.exit == uarch::SimResult::Exit::Cancelled)
         return false;
 

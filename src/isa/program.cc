@@ -1,19 +1,82 @@
 #include "isa/program.hh"
 
+#include <algorithm>
 #include <cstring>
+
+#include "common/hash.hh"
 
 namespace harpo::isa
 {
 
+std::uint64_t
+contentHash(const TestProgram &program)
+{
+    Fnv1a h;
+    h.addWord(program.code.size());
+    for (const Inst &inst : program.code) {
+        h.addWord(inst.descId);
+        for (const Operand &op : inst.ops) {
+            h.addWord(static_cast<std::uint64_t>(op.kind) |
+                      (static_cast<std::uint64_t>(op.reg) << 8) |
+                      (static_cast<std::uint64_t>(op.mem.base) << 16) |
+                      (static_cast<std::uint64_t>(op.mem.ripRel) << 24));
+            h.addWord(static_cast<std::uint64_t>(op.imm));
+            h.addWord(static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(op.mem.disp)));
+        }
+        h.addWord(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(inst.branchTarget)));
+    }
+    for (const std::uint64_t v : program.initGpr)
+        h.addWord(v);
+    for (const auto &xmm : program.initXmm) {
+        h.addWord(xmm[0]);
+        h.addWord(xmm[1]);
+    }
+    h.addWord(program.regions.size());
+    for (const MemRegion &r : program.regions) {
+        h.addWord(r.base);
+        h.addWord(r.size);
+    }
+    h.addWord(program.memInit.size());
+    for (const MemInit &mi : program.memInit) {
+        h.addWord(mi.addr);
+        // Init blobs are tens of kilobytes; byte-serial FNV over them
+        // would dominate the whole hash (and it runs once per program
+        // per generation). Fold them word-wise and mix the digest.
+        StateHash blob;
+        blob.addBytes(mi.bytes.data(), mi.bytes.size());
+        h.addWord(mi.bytes.size());
+        h.addWord(blob.value());
+    }
+    h.addWord(program.coreBegin);
+    h.addWord(program.coreEnd);
+    return h.value();
+}
+
 void
 Memory::reset(const TestProgram &program)
 {
-    backing.clear();
-    for (const auto &region : program.regions) {
-        Backing b;
-        b.region = region;
-        b.bytes.assign(region.size, 0);
-        backing.push_back(std::move(b));
+    // Recycled Memory objects (the batch evaluator reuses one core —
+    // and thus one Memory — across a whole population) keep their
+    // backing allocations when the region layout is unchanged, which
+    // it is for every program cut from the same generator template.
+    bool sameLayout = backing.size() == program.regions.size();
+    for (std::size_t i = 0; sameLayout && i < backing.size(); ++i) {
+        sameLayout = backing[i].region.base == program.regions[i].base &&
+                     backing[i].region.size == program.regions[i].size;
+    }
+    if (sameLayout) {
+        for (auto &b : backing)
+            std::fill(b.bytes.begin(), b.bytes.end(), std::uint8_t{0});
+    } else {
+        backing.clear();
+        for (const auto &region : program.regions) {
+            Backing b;
+            b.region = region;
+            b.bytes.assign(region.size, 0);
+            backing.push_back(std::move(b));
+        }
     }
     for (const auto &init : program.memInit)
         write(init.addr, static_cast<unsigned>(init.bytes.size()),

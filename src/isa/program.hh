@@ -70,6 +70,17 @@ struct TestProgram
     }
 };
 
+/**
+ * Content hash over everything that determines a TestProgram's
+ * simulated behaviour — instructions, initial architectural state,
+ * memory layout and contents, core-test range — and nothing else.
+ * The name is deliberately excluded: the evolution loop re-synthesizes
+ * surviving elites under a new per-generation name, and caches keyed
+ * by this hash (encoding cache, batch-evaluation result cache) must
+ * recognise them as the same program.
+ */
+std::uint64_t contentHash(const TestProgram &program);
+
 /** Byte-addressable sparse memory backed by the program's regions. */
 class Memory
 {

@@ -1,5 +1,6 @@
 #include "uarch/cache.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -10,10 +11,23 @@ namespace harpo::uarch
 void
 L1Cache::reset(const CacheConfig &config, isa::Memory *backing)
 {
+    // Invalidating every line is a complete reset: bytes under invalid
+    // lines are dead — a miss fill overwrites a whole line before any
+    // read can observe it, and hashState() excludes them — so the data
+    // array only needs (re)zeroing when its geometry changes. Recycled
+    // caches (the batch evaluator reuses one core across a population)
+    // skip the 32 KB memset entirely.
+    const bool sameGeometry = cfg.size == config.size &&
+                              cfg.lineSize == config.lineSize &&
+                              lines.size() == config.numLines();
     cfg = config;
     memory = backing;
-    lines.assign(cfg.numLines(), Line{});
-    data.assign(cfg.size, 0);
+    if (sameGeometry)
+        std::fill(lines.begin(), lines.end(), Line{});
+    else {
+        lines.assign(cfg.numLines(), Line{});
+        data.assign(cfg.size, 0);
+    }
     hits = 0;
     misses = 0;
 }
@@ -23,6 +37,7 @@ L1Cache::lookupOrFill(std::uint64_t line_addr, std::uint32_t &line_index,
                       bool &hit, std::uint64_t cycle, CoreProbe *probe,
                       Core *core)
 {
+    (void)core;
     const std::uint32_t numSets = cfg.numSets();
     const std::uint32_t set =
         static_cast<std::uint32_t>((line_addr / cfg.lineSize) % numSets);

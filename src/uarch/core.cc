@@ -10,6 +10,7 @@
 #include "isa/emulator.hh"
 #include "isa/isa_table.hh"
 #include "isa/semantics.hh"
+#include "uarch/static_decode.hh"
 
 namespace harpo::uarch
 {
@@ -19,27 +20,6 @@ namespace
 
 /** Process-wide tally of simulations started (run + resumeFrom). */
 std::atomic<std::uint64_t> simsStarted{0};
-
-/** Number of integer/fp destination registers an instruction needs. */
-void
-countDests(const isa::InstrDesc &desc, const isa::Inst &inst,
-           unsigned &int_dests, unsigned &fp_dests)
-{
-    int_dests = 0;
-    fp_dests = 0;
-    (void)inst;
-    for (int i = 0; i < desc.numOperands; ++i) {
-        if (!desc.operands[i].isWrite)
-            continue;
-        if (desc.operands[i].kind == isa::OperandKind::Gpr)
-            ++int_dests;
-        else if (desc.operands[i].kind == isa::OperandKind::Xmm)
-            ++fp_dests;
-    }
-    int_dests += static_cast<unsigned>(desc.numImplicitWrites);
-    if (desc.writesFlags)
-        ++int_dests;
-}
 
 } // namespace
 
@@ -502,16 +482,29 @@ Core::renameStage()
         hadWork = true;
 
         const isa::Inst &inst = program->code[fetched.pc];
-        const isa::InstrDesc &desc = isa::isaTable().desc(inst.descId);
 
-        unsigned intDests = 0, fpDests = 0;
-        countDests(desc, inst, intDests, fpDests);
+        // Rename metadata: replay the pre-decoded StaticInst when the
+        // caller supplied one, else derive it here. Both paths go
+        // through deriveStatic() — one source of truth, so they cannot
+        // disagree on source lists, dest order, or hazard counts.
+        StaticInst derived;
+        const StaticInst *si;
+        if (staticProg) {
+            si = &staticProg->insts[fetched.pc];
+        } else {
+            derived =
+                deriveStatic(inst, isa::isaTable().desc(inst.descId));
+            si = &derived;
+        }
+        const isa::InstrDesc &desc = *si->desc;
 
         // Structural hazards.
         if (rob.size() >= cfg.robSize || iq.size() >= cfg.iqSize)
             break;
-        if (intRegs.numFree() < intDests || fpRegs.numFree() < fpDests)
+        if (intRegs.numFree() < si->intDests ||
+            fpRegs.numFree() < si->fpDests) {
             break;
+        }
         if (desc.isLoad && loadsInFlight >= cfg.lqSize)
             break;
         if (desc.isStore && storeQueue.size() >= cfg.sqSize)
@@ -529,57 +522,27 @@ Core::renameStage()
         dyn.fpMap = specFpMap;
         dyn.inIq = true;
 
-        auto addIntSrc = [&dyn](std::uint8_t arch) {
-            dyn.intSrcs[dyn.numIntSrcs++] = arch;
-        };
-        auto addDest = [&](std::uint8_t arch, bool is_fp) {
+        dyn.intSrcs = si->intSrcs;
+        dyn.numIntSrcs = si->numIntSrcs;
+        dyn.fpSrcs = si->fpSrcs;
+        dyn.numFpSrcs = si->numFpSrcs;
+
+        for (int i = 0; i < si->numDests; ++i) {
+            const auto &spec = si->dests[i];
             auto &dest = dyn.dests[dyn.numDests++];
-            dest.arch = arch;
-            dest.isFp = is_fp;
-            if (is_fp) {
-                dest.prevPhys = specFpMap[arch];
+            dest.arch = spec.arch;
+            dest.isFp = spec.isFp;
+            if (spec.isFp) {
+                dest.prevPhys = specFpMap[spec.arch];
                 dest.newPhys = static_cast<std::uint16_t>(fpRegs.alloc());
-                specFpMap[arch] = dest.newPhys;
+                specFpMap[spec.arch] = dest.newPhys;
             } else {
-                dest.prevPhys = specIntMap[arch];
+                dest.prevPhys = specIntMap[spec.arch];
                 dest.newPhys =
                     static_cast<std::uint16_t>(intRegs.alloc());
-                specIntMap[arch] = dest.newPhys;
-            }
-        };
-
-        for (int i = 0; i < desc.numOperands; ++i) {
-            const auto &spec = desc.operands[i];
-            const auto &op = inst.ops[i];
-            switch (spec.kind) {
-              case isa::OperandKind::Gpr:
-                if (spec.isRead)
-                    addIntSrc(op.reg);
-                if (spec.isWrite)
-                    addDest(op.reg, false);
-                break;
-              case isa::OperandKind::Xmm:
-                if (spec.isRead)
-                    dyn.fpSrcs[dyn.numFpSrcs++] = op.reg;
-                if (spec.isWrite)
-                    addDest(op.reg, true);
-                break;
-              case isa::OperandKind::Mem:
-                if (!op.mem.ripRel)
-                    addIntSrc(op.mem.base);
-                break;
-              default:
-                break;
+                specIntMap[spec.arch] = dest.newPhys;
             }
         }
-        for (int i = 0; i < desc.numImplicitReads; ++i)
-            addIntSrc(desc.implicitReads[i]);
-        if (desc.readsFlags)
-            addIntSrc(static_cast<std::uint8_t>(isa::flagsReg));
-        for (int i = 0; i < desc.numImplicitWrites; ++i)
-            addDest(desc.implicitWrites[i], false);
-        if (desc.writesFlags)
-            addDest(static_cast<std::uint8_t>(isa::flagsReg), false);
 
         if (dyn.isStore)
             storeQueue.push_back({dyn.seq, false, 0, 0, {}});
@@ -610,7 +573,9 @@ Core::fetchStage()
         if (fetchPc >= codeSize)
             return;
         const isa::Inst &inst = program->code[fetchPc];
-        const isa::InstrDesc &desc = isa::isaTable().desc(inst.descId);
+        const isa::InstrDesc &desc =
+            staticProg ? *staticProg->insts[fetchPc].desc
+                       : isa::isaTable().desc(inst.descId);
 
         bool predTaken = false;
         std::uint32_t next = fetchPc + 1;
@@ -648,17 +613,16 @@ Core::finishRun()
     for (int r = 0; r < 16; ++r)
         fpRegs.read(commitFpMap[r], xmm[r].data());
 
-    result.signature = isa::computeSignature(gpr, flags, xmm, memory);
+    result.signature =
+        cfg.runSignature
+            ? isa::computeSignature(gpr, flags, xmm, memory)
+            : 0;
 }
 
-SimResult
-Core::run(const isa::TestProgram &prog, isa::ArithModel *arith,
-          CoreProbe *probe_in)
+void
+Core::reset(const isa::TestProgram &prog)
 {
-    simsStarted.fetch_add(1, std::memory_order_relaxed);
     program = &prog;
-    probe = probe_in;
-    arithModel = arith ? arith : &isa::ArithModel::functional();
 
     memory.reset(prog);
     cache.reset(cfg.l1d, &memory);
@@ -719,8 +683,22 @@ Core::run(const isa::TestProgram &prog, isa::ArithModel *arith,
     nextSeq = 1;
     result = SimResult{};
     stopRequested = false;
-    running = true;
+    running = false;
+}
 
+SimResult
+Core::run(const isa::TestProgram &prog, isa::ArithModel *arith,
+          CoreProbe *probe_in, const StaticProgram *predecoded)
+{
+    simsStarted.fetch_add(1, std::memory_order_relaxed);
+    panicIf(predecoded && predecoded->insts.size() != prog.code.size(),
+            "run: pre-decoded metadata does not match the program");
+    probe = probe_in;
+    arithModel = arith ? arith : &isa::ArithModel::functional();
+    staticProg = predecoded;
+
+    reset(prog);
+    running = true;
     return mainLoop();
 }
 
@@ -823,6 +801,7 @@ Core::resumeFrom(const Snapshot &snap, const isa::TestProgram &prog,
     program = &prog;
     probe = probe_in;
     arithModel = arith ? arith : &isa::ArithModel::functional();
+    staticProg = nullptr; // rename re-derives after a restore
 
     memory = snap.memory;
     cache = snap.cache;

@@ -32,6 +32,8 @@
 namespace harpo::uarch
 {
 
+struct StaticProgram; // uarch/static_decode.hh
+
 /** Why a run crashed (when it did). */
 enum class CrashKind : std::uint8_t
 {
@@ -212,10 +214,18 @@ class Core
      *        injector passes a gate-netlist-backed model; the IBR
      *        analyser passes an observing model.
      * @param probe Microarchitectural event listener / fault driver.
+     * @param predecoded Optional pre-decoded rename metadata for
+     *        @p program (see uarch/static_decode.hh). When given,
+     *        rename replays the stored StaticInsts instead of
+     *        re-deriving them per dynamic instruction — bit-identical
+     *        by construction, since both paths call deriveStatic().
+     *        Must match @p program instruction-for-instruction; only
+     *        borrowed for the duration of this run.
      */
     SimResult run(const isa::TestProgram &program,
                   isa::ArithModel *arith = nullptr,
-                  CoreProbe *probe = nullptr);
+                  CoreProbe *probe = nullptr,
+                  const StaticProgram *predecoded = nullptr);
 
     /**
      * Run @p program under a composed evaluation session: the
@@ -225,10 +235,31 @@ class Core
      * session.dispatcher()).
      */
     SimResult
-    run(const isa::TestProgram &program, ProbeSet &session)
+    run(const isa::TestProgram &program, ProbeSet &session,
+        const StaticProgram *predecoded = nullptr)
     {
-        return run(program, session.arithModel(), session.dispatcher());
+        return run(program, session.arithModel(), session.dispatcher(),
+                   predecoded);
     }
+
+    /**
+     * Re-initialise all run state for @p program, exactly as run()
+     * does before its cycle loop. Public so a recycled Core (the
+     * batch evaluator keeps one per arena slot across a whole
+     * population) is observably indistinguishable from a fresh one —
+     * run() itself performs a full reset, so recycling needs no
+     * cooperation from callers; this entry point exists for tests
+     * that pin the equivalence (same stateDigest() trajectory).
+     */
+    void reset(const isa::TestProgram &program);
+
+    /**
+     * Retarget this core to @p config; takes effect at the next
+     * reset()/run(), which re-derives all state from the config. Used
+     * by CoreArena to recycle an instance across callers whose
+     * configs differ only in non-structural fields (budget, watchdog).
+     */
+    void reconfigure(const CoreConfig &config) { cfg = config; }
 
     /**
      * Capture the complete state of the run in flight. Only
@@ -331,6 +362,7 @@ class Core
     CoreConfig cfg;
 
     const isa::TestProgram *program = nullptr;
+    const StaticProgram *staticProg = nullptr; ///< borrowed, run() only
     isa::Memory memory;
     L1Cache cache;
     PhysRegFile intRegs;

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Recyclable Core instances for batch evaluation.
+ *
+ * Grading a population used to construct and destroy one Core — with
+ * its physical register files, 32 KB cache data array, memory backing
+ * and window deques — per program. Core::run() already re-initialises
+ * every piece of run state (that is what makes snapshots and repeated
+ * run() calls sound), so the only thing a fresh construction buys is
+ * freshly zeroed heap. The arena keeps Cores alive across a whole
+ * generation instead: acquire() hands out a recycled instance whose
+ * allocations (and provably-dead cache bytes, see L1Cache::reset)
+ * carry over, and the RAII lease returns it on scope exit.
+ *
+ * Soundness: a recycled Core is observably indistinguishable from a
+ * fresh one — run() performs a full reset and the skipped work is
+ * exactly the state the stateDigest()/hashState() contracts already
+ * classify as dead (tests/uarch/core_arena_test.cpp pins the
+ * stateDigest trajectory; DESIGN.md §12 has the argument).
+ *
+ * Thread-safe: leases may be acquired and released from pool workers
+ * concurrently; each leased Core is exclusively owned until release.
+ */
+
+#ifndef HARPOCRATES_UARCH_CORE_ARENA_HH
+#define HARPOCRATES_UARCH_CORE_ARENA_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "common/hash.hh"
+#include "uarch/core.hh"
+
+namespace harpo::uarch
+{
+
+/** Pool of recyclable Core instances, matched by the structural
+ *  CoreConfig fields that size their allocations. */
+class CoreArena
+{
+    struct Slot
+    {
+        std::uint64_t structure = 0;
+        std::unique_ptr<Core> core;
+        bool inUse = false;
+    };
+
+  public:
+    /** Exclusive RAII handle on an arena Core. */
+    class Lease
+    {
+      public:
+        Lease() = default;
+        Lease(CoreArena *a, Slot *s) : arena(a), slot(s) {}
+        Lease(Lease &&o) noexcept : arena(o.arena), slot(o.slot)
+        {
+            o.arena = nullptr;
+            o.slot = nullptr;
+        }
+        Lease &
+        operator=(Lease &&o) noexcept
+        {
+            if (this != &o) {
+                release();
+                arena = o.arena;
+                slot = o.slot;
+                o.arena = nullptr;
+                o.slot = nullptr;
+            }
+            return *this;
+        }
+        Lease(const Lease &) = delete;
+        Lease &operator=(const Lease &) = delete;
+        ~Lease() { release(); }
+
+        Core &operator*() const { return *slot->core; }
+        Core *operator->() const { return slot->core.get(); }
+        Core *get() const { return slot ? slot->core.get() : nullptr; }
+
+      private:
+        void
+        release()
+        {
+            if (arena)
+                arena->put(slot);
+            arena = nullptr;
+            slot = nullptr;
+        }
+
+        CoreArena *arena = nullptr;
+        Slot *slot = nullptr;
+    };
+
+    /**
+     * Lease a Core configured as @p cfg. Prefers a free slot whose
+     * previous config had the same structural shape (so register-file,
+     * cache and memory allocations are recycled); falls back to
+     * constructing a new slot. The returned Core behaves exactly like
+     * a fresh `Core(cfg)` — run() fully re-initialises it.
+     */
+    Lease
+    acquire(const CoreConfig &cfg)
+    {
+        const std::uint64_t key = structuralKey(cfg);
+        std::lock_guard<std::mutex> lock(mu);
+        for (Slot &slot : slots) {
+            if (!slot.inUse && slot.structure == key) {
+                slot.inUse = true;
+                slot.core->reconfigure(cfg);
+                ++reuseCount;
+                return Lease(this, &slot);
+            }
+        }
+        // No recyclable core of this shape: grow the pool. deque
+        // keeps outstanding Slot pointers stable across growth.
+        slots.push_back(Slot{key, std::make_unique<Core>(cfg), true});
+        return Lease(this, &slots.back());
+    }
+
+    /** Acquisitions served by recycling (vs fresh construction). */
+    std::uint64_t
+    reuses() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return reuseCount;
+    }
+
+    /** Cores currently owned by the arena (leased or free). */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return slots.size();
+    }
+
+  private:
+    /** The CoreConfig fields that size a Core's allocations. */
+    static std::uint64_t
+    structuralKey(const CoreConfig &cfg)
+    {
+        Fnv1a h;
+        h.addWord(cfg.numIntPhysRegs);
+        h.addWord(cfg.numFpPhysRegs);
+        h.addWord(cfg.l1d.size);
+        h.addWord(cfg.l1d.lineSize);
+        h.addWord(cfg.l1d.ways);
+        return h.value();
+    }
+
+    void
+    put(Slot *slot)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        slot->inUse = false;
+    }
+
+    mutable std::mutex mu;
+    std::deque<Slot> slots;
+    std::uint64_t reuseCount = 0;
+};
+
+} // namespace harpo::uarch
+
+#endif // HARPOCRATES_UARCH_CORE_ARENA_HH

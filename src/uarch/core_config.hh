@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "common/hash.hh"
 #include "resilience/budget.hh"
 
 namespace harpo::uarch
@@ -61,6 +62,14 @@ struct CoreConfig
     /** Watchdog: a run exceeding this cycle count is declared hung. */
     std::uint64_t maxCycles = 20'000'000;
 
+    /** Compute SimResult::signature at run end. The signature hashes
+     *  the whole architectural state including every memory byte, which
+     *  dominates short runs; callers that only consume coverage and
+     *  exit status (generation grading) disable it and read signature
+     *  as 0. Fault campaigns compare golden vs faulty signatures and
+     *  must leave this on. */
+    bool runSignature = true;
+
     /** Optional cooperative run budget (not owned). The cycle loop
      *  polls it every budgetPollCycles cycles and exits with
      *  SimResult::Exit::Cancelled once it expires, so a wall-clock
@@ -68,6 +77,50 @@ struct CoreConfig
     const RunBudget *budget = nullptr;
     std::uint64_t budgetPollCycles = 4096;
 };
+
+/**
+ * Fingerprint of every CoreConfig field that can change simulated
+ * behaviour — everything except the non-owning budget pointer and its
+ * poll interval, which only decide *whether* a run is interrupted, not
+ * what any completed run computes. Keys the golden-run cache, the
+ * batch evaluator's result cache, and CoreArena slot matching.
+ */
+inline std::uint64_t
+behaviorFingerprint(const CoreConfig &c)
+{
+    Fnv1a h;
+    for (const std::uint64_t v : {
+             static_cast<std::uint64_t>(c.fetchWidth),
+             static_cast<std::uint64_t>(c.renameWidth),
+             static_cast<std::uint64_t>(c.issueWidth),
+             static_cast<std::uint64_t>(c.commitWidth),
+             static_cast<std::uint64_t>(c.frontendDelay),
+             static_cast<std::uint64_t>(c.robSize),
+             static_cast<std::uint64_t>(c.iqSize),
+             static_cast<std::uint64_t>(c.lqSize),
+             static_cast<std::uint64_t>(c.sqSize),
+             static_cast<std::uint64_t>(c.numIntPhysRegs),
+             static_cast<std::uint64_t>(c.numFpPhysRegs),
+             static_cast<std::uint64_t>(c.numIntAlu),
+             static_cast<std::uint64_t>(c.numIntMul),
+             static_cast<std::uint64_t>(c.numIntDiv),
+             static_cast<std::uint64_t>(c.numFpAdd),
+             static_cast<std::uint64_t>(c.numFpMul),
+             static_cast<std::uint64_t>(c.numFpDiv),
+             static_cast<std::uint64_t>(c.numSimdAlu),
+             static_cast<std::uint64_t>(c.numMemPorts),
+             static_cast<std::uint64_t>(c.branchMispredictPenalty),
+             static_cast<std::uint64_t>(c.l1d.size),
+             static_cast<std::uint64_t>(c.l1d.lineSize),
+             static_cast<std::uint64_t>(c.l1d.ways),
+             static_cast<std::uint64_t>(c.l1d.hitLatency),
+             static_cast<std::uint64_t>(c.l1d.missLatency),
+             c.maxCycles,
+             static_cast<std::uint64_t>(c.runSignature),
+         })
+        h.addWord(v);
+    return h.value();
+}
 
 } // namespace harpo::uarch
 

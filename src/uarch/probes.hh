@@ -225,6 +225,20 @@ class ProbeSet final : public CoreProbe
 
     std::size_t numProbes() const { return probes_.size(); }
 
+    /** Detach everything — probes and the model chain — so one
+     *  ProbeSet can be rebuilt per program without reallocating its
+     *  probe list (the batch evaluator recycles sessions across a
+     *  whole population). Registered probes are not owned and not
+     *  reset; re-chain observers after clearing (chain() rebinds the
+     *  observer's base each time). */
+    void
+    clear()
+    {
+        probes_.clear();
+        head_ = nullptr;
+        chained_ = false;
+    }
+
     // ---- Fan-out: forward every hook in registration order ----
     void
     onCycleBegin(Core &core, std::uint64_t cycle) override

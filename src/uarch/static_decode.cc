@@ -1,0 +1,138 @@
+#include "uarch/static_decode.hh"
+
+#include "common/hash.hh"
+#include "isa/isa_table.hh"
+#include "isa/registers.hh"
+
+namespace harpo::uarch
+{
+
+namespace
+{
+
+std::uint64_t
+instContentHash(const isa::Inst &inst)
+{
+    Fnv1a h;
+    h.addWord(inst.descId);
+    for (const isa::Operand &op : inst.ops) {
+        h.addWord(static_cast<std::uint64_t>(op.kind) |
+                  (static_cast<std::uint64_t>(op.reg) << 8) |
+                  (static_cast<std::uint64_t>(op.mem.base) << 16) |
+                  (static_cast<std::uint64_t>(op.mem.ripRel) << 24));
+        h.addWord(static_cast<std::uint64_t>(op.imm));
+        h.addWord(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(op.mem.disp)));
+    }
+    h.addWord(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(inst.branchTarget)));
+    return h.value();
+}
+
+bool
+sameOperand(const isa::Operand &a, const isa::Operand &b)
+{
+    return a.kind == b.kind && a.reg == b.reg && a.imm == b.imm &&
+           a.mem.base == b.mem.base && a.mem.disp == b.mem.disp &&
+           a.mem.ripRel == b.mem.ripRel;
+}
+
+bool
+sameInst(const isa::Inst &a, const isa::Inst &b)
+{
+    if (a.descId != b.descId || a.branchTarget != b.branchTarget)
+        return false;
+    for (std::size_t i = 0; i < a.ops.size(); ++i) {
+        if (!sameOperand(a.ops[i], b.ops[i]))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+StaticInst
+deriveStatic(const isa::Inst &inst, const isa::InstrDesc &desc)
+{
+    StaticInst si;
+    si.desc = &desc;
+
+    auto addIntSrc = [&si](std::uint8_t arch) {
+        si.intSrcs[si.numIntSrcs++] = arch;
+    };
+    auto addDest = [&si](std::uint8_t arch, bool is_fp) {
+        si.dests[si.numDests++] = {arch, is_fp};
+        if (is_fp)
+            ++si.fpDests;
+        else
+            ++si.intDests;
+    };
+
+    for (int i = 0; i < desc.numOperands; ++i) {
+        const auto &spec = desc.operands[i];
+        const auto &op = inst.ops[i];
+        switch (spec.kind) {
+          case isa::OperandKind::Gpr:
+            if (spec.isRead)
+                addIntSrc(op.reg);
+            if (spec.isWrite)
+                addDest(op.reg, false);
+            break;
+          case isa::OperandKind::Xmm:
+            if (spec.isRead)
+                si.fpSrcs[si.numFpSrcs++] = op.reg;
+            if (spec.isWrite)
+                addDest(op.reg, true);
+            break;
+          case isa::OperandKind::Mem:
+            if (!op.mem.ripRel)
+                addIntSrc(op.mem.base);
+            break;
+          default:
+            break;
+        }
+    }
+    for (int i = 0; i < desc.numImplicitReads; ++i)
+        addIntSrc(desc.implicitReads[i]);
+    if (desc.readsFlags)
+        addIntSrc(static_cast<std::uint8_t>(isa::flagsReg));
+    for (int i = 0; i < desc.numImplicitWrites; ++i)
+        addDest(desc.implicitWrites[i], false);
+    if (desc.writesFlags)
+        addDest(static_cast<std::uint8_t>(isa::flagsReg), false);
+
+    return si;
+}
+
+std::shared_ptr<const StaticProgram>
+DecodeCache::build(const isa::TestProgram &program)
+{
+    auto sp = std::make_shared<StaticProgram>();
+    sp->insts.reserve(program.code.size());
+    for (const isa::Inst &inst : program.code) {
+        const std::uint64_t key = instContentHash(inst);
+        std::vector<Entry> &bucket = entries[key];
+        const StaticInst *found = nullptr;
+        for (const Entry &e : bucket) {
+            if (sameInst(e.inst, inst)) {
+                found = &e.decoded;
+                break;
+            }
+        }
+        if (found) {
+            ++hitCount;
+            sp->insts.push_back(*found);
+        } else {
+            ++missCount;
+            Entry e;
+            e.inst = inst;
+            e.decoded =
+                deriveStatic(inst, isa::isaTable().desc(inst.descId));
+            sp->insts.push_back(e.decoded);
+            bucket.push_back(std::move(e));
+        }
+    }
+    return sp;
+}
+
+} // namespace harpo::uarch

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Pre-decoded static rename metadata, shared across programs.
+ *
+ * renameStage derives the same per-instruction facts — source register
+ * lists, destination slots, structural-hazard counts — for every
+ * dynamic instance of every static instruction, on every run. A
+ * StaticProgram hoists that derivation out of the cycle loop: one
+ * StaticInst per static instruction, derived once and consulted by
+ * rename/fetch thereafter.
+ *
+ * Populations amplify the win: mutants differ from their parent in a
+ * few instruction *variants*, so almost every instruction word of a
+ * generation has already been decoded. DecodeCache keys StaticInsts by
+ * instruction content (full field comparison on hit — a hash collision
+ * can never substitute a wrong decode), so building a mutant's
+ * StaticProgram is mostly cache lookups.
+ *
+ * Soundness: deriveStatic() is the single source of truth — the
+ * non-pre-decoded rename path calls it per rename, the pre-decoded
+ * path replays its stored result — so the two paths cannot diverge
+ * (tests/uarch/static_decode_test.cpp pins this).
+ */
+
+#ifndef HARPOCRATES_UARCH_STATIC_DECODE_HH
+#define HARPOCRATES_UARCH_STATIC_DECODE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace harpo::uarch
+{
+
+/** Everything renameStage derives from one static instruction, in the
+ *  exact order the derivation appends it. */
+struct StaticInst
+{
+    const isa::InstrDesc *desc = nullptr;
+
+    /** Integer/FP architectural source registers, in read order. */
+    std::array<std::uint8_t, 6> intSrcs{};
+    std::uint8_t numIntSrcs = 0;
+    std::array<std::uint8_t, 2> fpSrcs{};
+    std::uint8_t numFpSrcs = 0;
+
+    /** Destination slots, in allocation order. */
+    struct DestSpec
+    {
+        std::uint8_t arch = 0;
+        bool isFp = false;
+    };
+    std::array<DestSpec, 5> dests{};
+    std::uint8_t numDests = 0;
+
+    /** Structural-hazard demand (physical registers needed). */
+    std::uint8_t intDests = 0;
+    std::uint8_t fpDests = 0;
+};
+
+/** Derive the rename metadata of @p inst. The single source of truth
+ *  for both the per-rename path and the pre-decoded path. */
+StaticInst deriveStatic(const isa::Inst &inst,
+                        const isa::InstrDesc &desc);
+
+/** A program's static instructions, pre-decoded; index == pc. */
+struct StaticProgram
+{
+    std::vector<StaticInst> insts;
+
+    std::size_t size() const { return insts.size(); }
+};
+
+/**
+ * Content-keyed cache of StaticInsts shared across a population: the
+ * same instruction word (descriptor + operands + branch target)
+ * decodes once, however many programs and generations contain it.
+ * Not thread-safe — callers build StaticPrograms serially (building
+ * is a tiny fraction of evaluation) or hold their own instance.
+ */
+class DecodeCache
+{
+  public:
+    /** Pre-decode @p program, reusing cached entries. */
+    std::shared_ptr<const StaticProgram>
+    build(const isa::TestProgram &program);
+
+    std::uint64_t hits() const { return hitCount; }
+    std::uint64_t misses() const { return missCount; }
+    std::size_t size() const { return entries.size(); }
+
+  private:
+    struct Entry
+    {
+        isa::Inst inst; ///< collision guard: compared field-by-field
+        StaticInst decoded;
+    };
+    std::unordered_map<std::uint64_t, std::vector<Entry>> entries;
+    std::uint64_t hitCount = 0;
+    std::uint64_t missCount = 0;
+};
+
+} // namespace harpo::uarch
+
+#endif // HARPOCRATES_UARCH_STATIC_DECODE_HH

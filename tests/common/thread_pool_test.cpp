@@ -123,3 +123,63 @@ TEST(ThreadPool, NestedInnerThrowPropagatesThroughOuterBody)
     });
     EXPECT_EQ(outerFailures.load(), 4);
 }
+
+TEST(ThreadPoolChunked, RunsEveryIndexExactlyOnceForManyGrains)
+{
+    ThreadPool pool(3);
+    for (const std::size_t grain : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{3}, std::size_t{7},
+                                    std::size_t{64}, std::size_t{1000}}) {
+        const std::size_t count = 257; // not a multiple of any grain
+        std::vector<std::atomic<int>> hits(count);
+        pool.parallelForChunked(count, grain, [&](std::size_t i) {
+            hits[i].fetch_add(1);
+        });
+        for (std::size_t i = 0; i < count; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "grain " << grain
+                                         << " index " << i;
+    }
+}
+
+TEST(ThreadPoolChunked, ZeroCountIsNoopForAnyGrain)
+{
+    ThreadPool pool(2);
+    std::atomic<int> calls{0};
+    pool.parallelForChunked(0, 0, [&](std::size_t) { calls.fetch_add(1); });
+    pool.parallelForChunked(0, 16,
+                            [&](std::size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolChunked, ThrowingBodySurfacesOnceAndSkipsRemainder)
+{
+    ThreadPool pool(2);
+    std::atomic<int> executed{0};
+    try {
+        pool.parallelForChunked(100000, 32, [&](std::size_t i) {
+            if (i == 0)
+                throw std::runtime_error("boom");
+            executed.fetch_add(1);
+        });
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &) {
+    }
+    // The first chunk records the error; later chunks drain unrun
+    // (how many ran before that is timing-dependent).
+    EXPECT_LT(executed.load(), 100000);
+    // The pool survives for the next call, chunked or not.
+    std::atomic<long> sum{0};
+    pool.parallelForChunked(1000, 10,
+                            [&](std::size_t i) { sum.fetch_add(long(i)); });
+    EXPECT_EQ(sum.load(), 1000L * 999 / 2);
+}
+
+TEST(ThreadPoolChunked, GrainOneMatchesParallelFor)
+{
+    ThreadPool pool(3);
+    std::atomic<long> a{0}, b{0};
+    pool.parallelFor(500, [&](std::size_t i) { a.fetch_add(long(i)); });
+    pool.parallelForChunked(500, 1,
+                            [&](std::size_t i) { b.fetch_add(long(i)); });
+    EXPECT_EQ(a.load(), b.load());
+}

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Differential tests for batch generation evaluation: every coverage
+ * vector out of coverage::evaluateGeneration must be bit-identical to
+ * the per-program measureAllCoverage oracle — across randomized
+ * MuSeqGen populations, all six structures, the MultiTarget weighted
+ * objective, result-cache hits and budget interruption mid-batch.
+ * (Run signatures are the documented exception: grading skips them,
+ * so batch vectors carry signature 0 — pinned below too.)
+ * The lane-parallel IBR reduction is additionally pinned against the
+ * scalar effectiveBits fold it replaces (DESIGN.md §12).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/harpocrates.hh"
+#include "coverage/batch_eval.hh"
+#include "coverage/ibr.hh"
+#include "coverage/lane_ibr.hh"
+#include "coverage/measure.hh"
+#include "museqgen/museqgen.hh"
+#include "resilience/budget.hh"
+#include "resilience/error.hh"
+
+using namespace harpo;
+using namespace harpo::coverage;
+
+namespace
+{
+
+std::vector<isa::TestProgram>
+randomPopulation(std::uint64_t seed, std::size_t count,
+                 unsigned instructions)
+{
+    museqgen::GenConfig gen;
+    gen.numInstructions = instructions;
+    museqgen::MuSeqGen g(gen);
+    Rng rng(seed);
+    std::vector<isa::TestProgram> programs;
+    for (std::size_t i = 0; i < count; ++i)
+        programs.push_back(g.generate(rng));
+    return programs;
+}
+
+void
+expectVectorsIdentical(const CoverageVector &batch,
+                       const CoverageVector &solo, std::size_t index)
+{
+    EXPECT_EQ(batch.sim.exit, solo.sim.exit) << "program " << index;
+    EXPECT_EQ(batch.sim.cycles, solo.sim.cycles) << "program " << index;
+    EXPECT_EQ(batch.sim.instsCommitted, solo.sim.instsCommitted)
+        << "program " << index;
+    // Signatures are deliberately not computed by the batch path
+    // (grading never reads them; the memory hash dominates short
+    // runs). The contract is signature == 0, not signature == solo's.
+    EXPECT_EQ(batch.sim.signature, 0u) << "program " << index;
+    for (std::size_t s = 0; s < numTargetStructures; ++s) {
+        // Bit-identical, not approximately equal: the batch path must
+        // compute the same doubles, not merely close ones.
+        EXPECT_EQ(batch.coverage[s], solo.coverage[s])
+            << "program " << index << " structure "
+            << structureName(static_cast<TargetStructure>(s));
+    }
+}
+
+} // namespace
+
+// The lane reduction reproduces the scalar effectiveBits reference on
+// adversarial values and a randomized sweep.
+TEST(LaneIbr, SumEffectiveBitsMatchesScalarReference)
+{
+    Rng rng(11);
+    for (int round = 0; round < 200; ++round) {
+        std::array<std::uint64_t, ibrLanes> values;
+        std::array<std::uint64_t, ibrLanes> expected{};
+        for (std::size_t lane = 0; lane < ibrLanes; ++lane) {
+            std::uint64_t v = rng.next();
+            switch (rng.below(8)) {
+              case 0: v = 0; break;
+              case 1: v = 1; break;
+              case 2: v = ~std::uint64_t{0}; break;
+              case 3: v = std::uint64_t{1} << 63; break;
+              case 4: v >>= rng.below(64); break;
+              default: break;
+            }
+            values[lane] = v;
+            expected[lane] = IbrArithModel::effectiveBits(v);
+        }
+        std::array<std::uint64_t, ibrLanes> sums{};
+        sumEffectiveBitsLanes(values, sums.data());
+        for (std::size_t lane = 0; lane < ibrLanes; ++lane)
+            EXPECT_EQ(sums[lane], expected[lane]) << "lane " << lane;
+    }
+}
+
+// gradeIbrLanes over recorded streams == folding the scalar
+// IbrArithModel over the same invocations, for ragged stream lengths
+// spanning multiple 64-program groups.
+TEST(LaneIbr, GradeMatchesScalarAccumulatorAcrossGroups)
+{
+    Rng rng(23);
+    constexpr std::size_t count = 130; // 3 lane groups, last partial
+    std::vector<std::unique_ptr<LaneIbrRecorder>> recorders;
+    std::vector<IbrArithModel> scalar(count);
+    for (std::size_t p = 0; p < count; ++p) {
+        recorders.push_back(std::make_unique<LaneIbrRecorder>());
+        const unsigned invocations = rng.below(40);
+        for (unsigned i = 0; i < invocations; ++i) {
+            const std::uint64_t a = rng.next() >> rng.below(64);
+            const std::uint64_t b = rng.next() >> rng.below(64);
+            bool carry = false;
+            switch (rng.below(4)) {
+              case 0:
+                recorders[p]->intAdd(a, b, false, carry);
+                scalar[p].intAdd(a, b, false, carry);
+                break;
+              case 1: {
+                std::uint64_t lo, hi;
+                recorders[p]->intMul(a, b, lo, hi);
+                scalar[p].intMul(a, b, lo, hi);
+                break;
+              }
+              case 2:
+                recorders[p]->fpAdd(a, b);
+                scalar[p].fpAdd(a, b);
+                break;
+              default:
+                recorders[p]->fpMul(a, b);
+                scalar[p].fpMul(a, b);
+                break;
+            }
+        }
+    }
+    std::vector<const LaneIbrRecorder *> refs;
+    for (const auto &r : recorders)
+        refs.push_back(r.get());
+    LaneGradeStats stats;
+    const std::vector<IbrTotals> totals =
+        gradeIbrLanes(refs.data(), count, &stats);
+    EXPECT_GT(stats.lanesFilled, 0u);
+    for (std::size_t p = 0; p < count; ++p) {
+        for (std::size_t c = 0; c < numFuCircuits; ++c) {
+            const auto circuit = static_cast<isa::FuCircuit>(c);
+            EXPECT_EQ(totals[p].bits[c], scalar[p].inputBits(circuit))
+                << "program " << p << " circuit " << c;
+            EXPECT_EQ(totals[p].uses[c], scalar[p].uses(circuit))
+                << "program " << p << " circuit " << c;
+        }
+    }
+}
+
+// CoreConfig::runSignature only decides whether the end-of-run
+// signature is produced — everything else about the run (exit,
+// cycles, coverage through a full session) is unchanged. This is the
+// soundness base for the batch evaluator skipping signatures.
+TEST(BatchEval, SignatureFlagChangesOnlyTheSignature)
+{
+    const std::vector<isa::TestProgram> programs =
+        randomPopulation(57, 6, 60);
+    uarch::CoreConfig with{};
+    uarch::CoreConfig without{};
+    without.runSignature = false;
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        const CoverageVector a = measureAllCoverage(programs[i], with);
+        const CoverageVector b =
+            measureAllCoverage(programs[i], without);
+        EXPECT_EQ(a.sim.exit, b.sim.exit) << "program " << i;
+        EXPECT_EQ(a.sim.cycles, b.sim.cycles) << "program " << i;
+        EXPECT_EQ(a.sim.instsCommitted, b.sim.instsCommitted);
+        EXPECT_EQ(b.sim.signature, 0u) << "program " << i;
+        if (a.sim.exit == uarch::SimResult::Exit::Finished) {
+            EXPECT_NE(a.sim.signature, 0u) << "program " << i;
+        }
+        for (std::size_t s = 0; s < numTargetStructures; ++s)
+            EXPECT_EQ(a.coverage[s], b.coverage[s]) << "program " << i;
+    }
+}
+
+// The headline differential: batch evaluation of a randomized
+// population is bit-identical to the per-program oracle on all six
+// structures, including crashing/hanging programs and repeated
+// (elite-like) programs that exercise the result cache.
+TEST(BatchEval, BitIdenticalToMeasureAllCoverage)
+{
+    for (const std::uint64_t seed : {3u, 71u}) {
+        std::vector<isa::TestProgram> programs =
+            randomPopulation(seed, 18, 60);
+        // Duplicate a few programs under elite-style new names: the
+        // result cache must serve them the identical vector.
+        isa::TestProgram elite = programs[2];
+        elite.name = "elite-copy";
+        programs.push_back(elite);
+        programs.push_back(programs[5]);
+
+        const uarch::CoreConfig core{};
+        const std::vector<CoverageVector> batch =
+            evaluateGeneration(programs, core);
+        ASSERT_EQ(batch.size(), programs.size());
+        for (std::size_t i = 0; i < programs.size(); ++i) {
+            const CoverageVector solo =
+                measureAllCoverage(programs[i], core);
+            expectVectorsIdentical(batch[i], solo, i);
+        }
+    }
+}
+
+// A long-lived evaluator serves successive generations from its
+// caches without drift: re-evaluating content-identical programs hits
+// the result cache and still returns the oracle vectors.
+TEST(BatchEval, RepeatedGenerationsHitCachesWithoutDrift)
+{
+    const std::vector<isa::TestProgram> programs =
+        randomPopulation(9, 12, 50);
+    const uarch::CoreConfig core{};
+    GenerationEvaluator evaluator(core);
+
+    const auto first = evaluator.evaluate(programs);
+    const auto second = evaluator.evaluate(programs);
+    const BatchStats stats = evaluator.stats();
+    EXPECT_EQ(stats.evalCacheHits, programs.size());
+    EXPECT_GE(stats.arenaReuses, 1u);
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        expectVectorsIdentical(second[i], first[i], i);
+        expectVectorsIdentical(
+            first[i], measureAllCoverage(programs[i], core), i);
+    }
+}
+
+// The MultiTarget weighted objective through the full loop: a run
+// graded by the batch evaluator reproduces the per-program path's
+// history bit for bit (fitness ranks, per-structure bests, timing
+// aside).
+TEST(BatchEval, MultiTargetLoopMatchesScalarOracle)
+{
+    core::LoopConfig cfg;
+    cfg.fitness = core::FitnessKind::MultiTarget;
+    cfg.targetWeights = {0.5, 1.0, 2.0, 1.0, 0.0, 1.5};
+    cfg.population = 8;
+    cfg.topK = 2;
+    cfg.generations = 3;
+    cfg.gen.numInstructions = 50;
+    cfg.seed = 4242;
+    cfg.batchEval = true;
+
+    core::LoopConfig scalarCfg = cfg;
+    scalarCfg.batchEval = false;
+
+    core::Harpocrates batchLoop(cfg);
+    const core::LoopResult batch = batchLoop.run();
+    core::Harpocrates scalarLoop(scalarCfg);
+    const core::LoopResult scalar = scalarLoop.run();
+
+    ASSERT_EQ(batch.history.size(), scalar.history.size());
+    EXPECT_EQ(batch.bestCoverage, scalar.bestCoverage);
+    for (std::size_t g = 0; g < batch.history.size(); ++g) {
+        EXPECT_EQ(batch.history[g].bestCoverage,
+                  scalar.history[g].bestCoverage);
+        EXPECT_EQ(batch.history[g].meanTopK, scalar.history[g].meanTopK);
+        for (std::size_t s = 0; s < numTargetStructures; ++s)
+            EXPECT_EQ(batch.history[g].bestByStructure[s],
+                      scalar.history[g].bestByStructure[s]);
+    }
+}
+
+// Same loop-level differential for the single-structure
+// HardwareCoverage objective (the other batch-routed fitness kind).
+TEST(BatchEval, HardwareCoverageLoopMatchesScalarOracle)
+{
+    core::LoopConfig cfg;
+    cfg.fitness = core::FitnessKind::HardwareCoverage;
+    cfg.target = TargetStructure::IntAdder;
+    cfg.population = 8;
+    cfg.topK = 2;
+    cfg.generations = 3;
+    cfg.gen.numInstructions = 50;
+    cfg.seed = 77;
+    cfg.batchEval = true;
+
+    core::LoopConfig scalarCfg = cfg;
+    scalarCfg.batchEval = false;
+
+    const core::LoopResult batch = core::Harpocrates(cfg).run();
+    const core::LoopResult scalar =
+        core::Harpocrates(scalarCfg).run();
+    ASSERT_EQ(batch.history.size(), scalar.history.size());
+    EXPECT_EQ(batch.bestCoverage, scalar.bestCoverage);
+    for (std::size_t g = 0; g < batch.history.size(); ++g)
+        EXPECT_EQ(batch.history[g].bestCoverage,
+                  scalar.history[g].bestCoverage);
+}
+
+// An expired budget interrupts the batch with Error::budget — the
+// same contract as the scalar evaluation loop — and a cancelled
+// mid-batch run never poisons the result cache: once the budget is
+// lifted, every vector matches the oracle.
+TEST(BatchEval, BudgetInterruptsMidBatchWithoutPoisoningCaches)
+{
+    const std::vector<isa::TestProgram> programs =
+        randomPopulation(31, 10, 60);
+    CancelToken cancel;
+    RunBudget budget;
+    budget.cancel = &cancel;
+    uarch::CoreConfig core{};
+    core.budget = &budget;
+    // Poll every cycle so a cancellation can land inside a running
+    // simulation, not just at the per-program gate.
+    core.budgetPollCycles = 1;
+    GenerationEvaluator evaluator(core);
+
+    // Already-expired budget: the batch must refuse at the first
+    // program.
+    cancel.requestCancel();
+    EXPECT_THROW(
+        {
+            try {
+                evaluator.evaluate(programs, /*parallel=*/false);
+            } catch (const Error &e) {
+                EXPECT_EQ(e.kind(), ErrorKind::Budget);
+                throw;
+            }
+        },
+        Error);
+
+    // Race a cancellation against a serial batch: whichever programs
+    // it lands on are abandoned (Error::budget) or cancelled mid-run;
+    // either way nothing half-graded may enter the result cache.
+    cancel.reset();
+    std::thread canceller([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+        cancel.requestCancel();
+    });
+    try {
+        evaluator.evaluate(programs, /*parallel=*/false);
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Budget);
+    }
+    canceller.join();
+
+    // Budget lifted: the evaluator must now reproduce the oracle for
+    // the whole population, cache contents notwithstanding.
+    cancel.reset();
+    const auto vectors = evaluator.evaluate(programs);
+    uarch::CoreConfig plain{};
+    for (std::size_t i = 0; i < programs.size(); ++i)
+        expectVectorsIdentical(
+            vectors[i], measureAllCoverage(programs[i], plain), i);
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Arena recycling and pre-decode exactness: a Core recycled through
+ * CoreArena must be observably indistinguishable from a freshly
+ * constructed one — the same per-cycle stateDigest() trajectory, the
+ * same SimResult — and a run fed pre-decoded rename metadata
+ * (uarch::DecodeCache) must match the derive-at-rename path bit for
+ * bit. These two equivalences are the soundness base of the batch
+ * evaluator's reuse layers (DESIGN.md §12).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "museqgen/museqgen.hh"
+#include "uarch/core.hh"
+#include "uarch/core_arena.hh"
+#include "uarch/static_decode.hh"
+
+using namespace harpo;
+using namespace harpo::uarch;
+
+namespace
+{
+
+/** Records the state digest at every cycle. */
+class DigestTrace : public CoreProbe
+{
+  public:
+    void
+    onCycleBegin(Core &core, std::uint64_t) override
+    {
+        digests.push_back(core.stateDigest());
+    }
+
+    std::vector<std::uint64_t> digests;
+};
+
+std::vector<isa::TestProgram>
+randomPrograms(std::uint64_t seed, std::size_t count)
+{
+    museqgen::GenConfig gen;
+    gen.numInstructions = 60;
+    museqgen::MuSeqGen g(gen);
+    Rng rng(seed);
+    std::vector<isa::TestProgram> programs;
+    for (std::size_t i = 0; i < count; ++i)
+        programs.push_back(g.generate(rng));
+    return programs;
+}
+
+void
+expectSameRun(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.exit, b.exit);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instsCommitted, b.instsCommitted);
+    EXPECT_EQ(a.signature, b.signature);
+}
+
+} // namespace
+
+// The central recycling property: one arena Core run back to back
+// over a whole population follows, program by program, the exact
+// per-cycle digest trajectory of a fresh Core per program.
+TEST(CoreArena, RecycledCoreMatchesFreshDigestTrajectory)
+{
+    const auto programs = randomPrograms(17, 6);
+    const CoreConfig cfg{};
+    CoreArena arena;
+
+    for (const isa::TestProgram &program : programs) {
+        DigestTrace fresh;
+        Core freshCore(cfg);
+        const SimResult freshSim =
+            freshCore.run(program, nullptr, &fresh);
+
+        DigestTrace recycled;
+        CoreArena::Lease lease = arena.acquire(cfg);
+        const SimResult recycledSim =
+            lease->run(program, nullptr, &recycled);
+
+        expectSameRun(freshSim, recycledSim);
+        ASSERT_EQ(fresh.digests.size(), recycled.digests.size());
+        for (std::size_t c = 0; c < fresh.digests.size(); ++c)
+            EXPECT_EQ(fresh.digests[c], recycled.digests[c])
+                << "cycle " << c;
+    }
+    // Six programs, one structural shape: every acquisition after the
+    // first recycled the same slot.
+    EXPECT_EQ(arena.size(), 1u);
+    EXPECT_EQ(arena.reuses(), programs.size() - 1);
+}
+
+// Structurally different configs get their own slots; non-structural
+// differences (here: the hang watchdog) recycle and still behave
+// exactly like a fresh core under the new config.
+TEST(CoreArena, StructuralKeySeparatesNonStructuralRecycles)
+{
+    const auto programs = randomPrograms(29, 2);
+    CoreArena arena;
+
+    CoreConfig base{};
+    { CoreArena::Lease l = arena.acquire(base); (void)l; }
+    EXPECT_EQ(arena.size(), 1u);
+
+    CoreConfig bigger = base;
+    bigger.numIntPhysRegs = base.numIntPhysRegs + 16;
+    { CoreArena::Lease l = arena.acquire(bigger); (void)l; }
+    EXPECT_EQ(arena.size(), 2u);
+    EXPECT_EQ(arena.reuses(), 0u);
+
+    CoreConfig watchdog = base;
+    watchdog.maxCycles = base.maxCycles / 2;
+    DigestTrace recycled;
+    SimResult viaArena;
+    {
+        CoreArena::Lease l = arena.acquire(watchdog);
+        viaArena = l->run(programs[0], nullptr, &recycled);
+    }
+    EXPECT_EQ(arena.size(), 2u);
+    EXPECT_EQ(arena.reuses(), 1u);
+
+    DigestTrace fresh;
+    Core freshCore(watchdog);
+    expectSameRun(freshCore.run(programs[0], nullptr, &fresh), viaArena);
+    ASSERT_EQ(fresh.digests.size(), recycled.digests.size());
+    for (std::size_t c = 0; c < fresh.digests.size(); ++c)
+        EXPECT_EQ(fresh.digests[c], recycled.digests[c]);
+}
+
+// Pre-decoded rename metadata cannot diverge from the
+// derive-at-rename path: same digests, same result, on randomized
+// programs — and the decode cache recognises repeated content.
+TEST(StaticDecode, PredecodedRunMatchesDeriveAtRename)
+{
+    const auto programs = randomPrograms(41, 5);
+    const CoreConfig cfg{};
+    DecodeCache cache;
+
+    for (const isa::TestProgram &program : programs) {
+        const auto decoded = cache.build(program);
+        ASSERT_EQ(decoded->size(), program.code.size());
+
+        DigestTrace plain;
+        Core plainCore(cfg);
+        const SimResult plainSim =
+            plainCore.run(program, nullptr, &plain);
+
+        DigestTrace pre;
+        Core preCore(cfg);
+        const SimResult preSim =
+            preCore.run(program, nullptr, &pre, decoded.get());
+
+        expectSameRun(plainSim, preSim);
+        ASSERT_EQ(plain.digests.size(), pre.digests.size());
+        for (std::size_t c = 0; c < plain.digests.size(); ++c)
+            EXPECT_EQ(plain.digests[c], pre.digests[c]) << "cycle " << c;
+    }
+
+    // Rebuilding the same programs is pure cache hits.
+    const std::uint64_t missesBefore = cache.misses();
+    for (const isa::TestProgram &program : programs)
+        cache.build(program);
+    EXPECT_EQ(cache.misses(), missesBefore);
+    EXPECT_GT(cache.hits(), 0u);
+}
