@@ -108,6 +108,10 @@ struct CampaignOptions
     unsigned programs = 3;
     unsigned injections = 30;
     unsigned samples = 2; ///< --shards: fault-sample slices per pair
+    /** --no-fault-collapse: run the full-list differential oracle
+     *  instead of collapsed gate-level campaigns (results are
+     *  bit-identical either way; this exists to prove it in anger). */
+    bool faultCollapsing = true;
 };
 
 /** The campaign's program set: deterministic MuSeqGen output, so a
@@ -130,6 +134,7 @@ buildCampaignSpec(const CampaignOptions &opts, TargetStructure target)
     spec.injectionsPerShard = opts.injections;
     spec.samplesPerPair = opts.samples;
     spec.seed = 0x5CA11;
+    spec.faultCollapsing = opts.faultCollapsing;
     return spec;
 }
 
@@ -226,13 +231,18 @@ runSelftest(const CampaignOptions &opts, TargetStructure target)
     const auto spawnChild = [&]() -> pid_t {
         const pid_t pid = ::fork();
         if (pid == 0) {
-            ::execl(self.c_str(), self.c_str(), "--campaign-dir",
-                    victimDir.c_str(), "--workers",
-                    workersArg.c_str(), "--programs",
-                    programsArg.c_str(), "--injections",
-                    injectionsArg.c_str(), "--shards",
-                    samplesArg.c_str(), "--target", targetName,
-                    static_cast<char *>(nullptr));
+            std::vector<const char *> args{
+                self.c_str(),      "--campaign-dir",
+                victimDir.c_str(), "--workers",
+                workersArg.c_str(), "--programs",
+                programsArg.c_str(), "--injections",
+                injectionsArg.c_str(), "--shards",
+                samplesArg.c_str(), "--target", targetName};
+            if (!opts.faultCollapsing)
+                args.push_back("--no-fault-collapse");
+            args.push_back(nullptr);
+            ::execv(self.c_str(),
+                    const_cast<char *const *>(args.data()));
             _exit(127);
         }
         return pid;
@@ -300,12 +310,17 @@ main(int argc, char **argv)
     TargetStructure target = TargetStructure::FpMultiplier;
     const char *tracePath = nullptr;
     bool metricsSummary = false;
+    bool collapseStats = false;
     CampaignOptions campaignOpts;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             tracePath = argv[++i];
         } else if (std::strcmp(argv[i], "--metrics-summary") == 0) {
             metricsSummary = true;
+        } else if (std::strcmp(argv[i], "--no-fault-collapse") == 0) {
+            campaignOpts.faultCollapsing = false;
+        } else if (std::strcmp(argv[i], "--collapse-stats") == 0) {
+            collapseStats = true;
         } else if (std::strcmp(argv[i], "--campaign-dir") == 0 &&
                    i + 1 < argc) {
             campaignOpts.dir = argv[++i];
@@ -352,7 +367,9 @@ main(int argc, char **argv)
                          "       %s --campaign-dir <dir> [--resume] "
                          "[--workers N] [--programs N]\n"
                          "           [--injections N] [--shards N] "
-                         "[--selftest]\n",
+                         "[--selftest]\n"
+                         "       both modes: [--no-fault-collapse] "
+                         "[--collapse-stats]\n",
                          argv[0], argv[0]);
             return 1;
         }
@@ -371,9 +388,14 @@ main(int argc, char **argv)
 
     if (!campaignOpts.dir.empty()) {
         try {
-            return campaignOpts.selftest
-                       ? runSelftest(campaignOpts, target)
-                       : runCampaign(campaignOpts, target);
+            const int rc = campaignOpts.selftest
+                               ? runSelftest(campaignOpts, target)
+                               : runCampaign(campaignOpts, target);
+            if (collapseStats)
+                std::printf("\n%s", gates::FuLibrary::instance()
+                                        .collapseSummary()
+                                        .c_str());
+            return rc;
         } catch (const Error &e) {
             std::fprintf(stderr, "fleet_scan: campaign failed: %s\n",
                          e.what());
@@ -395,10 +417,12 @@ main(int argc, char **argv)
     core::LoopConfig ripple = core::presetFor(target, 0.4);
     ripple.gen.numInstructions = 150;
     ripple.seed = 11;
+    ripple.faultCollapsing = campaignOpts.faultCollapsing;
     // Fleetscanner: longer programs, more refinement.
     core::LoopConfig scanner = core::presetFor(target, 0.6);
     scanner.gen.numInstructions = 600;
     scanner.seed = 12;
+    scanner.faultCollapsing = campaignOpts.faultCollapsing;
 
     std::printf("refining ripple-mode screen (%u-instr programs)...\n",
                 ripple.gen.numInstructions);
@@ -457,6 +481,10 @@ main(int argc, char **argv)
         std::printf("\n%s",
                     telemetry::MetricsRegistry::instance()
                         .summaryTable()
+                        .c_str());
+    if (collapseStats)
+        std::printf("\n%s",
+                    gates::FuLibrary::instance().collapseSummary()
                         .c_str());
     if (sink) {
         const std::uint64_t emitted = sink->lineCount();

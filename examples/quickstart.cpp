@@ -21,6 +21,7 @@
 #include "core/harpocrates.hh"
 #include "coverage/measure.hh"
 #include "faultsim/campaign.hh"
+#include "gates/fu_library.hh"
 #include "museqgen/museqgen.hh"
 #include "resilience/checkpoint.hh"
 #include "resilience/error.hh"
@@ -37,6 +38,8 @@ main(int argc, char **argv)
     const char *resumePath = nullptr;
     const char *tracePath = nullptr;
     bool metricsSummary = false;
+    bool collapseStats = false;
+    bool faultCollapsing = true;
     unsigned generationsOverride = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--resume") == 0 && i + 1 < argc) {
@@ -46,6 +49,10 @@ main(int argc, char **argv)
             tracePath = argv[++i];
         } else if (std::strcmp(argv[i], "--metrics-summary") == 0) {
             metricsSummary = true;
+        } else if (std::strcmp(argv[i], "--no-fault-collapse") == 0) {
+            faultCollapsing = false;
+        } else if (std::strcmp(argv[i], "--collapse-stats") == 0) {
+            collapseStats = true;
         } else if (std::strcmp(argv[i], "--generations") == 0 &&
                    i + 1 < argc) {
             generationsOverride = static_cast<unsigned>(
@@ -54,7 +61,9 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: %s [--resume <snapshot>] "
                          "[--trace <jsonl>] [--metrics-summary] "
-                         "[--generations <n>]\n",
+                         "[--generations <n>]\n"
+                         "       [--no-fault-collapse] "
+                         "[--collapse-stats]\n",
                          argv[0]);
             return 2;
         }
@@ -98,6 +107,7 @@ main(int argc, char **argv)
     faultsim::CampaignConfig camp =
         faultsim::CampaignConfig::forTarget(TargetStructure::IntAdder);
     camp.numInjections = 200;
+    camp.faultCollapsing = faultCollapsing;
     const auto sfi = faultsim::FaultCampaign::run(program, camp);
     std::printf("random program detection: %.1f%% "
                 "(SDC %u, crash %u, hang %u, masked %u)\n",
@@ -112,6 +122,7 @@ main(int argc, char **argv)
         core::presetFor(TargetStructure::IntAdder, /*scale=*/0.5);
     loopCfg.gen.numInstructions = 400;
     loopCfg.seed = 1;
+    loopCfg.faultCollapsing = faultCollapsing;
     loopCfg.checkpointPath = "quickstart.ckpt";
     loopCfg.checkpointEvery = 5;
     if (generationsOverride != 0)
@@ -147,6 +158,10 @@ main(int argc, char **argv)
                 100.0 * refinedSfi.detection(), refined.bestCoverage,
                 refined.programsEvaluated);
 
+    if (collapseStats)
+        std::printf("\n%s",
+                    gates::FuLibrary::instance().collapseSummary()
+                        .c_str());
     if (metricsSummary)
         std::printf("\n%s",
                     telemetry::MetricsRegistry::instance()

@@ -87,9 +87,11 @@ appendCounters(std::string &out, const faultsim::CampaignResult &r)
         "\"injections\": %u, \"masked\": %u, \"sdc\": %u, "
         "\"crash\": %u, \"hang\": %u, \"hw_corrected\": %u, "
         "\"hw_detected\": %u, \"failed_injections\": %u, "
+        "\"injected_faults\": %u, \"collapse_pruned\": %u, "
         "\"golden_cycles\": %llu, \"golden_signature\": %llu, ",
         r.total(), r.masked, r.sdc, r.crash, r.hang, r.hwCorrected,
-        r.hwDetected, r.failedInjections,
+        r.hwDetected, r.failedInjections, r.injectedFaults,
+        r.collapsePruned,
         static_cast<unsigned long long>(r.goldenCycles),
         static_cast<unsigned long long>(r.goldenSignature));
     out += buf;
@@ -199,6 +201,10 @@ writeResultsTree(const DurableWorkQueue &queue)
                     sum.hwCorrected += st.result.hwCorrected;
                     sum.hwDetected += st.result.hwDetected;
                     sum.failedInjections += st.result.failedInjections;
+                    sum.injectedFaults += st.result.injectedFaults;
+                    sum.collapsePruned += st.result.collapsePruned;
+                    sum.dominanceReplaySkips +=
+                        st.result.dominanceReplaySkips;
                     sum.goldenCycles = st.result.goldenCycles;
                     sum.goldenSignature = st.result.goldenSignature;
                 } else {

@@ -46,6 +46,7 @@ CampaignSpec::shardConfig(const ShardSpec &shard) const
     cfg.parallel = shardParallel;
     cfg.hangMultiplier = hangMultiplier;
     cfg.hangSlackCycles = hangSlackCycles;
+    cfg.faultCollapsing = faultCollapsing;
     cfg.validate();
     return cfg;
 }
@@ -212,6 +213,9 @@ serializeResult(resilience::SnapshotWriter &w,
     w.u32(result.failedInjections);
     w.u32(result.forkedInjections);
     w.u32(result.digestEarlyExits);
+    w.u32(result.injectedFaults);
+    w.u32(result.collapsePruned);
+    w.u32(result.dominanceReplaySkips);
 }
 
 faultsim::CampaignResult
@@ -231,6 +235,9 @@ deserializeResult(resilience::SnapshotReader &r)
     result.failedInjections = r.u32();
     result.forkedInjections = r.u32();
     result.digestEarlyExits = r.u32();
+    result.injectedFaults = r.u32();
+    result.collapsePruned = r.u32();
+    result.dominanceReplaySkips = r.u32();
     return result;
 }
 
@@ -249,6 +256,7 @@ CampaignSpec::serialize(resilience::SnapshotWriter &w) const
     w.f64(hangMultiplier);
     w.u64(hangSlackCycles);
     w.u8(shardParallel ? 1 : 0);
+    w.u8(faultCollapsing ? 1 : 0);
 }
 
 CampaignSpec
@@ -278,6 +286,7 @@ CampaignSpec::deserialize(resilience::SnapshotReader &r)
     spec.hangMultiplier = r.f64();
     spec.hangSlackCycles = r.u64();
     spec.shardParallel = r.u8() != 0;
+    spec.faultCollapsing = r.u8() != 0;
     spec.validate();
     return spec;
 }

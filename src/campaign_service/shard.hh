@@ -74,6 +74,12 @@ struct CampaignSpec
      *  runtimes predictable for lease sizing. */
     bool shardParallel = false;
 
+    /** Structural fault collapsing on each shard's gate-level
+     *  campaign (CampaignConfig::faultCollapsing). Shard counters
+     *  always cover the uncollapsed sample, so merged results are
+     *  bit-identical either way; off is the differential oracle. */
+    bool faultCollapsing = true;
+
     /** The full shard list, in id order. Pure function of the spec. */
     std::vector<ShardSpec> shards() const;
 

@@ -399,6 +399,7 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
             faultsim::CampaignConfig camp =
                 faultsim::CampaignConfig::forTarget(cfg.target);
             camp.numInjections = cfg.detectionInjections;
+            camp.faultCollapsing = cfg.faultCollapsing;
             camp.core = cfg.core;
             camp.budget = cfg.budget;
             camp.seed = cfg.seed ^ 0xFA157;

@@ -95,6 +95,12 @@ struct LoopConfig
      *  kinds never simulate and are unaffected. Deliberately not part
      *  of fingerprint(): it cannot change any result. */
     bool batchEval = true;
+    /** Structural fault collapsing in the detection-sampling campaigns
+     *  (CampaignConfig::faultCollapsing). Outcome counts are
+     *  bit-identical either way (DESIGN.md §13), so — like batchEval —
+     *  this is a performance toggle kept for differential testing and
+     *  deliberately not part of fingerprint(). */
+    bool faultCollapsing = true;
     /** Objective function used when fitness == FitnessKind::Custom
      *  (the paper: "any quality metric can be used to guide the
      *  iterative refinement"). Must be thread-safe. */

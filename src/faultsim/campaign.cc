@@ -535,6 +535,45 @@ FaultCampaign::goldenCacheBytes()
     return cache.totalBytes;
 }
 
+CollapsedSample
+FaultCampaign::collapseSampledFaults(
+    const std::vector<FaultSpec> &faults,
+    coverage::TargetStructure target, bool allow_untestable_shortcut)
+{
+    const isa::FuCircuit circuit = coverage::circuitFor(target);
+    const gates::CollapsedFaultSet &collapsed =
+        gates::FuLibrary::instance().collapsedFor(circuit);
+
+    CollapsedSample plan;
+    std::unordered_map<std::uint32_t, std::size_t> repIndex;
+    for (const FaultSpec &f : faults) {
+        const std::uint32_t cls = collapsed.classOf(
+            static_cast<gates::Netlist::NodeId>(f.gate), f.stuckValue);
+        if (allow_untestable_shortcut && collapsed.untestable(cls)) {
+            ++plan.untestableMasked;
+            continue;
+        }
+        const auto [it, inserted] =
+            repIndex.emplace(cls, plan.inject.size());
+        if (!inserted) {
+            ++plan.weight[it->second];
+            continue;
+        }
+        // Inherit the sampled spec (target/type), pin the gate fields
+        // to the deterministic class representative: any member's
+        // faulty circuit is the same function, so outcomes transfer
+        // exactly (DESIGN.md §13).
+        FaultSpec rep = f;
+        const gates::StuckFault &r = collapsed.representative(cls);
+        rep.gate = static_cast<std::int64_t>(r.gate);
+        rep.stuckValue = r.stuckValue;
+        plan.inject.push_back(rep);
+        plan.weight.push_back(1);
+        plan.classIds.push_back(cls);
+    }
+    return plan;
+}
+
 Outcome
 FaultCampaign::runOne(const isa::TestProgram &program,
                       const FaultSpec &fault,
@@ -610,6 +649,18 @@ FaultCampaign::run(const isa::TestProgram &program,
     static const telemetry::MetricId truncCount =
         telemetry::MetricsRegistry::instance().counter(
             "campaign.budget_truncations");
+    static const telemetry::MetricId collapseClasses =
+        telemetry::MetricsRegistry::instance().counter(
+            "collapse.classes");
+    static const telemetry::MetricId collapsePrunedCount =
+        telemetry::MetricsRegistry::instance().counter(
+            "collapse.pruned");
+    static const telemetry::MetricId collapseDomSkips =
+        telemetry::MetricsRegistry::instance().counter(
+            "collapse.dominance_skips");
+    static const telemetry::MetricId collapseImplied =
+        telemetry::MetricsRegistry::instance().counter(
+            "collapse.dominance_implied");
 
     CampaignResult result;
 
@@ -659,68 +710,180 @@ FaultCampaign::run(const isa::TestProgram &program,
     const std::vector<FaultSpec> faults =
         sampleFaults(config, golden.cycles);
 
+    // Both boundary-level proof layers below — "no divergence on the
+    // trace is Masked" and the untestable-class shortcut — require
+    // that a faulty run identical to golden also beats the hang
+    // watchdog; otherwise the oracle would classify such a run Hang.
+    const bool boundaryProofs =
+        config.hangBudget(golden.cycles) > golden.cycles;
+
+    // ---- Fault collapsing (functional-unit campaigns, DESIGN.md
+    // §13): fold the sample onto one representative per equivalence
+    // class. Each representative is injected once and its outcome
+    // credited weight-many times, so every counter still covers the
+    // uncollapsed sample, bit-identical to the full-list oracle. ----
+    const bool collapsing =
+        fuTarget && config.faultCollapsing && !faults.empty();
+    CollapsedSample plan;
+    if (collapsing)
+        plan = collapseSampledFaults(faults, config.target,
+                                     boundaryProofs);
+    const std::vector<FaultSpec> &inject =
+        collapsing ? plan.inject : faults;
+    const auto weightOf = [&](std::size_t i) {
+        return collapsing ? plan.weight[i] : 1u;
+    };
+    result.injectedFaults = static_cast<unsigned>(inject.size());
+    result.collapsePruned =
+        static_cast<unsigned>(faults.size() - inject.size());
+    if (collapsing) {
+        telemetry::count(collapseClasses, inject.size());
+        telemetry::count(collapsePrunedCount, result.collapsePruned);
+    }
+
     // ---- Bit-parallel pre-pass (functional-unit campaigns): replay
     // the golden operand trace in 63-fault batches; a fault whose
     // outputs never diverge on the trace is provably Masked and skips
     // core re-simulation. Sound only when a non-diverging faulty run
     // (identical to golden) also beats the hang watchdog. ----
-    std::vector<std::uint8_t> provablyMasked(faults.size(), 0);
+    enum : std::uint8_t { LaneUnknown = 0, LaneClean, LaneDiverged };
+    std::vector<std::uint8_t> laneState(inject.size(), LaneUnknown);
+    std::atomic<unsigned> domSkips{0};
     const bool useBatch = wantTrace && golden.trace &&
-                          !golden.traceOverflow &&
-                          config.hangBudget(golden.cycles) > golden.cycles;
-    if (useBatch) {
+                          !golden.traceOverflow && boundaryProofs;
+    if (useBatch && !inject.empty()) {
         const isa::FuCircuit circuit =
             coverage::circuitFor(config.target);
         constexpr std::size_t lanesPerBatch = 63;
-        const std::size_t numChunks =
-            (faults.size() + lanesPerBatch - 1) / lanesPerBatch;
         std::atomic<bool> replayExpired{false};
         // Idempotent per-chunk work: safe to re-run serially after a
         // failed parallel dispatch. A chunk that fails for any other
         // reason leaves its faults unproven — they simply take the
         // full core-simulation fallback, which is always correct.
-        auto replayChunk = [&](std::size_t c) {
-            if (replayExpired.load(std::memory_order_relaxed))
-                return;
-            const std::size_t lo = c * lanesPerBatch;
-            const std::size_t n =
-                std::min(lanesPerBatch, faults.size() - lo);
-            std::vector<GateFault> batch(n);
-            for (std::size_t k = 0; k < n; ++k)
-                batch[k] = {faults[lo + k].gate,
-                            faults[lo + k].stuckValue};
-            try {
-                const std::uint64_t diverged = replayDivergence(
-                    circuit, *golden.trace, batch.data(), n,
-                    &config.budget);
-                for (std::size_t k = 0; k < n; ++k) {
-                    if (!((diverged >> k) & 1))
-                        provablyMasked[lo + k] = 1;
+        auto replaySet = [&](const std::vector<std::size_t> &idxs) {
+            const std::size_t numChunks =
+                (idxs.size() + lanesPerBatch - 1) / lanesPerBatch;
+            auto replayChunk = [&](std::size_t c) {
+                if (replayExpired.load(std::memory_order_relaxed))
+                    return;
+                const std::size_t lo = c * lanesPerBatch;
+                const std::size_t n =
+                    std::min(lanesPerBatch, idxs.size() - lo);
+                std::vector<GateFault> batch(n);
+                for (std::size_t k = 0; k < n; ++k)
+                    batch[k] = {inject[idxs[lo + k]].gate,
+                                inject[idxs[lo + k]].stuckValue};
+                try {
+                    const std::uint64_t diverged = replayDivergence(
+                        circuit, *golden.trace, batch.data(), n,
+                        &config.budget);
+                    for (std::size_t k = 0; k < n; ++k)
+                        laneState[idxs[lo + k]] = ((diverged >> k) & 1)
+                                                      ? LaneDiverged
+                                                      : LaneClean;
+                } catch (const Error &e) {
+                    if (e.kind() == ErrorKind::Budget)
+                        replayExpired.store(true);
+                } catch (...) {
                 }
-            } catch (const Error &e) {
-                if (e.kind() == ErrorKind::Budget)
-                    replayExpired.store(true);
-            } catch (...) {
+            };
+            if (config.parallel && numChunks > 1) {
+                try {
+                    ThreadPool::global().parallelFor(numChunks,
+                                                     replayChunk);
+                    return;
+                } catch (...) {
+                    warn("fault campaign: parallel trace replay "
+                         "failed, degrading to serial replay");
+                    telemetry::count(degradeCount);
+                    if (auto *sink = telemetry::TraceSink::current())
+                        sink->note("campaign: parallel trace replay "
+                                   "degraded to serial");
+                }
             }
-        };
-        if (config.parallel && numChunks > 1) {
-            try {
-                ThreadPool::global().parallelFor(numChunks, replayChunk);
-            } catch (...) {
-                warn("fault campaign: parallel trace replay failed, "
-                     "degrading to serial replay");
-                telemetry::count(degradeCount);
-                if (auto *sink = telemetry::TraceSink::current())
-                    sink->note("campaign: parallel trace replay "
-                               "degraded to serial");
-                for (std::size_t c = 0; c < numChunks; ++c)
-                    replayChunk(c);
-            }
-        } else {
             for (std::size_t c = 0; c < numChunks; ++c)
                 replayChunk(c);
+        };
+
+        // Dominance-aware scheduling: indices whose class has an
+        // in-plan (transitive) dominator wait for the first wave —
+        // a dominator that replays clean proves them clean too
+        // (contrapositive of "every pattern detecting B detects A"),
+        // saving their replay lanes entirely. Exact: the skipped
+        // replay's result is implied, never guessed.
+        std::vector<std::vector<std::size_t>> inPlanDoms;
+        std::vector<std::size_t> wave1, deferred;
+        wave1.reserve(inject.size());
+        if (collapsing) {
+            const gates::CollapsedFaultSet &collapsed =
+                gates::FuLibrary::instance().collapsedFor(circuit);
+            std::unordered_map<std::uint32_t, std::size_t> byClass;
+            for (std::size_t i = 0; i < inject.size(); ++i)
+                byClass.emplace(plan.classIds[i], i);
+            inPlanDoms.resize(inject.size());
+            std::vector<std::uint32_t> mark(collapsed.numClasses(), 0);
+            std::uint32_t epoch = 0;
+            std::vector<std::uint32_t> stack;
+            for (std::size_t i = 0; i < inject.size(); ++i) {
+                ++epoch;
+                stack.assign(
+                    collapsed.dominators(plan.classIds[i]).begin(),
+                    collapsed.dominators(plan.classIds[i]).end());
+                while (!stack.empty()) {
+                    const std::uint32_t cls = stack.back();
+                    stack.pop_back();
+                    if (mark[cls] == epoch)
+                        continue;
+                    mark[cls] = epoch;
+                    const auto it = byClass.find(cls);
+                    if (it != byClass.end() && it->second != i)
+                        inPlanDoms[i].push_back(it->second);
+                    for (const std::uint32_t up :
+                         collapsed.dominators(cls))
+                        stack.push_back(up);
+                }
+                (inPlanDoms[i].empty() ? wave1 : deferred)
+                    .push_back(i);
+            }
+        } else {
+            for (std::size_t i = 0; i < inject.size(); ++i)
+                wave1.push_back(i);
+        }
+
+        replaySet(wave1);
+        if (!deferred.empty()) {
+            // Propagate clean verdicts down dominance chains to a
+            // fixpoint, then replay only what remains unresolved.
+            bool changed = true;
+            while (changed) {
+                changed = false;
+                for (const std::size_t i : deferred) {
+                    if (laneState[i] != LaneUnknown)
+                        continue;
+                    for (const std::size_t j : inPlanDoms[i]) {
+                        if (laneState[j] == LaneClean) {
+                            laneState[i] = LaneClean;
+                            domSkips.fetch_add(1);
+                            changed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            std::vector<std::size_t> wave2;
+            for (const std::size_t i : deferred) {
+                if (laneState[i] == LaneUnknown)
+                    wave2.push_back(i);
+            }
+            replaySet(wave2);
         }
     }
+    std::vector<std::uint8_t> provablyMasked(inject.size(), 0);
+    for (std::size_t i = 0; i < inject.size(); ++i)
+        provablyMasked[i] = laneState[i] == LaneClean;
+    result.dominanceReplaySkips = domSkips.load();
+    if (collapsing)
+        telemetry::count(collapseDomSkips, result.dominanceReplaySkips);
 
     // ---- Checkpoint-fork fast path (transient storage campaigns):
     // resume each faulty run from the golden snapshot preceding its
@@ -730,46 +893,55 @@ FaultCampaign::run(const isa::TestProgram &program,
     // takes the full-rerun path, which is always correct. ----
     const bool useFork = wantPlan && golden.plan &&
                          !golden.plan->checkpoints.empty() &&
-                         config.hangBudget(golden.cycles) > golden.cycles;
+                         boundaryProofs;
 
     std::atomic<unsigned> masked{0}, sdc{0}, crash{0}, hang{0},
         hwCorrected{0}, hwDetected{0};
     std::atomic<unsigned> forked{0}, digestExits{0};
+    // Per-injection outcomes (index + 1; 0 = not classified) so the
+    // dominance post-pass can see which classes were detected.
+    std::vector<std::atomic<std::uint8_t>> outcomeOf(inject.size());
     auto classify = [&](std::size_t i) {
         Outcome outcome;
         if (provablyMasked[i]) {
             outcome = Outcome::Masked;
         } else if (useFork &&
-                   faults[i].type == FaultType::Transient) {
+                   inject[i].type == FaultType::Transient) {
             const ForkOutcome fo = forkInjectTransient(
-                program, faults[i], config, *golden.plan,
+                program, inject[i], config, *golden.plan,
                 golden.signature);
             forked.fetch_add(1);
             if (fo.digestEarlyExit)
                 digestExits.fetch_add(1);
             outcome = fo.outcome;
         } else {
-            outcome = runOne(program, faults[i], config,
+            outcome = runOne(program, inject[i], config,
                              golden.signature, golden.cycles);
         }
+        // Expand the outcome over every sampled fault this injection
+        // answers for: class members share one faulty function, so
+        // the oracle would have produced this same outcome for each.
+        const unsigned w = weightOf(i);
+        outcomeOf[i].store(
+            static_cast<std::uint8_t>(static_cast<int>(outcome) + 1));
         switch (outcome) {
-          case Outcome::Masked: masked.fetch_add(1); break;
-          case Outcome::Sdc: sdc.fetch_add(1); break;
-          case Outcome::Crash: crash.fetch_add(1); break;
-          case Outcome::Hang: hang.fetch_add(1); break;
-          case Outcome::HwCorrected: hwCorrected.fetch_add(1); break;
-          case Outcome::HwDetected: hwDetected.fetch_add(1); break;
+          case Outcome::Masked: masked.fetch_add(w); break;
+          case Outcome::Sdc: sdc.fetch_add(w); break;
+          case Outcome::Crash: crash.fetch_add(w); break;
+          case Outcome::Hang: hang.fetch_add(w); break;
+          case Outcome::HwCorrected: hwCorrected.fetch_add(w); break;
+          case Outcome::HwDetected: hwDetected.fetch_add(w); break;
         }
     };
 
     // Per-injection bookkeeping so a failed or skipped injection can
     // be retried (or reported) instead of silently miscounting.
     enum : std::uint8_t { Pending = 0, Done, Failed, Skipped };
-    std::vector<std::atomic<std::uint8_t>> status(faults.size());
+    std::vector<std::atomic<std::uint8_t>> status(inject.size());
     std::atomic<std::uint64_t> started{0};
     std::atomic<bool> truncated{false};
 
-    auto inject = [&](std::size_t i) {
+    auto injectOne = [&](std::size_t i) {
         if (truncated.load(std::memory_order_relaxed)) {
             status[i].store(Skipped);
             return;
@@ -798,7 +970,7 @@ FaultCampaign::run(const isa::TestProgram &program,
     // dispatch), degrade to a serial sweep over whatever is pending.
     if (config.parallel) {
         try {
-            ThreadPool::global().parallelFor(faults.size(), inject);
+            ThreadPool::global().parallelFor(inject.size(), injectOne);
         } catch (...) {
             warn("fault campaign: parallel dispatch failed, "
                  "degrading to serial execution");
@@ -808,15 +980,15 @@ FaultCampaign::run(const isa::TestProgram &program,
                            "to serial");
         }
     }
-    for (std::size_t i = 0; i < faults.size(); ++i) {
+    for (std::size_t i = 0; i < inject.size(); ++i) {
         if (status[i].load() == Pending)
-            inject(i);
+            injectOne(i);
     }
 
     // Serial retry pass for transient failures.
     for (unsigned attempt = 0; attempt < config.injectionRetries;
          ++attempt) {
-        for (std::size_t i = 0; i < faults.size(); ++i) {
+        for (std::size_t i = 0; i < inject.size(); ++i) {
             if (status[i].load() != Failed)
                 continue;
             if (truncated.load() || config.budget.expired()) {
@@ -834,8 +1006,57 @@ FaultCampaign::run(const isa::TestProgram &program,
             }
         }
     }
-    for (std::size_t i = 0; i < faults.size(); ++i)
-        result.failedInjections += status[i].load() == Failed;
+    // A failed representative leaves every sampled fault of its class
+    // unanswered: expand the failure count like any other outcome.
+    for (std::size_t i = 0; i < inject.size(); ++i) {
+        if (status[i].load() == Failed)
+            result.failedInjections += weightOf(i);
+    }
+
+    // Untestable classes: every member's faulty function is the
+    // fault-free function, and boundaryProofs guaranteed such a run
+    // finishes with the golden signature — Masked, no injection.
+    masked.fetch_add(plan.untestableMasked);
+
+    // Reporting-only dominance strengthening: a detected class proves
+    // each (transitive) dominator boundary-testable. That claim never
+    // enters the outcome histogram — program-level masking of the
+    // dominator's different wrong value is still possible — so it is
+    // surfaced as a counter, not as outcomes (DESIGN.md §13).
+    if (collapsing && !inject.empty()) {
+        const gates::CollapsedFaultSet &collapsed =
+            gates::FuLibrary::instance().collapsedFor(
+                coverage::circuitFor(config.target));
+        std::vector<std::uint8_t> implied(collapsed.numClasses(), 0);
+        std::vector<std::uint32_t> stack;
+        for (std::size_t i = 0; i < inject.size(); ++i) {
+            const std::uint8_t oc = outcomeOf[i].load();
+            if (oc == 0)
+                continue;
+            const Outcome outcome =
+                static_cast<Outcome>(static_cast<int>(oc) - 1);
+            if (outcome != Outcome::Sdc &&
+                outcome != Outcome::Crash && outcome != Outcome::Hang)
+                continue;
+            for (const std::uint32_t up :
+                 collapsed.dominators(plan.classIds[i]))
+                stack.push_back(up);
+            while (!stack.empty()) {
+                const std::uint32_t cls = stack.back();
+                stack.pop_back();
+                if (implied[cls])
+                    continue;
+                implied[cls] = 1;
+                for (const std::uint32_t up : collapsed.dominators(cls))
+                    stack.push_back(up);
+            }
+        }
+        std::size_t impliedCount = 0;
+        for (const std::uint8_t f : implied)
+            impliedCount += f;
+        if (impliedCount)
+            telemetry::count(collapseImplied, impliedCount);
+    }
 
     result.truncated = truncated.load();
     result.forkedInjections = forked.load();

@@ -75,6 +75,19 @@ struct CampaignConfig
      *  disable only for differential testing against it. */
     bool batchFuSim = true;
 
+    /** Structural fault collapsing for functional-unit campaigns
+     *  (DESIGN.md §13): map every sampled stuck-at fault to its
+     *  equivalence-class representative, inject each distinct
+     *  representative once, and expand outcomes back over the full
+     *  sample by class weight; faults in classes proven equivalent to
+     *  the fault-free circuit are classified Masked without any
+     *  injection, and dominance relations skip batch-replay lanes
+     *  whose result is already implied. Outcome counts are
+     *  bit-identical to the full-list path (the counters still cover
+     *  the uncollapsed sampled universe); disable only for
+     *  differential testing against that oracle. */
+    bool faultCollapsing = true;
+
     /** Checkpoint-fork fast path for transient storage campaigns:
      *  the golden run records periodic core snapshots and per-interval
      *  state digests; each faulty run then resumes from the last
@@ -170,6 +183,18 @@ struct CampaignResult
     /** Fork-path runs stopped early by a golden-digest match. */
     unsigned digestEarlyExits = 0;
 
+    /** Faults actually injected: distinct class representatives when
+     *  fault collapsing is on, the full sample otherwise. */
+    unsigned injectedFaults = 0;
+    /** Sampled faults answered without an injection of their own:
+     *  extra members of an injected equivalence class plus faults in
+     *  provably-untestable classes (telemetry; the outcome counters
+     *  above always cover the uncollapsed sample). */
+    unsigned collapsePruned = 0;
+    /** Batch-replay lanes resolved by a dominating class that already
+     *  replayed clean instead of a replay of their own. */
+    unsigned dominanceReplaySkips = 0;
+
     /** Completed-injection count (the denominator of all rates). */
     unsigned
     total() const
@@ -197,6 +222,25 @@ struct CampaignResult
     }
 };
 
+/** A collapsed injection plan over one sampled gate-fault list: each
+ *  distinct equivalence class sampled appears once, carrying how many
+ *  sampled faults it answers for. */
+struct CollapsedSample
+{
+    /** One FaultSpec per distinct class, pinned to the class
+     *  representative's (gate, stuckValue). */
+    std::vector<FaultSpec> inject;
+    /** Sampled faults each injection expands to (aligned with
+     *  inject; sums to the sample size minus untestableMasked). */
+    std::vector<unsigned> weight;
+    /** Equivalence class of each injection (aligned with inject). */
+    std::vector<std::uint32_t> classIds;
+    /** Sampled faults in provably-untestable classes, classified
+     *  Masked with no injection at all (0 unless the caller allowed
+     *  the shortcut). */
+    unsigned untestableMasked = 0;
+};
+
 /** Golden-run cache effectiveness counters as one snapshotable value
  *  (campaign_service persists these across runner restarts so a
  *  resumed campaign reports cumulative hit/miss/eviction counts). */
@@ -220,6 +264,19 @@ class FaultCampaign
     static std::vector<FaultSpec>
     sampleFaults(const CampaignConfig &config,
                  std::uint64_t golden_cycles);
+
+    /** Collapse a sampled gate-fault list for @p target into class
+     *  representatives with expansion weights (the plan run() injects
+     *  when CampaignConfig::faultCollapsing is on; exposed for the
+     *  differential suite). @p allow_untestable_shortcut moves faults
+     *  of provably-untestable classes to
+     *  CollapsedSample::untestableMasked — only sound when a faulty
+     *  run identical to golden beats the hang watchdog, so run()
+     *  passes hangBudget(golden_cycles) > golden_cycles. */
+    static CollapsedSample
+    collapseSampledFaults(const std::vector<FaultSpec> &faults,
+                          coverage::TargetStructure target,
+                          bool allow_untestable_shortcut);
 
     /** Run one fault and classify its outcome. Throws
      *  harpo::Error{Budget} when config.budget expires mid-run. */

@@ -1,0 +1,442 @@
+#include "gates/fault_collapse.hh"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/logging.hh"
+#include "resilience/error.hh"
+
+namespace harpo::gates
+{
+
+namespace
+{
+
+// Fault ids pack the universe densely: fid = 2 * node + stuckValue.
+// One extra sentinel element stands for the fault-free circuit;
+// every fault united with it is provably untestable (its faulty
+// function is the fault-free function).
+constexpr std::uint32_t
+fid(Netlist::NodeId gate, bool stuck_value)
+{
+    return 2 * gate + (stuck_value ? 1 : 0);
+}
+
+/** Union-find with path halving; unite keeps the smaller root so the
+ *  partition is deterministic regardless of rule order. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(std::size_t n) : parent(n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            parent[i] = static_cast<std::uint32_t>(i);
+    }
+
+    std::uint32_t
+    find(std::uint32_t x)
+    {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    }
+
+    void
+    unite(std::uint32_t x, std::uint32_t y)
+    {
+        x = find(x);
+        y = find(y);
+        if (x == y)
+            return;
+        if (x > y)
+            std::swap(x, y);
+        parent[y] = x;
+    }
+
+  private:
+    std::vector<std::uint32_t> parent;
+};
+
+// Constant lattice for the forward value pass: -1 unknown, else 0/1.
+using ConstVal = std::int8_t;
+constexpr ConstVal kUnknown = -1;
+
+ConstVal
+invertConst(ConstVal v)
+{
+    return v == kUnknown ? kUnknown : static_cast<ConstVal>(1 - v);
+}
+
+/** Constant value of gate @p g given operand values, or kUnknown.
+ *  Shared-operand gates (a == b) fold even with unknown operands:
+ *  Xor(a,a) is 0 and Xnor(a,a) is 1 for every input. */
+ConstVal
+constEval(const Gate &g, ConstVal a, ConstVal b)
+{
+    const bool shared = g.a == g.b;
+    switch (g.kind) {
+      case GateKind::Const0: return 0;
+      case GateKind::Const1: return 1;
+      case GateKind::Input: return kUnknown;
+      case GateKind::Buf: return a;
+      case GateKind::Not: return invertConst(a);
+      case GateKind::And:
+        if (shared)
+            return a;
+        if (a == 0 || b == 0)
+            return 0;
+        return (a == 1 && b == 1) ? 1 : kUnknown;
+      case GateKind::Or:
+        if (shared)
+            return a;
+        if (a == 1 || b == 1)
+            return 1;
+        return (a == 0 && b == 0) ? 0 : kUnknown;
+      case GateKind::Nand:
+        if (shared)
+            return invertConst(a);
+        if (a == 0 || b == 0)
+            return 1;
+        return (a == 1 && b == 1) ? 0 : kUnknown;
+      case GateKind::Nor:
+        if (shared)
+            return invertConst(a);
+        if (a == 1 || b == 1)
+            return 0;
+        return (a == 0 && b == 0) ? 1 : kUnknown;
+      case GateKind::Xor:
+        if (shared)
+            return 0;
+        if (a == kUnknown || b == kUnknown)
+            return kUnknown;
+        return static_cast<ConstVal>(a ^ b);
+      case GateKind::Xnor:
+        if (shared)
+            return 1;
+        if (a == kUnknown || b == kUnknown)
+            return kUnknown;
+        return static_cast<ConstVal>(1 - (a ^ b));
+    }
+    return kUnknown;
+}
+
+/** How a binary gate looks from one operand when the *other* operand
+ *  is a known constant (or when both pins share one node). */
+enum class UnaryView : std::uint8_t
+{
+    None,   ///< no reduction applies
+    Buf,    ///< output follows the operand
+    Not,    ///< output is the operand inverted
+    Blocked ///< output never depends on the operand
+};
+
+UnaryView
+viewWithConstOther(GateKind kind, ConstVal other)
+{
+    if (other == kUnknown)
+        return UnaryView::None;
+    const bool one = other == 1;
+    switch (kind) {
+      case GateKind::And: return one ? UnaryView::Buf : UnaryView::Blocked;
+      case GateKind::Or: return one ? UnaryView::Blocked : UnaryView::Buf;
+      case GateKind::Nand:
+        return one ? UnaryView::Not : UnaryView::Blocked;
+      case GateKind::Nor: return one ? UnaryView::Blocked : UnaryView::Not;
+      case GateKind::Xor: return one ? UnaryView::Not : UnaryView::Buf;
+      case GateKind::Xnor: return one ? UnaryView::Buf : UnaryView::Not;
+      default: return UnaryView::None;
+    }
+}
+
+/** Shared-operand view: And(a,a)/Or(a,a) buffer a; Nand/Nor invert
+ *  it; Xor/Xnor are constant (handled by the value pass). */
+UnaryView
+viewShared(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::And:
+      case GateKind::Or: return UnaryView::Buf;
+      case GateKind::Nand:
+      case GateKind::Nor: return UnaryView::Not;
+      case GateKind::Xor:
+      case GateKind::Xnor: return UnaryView::Blocked;
+      default: return UnaryView::None;
+    }
+}
+
+/** Standard controlling-value rules: a gate with controlling operand
+ *  value @p ctrl produces @p out_at_ctrl whenever any operand takes
+ *  it. Xor/Xnor have no controlling value. */
+bool
+controllingRules(GateKind kind, bool &ctrl, bool &out_at_ctrl)
+{
+    switch (kind) {
+      case GateKind::And: ctrl = false; out_at_ctrl = false; return true;
+      case GateKind::Or: ctrl = true; out_at_ctrl = true; return true;
+      case GateKind::Nand: ctrl = false; out_at_ctrl = true; return true;
+      case GateKind::Nor: ctrl = true; out_at_ctrl = false; return true;
+      default: return false;
+    }
+}
+
+bool
+isBinaryKind(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::And:
+      case GateKind::Or:
+      case GateKind::Xor:
+      case GateKind::Nand:
+      case GateKind::Nor:
+      case GateKind::Xnor: return true;
+      default: return false;
+    }
+}
+
+} // namespace
+
+CollapsedFaultSet
+CollapsedFaultSet::build(const Netlist &netlist)
+{
+    const std::size_t n = netlist.numNodes();
+    const std::vector<Netlist::NodeId> &logicIds = netlist.logicGates();
+
+    CollapsedFaultSet out;
+    out.nodeCount = n;
+    out.universe = 2 * logicIds.size();
+
+    std::vector<std::uint8_t> isLogic(n, 0);
+    for (const Netlist::NodeId id : logicIds)
+        isLogic[id] = 1;
+
+    std::vector<std::uint8_t> isOutput(n, 0);
+    for (const Netlist::NodeId id : netlist.outputNodes())
+        isOutput[id] = 1;
+
+    // Forward constant pass (nodes are topologically ordered).
+    std::vector<ConstVal> constVal(n, kUnknown);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Gate &g = netlist.gateAt(static_cast<Netlist::NodeId>(i));
+        const ConstVal a = isLogic[i] ? constVal[g.a] : kUnknown;
+        const ConstVal b =
+            isBinaryKind(g.kind) ? constVal[g.b] : kUnknown;
+        constVal[i] = constEval(g, a, b);
+    }
+
+    // Distinct consumer gates per node: the fold rules only apply to
+    // fanout-free nodes (exactly one consumer, and the node is not
+    // itself observed as a primary output).
+    std::vector<std::uint32_t> consumerCount(n, 0);
+    for (const Netlist::NodeId id : logicIds) {
+        const Gate &g = netlist.gateAt(id);
+        ++consumerCount[g.a];
+        if (isBinaryKind(g.kind) && g.b != g.a)
+            ++consumerCount[g.b];
+    }
+
+    // Reverse reachability from the marked outputs: faults on nodes
+    // that reach no output can never change the boundary.
+    std::vector<std::uint8_t> observable(n, 0);
+    {
+        std::vector<Netlist::NodeId> stack(netlist.outputNodes());
+        while (!stack.empty()) {
+            const Netlist::NodeId id = stack.back();
+            stack.pop_back();
+            if (observable[id])
+                continue;
+            observable[id] = 1;
+            const Gate &g = netlist.gateAt(id);
+            if (g.kind == GateKind::Buf || g.kind == GateKind::Not ||
+                isBinaryKind(g.kind)) {
+                stack.push_back(g.a);
+                if (isBinaryKind(g.kind) && g.b != g.a)
+                    stack.push_back(g.b);
+            }
+        }
+    }
+
+    const std::uint32_t sentinel = static_cast<std::uint32_t>(2 * n);
+    UnionFind uf(2 * n + 1);
+
+    // Faults equivalent to the fault-free circuit: any fault on an
+    // unobservable node, and forcing a constant-valued node to the
+    // value it already computes on every input.
+    for (const Netlist::NodeId id : logicIds) {
+        if (!observable[id]) {
+            uf.unite(fid(id, false), sentinel);
+            uf.unite(fid(id, true), sentinel);
+        } else if (constVal[id] != kUnknown) {
+            uf.unite(fid(id, constVal[id] == 1), sentinel);
+        }
+    }
+
+    const auto foldable = [&](Netlist::NodeId a) {
+        return isLogic[a] && !isOutput[a] && consumerCount[a] == 1;
+    };
+    const auto applyView = [&](UnaryView view, Netlist::NodeId a,
+                               Netlist::NodeId g) {
+        switch (view) {
+          case UnaryView::Buf:
+            uf.unite(fid(a, false), fid(g, false));
+            uf.unite(fid(a, true), fid(g, true));
+            break;
+          case UnaryView::Not:
+            uf.unite(fid(a, false), fid(g, true));
+            uf.unite(fid(a, true), fid(g, false));
+            break;
+          case UnaryView::Blocked:
+            // The gate's output never depends on a, and a feeds
+            // nothing else: both faults on a are untestable.
+            uf.unite(fid(a, false), sentinel);
+            uf.unite(fid(a, true), sentinel);
+            break;
+          case UnaryView::None: break;
+        }
+    };
+
+    // (dominated fid, dominator fid) pairs, mapped to classes below.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> domPairs;
+
+    for (const Netlist::NodeId gId : logicIds) {
+        const Gate &g = netlist.gateAt(gId);
+        if (g.kind == GateKind::Buf || g.kind == GateKind::Not) {
+            if (foldable(g.a))
+                applyView(g.kind == GateKind::Buf ? UnaryView::Buf
+                                                  : UnaryView::Not,
+                          g.a, gId);
+            continue;
+        }
+        if (!isBinaryKind(g.kind))
+            continue;
+        if (g.a == g.b) {
+            if (foldable(g.a))
+                applyView(viewShared(g.kind), g.a, gId);
+            continue;
+        }
+        const Netlist::NodeId ops[2] = {g.a, g.b};
+        for (int k = 0; k < 2; ++k) {
+            const Netlist::NodeId x = ops[k];
+            const Netlist::NodeId other = ops[1 - k];
+            if (!foldable(x))
+                continue;
+            const UnaryView view =
+                viewWithConstOther(g.kind, constVal[other]);
+            if (view != UnaryView::None) {
+                // A constant sibling reduces the gate to a unary view
+                // of x; that equivalence subsumes the controlling-value
+                // rules below.
+                applyView(view, x, gId);
+                continue;
+            }
+            bool ctrl = false;
+            bool outAtCtrl = false;
+            if (controllingRules(g.kind, ctrl, outAtCtrl)) {
+                // x stuck at the controlling value forces the exact
+                // output the gate produces for it: equivalent.
+                uf.unite(fid(x, ctrl), fid(gId, outAtCtrl));
+                // Detecting x stuck at the non-controlling value needs
+                // the sibling non-controlling, which makes the effect
+                // at the boundary identical to the output stuck at
+                // !outAtCtrl: dominance.
+                domPairs.emplace_back(fid(x, !ctrl),
+                                      fid(gId, !outAtCtrl));
+            }
+        }
+    }
+
+    // Extract dense classes. logicIds ascends, so the first member
+    // seen per root is the smallest (gate, stuckValue) key: the
+    // deterministic representative.
+    out.classIndex.assign(2 * n, npos);
+    std::vector<std::uint32_t> rootClass(2 * n + 1, npos);
+    for (const Netlist::NodeId id : logicIds) {
+        for (int v = 0; v < 2; ++v) {
+            const std::uint32_t f = fid(id, v == 1);
+            const std::uint32_t root = uf.find(f);
+            std::uint32_t cls = rootClass[root];
+            if (cls == npos) {
+                cls = static_cast<std::uint32_t>(out.reps.size());
+                rootClass[root] = cls;
+                out.reps.push_back({id, v == 1});
+                out.memberLists.emplace_back();
+            }
+            out.classIndex[f] = cls;
+            out.memberLists[cls].push_back({id, v == 1});
+        }
+    }
+
+    out.untestableFlags.assign(out.reps.size(), 0);
+    const std::uint32_t sentRoot = uf.find(sentinel);
+    if (rootClass[sentRoot] != npos) {
+        const std::uint32_t cls = rootClass[sentRoot];
+        out.untestableFlags[cls] = 1;
+        out.untestableFaults = out.memberLists[cls].size();
+    }
+
+    out.dominatorLists.assign(out.reps.size(), {});
+    for (const auto &[bFid, aFid] : domPairs) {
+        const std::uint32_t cb = out.classIndex[bFid];
+        const std::uint32_t ca = out.classIndex[aFid];
+        if (cb != ca)
+            out.dominatorLists[cb].push_back(ca);
+    }
+    for (auto &list : out.dominatorLists) {
+        std::sort(list.begin(), list.end());
+        list.erase(std::unique(list.begin(), list.end()), list.end());
+    }
+
+    std::size_t total = 0;
+    for (const auto &m : out.memberLists)
+        total += m.size();
+    panicIf(total != out.universe,
+            "CollapsedFaultSet: member lists do not partition the "
+            "fault universe");
+    return out;
+}
+
+CollapsedFaultSet::ClassId
+CollapsedFaultSet::classOf(Netlist::NodeId gate, bool stuck_value) const
+{
+    if (gate >= nodeCount || classIndex[fid(gate, stuck_value)] == npos)
+        throw Error::config(
+            "CollapsedFaultSet::classOf: node " + std::to_string(gate) +
+            " is not a logic gate of the analyzed netlist");
+    return classIndex[fid(gate, stuck_value)];
+}
+
+const StuckFault &
+CollapsedFaultSet::representative(ClassId cls) const
+{
+    panicIf(cls >= reps.size(),
+            "CollapsedFaultSet::representative: class out of range");
+    return reps[cls];
+}
+
+const std::vector<StuckFault> &
+CollapsedFaultSet::members(ClassId cls) const
+{
+    panicIf(cls >= memberLists.size(),
+            "CollapsedFaultSet::members: class out of range");
+    return memberLists[cls];
+}
+
+bool
+CollapsedFaultSet::untestable(ClassId cls) const
+{
+    panicIf(cls >= untestableFlags.size(),
+            "CollapsedFaultSet::untestable: class out of range");
+    return untestableFlags[cls] != 0;
+}
+
+const std::vector<CollapsedFaultSet::ClassId> &
+CollapsedFaultSet::dominators(ClassId cls) const
+{
+    panicIf(cls >= dominatorLists.size(),
+            "CollapsedFaultSet::dominators: class out of range");
+    return dominatorLists[cls];
+}
+
+} // namespace harpo::gates

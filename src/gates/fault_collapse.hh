@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Structural stuck-at fault collapsing.
+ *
+ * A gate-level campaign's fault universe is every logic node times
+ * {stuck-at-0, stuck-at-1}. Most of those faults are provably
+ * indistinguishable at the netlist boundary: forcing an AND gate's
+ * fanout-free input to 0 produces the exact same faulty function as
+ * forcing its output to 0, a NOT gate merely swaps the two stuck
+ * values of its fanout-free operand, and a fault on a node with no
+ * path to any output (or whose stuck value the node already computes
+ * on every input) never changes an output at all. Classic
+ * equivalence/dominance fault collapsing exploits this to shrink
+ * stuck-at lists 2-4x before a single simulation runs.
+ *
+ * CollapsedFaultSet is the result of that static analysis over a
+ * Netlist: a partition of the fault universe into equivalence classes
+ * (one representative injected per class, a members table expanding
+ * outcomes back to the full universe), a per-class untestable flag
+ * (the class of faults whose faulty function *is* the fault-free
+ * function), and a dominance relation between classes (A dominates B
+ * means every input pattern detecting B at the boundary also detects
+ * A). DESIGN.md §13 records the soundness argument for each rule at
+ * the forced-node boundary; the campaign layer uses equivalence for
+ * exact outcome expansion and dominance only in the masked direction
+ * (skipping divergence replays whose result is already implied).
+ */
+
+#ifndef HARPOCRATES_GATES_FAULT_COLLAPSE_HH
+#define HARPOCRATES_GATES_FAULT_COLLAPSE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gates/netlist.hh"
+
+namespace harpo::gates
+{
+
+/** One stuck-at fault of a netlist's fault universe. */
+struct StuckFault
+{
+    Netlist::NodeId gate = 0;
+    bool stuckValue = false;
+
+    friend bool
+    operator==(const StuckFault &x, const StuckFault &y)
+    {
+        return x.gate == y.gate && x.stuckValue == y.stuckValue;
+    }
+};
+
+/**
+ * The collapsed view of a netlist's stuck-at fault universe.
+ *
+ * Built once per netlist by build(); immutable afterwards, safe to
+ * share across threads. Class ids are dense [0, numClasses());
+ * representatives are deterministic (the member with the smallest
+ * (gate, stuckValue) key), so two builds over the same netlist
+ * produce identical partitions.
+ */
+class CollapsedFaultSet
+{
+  public:
+    using ClassId = std::uint32_t;
+
+    /** Run the structural analysis over @p netlist. */
+    static CollapsedFaultSet build(const Netlist &netlist);
+
+    /** Size of the uncollapsed universe: 2 * |logic gates|. */
+    std::size_t numFaults() const { return universe; }
+
+    /** Number of equivalence classes (== number of representatives). */
+    std::size_t numClasses() const { return reps.size(); }
+
+    /** universe / classes; >= 1, higher is better. */
+    double
+    collapseRatio() const
+    {
+        return reps.empty()
+                   ? 1.0
+                   : static_cast<double>(universe) /
+                         static_cast<double>(reps.size());
+    }
+
+    /** Faults proven equivalent to the fault-free circuit (all in the
+     *  single untestable class, when one exists). */
+    std::size_t numUntestableFaults() const { return untestableFaults; }
+
+    /**
+     * Class of the fault forcing @p gate to @p stuck_value.
+     * @throws harpo::Error (Config) when @p gate is not a logic gate
+     *         of the analyzed netlist.
+     */
+    ClassId classOf(Netlist::NodeId gate, bool stuck_value) const;
+
+    /** The injected representative of class @p cls. */
+    const StuckFault &representative(ClassId cls) const;
+
+    /** All universe faults of class @p cls, ascending by (gate,
+     *  stuckValue); always contains representative(cls). */
+    const std::vector<StuckFault> &members(ClassId cls) const;
+
+    /** True when every fault in @p cls has a faulty function identical
+     *  to the fault-free circuit (never detectable at the boundary). */
+    bool untestable(ClassId cls) const;
+
+    /** Classes directly dominating @p cls: every pattern that detects
+     *  @p cls at the boundary also detects each of them. Transitive
+     *  closure is the caller's job (the lists form a DAG). */
+    const std::vector<ClassId> &dominators(ClassId cls) const;
+
+    /** Total number of direct dominance edges between classes. */
+    std::size_t
+    numDominanceEdges() const
+    {
+        std::size_t n = 0;
+        for (const auto &d : dominatorLists)
+            n += d.size();
+        return n;
+    }
+
+  private:
+    static constexpr std::uint32_t npos = ~0u;
+
+    std::vector<std::uint32_t> classIndex; ///< fid -> ClassId or npos
+    std::vector<StuckFault> reps;
+    std::vector<std::vector<StuckFault>> memberLists;
+    std::vector<std::uint8_t> untestableFlags;
+    std::vector<std::vector<ClassId>> dominatorLists;
+    std::size_t universe = 0;
+    std::size_t untestableFaults = 0;
+    std::size_t nodeCount = 0;
+};
+
+} // namespace harpo::gates
+
+#endif // HARPOCRATES_GATES_FAULT_COLLAPSE_HH

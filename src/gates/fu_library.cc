@@ -1,9 +1,36 @@
 #include "gates/fu_library.hh"
 
+#include <cstdio>
+
 #include "common/logging.hh"
+#include "telemetry/metrics.hh"
 
 namespace harpo::gates
 {
+
+namespace
+{
+
+const char *
+circuitName(isa::FuCircuit circuit)
+{
+    switch (circuit) {
+      case isa::FuCircuit::IntAdd: return "int_add";
+      case isa::FuCircuit::IntMul: return "int_mul";
+      case isa::FuCircuit::FpAdd: return "fp_add";
+      case isa::FuCircuit::FpMul: return "fp_mul";
+      default: return "none";
+    }
+}
+
+constexpr isa::FuCircuit kAllCircuits[4] = {
+    isa::FuCircuit::IntAdd,
+    isa::FuCircuit::IntMul,
+    isa::FuCircuit::FpAdd,
+    isa::FuCircuit::FpMul,
+};
+
+} // namespace
 
 const FuLibrary &
 FuLibrary::instance()
@@ -27,6 +54,72 @@ FuLibrary::netlistFor(isa::FuCircuit circuit) const
       default:
         panic("netlistFor: no circuit for FuCircuit::None");
     }
+}
+
+const CollapsedFaultSet &
+FuLibrary::collapsedFor(isa::FuCircuit circuit) const
+{
+    const int idx = static_cast<int>(circuit) - 1;
+    panicIf(idx < 0 || idx >= 4,
+            "collapsedFor: no circuit for FuCircuit::None");
+    std::call_once(collapseOnce[idx], [&] {
+        auto set = std::make_unique<CollapsedFaultSet>(
+            CollapsedFaultSet::build(netlistFor(circuit)));
+        // Static per-unit ratios: gauges, set once per process. The
+        // dynamic per-campaign counts (collapse.classes/pruned) are
+        // counters incremented by the campaign layer.
+        auto &reg = telemetry::MetricsRegistry::instance();
+        const std::string prefix =
+            std::string("collapse.") + circuitName(circuit);
+        telemetry::setGauge(
+            reg.gauge(prefix + ".faults"),
+            static_cast<std::int64_t>(set->numFaults()));
+        telemetry::setGauge(
+            reg.gauge(prefix + ".classes"),
+            static_cast<std::int64_t>(set->numClasses()));
+        telemetry::setGauge(
+            reg.gauge(prefix + ".ratio_x1000"),
+            static_cast<std::int64_t>(set->collapseRatio() * 1000.0));
+        collapseCache[idx] = std::move(set);
+    });
+    return *collapseCache[idx];
+}
+
+std::string
+FuLibrary::collapseSummary() const
+{
+    auto &reg = telemetry::MetricsRegistry::instance();
+    std::string out =
+        "fault collapsing (unit: faults classes ratio untestable "
+        "dominance-edges)\n";
+    for (const isa::FuCircuit circuit : kAllCircuits) {
+        const CollapsedFaultSet &set = collapsedFor(circuit);
+        char line[160];
+        std::snprintf(line, sizeof line,
+                      "  %-8s %6zu -> %6zu  (%.2fx, %zu untestable, "
+                      "%zu dom edges)\n",
+                      circuitName(circuit), set.numFaults(),
+                      set.numClasses(), set.collapseRatio(),
+                      set.numUntestableFaults(),
+                      set.numDominanceEdges());
+        out += line;
+    }
+    const std::uint64_t classes =
+        reg.counterValue(reg.counter("collapse.classes"));
+    const std::uint64_t pruned =
+        reg.counterValue(reg.counter("collapse.pruned"));
+    const std::uint64_t domSkips =
+        reg.counterValue(reg.counter("collapse.dominance_skips"));
+    char tail[200];
+    std::snprintf(tail, sizeof tail,
+                  "  campaigns: %llu representatives injected, %llu "
+                  "sampled faults pruned, %llu dominance replay "
+                  "skips\n",
+                  static_cast<unsigned long long>(classes),
+                  static_cast<unsigned long long>(pruned),
+                  static_cast<unsigned long long>(domSkips));
+    out += tail;
+    return out;
 }
 
 std::uint64_t

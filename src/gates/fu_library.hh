@@ -10,6 +10,11 @@
 #ifndef HARPOCRATES_GATES_FU_LIBRARY_HH
 #define HARPOCRATES_GATES_FU_LIBRARY_HH
 
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "gates/fault_collapse.hh"
 #include "gates/int_units.hh"
 #include "gates/fp_units.hh"
 #include "isa/instruction.hh"
@@ -31,6 +36,18 @@ class FuLibrary
     /** Netlist for a given FU circuit kind (panics on None). */
     const Netlist &netlistFor(isa::FuCircuit circuit) const;
 
+    /** Collapsed stuck-at fault set for @p circuit (panics on None).
+     *  Built lazily on first use, cached for the process lifetime,
+     *  thread-safe; publishes the per-unit `collapse.*` telemetry
+     *  gauges on first build. */
+    const CollapsedFaultSet &collapsedFor(isa::FuCircuit circuit) const;
+
+    /** Human-readable per-unit collapse table (faults, classes,
+     *  ratio, untestable, dominance edges) plus the process-wide
+     *  campaign counters — the `--collapse-stats` dump. Forces
+     *  analysis of all four units. */
+    std::string collapseSummary() const;
+
     /** Bit-parallel evaluation of one operation on @p circuit across
      *  64 stuck-at lanes (the per-unit computeBatch wrappers behind
      *  one dispatch point; @p carry_in only matters for IntAdd).
@@ -49,6 +66,10 @@ class FuLibrary
     IntMultiplierCircuit intMul;
     FpAdderCircuit fpAdd;
     FpMultiplierCircuit fpMul;
+
+    // Lazy per-circuit collapse caches (index: FuCircuit value - 1).
+    mutable std::once_flag collapseOnce[4];
+    mutable std::unique_ptr<CollapsedFaultSet> collapseCache[4];
 };
 
 } // namespace harpo::gates

@@ -1,6 +1,9 @@
 #include "gates/netlist.hh"
 
+#include <string>
+
 #include "common/logging.hh"
+#include "resilience/error.hh"
 
 namespace harpo::gates
 {
@@ -48,6 +51,13 @@ Netlist::binary(GateKind kind, NodeId a, NodeId b)
     nodes.push_back({kind, a, b});
     logic.push_back(id);
     return id;
+}
+
+const Gate &
+Netlist::gateAt(NodeId id) const
+{
+    panicIf(id >= nodes.size(), "gateAt: node not defined");
+    return nodes[id];
 }
 
 void
@@ -114,6 +124,27 @@ Netlist::evaluateBatch(const std::vector<std::uint64_t> &inputs,
 {
     panicIf(inputs.size() != inputCount,
             "Netlist::evaluateBatch: input count mismatch");
+    // Reject malformed fault lists up front: a duplicate or unsorted
+    // gate id would silently skip the remaining forces during the
+    // walk, grading lanes against the wrong faulty circuit.
+    for (std::size_t k = 0; k < faults.size(); ++k) {
+        if (faults[k].gate >= nodes.size())
+            throw Error::config(
+                "Netlist::evaluateBatch: fault on undefined node " +
+                std::to_string(faults[k].gate));
+        if (k > 0 && faults[k].gate == faults[k - 1].gate)
+            throw Error::config(
+                "Netlist::evaluateBatch: duplicate fault entries for "
+                "gate " +
+                std::to_string(faults[k].gate) +
+                " (merge lane/value masks into one entry)");
+        if (k > 0 && faults[k].gate < faults[k - 1].gate)
+            throw Error::config(
+                "Netlist::evaluateBatch: faults not sorted by "
+                "ascending gate id (gate " +
+                std::to_string(faults[k].gate) + " after gate " +
+                std::to_string(faults[k - 1].gate) + ")");
+    }
     if (scratch.size() != nodes.size())
         scratch.resize(nodes.size());
 
@@ -143,15 +174,12 @@ Netlist::evaluateBatch(const std::vector<std::uint64_t> &inputs,
           default:
             panic("Netlist::evaluateBatch: unknown gate kind");
         }
-        while (nextFault < faults.size() && faults[nextFault].gate == i) {
+        if (nextFault < faults.size() && faults[nextFault].gate == i) {
             const LaneFault &f = faults[nextFault++];
             v = (v & ~f.laneMask) | (f.valueMask & f.laneMask);
         }
         scratch[i] = v;
     }
-    panicIf(nextFault != faults.size(),
-            "Netlist::evaluateBatch: faults not sorted by gate id, or "
-            "fault on an undefined node");
 
     if (outputs_out.size() != outputs.size())
         outputs_out.resize(outputs.size());

@@ -79,6 +79,14 @@ class Netlist
      *  except constants and primary inputs). */
     const std::vector<NodeId> &logicGates() const { return logic; }
 
+    /** The gate at @p id (structural inspection, e.g. fault
+     *  collapsing). Panics on out-of-range ids. */
+    const Gate &gateAt(NodeId id) const;
+
+    /** Marked output nodes, in markOutput() order. A node may appear
+     *  more than once if it was marked repeatedly. */
+    const std::vector<NodeId> &outputNodes() const { return outputs; }
+
     /** No fault sentinel for evaluate(). */
     static constexpr std::int64_t noFault = -1;
 
@@ -115,10 +123,15 @@ class Netlist
      *        input value (see broadcastInputs for the common
      *        same-pattern-every-lane case).
      * @param outputs Receives one word per marked output.
-     * @param faults Per-lane stuck-at forces, sorted by ascending
-     *        gate id (duplicate gate entries are allowed and applied
-     *        in order). Pass an empty vector for fault-free lanes.
+     * @param faults Per-lane stuck-at forces, sorted by strictly
+     *        ascending gate id. Duplicate or unsorted gate entries and
+     *        out-of-range gate ids are rejected with a Config
+     *        harpo::Error (callers with several faults on the same
+     *        gate must merge them into one entry first, as
+     *        faultsim::makeLaneFaults does). Pass an empty vector for
+     *        fault-free lanes.
      * @param scratch Reusable node-value buffer, as for evaluate().
+     * @throws harpo::Error (Config) when @p faults is malformed.
      */
     void evaluateBatch(const std::vector<std::uint64_t> &inputs,
                        std::vector<std::uint64_t> &outputs,

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Differential suite for structural fault collapsing: a collapsed
+ * campaign (inject one representative per sampled equivalence class,
+ * expand outcomes by class weight) must produce the exact outcome
+ * histogram of the full-list oracle — same seed, same Masked/SDC/
+ * Crash/Hang counts — on every FU target, through both the batch and
+ * scalar classification paths, and on randomized MuSeqGen programs.
+ * Also pins down the injection-plan algebra (weights tile the sample,
+ * representatives come from the class table) and the accounting
+ * counters the perf claim rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <iterator>
+#include <set>
+
+#include "common/rng.hh"
+#include "faultsim/campaign.hh"
+#include "gates/fault_collapse.hh"
+#include "gates/fu_library.hh"
+#include "isa/builder.hh"
+#include "isa/registers.hh"
+#include "museqgen/museqgen.hh"
+
+using namespace harpo;
+using namespace harpo::faultsim;
+using namespace harpo::isa;
+using coverage::TargetStructure;
+using PB = ProgramBuilder;
+
+namespace
+{
+
+constexpr TargetStructure kFuTargets[] = {
+    TargetStructure::IntAdder,
+    TargetStructure::IntMultiplier,
+    TargetStructure::FpAdder,
+    TargetStructure::FpMultiplier,
+};
+
+/** Same all-units workload the batch-campaign suite grades with. */
+TestProgram
+allUnitsProgram(int n = 80)
+{
+    PB b("allunits");
+    b.addRegion(0x100000, 8192);
+    {
+        harpo::Rng rng(0x44);
+        std::vector<std::uint64_t> data(512);
+        for (auto &v : data) {
+            const double d = 0.5 + rng.uniform() * 1.5;
+            std::memcpy(&v, &d, sizeof(v));
+        }
+        b.initMemQwords(0x100000, data);
+    }
+    b.setGpr(RSI, 0x100000);
+    b.setGpr(RAX, 0x0123456789ABCDEFull);
+    b.setGpr(RBX, 0xFEDCBA9876543210ull);
+    b.setGpr(R15, 0);
+    for (int i = 0; i < n; ++i) {
+        const int off1 = (i * 8) % 4096;
+        const int off2 = ((i * 24) + 8) % 4096;
+        b.i("add r64, r64", {PB::gpr(RAX), PB::gpr(RBX)});
+        b.i("imul r64, r64", {PB::gpr(RBX), PB::gpr(RAX)});
+        b.i("movsd xmm, m64", {PB::xmm(0), PB::mem(RSI, off1)});
+        b.i("addsd xmm, m64", {PB::xmm(0), PB::mem(RSI, off2)});
+        b.i("mulsd xmm, m64", {PB::xmm(0), PB::mem(RSI, off1)});
+        b.i("movq r64, xmm", {PB::gpr(RCX), PB::xmm(0)});
+        b.i("xor r64, r64", {PB::gpr(R15), PB::gpr(RCX)});
+        b.i("xor r64, r64", {PB::gpr(R15), PB::gpr(RAX)});
+        b.i("rol r64, imm8", {PB::gpr(R15), PB::imm(1)});
+    }
+    return b.build();
+}
+
+CampaignConfig
+fuConfig(TargetStructure target, bool collapse, unsigned injections = 60)
+{
+    CampaignConfig cfg = CampaignConfig::forTarget(target);
+    cfg.numInjections = injections;
+    cfg.seed = 11;
+    cfg.faultCollapsing = collapse;
+    cfg.goldenCacheEnabled = false; // isolate from other tests
+    return cfg;
+}
+
+/** The histogram identity the whole optimisation is sold on. */
+void
+expectIdentical(const CampaignResult &oracle, const CampaignResult &fast,
+                const char *what)
+{
+    ASSERT_TRUE(oracle.goldenOk) << what;
+    ASSERT_TRUE(fast.goldenOk) << what;
+    EXPECT_EQ(oracle.masked, fast.masked) << what;
+    EXPECT_EQ(oracle.sdc, fast.sdc) << what;
+    EXPECT_EQ(oracle.crash, fast.crash) << what;
+    EXPECT_EQ(oracle.hang, fast.hang) << what;
+    EXPECT_EQ(oracle.goldenSignature, fast.goldenSignature) << what;
+    EXPECT_EQ(oracle.goldenCycles, fast.goldenCycles) << what;
+    EXPECT_EQ(oracle.failedInjections, fast.failedInjections) << what;
+    EXPECT_EQ(oracle.total(), fast.total()) << what;
+}
+
+} // namespace
+
+TEST(CollapseDifferential, IdenticalHistogramsAcrossFuTargets)
+{
+    const auto program = allUnitsProgram();
+    for (const TargetStructure target : kFuTargets) {
+        const CampaignResult oracle =
+            FaultCampaign::run(program, fuConfig(target, false));
+        const CampaignResult collapsed =
+            FaultCampaign::run(program, fuConfig(target, true));
+        expectIdentical(oracle, collapsed,
+                        coverage::structureName(target));
+
+        // The oracle injects the full sample; the collapsed run never
+        // injects more, and the two counters tile the sample exactly.
+        EXPECT_EQ(oracle.injectedFaults, 60u);
+        EXPECT_EQ(oracle.collapsePruned, 0u);
+        EXPECT_LE(collapsed.injectedFaults, 60u);
+        EXPECT_EQ(collapsed.injectedFaults + collapsed.collapsePruned,
+                  60u);
+    }
+}
+
+TEST(CollapseDifferential, ScalarClassificationPathAgreesToo)
+{
+    // Collapsing must not depend on the batch trace-replay fast path:
+    // force every representative through full scalar re-simulation.
+    const auto program = allUnitsProgram(40);
+    CampaignConfig oracleCfg = fuConfig(TargetStructure::IntAdder, false);
+    CampaignConfig fastCfg = fuConfig(TargetStructure::IntAdder, true);
+    oracleCfg.batchFuSim = false;
+    fastCfg.batchFuSim = false;
+    oracleCfg.numInjections = fastCfg.numInjections = 40;
+    expectIdentical(FaultCampaign::run(program, oracleCfg),
+                    FaultCampaign::run(program, fastCfg), "scalar path");
+}
+
+TEST(CollapseDifferential, TightHangBudgetDisablesUntestableShortcut)
+{
+    // With a watchdog so tight the golden run itself would trip it,
+    // even an untestable (≡ golden) fault must Hang — the shortcut
+    // has to disengage, and both paths must still agree.
+    const auto program = allUnitsProgram(40);
+    for (const bool collapse : {false, true}) {
+        CampaignConfig cfg = fuConfig(TargetStructure::FpAdder, collapse);
+        cfg.numInjections = 20;
+        cfg.hangMultiplier = 1e-12; // validate() rejects 0
+        cfg.hangSlackCycles = 1;
+        const CampaignResult r = FaultCampaign::run(program, cfg);
+        ASSERT_TRUE(r.goldenOk);
+        EXPECT_EQ(r.hang, 20u) << "collapse=" << collapse;
+    }
+}
+
+TEST(CollapseDifferential, IdenticalOnRandomMuSeqGenPrograms)
+{
+    museqgen::GenConfig gen;
+    gen.numInstructions = 150;
+    const museqgen::MuSeqGen generator(gen);
+
+    // Three random programs, each graded on a rotating FU target so
+    // the sweep touches every unit without quadratic runtime.
+    for (unsigned s = 0; s < 3; ++s) {
+        Rng rng(0x9A5E + s);
+        const TestProgram program = generator.generate(rng);
+        const TargetStructure target = kFuTargets[s % std::size(kFuTargets)];
+        CampaignConfig oracleCfg = fuConfig(target, false, 40);
+        CampaignConfig fastCfg = fuConfig(target, true, 40);
+        oracleCfg.seed = fastCfg.seed = 0xBEE5 + s;
+        const CampaignResult oracle =
+            FaultCampaign::run(program, oracleCfg);
+        const CampaignResult collapsed =
+            FaultCampaign::run(program, fastCfg);
+        if (!oracle.goldenOk) {
+            // A generated program the simulator rejects is a MuSeqGen
+            // bug caught elsewhere; here it would just vacuously pass.
+            ASSERT_FALSE(collapsed.goldenOk);
+            continue;
+        }
+        expectIdentical(oracle, collapsed,
+                        coverage::structureName(target));
+    }
+}
+
+TEST(CollapsePlan, WeightsTileTheSampleExactly)
+{
+    for (const TargetStructure target : kFuTargets) {
+        SCOPED_TRACE(coverage::structureName(target));
+        const CampaignConfig cfg = fuConfig(target, true, 300);
+        const std::vector<FaultSpec> faults =
+            FaultCampaign::sampleFaults(cfg, 5000);
+        ASSERT_EQ(faults.size(), 300u);
+
+        const gates::CollapsedFaultSet &collapsed =
+            gates::FuLibrary::instance().collapsedFor(
+                coverage::circuitFor(target));
+
+        for (const bool shortcut : {false, true}) {
+            const CollapsedSample plan =
+                FaultCampaign::collapseSampledFaults(faults, target,
+                                                     shortcut);
+            ASSERT_EQ(plan.inject.size(), plan.weight.size());
+            ASSERT_EQ(plan.inject.size(), plan.classIds.size());
+            if (!shortcut) {
+                EXPECT_EQ(plan.untestableMasked, 0u);
+            }
+
+            // Weights + untestable shortcut account for every sampled
+            // fault exactly once.
+            unsigned covered = plan.untestableMasked;
+            std::set<std::uint32_t> seen;
+            for (std::size_t i = 0; i < plan.inject.size(); ++i) {
+                covered += plan.weight[i];
+                EXPECT_GE(plan.weight[i], 1u);
+                EXPECT_TRUE(seen.insert(plan.classIds[i]).second)
+                    << "class sampled twice in the plan";
+                // The injected spec is the class representative...
+                const gates::StuckFault &rep =
+                    collapsed.representative(plan.classIds[i]);
+                EXPECT_EQ(plan.inject[i].gate,
+                          static_cast<std::int64_t>(rep.gate));
+                EXPECT_EQ(plan.inject[i].stuckValue, rep.stuckValue);
+                // ...carrying the sample's fault model unchanged.
+                EXPECT_EQ(plan.inject[i].target, target);
+                EXPECT_EQ(plan.inject[i].type, FaultType::GateStuckAt);
+                if (shortcut) {
+                    EXPECT_FALSE(
+                        collapsed.untestable(plan.classIds[i]));
+                }
+            }
+            EXPECT_EQ(covered, faults.size());
+
+            // Round-trip: every sampled fault maps into the plan.
+            for (const FaultSpec &f : faults) {
+                const std::uint32_t cls = collapsed.classOf(
+                    static_cast<gates::Netlist::NodeId>(f.gate),
+                    f.stuckValue);
+                if (shortcut && collapsed.untestable(cls))
+                    continue;
+                EXPECT_TRUE(seen.count(cls))
+                    << "sampled fault lost by the plan";
+            }
+        }
+    }
+}
+
+TEST(CollapseDifferential, HighInjectionRunPrunesSubstantially)
+{
+    // The perf claim at campaign scale: at 1200 samples over the
+    // IntAdder's 2054 classes, birthday collisions make the collapsed
+    // plan markedly smaller than the sample — while the expanded
+    // histogram stays bit-identical to the oracle.
+    const auto program = allUnitsProgram(40);
+    const CampaignResult oracle = FaultCampaign::run(
+        program, fuConfig(TargetStructure::IntAdder, false, 1200));
+    const CampaignResult collapsed = FaultCampaign::run(
+        program, fuConfig(TargetStructure::IntAdder, true, 1200));
+    expectIdentical(oracle, collapsed, "IntAdder@1200");
+
+    EXPECT_EQ(collapsed.injectedFaults + collapsed.collapsePruned, 1200u);
+    EXPECT_LE(collapsed.injectedFaults,
+              static_cast<unsigned>(
+                  gates::FuLibrary::instance()
+                      .collapsedFor(isa::FuCircuit::IntAdd)
+                      .numClasses()));
+    // ≥20% pruned is far below the expected value (~2x) — this only
+    // trips if collapsing silently stopped deduplicating.
+    EXPECT_GE(collapsed.collapsePruned, 240u);
+}

@@ -12,12 +12,14 @@
 #include <algorithm>
 #include <cstring>
 #include <iterator>
+#include <string>
 #include <vector>
 
 #include "common/rng.hh"
 #include "faultsim/fu_trace.hh"
 #include "gates/fu_library.hh"
 #include "gates/netlist.hh"
+#include "resilience/error.hh"
 
 using namespace harpo;
 using namespace harpo::gates;
@@ -105,6 +107,19 @@ TEST(BatchEval, MatchesScalarLaneExactlyOnRandomNetlists)
                       [](const auto &x, const auto &y) {
                           return x.gate < y.gate;
                       });
+            // evaluateBatch rejects duplicate gate entries: merge
+            // same-gate lanes into one entry (as makeLaneFaults does).
+            std::vector<Netlist::LaneFault> mergedFaults;
+            for (const auto &lf : faults) {
+                if (!mergedFaults.empty() &&
+                    mergedFaults.back().gate == lf.gate) {
+                    mergedFaults.back().laneMask |= lf.laneMask;
+                    mergedFaults.back().valueMask |= lf.valueMask;
+                } else {
+                    mergedFaults.push_back(lf);
+                }
+            }
+            faults = std::move(mergedFaults);
 
             std::vector<std::uint64_t> outputs, scratch;
             nl.evaluateBatch(inputs, outputs, faults, scratch);
@@ -353,6 +368,68 @@ TEST(BatchEval, ReplayDivergenceMatchesScalarReplay)
                     << " count=" << count << " fault=" << k;
             }
         }
+    }
+}
+
+TEST(BatchEval, RejectsDuplicateLaneFaultGates)
+{
+    Rng rng(0xD0D0);
+    const Netlist nl = randomNetlist(rng, 6, 30);
+    const Netlist::NodeId gate = nl.logicGates().front();
+    std::vector<std::uint64_t> inputs(nl.numInputs(), ~0ull);
+    std::vector<std::uint64_t> out, scratch;
+
+    std::vector<Netlist::LaneFault> dup(2);
+    dup[0] = {gate, 1ull << 1, 0};
+    dup[1] = {gate, 1ull << 2, 1ull << 2};
+    try {
+        nl.evaluateBatch(inputs, out, dup, scratch);
+        FAIL() << "duplicate gate entries were accepted";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Config);
+        EXPECT_NE(std::string(e.what()).find("duplicate"),
+                  std::string::npos);
+    }
+}
+
+TEST(BatchEval, RejectsUnsortedLaneFaultGates)
+{
+    Rng rng(0x50F7);
+    const Netlist nl = randomNetlist(rng, 6, 30);
+    const auto &logic = nl.logicGates();
+    ASSERT_GE(logic.size(), 2u);
+    std::vector<std::uint64_t> inputs(nl.numInputs(), 0);
+    std::vector<std::uint64_t> out, scratch;
+
+    std::vector<Netlist::LaneFault> unsorted(2);
+    unsorted[0] = {logic[1], 1ull << 1, 0};
+    unsorted[1] = {logic[0], 1ull << 2, 0};
+    try {
+        nl.evaluateBatch(inputs, out, unsorted, scratch);
+        FAIL() << "unsorted gate entries were accepted";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Config);
+        EXPECT_NE(std::string(e.what()).find("not sorted"),
+                  std::string::npos);
+    }
+}
+
+TEST(BatchEval, RejectsOutOfRangeLaneFaultGate)
+{
+    Rng rng(0x0B0E);
+    const Netlist nl = randomNetlist(rng, 6, 30);
+    std::vector<std::uint64_t> inputs(nl.numInputs(), 0);
+    std::vector<std::uint64_t> out, scratch;
+
+    std::vector<Netlist::LaneFault> bad(1);
+    bad[0] = {static_cast<Netlist::NodeId>(nl.numNodes()), 1ull << 1, 0};
+    try {
+        nl.evaluateBatch(inputs, out, bad, scratch);
+        FAIL() << "out-of-range gate entry was accepted";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Config);
+        EXPECT_NE(std::string(e.what()).find("undefined node"),
+                  std::string::npos);
     }
 }
 

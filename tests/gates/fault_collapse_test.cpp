@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Structural fault-collapsing tests: hand-built netlists pin down each
+ * collapsing rule (inverter-chain folding, controlling-value input
+ * equivalence, fanout/output barriers, unobservable and constant-node
+ * untestability), partition properties hold on every FU netlist and on
+ * random netlists (every fault in exactly one class, representatives
+ * members of their own class), and the semantic ground truth is checked
+ * by brute force: same-class faults must be indistinguishable at the
+ * outputs on random patterns, untestable faults must match the golden
+ * circuit, and a pattern detecting a dominated class must detect its
+ * dominators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "gates/fault_collapse.hh"
+#include "gates/fu_library.hh"
+#include "gates/netlist.hh"
+#include "resilience/error.hh"
+
+using namespace harpo;
+using namespace harpo::gates;
+
+namespace
+{
+
+/** Same shape as the batch-eval test's generator: all logic kinds,
+ *  constants in the operand pool, outputs spread over the newest half. */
+Netlist
+randomNetlist(Rng &rng, unsigned num_inputs, unsigned num_gates)
+{
+    Netlist nl;
+    std::vector<Netlist::NodeId> pool;
+    for (unsigned i = 0; i < num_inputs; ++i)
+        pool.push_back(nl.addInput());
+    pool.push_back(nl.constant(false));
+    pool.push_back(nl.constant(true));
+
+    static constexpr GateKind kinds[] = {
+        GateKind::Buf, GateKind::Not, GateKind::And, GateKind::Or,
+        GateKind::Xor, GateKind::Nand, GateKind::Nor, GateKind::Xnor,
+    };
+    for (unsigned g = 0; g < num_gates; ++g) {
+        const GateKind kind = kinds[rng.below(std::size(kinds))];
+        const auto a = pool[rng.below(pool.size())];
+        if (kind == GateKind::Buf || kind == GateKind::Not) {
+            pool.push_back(nl.unary(kind, a));
+        } else {
+            const auto b = pool[rng.below(pool.size())];
+            pool.push_back(nl.binary(kind, a, b));
+        }
+    }
+    for (unsigned o = 0; o < 8; ++o)
+        nl.markOutput(pool[pool.size() - 1 - rng.below(pool.size() / 2)]);
+    return nl;
+}
+
+/** Scalar outputs of @p nl on @p pattern with an optional stuck gate. */
+std::vector<std::uint8_t>
+evalWith(const Netlist &nl, std::uint64_t pattern,
+         std::int64_t gate = Netlist::noFault, bool stuck = false)
+{
+    std::vector<std::uint8_t> in(nl.numInputs());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<std::uint8_t>((pattern >> (i % 64)) & 1);
+    std::vector<std::uint8_t> out, scratch;
+    nl.evaluate(in, out, gate, stuck, scratch);
+    return out;
+}
+
+/** Partition invariants every CollapsedFaultSet must satisfy. */
+void
+checkPartition(const Netlist &nl, const CollapsedFaultSet &cfs)
+{
+    ASSERT_EQ(cfs.numFaults(), 2 * nl.logicGates().size());
+
+    // Every class: non-empty, sorted members, representative is the
+    // first (smallest) member, and classOf agrees for each member.
+    std::size_t memberTotal = 0;
+    std::size_t untestableTotal = 0;
+    for (CollapsedFaultSet::ClassId cls = 0; cls < cfs.numClasses();
+         ++cls) {
+        const auto &members = cfs.members(cls);
+        ASSERT_FALSE(members.empty()) << "class " << cls;
+        const StuckFault &rep = cfs.representative(cls);
+        EXPECT_TRUE(rep == members.front()) << "class " << cls;
+        EXPECT_EQ(cfs.classOf(rep.gate, rep.stuckValue), cls);
+        for (std::size_t m = 0; m < members.size(); ++m) {
+            if (m > 0) {
+                const bool ascending =
+                    members[m - 1].gate < members[m].gate ||
+                    (members[m - 1].gate == members[m].gate &&
+                     !members[m - 1].stuckValue && members[m].stuckValue);
+                EXPECT_TRUE(ascending) << "class " << cls;
+            }
+            EXPECT_EQ(cfs.classOf(members[m].gate, members[m].stuckValue),
+                      cls);
+        }
+        memberTotal += members.size();
+        if (cfs.untestable(cls))
+            untestableTotal += members.size();
+        for (const CollapsedFaultSet::ClassId dom : cfs.dominators(cls))
+            EXPECT_NE(dom, cls);
+    }
+    // classOf is total over the universe and the member lists tile it:
+    // together these make "every fault in exactly one class".
+    EXPECT_EQ(memberTotal, cfs.numFaults());
+    EXPECT_EQ(untestableTotal, cfs.numUntestableFaults());
+    for (const Netlist::NodeId g : nl.logicGates()) {
+        EXPECT_LT(cfs.classOf(g, false), cfs.numClasses());
+        EXPECT_LT(cfs.classOf(g, true), cfs.numClasses());
+    }
+}
+
+} // namespace
+
+TEST(FaultCollapse, FoldsInverterChains)
+{
+    // in -> n1=Not -> n2=Not -> n3=Buf -> output: every fault on the
+    // chain folds into an output-node fault, flipping polarity per Not.
+    Netlist nl;
+    const auto in = nl.addInput();
+    const auto n1 = nl.unary(GateKind::Not, in);
+    const auto n2 = nl.unary(GateKind::Not, n1);
+    const auto n3 = nl.unary(GateKind::Buf, n2);
+    nl.markOutput(n3);
+
+    const auto cfs = CollapsedFaultSet::build(nl);
+    EXPECT_EQ(cfs.numFaults(), 6u);
+    EXPECT_EQ(cfs.numClasses(), 2u);
+    EXPECT_EQ(cfs.classOf(n1, false), cfs.classOf(n2, true));
+    EXPECT_EQ(cfs.classOf(n2, true), cfs.classOf(n3, true));
+    EXPECT_EQ(cfs.classOf(n1, true), cfs.classOf(n3, false));
+    EXPECT_NE(cfs.classOf(n3, false), cfs.classOf(n3, true));
+}
+
+TEST(FaultCollapse, ControllingValueInputEquivalence)
+{
+    // A fanout-free AND input stuck at the controlling value 0 is the
+    // same fault as the AND output stuck at 0; the OR dual uses 1.
+    Netlist nl;
+    const auto x = nl.addInput();
+    const auto y = nl.addInput();
+    const auto a = nl.unary(GateKind::Buf, x);
+    const auto g = nl.binary(GateKind::And, a, y);
+    nl.markOutput(g);
+    const auto cfs = CollapsedFaultSet::build(nl);
+    EXPECT_EQ(cfs.classOf(a, false), cfs.classOf(g, false));
+    EXPECT_NE(cfs.classOf(a, true), cfs.classOf(g, true));
+
+    Netlist nl2;
+    const auto x2 = nl2.addInput();
+    const auto y2 = nl2.addInput();
+    const auto a2 = nl2.unary(GateKind::Buf, x2);
+    const auto g2 = nl2.binary(GateKind::Nor, a2, y2);
+    nl2.markOutput(g2);
+    const auto cfs2 = CollapsedFaultSet::build(nl2);
+    // NOR: controlling 1 forces output 0.
+    EXPECT_EQ(cfs2.classOf(a2, true), cfs2.classOf(g2, false));
+}
+
+TEST(FaultCollapse, DominanceEdgeOnControllingRule)
+{
+    // AND output stuck-at-1 dominates the non-controlling input fault
+    // (a stuck-at-1): any pattern exposing the latter exposes the
+    // former.
+    Netlist nl;
+    const auto x = nl.addInput();
+    const auto y = nl.addInput();
+    const auto a = nl.unary(GateKind::Buf, x);
+    const auto g = nl.binary(GateKind::And, a, y);
+    nl.markOutput(g);
+    const auto cfs = CollapsedFaultSet::build(nl);
+
+    const auto dominated = cfs.classOf(a, true);
+    const auto dominator = cfs.classOf(g, true);
+    const auto &doms = cfs.dominators(dominated);
+    EXPECT_NE(std::find(doms.begin(), doms.end(), dominator), doms.end());
+    EXPECT_GE(cfs.numDominanceEdges(), 1u);
+}
+
+TEST(FaultCollapse, FanoutAndOutputMarksBreakFolding)
+{
+    // A reconvergent operand (two consumers) must not fold into either
+    // consumer, and neither must an operand that is itself a primary
+    // output — its value is observable before the consumer gate.
+    Netlist nl;
+    const auto x = nl.addInput();
+    const auto y = nl.addInput();
+    const auto a = nl.unary(GateKind::Buf, x);
+    const auto g1 = nl.binary(GateKind::And, a, y);
+    const auto g2 = nl.binary(GateKind::Or, a, y);
+    nl.markOutput(g1);
+    nl.markOutput(g2);
+    const auto cfs = CollapsedFaultSet::build(nl);
+    EXPECT_NE(cfs.classOf(a, false), cfs.classOf(g1, false));
+    EXPECT_NE(cfs.classOf(a, true), cfs.classOf(g2, true));
+
+    Netlist nl2;
+    const auto x2 = nl2.addInput();
+    const auto y2 = nl2.addInput();
+    const auto a2 = nl2.unary(GateKind::Buf, x2);
+    const auto g3 = nl2.binary(GateKind::And, a2, y2);
+    nl2.markOutput(a2);
+    nl2.markOutput(g3);
+    const auto cfs2 = CollapsedFaultSet::build(nl2);
+    EXPECT_NE(cfs2.classOf(a2, false), cfs2.classOf(g3, false));
+}
+
+TEST(FaultCollapse, UnobservableGateIsUntestable)
+{
+    // A gate with no path to any marked output can never be detected;
+    // both its faults land in the untestable class.
+    Netlist nl;
+    const auto x = nl.addInput();
+    const auto y = nl.addInput();
+    const auto live = nl.binary(GateKind::Or, x, y);
+    const auto dead = nl.binary(GateKind::And, x, y);
+    nl.markOutput(live);
+    const auto cfs = CollapsedFaultSet::build(nl);
+
+    EXPECT_TRUE(cfs.untestable(cfs.classOf(dead, false)));
+    EXPECT_TRUE(cfs.untestable(cfs.classOf(dead, true)));
+    EXPECT_EQ(cfs.classOf(dead, false), cfs.classOf(dead, true));
+    EXPECT_GE(cfs.numUntestableFaults(), 2u);
+    EXPECT_FALSE(cfs.untestable(cfs.classOf(live, false)));
+}
+
+TEST(FaultCollapse, ConstantValuedGateStuckAtItsValueIsUntestable)
+{
+    // Xor(a, a) computes 0 on every input: stuck-at-0 on it is the
+    // fault-free function, stuck-at-1 is testable.
+    Netlist nl;
+    const auto x = nl.addInput();
+    const auto a = nl.unary(GateKind::Buf, x);
+    const auto g = nl.binary(GateKind::Xor, a, a);
+    const auto o = nl.binary(GateKind::Or, g, x);
+    nl.markOutput(o);
+    const auto cfs = CollapsedFaultSet::build(nl);
+
+    EXPECT_TRUE(cfs.untestable(cfs.classOf(g, false)));
+    EXPECT_FALSE(cfs.untestable(cfs.classOf(g, true)));
+}
+
+TEST(FaultCollapse, ClassOfRejectsNonLogicNodes)
+{
+    Netlist nl;
+    const auto in = nl.addInput();
+    const auto c = nl.constant(true);
+    const auto g = nl.binary(GateKind::And, in, c);
+    nl.markOutput(g);
+    const auto cfs = CollapsedFaultSet::build(nl);
+
+    for (const Netlist::NodeId bad :
+         {in, c, static_cast<Netlist::NodeId>(nl.numNodes())}) {
+        try {
+            (void)cfs.classOf(bad, false);
+            FAIL() << "non-logic node " << bad << " accepted";
+        } catch (const Error &e) {
+            EXPECT_EQ(e.kind(), ErrorKind::Config);
+        }
+    }
+}
+
+TEST(FaultCollapse, PartitionPropertiesOnFuNetlists)
+{
+    const auto &lib = FuLibrary::instance();
+    for (const isa::FuCircuit circuit :
+         {isa::FuCircuit::IntAdd, isa::FuCircuit::IntMul,
+          isa::FuCircuit::FpAdd, isa::FuCircuit::FpMul}) {
+        SCOPED_TRACE(static_cast<int>(circuit));
+        const CollapsedFaultSet &cfs = lib.collapsedFor(circuit);
+        checkPartition(lib.netlistFor(circuit), cfs);
+        // The ISSUE's perf claim rests on a real reduction: every FU
+        // must collapse by a meaningful margin (measured: 1.20-1.58x).
+        EXPECT_GE(cfs.collapseRatio(), 1.1);
+    }
+}
+
+TEST(FaultCollapse, CachedFuAnalysisIsSharedAndDeterministic)
+{
+    const auto &lib = FuLibrary::instance();
+    const CollapsedFaultSet &a = lib.collapsedFor(isa::FuCircuit::IntAdd);
+    const CollapsedFaultSet &b = lib.collapsedFor(isa::FuCircuit::IntAdd);
+    EXPECT_EQ(&a, &b);
+
+    const auto rebuilt =
+        CollapsedFaultSet::build(lib.netlistFor(isa::FuCircuit::IntAdd));
+    ASSERT_EQ(rebuilt.numClasses(), a.numClasses());
+    for (CollapsedFaultSet::ClassId cls = 0; cls < a.numClasses(); ++cls)
+        EXPECT_TRUE(rebuilt.representative(cls) == a.representative(cls));
+}
+
+TEST(FaultCollapse, PartitionPropertiesOnRandomNetlists)
+{
+    Rng rng(0xC011);
+    for (unsigned trial = 0; trial < 6; ++trial) {
+        SCOPED_TRACE(trial);
+        const Netlist nl = randomNetlist(rng, 10, 90);
+        checkPartition(nl, CollapsedFaultSet::build(nl));
+    }
+}
+
+TEST(FaultCollapse, SameClassFaultsAreIndistinguishableAtOutputs)
+{
+    // Ground truth for equivalence: on random input patterns, every
+    // member of a class must produce exactly the outputs its class
+    // representative produces, and untestable classes must match the
+    // fault-free circuit.
+    Rng rng(0x5E11A);
+    for (unsigned trial = 0; trial < 5; ++trial) {
+        const Netlist nl = randomNetlist(rng, 12, 110);
+        const auto cfs = CollapsedFaultSet::build(nl);
+        for (unsigned p = 0; p < 24; ++p) {
+            const std::uint64_t pattern = rng.next();
+            const auto golden = evalWith(nl, pattern);
+            for (CollapsedFaultSet::ClassId cls = 0;
+                 cls < cfs.numClasses(); ++cls) {
+                const StuckFault &rep = cfs.representative(cls);
+                const auto repOut =
+                    evalWith(nl, pattern,
+                             static_cast<std::int64_t>(rep.gate),
+                             rep.stuckValue);
+                if (cfs.untestable(cls)) {
+                    ASSERT_EQ(repOut, golden)
+                        << "trial=" << trial << " class=" << cls;
+                }
+                for (const StuckFault &m : cfs.members(cls)) {
+                    const auto out =
+                        evalWith(nl, pattern,
+                                 static_cast<std::int64_t>(m.gate),
+                                 m.stuckValue);
+                    ASSERT_EQ(out, repOut)
+                        << "trial=" << trial << " class=" << cls
+                        << " gate=" << m.gate << " sv=" << m.stuckValue;
+                }
+            }
+        }
+    }
+}
+
+TEST(FaultCollapse, DominatorsDetectWheneverDominatedDetects)
+{
+    // Ground truth for dominance: on every pattern where the dominated
+    // class's fault is visible at the outputs, each dominator's fault
+    // must be visible too (the contrapositive is what lets the
+    // campaign propagate clean replays down the dominance DAG).
+    Rng rng(0xD011);
+    for (unsigned trial = 0; trial < 5; ++trial) {
+        const Netlist nl = randomNetlist(rng, 12, 110);
+        const auto cfs = CollapsedFaultSet::build(nl);
+        for (unsigned p = 0; p < 24; ++p) {
+            const std::uint64_t pattern = rng.next();
+            const auto golden = evalWith(nl, pattern);
+            for (CollapsedFaultSet::ClassId cls = 0;
+                 cls < cfs.numClasses(); ++cls) {
+                if (cfs.dominators(cls).empty())
+                    continue;
+                const StuckFault &rep = cfs.representative(cls);
+                if (evalWith(nl, pattern,
+                             static_cast<std::int64_t>(rep.gate),
+                             rep.stuckValue) == golden)
+                    continue;
+                for (const CollapsedFaultSet::ClassId dom :
+                     cfs.dominators(cls)) {
+                    const StuckFault &drep = cfs.representative(dom);
+                    ASSERT_NE(
+                        evalWith(nl, pattern,
+                                 static_cast<std::int64_t>(drep.gate),
+                                 drep.stuckValue),
+                        golden)
+                        << "trial=" << trial << " dominated=" << cls
+                        << " dominator=" << dom;
+                }
+            }
+        }
+    }
+}
