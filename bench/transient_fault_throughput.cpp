@@ -4,7 +4,7 @@
  * path (every faulty run simulated from cycle 0 to its natural end)
  * versus the checkpoint-fork fast path (resume from the golden
  * snapshot preceding the injection, stop at the first golden-digest
- * match), on the IRF and the L1D data array.
+ * match), on the IRF, the L1D data array and the ROB.
  *
  * Both sides classify the same sampled fault population (same seed);
  * the fork path is provably classification-identical (DESIGN.md §8)
@@ -57,6 +57,26 @@ irfWorkload()
     for (int r = 0; r < 8; ++r)
         b.i("xor r64, r64",
             {PB::gpr(R15), PB::gpr(r == RSP ? R14 : r)});
+    return b.build();
+}
+
+/** ROB workload: long-latency multiply chains keep the reorder
+ *  buffer deep for most of the run, so rename-tag flips land on
+ *  occupied entries instead of striking dead state. Exercises the
+ *  queue-shaped fault geometry end to end through the fork path. */
+TestProgram
+robWorkload()
+{
+    PB b("bench_rob");
+    b.setGpr(RAX, 0x0123456789ABCDEFull);
+    b.setGpr(RBX, 3);
+    b.setGpr(RCX, 400);
+    auto top = b.here();
+    for (int i = 0; i < 6; ++i)
+        b.i("imul r64, r64", {PB::gpr(RAX), PB::gpr(RBX)});
+    b.i("add r64, imm32", {PB::gpr(RDX), PB::imm(1)});
+    b.i("dec r64", {PB::gpr(RCX)});
+    b.br("jne rel32", top);
     return b.build();
 }
 
@@ -155,9 +175,17 @@ main()
 
     const TestProgram irf = irfWorkload();
     const TestProgram l1d = l1dWorkload();
-    const std::pair<const char *, const TestProgram *> targets[] = {
-        {"IntRegFile", &irf},
-        {"L1DCache", &l1d},
+    const TestProgram rob = robWorkload();
+    struct Entry
+    {
+        const char *name;
+        const TestProgram *program;
+        TargetStructure target;
+    };
+    const Entry targets[] = {
+        {"IntRegFile", &irf, TargetStructure::IntRegFile},
+        {"L1DCache", &l1d, TargetStructure::L1DCache},
+        {"ROB", &rob, TargetStructure::Rob},
     };
 
     bench::JsonWriter json;
@@ -167,10 +195,7 @@ main()
     json.key("targets").beginArray();
 
     bool allAgree = true;
-    for (const auto &[name, program] : targets) {
-        const TargetStructure target =
-            program == &irf ? TargetStructure::IntRegFile
-                            : TargetStructure::L1DCache;
+    for (const auto &[name, program, target] : targets) {
         const TargetResult r = benchTarget(name, *program, target);
         allAgree = allAgree && r.agree();
         std::printf(

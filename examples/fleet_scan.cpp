@@ -313,7 +313,42 @@ main(int argc, char **argv)
     bool collapseStats = false;
     CampaignOptions campaignOpts;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+        if (std::strcmp(argv[i], "--list-targets") == 0) {
+            // The registered fault targets, straight from the
+            // descriptor table — the same single source of truth the
+            // campaign and coverage layers run on.
+            const uarch::CoreConfig defaults;
+            std::printf("%-18s %-15s %-8s %s\n", "name", "kind",
+                        "metric", "fault sites (default config)");
+            for (const auto &info : coverage::allStructures()) {
+                const char *kind = "";
+                switch (info.kind) {
+                  case coverage::SiteKind::BitArray:
+                    kind = "bit-array"; break;
+                  case coverage::SiteKind::QueueEntries:
+                    kind = "queue"; break;
+                  case coverage::SiteKind::TableEntries:
+                    kind = "table"; break;
+                  case coverage::SiteKind::FunctionalUnit:
+                    kind = "func-unit"; break;
+                }
+                if (info.geometry) {
+                    const coverage::SiteGeometry g =
+                        info.geometry(defaults);
+                    std::printf("%-18s %-15s %-8s %u x %u bits "
+                                "(%llu sites)\n",
+                                info.name, kind, "ACE", g.entries,
+                                g.bitsPerEntry,
+                                static_cast<unsigned long long>(
+                                    g.totalSites()));
+                } else {
+                    std::printf("%-18s %-15s %-8s gate stuck-at\n",
+                                info.name, kind, "IBR");
+                }
+            }
+            return 0;
+        } else if (std::strcmp(argv[i], "--trace") == 0 &&
+                   i + 1 < argc) {
             tracePath = argv[++i];
         } else if (std::strcmp(argv[i], "--metrics-summary") == 0) {
             metricsSummary = true;
@@ -363,6 +398,7 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: %s [--target <structure>] "
+                         "[--list-targets] "
                          "[--trace <jsonl>] [--metrics-summary]\n"
                          "       %s --campaign-dir <dir> [--resume] "
                          "[--workers N] [--programs N]\n"

@@ -135,9 +135,14 @@ Journal::Journal(const std::string &path, std::uint64_t spec_fingerprint)
         if (got == kHeaderBytes) {
             if (getLe(header, 8) != kMagic)
                 throw Error::io("journal: bad magic in " + path);
-            if (getLe(header + 8, 4) > kVersion)
-                throw Error::io("journal: unsupported version in " +
-                                path);
+            if (getLe(header + 8, 4) != kVersion)
+                throw Error::io(
+                    "journal: format version " +
+                    std::to_string(getLe(header + 8, 4)) + " in " +
+                    path + " does not match this build's version " +
+                    std::to_string(kVersion) +
+                    " (run signatures are hasher-specific; re-run "
+                    "the campaign instead of resuming)");
             if (getLe(header + 12, 8) != spec_fingerprint)
                 throw Error::io(
                     "journal: campaign fingerprint mismatch in " +
@@ -220,9 +225,15 @@ Journal::replay(const std::string &path, std::uint64_t spec_fingerprint)
         std::fclose(f);
         throw Error::io("journal: bad magic in " + path);
     }
-    if (getLe(header + 8, 4) > kVersion) {
+    if (getLe(header + 8, 4) != kVersion) {
         std::fclose(f);
-        throw Error::io("journal: unsupported version in " + path);
+        throw Error::io(
+            "journal: format version " +
+            std::to_string(getLe(header + 8, 4)) + " in " + path +
+            " does not match this build's version " +
+            std::to_string(kVersion) +
+            " (run signatures are hasher-specific; re-run the "
+            "campaign instead of resuming)");
     }
     if (getLe(header + 12, 8) != spec_fingerprint) {
         std::fclose(f);

@@ -69,7 +69,12 @@ class Journal
 {
   public:
     static constexpr std::uint64_t kMagic = 0x314C4E4A5052'4148ull;
-    static constexpr std::uint32_t kVersion = 1;
+    /** Results-format version. v2: run signatures switched to the
+     *  word-wise StateHash (isa::computeSignature) and CampaignSpec
+     *  gained l1dUpsetSpan — goldenSignature values and spec
+     *  fingerprints are incomparable with v1 journals, so resume
+     *  requires an exact version match rather than merely <=. */
+    static constexpr std::uint32_t kVersion = 2;
     /** Replay refuses records larger than this: no legitimate record
      *  (even a ShardFailed with a long message) comes close, and the
      *  bound keeps a corrupt length field from looking plausible. */

@@ -47,6 +47,7 @@ CampaignSpec::shardConfig(const ShardSpec &shard) const
     cfg.hangMultiplier = hangMultiplier;
     cfg.hangSlackCycles = hangSlackCycles;
     cfg.faultCollapsing = faultCollapsing;
+    cfg.l1dUpsetSpan = l1dUpsetSpan;
     cfg.validate();
     return cfg;
 }
@@ -75,6 +76,9 @@ CampaignSpec::validate() const
     if (!(hangMultiplier > 0.0) || !std::isfinite(hangMultiplier))
         throw Error::internal(
             "CampaignSpec: hangMultiplier must be finite and > 0");
+    if (l1dUpsetSpan < 1 || l1dUpsetSpan > 255)
+        throw Error::internal(
+            "CampaignSpec: l1dUpsetSpan must be in [1, 255]");
     std::unordered_set<std::string> names;
     for (const auto &program : programs) {
         if (program.name.empty())
@@ -257,6 +261,7 @@ CampaignSpec::serialize(resilience::SnapshotWriter &w) const
     w.u64(hangSlackCycles);
     w.u8(shardParallel ? 1 : 0);
     w.u8(faultCollapsing ? 1 : 0);
+    w.u8(static_cast<std::uint8_t>(l1dUpsetSpan));
 }
 
 CampaignSpec
@@ -287,6 +292,7 @@ CampaignSpec::deserialize(resilience::SnapshotReader &r)
     spec.hangSlackCycles = r.u64();
     spec.shardParallel = r.u8() != 0;
     spec.faultCollapsing = r.u8() != 0;
+    spec.l1dUpsetSpan = r.u8();
     spec.validate();
     return spec;
 }

@@ -80,6 +80,10 @@ struct CampaignSpec
      *  bit-identical either way; off is the differential oracle. */
     bool faultCollapsing = true;
 
+    /** Adjacent-bit upset width for L1D transient shards
+     *  (CampaignConfig::l1dUpsetSpan); 1 is the single-bit model. */
+    unsigned l1dUpsetSpan = 1;
+
     /** The full shard list, in id order. Pure function of the spec. */
     std::vector<ShardSpec> shards() const;
 

@@ -536,6 +536,39 @@ presetFor(coverage::TargetStructure target, double scale)
         cfg.topK = 6;
         cfg.generations = scaled(250);
         break;
+      case TargetStructure::Rob:
+      case TargetStructure::RenameMap:
+        // Occupancy targets: the same miss-heavy recipe that parks
+        // values in the PRF also backs the window up, keeping ROB
+        // entries allocated and rename mappings hot for longer.
+        cfg.gen.numInstructions = scaled(2000);
+        cfg.population = 24;
+        cfg.topK = 6;
+        cfg.generations = scaled(150);
+        cfg.gen.memory.stride = 64;
+        cfg.gen.memory.regionSize = 128 * 1024;
+        break;
+      case TargetStructure::StoreQueue:
+        // Store-data coverage wants a dense store stream whose values
+        // sit in the queue until commit drains them; the L1D-capacity
+        // region keeps the stores themselves missing often enough to
+        // stall the drain.
+        cfg.gen.numInstructions = scaled(4000);
+        cfg.population = 16;
+        cfg.topK = 4;
+        cfg.generations = scaled(100);
+        cfg.gen.memory.stride = 16;
+        cfg.gen.memory.regionSize = cfg.core.l1d.size;
+        break;
+      case TargetStructure::BranchPredictor:
+        // Counter-table coverage needs conditional branches: without
+        // them no predictor slot is ever looked up or trained.
+        cfg.gen.numInstructions = scaled(2000);
+        cfg.population = 24;
+        cfg.topK = 6;
+        cfg.generations = scaled(150);
+        cfg.gen.allowBranches = true;
+        break;
     }
     cfg.gen.namePrefix =
         std::string("harpo-") + coverage::structureName(target);

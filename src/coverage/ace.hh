@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "coverage/analyzers.hh"
 #include "isa/registers.hh"
 #include "uarch/core.hh"
 #include "uarch/probes.hh"
@@ -33,7 +34,7 @@ namespace harpo::coverage
  *  it holds: all 64 for a GPR, but only the 5 modelled flag bits for
  *  a renamed RFLAGS — otherwise flag-heavy programs saturate the
  *  proxy with (bit x cycle) slots no fault can ever use. */
-class PrfAceAnalyzer : public uarch::CoreProbe
+class PrfAceAnalyzer : public StructureAnalyzer
 {
   public:
     void
@@ -81,7 +82,7 @@ class PrfAceAnalyzer : public uarch::CoreProbe
 
     /** ACE fraction over all (bit x cycle) slots of the PRF. */
     double
-    coverage() const
+    coverage() const override
     {
         if (totalCycles == 0 || numRegs == 0)
             return 0.0;
@@ -92,7 +93,7 @@ class PrfAceAnalyzer : public uarch::CoreProbe
     /** Back to the just-constructed state, keeping the interval
      *  table's allocation (recycled-session support). */
     void
-    reset()
+    reset() override
     {
         std::fill(lastEvent.begin(), lastEvent.end(), 0);
         aceBitCycles = 0.0;
@@ -115,7 +116,7 @@ class PrfAceAnalyzer : public uarch::CoreProbe
 };
 
 /** ACE lifetime analyser for the L1 data cache data array. */
-class CacheAceAnalyzer : public uarch::CoreProbe
+class CacheAceAnalyzer : public StructureAnalyzer
 {
   public:
     void
@@ -159,7 +160,7 @@ class CacheAceAnalyzer : public uarch::CoreProbe
 
     /** ACE fraction over all (bit x cycle) slots of the data array. */
     double
-    coverage() const
+    coverage() const override
     {
         if (totalCycles == 0 || numBytes == 0)
             return 0.0;
@@ -170,7 +171,7 @@ class CacheAceAnalyzer : public uarch::CoreProbe
     /** Back to the just-constructed state, keeping the interval
      *  table's allocation (recycled-session support). */
     void
-    reset()
+    reset() override
     {
         std::fill(lastEvent.begin(), lastEvent.end(), 0);
         aceByteCycles = 0;

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * The common interface of all storage-structure coverage analysers,
+ * plus the ACE analysers for the four pipeline-state targets (ROB,
+ * rename map, store queue, branch predictor).
+ *
+ * Every storage target registered in coverage::allStructures() names
+ * an analyser factory returning a StructureAnalyzer; callers attach
+ * the analyser to an evaluation session (uarch::ProbeSet) and read
+ * coverage() after the run, without knowing which concrete analysis
+ * backs the structure (interval ACE, true-liveness ACE, occupancy
+ * accounting). Functional units use IBR instead and have no analyser.
+ *
+ * The pipeline-state analysers are first-order ACE proxies in the
+ * spirit of the bit-array analysers (coverage/ace.hh): a (site x
+ * cycle) slot counts as ACE when the state it holds can influence
+ * architecturally correct execution — an occupied ROB entry's rename
+ * tags steer commit and squash, buffered store data of an executed
+ * store flows to the cache at commit, a rename-map entry read by a
+ * renamed consumer redirects its sources, a predictor counter
+ * consulted at fetch steers (speculative) control flow. Each is a
+ * utilization/lifetime upper bound of the truly-ACE fraction, which
+ * is the same first-order approximation the PRF/L1D interval
+ * analysers make (DESIGN.md §14).
+ */
+
+#ifndef HARPOCRATES_COVERAGE_ANALYZERS_HH
+#define HARPOCRATES_COVERAGE_ANALYZERS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "uarch/core.hh"
+#include "uarch/probes.hh"
+
+namespace harpo::coverage
+{
+
+/** A coverage analyser for one storage structure: a pure-observer
+ *  probe whose coverage() is valid once the observed run ended. */
+class StructureAnalyzer : public uarch::CoreProbe
+{
+  public:
+    /** Coverage in [0, 1] of the analysed structure. */
+    virtual double coverage() const = 0;
+
+    /** Back to the just-constructed state, keeping allocations
+     *  (recycled-session support). */
+    virtual void reset() = 0;
+};
+
+/** Occupancy-lifetime ACE analyser for the reorder buffer. An
+ *  occupied entry's rename bookkeeping (destination tags) is live
+ *  until the entry commits or squashes: a flipped tag makes commit
+ *  publish — and squash/commit free — the wrong physical register.
+ *  Coverage is occupied entry-cycles over all entry-cycles. */
+class RobAceAnalyzer : public StructureAnalyzer
+{
+  public:
+    void
+    onCycleBegin(uarch::Core &core, std::uint64_t cycle) override
+    {
+        (void)cycle;
+        occupiedEntryCycles +=
+            static_cast<double>(core.robOccupancy());
+    }
+
+    void
+    onRunEnd(uarch::Core &core, std::uint64_t cycle) override
+    {
+        totalCycles = cycle;
+        numEntries = core.config().robSize;
+    }
+
+    double
+    coverage() const override
+    {
+        if (totalCycles == 0 || numEntries == 0)
+            return 0.0;
+        return occupiedEntryCycles /
+               (static_cast<double>(totalCycles) * numEntries);
+    }
+
+    void
+    reset() override
+    {
+        occupiedEntryCycles = 0.0;
+        totalCycles = 0;
+        numEntries = 0;
+    }
+
+  private:
+    double occupiedEntryCycles = 0.0;
+    std::uint64_t totalCycles = 0;
+    unsigned numEntries = 0;
+};
+
+/** Interval ACE analyser for the speculative integer rename map.
+ *  An interval ending in a rename-stage read is ACE (the consumer's
+ *  source mapping came from it); an interval ending in an overwrite
+ *  (new producer renamed, or squash restore) is un-ACE. Entries are
+ *  architecturally mapped at run end, so their final interval is ACE
+ *  (they name the registers feeding the output signature). */
+class RenameMapAceAnalyzer : public StructureAnalyzer
+{
+  public:
+    void
+    onRenameRead(unsigned arch_reg, std::uint64_t cycle) override
+    {
+        ensure(arch_reg);
+        aceEntryCycles +=
+            static_cast<double>(cycle - lastEvent[arch_reg]);
+        lastEvent[arch_reg] = cycle;
+    }
+
+    void
+    onRenameWrite(unsigned arch_reg, std::uint64_t cycle) override
+    {
+        ensure(arch_reg);
+        lastEvent[arch_reg] = cycle;
+    }
+
+    void
+    onRunEnd(uarch::Core &core, std::uint64_t cycle) override
+    {
+        (void)core;
+        ensure(isa::numIntArchRegs - 1);
+        for (int arch = 0; arch < isa::numIntArchRegs; ++arch)
+            aceEntryCycles +=
+                static_cast<double>(cycle - lastEvent[arch]);
+        totalCycles = cycle;
+    }
+
+    double
+    coverage() const override
+    {
+        if (totalCycles == 0)
+            return 0.0;
+        return aceEntryCycles / (static_cast<double>(totalCycles) *
+                                 isa::numIntArchRegs);
+    }
+
+    void
+    reset() override
+    {
+        std::fill(lastEvent.begin(), lastEvent.end(), 0);
+        aceEntryCycles = 0.0;
+        totalCycles = 0;
+    }
+
+  private:
+    void
+    ensure(unsigned arch_reg)
+    {
+        if (arch_reg >= lastEvent.size())
+            lastEvent.resize(arch_reg + 1, 0);
+    }
+
+    std::vector<std::uint64_t> lastEvent;
+    double aceEntryCycles = 0.0;
+    std::uint64_t totalCycles = 0;
+};
+
+/** Occupancy-lifetime ACE analyser for the store queue's data field.
+ *  Bytes of an *executed* store are live from execute to commit
+ *  drain — they are exactly what the cache write publishes; bytes of
+ *  a not-yet-executed entry and bytes beyond the store's width are
+ *  dead (overwritten or never drained). Coverage is live byte-cycles
+ *  over all (entry x byte x cycle) slots. */
+class StoreQueueAceAnalyzer : public StructureAnalyzer
+{
+  public:
+    static constexpr unsigned bytesPerEntry = 16;
+
+    void
+    onCycleBegin(uarch::Core &core, std::uint64_t cycle) override
+    {
+        (void)cycle;
+        for (const uarch::StoreEntry &s : core.storeQueueState()) {
+            if (s.executed)
+                liveByteCycles += static_cast<double>(s.size);
+        }
+    }
+
+    void
+    onRunEnd(uarch::Core &core, std::uint64_t cycle) override
+    {
+        totalCycles = cycle;
+        numEntries = core.config().sqSize;
+    }
+
+    double
+    coverage() const override
+    {
+        if (totalCycles == 0 || numEntries == 0)
+            return 0.0;
+        return liveByteCycles /
+               (static_cast<double>(totalCycles) * numEntries *
+                bytesPerEntry);
+    }
+
+    void
+    reset() override
+    {
+        liveByteCycles = 0.0;
+        totalCycles = 0;
+        numEntries = 0;
+    }
+
+  private:
+    double liveByteCycles = 0.0;
+    std::uint64_t totalCycles = 0;
+    unsigned numEntries = 0;
+};
+
+/** Interval ACE analyser for the branch-predictor counter table. A
+ *  counter-slot interval ending in a fetch-stage lookup is ACE (its
+ *  value steered fetch); an interval ending in a training update is
+ *  un-ACE (overwritten). Predictor state never reaches architectural
+ *  outputs — a wrong prediction only costs a squash — so unlike the
+ *  other structures there is no end-of-run credit; the metric drives
+ *  evolution toward programs that keep many counters steering fetch,
+ *  which is what maximises a fault's chance to perturb timing. */
+class BpAceAnalyzer : public StructureAnalyzer
+{
+  public:
+    void
+    onCycleBegin(uarch::Core &core, std::uint64_t cycle) override
+    {
+        (void)cycle;
+        if (numSlots == 0) {
+            numSlots = core.branchPredictor().size();
+            lastEvent.assign(numSlots, 0);
+        }
+    }
+
+    void
+    onBpLookup(std::uint64_t pc, std::uint64_t cycle) override
+    {
+        if (numSlots == 0)
+            return;
+        const std::size_t slot = pc % numSlots;
+        aceSlotCycles +=
+            static_cast<double>(cycle - lastEvent[slot]);
+        lastEvent[slot] = cycle;
+    }
+
+    void
+    onBpUpdate(std::uint64_t pc, std::uint64_t cycle) override
+    {
+        if (numSlots == 0)
+            return;
+        lastEvent[pc % numSlots] = cycle;
+    }
+
+    void
+    onRunEnd(uarch::Core &core, std::uint64_t cycle) override
+    {
+        (void)core;
+        totalCycles = cycle;
+    }
+
+    double
+    coverage() const override
+    {
+        if (totalCycles == 0 || numSlots == 0)
+            return 0.0;
+        return aceSlotCycles /
+               (static_cast<double>(totalCycles) * numSlots);
+    }
+
+    void
+    reset() override
+    {
+        std::fill(lastEvent.begin(), lastEvent.end(), 0);
+        aceSlotCycles = 0.0;
+        totalCycles = 0;
+        numSlots = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> lastEvent;
+    double aceSlotCycles = 0.0;
+    std::uint64_t totalCycles = 0;
+    std::size_t numSlots = 0;
+};
+
+} // namespace harpo::coverage
+
+#endif // HARPOCRATES_COVERAGE_ANALYZERS_HH

@@ -137,12 +137,14 @@ GenerationEvaluator::evaluate(
         auto ws = acquireWorkspace();
         LaneIbrRecorder &recorder = *recorders[i];
         recorder.reset();
-        ws->irfAce.reset();
-        ws->l1dAce.reset();
+        ws->cov.reset();
         ws->session.clear();
         ws->session.chain(recorder);
-        ws->session.add(&ws->irfAce);
-        ws->session.add(&ws->l1dAce);
+        // Storage analysers come from the descriptor table (IRF and
+        // L1D first, in table order — the order the pre-session code
+        // attached them in); the FUs are graded by the lane pass, so
+        // the session-wide IbrArithModel is deliberately not chained.
+        ws->cov.attachAnalyzers(ws->session);
 
         uarch::CoreArena::Lease core = arena.acquire(simCfg);
         const uarch::SimResult sim =
@@ -151,11 +153,12 @@ GenerationEvaluator::evaluate(
         CoverageVector v;
         v.sim = sim;
         if (sim.exit == uarch::SimResult::Exit::Finished) {
-            v.coverage[static_cast<std::size_t>(
-                TargetStructure::IntRegFile)] = ws->irfAce.coverage();
-            v.coverage[static_cast<std::size_t>(
-                TargetStructure::L1DCache)] = ws->l1dAce.coverage();
-            // Functional-unit entries follow in the lane grading pass.
+            for (const StructureInfo &info : allStructures()) {
+                if (!info.bitArray)
+                    continue; // FU entries follow in the lane pass
+                v.coverage[static_cast<std::size_t>(info.target)] =
+                    ws->cov.storageCoverage(info.target);
+            }
         }
         out[i] = v;
         graded[i] = &recorder;

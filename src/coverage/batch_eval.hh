@@ -108,11 +108,13 @@ class GenerationEvaluator
     BatchStats stats() const;
 
   private:
-    /** Per-run analyser bundle, recycled through a free list. */
+    /** Per-run analyser bundle, recycled through a free list. The
+     *  CoverageSession owns one analyser per storage descriptor (built
+     *  from allStructures() factories), so new fault targets flow
+     *  through batch grading without this file changing. */
     struct Workspace
     {
-        TrueAceAnalyzer irfAce;
-        CacheAceAnalyzer l1dAce;
+        CoverageSession cov;
         uarch::ProbeSet session;
     };
 

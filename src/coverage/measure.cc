@@ -9,29 +9,166 @@
 namespace harpo::coverage
 {
 
+namespace
+{
+
+/** Bits needed to address @p count items (site width of the
+ *  physical-register tags stored in the ROB and the rename map). */
+std::uint32_t
+indexBits(std::uint32_t count)
+{
+    std::uint32_t bits = 0;
+    while ((1u << bits) < count)
+        ++bits;
+    return bits == 0 ? 1 : bits;
+}
+
+std::unique_ptr<StructureAnalyzer>
+makeTrueAce()
+{
+    return std::make_unique<TrueAceAnalyzer>();
+}
+
+std::unique_ptr<StructureAnalyzer>
+makeCacheAce()
+{
+    return std::make_unique<CacheAceAnalyzer>();
+}
+
+std::unique_ptr<StructureAnalyzer>
+makeRobAce()
+{
+    return std::make_unique<RobAceAnalyzer>();
+}
+
+std::unique_ptr<StructureAnalyzer>
+makeRenameMapAce()
+{
+    return std::make_unique<RenameMapAceAnalyzer>();
+}
+
+std::unique_ptr<StructureAnalyzer>
+makeStoreQueueAce()
+{
+    return std::make_unique<StoreQueueAceAnalyzer>();
+}
+
+std::unique_ptr<StructureAnalyzer>
+makeBpAce()
+{
+    return std::make_unique<BpAceAnalyzer>();
+}
+
+} // namespace
+
 const std::array<StructureInfo, numTargetStructures> &
 allStructures()
 {
+    using uarch::Core;
+    using uarch::CoreConfig;
     static const std::array<StructureInfo, numTargetStructures> table{{
-        {TargetStructure::IntRegFile, "IRF", isa::FuCircuit::None, true},
-        {TargetStructure::L1DCache, "L1D", isa::FuCircuit::None, true},
+        {TargetStructure::IntRegFile, "IRF", isa::FuCircuit::None, true,
+         SiteKind::BitArray,
+         [](const CoreConfig &c) {
+             return SiteGeometry{c.numIntPhysRegs, 64};
+         },
+         [](Core &c, std::uint32_t loc, std::uint8_t bit) {
+             c.intPrf().flipBit(loc, bit);
+             return true;
+         },
+         [](Core &c, std::uint32_t loc, std::uint8_t bit, bool v) {
+             c.intPrf().forceBit(loc, bit, v);
+             return true;
+         },
+         &makeTrueAce},
+        {TargetStructure::L1DCache, "L1D", isa::FuCircuit::None, true,
+         SiteKind::BitArray,
+         [](const CoreConfig &c) {
+             return SiteGeometry{c.l1d.size, 8};
+         },
+         [](Core &c, std::uint32_t loc, std::uint8_t bit) {
+             c.l1d().flipBit(loc, bit);
+             return true;
+         },
+         [](Core &c, std::uint32_t loc, std::uint8_t bit, bool v) {
+             c.l1d().forceBit(loc, bit, v);
+             return true;
+         },
+         &makeCacheAce},
         {TargetStructure::IntAdder, "IntAdder", isa::FuCircuit::IntAdd,
-         false},
+         false, SiteKind::FunctionalUnit, nullptr, nullptr, nullptr,
+         nullptr},
         {TargetStructure::IntMultiplier, "IntMultiplier",
-         isa::FuCircuit::IntMul, false},
+         isa::FuCircuit::IntMul, false, SiteKind::FunctionalUnit,
+         nullptr, nullptr, nullptr, nullptr},
         {TargetStructure::FpAdder, "SSE-FP-Adder", isa::FuCircuit::FpAdd,
-         false},
+         false, SiteKind::FunctionalUnit, nullptr, nullptr, nullptr,
+         nullptr},
         {TargetStructure::FpMultiplier, "SSE-FP-Multiplier",
-         isa::FuCircuit::FpMul, false},
+         isa::FuCircuit::FpMul, false, SiteKind::FunctionalUnit,
+         nullptr, nullptr, nullptr, nullptr},
+        {TargetStructure::Rob, "ROB", isa::FuCircuit::None, true,
+         SiteKind::QueueEntries,
+         [](const CoreConfig &c) {
+             return SiteGeometry{c.robSize,
+                                 indexBits(c.numIntPhysRegs)};
+         },
+         [](Core &c, std::uint32_t loc, std::uint8_t bit) {
+             return c.flipRobDestBit(loc, bit);
+         },
+         [](Core &c, std::uint32_t loc, std::uint8_t bit, bool v) {
+             return c.forceRobDestBit(loc, bit, v);
+         },
+         &makeRobAce},
+        {TargetStructure::RenameMap, "RenameMap", isa::FuCircuit::None,
+         true, SiteKind::TableEntries,
+         [](const CoreConfig &c) {
+             return SiteGeometry{
+                 static_cast<std::uint32_t>(isa::numIntArchRegs),
+                 indexBits(c.numIntPhysRegs)};
+         },
+         [](Core &c, std::uint32_t loc, std::uint8_t bit) {
+             return c.flipRenameMapBit(loc, bit);
+         },
+         [](Core &c, std::uint32_t loc, std::uint8_t bit, bool v) {
+             return c.forceRenameMapBit(loc, bit, v);
+         },
+         &makeRenameMapAce},
+        {TargetStructure::StoreQueue, "StoreQueue", isa::FuCircuit::None,
+         true, SiteKind::QueueEntries,
+         [](const CoreConfig &c) {
+             return SiteGeometry{
+                 c.sqSize,
+                 StoreQueueAceAnalyzer::bytesPerEntry * 8};
+         },
+         [](Core &c, std::uint32_t loc, std::uint8_t bit) {
+             return c.flipStoreDataBit(loc, bit);
+         },
+         [](Core &c, std::uint32_t loc, std::uint8_t bit, bool v) {
+             return c.forceStoreDataBit(loc, bit, v);
+         },
+         &makeStoreQueueAce},
+        {TargetStructure::BranchPredictor, "BranchPredictor",
+         isa::FuCircuit::None, true, SiteKind::TableEntries,
+         [](const CoreConfig &) {
+             return SiteGeometry{
+                 static_cast<std::uint32_t>(
+                     uarch::BranchPredictor::defaultTableSize),
+                 2};
+         },
+         [](Core &c, std::uint32_t loc, std::uint8_t bit) {
+             return c.flipPredictorBit(loc, bit);
+         },
+         [](Core &c, std::uint32_t loc, std::uint8_t bit, bool v) {
+             return c.forcePredictorBit(loc, bit, v);
+         },
+         &makeBpAce},
     }};
     return table;
 }
 
-namespace
-{
-
 const StructureInfo &
-infoFor(TargetStructure target)
+structureInfo(TargetStructure target)
 {
     const auto idx = static_cast<std::size_t>(target);
     panicIf(idx >= numTargetStructures,
@@ -42,12 +179,10 @@ infoFor(TargetStructure target)
     return info;
 }
 
-} // namespace
-
 const char *
 structureName(TargetStructure target)
 {
-    return infoFor(target).name;
+    return structureInfo(target).name;
 }
 
 std::optional<TargetStructure>
@@ -65,13 +200,59 @@ parseStructure(const char *name)
 isa::FuCircuit
 circuitFor(TargetStructure target)
 {
-    return infoFor(target).circuit;
+    return structureInfo(target).circuit;
 }
 
 bool
 isBitArray(TargetStructure target)
 {
-    return infoFor(target).bitArray;
+    return structureInfo(target).bitArray;
+}
+
+CoverageSession::CoverageSession()
+{
+    for (const StructureInfo &info : allStructures()) {
+        if (info.makeAnalyzer) {
+            analyzers[static_cast<std::size_t>(info.target)] =
+                info.makeAnalyzer();
+        }
+    }
+}
+
+void
+CoverageSession::attach(uarch::ProbeSet &session)
+{
+    session.chain(ibr);
+    attachAnalyzers(session);
+}
+
+void
+CoverageSession::attachAnalyzers(uarch::ProbeSet &session)
+{
+    // Table order, so probe fan-out order is deterministic.
+    for (const StructureInfo &info : allStructures()) {
+        if (auto &a = analyzers[static_cast<std::size_t>(info.target)])
+            session.add(a.get());
+    }
+}
+
+double
+CoverageSession::storageCoverage(TargetStructure target) const
+{
+    const auto &analyzer = analyzers[static_cast<std::size_t>(target)];
+    panicIf(!analyzer, "storageCoverage: no analyser for a "
+                       "functional-unit target");
+    return analyzer->coverage();
+}
+
+void
+CoverageSession::reset()
+{
+    for (auto &analyzer : analyzers) {
+        if (analyzer)
+            analyzer->reset();
+    }
+    ibr.reset();
 }
 
 CoverageVector
@@ -84,10 +265,8 @@ CoverageSession::extract(const uarch::SimResult &sim) const
 
     for (const StructureInfo &info : allStructures()) {
         const auto idx = static_cast<std::size_t>(info.target);
-        if (info.target == TargetStructure::IntRegFile)
-            result.coverage[idx] = irfAce.coverage();
-        else if (info.target == TargetStructure::L1DCache)
-            result.coverage[idx] = l1dAce.coverage();
+        if (analyzers[idx])
+            result.coverage[idx] = analyzers[idx]->coverage();
         else
             result.coverage[idx] = ibr.ibr(info.circuit, sim.cycles);
     }

@@ -2,20 +2,30 @@
  * @file
  * Unified hardware-coverage measurement: given a test program, run it
  * once on the core model with every coverage analyser attached as one
- * composed evaluation session (uarch::ProbeSet) and return all six
- * structure coverages — ACE for the bit arrays, IBR for the
+ * composed evaluation session (uarch::ProbeSet) and return all
+ * structure coverages — ACE for the storage structures, IBR for the
  * functional units. This is the fast grading step of the Harpocrates
- * loop (paper step 1); grading all six structures costs the same one
+ * loop (paper step 1); grading every structure costs the same one
  * simulation as grading one (DESIGN.md §9).
+ *
+ * The structure descriptor table (allStructures()) is the single
+ * source of truth for everything per-structure: name, metric kind,
+ * gate circuit, fault-site geometry, injector, and analyser factory.
+ * The fault campaign, the batch evaluator, the MultiTarget objective
+ * and the tools all iterate the table instead of special-casing
+ * structures, so adding a target is one table row plus its core
+ * hooks (docs/EXTENDING.md, DESIGN.md §14).
  */
 
 #ifndef HARPOCRATES_COVERAGE_MEASURE_HH
 #define HARPOCRATES_COVERAGE_MEASURE_HH
 
 #include <array>
+#include <memory>
 #include <optional>
 
 #include "coverage/ace.hh"
+#include "coverage/analyzers.hh"
 #include "coverage/ibr.hh"
 #include "coverage/true_ace.hh"
 #include "isa/program.hh"
@@ -24,7 +34,9 @@
 namespace harpo::coverage
 {
 
-/** The six hardware structures evaluated in the paper. */
+/** The hardware structures under evaluation: the paper's six plus
+ *  the pipeline-state ACE targets. Values are stable — they index
+ *  weight arrays and appear in persisted formats. */
 enum class TargetStructure : std::uint8_t
 {
     IntRegFile,    ///< physical integer register file (transients)
@@ -33,22 +45,81 @@ enum class TargetStructure : std::uint8_t
     IntMultiplier, ///< integer multiplier, gate-level (permanents)
     FpAdder,       ///< SSE FP adder, gate-level (permanents)
     FpMultiplier,  ///< SSE FP multiplier, gate-level (permanents)
+    Rob,           ///< reorder-buffer rename tags (transients)
+    RenameMap,     ///< speculative integer rename map (transients)
+    StoreQueue,    ///< store-queue data field (transients)
+    BranchPredictor, ///< bimodal counter table (transients)
 };
 
-inline constexpr std::size_t numTargetStructures = 6;
+inline constexpr std::size_t numTargetStructures = 10;
+
+/** How a structure's fault sites are laid out — decides how
+ *  sampleFaults draws locations and what a "location" means. */
+enum class SiteKind : std::uint8_t
+{
+    BitArray,       ///< dense (entry x bit) array: PRF words, cache bytes
+    QueueEntries,   ///< age-ordered queue slots (ROB, store queue);
+                    ///< a sampled slot may be unoccupied at the
+                    ///< injection cycle (struck-but-empty ⇒ Masked)
+    TableEntries,   ///< always-populated indexed table (rename map,
+                    ///< predictor counters)
+    FunctionalUnit, ///< gate netlist: sites are stuck-at gates, not
+                    ///< (location, bit) pairs
+};
+
+/** Fault-site geometry of one storage structure under a given core
+ *  configuration: @p entries addressable locations of @p bitsPerEntry
+ *  bits each. */
+struct SiteGeometry
+{
+    std::uint32_t entries = 0;
+    std::uint32_t bitsPerEntry = 0;
+
+    std::uint64_t
+    totalSites() const
+    {
+        return static_cast<std::uint64_t>(entries) * bitsPerEntry;
+    }
+};
 
 /** Everything the library knows about one target structure. The
- *  single source of truth for names, circuits and metric kinds. */
+ *  single source of truth for names, circuits, metric kinds, fault
+ *  geometry, injectors and analyser factories. */
 struct StructureInfo
 {
     TargetStructure target;
     const char *name;        ///< as used in the paper's figures
-    isa::FuCircuit circuit;  ///< None for the bit-array targets
-    bool bitArray;           ///< ACE/transients vs IBR/permanents
+    isa::FuCircuit circuit;  ///< None for the storage targets
+    bool bitArray;           ///< storage (ACE/transient SFI) vs
+                             ///< functional unit (IBR/stuck-at SFI)
+    SiteKind kind;
+
+    /** Fault-site geometry under @p config (null for FUs, whose
+     *  sites are netlist gates). */
+    SiteGeometry (*geometry)(const uarch::CoreConfig &config);
+
+    /** Transient injector: flip bit @p bit of location @p location.
+     *  Returns false when the site does not currently exist (e.g. an
+     *  empty queue slot) — the fault struck dead state. Null for FUs. */
+    bool (*flip)(uarch::Core &core, std::uint32_t location,
+                 std::uint8_t bit);
+
+    /** Stuck-at injector: force the site's bit to @p value. Same
+     *  contract as flip. Null for FUs. */
+    bool (*force)(uarch::Core &core, std::uint32_t location,
+                  std::uint8_t bit, bool value);
+
+    /** Fresh coverage analyser for this structure (golden-run probe
+     *  wiring). Null for FUs — their metric is IBR, measured by the
+     *  session-wide IbrArithModel. */
+    std::unique_ptr<StructureAnalyzer> (*makeAnalyzer)();
 };
 
 /** The descriptor table, indexed by TargetStructure value. */
 const std::array<StructureInfo, numTargetStructures> &allStructures();
+
+/** The descriptor of @p target. Panics on an out-of-range value. */
+const StructureInfo &structureInfo(TargetStructure target);
 
 /** Printable structure name (as used in the paper's figures).
  *  Panics on an out-of-range enum value. */
@@ -59,11 +130,11 @@ const char *structureName(TargetStructure target);
 std::optional<TargetStructure> parseStructure(const char *name);
 
 /** The gate circuit backing a functional-unit target (None for the
- *  bit-array targets). */
+ *  storage targets). */
 isa::FuCircuit circuitFor(TargetStructure target);
 
-/** Whether the structure is a bit array (ACE metric / transient SFI)
- *  as opposed to a functional unit (IBR metric / permanent SFI). */
+/** Whether the structure is a storage array (ACE metric / transient
+ *  SFI) as opposed to a functional unit (IBR metric / stuck-at SFI). */
 bool isBitArray(TargetStructure target);
 
 /** Result of one coverage measurement run. */
@@ -73,7 +144,7 @@ struct CoverageResult
     uarch::SimResult sim;         ///< the underlying simulation
 };
 
-/** All six structure coverages from one simulation. */
+/** All structure coverages from one simulation. */
 struct CoverageVector
 {
     std::array<double, numTargetStructures> coverage{};
@@ -89,49 +160,51 @@ struct CoverageVector
 /**
  * The coverage analysers of one evaluation session, bundled so other
  * subsystems (e.g. the fault campaign's unified golden run) can attach
- * all-six-structure coverage to a ProbeSet they already drive.
+ * all-structure coverage to a ProbeSet they already drive. One
+ * analyser instance per storage descriptor (built from the table's
+ * factories) plus the shared IBR model for the functional units.
+ * Move-only: analysers are owned.
  */
 class CoverageSession
 {
   public:
-    /** Chain the IBR model and register the ACE probes on
+    CoverageSession();
+
+    /** Chain the IBR model and register every storage analyser on
      *  @p session. Call before Core::run; the IBR observer stacks
      *  over whatever model the session already carries. */
-    void
-    attach(uarch::ProbeSet &session)
-    {
-        session.chain(ibr);
-        session.add(&irfAce);
-        session.add(&l1dAce);
-    }
+    void attach(uarch::ProbeSet &session);
+
+    /** Register only the storage analysers (no IBR chaining), for
+     *  callers that manage their own arith-model chain (the batch
+     *  evaluator's transposed IBR pass). */
+    void attachAnalyzers(uarch::ProbeSet &session);
 
     /** Assemble the vector once the session's run completed with
      *  @p sim. Non-finished runs yield all-zero coverage. */
     CoverageVector extract(const uarch::SimResult &sim) const;
 
+    /** The analyser-reported coverage of one storage target (valid
+     *  after the run ended). Panics on a functional-unit target. */
+    double storageCoverage(TargetStructure target) const;
+
     /** Zero every analyser, keeping their allocations, so one
      *  CoverageSession serves a whole population (attach to a cleared
      *  ProbeSet again after resetting). */
-    void
-    reset()
-    {
-        irfAce.reset();
-        l1dAce.reset();
-        ibr.reset();
-    }
+    void reset();
 
   private:
-    TrueAceAnalyzer irfAce;
-    CacheAceAnalyzer l1dAce;
+    std::array<std::unique_ptr<StructureAnalyzer>, numTargetStructures>
+        analyzers;
     IbrArithModel ibr;
 };
 
 /**
- * Measure all six structure coverages of @p program in ONE core
- * simulation: TrueAceAnalyzer (IRF), CacheAceAnalyzer (L1D) and
- * IbrArithModel (the four FUs) ride the same run as a composed
- * ProbeSet session. Each entry is bit-identical to the corresponding
- * solo measureCoverage value (probes are pure observers; proven by
+ * Measure all structure coverages of @p program in ONE core
+ * simulation: every storage analyser and the IbrArithModel (the four
+ * FUs) ride the same run as a composed ProbeSet session. Each entry
+ * is bit-identical to the corresponding solo measureCoverage value
+ * (probes are pure observers; proven by
  * tests/coverage/session_test.cpp). Crashing/hanging programs get
  * all-zero coverage (they are not usable as test programs).
  */

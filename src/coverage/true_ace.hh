@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "coverage/analyzers.hh"
 #include "uarch/core.hh"
 #include "uarch/probes.hh"
 
@@ -36,7 +37,7 @@ namespace harpo::coverage
 {
 
 /** Liveness-refined ACE analyser for the integer PRF. */
-class TrueAceAnalyzer : public uarch::CoreProbe
+class TrueAceAnalyzer : public StructureAnalyzer
 {
   public:
     void onInstExecuted(const uarch::ExecInfo &info) override;
@@ -45,12 +46,12 @@ class TrueAceAnalyzer : public uarch::CoreProbe
 
     /** ACE fraction over all (bit x cycle) slots of the PRF. Valid
      *  after the run ends. */
-    double coverage() const { return finalCoverage; }
+    double coverage() const override { return finalCoverage; }
 
     /** Back to the just-constructed state, keeping the def-use record
      *  allocations (recycled-session support). */
     void
-    reset()
+    reset() override
     {
         records.clear();
         committedSeqs.clear();

@@ -44,6 +44,12 @@ CampaignConfig::validate() const
             "campaign: hangSlackCycles is implausibly large (" +
             std::to_string(hangSlackCycles) +
             "); was a negative value converted to unsigned?");
+    // The span rides FaultSpec::span (a uint8_t); 0 would inject
+    // nothing at all and silently inflate the Masked count.
+    if (l1dUpsetSpan < 1 || l1dUpsetSpan > 255)
+        throw Error::config(
+            "campaign: l1dUpsetSpan must be in [1, 255], got " +
+            std::to_string(l1dUpsetSpan));
 }
 
 std::vector<FaultSpec>
@@ -69,17 +75,27 @@ FaultCampaign::sampleFaults(const CampaignConfig &config,
         f.target = config.target;
         f.type = config.faultType;
         if (array) {
-            if (config.target == coverage::TargetStructure::IntRegFile) {
-                f.location = static_cast<std::uint32_t>(
-                    rng.below(config.core.numIntPhysRegs));
-                f.bit = static_cast<std::uint8_t>(rng.below(64));
-            } else {
-                f.location = static_cast<std::uint32_t>(
-                    rng.below(config.core.l1d.size));
-                f.bit = static_cast<std::uint8_t>(rng.below(8));
-            }
+            // The descriptor's geometry decides both the location
+            // space and the bit width — a queue-shaped target samples
+            // (slot, tag-bit) pairs with exactly the same draw
+            // sequence a bit array uses for (entry, bit), so the RNG
+            // stream (and with it every pre-existing campaign) is
+            // unchanged.
+            const coverage::SiteGeometry g =
+                coverage::structureInfo(config.target)
+                    .geometry(config.core);
+            f.location =
+                static_cast<std::uint32_t>(rng.below(g.entries));
+            f.bit =
+                static_cast<std::uint8_t>(rng.below(g.bitsPerEntry));
             f.cycle = rng.below(golden_cycles);
             f.stuckValue = rng.chance(0.5);
+            if (config.target == coverage::TargetStructure::L1DCache &&
+                f.type == FaultType::Transient) {
+                // No RNG draw: span-1 configs keep the exact
+                // pre-span fault list.
+                f.span = static_cast<std::uint8_t>(config.l1dUpsetSpan);
+            }
             if (f.type == FaultType::Intermittent) {
                 // Clamp the stuck window to the faulty-run watchdog:
                 // cycles past it are never simulated, and an endCycle
@@ -590,18 +606,28 @@ FaultCampaign::runOne(const isa::TestProgram &program,
         fault.type != FaultType::GateStuckAt &&
         config.l1dProtection != CacheProtection::None;
     if (protectedL1d) {
-        // SECDED corrects any single-bit fault on access: the program
-        // can never observe it.
+        // SECDED corrects any upset with at most one flipped bit per
+        // codeword on access: the program can never observe it. Two
+        // flips in one codeword defeat SEC but trip DED — detected,
+        // not corrected.
         if (config.l1dProtection == CacheProtection::Secded)
-            return Outcome::HwCorrected;
-        // Parity: rerun and classify by the first consuming access.
-        uarch::Core core(cfg);
-        ParityProbe probe(fault);
-        const uarch::SimResult sim =
-            core.run(program, nullptr, &probe);
-        if (sim.exit == uarch::SimResult::Exit::Cancelled)
-            throw Error::budget("fault injection cancelled mid-run");
-        return probe.outcome();
+            return secdedUncorrectable(fault, cfg.l1d)
+                       ? Outcome::HwDetected
+                       : Outcome::HwCorrected;
+        // Parity: an upset that breaks at least one byte's parity is
+        // classified by the first consuming access; an even-split
+        // multi-bit upset is parity-blind and falls through to a real
+        // injection below.
+        if (!parityBrokenBytes(fault, cfg.l1d).empty()) {
+            uarch::Core core(cfg);
+            ParityProbe probe(fault, cfg.l1d);
+            const uarch::SimResult sim =
+                core.run(program, nullptr, &probe);
+            if (sim.exit == uarch::SimResult::Exit::Cancelled)
+                throw Error::budget(
+                    "fault injection cancelled mid-run");
+            return probe.outcome();
+        }
     }
 
     uarch::Core core(cfg);

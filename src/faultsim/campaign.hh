@@ -52,6 +52,15 @@ struct CampaignConfig
     /** L1D protection scheme applied during injection (paper II-E). */
     CacheProtection l1dProtection = CacheProtection::None;
 
+    /** Adjacent-bit upset width for L1D transients: every sampled
+     *  L1D transient flips this many consecutive data-array bits
+     *  (clamped at the cache-line end). 1 is the classic single-bit
+     *  model; larger spans model the multi-cell upsets that defeat
+     *  SECDED when two flips land in one codeword. Sampling draws are
+     *  unchanged, so span-1 campaigns are bit-identical to the
+     *  pre-span format. */
+    unsigned l1dUpsetSpan = 1;
+
     /** Hang watchdog for faulty runs: a run is declared hung after
      *  golden_cycles * hangMultiplier + hangSlackCycles cycles.
      *  Hangs are decided quickly relative to the golden runtime. */

@@ -3,15 +3,20 @@
  * Fault descriptors and fault-bearing execution models.
  *
  * Storage faults (transient / intermittent / permanent) act on bits of
- * the integer physical register file or the L1D data array. Gate
- * faults are permanent stuck-at-0/1 on a gate output of one of the
- * four gate-level functional units (paper III-C fault models).
+ * any storage structure registered in coverage::allStructures() — the
+ * descriptor's flip/force injectors do the structure-specific work, so
+ * this layer is target-agnostic (DESIGN.md §14). Gate faults are
+ * permanent stuck-at-0/1 on a gate output of one of the four
+ * gate-level functional units (paper III-C fault models). The L1D
+ * additionally models multi-bit adjacent upsets (FaultSpec::span).
  */
 
 #ifndef HARPOCRATES_FAULTSIM_FAULT_HH
 #define HARPOCRATES_FAULTSIM_FAULT_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "coverage/measure.hh"
 #include "gates/fu_library.hh"
@@ -51,12 +56,19 @@ struct FaultSpec
         coverage::TargetStructure::IntRegFile;
     FaultType type = FaultType::Transient;
 
-    // Storage faults.
-    std::uint32_t location = 0; ///< phys reg index / data-array byte
+    // Storage faults. location/bit address a site of the target's
+    // SiteGeometry (phys reg index, data-array byte, queue entry, ...).
+    std::uint32_t location = 0;
     std::uint8_t bit = 0;
     std::uint64_t cycle = 0;    ///< flip cycle / stuck-window start
     std::uint64_t endCycle = 0; ///< stuck-window end (intermittent)
     bool stuckValue = false;
+
+    /** Number of adjacent bits upset together (L1D only; 1 = the
+     *  classic single-bit model). Bits run upward from (location,
+     *  bit) and clamp at the end of the cache line — an adjacent-cell
+     *  upset never spans physical lines. */
+    std::uint8_t span = 1;
 
     // Gate faults.
     std::int64_t gate = -1;
@@ -93,39 +105,135 @@ class StorageFaultProbe : public uarch::CoreProbe
   protected:
     // Subclasses (the fork-injection probe) reuse the spec and the
     // flip machinery while layering extra per-cycle behaviour on top.
+    // The structure-specific work is the descriptor's: this probe
+    // only decides *when* to call the table's injector. A false
+    // return (site currently unoccupied) needs no handling — the
+    // fault struck dead state and the run proceeds unperturbed.
     void
     apply(uarch::Core &core, bool flip)
     {
-        if (spec.target == coverage::TargetStructure::IntRegFile) {
+        if (spec.target == coverage::TargetStructure::L1DCache &&
+            spec.span > 1) {
+            applySpan(core, flip);
+            return;
+        }
+        const coverage::StructureInfo &info =
+            coverage::structureInfo(spec.target);
+        if (flip)
+            info.flip(core, spec.location, spec.bit);
+        else
+            info.force(core, spec.location, spec.bit, spec.stuckValue);
+    }
+
+  private:
+    /** Multi-bit adjacent upset: hit spec.span consecutive data-array
+     *  bits starting at (location, bit), clamped to the end of the
+     *  containing cache line. */
+    void
+    applySpan(uarch::Core &core, bool flip)
+    {
+        const std::uint32_t lineSize = core.config().l1d.lineSize;
+        const std::uint32_t line = spec.location / lineSize;
+        const std::uint64_t first =
+            static_cast<std::uint64_t>(spec.location) * 8 + spec.bit;
+        for (unsigned k = 0; k < spec.span; ++k) {
+            const std::uint64_t g = first + k;
+            const auto byte = static_cast<std::uint32_t>(g / 8);
+            if (byte / lineSize != line ||
+                byte >= core.config().l1d.size)
+                break;
             if (flip)
-                core.intPrf().flipBit(spec.location, spec.bit);
+                core.l1d().flipBit(byte, static_cast<unsigned>(g % 8));
             else
-                core.intPrf().forceBit(spec.location, spec.bit,
-                                       spec.stuckValue);
-        } else {
-            if (flip)
-                core.l1d().flipBit(spec.location, spec.bit);
-            else
-                core.l1d().forceBit(spec.location, spec.bit,
+                core.l1d().forceBit(byte, static_cast<unsigned>(g % 8),
                                     spec.stuckValue);
         }
     }
+
+  protected:
 
     FaultSpec spec;
     bool done = false;
 };
 
+/** The upset data-array bits of an L1D fault, clamped to the
+ *  containing cache line — the exact bits StorageFaultProbe flips. */
+inline std::vector<std::uint64_t>
+l1dUpsetBits(const FaultSpec &spec, const uarch::CacheConfig &l1d)
+{
+    std::vector<std::uint64_t> bits;
+    const std::uint32_t line = spec.location / l1d.lineSize;
+    const std::uint64_t first =
+        static_cast<std::uint64_t>(spec.location) * 8 + spec.bit;
+    const unsigned span = std::max<unsigned>(1, spec.span);
+    for (unsigned k = 0; k < span; ++k) {
+        const std::uint64_t g = first + k;
+        const auto byte = static_cast<std::uint32_t>(g / 8);
+        if (byte / l1d.lineSize != line || byte >= l1d.size)
+            break;
+        bits.push_back(g);
+    }
+    return bits;
+}
+
+/** Byte indices whose per-byte parity the upset breaks: bytes hit by
+ *  an odd number of flipped bits. Empty means the upset is
+ *  parity-blind (an even split in every byte) and must be modelled
+ *  as a real data corruption instead. For the classic single-bit
+ *  model this is exactly {spec.location}. */
+inline std::vector<std::uint32_t>
+parityBrokenBytes(const FaultSpec &spec, const uarch::CacheConfig &l1d)
+{
+    std::vector<std::uint32_t> bytes;
+    std::uint32_t cur = 0;
+    unsigned count = 0;
+    for (const std::uint64_t g : l1dUpsetBits(spec, l1d)) {
+        const auto byte = static_cast<std::uint32_t>(g / 8);
+        if (count != 0 && byte != cur) {
+            if (count % 2 != 0)
+                bytes.push_back(cur);
+            count = 0;
+        }
+        cur = byte;
+        ++count;
+    }
+    if (count % 2 != 0)
+        bytes.push_back(cur);
+    return bytes;
+}
+
+/** SECDED verdict for a (possibly multi-bit) L1D upset: correctable
+ *  when every 64-bit codeword sees at most one upset bit (SEC),
+ *  uncorrectable-but-detected otherwise (DED — adjacent-bit upsets
+ *  are exactly what defeats single-error correction). */
+inline bool
+secdedUncorrectable(const FaultSpec &spec,
+                    const uarch::CacheConfig &l1d)
+{
+    const std::vector<std::uint64_t> bits = l1dUpsetBits(spec, l1d);
+    for (std::size_t i = 1; i < bits.size(); ++i) {
+        if (bits[i] / 64 == bits[i - 1] / 64)
+            return true; // two upset bits in one codeword
+    }
+    return false;
+}
+
 /**
  * Parity protection model: the fault is detected by hardware at the
- * first *consuming* access (read, or dirty write-back) of the faulted
- * byte after injection; an overwrite or refill scrubs it silently.
- * The data never reaches the program, so no bit is actually flipped —
- * the access pattern alone decides the outcome.
+ * first *consuming* access (read, or dirty write-back) of a
+ * parity-broken byte after injection; an overwrite or refill scrubs
+ * it silently. The data never reaches the program, so no bit is
+ * actually flipped — the access pattern alone decides the outcome.
+ * Multi-bit upsets break the parity of every byte hit by an odd
+ * number of flips; callers must check parityBrokenBytes() is
+ * non-empty first (an even-split upset is parity-blind).
  */
 class ParityProbe : public uarch::CoreProbe
 {
   public:
-    explicit ParityProbe(const FaultSpec &fault) : spec(fault) {}
+    ParityProbe(const FaultSpec &fault, const uarch::CacheConfig &l1d)
+        : spec(fault), faultBytes(parityBrokenBytes(fault, l1d))
+    {}
 
     void
     onCycleBegin(uarch::Core &, std::uint64_t cycle) override
@@ -168,7 +276,11 @@ class ParityProbe : public uarch::CoreProbe
     bool
     covers(std::uint32_t index, unsigned len) const
     {
-        return spec.location >= index && spec.location < index + len;
+        for (const std::uint32_t byte : faultBytes) {
+            if (byte >= index && byte < index + len)
+                return true;
+        }
+        return false;
     }
 
     void
@@ -179,6 +291,7 @@ class ParityProbe : public uarch::CoreProbe
     }
 
     FaultSpec spec;
+    std::vector<std::uint32_t> faultBytes;
     bool armed = false;
     bool resolved = false;
     Outcome result = Outcome::Masked; // never touched again

@@ -155,25 +155,32 @@ forkInjectTransient(const isa::TestProgram &program,
 
     ForkOutcome out;
 
-    const bool protectedL1d =
+    bool protectedL1d =
         fault.target == coverage::TargetStructure::L1DCache &&
         config.l1dProtection != CacheProtection::None;
     if (protectedL1d &&
         config.l1dProtection == CacheProtection::Secded) {
-        // SECDED corrects any single-bit fault on access: the program
-        // can never observe it. No simulation needed.
-        out.outcome = Outcome::HwCorrected;
+        // SECDED corrects any upset with at most one flipped bit per
+        // codeword on access; two flips in one codeword defeat SEC
+        // but trip DED. Either way, no simulation needed.
+        out.outcome = secdedUncorrectable(fault, cfg.l1d)
+                          ? Outcome::HwDetected
+                          : Outcome::HwCorrected;
         return out;
     }
+    // A parity-blind upset (even flip count in every byte) is a real
+    // data corruption: fall through to the digest-fork injection.
+    if (protectedL1d && parityBrokenBytes(fault, cfg.l1d).empty())
+        protectedL1d = false;
 
     const ForkPlan::Checkpoint &cp = plan.checkpointFor(fault.cycle);
     out.resumedFromCycle = cp.cycle;
 
     if (protectedL1d) {
         // Parity: replay (fault-free) from the checkpoint and classify
-        // by the first consuming access of the faulted byte.
+        // by the first consuming access of a parity-broken byte.
         uarch::Core core(cfg);
-        StoppingParityProbe probe(fault);
+        StoppingParityProbe probe(fault, cfg.l1d);
         const uarch::SimResult sim =
             core.resumeFrom(*cp.state, program, nullptr, &probe);
         if (sim.exit == uarch::SimResult::Exit::Cancelled)

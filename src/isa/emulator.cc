@@ -97,7 +97,11 @@ computeSignature(const std::array<std::uint64_t, 16> &gpr,
                  const std::array<std::array<std::uint64_t, 2>, 16> &xmm,
                  const Memory &mem)
 {
-    Fnv1a hasher;
+    // StateHash, not Fnv1a: the memory image dominates this hash and
+    // word-wise mixing is ~8x faster than byte-at-a-time FNV. The
+    // value changes with the hasher, so persisted signatures carry a
+    // format version (campaign journal kVersion).
+    StateHash hasher;
     for (auto v : gpr)
         hasher.addWord(v);
     hasher.addWord(flags & flag::all);

@@ -17,9 +17,15 @@ namespace harpo::uarch
 class BranchPredictor
 {
   public:
-    explicit BranchPredictor(std::size_t table_size = 4096)
+    /** Counter-table size used by every default-constructed core
+     *  (the branch-predictor fault target's site count). */
+    static constexpr std::size_t defaultTableSize = 4096;
+
+    explicit BranchPredictor(std::size_t table_size = defaultTableSize)
         : counters(table_size, 2) // weakly taken
     {}
+
+    std::size_t size() const { return counters.size(); }
 
     void
     reset()
@@ -41,6 +47,32 @@ class BranchPredictor
             ++c;
         else if (!taken && c > 0)
             --c;
+    }
+
+    /** Flip one bit of a 2-bit counter (transient fault injection).
+     *  Counters are 2 bits wide, so flipping bit 0 or 1 keeps the
+     *  value in [0, 3] by construction. Returns false when @p slot is
+     *  out of range (no such fault site). */
+    bool
+    flipBit(std::size_t slot, unsigned bit)
+    {
+        if (slot >= counters.size() || bit >= 2)
+            return false;
+        counters[slot] ^= static_cast<std::uint8_t>(1u << bit);
+        return true;
+    }
+
+    /** Force one counter bit (permanent / intermittent stuck-at). */
+    bool
+    forceBit(std::size_t slot, unsigned bit, bool value)
+    {
+        if (slot >= counters.size() || bit >= 2)
+            return false;
+        if (value)
+            counters[slot] |= static_cast<std::uint8_t>(1u << bit);
+        else
+            counters[slot] &= static_cast<std::uint8_t>(~(1u << bit));
+        return true;
     }
 
     /** Mix the full counter table into @p hasher (state digests). */

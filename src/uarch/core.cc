@@ -263,6 +263,8 @@ Core::squashAfter(std::uint64_t seq, std::uint32_t restart_pc)
             } else {
                 specIntMap[dest.arch] = dest.prevPhys;
                 intRegs.free(dest.newPhys);
+                if (probe)
+                    probe->onRenameWrite(dest.arch, now);
             }
         }
         if (d.isStore && !storeQueue.empty() &&
@@ -440,6 +442,8 @@ Core::issueStage()
         if (d->desc->isBranch) {
             d->actualTaken = ctx.taken;
             predictor.update(d->pc, d->actualTaken);
+            if (probe)
+                probe->onBpUpdate(d->pc, now);
             std::int64_t next = d->pc + 1;
             if (d->actualTaken) {
                 const std::int64_t target = d->inst->branchTarget;
@@ -527,6 +531,11 @@ Core::renameStage()
         dyn.fpSrcs = si->fpSrcs;
         dyn.numFpSrcs = si->numFpSrcs;
 
+        if (probe) {
+            for (int i = 0; i < si->numIntSrcs; ++i)
+                probe->onRenameRead(si->intSrcs[i], now);
+        }
+
         for (int i = 0; i < si->numDests; ++i) {
             const auto &spec = si->dests[i];
             auto &dest = dyn.dests[dyn.numDests++];
@@ -541,6 +550,8 @@ Core::renameStage()
                 dest.newPhys =
                     static_cast<std::uint16_t>(intRegs.alloc());
                 specIntMap[spec.arch] = dest.newPhys;
+                if (probe)
+                    probe->onRenameWrite(spec.arch, now);
             }
         }
 
@@ -580,6 +591,8 @@ Core::fetchStage()
         bool predTaken = false;
         std::uint32_t next = fetchPc + 1;
         if (desc.isBranch) {
+            if (desc.isCondBranch && probe)
+                probe->onBpLookup(fetchPc, now);
             predTaken =
                 desc.isCondBranch ? predictor.predict(fetchPc) : true;
             if (predTaken) {
@@ -942,6 +955,108 @@ Core::stateDigest() const
         h.addWord(busy > now ? busy : 0);
 
     return h.value();
+}
+
+bool
+Core::flipRobDestBit(std::uint32_t entry, unsigned bit)
+{
+    if (entry >= rob.size())
+        return false;
+    DynInst &d = rob[entry];
+    for (int i = 0; i < d.numDests; ++i) {
+        auto &dest = d.dests[i];
+        if (dest.isFp)
+            continue;
+        // Wrap into the PRF so a flipped high bit still names a real
+        // register; with the default power-of-two PRF the wrap is a
+        // no-op and the flip is an involution.
+        dest.newPhys = static_cast<std::uint16_t>(
+            (dest.newPhys ^ (1u << bit)) % cfg.numIntPhysRegs);
+        return true;
+    }
+    return false; // no integer destination: the sampled site is empty
+}
+
+bool
+Core::forceRobDestBit(std::uint32_t entry, unsigned bit, bool value)
+{
+    if (entry >= rob.size())
+        return false;
+    DynInst &d = rob[entry];
+    for (int i = 0; i < d.numDests; ++i) {
+        auto &dest = d.dests[i];
+        if (dest.isFp)
+            continue;
+        std::uint32_t tag = dest.newPhys;
+        if (value)
+            tag |= 1u << bit;
+        else
+            tag &= ~(1u << bit);
+        dest.newPhys =
+            static_cast<std::uint16_t>(tag % cfg.numIntPhysRegs);
+        return true;
+    }
+    return false;
+}
+
+bool
+Core::flipRenameMapBit(std::uint32_t arch_reg, unsigned bit)
+{
+    if (arch_reg >= specIntMap.size())
+        return false;
+    specIntMap[arch_reg] = static_cast<std::uint16_t>(
+        (specIntMap[arch_reg] ^ (1u << bit)) % cfg.numIntPhysRegs);
+    return true;
+}
+
+bool
+Core::forceRenameMapBit(std::uint32_t arch_reg, unsigned bit, bool value)
+{
+    if (arch_reg >= specIntMap.size())
+        return false;
+    std::uint32_t tag = specIntMap[arch_reg];
+    if (value)
+        tag |= 1u << bit;
+    else
+        tag &= ~(1u << bit);
+    specIntMap[arch_reg] =
+        static_cast<std::uint16_t>(tag % cfg.numIntPhysRegs);
+    return true;
+}
+
+bool
+Core::flipStoreDataBit(std::uint32_t entry, unsigned bit)
+{
+    if (entry >= storeQueue.size() || bit >= 128)
+        return false;
+    storeQueue[entry].data[bit / 8] ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
+    return true;
+}
+
+bool
+Core::forceStoreDataBit(std::uint32_t entry, unsigned bit, bool value)
+{
+    if (entry >= storeQueue.size() || bit >= 128)
+        return false;
+    std::uint8_t &byte = storeQueue[entry].data[bit / 8];
+    if (value)
+        byte |= static_cast<std::uint8_t>(1u << (bit % 8));
+    else
+        byte &= static_cast<std::uint8_t>(~(1u << (bit % 8)));
+    return true;
+}
+
+bool
+Core::flipPredictorBit(std::uint32_t slot, unsigned bit)
+{
+    return predictor.flipBit(slot, bit);
+}
+
+bool
+Core::forcePredictorBit(std::uint32_t slot, unsigned bit, bool value)
+{
+    return predictor.forceBit(slot, bit, value);
 }
 
 std::size_t

@@ -325,6 +325,72 @@ class Core
     L1Cache &l1d() { return cache; }
     const CoreConfig &config() const { return cfg; }
 
+    /** Current reorder-buffer occupancy (for ACE analysis). */
+    std::size_t robOccupancy() const { return rob.size(); }
+
+    /** The in-flight store-queue entries, oldest first. */
+    const std::deque<StoreEntry> &
+    storeQueueState() const
+    {
+        return storeQueue;
+    }
+
+    const BranchPredictor &
+    branchPredictor() const
+    {
+        return predictor;
+    }
+
+    /** The speculative integer rename map (for ACE analysis). */
+    const std::array<std::uint16_t, isa::numIntArchRegs> &
+    speculativeIntMap() const
+    {
+        return specIntMap;
+    }
+
+    // ---- Fault-site mutators (the per-structure injectors behind
+    // the coverage::allStructures() descriptor table; DESIGN.md §14).
+    // Each returns false when the sampled site does not currently
+    // exist (an empty queue slot, an FP-only destination), which the
+    // campaign layer treats as a struck-but-empty fault: the run
+    // proceeds unperturbed and classifies as Masked. Every mutated
+    // field is restored by Core::Snapshot and covered by
+    // stateDigest(), so fork-based injection and digest early-exit
+    // work unchanged for these targets. ----
+
+    /** Flip one bit of the destination physical-register tag of ROB
+     *  entry @p entry (oldest = 0). The flipped tag is wrapped into
+     *  the physical register file, modelling a corrupted rename tag
+     *  that makes commit/squash free the wrong register and readers
+     *  observe a stale mapping. */
+    bool flipRobDestBit(std::uint32_t entry, unsigned bit);
+
+    /** Stuck-at version of flipRobDestBit. */
+    bool forceRobDestBit(std::uint32_t entry, unsigned bit, bool value);
+
+    /** Flip one bit of the speculative rename-map entry of integer
+     *  architectural register @p arch_reg. */
+    bool flipRenameMapBit(std::uint32_t arch_reg, unsigned bit);
+
+    /** Stuck-at version of flipRenameMapBit. */
+    bool forceRenameMapBit(std::uint32_t arch_reg, unsigned bit,
+                           bool value);
+
+    /** Flip one bit of the buffered store data of store-queue entry
+     *  @p entry (oldest = 0); @p bit indexes the 128-bit data field.
+     *  Bits beyond the store's width are dead (never drained). */
+    bool flipStoreDataBit(std::uint32_t entry, unsigned bit);
+
+    /** Stuck-at version of flipStoreDataBit. */
+    bool forceStoreDataBit(std::uint32_t entry, unsigned bit,
+                           bool value);
+
+    /** Flip one bit of branch-predictor counter @p slot. */
+    bool flipPredictorBit(std::uint32_t slot, unsigned bit);
+
+    /** Stuck-at version of flipPredictorBit. */
+    bool forcePredictorBit(std::uint32_t slot, unsigned bit, bool value);
+
     /** Physical registers of the committed integer mapping (the
      *  architecturally live registers, for end-of-run ACE). */
     const std::array<std::uint16_t, isa::numIntArchRegs> &

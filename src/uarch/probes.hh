@@ -129,6 +129,44 @@ class CoreProbe
         (void)cycle;
     }
 
+    /** The speculative rename map entry of integer architectural
+     *  register @p arch_reg was read (a consumer was renamed through
+     *  it). */
+    virtual void
+    onRenameRead(unsigned arch_reg, std::uint64_t cycle)
+    {
+        (void)arch_reg;
+        (void)cycle;
+    }
+
+    /** The speculative rename map entry of integer architectural
+     *  register @p arch_reg was overwritten (a new producer was
+     *  renamed, or a squash restored the previous mapping). */
+    virtual void
+    onRenameWrite(unsigned arch_reg, std::uint64_t cycle)
+    {
+        (void)arch_reg;
+        (void)cycle;
+    }
+
+    /** The branch predictor was consulted for the conditional branch
+     *  at @p pc (its counter steered fetch). */
+    virtual void
+    onBpLookup(std::uint64_t pc, std::uint64_t cycle)
+    {
+        (void)pc;
+        (void)cycle;
+    }
+
+    /** The branch predictor counter for @p pc was trained with a
+     *  resolved direction (overwrite of predictor state). */
+    virtual void
+    onBpUpdate(std::uint64_t pc, std::uint64_t cycle)
+    {
+        (void)pc;
+        (void)cycle;
+    }
+
     /** An instruction finished executing (possibly on the wrong
      *  path); @p info summarises its register dataflow. */
     virtual void
@@ -285,6 +323,34 @@ class ProbeSet final : public CoreProbe
     {
         for (CoreProbe *p : probes_)
             p->onCacheEvict(data_index, len, dirty, cycle);
+    }
+
+    void
+    onRenameRead(unsigned arch_reg, std::uint64_t cycle) override
+    {
+        for (CoreProbe *p : probes_)
+            p->onRenameRead(arch_reg, cycle);
+    }
+
+    void
+    onRenameWrite(unsigned arch_reg, std::uint64_t cycle) override
+    {
+        for (CoreProbe *p : probes_)
+            p->onRenameWrite(arch_reg, cycle);
+    }
+
+    void
+    onBpLookup(std::uint64_t pc, std::uint64_t cycle) override
+    {
+        for (CoreProbe *p : probes_)
+            p->onBpLookup(pc, cycle);
+    }
+
+    void
+    onBpUpdate(std::uint64_t pc, std::uint64_t cycle) override
+    {
+        for (CoreProbe *p : probes_)
+            p->onBpUpdate(pc, cycle);
     }
 
     void

@@ -233,3 +233,40 @@ TEST(Journal, BadMagicThrows)
     }
     EXPECT_THROW(Journal::replay(path, kFp), Error);
 }
+
+TEST(Journal, FormatVersionMismatchThrowsWithBothVersions)
+{
+    // A v1 journal (Fnv1a-era run signatures, no l1dUpsetSpan in the
+    // spec) must refuse to resume under this build, and the error
+    // must say which versions disagree so the operator knows it is a
+    // format bump and not corruption.
+    const std::string path = freshPath("journal_v1.log");
+    {
+        Journal j(path, kFp);
+        j.append(sampleRecords()[0]);
+    }
+    // Patch the header's version field down to 1.
+    {
+        std::fstream f(path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(8); // 8-byte magic, then the 4-byte version
+        const char v1[4] = {1, 0, 0, 0};
+        f.write(v1, 4);
+    }
+    const auto expectVersionError = [&](auto &&op) {
+        try {
+            op();
+            FAIL() << "v1 journal accepted by a v" << Journal::kVersion
+                   << " build";
+        } catch (const Error &e) {
+            const std::string msg = e.what();
+            EXPECT_NE(msg.find("version 1"), std::string::npos) << msg;
+            EXPECT_NE(msg.find(std::to_string(Journal::kVersion)),
+                      std::string::npos)
+                << msg;
+            EXPECT_NE(msg.find("re-run"), std::string::npos) << msg;
+        }
+    };
+    expectVersionError([&] { Journal::replay(path, kFp); });
+    expectVersionError([&] { Journal j(path, kFp); });
+}

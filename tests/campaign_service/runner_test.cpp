@@ -286,3 +286,30 @@ TEST(CampaignRunner, GoldenCacheStatsAccumulateAcrossRestarts)
 
     faultsim::FaultCampaign::restoreGoldenCacheStats(outer);
 }
+
+TEST(CampaignRunner, PipelineTargetShardsRunAndMergeEndToEnd)
+{
+    // Real simulations, no executor hook: the descriptor-driven
+    // stack must carry the four pipeline-state targets from shard
+    // expansion through injection to the merged results tree.
+    const std::string dir = freshDir("runner_pipeline_targets");
+    CampaignSpec spec = smallSpec(1, 1, 5);
+    spec.targets = {coverage::TargetStructure::Rob,
+                    coverage::TargetStructure::RenameMap,
+                    coverage::TargetStructure::StoreQueue,
+                    coverage::TargetStructure::BranchPredictor};
+    DurableWorkQueue::create(dir, spec);
+    RunnerConfig rc = fastRunner();
+    rc.executor = nullptr;
+    CampaignRunner runner(dir, rc);
+    const RunnerReport report = runner.run();
+    EXPECT_EQ(report.shards, 4u);
+    EXPECT_EQ(report.done, 4u);
+    EXPECT_EQ(report.quarantined, 0u);
+    ASSERT_TRUE(report.merged);
+    const std::string merged = slurp(report.mergedPath);
+    for (const auto target : spec.targets)
+        EXPECT_NE(merged.find(coverage::structureName(target)),
+                  std::string::npos)
+            << coverage::structureName(target);
+}

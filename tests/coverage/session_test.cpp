@@ -28,12 +28,12 @@ using PB = ProgramBuilder;
 namespace
 {
 
-/** All six coverages measured the pre-session way: one fresh core run
- *  per analyser, each attached alone. */
+/** All structure coverages measured the pre-session way: one fresh
+ *  core run per analyser, each attached alone. Every storage target
+ *  uses the analyser its own descriptor builds, so a target added to
+ *  the table is covered by this differential automatically. */
 struct SoloMeasurements
 {
-    double irf = 0.0;
-    double l1d = 0.0;
     std::array<double, numTargetStructures> byTarget{};
     uarch::SimResult sim;
 };
@@ -42,31 +42,31 @@ SoloMeasurements
 measureSolo(const TestProgram &program)
 {
     SoloMeasurements m;
-    {
-        TrueAceAnalyzer irf;
+    bool simRecorded = false;
+    for (const StructureInfo &info : allStructures()) {
+        if (!info.makeAnalyzer)
+            continue;
+        const auto analyzer = info.makeAnalyzer();
         uarch::Core core{uarch::CoreConfig{}};
-        m.sim = core.run(program, nullptr, &irf);
-        m.irf = irf.coverage();
-    }
-    {
-        CacheAceAnalyzer l1d;
-        uarch::Core core{uarch::CoreConfig{}};
-        core.run(program, nullptr, &l1d);
-        m.l1d = l1d.coverage();
+        const auto sim = core.run(program, nullptr, analyzer.get());
+        if (!simRecorded) {
+            m.sim = sim;
+            simRecorded = true;
+        }
+        if (sim.exit == uarch::SimResult::Exit::Finished)
+            m.byTarget[static_cast<std::size_t>(info.target)] =
+                analyzer->coverage();
     }
     IbrArithModel ibr;
     uarch::Core core{uarch::CoreConfig{}};
     const auto sim = core.run(program, &ibr);
     for (const StructureInfo &info : allStructures()) {
-        const auto idx = static_cast<std::size_t>(info.target);
-        if (info.target == TargetStructure::IntRegFile)
-            m.byTarget[idx] = m.irf;
-        else if (info.target == TargetStructure::L1DCache)
-            m.byTarget[idx] = m.l1d;
-        else
-            m.byTarget[idx] = sim.exit == uarch::SimResult::Exit::Finished
-                                  ? ibr.ibr(info.circuit, sim.cycles)
-                                  : 0.0;
+        if (info.makeAnalyzer)
+            continue;
+        m.byTarget[static_cast<std::size_t>(info.target)] =
+            sim.exit == uarch::SimResult::Exit::Finished
+                ? ibr.ibr(info.circuit, sim.cycles)
+                : 0.0;
     }
     return m;
 }

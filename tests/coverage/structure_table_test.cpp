@@ -1,10 +1,11 @@
 /**
  * @file
- * Pins the structure descriptor table: the six paper structures, their
- * figure names, circuits and metric kinds are external interface (CLI
- * flags, trace records, checkpoint targets all speak these names), so
- * any change must be a conscious one that fails here first. Also
- * proves structureName/parseStructure are exact inverses.
+ * Pins the structure descriptor table: the six paper structures plus
+ * the four pipeline-state targets, their figure names, circuits and
+ * metric kinds are external interface (CLI flags, trace records,
+ * checkpoint targets all speak these names), so any change must be a
+ * conscious one that fails here first. Also proves
+ * structureName/parseStructure are exact inverses.
  */
 
 #include <gtest/gtest.h>
@@ -16,11 +17,11 @@
 using namespace harpo::coverage;
 using harpo::isa::FuCircuit;
 
-TEST(StructureTable, PinsTheSixPaperStructures)
+TEST(StructureTable, PinsTheRegisteredStructures)
 {
     const auto &table = allStructures();
-    ASSERT_EQ(table.size(), 6u);
-    ASSERT_EQ(numTargetStructures, 6u);
+    ASSERT_EQ(table.size(), 10u);
+    ASSERT_EQ(numTargetStructures, 10u);
 
     struct Expected
     {
@@ -28,18 +29,31 @@ TEST(StructureTable, PinsTheSixPaperStructures)
         const char *name;
         FuCircuit circuit;
         bool bitArray;
+        SiteKind kind;
     };
-    const Expected expected[6] = {
-        {TargetStructure::IntRegFile, "IRF", FuCircuit::None, true},
-        {TargetStructure::L1DCache, "L1D", FuCircuit::None, true},
+    // The first six entries are the paper's structures and their
+    // positions are persisted-format values: they must never move.
+    const Expected expected[10] = {
+        {TargetStructure::IntRegFile, "IRF", FuCircuit::None, true,
+         SiteKind::BitArray},
+        {TargetStructure::L1DCache, "L1D", FuCircuit::None, true,
+         SiteKind::BitArray},
         {TargetStructure::IntAdder, "IntAdder", FuCircuit::IntAdd,
-         false},
+         false, SiteKind::FunctionalUnit},
         {TargetStructure::IntMultiplier, "IntMultiplier",
-         FuCircuit::IntMul, false},
+         FuCircuit::IntMul, false, SiteKind::FunctionalUnit},
         {TargetStructure::FpAdder, "SSE-FP-Adder", FuCircuit::FpAdd,
-         false},
+         false, SiteKind::FunctionalUnit},
         {TargetStructure::FpMultiplier, "SSE-FP-Multiplier",
-         FuCircuit::FpMul, false},
+         FuCircuit::FpMul, false, SiteKind::FunctionalUnit},
+        {TargetStructure::Rob, "ROB", FuCircuit::None, true,
+         SiteKind::QueueEntries},
+        {TargetStructure::RenameMap, "RenameMap", FuCircuit::None,
+         true, SiteKind::TableEntries},
+        {TargetStructure::StoreQueue, "StoreQueue", FuCircuit::None,
+         true, SiteKind::QueueEntries},
+        {TargetStructure::BranchPredictor, "BranchPredictor",
+         FuCircuit::None, true, SiteKind::TableEntries},
     };
     for (std::size_t i = 0; i < table.size(); ++i) {
         EXPECT_EQ(table[i].target, expected[i].target) << "entry " << i;
@@ -48,6 +62,7 @@ TEST(StructureTable, PinsTheSixPaperStructures)
             << "entry " << i;
         EXPECT_EQ(table[i].bitArray, expected[i].bitArray)
             << "entry " << i;
+        EXPECT_EQ(table[i].kind, expected[i].kind) << "entry " << i;
         // The table is indexed by enum value.
         EXPECT_EQ(static_cast<std::size_t>(table[i].target), i);
     }

@@ -133,3 +133,125 @@ TEST(CacheProtection, ProtectionDoesNotAffectGateFaults)
     ASSERT_TRUE(r.goldenOk);
     EXPECT_EQ(r.hwCorrected, 0u);
 }
+
+// ---- Multi-bit adjacent-line upset model (FaultSpec::span) ----
+
+namespace
+{
+
+FaultSpec
+l1dSpan(std::uint32_t location, std::uint8_t bit, std::uint8_t span)
+{
+    FaultSpec f;
+    f.target = TargetStructure::L1DCache;
+    f.location = location;
+    f.bit = bit;
+    f.span = span;
+    return f;
+}
+
+} // namespace
+
+TEST(MultiBitUpset, BitsRunUpwardAndClampAtTheLineEnd)
+{
+    const uarch::CacheConfig l1d = uarch::CoreConfig{}.l1d;
+    // Mid-line: span crosses a byte boundary but stays on the line.
+    EXPECT_EQ(l1dUpsetBits(l1dSpan(0, 6, 3), l1d),
+              (std::vector<std::uint64_t>{6, 7, 8}));
+    // Last byte of line 0: an adjacent-cell upset never spans
+    // physical lines, so bits past the line edge are dropped.
+    EXPECT_EQ(l1dUpsetBits(l1dSpan(l1d.lineSize - 1, 7, 3), l1d),
+              (std::vector<std::uint64_t>{
+                  static_cast<std::uint64_t>(l1d.lineSize) * 8 - 1}));
+    // span 1 is exactly the classic single-bit model.
+    EXPECT_EQ(l1dUpsetBits(l1dSpan(100, 3, 1), l1d),
+              (std::vector<std::uint64_t>{100 * 8 + 3}));
+    // span 0 is treated as 1 (defensive; the sampler never emits it).
+    EXPECT_EQ(l1dUpsetBits(l1dSpan(100, 3, 0), l1d).size(), 1u);
+}
+
+TEST(MultiBitUpset, ParityBreaksOnlyOddFlipCountBytes)
+{
+    const uarch::CacheConfig l1d = uarch::CoreConfig{}.l1d;
+    // Single bit: exactly the faulted byte.
+    EXPECT_EQ(parityBrokenBytes(l1dSpan(9, 2, 1), l1d),
+              (std::vector<std::uint32_t>{9}));
+    // Two flips in one byte: per-byte parity is preserved — the
+    // upset is parity-blind and must be modelled as real corruption.
+    EXPECT_TRUE(parityBrokenBytes(l1dSpan(9, 2, 2), l1d).empty());
+    // Three flips straddling a byte edge: byte 9 takes two (even,
+    // intact), byte 10 takes one (broken).
+    EXPECT_EQ(parityBrokenBytes(l1dSpan(9, 6, 3), l1d),
+              (std::vector<std::uint32_t>{10}));
+    // Byte-edge pair: both neighbours take one flip each.
+    EXPECT_EQ(parityBrokenBytes(l1dSpan(9, 7, 2), l1d),
+              (std::vector<std::uint32_t>{9, 10}));
+}
+
+TEST(MultiBitUpset, SecdedDetectsDoubleBitsPerCodewordOnly)
+{
+    const uarch::CacheConfig l1d = uarch::CoreConfig{}.l1d;
+    // Single bit: correctable everywhere.
+    EXPECT_FALSE(secdedUncorrectable(l1dSpan(17, 5, 1), l1d));
+    // Adjacent pair inside one 64-bit codeword: DED, uncorrectable.
+    EXPECT_TRUE(secdedUncorrectable(l1dSpan(0, 62, 2), l1d));
+    // Pair straddling a codeword boundary (bit 63 -> 64): each
+    // codeword sees a single flip, both sides correct it.
+    EXPECT_FALSE(secdedUncorrectable(l1dSpan(7, 7, 2), l1d));
+    // Line-end clamp can reduce a wide span to a single bit.
+    EXPECT_FALSE(
+        secdedUncorrectable(l1dSpan(l1d.lineSize - 1, 7, 4), l1d));
+}
+
+TEST(MultiBitUpset, SecdedCampaignSplitsCorrectedAndDetected)
+{
+    const auto program = readBackProgram();
+    CampaignConfig cfg = l1dCampaign(CacheProtection::Secded, 200);
+    cfg.l1dUpsetSpan = 2;
+    const auto r = FaultCampaign::run(program, cfg);
+    ASSERT_TRUE(r.goldenOk);
+    // Every fault hits hardware protection: detected when both bits
+    // share a codeword, corrected when the pair straddles a codeword
+    // or the line-end clamp leaves one bit.
+    EXPECT_EQ(r.hwDetected + r.hwCorrected, r.total());
+    EXPECT_GT(r.hwDetected, 0u);
+    EXPECT_GT(r.hwCorrected, 0u);
+    EXPECT_EQ(r.sdc, 0u);
+}
+
+TEST(MultiBitUpset, ParityBlindUpsetsFallThroughToRealInjection)
+{
+    const auto program = readBackProgram();
+    CampaignConfig cfg = l1dCampaign(CacheProtection::Parity, 200);
+    cfg.l1dUpsetSpan = 2;
+    const auto r = FaultCampaign::run(program, cfg);
+    ASSERT_TRUE(r.goldenOk);
+    // 7 of 8 bit positions keep the pair inside one byte: parity
+    // cannot see those upsets, so unlike the single-bit model the
+    // campaign is no longer free of silent corruptions by
+    // construction — blind upsets really corrupt the data array.
+    EXPECT_GT(r.masked + r.sdc + r.crash + r.hang, 0u);
+    EXPECT_EQ(r.hwCorrected, 0u);
+    // Byte-straddling pairs still machine-check on consumption.
+    EXPECT_GT(r.hwDetected, 0u);
+}
+
+TEST(MultiBitUpset, ForkPathAgreesWithRerunOnSpannedFaults)
+{
+    const auto program = readBackProgram();
+    CampaignConfig cfg = l1dCampaign(CacheProtection::Parity, 120);
+    cfg.l1dUpsetSpan = 3;
+    cfg.forkInjection = false;
+    FaultCampaign::clearGoldenCache();
+    const auto slow = FaultCampaign::run(program, cfg);
+    cfg.forkInjection = true;
+    FaultCampaign::clearGoldenCache();
+    const auto fork = FaultCampaign::run(program, cfg);
+    ASSERT_TRUE(slow.goldenOk && fork.goldenOk);
+    EXPECT_EQ(slow.masked, fork.masked);
+    EXPECT_EQ(slow.sdc, fork.sdc);
+    EXPECT_EQ(slow.crash, fork.crash);
+    EXPECT_EQ(slow.hang, fork.hang);
+    EXPECT_EQ(slow.hwDetected, fork.hwDetected);
+    EXPECT_EQ(slow.hwCorrected, fork.hwCorrected);
+}

@@ -164,6 +164,64 @@ TEST(FaultSampling, IntermittentWindowsClampedToHangBudget)
     }
 }
 
+TEST(FaultSampling, GeometryDrivenTargetsSampleValidSitesOnly)
+{
+    // Regression for the bit-array assumption: a queue- or
+    // table-shaped target must draw (location, bit) from its
+    // descriptor's SiteGeometry — a ROB "bit" is a rename-tag bit
+    // index, not bit 0..63 of a 64-bit word, and a predictor "bit"
+    // addresses a 2-bit counter.
+    for (const auto &info : coverage::allStructures()) {
+        if (!info.bitArray)
+            continue;
+        CampaignConfig cfg = CampaignConfig::forTarget(info.target);
+        cfg.numInjections = 400;
+        const coverage::SiteGeometry g = info.geometry(cfg.core);
+        ASSERT_GT(g.entries, 0u) << info.name;
+        ASSERT_GT(g.bitsPerEntry, 0u) << info.name;
+        const auto faults = FaultCampaign::sampleFaults(cfg, 3000);
+        ASSERT_EQ(faults.size(), 400u) << info.name;
+        bool sawTopEntryHalf = false, sawTopBitHalf = false;
+        for (const auto &f : faults) {
+            EXPECT_LT(f.location, g.entries) << info.name;
+            EXPECT_LT(f.bit, g.bitsPerEntry) << info.name;
+            EXPECT_LT(f.cycle, 3000u) << info.name;
+            sawTopEntryHalf |= f.location >= g.entries / 2;
+            sawTopBitHalf |= f.bit >= g.bitsPerEntry / 2;
+        }
+        // The whole geometry is reachable, not just a 64-bit prefix.
+        EXPECT_TRUE(sawTopEntryHalf) << info.name;
+        EXPECT_TRUE(sawTopBitHalf) << info.name;
+    }
+}
+
+TEST(FaultSampling, L1dUpsetSpanRidesTheSpecWithoutNewDraws)
+{
+    CampaignConfig cfg =
+        CampaignConfig::forTarget(TargetStructure::L1DCache);
+    cfg.numInjections = 100;
+    cfg.seed = 21;
+    const auto single = FaultCampaign::sampleFaults(cfg, 4000);
+    cfg.l1dUpsetSpan = 3;
+    const auto multi = FaultCampaign::sampleFaults(cfg, 4000);
+    ASSERT_EQ(single.size(), multi.size());
+    for (std::size_t i = 0; i < single.size(); ++i) {
+        // Same RNG stream: span only annotates the spec.
+        EXPECT_EQ(single[i].location, multi[i].location);
+        EXPECT_EQ(single[i].bit, multi[i].bit);
+        EXPECT_EQ(single[i].cycle, multi[i].cycle);
+        EXPECT_EQ(single[i].span, 1);
+        EXPECT_EQ(multi[i].span, 3);
+    }
+    // Non-L1D storage targets never carry a span.
+    CampaignConfig prf =
+        CampaignConfig::forTarget(TargetStructure::IntRegFile);
+    prf.l1dUpsetSpan = 3;
+    prf.numInjections = 20;
+    for (const auto &f : FaultCampaign::sampleFaults(prf, 1000))
+        EXPECT_EQ(f.span, 1);
+}
+
 TEST(FaultSampling, ZeroCycleGoldenRunYieldsNoStorageFaults)
 {
     // With a zero-cycle golden run there is no cycle to inject at:
