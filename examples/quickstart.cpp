@@ -40,6 +40,7 @@ main(int argc, char **argv)
     bool metricsSummary = false;
     bool collapseStats = false;
     bool faultCollapsing = true;
+    bool adaptive = false;
     unsigned generationsOverride = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--resume") == 0 && i + 1 < argc) {
@@ -53,6 +54,8 @@ main(int argc, char **argv)
             faultCollapsing = false;
         } else if (std::strcmp(argv[i], "--collapse-stats") == 0) {
             collapseStats = true;
+        } else if (std::strcmp(argv[i], "--adaptive") == 0) {
+            adaptive = true;
         } else if (std::strcmp(argv[i], "--generations") == 0 &&
                    i + 1 < argc) {
             generationsOverride = static_cast<unsigned>(
@@ -63,7 +66,7 @@ main(int argc, char **argv)
                          "[--trace <jsonl>] [--metrics-summary] "
                          "[--generations <n>]\n"
                          "       [--no-fault-collapse] "
-                         "[--collapse-stats]\n",
+                         "[--collapse-stats] [--adaptive]\n",
                          argv[0]);
             return 2;
         }
@@ -125,6 +128,13 @@ main(int argc, char **argv)
     loopCfg.faultCollapsing = faultCollapsing;
     loopCfg.checkpointPath = "quickstart.ckpt";
     loopCfg.checkpointEvery = 5;
+    if (adaptive) {
+        // Bandit-scheduled mutation operators plus surrogate
+        // pre-filtering; the learned state rides along in the
+        // checkpoint, so --resume continues the adaptation too.
+        loopCfg.adaptiveMutation = true;
+        loopCfg.surrogateFilter = true;
+    }
     if (generationsOverride != 0)
         loopCfg.generations = generationsOverride;
     core::Harpocrates loop(loopCfg);
@@ -157,6 +167,26 @@ main(int argc, char **argv)
                 "(coverage %.3f, %lu programs evaluated)\n",
                 100.0 * refinedSfi.detection(), refined.bestCoverage,
                 refined.programsEvaluated);
+
+    if (adaptive && !refined.history.empty()) {
+        // The operator credit table the bandit ended on: windowed
+        // mean reward (fitness gain per simulated cycle, normalised)
+        // and lifetime pulls per mutation operator.
+        const core::GenerationStats &last = refined.history.back();
+        std::printf("\nmutation-operator credit (final generation):\n");
+        for (std::size_t op = 0; op < museqgen::numMutationOps; ++op) {
+            std::printf("  %-16s reward %.4f  pulls %lu\n",
+                        museqgen::mutationOpName(
+                            static_cast<museqgen::MutationOp>(op)),
+                        last.operatorCredit[op],
+                        static_cast<unsigned long>(
+                            last.operatorPulls[op]));
+        }
+        if (last.surrogateSpearman >= -1.0)
+            std::printf("  surrogate Spearman (last calibration): "
+                        "%.3f\n",
+                        last.surrogateSpearman);
+    }
 
     if (collapseStats)
         std::printf("\n%s",

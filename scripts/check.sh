@@ -5,9 +5,10 @@
 #
 # Tests run tier by tier (ctest labels set by harpo_test) so a broken
 # unit test fails the run in seconds instead of after the multi-minute
-# end-to-end suite. The fast tiers (unit + integration + campaign,
-# where campaign covers the crash-safe runner including the SIGKILL
-# chaos test) are the PR gate; the slow tier (multi-second campaigns /
+# end-to-end suite. The fast tiers (unit + integration + campaign +
+# search, where campaign covers the crash-safe runner including the
+# SIGKILL chaos test and search covers the adaptive bandit/surrogate
+# layer) are the PR gate; the slow tier (multi-second campaigns /
 # evolution loops) runs in CI's scheduled nightly job and in
 # `check.sh all`.
 #
@@ -16,7 +17,8 @@
 # CMakeLists.txt hashes.
 #
 # Usage: check.sh [plain|sanitize|nightly|all]
-#   plain     build/ctest, unit+integration+campaign (CI's fast job)
+#   plain     build/ctest, unit+integration+campaign+search
+#                                                    (CI's fast job)
 #   sanitize  build-sanitize/ctest, same tiers       (CI's sanitizer job)
 #   nightly   build/ctest, slow tier only            (CI's scheduled job)
 #   all       both trees, every tier (default)
@@ -46,13 +48,13 @@ run_suite() {
 }
 
 case "${suite}" in
-  plain)    run_suite build "unit integration campaign" ;;
-  sanitize) run_suite build-sanitize "unit integration campaign" \
+  plain)    run_suite build "unit integration campaign search" ;;
+  sanitize) run_suite build-sanitize "unit integration campaign search" \
                       -DHARPO_SANITIZE=ON ;;
   nightly)  run_suite build "slow" ;;
   all)
-    run_suite build "unit integration campaign slow"
-    run_suite build-sanitize "unit integration campaign slow" \
+    run_suite build "unit integration campaign search slow"
+    run_suite build-sanitize "unit integration campaign search slow" \
               -DHARPO_SANITIZE=ON
     ;;
   *)

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <mutex>
+#include <numeric>
 #include <unordered_set>
 
 #include "common/hash.hh"
@@ -13,6 +15,7 @@
 #include "faultsim/campaign.hh"
 #include "isa/emulator.hh"
 #include "isa/encoding.hh"
+#include "isa/isa_table.hh"
 #include "resilience/checkpoint.hh"
 #include "resilience/error.hh"
 #include "telemetry/metrics.hh"
@@ -56,6 +59,66 @@ proxyCoverage(const isa::TestProgram &program)
     return static_cast<double>(features.size()) / 4096.0;
 }
 
+/** The structure the adaptive layer steers toward: the loop target,
+ *  or the heaviest-weighted structure of a MultiTarget run. */
+coverage::TargetStructure
+steeredStructure(const LoopConfig &cfg)
+{
+    if (cfg.fitness != FitnessKind::MultiTarget)
+        return cfg.target;
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < coverage::numTargetStructures; ++s) {
+        if (cfg.targetWeights[s] > cfg.targetWeights[best])
+            best = s;
+    }
+    return static_cast<coverage::TargetStructure>(best);
+}
+
+/** Preferred pool of MutationOp::TargetedReplace: the generator-pool
+ *  variants that drive the steered structure. Structures with no
+ *  obviously-preferred subset get an empty pool, which mutateTargeted
+ *  treats as a uniform fallback. */
+std::vector<std::uint16_t>
+targetedPoolFor(const museqgen::MuSeqGen &gen,
+                coverage::TargetStructure target)
+{
+    using coverage::TargetStructure;
+    const isa::IsaTable &table = isa::isaTable();
+    auto matches = [target](const isa::InstrDesc &d) {
+        switch (target) {
+          case TargetStructure::IntAdder:
+            return d.circuit == isa::FuCircuit::IntAdd;
+          case TargetStructure::IntMultiplier:
+            return d.circuit == isa::FuCircuit::IntMul;
+          case TargetStructure::FpAdder:
+            return d.circuit == isa::FuCircuit::FpAdd;
+          case TargetStructure::FpMultiplier:
+            return d.circuit == isa::FuCircuit::FpMul;
+          case TargetStructure::L1DCache:
+            return d.opClass == isa::OpClass::MemRead ||
+                   d.opClass == isa::OpClass::MemWrite;
+          case TargetStructure::StoreQueue:
+            return d.opClass == isa::OpClass::MemWrite;
+          case TargetStructure::BranchPredictor:
+            return d.opClass == isa::OpClass::Branch;
+          case TargetStructure::IntRegFile:
+          case TargetStructure::Rob:
+          case TargetStructure::RenameMap:
+            return false;
+        }
+        return false;
+    };
+    std::vector<std::uint16_t> pool;
+    for (const std::uint16_t id : gen.pool()) {
+        if (matches(table.desc(id)))
+            pool.push_back(id);
+    }
+    return pool;
+}
+
+/** Seed salt of the search layer's private RNG stream. */
+constexpr std::uint64_t kSearchSeedSalt = 0x5EA6C4A11D5EEDull;
+
 } // namespace
 
 Harpocrates::Harpocrates(LoopConfig config) : cfg(std::move(config))
@@ -71,6 +134,21 @@ Harpocrates::Harpocrates(LoopConfig config) : cfg(std::move(config))
         panicIf(sum == 0.0, "Harpocrates: MultiTarget fitness needs at "
                             "least one non-zero targetWeight");
     }
+    if (cfg.adaptiveMutation || cfg.surrogateFilter) {
+        // The credit signal is simulation cost, which only the batch
+        // evaluator accounts, and the surrogate's features presume a
+        // hardware coverage vector per parent.
+        panicIf(!cfg.batchEval,
+                "Harpocrates: adaptive search requires batchEval");
+        panicIf(cfg.fitness != FitnessKind::HardwareCoverage &&
+                    cfg.fitness != FitnessKind::MultiTarget,
+                "Harpocrates: adaptive search requires a "
+                "hardware-in-the-loop fitness kind");
+    }
+    if (cfg.surrogateFilter)
+        panicIf(cfg.surrogateKeepFraction <= 0.0 ||
+                    cfg.surrogateKeepFraction > 1.0,
+                "Harpocrates: surrogateKeepFraction must be in (0, 1]");
     evalCore = cfg.core;
     evalCore.budget = &cfg.budget;
     if (cfg.batchEval &&
@@ -78,6 +156,49 @@ Harpocrates::Harpocrates(LoopConfig config) : cfg(std::move(config))
          cfg.fitness == FitnessKind::MultiTarget))
         batchEvaluator =
             std::make_unique<coverage::GenerationEvaluator>(evalCore);
+    resetSearchState();
+}
+
+void
+Harpocrates::resetSearchState()
+{
+    scheduler.reset();
+    surrogate.reset();
+    pending.clear();
+    carryCycles = 0;
+    searchRng = Rng(cfg.seed ^ kSearchSeedSalt);
+    if (cfg.adaptiveMutation) {
+        search::BanditConfig bandit;
+        bandit.arms =
+            static_cast<unsigned>(museqgen::numMutationOps);
+        bandit.window = cfg.banditWindow;
+        bandit.epsilonFloor = cfg.banditEpsilonFloor;
+        scheduler =
+            std::make_unique<search::MutationScheduler>(bandit);
+    }
+    if (cfg.surrogateFilter) {
+        search::SurrogateConfig filter;
+        filter.keepFraction = cfg.surrogateKeepFraction;
+        filter.calibrationEvery = cfg.surrogateCalibrationEvery;
+        filter.holdout = cfg.surrogateHoldout;
+        // Before the first refit, rank by heredity: candidates of
+        // parents covering the targeted structure(s) better come
+        // first.
+        std::vector<double> prior(search::surrogateFeatureDim(), 0.0);
+        if (cfg.fitness == FitnessKind::MultiTarget) {
+            for (std::size_t s = 0; s < coverage::numTargetStructures;
+                 ++s)
+                prior[search::surrogateParentCoverageIndex(s)] =
+                    cfg.targetWeights[s];
+        } else {
+            prior[search::surrogateParentCoverageIndex(
+                static_cast<std::size_t>(cfg.target))] = 1.0;
+        }
+        surrogate = std::make_unique<search::SurrogateFilter>(
+            filter, std::move(prior));
+    }
+    if (scheduler || surrogate)
+        pending.assign(cfg.population, PendingCredit{});
 }
 
 std::uint64_t
@@ -184,6 +305,7 @@ Harpocrates::run()
     museqgen::MuSeqGen gen(cfg.gen);
     Rng rng(cfg.seed);
     LoopResult result;
+    resetSearchState(); // a second run() starts learning afresh
 
     // Step 0: bootstrap the initial random population.
     std::vector<museqgen::Genome> population;
@@ -209,6 +331,43 @@ Harpocrates::resume(const resilience::LoopCheckpoint &checkpoint)
     museqgen::MuSeqGen gen(cfg.gen);
     Rng rng(cfg.seed);
     rng.restoreState(checkpoint.rngState);
+
+    resetSearchState();
+    if (checkpoint.search.present && (scheduler || surrogate)) {
+        const resilience::LoopCheckpoint::SearchState &saved =
+            checkpoint.search;
+        if (saved.pendingOp.size() != cfg.population ||
+            saved.pendingParentFitness.size() != cfg.population)
+            throw Error::io(
+                "checkpoint search state does not match population");
+        const std::size_t dim = search::surrogateFeatureDim();
+        if (!saved.pendingFeatures.empty() &&
+            saved.pendingFeatures.size() != cfg.population * dim)
+            throw Error::io(
+                "checkpoint pending features have the wrong shape");
+
+        searchRng.restoreState(saved.searchRngState);
+        if (scheduler)
+            scheduler->restore(saved.bandit);
+        if (surrogate)
+            surrogate->restore(saved.surrogate);
+        carryCycles = saved.carryCycles;
+        for (unsigned i = 0; i < cfg.population; ++i) {
+            if (saved.pendingOp[i] == 0)
+                continue;
+            const std::uint8_t op = saved.pendingOp[i] - 1;
+            if (op >= museqgen::numMutationOps)
+                throw Error::io(
+                    "checkpoint pending operator out of range");
+            pending[i].valid = true;
+            pending[i].op = op;
+            pending[i].parentFitness = saved.pendingParentFitness[i];
+            if (!saved.pendingFeatures.empty())
+                pending[i].features.assign(
+                    saved.pendingFeatures.begin() + i * dim,
+                    saved.pendingFeatures.begin() + (i + 1) * dim);
+        }
+    }
 
     LoopResult result;
     result.history = checkpoint.history;
@@ -243,6 +402,18 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
     std::vector<coverage::CoverageVector> covVectors(
         multiTarget ? cfg.population : 0);
 
+    // Adaptive search: both toggles off takes the legacy mutation
+    // path below, bit-identically (no extra RNG draws anywhere).
+    const bool adaptive = scheduler != nullptr;
+    const bool filtering = surrogate != nullptr;
+    const bool legacyMutation = !adaptive && !filtering;
+    if (!legacyMutation && targetedPool.empty())
+        targetedPool = targetedPoolFor(gen, steeredStructure(cfg));
+    // Parent coverage vectors for the surrogate's heredity features.
+    std::vector<std::array<double, coverage::numTargetStructures>>
+        slotCoverage(legacyMutation ? 0 : cfg.population);
+    std::vector<coverage::EvalCost> evalCosts;
+
     // Metric handles resolve once; increments after that are the
     // lock-free shard path.
     static const telemetry::MetricId generationsDone =
@@ -254,6 +425,24 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
     static const telemetry::MetricId loopTruncations =
         telemetry::MetricsRegistry::instance().counter(
             "loop.budget_truncations");
+    static const telemetry::MetricId searchCredits =
+        telemetry::MetricsRegistry::instance().counter(
+            "search.credits");
+    static const telemetry::MetricId searchKept =
+        telemetry::MetricsRegistry::instance().counter(
+            "search.surrogate_kept");
+    static const telemetry::MetricId searchSkipped =
+        telemetry::MetricsRegistry::instance().counter(
+            "search.surrogate_skipped");
+    static const telemetry::MetricId searchCalibrations =
+        telemetry::MetricsRegistry::instance().counter(
+            "search.calibrations");
+    static const telemetry::MetricId searchHoldoutGraded =
+        telemetry::MetricsRegistry::instance().counter(
+            "search.holdout_graded");
+    static const telemetry::MetricId searchSpearmanMilli =
+        telemetry::MetricsRegistry::instance().gauge(
+            "search.spearman_milli");
 
     for (unsigned generation = first_generation;
          generation < cfg.generations; ++generation) {
@@ -303,6 +492,7 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
         // evaluation polls the budget first, so a deadline expiring
         // mid-generation abandons the generation promptly (its
         // partial fitness values are discarded).
+        std::uint64_t genCycles = 0;
         {
             HARPO_TRACE_SPAN("evaluation", "loop");
             const auto start = std::chrono::steady_clock::now();
@@ -332,7 +522,7 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
                     // instead of re-hashing 32 KiB init images.
                     const auto vectors = batchEvaluator->evaluate(
                         programs, cfg.parallelEval,
-                        programHashes.data());
+                        programHashes.data(), &evalCosts);
                     for (unsigned i = 0; i < cfg.population; ++i) {
                         if (multiTarget) {
                             covVectors[i] = vectors[i];
@@ -340,6 +530,8 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
                         } else {
                             fitness[i] = vectors[i][cfg.target];
                         }
+                        if (!legacyMutation)
+                            slotCoverage[i] = vectors[i].coverage;
                     }
                 } else if (cfg.parallelEval) {
                     ThreadPool::global().parallelFor(cfg.population,
@@ -361,6 +553,44 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
             result.timing.evaluationSec += secondsSince(start);
             result.programsEvaluated += cfg.population;
             telemetry::count(programsScored, cfg.population);
+
+            // The deterministic cost of this generation's grading:
+            // every graded program at its full simulated-cycle price
+            // (result-cache hits included — the cache is a wall-clock
+            // optimisation, and charging by warmth would make
+            // evalCycles depend on where a run was resumed), plus the
+            // previous generation's holdout grading (carryCycles).
+            genCycles = carryCycles;
+            carryCycles = 0;
+            for (const coverage::EvalCost &cost : evalCosts)
+                genCycles += cost.cycles;
+
+            // Deferred credit: every slot holding a mutant produced
+            // last generation now has a realized fitness; turn the
+            // gain over its parent plus the grading cost into a
+            // scheduler credit and a surrogate observation.
+            if (!legacyMutation) {
+                std::uint64_t credits = 0;
+                for (unsigned i = 0; i < cfg.population; ++i) {
+                    PendingCredit &credit = pending[i];
+                    if (!credit.valid)
+                        continue;
+                    if (adaptive) {
+                        scheduler->credit(
+                            credit.op,
+                            fitness[i] - credit.parentFitness,
+                            evalCosts.empty() ? 0
+                                              : evalCosts[i].cycles);
+                        ++credits;
+                    }
+                    if (filtering && !credit.features.empty())
+                        surrogate->observe(credit.features,
+                                           fitness[i]);
+                    credit.valid = false;
+                }
+                if (credits != 0)
+                    telemetry::count(searchCredits, credits);
+            }
         }
 
         // Step 2: selection — rank and keep the top-K.
@@ -386,6 +616,18 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
                 result.bestByStructure[s] = std::max(
                     result.bestByStructure[s], stats.bestByStructure[s]);
         }
+        if (adaptive) {
+            for (std::size_t op = 0; op < museqgen::numMutationOps;
+                 ++op) {
+                const search::ArmView view =
+                    scheduler->arm(static_cast<unsigned>(op));
+                stats.operatorCredit[op] = view.windowMeanReward;
+                stats.operatorPulls[op] = view.pulls;
+            }
+        }
+        if (filtering)
+            stats.surrogateSpearman = surrogate->lastSpearman();
+        stats.evalCycles = genCycles;
 
         if (stats.bestCoverage >= result.bestCoverage) {
             result.bestCoverage = stats.bestCoverage;
@@ -429,6 +671,7 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
             onGeneration(stats);
 
         // Step 3: mutation — elitist top-K plus mutated offspring.
+        bool holdoutInterrupted = false;
         {
             HARPO_TRACE_SPAN("mutation", "loop");
             const auto start = std::chrono::steady_clock::now();
@@ -436,22 +679,199 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
             next.reserve(cfg.population);
             for (unsigned k = 0; k < cfg.topK; ++k)
                 next.push_back(population[order[k]]);
-            unsigned parent = 0;
-            while (next.size() < cfg.population) {
-                const museqgen::Genome &p =
-                    population[order[parent % cfg.topK]];
-                if (cfg.useCrossover && cfg.topK > 1 &&
-                    rng.chance(0.3)) {
-                    const museqgen::Genome &q =
-                        population[order[rng.below(cfg.topK)]];
-                    next.push_back(gen.crossover(p, q, 2, rng));
-                } else {
-                    next.push_back(gen.mutate(p, rng));
+            if (legacyMutation) {
+                unsigned parent = 0;
+                while (next.size() < cfg.population) {
+                    const museqgen::Genome &p =
+                        population[order[parent % cfg.topK]];
+                    if (cfg.useCrossover && cfg.topK > 1 &&
+                        rng.chance(0.3)) {
+                        const museqgen::Genome &q =
+                            population[order[rng.below(cfg.topK)]];
+                        next.push_back(gen.crossover(p, q, 2, rng));
+                    } else {
+                        next.push_back(gen.mutate(p, rng));
+                    }
+                    ++parent;
                 }
-                ++parent;
+            } else {
+                // Adaptive path: over-generate candidates (when
+                // filtering), drawing each one's operator from the
+                // bandit (when adaptive), then keep the
+                // surrogate-ranked top fraction. Operator and content
+                // draws come from the loop's rng; scheduler, tie-key
+                // and holdout draws come from the search stream.
+                const unsigned offspring =
+                    cfg.population - cfg.topK;
+                unsigned overGen = offspring;
+                if (filtering)
+                    overGen = static_cast<unsigned>(std::ceil(
+                        offspring / cfg.surrogateKeepFraction));
+
+                struct Candidate
+                {
+                    museqgen::Genome genome;
+                    std::uint8_t op = 0;
+                    double parentFitness = 0.0;
+                    std::vector<double> features;
+                    double score = 0.0;
+                    double tieKey = 0.0;
+                };
+                std::vector<Candidate> candidates;
+                candidates.reserve(overGen);
+                unsigned parent = 0;
+                for (unsigned c = 0; c < overGen; ++c) {
+                    const unsigned parentSlot =
+                        order[parent % cfg.topK];
+                    ++parent;
+                    const museqgen::Genome &p =
+                        population[parentSlot];
+                    museqgen::MutationOp op;
+                    if (adaptive) {
+                        op = static_cast<museqgen::MutationOp>(
+                            scheduler->select(searchRng));
+                    } else {
+                        // Filter-only runs keep the legacy mix.
+                        op = (cfg.useCrossover && cfg.topK > 1 &&
+                              rng.chance(0.3))
+                                 ? museqgen::MutationOp::BlockSplice
+                                 : museqgen::MutationOp::
+                                       UniformReplace;
+                    }
+                    const museqgen::Genome &donor =
+                        (op == museqgen::MutationOp::BlockSplice &&
+                         cfg.topK > 1)
+                            ? population[order[rng.below(cfg.topK)]]
+                            : p;
+                    Candidate cand;
+                    cand.genome = gen.mutateWith(op, p, donor,
+                                                 targetedPool, rng);
+                    cand.op = static_cast<std::uint8_t>(op);
+                    cand.parentFitness = fitness[parentSlot];
+                    if (filtering) {
+                        cand.features = search::surrogateFeatures(
+                            cand.genome, slotCoverage[parentSlot]);
+                        cand.score = surrogate->score(cand.features);
+                        // Random tie keys: a degenerate constant
+                        // surrogate degrades to exact random
+                        // keep-fraction sampling.
+                        cand.tieKey = searchRng.uniform();
+                    }
+                    candidates.push_back(std::move(cand));
+                }
+
+                // Calibration generations grade a random holdout
+                // (filter bypassed) to measure ranking quality and
+                // re-fit. Before the keep-selection below so kept and
+                // holdout sets can overlap — the evaluator's result
+                // cache makes the overlap free next generation.
+                if (filtering && cfg.surrogateCalibrationEvery != 0 &&
+                    cfg.surrogateHoldout != 0 &&
+                    generation % cfg.surrogateCalibrationEvery ==
+                        cfg.surrogateCalibrationEvery - 1 &&
+                    generation + 1 < cfg.generations) {
+                    const std::size_t holdoutN =
+                        std::min<std::size_t>(cfg.surrogateHoldout,
+                                              candidates.size());
+                    std::vector<unsigned> sample(candidates.size());
+                    std::iota(sample.begin(), sample.end(), 0u);
+                    for (std::size_t h = 0; h < holdoutN; ++h) {
+                        const std::size_t j =
+                            h + searchRng.below(sample.size() - h);
+                        std::swap(sample[h], sample[j]);
+                    }
+                    std::vector<isa::TestProgram> holdoutPrograms;
+                    std::vector<std::uint64_t> holdoutHashes;
+                    std::vector<double> predicted;
+                    for (std::size_t h = 0; h < holdoutN; ++h) {
+                        const Candidate &cand =
+                            candidates[sample[h]];
+                        holdoutPrograms.push_back(gen.synthesize(
+                            cand.genome,
+                            cfg.gen.namePrefix + "-g" +
+                                std::to_string(generation) + "-h" +
+                                std::to_string(h)));
+                        holdoutHashes.push_back(
+                            isa::contentHash(holdoutPrograms.back()));
+                        predicted.push_back(cand.score);
+                    }
+                    try {
+                        std::vector<coverage::EvalCost> holdoutCosts;
+                        const auto graded = batchEvaluator->evaluate(
+                            holdoutPrograms, cfg.parallelEval,
+                            holdoutHashes.data(), &holdoutCosts);
+                        std::vector<double> realized;
+                        for (std::size_t h = 0; h < holdoutN; ++h)
+                            realized.push_back(
+                                multiTarget
+                                    ? weightedFitness(graded[h])
+                                    : graded[h][cfg.target]);
+                        // Full price, cache hits included — same
+                        // warmth-independence rationale as genCycles.
+                        for (const coverage::EvalCost &cost :
+                             holdoutCosts)
+                            carryCycles += cost.cycles;
+                        const double rho =
+                            search::spearman(predicted, realized);
+                        surrogate->recordCalibration(rho);
+                        surrogate->refit();
+                        telemetry::count(searchCalibrations);
+                        telemetry::count(searchHoldoutGraded,
+                                         holdoutN);
+                        telemetry::setGauge(
+                            searchSpearmanMilli,
+                            static_cast<std::int64_t>(
+                                std::llround(rho * 1000.0)));
+                    } catch (const Error &e) {
+                        if (e.kind() != ErrorKind::Budget)
+                            throw;
+                        holdoutInterrupted = true;
+                    }
+                }
+
+                if (!holdoutInterrupted) {
+                    std::vector<unsigned> keep(candidates.size());
+                    std::iota(keep.begin(), keep.end(), 0u);
+                    if (filtering && candidates.size() > offspring) {
+                        std::stable_sort(
+                            keep.begin(), keep.end(),
+                            [&](unsigned a, unsigned b) {
+                                if (candidates[a].score !=
+                                    candidates[b].score)
+                                    return candidates[a].score >
+                                           candidates[b].score;
+                                return candidates[a].tieKey <
+                                       candidates[b].tieKey;
+                            });
+                        telemetry::count(searchKept, offspring);
+                        telemetry::count(
+                            searchSkipped,
+                            candidates.size() - offspring);
+                    }
+                    for (unsigned k = 0; k < offspring; ++k) {
+                        const std::size_t slot = next.size();
+                        Candidate &cand = candidates[keep[k]];
+                        pending[slot].valid = true;
+                        pending[slot].op = cand.op;
+                        pending[slot].parentFitness =
+                            cand.parentFitness;
+                        pending[slot].features =
+                            std::move(cand.features);
+                        next.push_back(std::move(cand.genome));
+                    }
+                }
             }
-            population = std::move(next);
+            if (!holdoutInterrupted) {
+                population = std::move(next);
+            }
             result.timing.mutationSec += secondsSince(start);
+        }
+        if (holdoutInterrupted) {
+            result.truncated = true;
+            telemetry::count(loopTruncations);
+            if (auto *sink = telemetry::TraceSink::current())
+                sink->budget("loop", "calibration-interrupted");
+            break;
         }
 
         // Snapshot the complete loop state at the generation
@@ -472,6 +892,41 @@ Harpocrates::runLoop(museqgen::MuSeqGen &gen, Rng &rng,
             ckpt.timing = result.timing;
             ckpt.programsEvaluated = result.programsEvaluated;
             ckpt.instructionsGenerated = result.instructionsGenerated;
+            if (!legacyMutation) {
+                // The adaptive layer's complete state: bandit window,
+                // surrogate calibration, the search RNG stream and
+                // the deferred per-slot credits of the population
+                // just mutated — everything the next generation's
+                // crediting consumes.
+                ckpt.search.present = true;
+                ckpt.search.searchRngState = searchRng.saveState();
+                if (scheduler)
+                    ckpt.search.bandit = scheduler->state();
+                if (surrogate)
+                    ckpt.search.surrogate = surrogate->state();
+                ckpt.search.carryCycles = carryCycles;
+                const std::size_t dim = search::surrogateFeatureDim();
+                ckpt.search.pendingOp.assign(cfg.population, 0);
+                ckpt.search.pendingParentFitness.assign(
+                    cfg.population, 0.0);
+                if (filtering)
+                    ckpt.search.pendingFeatures.assign(
+                        cfg.population * dim, 0.0);
+                for (unsigned i = 0; i < cfg.population; ++i) {
+                    if (!pending[i].valid)
+                        continue;
+                    ckpt.search.pendingOp[i] =
+                        static_cast<std::uint8_t>(pending[i].op + 1);
+                    ckpt.search.pendingParentFitness[i] =
+                        pending[i].parentFitness;
+                    if (filtering && !pending[i].features.empty())
+                        std::copy(
+                            pending[i].features.begin(),
+                            pending[i].features.end(),
+                            ckpt.search.pendingFeatures.begin() +
+                                i * dim);
+                }
+            }
             ckpt.save(cfg.checkpointPath);
         }
     }

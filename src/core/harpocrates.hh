@@ -29,6 +29,8 @@
 #include "isa/program.hh"
 #include "museqgen/museqgen.hh"
 #include "resilience/budget.hh"
+#include "search/bandit.hh"
+#include "search/surrogate.hh"
 #include "uarch/core_config.hh"
 
 namespace harpo::resilience
@@ -101,6 +103,41 @@ struct LoopConfig
      *  this is a performance toggle kept for differential testing and
      *  deliberately not part of fingerprint(). */
     bool faultCollapsing = true;
+    /** Adaptive mutation-operator scheduling: draw each offspring's
+     *  operator from a sliding-window UCB1 bandit over the
+     *  museqgen::MutationOp taxonomy (search::MutationScheduler),
+     *  crediting operators by realized fitness gain per simulated
+     *  cycle. Off (the default) leaves the mutation phase
+     *  bit-identical to the fixed-probability legacy path (pinned by
+     *  tests/search/replay_differential_test.cpp). Requires batchEval
+     *  and a hardware-in-the-loop fitness kind (HardwareCoverage or
+     *  MultiTarget): the credit signal is simulation cost, which only
+     *  the batch evaluator accounts. Like batchEval, deliberately not
+     *  part of fingerprint(): a checkpoint stores the learned search
+     *  state explicitly (format v3), and resuming with different
+     *  toggles yields a valid — if different — continuation. */
+    bool adaptiveMutation = false;
+    /** Sliding-window length of the operator bandit, in credits. */
+    unsigned banditWindow = 192;
+    /** Per-arm uniform-exploration floor of the operator bandit
+     *  (numMutationOps * banditEpsilonFloor must be <= 1). */
+    double banditEpsilonFloor = 0.04;
+    /** Surrogate pre-filtering: over-generate candidate mutants each
+     *  generation, score them with search::SurrogateFilter's cheap
+     *  feature model, and pay GenerationEvaluator grading only for
+     *  the top surrogateKeepFraction. Same requirements and
+     *  fingerprint-exclusion rationale as adaptiveMutation. */
+    bool surrogateFilter = false;
+    /** Fraction of over-generated candidates that pays grading;
+     *  candidates per generation = offspring / surrogateKeepFraction.
+     *  Must be in (0, 1]. */
+    double surrogateKeepFraction = 0.5;
+    /** Every N generations grade a random holdout of candidates
+     *  (filter bypassed) to measure surrogate ranking quality
+     *  (Spearman) and re-fit the model. 0 = never calibrate. */
+    unsigned surrogateCalibrationEvery = 8;
+    /** Holdout candidates graded per calibration generation. */
+    unsigned surrogateHoldout = 6;
     /** Objective function used when fitness == FitnessKind::Custom
      *  (the paper: "any quality metric can be used to guide the
      *  iterative refinement"). Must be thread-safe. */
@@ -129,6 +166,21 @@ struct GenerationStats
     /** All six structure coverages of this generation's best-fitness
      *  program (MultiTarget runs only; all-zero otherwise). */
     std::array<double, coverage::numTargetStructures> bestByStructure{};
+    /** Per-operator credit table after this generation's crediting
+     *  (adaptive runs only; all-zero otherwise): windowed mean reward
+     *  and lifetime pulls, indexed by museqgen::MutationOp. */
+    std::array<double, museqgen::numMutationOps> operatorCredit{};
+    std::array<std::uint64_t, museqgen::numMutationOps> operatorPulls{};
+    /** Surrogate ranking quality at the most recent calibration
+     *  (< -1: never calibrated, or the filter is off). */
+    double surrogateSpearman = -2.0;
+    /** Simulated cycles this generation's grading demanded (batch-eval
+     *  runs). Every graded program is charged its full cycle price —
+     *  result-cache hits included, so the value is independent of
+     *  cache warmth and bit-identical across kill/resume. Surrogate
+     *  holdout grading is charged to the following generation. The
+     *  deterministic cost axis of bench/speed_to_detection. */
+    std::uint64_t evalCycles = 0;
 };
 
 /** Wall-clock breakdown across the whole run (Table I). */
@@ -198,6 +250,24 @@ class Harpocrates
                        std::vector<museqgen::Genome> population,
                        unsigned first_generation, LoopResult result);
 
+    /** (Re)initialise scheduler/surrogate/searchRng/pending to the
+     *  fresh-run state run() starts from; resume() overwrites the
+     *  result with the checkpointed search state when present. */
+    void resetSearchState();
+
+    /** Deferred credit for one population slot: the mutant in that
+     *  slot was produced by `op` from a parent whose fitness was
+     *  `parentFitness`; grading it next generation turns the fitness
+     *  delta plus the grading cost into a scheduler credit, and
+     *  (features, realized fitness) into a surrogate observation. */
+    struct PendingCredit
+    {
+        bool valid = false;
+        std::uint8_t op = 0;
+        double parentFitness = 0.0;
+        std::vector<double> features; ///< empty when the filter is off
+    };
+
     LoopConfig cfg;
     /** cfg.core plus a pointer to cfg.budget, so every fitness
      *  simulation observes the loop's budget. */
@@ -212,6 +282,25 @@ class Harpocrates
      *  re-encoded every generation. */
     std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>
         encodingCache;
+
+    /** Adaptive search state (null when the toggles are off). The
+     *  scheduler, filter and their private RNG stream live here so
+     *  checkpoints can export them (format v3) and resumed runs
+     *  continue learning bit-identically. */
+    std::unique_ptr<search::MutationScheduler> scheduler;
+    std::unique_ptr<search::SurrogateFilter> surrogate;
+    /** RNG stream of the search layer (bandit epsilon draws,
+     *  surrogate tie keys, holdout selection) — separate from the
+     *  loop's stream so the filter cannot perturb genome content
+     *  draws. */
+    Rng searchRng{0};
+    std::vector<PendingCredit> pending;
+    /** Simulated cycles paid by the previous generation's surrogate
+     *  holdout grading, charged to the next GenerationStats entry. */
+    std::uint64_t carryCycles = 0;
+    /** Preferred variant pool of MutationOp::TargetedReplace (empty:
+     *  uniform fallback), derived from the targeted structure. */
+    std::vector<std::uint16_t> targetedPool;
 };
 
 /**

@@ -24,6 +24,8 @@ struct BatchMetrics
     telemetry::MetricId arenaReuses;
     telemetry::MetricId laneSweeps;
     telemetry::MetricId lanesFilled;
+    telemetry::MetricId simCycles;
+    telemetry::MetricId cachedCycles;
 };
 
 const BatchMetrics &
@@ -40,6 +42,8 @@ batchMetrics()
         ids.arenaReuses = reg.counter("batch.arena_reuses");
         ids.laneSweeps = reg.counter("batch.lane_sweeps");
         ids.lanesFilled = reg.counter("batch.lanes_filled");
+        ids.simCycles = reg.counter("batch.sim_cycles");
+        ids.cachedCycles = reg.counter("batch.cached_cycles");
         return ids;
     }();
     return m;
@@ -78,12 +82,15 @@ GenerationEvaluator::releaseWorkspace(std::unique_ptr<Workspace> ws)
 std::vector<CoverageVector>
 GenerationEvaluator::evaluate(
     const std::vector<isa::TestProgram> &programs, bool parallel,
-    const std::uint64_t *precomputedHashes)
+    const std::uint64_t *precomputedHashes,
+    std::vector<EvalCost> *costs)
 {
     HARPO_TRACE_SPAN("batch_eval", "coverage");
 
     const std::size_t n = programs.size();
     std::vector<CoverageVector> out(n);
+    if (costs)
+        costs->assign(n, EvalCost{});
     if (n == 0)
         return out;
 
@@ -174,6 +181,20 @@ GenerationEvaluator::evaluate(
             evalOne(i);
     }
 
+    // Cost accounting: every graded slot reports its program's cycle
+    // count; cache hits are flagged but still priced (see EvalCost).
+    std::uint64_t simCyclesDelta = 0;
+    std::uint64_t cachedCyclesDelta = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool cached = !graded[i];
+        if (costs)
+            (*costs)[i] = EvalCost{out[i].sim.cycles, cached};
+        if (cached)
+            cachedCyclesDelta += out[i].sim.cycles;
+        else
+            simCyclesDelta += out[i].sim.cycles;
+    }
+
     // Phase 2: lane-parallel IBR grading across the population, then
     // the shared scalar formula turns bit totals into ratios.
     LaneGradeStats laneStats;
@@ -223,6 +244,8 @@ GenerationEvaluator::evaluate(
     telemetry::count(m.arenaReuses, arena.reuses() - arenaReuses0);
     telemetry::count(m.laneSweeps, laneStats.sweeps);
     telemetry::count(m.lanesFilled, laneStats.lanesFilled);
+    telemetry::count(m.simCycles, simCyclesDelta);
+    telemetry::count(m.cachedCycles, cachedCyclesDelta);
 
     {
         std::lock_guard<std::mutex> lock(statsMutex);
@@ -233,6 +256,8 @@ GenerationEvaluator::evaluate(
         cumulative.arenaReuses = arena.reuses();
         cumulative.laneSweeps += laneStats.sweeps;
         cumulative.lanesFilled += laneStats.lanesFilled;
+        cumulative.simCycles += simCyclesDelta;
+        cumulative.cachedCycles += cachedCyclesDelta;
     }
     return out;
 }

@@ -68,6 +68,20 @@ struct BatchStats
     std::uint64_t arenaReuses = 0;   ///< Cores recycled, not built
     std::uint64_t laneSweeps = 0;    ///< 64-lane IBR reduction passes
     std::uint64_t lanesFilled = 0;   ///< operand pairs graded in lanes
+    std::uint64_t simCycles = 0;     ///< cycles actually simulated
+    std::uint64_t cachedCycles = 0;  ///< cycles saved by result-cache hits
+};
+
+/** Per-program grading cost, for credit assignment by the adaptive
+ *  search layer. `cycles` is the program's simulated cycle count
+ *  whether or not this call simulated it — a cache hit still reports
+ *  the cost the program *would* charge, so operators that rediscover
+ *  cached duplicates are not rewarded with artificially free grading.
+ *  `cached` distinguishes the two for accounting. */
+struct EvalCost
+{
+    std::uint64_t cycles = 0;
+    bool cached = false;
 };
 
 /**
@@ -96,11 +110,17 @@ class GenerationEvaluator
      * loop's compilation phase already hashes every program for the
      * encoding cache, and re-hashing a 32 KiB init image per program
      * is measurable. Passing stale hashes corrupts the result cache.
+     *
+     * @p costs, when non-null, is resized to programs.size() and
+     * filled with each program's grading cost (see EvalCost) — the
+     * deterministic cost unit the adaptive mutation scheduler credits
+     * operators with.
      */
     std::vector<CoverageVector>
     evaluate(const std::vector<isa::TestProgram> &programs,
              bool parallel = true,
-             const std::uint64_t *precomputedHashes = nullptr);
+             const std::uint64_t *precomputedHashes = nullptr,
+             std::vector<EvalCost> *costs = nullptr);
 
     const uarch::CoreConfig &config() const { return coreCfg; }
 

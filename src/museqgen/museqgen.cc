@@ -253,6 +253,49 @@ MuSeqGen::mutateTargeted(const Genome &parent,
     return child;
 }
 
+Genome
+MuSeqGen::mutateOperands(const Genome &parent, Rng &rng) const
+{
+    Genome child = parent;
+    child.operandSeed = rng.next();
+    return child;
+}
+
+Genome
+MuSeqGen::mutateWith(MutationOp op, const Genome &parent,
+                     const Genome &donor,
+                     const std::vector<std::uint16_t> &preferred,
+                     Rng &rng, double targeted_bias) const
+{
+    switch (op) {
+      case MutationOp::UniformReplace:
+        return mutate(parent, rng);
+      case MutationOp::TargetedReplace:
+        return mutateTargeted(parent, preferred, targeted_bias, rng);
+      case MutationOp::OperandPerturb:
+        return mutateOperands(parent, rng);
+      case MutationOp::BlockSplice:
+        return crossover(parent, donor, 2, rng);
+    }
+    panic("mutateWith: invalid MutationOp");
+}
+
+const char *
+mutationOpName(MutationOp op)
+{
+    switch (op) {
+      case MutationOp::UniformReplace:
+        return "uniform-replace";
+      case MutationOp::TargetedReplace:
+        return "targeted-replace";
+      case MutationOp::OperandPerturb:
+        return "operand-perturb";
+      case MutationOp::BlockSplice:
+        return "block-splice";
+    }
+    panic("mutationOpName: invalid MutationOp");
+}
+
 isa::TestProgram
 MuSeqGen::synthesize(const Genome &genome, const std::string &name) const
 {

@@ -85,6 +85,30 @@ struct Genome
     std::uint64_t operandSeed = 0;
 };
 
+/**
+ * The mutation operator taxonomy. Each operator is one way of
+ * deriving a child genome from a parent (plus, for BlockSplice, a
+ * donor); the adaptive scheduler (search::MutationScheduler) treats
+ * them as bandit arms and credits each by realized fitness gain per
+ * unit simulation cost. Values are stable — they appear in
+ * checkpoints and per-generation credit tables.
+ */
+enum class MutationOp : std::uint8_t
+{
+    UniformReplace,  ///< paper V-B1: replace all occurrences of one
+                     ///< variant with a uniformly drawn one
+    TargetedReplace, ///< replacement biased toward a preferred set
+                     ///< (the elite genome's variants, in the loop)
+    OperandPerturb,  ///< re-draw the operand seed; sequence unchanged
+    BlockSplice,     ///< splice donor blocks in (2-point crossover)
+};
+
+inline constexpr std::size_t numMutationOps = 4;
+
+/** Printable operator name (credit tables, bench output). Panics on
+ *  an out-of-range value. */
+const char *mutationOpName(MutationOp op);
+
 /** Generator + mutation engine + synthesis passes. */
 class MuSeqGen
 {
@@ -115,6 +139,26 @@ class MuSeqGen
     Genome mutateTargeted(const Genome &parent,
                           const std::vector<std::uint16_t> &preferred,
                           double bias, Rng &rng) const;
+
+    /** Operand perturbation: keep the instruction sequence, re-draw
+     *  the operand seed — explores register/memory/immediate
+     *  resolutions (and initial data) of a proven sequence. */
+    Genome mutateOperands(const Genome &parent, Rng &rng) const;
+
+    /**
+     * Per-operator dispatch for the adaptive scheduler: derive a child
+     * from @p parent with operator @p op. @p donor supplies the
+     * spliced blocks for BlockSplice (pass the parent itself when no
+     * second elite exists — the splice degenerates to a copy);
+     * @p preferred biases TargetedReplace (empty falls back to
+     * uniform replacement). Draws come from @p rng only, so each
+     * operator's stream consumption is a deterministic function of
+     * (op, genome sizes).
+     */
+    Genome mutateWith(MutationOp op, const Genome &parent,
+                      const Genome &donor,
+                      const std::vector<std::uint16_t> &preferred,
+                      Rng &rng, double targeted_bias = 0.85) const;
 
     /** Lower a genome to a runnable program (the pass pipeline). */
     isa::TestProgram synthesize(const Genome &genome,

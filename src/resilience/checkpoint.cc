@@ -66,12 +66,65 @@ LoopCheckpoint::save(const std::string &path) const
         out.f64(stats.detection);
         for (const double cov : stats.bestByStructure) // v2
             out.f64(cov);
+        for (const double credit : stats.operatorCredit) // v3
+            out.f64(credit);
+        for (const std::uint64_t pulls : stats.operatorPulls)
+            out.u64(pulls);
+        out.f64(stats.surrogateSpearman);
+        out.u64(stats.evalCycles);
     }
 
     putGenome(out, bestGenome);
     out.u32(static_cast<std::uint32_t>(population.size()));
     for (const museqgen::Genome &genome : population)
         putGenome(out, genome);
+
+    // v3: adaptive-search block.
+    out.u8(search.present ? 1 : 0);
+    if (search.present) {
+        for (const std::uint64_t word : search.searchRngState)
+            out.u64(word);
+
+        out.u32(static_cast<std::uint32_t>(
+            search.bandit.windowArm.size()));
+        for (std::size_t i = 0; i < search.bandit.windowArm.size();
+             ++i) {
+            out.u8(search.bandit.windowArm[i]);
+            out.f64(search.bandit.windowReward[i]);
+        }
+        out.u32(static_cast<std::uint32_t>(search.bandit.pulls.size()));
+        for (std::size_t a = 0; a < search.bandit.pulls.size(); ++a) {
+            out.u64(search.bandit.pulls[a]);
+            out.f64(search.bandit.gain[a]);
+            out.u64(search.bandit.cost[a]);
+        }
+
+        out.u32(static_cast<std::uint32_t>(search.pendingOp.size()));
+        for (const std::uint8_t op : search.pendingOp)
+            out.u8(op);
+        out.u32(static_cast<std::uint32_t>(
+            search.pendingParentFitness.size()));
+        for (const double fit : search.pendingParentFitness)
+            out.f64(fit);
+        out.u32(static_cast<std::uint32_t>(
+            search.pendingFeatures.size()));
+        for (const double feature : search.pendingFeatures)
+            out.f64(feature);
+
+        out.u32(static_cast<std::uint32_t>(
+            search.surrogate.weights.size()));
+        for (const double w : search.surrogate.weights)
+            out.f64(w);
+        out.u32(static_cast<std::uint32_t>(
+            search.surrogate.observations.size()));
+        for (const double obs : search.surrogate.observations)
+            out.f64(obs);
+        out.u64(search.surrogate.totalObservations);
+        out.f64(search.surrogate.lastSpearman);
+        out.u64(search.surrogate.calibrations);
+
+        out.u64(search.carryCycles);
+    }
 
     writeSnapshotFile(path, checkpointMagic, kVersion, out.bytes());
 }
@@ -113,6 +166,14 @@ LoopCheckpoint::load(const std::string &path)
             for (double &cov : stats.bestByStructure)
                 cov = in.f64();
         } // v1: bestByStructure stays all-zero
+        if (version >= 3) {
+            for (double &credit : stats.operatorCredit)
+                credit = in.f64();
+            for (std::uint64_t &pulls : stats.operatorPulls)
+                pulls = in.u64();
+            stats.surrogateSpearman = in.f64();
+            stats.evalCycles = in.u64();
+        } // v1/v2: credit tables stay zeroed
         ckpt.history.push_back(stats);
     }
 
@@ -125,6 +186,69 @@ LoopCheckpoint::load(const std::string &path)
     ckpt.population.reserve(populationLen);
     for (std::uint32_t i = 0; i < populationLen; ++i)
         ckpt.population.push_back(getGenome(in));
+
+    if (version >= 3) {
+        ckpt.search.present = in.u8() != 0;
+        if (ckpt.search.present) {
+            for (std::uint64_t &word : ckpt.search.searchRngState)
+                word = in.u64();
+
+            const std::uint32_t windowLen = in.u32();
+            // One window entry is 9 bytes (arm + reward).
+            if (windowLen > in.remaining() / 9)
+                throw Error::io(
+                    "checkpoint bandit window exceeds payload");
+            ckpt.search.bandit.windowArm.reserve(windowLen);
+            ckpt.search.bandit.windowReward.reserve(windowLen);
+            for (std::uint32_t i = 0; i < windowLen; ++i) {
+                ckpt.search.bandit.windowArm.push_back(in.u8());
+                ckpt.search.bandit.windowReward.push_back(in.f64());
+            }
+            const std::uint32_t armLen = in.u32();
+            // One arm is 24 bytes (pulls + gain + cost).
+            if (armLen > in.remaining() / 24)
+                throw Error::io(
+                    "checkpoint bandit arms exceed payload");
+            for (std::uint32_t a = 0; a < armLen; ++a) {
+                ckpt.search.bandit.pulls.push_back(in.u64());
+                ckpt.search.bandit.gain.push_back(in.f64());
+                ckpt.search.bandit.cost.push_back(in.u64());
+            }
+
+            const std::uint32_t pendingOpLen = in.u32();
+            if (pendingOpLen > in.remaining())
+                throw Error::io(
+                    "checkpoint pending ops exceed payload");
+            ckpt.search.pendingOp.reserve(pendingOpLen);
+            for (std::uint32_t i = 0; i < pendingOpLen; ++i)
+                ckpt.search.pendingOp.push_back(in.u8());
+
+            auto readDoubles = [&in](const char *what) {
+                const std::uint32_t len = in.u32();
+                if (len > in.remaining() / 8)
+                    throw Error::io(std::string("checkpoint ") + what +
+                                    " exceeds payload");
+                std::vector<double> values;
+                values.reserve(len);
+                for (std::uint32_t i = 0; i < len; ++i)
+                    values.push_back(in.f64());
+                return values;
+            };
+            ckpt.search.pendingParentFitness =
+                readDoubles("pending parent fitness");
+            ckpt.search.pendingFeatures =
+                readDoubles("pending features");
+            ckpt.search.surrogate.weights =
+                readDoubles("surrogate weights");
+            ckpt.search.surrogate.observations =
+                readDoubles("surrogate observations");
+            ckpt.search.surrogate.totalObservations = in.u64();
+            ckpt.search.surrogate.lastSpearman = in.f64();
+            ckpt.search.surrogate.calibrations = in.u64();
+
+            ckpt.search.carryCycles = in.u64();
+        }
+    } // v1/v2: no search block
 
     if (!in.atEnd())
         throw Error::io("checkpoint '" + path +

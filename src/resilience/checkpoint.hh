@@ -25,6 +25,8 @@
 
 #include "core/harpocrates.hh"
 #include "museqgen/museqgen.hh"
+#include "search/bandit.hh"
+#include "search/surrogate.hh"
 
 namespace harpo::resilience
 {
@@ -35,8 +37,11 @@ struct LoopCheckpoint
     /** File format version; bump when the layout changes. Loaders
      *  accept any version up to the current one. v2 added the
      *  per-structure coverage bests to each history entry; v1 files
-     *  load with those fields zeroed. */
-    static constexpr std::uint32_t kVersion = 2;
+     *  load with those fields zeroed. v3 added the per-operator
+     *  credit tables / surrogate Spearman / eval-cycle fields to each
+     *  history entry plus the trailing adaptive-search block; v1/v2
+     *  files load with those zeroed and search.present false. */
+    static constexpr std::uint32_t kVersion = 3;
 
     /** Fingerprint of the semantic LoopConfig fields (seed, sizes,
      *  target, generator policies). Harpocrates::resume refuses a
@@ -60,6 +65,35 @@ struct LoopCheckpoint
     core::TimingBreakdown timing;
     std::uint64_t programsEvaluated = 0;
     std::uint64_t instructionsGenerated = 0;
+
+    /** Adaptive-search state (format v3). Written when the run had
+     *  adaptiveMutation or surrogateFilter on; a resumed run restores
+     *  it so the bandit window, surrogate calibration and deferred
+     *  per-slot credits continue exactly where the snapshot left
+     *  them. */
+    struct SearchState
+    {
+        bool present = false;
+
+        /** The search layer's private RNG stream. */
+        std::array<std::uint64_t, 4> searchRngState{};
+
+        search::BanditState bandit;
+        search::SurrogateState surrogate;
+
+        /** Deferred per-slot credits of the checkpointed population:
+         *  pendingOp[i] is MutationOp value + 1, or 0 for slots with
+         *  nothing pending (elites). pendingFeatures is slot-major,
+         *  featureDim doubles per slot, and empty when the surrogate
+         *  filter was off. */
+        std::vector<std::uint8_t> pendingOp;
+        std::vector<double> pendingParentFitness;
+        std::vector<double> pendingFeatures;
+
+        /** Holdout cycles charged to the next generation's stats. */
+        std::uint64_t carryCycles = 0;
+    };
+    SearchState search;
 
     /** Atomically persist to @p path; throws harpo::Error{Io}. */
     void save(const std::string &path) const;

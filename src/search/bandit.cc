@@ -1,0 +1,177 @@
+#include "search/bandit.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace harpo::search
+{
+
+MutationScheduler::MutationScheduler(BanditConfig config)
+    : cfg(config)
+{
+    panicIf(cfg.arms == 0, "MutationScheduler: zero arms");
+    panicIf(cfg.window == 0, "MutationScheduler: zero window");
+    panicIf(cfg.epsilonFloor < 0.0 ||
+                cfg.epsilonFloor * cfg.arms > 1.0,
+            "MutationScheduler: epsilonFloor * arms must be in [0, 1]");
+    panicIf(cfg.exploration < 0.0 || cfg.costScale <= 0.0,
+            "MutationScheduler: invalid exploration/costScale");
+    ringArm.resize(cfg.window, 0);
+    ringReward.resize(cfg.window, 0.0);
+    winPulls.assign(cfg.arms, 0);
+    winReward.assign(cfg.arms, 0.0);
+    lifePulls.assign(cfg.arms, 0);
+    lifeGain.assign(cfg.arms, 0.0);
+    lifeCost.assign(cfg.arms, 0);
+}
+
+unsigned
+MutationScheduler::select(Rng &rng)
+{
+    // Epsilon floor first: one uniform draw decides, and only the
+    // exploring branch consumes a second draw. The floor also covers
+    // the cold start (no credits at all yet would make every UCB term
+    // identical anyway — the tie rule would pin arm 0, so the
+    // explicit uniform branch below handles that case too).
+    const double u = rng.uniform();
+    if (u < cfg.epsilonFloor * cfg.arms || ringCount == 0)
+        return static_cast<unsigned>(rng.below(cfg.arms));
+
+    // An arm absent from the window has unbounded uncertainty: play
+    // the lowest-indexed such arm (UCB1 cold-start rule; also how an
+    // arm starved by drift re-enters the statistics).
+    for (unsigned a = 0; a < cfg.arms; ++a) {
+        if (winPulls[a] == 0)
+            return a;
+    }
+
+    // Normalise windowed mean rewards into [0, 1] by the best mean so
+    // the exploration term's scale is comparable across reward
+    // regimes (absolute gains shrink as coverage saturates).
+    double maxMean = 0.0;
+    for (unsigned a = 0; a < cfg.arms; ++a) {
+        maxMean = std::max(
+            maxMean, winReward[a] / static_cast<double>(winPulls[a]));
+    }
+    if (maxMean <= 0.0)
+        maxMean = 1.0;
+
+    unsigned best = 0;
+    double bestScore = -1.0;
+    const double logTotal =
+        std::log(static_cast<double>(ringCount));
+    for (unsigned a = 0; a < cfg.arms; ++a) {
+        const double n = static_cast<double>(winPulls[a]);
+        const double mean = winReward[a] / n / maxMean;
+        const double score =
+            mean + cfg.exploration * std::sqrt(logTotal / n);
+        if (score > bestScore) {
+            bestScore = score;
+            best = a;
+        }
+    }
+    return best;
+}
+
+void
+MutationScheduler::credit(unsigned arm, double gain,
+                          std::uint64_t cost)
+{
+    panicIf(arm >= cfg.arms, "MutationScheduler: arm out of range");
+    const double clampedGain = std::max(0.0, gain);
+    const double reward = std::min(
+        1.0, clampedGain * cfg.costScale /
+                 static_cast<double>(std::max<std::uint64_t>(cost, 1)));
+
+    if (ringCount == cfg.window) {
+        // Evict the oldest entry from the window sums.
+        const std::uint8_t oldArm = ringArm[ringHead];
+        winPulls[oldArm] -= 1;
+        winReward[oldArm] -= ringReward[ringHead];
+    } else {
+        ++ringCount;
+    }
+    ringArm[ringHead] = static_cast<std::uint8_t>(arm);
+    ringReward[ringHead] = reward;
+    ringHead = (ringHead + 1) % cfg.window;
+
+    winPulls[arm] += 1;
+    winReward[arm] += reward;
+    lifePulls[arm] += 1;
+    lifeGain[arm] += clampedGain;
+    lifeCost[arm] += cost;
+    ++lifetimePulls;
+}
+
+ArmView
+MutationScheduler::arm(unsigned index) const
+{
+    panicIf(index >= cfg.arms, "MutationScheduler: arm out of range");
+    ArmView v;
+    v.pulls = lifePulls[index];
+    v.gain = lifeGain[index];
+    v.cost = lifeCost[index];
+    v.windowPulls = winPulls[index];
+    v.windowMeanReward =
+        winPulls[index]
+            ? winReward[index] / static_cast<double>(winPulls[index])
+            : 0.0;
+    return v;
+}
+
+BanditState
+MutationScheduler::state() const
+{
+    BanditState s;
+    s.windowArm.reserve(ringCount);
+    s.windowReward.reserve(ringCount);
+    // Unroll the ring oldest-first so the serialized form is
+    // position-independent.
+    const std::size_t start =
+        (ringHead + cfg.window - ringCount) % cfg.window;
+    for (std::size_t i = 0; i < ringCount; ++i) {
+        const std::size_t at = (start + i) % cfg.window;
+        s.windowArm.push_back(ringArm[at]);
+        s.windowReward.push_back(ringReward[at]);
+    }
+    s.pulls = lifePulls;
+    s.gain = lifeGain;
+    s.cost = lifeCost;
+    return s;
+}
+
+void
+MutationScheduler::restore(const BanditState &state)
+{
+    panicIf(state.windowArm.size() != state.windowReward.size() ||
+                state.windowArm.size() > cfg.window,
+            "MutationScheduler: restored window does not fit config");
+    panicIf(state.pulls.size() != cfg.arms ||
+                state.gain.size() != cfg.arms ||
+                state.cost.size() != cfg.arms,
+            "MutationScheduler: restored arm count mismatch");
+    for (const std::uint8_t arm : state.windowArm)
+        panicIf(arm >= cfg.arms,
+                "MutationScheduler: restored arm out of range");
+
+    std::fill(winPulls.begin(), winPulls.end(), 0);
+    std::fill(winReward.begin(), winReward.end(), 0.0);
+    ringCount = state.windowArm.size();
+    ringHead = ringCount % cfg.window;
+    for (std::size_t i = 0; i < ringCount; ++i) {
+        ringArm[i] = state.windowArm[i];
+        ringReward[i] = state.windowReward[i];
+        winPulls[state.windowArm[i]] += 1;
+        winReward[state.windowArm[i]] += state.windowReward[i];
+    }
+    lifePulls = state.pulls;
+    lifeGain = state.gain;
+    lifeCost = state.cost;
+    lifetimePulls = 0;
+    for (const std::uint64_t p : lifePulls)
+        lifetimePulls += p;
+}
+
+} // namespace harpo::search

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * MutationScheduler: a sliding-window UCB1 multi-armed bandit over
+ * mutation operators, in the spirit of HiFuzz's hierarchical adaptive
+ * operator scheduling (PAPERS.md).
+ *
+ * Each arm is one museqgen::MutationOp. After a mutant produced by
+ * arm a is graded, the loop credits the arm with the realized fitness
+ * gain over its parent and the simulation cost that grading paid
+ * (simulated cycles — a deterministic, machine-independent cost
+ * unit). The scheduler converts each credit into a reward
+ *
+ *     r = clamp01(gain * costScale / max(cost, 1))
+ *
+ * i.e. coverage gained per simulated cycle, and ranks arms by UCB1
+ * over a sliding window of the last `window` credits. The window is
+ * what lets the policy track drift: an operator that was valuable
+ * early (e.g. splicing while the population is diverse) and useless
+ * late slides out of the statistics instead of coasting on stale
+ * credit. Two starvation guards keep every arm alive:
+ *
+ *   - an epsilon floor: with probability numArms * epsilonFloor a
+ *     pull is uniformly random, so every arm keeps at least an
+ *     epsilonFloor share of pulls in expectation no matter how bad
+ *     its window looks;
+ *   - the UCB1 cold-start rule: an arm with no pulls inside the
+ *     current window has unbounded uncertainty and is played first.
+ *
+ * Determinism: selection consumes draws only from the caller's Rng
+ * (one uniform, plus one bounded draw on the epsilon branch), and all
+ * statistics are pure functions of the credit sequence. State is
+ * fully exportable/restorable (BanditState) so checkpointed runs
+ * resume learning bit-identically.
+ */
+
+#ifndef HARPOCRATES_SEARCH_BANDIT_HH
+#define HARPOCRATES_SEARCH_BANDIT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace harpo::search
+{
+
+/** Scheduler parameters. The defaults are the tuned loop settings;
+ *  the statistical tests pin convergence under them. */
+struct BanditConfig
+{
+    /** Number of arms (mutation operators). Must be non-zero. */
+    unsigned arms = 0;
+
+    /** Sliding-window length, in credits. Shorter adapts faster to
+     *  drifting operator value; longer estimates tighter. */
+    unsigned window = 192;
+
+    /** UCB1 exploration coefficient (sqrt(2) is the textbook value;
+     *  rewards here are normalised into [0, 1] first). */
+    double exploration = 1.4142135623730951;
+
+    /** Per-arm uniform-exploration floor: each select() is uniformly
+     *  random with probability arms * epsilonFloor, so every arm
+     *  receives at least an epsilonFloor share of pulls in
+     *  expectation. arms * epsilonFloor must be <= 1. */
+    double epsilonFloor = 0.04;
+
+    /** Gain-per-cost scale: a credit of `gain` fitness at `cost`
+     *  simulated cycles becomes reward gain * costScale / cost. The
+     *  default makes "0.1 coverage per megacycle" saturate. */
+    double costScale = 1e7;
+};
+
+/** Exportable scheduler state (checkpoint format v3). */
+struct BanditState
+{
+    /** Window contents, oldest first (parallel arrays). */
+    std::vector<std::uint8_t> windowArm;
+    std::vector<double> windowReward;
+
+    /** Lifetime per-arm totals (credit tables / telemetry; not used
+     *  by the selection policy, which sees only the window). */
+    std::vector<std::uint64_t> pulls;
+    std::vector<double> gain;
+    std::vector<std::uint64_t> cost;
+};
+
+/** Read-only per-arm view for credit tables. */
+struct ArmView
+{
+    std::uint64_t pulls = 0;        ///< lifetime credited pulls
+    double gain = 0.0;              ///< lifetime realized fitness gain
+    std::uint64_t cost = 0;         ///< lifetime simulated cycles paid
+    std::uint64_t windowPulls = 0;  ///< credits inside the window
+    double windowMeanReward = 0.0;  ///< mean normalised reward
+};
+
+class MutationScheduler
+{
+  public:
+    explicit MutationScheduler(BanditConfig config);
+
+    const BanditConfig &config() const { return cfg; }
+
+    /**
+     * Pick the arm to play next. Consumes one uniform draw from
+     * @p rng, plus one bounded draw when the epsilon branch fires.
+     * Ties in the UCB ranking resolve to the lowest arm index.
+     */
+    unsigned select(Rng &rng);
+
+    /** Credit @p arm with @p gain realized fitness at @p cost
+     *  simulated cycles. Negative gains clamp to zero (UCB1 rewards
+     *  are non-negative); the oldest window entry slides out. */
+    void credit(unsigned arm, double gain, std::uint64_t cost);
+
+    ArmView arm(unsigned index) const;
+
+    /** Total credits received (lifetime). */
+    std::uint64_t totalPulls() const { return lifetimePulls; }
+
+    /** Export / restore the complete learning state. restore()
+     *  validates arm counts and window bounds against the config. */
+    BanditState state() const;
+    void restore(const BanditState &state);
+
+  private:
+    BanditConfig cfg;
+
+    /** Ring buffer of the last cfg.window credits. */
+    std::vector<std::uint8_t> ringArm;
+    std::vector<double> ringReward;
+    std::size_t ringHead = 0;  ///< next slot to overwrite
+    std::size_t ringCount = 0; ///< valid entries (<= cfg.window)
+
+    /** Incremental window sums (rebuilt on restore). */
+    std::vector<std::uint64_t> winPulls;
+    std::vector<double> winReward;
+
+    std::vector<std::uint64_t> lifePulls;
+    std::vector<double> lifeGain;
+    std::vector<std::uint64_t> lifeCost;
+    std::uint64_t lifetimePulls = 0;
+};
+
+} // namespace harpo::search
+
+#endif // HARPOCRATES_SEARCH_BANDIT_HH

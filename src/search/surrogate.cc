@@ -1,0 +1,365 @@
+#include "search/surrogate.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "isa/isa_table.hh"
+
+namespace harpo::search
+{
+
+namespace
+{
+
+constexpr std::size_t kNumOpClasses =
+    static_cast<std::size_t>(isa::OpClass::NumClasses);
+
+/** Operand-category buckets for the operand-entropy feature: kind
+ *  (Gpr/Xmm/Imm/Mem) x a small width index (1/4/8/16 bytes). */
+constexpr std::size_t kOperandBuckets = 4 * 4;
+
+std::size_t
+operandBucket(isa::OperandKind kind, std::uint8_t width)
+{
+    std::size_t k = 0;
+    switch (kind) {
+      case isa::OperandKind::Gpr: k = 0; break;
+      case isa::OperandKind::Xmm: k = 1; break;
+      case isa::OperandKind::Imm: k = 2; break;
+      case isa::OperandKind::Mem: k = 3; break;
+      case isa::OperandKind::None: return kOperandBuckets; // skip
+    }
+    std::size_t w = 0;
+    switch (width) {
+      case 1: w = 0; break;
+      case 4: w = 1; break;
+      case 8: w = 2; break;
+      default: w = 3; break; // 16-byte and anything exotic
+    }
+    return k * 4 + w;
+}
+
+/** Shannon entropy of a count histogram, normalised into [0, 1] by
+ *  the maximum achievable with this many non-empty buckets. */
+double
+normalizedEntropy(const std::vector<std::uint64_t> &counts,
+                  std::uint64_t total)
+{
+    if (total == 0)
+        return 0.0;
+    double h = 0.0;
+    std::size_t nonEmpty = 0;
+    for (const std::uint64_t c : counts) {
+        if (c == 0)
+            continue;
+        ++nonEmpty;
+        const double p =
+            static_cast<double>(c) / static_cast<double>(total);
+        h -= p * std::log2(p);
+    }
+    if (nonEmpty <= 1)
+        return 0.0;
+    return h / std::log2(static_cast<double>(counts.size()));
+}
+
+/** Average-rank vector (ties share the mean of their rank block). */
+std::vector<double>
+averageRanks(const std::vector<double> &values)
+{
+    const std::size_t n = values.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return values[a] < values[b];
+                     });
+    std::vector<double> ranks(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && values[order[j + 1]] == values[order[i]])
+            ++j;
+        // Positions i..j (0-based) share the average 1-based rank.
+        const double avg = (static_cast<double>(i) +
+                            static_cast<double>(j)) / 2.0 + 1.0;
+        for (std::size_t k = i; k <= j; ++k)
+            ranks[order[k]] = avg;
+        i = j + 1;
+    }
+    return ranks;
+}
+
+} // namespace
+
+std::size_t
+surrogateFeatureDim()
+{
+    // class mix + operand entropy + variant entropy + distinct ratio
+    // + parent coverage vector + bias
+    return kNumOpClasses + 3 + coverage::numTargetStructures + 1;
+}
+
+std::size_t
+surrogateParentCoverageIndex(std::size_t s)
+{
+    panicIf(s >= coverage::numTargetStructures,
+            "surrogateParentCoverageIndex: structure out of range");
+    return kNumOpClasses + 3 + s;
+}
+
+std::vector<double>
+surrogateFeatures(const museqgen::Genome &genome,
+                  const std::array<double,
+                                   coverage::numTargetStructures>
+                      &parent_coverage)
+{
+    const isa::IsaTable &table = isa::IsaTable::instance();
+    std::vector<double> f(surrogateFeatureDim(), 0.0);
+
+    std::vector<std::uint64_t> operandCounts(kOperandBuckets, 0);
+    std::uint64_t operandTotal = 0;
+    std::vector<std::uint64_t> variantCounts;
+    std::vector<std::uint16_t> sortedSeq(genome.seq);
+    std::sort(sortedSeq.begin(), sortedSeq.end());
+
+    const double n =
+        genome.seq.empty() ? 1.0
+                           : static_cast<double>(genome.seq.size());
+    for (const std::uint16_t id : genome.seq) {
+        const isa::InstrDesc &desc = table.desc(id);
+        f[static_cast<std::size_t>(desc.opClass)] += 1.0 / n;
+        for (int k = 0; k < desc.numOperands; ++k) {
+            const std::size_t bucket = operandBucket(
+                desc.operands[k].kind, desc.operands[k].width);
+            if (bucket < kOperandBuckets) {
+                ++operandCounts[bucket];
+                ++operandTotal;
+            }
+        }
+    }
+
+    // Variant histogram (runs of the sorted sequence).
+    std::size_t distinct = 0;
+    for (std::size_t i = 0; i < sortedSeq.size();) {
+        std::size_t j = i;
+        while (j < sortedSeq.size() && sortedSeq[j] == sortedSeq[i])
+            ++j;
+        variantCounts.push_back(j - i);
+        ++distinct;
+        i = j;
+    }
+
+    f[kNumOpClasses] = normalizedEntropy(
+        operandCounts, operandTotal); // operand entropy
+    f[kNumOpClasses + 1] = normalizedEntropy(
+        variantCounts,
+        static_cast<std::uint64_t>(genome.seq.size()));
+    f[kNumOpClasses + 2] =
+        genome.seq.empty()
+            ? 0.0
+            : static_cast<double>(distinct) / n; // distinct ratio
+
+    for (std::size_t s = 0; s < coverage::numTargetStructures; ++s)
+        f[kNumOpClasses + 3 + s] = parent_coverage[s];
+    f.back() = 1.0; // bias
+    return f;
+}
+
+double
+spearman(const std::vector<double> &a, const std::vector<double> &b)
+{
+    panicIf(a.size() != b.size(), "spearman: size mismatch");
+    const std::size_t n = a.size();
+    if (n < 2)
+        return 0.0;
+    const std::vector<double> ra = averageRanks(a);
+    const std::vector<double> rb = averageRanks(b);
+
+    // Pearson correlation of the rank vectors (exact under ties).
+    double meanA = 0.0, meanB = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        meanA += ra[i];
+        meanB += rb[i];
+    }
+    meanA /= static_cast<double>(n);
+    meanB /= static_cast<double>(n);
+    double cov = 0.0, varA = 0.0, varB = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double da = ra[i] - meanA;
+        const double db = rb[i] - meanB;
+        cov += da * db;
+        varA += da * da;
+        varB += db * db;
+    }
+    if (varA == 0.0 || varB == 0.0)
+        return 0.0;
+    return cov / std::sqrt(varA * varB);
+}
+
+SurrogateFilter::SurrogateFilter(SurrogateConfig config,
+                                 std::vector<double> prior_weights)
+    : cfg(config), dim(surrogateFeatureDim()),
+      prior(std::move(prior_weights))
+{
+    panicIf(prior.size() != dim,
+            "SurrogateFilter: prior weight dimension mismatch");
+    panicIf(cfg.keepFraction <= 0.0 || cfg.keepFraction > 1.0,
+            "SurrogateFilter: keepFraction must be in (0, 1]");
+    panicIf(cfg.historyCap == 0, "SurrogateFilter: zero historyCap");
+    panicIf(cfg.ridge < 0.0, "SurrogateFilter: negative ridge");
+    ring.assign(static_cast<std::size_t>(cfg.historyCap) * (dim + 1),
+                0.0);
+}
+
+double
+SurrogateFilter::score(const std::vector<double> &features) const
+{
+    panicIf(features.size() != dim,
+            "SurrogateFilter: feature dimension mismatch");
+    const std::vector<double> &w = isFitted ? weights : prior;
+    double s = 0.0;
+    for (std::size_t i = 0; i < dim; ++i)
+        s += w[i] * features[i];
+    return s;
+}
+
+void
+SurrogateFilter::observe(const std::vector<double> &features,
+                         double fitness)
+{
+    panicIf(features.size() != dim,
+            "SurrogateFilter: feature dimension mismatch");
+    double *row = ring.data() + ringHead * (dim + 1);
+    std::copy(features.begin(), features.end(), row);
+    row[dim] = fitness;
+    ringHead = (ringHead + 1) % cfg.historyCap;
+    ringCount = std::min<std::size_t>(ringCount + 1, cfg.historyCap);
+    ++observed;
+}
+
+bool
+SurrogateFilter::refit()
+{
+    if (ringCount < cfg.minObservations || ringCount < dim / 4)
+        return false;
+
+    // Ridge least squares over the ring: (X^T X + ridge I) w = X^T y,
+    // solved by Gaussian elimination with partial pivoting. The
+    // system is dim x dim (~26), far below the cost of one graded
+    // simulation.
+    const std::size_t d = dim;
+    std::vector<double> xtx(d * d, 0.0);
+    std::vector<double> xty(d, 0.0);
+    // Accumulate in logical oldest-first order, not raw ring order:
+    // restore() re-packs the ring at a different rotation, and the
+    // floating-point sums must not depend on it (bit-identical
+    // resume).
+    const std::size_t start =
+        (ringHead + cfg.historyCap - ringCount) % cfg.historyCap;
+    for (std::size_t r = 0; r < ringCount; ++r) {
+        const double *row =
+            ring.data() + ((start + r) % cfg.historyCap) * (d + 1);
+        const double y = row[d];
+        for (std::size_t i = 0; i < d; ++i) {
+            xty[i] += row[i] * y;
+            for (std::size_t j = i; j < d; ++j)
+                xtx[i * d + j] += row[i] * row[j];
+        }
+    }
+    for (std::size_t i = 0; i < d; ++i) {
+        for (std::size_t j = 0; j < i; ++j)
+            xtx[i * d + j] = xtx[j * d + i];
+        xtx[i * d + i] += cfg.ridge * static_cast<double>(ringCount);
+    }
+
+    std::vector<double> w = xty;
+    for (std::size_t col = 0; col < d; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < d; ++r) {
+            if (std::fabs(xtx[r * d + col]) >
+                std::fabs(xtx[pivot * d + col]))
+                pivot = r;
+        }
+        if (std::fabs(xtx[pivot * d + col]) < 1e-12)
+            return false; // singular despite the ridge: keep weights
+        if (pivot != col) {
+            for (std::size_t c = col; c < d; ++c)
+                std::swap(xtx[col * d + c], xtx[pivot * d + c]);
+            std::swap(w[col], w[pivot]);
+        }
+        const double inv = 1.0 / xtx[col * d + col];
+        for (std::size_t r = col + 1; r < d; ++r) {
+            const double factor = xtx[r * d + col] * inv;
+            if (factor == 0.0)
+                continue;
+            for (std::size_t c = col; c < d; ++c)
+                xtx[r * d + c] -= factor * xtx[col * d + c];
+            w[r] -= factor * w[col];
+        }
+    }
+    for (std::size_t col = d; col-- > 0;) {
+        for (std::size_t c = col + 1; c < d; ++c)
+            w[col] -= xtx[col * d + c] * w[c];
+        w[col] /= xtx[col * d + col];
+    }
+
+    weights = std::move(w);
+    isFitted = true;
+    return true;
+}
+
+void
+SurrogateFilter::recordCalibration(double spearman_value)
+{
+    lastRho = spearman_value;
+    ++calibrationCount;
+}
+
+SurrogateState
+SurrogateFilter::state() const
+{
+    SurrogateState s;
+    if (isFitted)
+        s.weights = weights;
+    s.observations.reserve(ringCount * (dim + 1));
+    // Oldest-first, so restore() can replay through observe().
+    const std::size_t start =
+        (ringHead + cfg.historyCap - ringCount) % cfg.historyCap;
+    for (std::size_t r = 0; r < ringCount; ++r) {
+        const std::size_t at = (start + r) % cfg.historyCap;
+        const double *row = ring.data() + at * (dim + 1);
+        s.observations.insert(s.observations.end(), row,
+                              row + dim + 1);
+    }
+    s.totalObservations = observed;
+    s.lastSpearman = lastRho;
+    s.calibrations = calibrationCount;
+    return s;
+}
+
+void
+SurrogateFilter::restore(const SurrogateState &state)
+{
+    panicIf(!state.weights.empty() && state.weights.size() != dim,
+            "SurrogateFilter: restored weight dimension mismatch");
+    panicIf(state.observations.size() % (dim + 1) != 0,
+            "SurrogateFilter: restored observation stride mismatch");
+    const std::size_t rows = state.observations.size() / (dim + 1);
+    panicIf(rows > cfg.historyCap,
+            "SurrogateFilter: restored ring exceeds historyCap");
+
+    std::fill(ring.begin(), ring.end(), 0.0);
+    std::copy(state.observations.begin(), state.observations.end(),
+              ring.begin());
+    ringCount = rows;
+    ringHead = rows % cfg.historyCap;
+    isFitted = !state.weights.empty();
+    weights = state.weights;
+    observed = state.totalObservations;
+    lastRho = state.lastSpearman;
+    calibrationCount = state.calibrations;
+}
+
+} // namespace harpo::search

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * SurrogateFilter: a cheap feature-based pre-ranker for candidate
+ * mutants — GoldenFuzz's generative-golden-reference idea (PAPERS.md)
+ * applied to *fitness* instead of reference outputs. Instead of
+ * paying a full core simulation for every mutant, the loop
+ * over-generates candidates, scores each with a linear model over
+ * genome-derived features, and simulates only the top
+ * LoopConfig::surrogateKeepFraction.
+ *
+ * Features are computable without synthesis or simulation:
+ *
+ *   - instruction-mix histogram: the fraction of the sequence in each
+ *     isa::OpClass (the dominant predictor for functional-unit IBR —
+ *     a unit that is never invoked cannot be covered);
+ *   - operand entropy: Shannon entropy of the operand-category
+ *     distribution (kind x width over every operand slot the
+ *     sequence's descriptors declare) — how diversely the stream
+ *     exercises register, immediate and memory operand paths;
+ *   - sequence diversity: variant entropy and distinct-variant ratio;
+ *   - the parent's PR 4 coverage vector (heredity: mutants of a
+ *     high-coverage parent mostly stay close to it);
+ *   - a bias term.
+ *
+ * The model self-calibrates: every graded program contributes an
+ * (features, realized fitness) observation to a bounded ring, and on
+ * calibration generations the loop grades a random holdout of
+ * candidates (bypassing the filter) to measure ranking quality as the
+ * Spearman rank correlation between surrogate scores and realized
+ * fitness, then re-fits the weights by ridge least squares over the
+ * ring. Until enough observations exist the filter ranks by prior
+ * weights supplied by the caller (the loop: the parent's coverage of
+ * the target structure), and candidates with equal scores are ordered
+ * by caller-supplied random tie keys — a degenerate constant-score
+ * surrogate therefore degrades to exact random keep-fraction sampling
+ * rather than a systematic bias (tests/search/surrogate_test.cpp).
+ *
+ * Soundness: the filter decides only WHICH mutants are simulated;
+ * every reported fitness/coverage number still comes from the real
+ * evaluator, so it can change the search trajectory but never a
+ * reported measurement (DESIGN.md §15).
+ */
+
+#ifndef HARPOCRATES_SEARCH_SURROGATE_HH
+#define HARPOCRATES_SEARCH_SURROGATE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "coverage/measure.hh"
+#include "museqgen/museqgen.hh"
+
+namespace harpo::search
+{
+
+/** Pre-ranker parameters (the loop copies the toggled fields out of
+ *  LoopConfig). */
+struct SurrogateConfig
+{
+    /** Fraction of generated candidates that pays full simulation.
+     *  Must be in (0, 1]; 1.0 disables the over-generation. */
+    double keepFraction = 0.5;
+
+    /** Calibrate (grade a holdout, measure Spearman, refit) every
+     *  this many generations. 0 disables calibration entirely. */
+    unsigned calibrationEvery = 8;
+
+    /** Random candidates graded per calibration, filter bypassed. */
+    unsigned holdout = 6;
+
+    /** Training observations kept (ring buffer). */
+    unsigned historyCap = 256;
+
+    /** Ridge regularisation of the refit. */
+    double ridge = 1e-4;
+
+    /** Observations required before the first refit replaces the
+     *  prior weights. */
+    unsigned minObservations = 32;
+};
+
+/** Exportable calibration state (checkpoint format v3). */
+struct SurrogateState
+{
+    /** Fitted weights; empty while still ranking by the prior. */
+    std::vector<double> weights;
+
+    /** Observation ring, oldest first, flattened as
+     *  count * (featureDim + 1) doubles: features then fitness. */
+    std::vector<double> observations;
+
+    std::uint64_t totalObservations = 0;
+    double lastSpearman = -2.0; ///< < -1: never calibrated
+    std::uint64_t calibrations = 0;
+};
+
+/** Dimension of the feature vector surrogateFeatures() returns. */
+std::size_t surrogateFeatureDim();
+
+/** Index of structure @p s's parent-coverage feature inside the
+ *  vector — what the loop's prior weights point at (heredity: before
+ *  any calibration, candidates of better-covering parents rank
+ *  higher on the targeted structure(s)). */
+std::size_t surrogateParentCoverageIndex(std::size_t s);
+
+/**
+ * Extract the surrogate features of @p genome whose parent's
+ * all-structure coverage was @p parent_coverage. Pure and cheap: one
+ * pass over the variant sequence plus ISA-table lookups — no
+ * synthesis, no simulation.
+ */
+std::vector<double> surrogateFeatures(
+    const museqgen::Genome &genome,
+    const std::array<double, coverage::numTargetStructures>
+        &parent_coverage);
+
+/**
+ * Spearman rank correlation of @p a against @p b (average ranks for
+ * ties). Returns 0 when either input has fewer than two elements or
+ * zero rank variance (a constant surrogate has no ranking quality).
+ * Exact — pinned against a brute-force O(n^2) reference by
+ * tests/search/surrogate_test.cpp.
+ */
+double spearman(const std::vector<double> &a,
+                const std::vector<double> &b);
+
+class SurrogateFilter
+{
+  public:
+    /** @p prior_weights rank candidates until the first refit; its
+     *  size must be surrogateFeatureDim(). */
+    SurrogateFilter(SurrogateConfig config,
+                    std::vector<double> prior_weights);
+
+    const SurrogateConfig &config() const { return cfg; }
+
+    /** Predicted fitness of a candidate (dot of the active weights). */
+    double score(const std::vector<double> &features) const;
+
+    /** Record one graded program's (features, realized fitness). */
+    void observe(const std::vector<double> &features, double fitness);
+
+    /** Re-fit the weights by ridge least squares over the ring.
+     *  Returns false (prior/old weights kept) while fewer than
+     *  minObservations observations exist. */
+    bool refit();
+
+    /** Record a calibration holdout's measured ranking quality. */
+    void recordCalibration(double spearman_value);
+
+    /** Spearman of the most recent calibration; < -1 before any. */
+    double lastSpearman() const { return lastRho; }
+
+    std::uint64_t calibrations() const { return calibrationCount; }
+
+    /** True once refit() has replaced the prior weights. */
+    bool fitted() const { return isFitted; }
+
+    std::uint64_t totalObservations() const { return observed; }
+
+    /** Export / restore the complete calibration state. */
+    SurrogateState state() const;
+    void restore(const SurrogateState &state);
+
+  private:
+    SurrogateConfig cfg;
+    std::size_t dim;
+    std::vector<double> prior;
+    std::vector<double> weights; ///< active when isFitted
+    bool isFitted = false;
+
+    /** Flat ring of (features, fitness) rows. */
+    std::vector<double> ring;
+    std::size_t ringHead = 0;  ///< next row to overwrite
+    std::size_t ringCount = 0; ///< valid rows
+
+    std::uint64_t observed = 0;
+    double lastRho = -2.0;
+    std::uint64_t calibrationCount = 0;
+};
+
+} // namespace harpo::search
+
+#endif // HARPOCRATES_SEARCH_SURROGATE_HH

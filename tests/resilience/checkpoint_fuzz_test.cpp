@@ -96,6 +96,41 @@ sampleCheckpoint()
     return ckpt;
 }
 
+/** sampleCheckpoint() plus a populated v3 adaptive-search block, so
+ *  the byte-level sweeps also cover the search serialisation. */
+LoopCheckpoint
+searchCheckpoint()
+{
+    LoopCheckpoint ckpt = sampleCheckpoint();
+    for (std::size_t g = 0; g < ckpt.history.size(); ++g) {
+        for (std::size_t op = 0; op < museqgen::numMutationOps; ++op) {
+            ckpt.history[g].operatorCredit[op] = 0.1 * op;
+            ckpt.history[g].operatorPulls[op] = g + op;
+        }
+        ckpt.history[g].surrogateSpearman = 0.5;
+        ckpt.history[g].evalCycles = 100 + g;
+    }
+    LoopCheckpoint::SearchState &s = ckpt.search;
+    s.present = true;
+    s.searchRngState = {5, 6, 7, 8};
+    s.bandit.windowArm = {0, 1, 2, 3, 1};
+    s.bandit.windowReward = {0.1, 0.2, 0.3, 0.4, 0.5};
+    s.bandit.pulls = {1, 2, 3, 4};
+    s.bandit.gain = {0.5, 1.0, 1.5, 2.0};
+    s.bandit.cost = {10, 20, 30, 40};
+    s.pendingOp = {1, 0, 3};
+    s.pendingParentFitness = {0.25, 0.0, 0.75};
+    const std::size_t dim = search::surrogateFeatureDim();
+    s.pendingFeatures.assign(3 * dim, 0.5);
+    s.surrogate.weights.assign(dim, 0.125);
+    s.surrogate.observations.assign(2 * (dim + 1), 0.25);
+    s.surrogate.totalObservations = 19;
+    s.surrogate.lastSpearman = 0.375;
+    s.surrogate.calibrations = 2;
+    s.carryCycles = 4242;
+    return ckpt;
+}
+
 constexpr std::uint64_t checkpointMagic = 0x504B434F50524148ull;
 
 /** Serialise the v1 on-disk layout by hand — the v2 layout minus the
@@ -193,17 +228,40 @@ TEST(CheckpointFuzz, TruncationOfV1FileAtEveryLengthThrowsIoError)
     std::remove(cut.c_str());
 }
 
+TEST(CheckpointFuzz, TruncationOfSearchCheckpointThrowsIoError)
+{
+    // The v3 search block sits at the end of the payload, exactly
+    // where truncation bites: every prefix of a checkpoint with live
+    // bandit/surrogate/pending state must be rejected cleanly.
+    const std::string path = tmpPath("trunc_v3.ckpt");
+    searchCheckpoint().save(path);
+    const std::vector<std::uint8_t> bytes = readAll(path);
+    ASSERT_GT(bytes.size(), 32u);
+
+    const std::string cut = tmpPath("trunc_v3_cut.ckpt");
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        writeAll(cut, {bytes.begin(), bytes.begin() + len});
+        EXPECT_EQ(tryLoad(cut), LoadOutcome::IoError)
+            << "prefix " << len << " of " << bytes.size();
+    }
+    writeAll(cut, bytes);
+    EXPECT_EQ(tryLoad(cut), LoadOutcome::Ok);
+    std::remove(path.c_str());
+    std::remove(cut.c_str());
+}
+
 TEST(CheckpointFuzz, SingleByteCorruptionIsAlwaysHandledCleanly)
 {
     // XOR one random byte with a random non-zero mask. Payload bytes
     // (offset >= 32) are covered by the checksum, so corrupting them
     // MUST fail the load. Header bytes may or may not be load-bearing
     // (the reserved field is not), so there the contract is only
-    // "clean outcome": success or Error{Io}, never UB.
-    for (const std::uint32_t version : {1u, 2u}) {
+    // "clean outcome": success or Error{Io}, never UB. Version 3
+    // includes a populated search block so its bytes are swept too.
+    for (const std::uint32_t version : {1u, 3u}) {
         const std::string path = tmpPath("corrupt.ckpt");
-        if (version == 2)
-            sampleCheckpoint().save(path);
+        if (version == 3)
+            searchCheckpoint().save(path);
         else
             writeSnapshotFile(path, checkpointMagic, 1,
                               v1Payload(sampleCheckpoint()));

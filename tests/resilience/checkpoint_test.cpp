@@ -81,6 +81,50 @@ sampleCheckpoint()
     return ckpt;
 }
 
+/** sampleCheckpoint() plus a fully populated adaptive-search block
+ *  (format v3). */
+LoopCheckpoint
+searchSampleCheckpoint()
+{
+    LoopCheckpoint ckpt = sampleCheckpoint();
+    for (std::size_t g = 0; g < ckpt.history.size(); ++g) {
+        core::GenerationStats &stats = ckpt.history[g];
+        for (std::size_t op = 0; op < museqgen::numMutationOps; ++op) {
+            stats.operatorCredit[op] = 0.125 * static_cast<double>(op) +
+                                       0.01 * static_cast<double>(g);
+            stats.operatorPulls[op] = 3 * g + op;
+        }
+        stats.surrogateSpearman = 0.25 + 0.1 * static_cast<double>(g);
+        stats.evalCycles = 1000 + 17 * g;
+    }
+
+    LoopCheckpoint::SearchState &s = ckpt.search;
+    s.present = true;
+    s.searchRngState = {11, 22, 33, 44};
+    s.bandit.windowArm = {0, 2, 1, 3, 2};
+    s.bandit.windowReward = {0.5, 0.0, 1.0, 0.25, 0.75};
+    s.bandit.pulls = {10, 20, 30, 40};
+    s.bandit.gain = {1.5, 2.5, 0.5, 0.0};
+    s.bandit.cost = {1000, 2000, 3000, 4000};
+    s.pendingOp = {1, 0, 4, 2};          // slot 1 has no pending credit
+    s.pendingParentFitness = {0.1, 0.0, 0.3, 0.2};
+    const std::size_t dim = search::surrogateFeatureDim();
+    s.pendingFeatures.assign(4 * dim, 0.0);
+    for (std::size_t i = 0; i < s.pendingFeatures.size(); ++i)
+        s.pendingFeatures[i] = 0.001 * static_cast<double>(i);
+    s.surrogate.weights.assign(dim, 0.0);
+    for (std::size_t i = 0; i < dim; ++i)
+        s.surrogate.weights[i] = 0.5 - 0.01 * static_cast<double>(i);
+    s.surrogate.observations.assign(3 * (dim + 1), 0.0);
+    for (std::size_t i = 0; i < s.surrogate.observations.size(); ++i)
+        s.surrogate.observations[i] = 0.002 * static_cast<double>(i);
+    s.surrogate.totalObservations = 57;
+    s.surrogate.lastSpearman = 0.625;
+    s.surrogate.calibrations = 4;
+    s.carryCycles = 9876;
+    return ckpt;
+}
+
 } // namespace
 
 TEST(Checkpoint, RoundTripIsBitExact)
@@ -173,6 +217,112 @@ TEST(Checkpoint, VersionOneFileLoadsWithZeroedStructureBests)
         EXPECT_EQ(b.history[i].detection, a.history[i].detection);
         EXPECT_EQ(b.history[i].bestByStructure, zero);
     }
+    EXPECT_EQ(b.bestGenome.seq, a.bestGenome.seq);
+    ASSERT_EQ(b.population.size(), a.population.size());
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, SearchStateRoundTripsBitExactly)
+{
+    const std::string path = tmpPath("search_roundtrip.ckpt");
+    const LoopCheckpoint a = searchSampleCheckpoint();
+    a.save(path);
+    const LoopCheckpoint b = LoopCheckpoint::load(path);
+
+    ASSERT_EQ(b.history.size(), a.history.size());
+    for (std::size_t g = 0; g < a.history.size(); ++g) {
+        EXPECT_EQ(b.history[g].operatorCredit,
+                  a.history[g].operatorCredit);
+        EXPECT_EQ(b.history[g].operatorPulls,
+                  a.history[g].operatorPulls);
+        EXPECT_EQ(b.history[g].surrogateSpearman,
+                  a.history[g].surrogateSpearman);
+        EXPECT_EQ(b.history[g].evalCycles, a.history[g].evalCycles);
+    }
+    ASSERT_TRUE(b.search.present);
+    EXPECT_EQ(b.search.searchRngState, a.search.searchRngState);
+    EXPECT_EQ(b.search.bandit.windowArm, a.search.bandit.windowArm);
+    EXPECT_EQ(b.search.bandit.windowReward,
+              a.search.bandit.windowReward);
+    EXPECT_EQ(b.search.bandit.pulls, a.search.bandit.pulls);
+    EXPECT_EQ(b.search.bandit.gain, a.search.bandit.gain);
+    EXPECT_EQ(b.search.bandit.cost, a.search.bandit.cost);
+    EXPECT_EQ(b.search.pendingOp, a.search.pendingOp);
+    EXPECT_EQ(b.search.pendingParentFitness,
+              a.search.pendingParentFitness);
+    EXPECT_EQ(b.search.pendingFeatures, a.search.pendingFeatures);
+    EXPECT_EQ(b.search.surrogate.weights, a.search.surrogate.weights);
+    EXPECT_EQ(b.search.surrogate.observations,
+              a.search.surrogate.observations);
+    EXPECT_EQ(b.search.surrogate.totalObservations,
+              a.search.surrogate.totalObservations);
+    EXPECT_EQ(b.search.surrogate.lastSpearman,
+              a.search.surrogate.lastSpearman);
+    EXPECT_EQ(b.search.surrogate.calibrations,
+              a.search.surrogate.calibrations);
+    EXPECT_EQ(b.search.carryCycles, a.search.carryCycles);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, VersionTwoFileLoadsWithoutSearchState)
+{
+    // A v2 checkpoint (written before the adaptive-search layer
+    // existed) must still load: credit tables zeroed, Spearman at its
+    // never-calibrated sentinel, no search block. Serialise the v2
+    // layout by hand — v3 minus the per-history credit fields and the
+    // trailing search block.
+    const LoopCheckpoint a = sampleCheckpoint();
+    SnapshotWriter out;
+    out.u64(a.configFingerprint);
+    out.u32(a.nextGeneration);
+    for (const std::uint64_t word : a.rngState)
+        out.u64(word);
+    out.f64(a.bestCoverage);
+    out.u64(a.programsEvaluated);
+    out.u64(a.instructionsGenerated);
+    out.f64(a.timing.mutationSec);
+    out.f64(a.timing.generationSec);
+    out.f64(a.timing.compilationSec);
+    out.f64(a.timing.evaluationSec);
+    out.u32(static_cast<std::uint32_t>(a.history.size()));
+    for (const core::GenerationStats &stats : a.history) {
+        out.u32(stats.generation);
+        out.f64(stats.bestCoverage);
+        out.f64(stats.meanTopK);
+        out.f64(stats.detection);
+        for (const double cov : stats.bestByStructure)
+            out.f64(cov);
+    }
+    auto putGenome = [&out](const museqgen::Genome &genome) {
+        out.u64(genome.operandSeed);
+        out.u32(static_cast<std::uint32_t>(genome.seq.size()));
+        for (const std::uint16_t variant : genome.seq)
+            out.u16(variant);
+    };
+    putGenome(a.bestGenome);
+    out.u32(static_cast<std::uint32_t>(a.population.size()));
+    for (const museqgen::Genome &genome : a.population)
+        putGenome(genome);
+
+    const std::string path = tmpPath("v2compat.ckpt");
+    constexpr std::uint64_t magic = 0x504B434F50524148ull; // HARPOCKP
+    writeSnapshotFile(path, magic, /*version=*/2, out.bytes());
+
+    const LoopCheckpoint b = LoopCheckpoint::load(path);
+    EXPECT_EQ(b.configFingerprint, a.configFingerprint);
+    EXPECT_EQ(b.nextGeneration, a.nextGeneration);
+    ASSERT_EQ(b.history.size(), a.history.size());
+    for (std::size_t i = 0; i < a.history.size(); ++i) {
+        EXPECT_EQ(b.history[i].bestByStructure,
+                  a.history[i].bestByStructure);
+        for (std::size_t op = 0; op < museqgen::numMutationOps; ++op) {
+            EXPECT_EQ(b.history[i].operatorCredit[op], 0.0);
+            EXPECT_EQ(b.history[i].operatorPulls[op], 0u);
+        }
+        EXPECT_EQ(b.history[i].surrogateSpearman, -2.0);
+        EXPECT_EQ(b.history[i].evalCycles, 0u);
+    }
+    EXPECT_FALSE(b.search.present);
     EXPECT_EQ(b.bestGenome.seq, a.bestGenome.seq);
     ASSERT_EQ(b.population.size(), a.population.size());
     std::remove(path.c_str());
@@ -386,6 +536,69 @@ TEST(Checkpoint, KillAndResumeReproducesTheRunBitIdentically)
     EXPECT_EQ(resumed.programsEvaluated, straight.programsEvaluated);
     EXPECT_EQ(resumed.instructionsGenerated,
               straight.instructionsGenerated);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, AdaptiveKillAndResumeReproducesTheRunBitIdentically)
+{
+    // Same kill-and-resume guarantee with the adaptive-search layer
+    // live: the bandit window, surrogate calibration state, pending
+    // credits and the search RNG stream all travel through the v3
+    // checkpoint, so the resumed run's credit tables and cycle
+    // accounts must match the uninterrupted run exactly.
+    auto adaptiveCfg = [] {
+        LoopConfig cfg = loopConfig();
+        cfg.adaptiveMutation = true;
+        cfg.surrogateFilter = true;
+        cfg.surrogateKeepFraction = 0.5;
+        cfg.surrogateCalibrationEvery = 2;
+        cfg.surrogateHoldout = 2;
+        return cfg;
+    };
+    const LoopResult straight = Harpocrates(adaptiveCfg()).run();
+    ASSERT_EQ(straight.history.size(), 6u);
+
+    const std::string path = tmpPath("adaptive_resume.ckpt");
+    LoopConfig interruptedCfg = adaptiveCfg();
+    interruptedCfg.checkpointPath = path;
+    interruptedCfg.checkpointEvery = 1;
+    interruptedCfg.budget.maxGenerations = 3;
+    const LoopResult partial = Harpocrates(interruptedCfg).run();
+    EXPECT_TRUE(partial.truncated);
+
+    const LoopCheckpoint ckpt = LoopCheckpoint::load(path);
+    EXPECT_EQ(ckpt.nextGeneration, 3u);
+    ASSERT_TRUE(ckpt.search.present);
+    const LoopResult resumed =
+        Harpocrates(adaptiveCfg()).resume(ckpt);
+
+    EXPECT_FALSE(resumed.truncated);
+    ASSERT_EQ(resumed.history.size(), straight.history.size());
+    for (std::size_t g = 0; g < straight.history.size(); ++g) {
+        EXPECT_EQ(resumed.history[g].bestCoverage,
+                  straight.history[g].bestCoverage)
+            << "generation " << g;
+        EXPECT_EQ(resumed.history[g].meanTopK,
+                  straight.history[g].meanTopK)
+            << "generation " << g;
+        EXPECT_EQ(resumed.history[g].operatorCredit,
+                  straight.history[g].operatorCredit)
+            << "generation " << g;
+        EXPECT_EQ(resumed.history[g].operatorPulls,
+                  straight.history[g].operatorPulls)
+            << "generation " << g;
+        EXPECT_EQ(resumed.history[g].surrogateSpearman,
+                  straight.history[g].surrogateSpearman)
+            << "generation " << g;
+        EXPECT_EQ(resumed.history[g].evalCycles,
+                  straight.history[g].evalCycles)
+            << "generation " << g;
+    }
+    EXPECT_EQ(resumed.bestCoverage, straight.bestCoverage);
+    EXPECT_EQ(resumed.bestGenome.seq, straight.bestGenome.seq);
+    EXPECT_EQ(resumed.bestGenome.operandSeed,
+              straight.bestGenome.operandSeed);
+    EXPECT_EQ(resumed.programsEvaluated, straight.programsEvaluated);
     std::remove(path.c_str());
 }
 

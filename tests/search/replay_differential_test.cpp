@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Replay differentials for the adaptive-search toggles.
+ *
+ * Off means OFF: with adaptiveMutation and surrogateFilter disabled
+ * the loop must be bit-identical to the legacy fixed-probability
+ * mutation path, no matter what values the adaptive knobs hold — the
+ * knobs must be completely inert. On means DETERMINISTIC: two
+ * same-seed adaptive runs must produce identical histories, credit
+ * tables, cycle accounts and best genomes, because the bench gate and
+ * checkpoint resume both depend on exact replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+#include "core/harpocrates.hh"
+#include "coverage/measure.hh"
+#include "museqgen/museqgen.hh"
+
+using namespace harpo;
+using harpo::core::FitnessKind;
+using harpo::core::GenerationStats;
+using harpo::core::Harpocrates;
+using harpo::core::LoopConfig;
+using harpo::core::LoopResult;
+using coverage::TargetStructure;
+
+namespace
+{
+
+LoopConfig
+baseConfig(std::uint64_t seed)
+{
+    LoopConfig cfg = core::presetFor(TargetStructure::IntAdder, 0.2);
+    cfg.population = 6;
+    cfg.topK = 2;
+    cfg.generations = 5;
+    cfg.gen.numInstructions = 60;
+    cfg.seed = seed;
+    return cfg;
+}
+
+LoopConfig
+adaptiveConfig(std::uint64_t seed)
+{
+    LoopConfig cfg = baseConfig(seed);
+    cfg.adaptiveMutation = true;
+    cfg.surrogateFilter = true;
+    cfg.surrogateKeepFraction = 0.5;
+    cfg.surrogateCalibrationEvery = 2;
+    cfg.surrogateHoldout = 2;
+    return cfg;
+}
+
+void
+expectIdenticalHistories(const LoopResult &a, const LoopResult &b)
+{
+    ASSERT_EQ(a.history.size(), b.history.size());
+    for (std::size_t g = 0; g < a.history.size(); ++g) {
+        const GenerationStats &sa = a.history[g];
+        const GenerationStats &sb = b.history[g];
+        EXPECT_EQ(sa.generation, sb.generation);
+        EXPECT_EQ(sa.bestCoverage, sb.bestCoverage) << "gen " << g;
+        EXPECT_EQ(sa.meanTopK, sb.meanTopK) << "gen " << g;
+        EXPECT_EQ(sa.operatorCredit, sb.operatorCredit) << "gen " << g;
+        EXPECT_EQ(sa.operatorPulls, sb.operatorPulls) << "gen " << g;
+        EXPECT_EQ(sa.surrogateSpearman, sb.surrogateSpearman)
+            << "gen " << g;
+        EXPECT_EQ(sa.evalCycles, sb.evalCycles) << "gen " << g;
+    }
+    EXPECT_EQ(a.bestCoverage, b.bestCoverage);
+    EXPECT_EQ(a.bestGenome.seq, b.bestGenome.seq);
+    EXPECT_EQ(a.bestGenome.operandSeed, b.bestGenome.operandSeed);
+    EXPECT_EQ(a.programsEvaluated, b.programsEvaluated);
+    EXPECT_EQ(a.truncated, b.truncated);
+}
+
+} // namespace
+
+TEST(ReplayDifferential, DisabledTogglesLeaveTheLegacyPathUntouched)
+{
+    // Run once with the toggles at their defaults (the pre-adaptive
+    // loop), once with every adaptive knob set to aggressive values
+    // but the toggles still off. Any divergence means the knobs leak
+    // into the legacy path.
+    for (const std::uint64_t seed : {11ull, 2024ull}) {
+        const LoopResult plain = Harpocrates(baseConfig(seed)).run();
+
+        LoopConfig knobs = baseConfig(seed);
+        knobs.adaptiveMutation = false;
+        knobs.surrogateFilter = false;
+        knobs.banditWindow = 7;
+        knobs.banditEpsilonFloor = 0.2;
+        knobs.surrogateKeepFraction = 0.9;
+        knobs.surrogateCalibrationEvery = 1;
+        knobs.surrogateHoldout = 3;
+        const LoopResult inert = Harpocrates(knobs).run();
+
+        expectIdenticalHistories(plain, inert);
+
+        // The legacy path reports no operator credit and no surrogate
+        // calibration, ever.
+        for (const GenerationStats &s : plain.history) {
+            for (std::size_t op = 0; op < museqgen::numMutationOps;
+                 ++op) {
+                EXPECT_EQ(s.operatorCredit[op], 0.0);
+                EXPECT_EQ(s.operatorPulls[op], 0u);
+            }
+            EXPECT_EQ(s.surrogateSpearman, -2.0);
+        }
+    }
+}
+
+TEST(ReplayDifferential, TogglesDoNotChangeTheConfigFingerprint)
+{
+    // Like batchEval, the adaptive toggles are performance/search
+    // policy, not semantics: a checkpoint taken either way must
+    // remain loadable (the search state travels explicitly in the
+    // checkpoint, not via the fingerprint).
+    const LoopConfig off = baseConfig(5);
+    const LoopConfig on = adaptiveConfig(5);
+    EXPECT_EQ(Harpocrates::fingerprint(off),
+              Harpocrates::fingerprint(on));
+}
+
+TEST(ReplayDifferential, AdaptiveRunsReplayBitIdentically)
+{
+    for (const std::uint64_t seed : {42ull, 9001ull}) {
+        const LoopResult first = Harpocrates(adaptiveConfig(seed)).run();
+        const LoopResult second =
+            Harpocrates(adaptiveConfig(seed)).run();
+        expectIdenticalHistories(first, second);
+
+        // And the adaptive machinery is demonstrably live: operators
+        // accumulate pulls, grading pays simulated cycles, and the
+        // calibration generations measured a Spearman.
+        const GenerationStats &last = first.history.back();
+        const std::uint64_t pulls =
+            std::accumulate(last.operatorPulls.begin(),
+                            last.operatorPulls.end(), std::uint64_t{0});
+        EXPECT_GT(pulls, 0u) << "seed " << seed;
+        EXPECT_GT(last.evalCycles, 0u) << "seed " << seed;
+        EXPECT_GE(last.surrogateSpearman, -1.0) << "seed " << seed;
+    }
+}
+
+TEST(ReplayDifferential, AdaptiveOnlyAndFilterOnlyReplayBitIdentically)
+{
+    // The two features are independent toggles; each alone must also
+    // replay exactly.
+    LoopConfig banditOnly = baseConfig(7);
+    banditOnly.adaptiveMutation = true;
+    expectIdenticalHistories(Harpocrates(banditOnly).run(),
+                             Harpocrates(banditOnly).run());
+
+    LoopConfig filterOnly = baseConfig(7);
+    filterOnly.surrogateFilter = true;
+    filterOnly.surrogateKeepFraction = 0.5;
+    filterOnly.surrogateCalibrationEvery = 2;
+    filterOnly.surrogateHoldout = 2;
+    expectIdenticalHistories(Harpocrates(filterOnly).run(),
+                             Harpocrates(filterOnly).run());
+}
+
+TEST(ReplayDifferential, MultiTargetAdaptiveReplaysBitIdentically)
+{
+    // MultiTarget steers the targeted-replace pool by the max-weight
+    // structure and uses the weighted objective for credit; the replay
+    // guarantee must hold there too.
+    LoopConfig cfg = adaptiveConfig(13);
+    cfg.fitness = FitnessKind::MultiTarget;
+    cfg.targetWeights = {0.5, 1.0, 2.0, 0.5, 0.25, 0.25, 1.0, 0.5,
+                         1.0, 0.75};
+    expectIdenticalHistories(Harpocrates(cfg).run(),
+                             Harpocrates(cfg).run());
+}

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * SurrogateFilter correctness: the Spearman implementation against a
+ * brute-force O(n^2) reference (including ties), ridge-refit recovery
+ * of a planted linear model, the degenerate constant-score keep rule
+ * (must equal exact random keep-fraction sampling via the tie keys),
+ * and state round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hh"
+#include "coverage/measure.hh"
+#include "isa/isa_table.hh"
+#include "museqgen/museqgen.hh"
+#include "search/surrogate.hh"
+
+using namespace harpo;
+using namespace harpo::search;
+
+namespace
+{
+
+/** Brute-force average ranks: 1-based, ties share the mean rank. */
+std::vector<double>
+referenceRanks(const std::vector<double> &values)
+{
+    const std::size_t n = values.size();
+    std::vector<double> ranks(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t less = 0, equal = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (values[j] < values[i])
+                ++less;
+            else if (values[j] == values[i])
+                ++equal;
+        }
+        ranks[i] = static_cast<double>(less) +
+                   (static_cast<double>(equal) + 1.0) / 2.0;
+    }
+    return ranks;
+}
+
+/** Brute-force Spearman: Pearson correlation of reference ranks. */
+double
+referenceSpearman(const std::vector<double> &a,
+                  const std::vector<double> &b)
+{
+    const std::vector<double> ra = referenceRanks(a);
+    const std::vector<double> rb = referenceRanks(b);
+    const std::size_t n = a.size();
+    double ma = 0, mb = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        ma += ra[i];
+        mb += rb[i];
+    }
+    ma /= n;
+    mb /= n;
+    double cov = 0, va = 0, vb = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        cov += (ra[i] - ma) * (rb[i] - mb);
+        va += (ra[i] - ma) * (ra[i] - ma);
+        vb += (rb[i] - mb) * (rb[i] - mb);
+    }
+    if (va == 0 || vb == 0)
+        return 0.0;
+    return cov / std::sqrt(va * vb);
+}
+
+SurrogateConfig
+testConfig()
+{
+    SurrogateConfig cfg;
+    cfg.historyCap = 128;
+    cfg.minObservations = 32;
+    return cfg;
+}
+
+std::vector<double>
+zeroPrior()
+{
+    return std::vector<double>(surrogateFeatureDim(), 0.0);
+}
+
+std::vector<double>
+randomFeatures(Rng &rng)
+{
+    std::vector<double> f(surrogateFeatureDim());
+    for (double &x : f)
+        x = rng.uniform();
+    f.back() = 1.0; // bias, like real features
+    return f;
+}
+
+} // namespace
+
+TEST(Spearman, MatchesBruteForceReference)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t n = 2 + rng.below(40);
+        std::vector<double> a(n), b(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            // Coarse quantisation forces plenty of ties.
+            a[i] = static_cast<double>(rng.below(6));
+            b[i] = static_cast<double>(rng.below(6));
+        }
+        EXPECT_NEAR(spearman(a, b), referenceSpearman(a, b), 1e-12)
+            << "trial " << trial << " n " << n;
+    }
+}
+
+TEST(Spearman, KnownValues)
+{
+    // Perfect monotone agreement / inversion.
+    EXPECT_DOUBLE_EQ(spearman({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0);
+    EXPECT_DOUBLE_EQ(spearman({1, 2, 3, 4}, {40, 30, 20, 10}), -1.0);
+    // Constant input: zero rank variance → 0 by contract.
+    EXPECT_DOUBLE_EQ(spearman({5, 5, 5}, {1, 2, 3}), 0.0);
+    // Fewer than two elements → 0 by contract.
+    EXPECT_DOUBLE_EQ(spearman({1.0}, {2.0}), 0.0);
+}
+
+TEST(SurrogateFilter, RanksByThePriorUntilFitted)
+{
+    std::vector<double> prior = zeroPrior();
+    prior[3] = 2.0;
+    SurrogateFilter filter(testConfig(), prior);
+    EXPECT_FALSE(filter.fitted());
+    std::vector<double> f = zeroPrior();
+    f[3] = 0.5;
+    EXPECT_DOUBLE_EQ(filter.score(f), 1.0);
+}
+
+TEST(SurrogateFilter, RefitRecoversAPlantedLinearModel)
+{
+    // Observations drawn from fitness = w . x exactly; after refit the
+    // filter must rank fresh candidates in the true order.
+    Rng rng(11);
+    std::vector<double> truth(surrogateFeatureDim());
+    for (double &w : truth)
+        w = rng.uniform() * 2.0 - 1.0;
+
+    SurrogateFilter filter(testConfig(), zeroPrior());
+    for (unsigned i = 0; i < 64; ++i) {
+        const std::vector<double> f = randomFeatures(rng);
+        const double y =
+            std::inner_product(f.begin(), f.end(), truth.begin(), 0.0);
+        filter.observe(f, y);
+    }
+    EXPECT_TRUE(filter.refit());
+    EXPECT_TRUE(filter.fitted());
+
+    std::vector<double> predicted, actual;
+    for (unsigned i = 0; i < 40; ++i) {
+        const std::vector<double> f = randomFeatures(rng);
+        predicted.push_back(filter.score(f));
+        actual.push_back(std::inner_product(f.begin(), f.end(),
+                                            truth.begin(), 0.0));
+    }
+    EXPECT_GT(spearman(predicted, actual), 0.999);
+}
+
+TEST(SurrogateFilter, RefusesToRefitBeforeMinObservations)
+{
+    SurrogateFilter filter(testConfig(), zeroPrior());
+    Rng rng(3);
+    for (unsigned i = 0; i < testConfig().minObservations - 1; ++i)
+        filter.observe(randomFeatures(rng), rng.uniform());
+    EXPECT_FALSE(filter.refit());
+    EXPECT_FALSE(filter.fitted());
+}
+
+TEST(SurrogateFilter, ConstantScoresDegradeToRandomSampling)
+{
+    // The loop's keep rule sorts candidates by (score desc, tie key
+    // asc) where tie keys are fresh uniform draws. With a degenerate
+    // constant-score surrogate the kept set must therefore be EXACTLY
+    // the candidates holding the smallest tie keys — i.e. a uniform
+    // random keep-fraction sample, with no positional bias.
+    const std::size_t candidates = 20, keepN = 10;
+    Rng rng(23);
+    std::array<unsigned, 20> keptCount{};
+    for (int trial = 0; trial < 300; ++trial) {
+        std::vector<double> score(candidates, 0.42); // constant
+        std::vector<double> tieKey(candidates);
+        for (double &k : tieKey)
+            k = rng.uniform();
+
+        // The loop's comparator, verbatim.
+        std::vector<unsigned> keep(candidates);
+        std::iota(keep.begin(), keep.end(), 0u);
+        std::stable_sort(keep.begin(), keep.end(),
+                         [&](unsigned a, unsigned b) {
+                             if (score[a] != score[b])
+                                 return score[a] > score[b];
+                             return tieKey[a] < tieKey[b];
+                         });
+
+        // Exactness: the kept set is the keepN smallest tie keys.
+        std::vector<unsigned> byKey(candidates);
+        std::iota(byKey.begin(), byKey.end(), 0u);
+        std::sort(byKey.begin(), byKey.end(),
+                  [&](unsigned a, unsigned b) {
+                      return tieKey[a] < tieKey[b];
+                  });
+        for (std::size_t k = 0; k < keepN; ++k) {
+            EXPECT_EQ(keep[k], byKey[k]);
+            ++keptCount[keep[k]];
+        }
+    }
+    // No positional bias: every candidate index is kept roughly half
+    // the time (expected 150 of 300; the seeded stream keeps each
+    // within a wide deterministic band).
+    for (std::size_t i = 0; i < candidates; ++i) {
+        EXPECT_GT(keptCount[i], 100u) << "index " << i;
+        EXPECT_LT(keptCount[i], 200u) << "index " << i;
+    }
+}
+
+TEST(SurrogateFeatures, LayoutAndInvariants)
+{
+    const isa::IsaTable &table = isa::isaTable();
+    museqgen::Genome genome;
+    // A mix with repeats: ids 0, 1, 1, 2 of the ISA table.
+    genome.seq = {0, 1, 1, 2};
+    genome.operandSeed = 99;
+
+    std::array<double, coverage::numTargetStructures> parentCov{};
+    parentCov[2] = 0.75;
+    parentCov[7] = 0.25;
+
+    const std::vector<double> f = surrogateFeatures(genome, parentCov);
+    ASSERT_EQ(f.size(), surrogateFeatureDim());
+
+    // Class-mix fractions sum to 1 over the class histogram prefix.
+    const std::size_t numClasses =
+        static_cast<std::size_t>(isa::OpClass::NumClasses);
+    double mixSum = 0.0;
+    for (std::size_t c = 0; c < numClasses; ++c) {
+        EXPECT_GE(f[c], 0.0);
+        mixSum += f[c];
+    }
+    EXPECT_NEAR(mixSum, 1.0, 1e-9);
+
+    // Parent coverage is copied through at the documented indices.
+    EXPECT_DOUBLE_EQ(f[surrogateParentCoverageIndex(2)], 0.75);
+    EXPECT_DOUBLE_EQ(f[surrogateParentCoverageIndex(7)], 0.25);
+    EXPECT_DOUBLE_EQ(f[surrogateParentCoverageIndex(0)], 0.0);
+
+    // Bias term.
+    EXPECT_DOUBLE_EQ(f.back(), 1.0);
+
+    // Features are pure: same genome, same vector.
+    EXPECT_EQ(surrogateFeatures(genome, parentCov), f);
+    (void)table;
+}
+
+TEST(SurrogateFeatures, EmptyGenomeIsAllZeroButBias)
+{
+    museqgen::Genome genome;
+    std::array<double, coverage::numTargetStructures> cov{};
+    const std::vector<double> f = surrogateFeatures(genome, cov);
+    for (std::size_t i = 0; i + 1 < f.size(); ++i)
+        EXPECT_DOUBLE_EQ(f[i], 0.0) << "index " << i;
+    EXPECT_DOUBLE_EQ(f.back(), 1.0);
+}
+
+TEST(SurrogateFilter, StateRoundTripIsExact)
+{
+    Rng rng(31);
+    SurrogateFilter original(testConfig(), zeroPrior());
+    for (unsigned i = 0; i < 200; ++i) // overfills the 128-row ring
+        original.observe(randomFeatures(rng), rng.uniform());
+    original.refit();
+    original.recordCalibration(0.625);
+
+    const SurrogateState snapshot = original.state();
+    EXPECT_EQ(snapshot.observations.size(),
+              128 * (surrogateFeatureDim() + 1));
+    EXPECT_EQ(snapshot.totalObservations, 200u);
+
+    SurrogateFilter restored(testConfig(), zeroPrior());
+    restored.restore(snapshot);
+    EXPECT_TRUE(restored.fitted());
+    EXPECT_DOUBLE_EQ(restored.lastSpearman(), 0.625);
+    EXPECT_EQ(restored.calibrations(), 1u);
+    EXPECT_EQ(restored.totalObservations(), 200u);
+
+    // Same scores, and the same state if exported again.
+    const std::vector<double> probe = randomFeatures(rng);
+    EXPECT_DOUBLE_EQ(restored.score(probe), original.score(probe));
+    const SurrogateState again = restored.state();
+    EXPECT_EQ(again.weights, snapshot.weights);
+    EXPECT_EQ(again.observations, snapshot.observations);
+
+    // And future evolution stays identical: same new observations,
+    // same refit result.
+    Rng rngA(77), rngB(77);
+    for (unsigned i = 0; i < 64; ++i) {
+        const std::vector<double> f = randomFeatures(rngA);
+        const std::vector<double> g = randomFeatures(rngB);
+        original.observe(f, 0.1 * i);
+        restored.observe(g, 0.1 * i);
+    }
+    EXPECT_EQ(original.refit(), restored.refit());
+    EXPECT_DOUBLE_EQ(restored.score(probe), original.score(probe));
+}
